@@ -1,0 +1,75 @@
+//! E7 family: the backoff primitives on a star (hub receiver, leaf senders).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mis_graphs::generators;
+use radio_mis::backoff::{RecEBackoff, SndEBackoff};
+use radio_netsim::{
+    Action, ChannelModel, Feedback, NodeRng, NodeStatus, Protocol, SimConfig, Simulator,
+};
+
+enum Node {
+    Snd(SndEBackoff, bool),
+    Rec(RecEBackoff, bool),
+}
+impl Protocol for Node {
+    fn act(&mut self, round: u64, _rng: &mut NodeRng) -> Action {
+        match self {
+            Node::Snd(m, done) => {
+                if m.is_done(round) {
+                    *done = true;
+                    Action::halt()
+                } else {
+                    m.act(round)
+                }
+            }
+            Node::Rec(m, done) => {
+                if m.is_done(round) {
+                    *done = true;
+                    Action::halt()
+                } else {
+                    m.act(round)
+                }
+            }
+        }
+    }
+    fn feedback(&mut self, round: u64, fb: Feedback, _rng: &mut NodeRng) {
+        if let Node::Rec(m, _) = self {
+            m.feedback(round, fb);
+        }
+    }
+    fn status(&self) -> NodeStatus {
+        NodeStatus::OutMis
+    }
+    fn finished(&self) -> bool {
+        match self {
+            Node::Snd(_, d) | Node::Rec(_, d) => *d,
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backoff");
+    for d in [8usize, 128] {
+        let g = generators::star(d + 1);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let report =
+                    Simulator::new(&g, SimConfig::new(ChannelModel::NoCd).with_seed(seed))
+                        .run(|v, rng| {
+                            if v == 0 {
+                                Node::Rec(RecEBackoff::new(0, 16, 1024, 1024), false)
+                            } else {
+                                Node::Snd(SndEBackoff::new(0, 16, 1024, rng), false)
+                            }
+                        });
+                report.rounds
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

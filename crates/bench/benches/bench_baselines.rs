@@ -1,0 +1,62 @@
+//! E4/E5 families: the baselines against the paper's algorithms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mis_bench::workload;
+use radio_mis::baselines::nocd_naive::{NaiveSimParams, NoCdNaive};
+use radio_mis::baselines::naive_luby_cd;
+use radio_mis::cd::CdMis;
+use radio_mis::low_degree::LowDegreeMis;
+use radio_mis::params::{CdParams, LowDegreeParams};
+use radio_netsim::{ChannelModel, SimConfig, Simulator};
+
+fn bench(c: &mut Criterion) {
+    let n = 512usize;
+    let g = workload(n, 44);
+    let delta = g.max_degree().max(2);
+    let cd_params = CdParams::for_n(n);
+    let ld_params = LowDegreeParams::for_n(n, delta);
+    let sim_params = NaiveSimParams::for_n(n, delta);
+
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    group.bench_function("cd_algorithm1", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            Simulator::new(&g, SimConfig::new(ChannelModel::Cd).with_seed(seed))
+                .run(|_, _| CdMis::new(cd_params))
+                .max_energy()
+        })
+    });
+    group.bench_function("cd_naive_luby", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            Simulator::new(&g, SimConfig::new(ChannelModel::Cd).with_seed(seed))
+                .run(|_, _| naive_luby_cd(cd_params))
+                .max_energy()
+        })
+    });
+    group.bench_function("nocd_low_degree_mis", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            Simulator::new(&g, SimConfig::new(ChannelModel::NoCd).with_seed(seed))
+                .run(|_, _| LowDegreeMis::new(ld_params))
+                .max_energy()
+        })
+    });
+    group.bench_function("nocd_naive", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            Simulator::new(&g, SimConfig::new(ChannelModel::NoCd).with_seed(seed))
+                .run(|_, _| NoCdNaive::new(cd_params, sim_params))
+                .max_energy()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

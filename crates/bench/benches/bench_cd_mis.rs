@@ -1,0 +1,31 @@
+//! E2 family: Algorithm 1 (CD) full runs at increasing n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mis_bench::workload;
+use radio_mis::cd::CdMis;
+use radio_mis::params::CdParams;
+use radio_netsim::{ChannelModel, SimConfig, Simulator};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cd_mis");
+    group.sample_size(10);
+    for n in [256usize, 1024, 4096] {
+        let g = workload(n, 42);
+        let params = CdParams::for_n(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let report =
+                    Simulator::new(&g, SimConfig::new(ChannelModel::Cd).with_seed(seed))
+                        .run(|_, _| CdMis::new(params));
+                assert!(report.completed);
+                report.max_energy()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

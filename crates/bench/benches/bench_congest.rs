@@ -1,0 +1,31 @@
+//! E13 family: the wired SLEEPING-CONGEST references.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use congest_sim::{CongestSim, GhaffariCongest, LubyCongest};
+use mis_bench::workload;
+
+fn bench(c: &mut Criterion) {
+    let n = 4096usize;
+    let g = workload(n, 45);
+    let mut group = c.benchmark_group("congest");
+    group.bench_function("luby", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            CongestSim::new(&g, seed).run(|_, _| LubyCongest::new(n)).max_awake()
+        })
+    });
+    group.bench_function("ghaffari", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            CongestSim::new(&g, seed)
+                .run(|_, _| GhaffariCongest::new(n, g.max_degree().max(1)))
+                .max_awake()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E10 family: Algorithm 2 across degree bounds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mis_graphs::generators;
+use radio_mis::nocd::NoCdMis;
+use radio_mis::params::NoCdParams;
+use radio_netsim::{ChannelModel, SimConfig, Simulator};
+
+fn bench(c: &mut Criterion) {
+    let n = 256usize;
+    let mut group = c.benchmark_group("delta_sweep");
+    group.sample_size(10);
+    for d in [4usize, 32, 128] {
+        let g = generators::bounded_degree(n, d, 7);
+        let params = NoCdParams::for_n(n, d);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                Simulator::new(&g, SimConfig::new(ChannelModel::NoCd).with_seed(seed))
+                    .run(|_, _| NoCdMis::new(params))
+                    .rounds
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E1 family: the Theorem-1 strategy model on the hard instance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mis_bench::hard_instance;
+use radio_mis::lower_bound::RandomStrategy;
+use radio_netsim::{ChannelModel, SimConfig, Simulator};
+
+fn bench(c: &mut Criterion) {
+    let g = hard_instance(4096);
+    let mut group = c.benchmark_group("lower_bound_strategy");
+    for b_budget in [2u64, 8, 24] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(b_budget),
+            &b_budget,
+            |b, &budget| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    Simulator::new(&g, SimConfig::new(ChannelModel::Cd).with_seed(seed))
+                        .run(|_, _| RandomStrategy::new(budget, 0.5))
+                        .rounds
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

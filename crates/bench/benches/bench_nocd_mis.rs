@@ -1,0 +1,31 @@
+//! E3 family: Algorithm 2 (no-CD) full runs at increasing n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mis_bench::workload;
+use radio_mis::nocd::NoCdMis;
+use radio_mis::params::NoCdParams;
+use radio_netsim::{ChannelModel, SimConfig, Simulator};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nocd_mis");
+    group.sample_size(10);
+    for n in [128usize, 256, 512] {
+        let g = workload(n, 43);
+        let params = NoCdParams::for_n(n, g.max_degree().max(2));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let report =
+                    Simulator::new(&g, SimConfig::new(ChannelModel::NoCd).with_seed(seed))
+                        .run(|_, _| NoCdMis::new(params));
+                assert!(report.completed);
+                report.max_energy()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Shared fixtures for the criterion benchmarks.
+//!
+//! Each bench target corresponds to an experiment family of `DESIGN.md`
+//! §4: it times the simulator runs that experiment performs, so regressions
+//! in the engine or the protocol machines show up as bench regressions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mis_graphs::{generators, Graph};
+
+/// The standard benchmark workload: G(n, p) with average degree 8.
+pub fn workload(n: usize, seed: u64) -> Graph {
+    let p = if n <= 1 {
+        0.0
+    } else {
+        (8.0 / (n as f64 - 1.0)).min(1.0)
+    };
+    generators::gnp(n, p, seed)
+}
+
+/// The Theorem-1 hard instance at size `n`.
+pub fn hard_instance(n: usize) -> Graph {
+    generators::lower_bound_family(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_shape() {
+        let g = workload(512, 1);
+        assert_eq!(g.len(), 512);
+        assert!(g.avg_degree() > 4.0 && g.avg_degree() < 12.0);
+        assert_eq!(hard_instance(64).edge_count(), 16);
+    }
+}

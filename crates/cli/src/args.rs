@@ -1,0 +1,382 @@
+//! Hand-rolled argument parsing (keeps the dependency set to the workspace
+//! baseline).
+
+use mis_graphs::generators::Family;
+
+/// Which algorithm `mis-sim run` executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Algorithm 1 in the CD model.
+    Cd,
+    /// Algorithm 1 in the beeping model.
+    Beeping,
+    /// Native beeping MIS with sender-side CD (\[28\]-style).
+    BeepingNative,
+    /// Naive Luby in the CD model (no early sleep).
+    NaiveLuby,
+    /// Algorithm 2 in the no-CD model.
+    NoCd,
+    /// Davies-style LowDegreeMIS (no-CD) on the full graph.
+    LowDegree,
+    /// Naive CD-over-backoff simulation (no-CD).
+    NoCdNaive,
+    /// Algorithm 2 with unknown Δ (doubly-exponential guessing).
+    UnknownDelta,
+    /// Luby in the wired SLEEPING-CONGEST model.
+    CongestLuby,
+    /// Ghaffari in the wired SLEEPING-CONGEST model.
+    CongestGhaffari,
+}
+
+impl Algorithm {
+    /// All algorithm labels, for `mis-sim list`.
+    pub fn all() -> [(&'static str, Algorithm); 10] {
+        [
+            ("cd", Algorithm::Cd),
+            ("beeping", Algorithm::Beeping),
+            ("beeping-native", Algorithm::BeepingNative),
+            ("naive-luby", Algorithm::NaiveLuby),
+            ("nocd", Algorithm::NoCd),
+            ("low-degree", Algorithm::LowDegree),
+            ("nocd-naive", Algorithm::NoCdNaive),
+            ("unknown-delta", Algorithm::UnknownDelta),
+            ("congest-luby", Algorithm::CongestLuby),
+            ("congest-ghaffari", Algorithm::CongestGhaffari),
+        ]
+    }
+
+    /// Parses an algorithm label.
+    ///
+    /// # Errors
+    ///
+    /// Lists the accepted labels on failure.
+    pub fn parse(label: &str) -> Result<Algorithm, String> {
+        Algorithm::all()
+            .into_iter()
+            .find(|(l, _)| *l == label)
+            .map(|(_, a)| a)
+            .ok_or_else(|| {
+                format!(
+                    "unknown algorithm {label:?}; expected one of: {}",
+                    Algorithm::all().map(|(l, _)| l).join(", ")
+                )
+            })
+    }
+
+    /// The stable label.
+    pub fn label(self) -> &'static str {
+        Algorithm::all()
+            .into_iter()
+            .find(|(_, a)| *a == self)
+            .map(|(l, _)| l)
+            .expect("all variants labelled")
+    }
+}
+
+/// Options for `mis-sim run`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOpts {
+    /// Algorithm to execute.
+    pub algorithm: Algorithm,
+    /// Topology family (ignored when `graph_path` is set).
+    pub family: Family,
+    /// Network size (ignored when `graph_path` is set).
+    pub n: usize,
+    /// Load the topology from an edge-list file instead of generating.
+    pub graph_path: Option<String>,
+    /// Number of independently seeded trials.
+    pub trials: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Channel reception-loss probability.
+    pub loss: f64,
+    /// Use the paper's asymptotic constants instead of the calibrated
+    /// presets.
+    pub paper_constants: bool,
+    /// Emit JSON instead of a table.
+    pub json: bool,
+}
+
+impl Default for RunOpts {
+    fn default() -> RunOpts {
+        RunOpts {
+            algorithm: Algorithm::Cd,
+            family: Family::GnpAvgDegree(8),
+            n: 256,
+            graph_path: None,
+            trials: 5,
+            seed: 0,
+            loss: 0.0,
+            paper_constants: false,
+            json: false,
+        }
+    }
+}
+
+/// Options for `mis-sim graph`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphOpts {
+    /// Topology family.
+    pub family: Family,
+    /// Network size.
+    pub n: usize,
+    /// Generator seed.
+    pub seed: u64,
+    /// Write the edge list here (stdout summary only when `None`).
+    pub out: Option<String>,
+}
+
+/// Options for `mis-sim verify`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyOpts {
+    /// Edge-list file of the topology.
+    pub graph: String,
+    /// File with one in-MIS node id per line.
+    pub set: String,
+}
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `mis-sim run`.
+    Run(RunOpts),
+    /// `mis-sim graph`.
+    Graph(GraphOpts),
+    /// `mis-sim verify`.
+    Verify(VerifyOpts),
+    /// `mis-sim list`.
+    List,
+}
+
+/// The full parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// The subcommand.
+    pub command: Command,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+mis-sim — energy-efficient radio MIS simulator
+
+USAGE:
+  mis-sim run    --algorithm <ALG> (--family <FAM> --n <N> | --graph <FILE>)
+                 [--trials <T>] [--seed <S>] [--loss <P>]
+                 [--paper-constants] [--json]
+  mis-sim graph  --family <FAM> --n <N> [--seed <S>] [--out <FILE>]
+  mis-sim verify --graph <FILE> --set <FILE>
+  mis-sim list
+
+Run `mis-sim list` for the available algorithms and families.";
+
+/// Parses a full argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns a user-facing message (usually followed by [`USAGE`]).
+pub fn parse(args: &[String]) -> Result<Cli, String> {
+    let mut it = args.iter().map(String::as_str);
+    let sub = it.next().ok_or("missing subcommand")?;
+    let rest: Vec<&str> = it.collect();
+    let command = match sub {
+        "run" => Command::Run(parse_run(&rest)?),
+        "graph" => Command::Graph(parse_graph(&rest)?),
+        "verify" => Command::Verify(parse_verify(&rest)?),
+        "list" => {
+            if !rest.is_empty() {
+                return Err("`list` takes no options".into());
+            }
+            Command::List
+        }
+        other => return Err(format!("unknown subcommand {other:?}")),
+    };
+    Ok(Cli { command })
+}
+
+/// Pulls `--key value` pairs and bare flags out of an argument list.
+fn take_options<'a>(
+    args: &[&'a str],
+    flags: &[&str],
+) -> Result<std::collections::HashMap<String, Option<&'a str>>, String> {
+    let mut out = std::collections::HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i];
+        if !key.starts_with("--") {
+            return Err(format!("unexpected argument {key:?}"));
+        }
+        let name = key.trim_start_matches("--").to_string();
+        if flags.contains(&name.as_str()) {
+            out.insert(name, None);
+            i += 1;
+        } else {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("{key} requires a value"))?;
+            out.insert(name, Some(*value));
+            i += 2;
+        }
+    }
+    Ok(out)
+}
+
+fn req<'a>(
+    opts: &std::collections::HashMap<String, Option<&'a str>>,
+    key: &str,
+) -> Result<&'a str, String> {
+    opts.get(key)
+        .and_then(|v| *v)
+        .ok_or_else(|| format!("missing required option --{key}"))
+}
+
+fn parse_num<T: std::str::FromStr>(value: &str, key: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    value
+        .parse()
+        .map_err(|e| format!("invalid --{key} {value:?}: {e}"))
+}
+
+fn parse_run(args: &[&str]) -> Result<RunOpts, String> {
+    let opts = take_options(args, &["paper-constants", "json"])?;
+    for key in opts.keys() {
+        if !["algorithm", "family", "n", "graph", "trials", "seed", "loss",
+             "paper-constants", "json"]
+            .contains(&key.as_str())
+        {
+            return Err(format!("unknown option --{key} for `run`"));
+        }
+    }
+    let mut run = RunOpts {
+        algorithm: Algorithm::parse(req(&opts, "algorithm")?)?,
+        ..RunOpts::default()
+    };
+    run.graph_path = opts.get("graph").and_then(|v| v.map(str::to_string));
+    if run.graph_path.is_none() {
+        run.family = Family::parse(req(&opts, "family")?)?;
+        run.n = parse_num(req(&opts, "n")?, "n")?;
+    }
+    if let Some(Some(v)) = opts.get("trials") {
+        run.trials = parse_num(v, "trials")?;
+    }
+    if let Some(Some(v)) = opts.get("seed") {
+        run.seed = parse_num(v, "seed")?;
+    }
+    if let Some(Some(v)) = opts.get("loss") {
+        run.loss = parse_num(v, "loss")?;
+        if !(0.0..=1.0).contains(&run.loss) {
+            return Err(format!("--loss {} outside [0, 1]", run.loss));
+        }
+    }
+    run.paper_constants = opts.contains_key("paper-constants");
+    run.json = opts.contains_key("json");
+    if run.trials == 0 {
+        return Err("--trials must be ≥ 1".into());
+    }
+    Ok(run)
+}
+
+fn parse_graph(args: &[&str]) -> Result<GraphOpts, String> {
+    let opts = take_options(args, &[])?;
+    for key in opts.keys() {
+        if !["family", "n", "seed", "out"].contains(&key.as_str()) {
+            return Err(format!("unknown option --{key} for `graph`"));
+        }
+    }
+    Ok(GraphOpts {
+        family: Family::parse(req(&opts, "family")?)?,
+        n: parse_num(req(&opts, "n")?, "n")?,
+        seed: match opts.get("seed") {
+            Some(Some(v)) => parse_num(v, "seed")?,
+            _ => 0,
+        },
+        out: opts.get("out").and_then(|v| v.map(str::to_string)),
+    })
+}
+
+fn parse_verify(args: &[&str]) -> Result<VerifyOpts, String> {
+    let opts = take_options(args, &[])?;
+    Ok(VerifyOpts {
+        graph: req(&opts, "graph")?.to_string(),
+        set: req(&opts, "set")?.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(line: &str) -> Cli {
+        let args: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+        parse(&args).unwrap()
+    }
+
+    #[test]
+    fn parses_run() {
+        let cli = parse_ok(
+            "run --algorithm nocd --family udg-d10 --n 500 --trials 3 --seed 9 --loss 0.1 --json",
+        );
+        match cli.command {
+            Command::Run(r) => {
+                assert_eq!(r.algorithm, Algorithm::NoCd);
+                assert_eq!(r.family, Family::GeometricAvgDegree(10));
+                assert_eq!(r.n, 500);
+                assert_eq!(r.trials, 3);
+                assert_eq!(r.seed, 9);
+                assert!((r.loss - 0.1).abs() < 1e-12);
+                assert!(r.json);
+                assert!(!r.paper_constants);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_run_with_graph_file() {
+        let cli = parse_ok("run --algorithm cd --graph topo.txt");
+        match cli.command {
+            Command::Run(r) => assert_eq!(r.graph_path.as_deref(), Some("topo.txt")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_graph_and_verify_and_list() {
+        assert!(matches!(
+            parse_ok("graph --family star --n 64 --out g.txt").command,
+            Command::Graph(_)
+        ));
+        assert!(matches!(
+            parse_ok("verify --graph g.txt --set s.txt").command,
+            Command::Verify(_)
+        ));
+        assert_eq!(parse_ok("list").command, Command::List);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let check = |line: &str, needle: &str| {
+            let args: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+            let err = parse(&args).unwrap_err();
+            assert!(err.contains(needle), "{err:?} missing {needle:?}");
+        };
+        check("run --algorithm warp --family star --n 4", "unknown algorithm");
+        check("run --algorithm cd --family nope --n 4", "unknown family");
+        check("run --algorithm cd --family star", "missing required option --n");
+        check("run --algorithm cd --family star --n x", "invalid --n");
+        check("run --algorithm cd --family star --n 4 --loss 2", "outside [0, 1]");
+        check("run --algorithm cd --family star --n 4 --trials 0", "≥ 1");
+        check("frobnicate", "unknown subcommand");
+        check("list --extra x", "takes no options");
+        check("run --algorithm cd --family star --n 4 --bogus 1", "unknown option");
+    }
+
+    #[test]
+    fn algorithm_labels_roundtrip() {
+        for (label, alg) in Algorithm::all() {
+            assert_eq!(Algorithm::parse(label), Ok(alg));
+            assert_eq!(alg.label(), label);
+        }
+    }
+}

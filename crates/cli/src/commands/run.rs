@@ -1,0 +1,324 @@
+//! `mis-sim run`: execute an algorithm over trials and summarize.
+
+use crate::args::{Algorithm, RunOpts};
+use congest_sim::{CongestSim, GhaffariCongest, LubyCongest};
+use mis_graphs::{io, mis, Graph};
+use mis_stats::table::fmt_num;
+use mis_stats::{Summary, Table};
+use radio_mis::baselines::nocd_naive::{NaiveSimParams, NoCdNaive};
+use radio_mis::baselines::naive_luby_cd;
+use radio_mis::beeping_native::{BeepingParams, NativeBeepingMis};
+use radio_mis::cd::CdMis;
+use radio_mis::low_degree::LowDegreeMis;
+use radio_mis::nocd::NoCdMis;
+use radio_mis::params::{CdParams, LowDegreeParams, NoCdParams};
+use radio_mis::unknown_delta::UnknownDeltaMis;
+use radio_netsim::{split_seed, ChannelModel, SimConfig, Simulator};
+use serde::Serialize;
+
+/// Per-trial record for the report.
+#[derive(Debug, Clone, Serialize)]
+struct TrialRow {
+    trial: usize,
+    seed: u64,
+    correct: bool,
+    mis_size: usize,
+    energy_max: u64,
+    energy_avg: f64,
+    rounds: u64,
+}
+
+/// Aggregated run report (serialized with `--json`).
+#[derive(Debug, Clone, Serialize)]
+struct RunSummary {
+    algorithm: String,
+    channel: String,
+    graph_nodes: usize,
+    graph_edges: usize,
+    graph_max_degree: usize,
+    trials: Vec<TrialRow>,
+    success_rate: f64,
+    energy_max_mean: f64,
+    energy_avg_mean: f64,
+    rounds_mean: f64,
+}
+
+/// The channel model an algorithm runs under.
+fn channel_of(alg: Algorithm) -> &'static str {
+    match alg {
+        Algorithm::Cd | Algorithm::NaiveLuby => "CD",
+        Algorithm::Beeping => "beeping",
+        Algorithm::BeepingNative => "beeping+senderCD",
+        Algorithm::NoCd
+        | Algorithm::LowDegree
+        | Algorithm::NoCdNaive
+        | Algorithm::UnknownDelta => "no-CD",
+        Algorithm::CongestLuby | Algorithm::CongestGhaffari => "wired CONGEST",
+    }
+}
+
+/// Runs one radio trial, returning (correct, mis_size, e_max, e_avg, rounds).
+#[allow(clippy::too_many_arguments)]
+fn radio_trial(
+    g: &Graph,
+    alg: Algorithm,
+    seed: u64,
+    loss: f64,
+    paper: bool,
+) -> (bool, usize, u64, f64, u64) {
+    let n_bound = g.len().max(2);
+    let delta = g.max_degree().max(2);
+    let channel = match alg {
+        Algorithm::Beeping => ChannelModel::Beeping,
+        Algorithm::BeepingNative => ChannelModel::BeepingSenderCd,
+        Algorithm::Cd | Algorithm::NaiveLuby => ChannelModel::Cd,
+        _ => ChannelModel::NoCd,
+    };
+    let mut config = SimConfig::new(channel).with_seed(seed);
+    if loss > 0.0 {
+        config = config.with_loss_probability(loss);
+    }
+    let sim = Simulator::new(g, config);
+    let report = match alg {
+        Algorithm::Cd | Algorithm::Beeping => {
+            let p = if paper {
+                CdParams::paper(n_bound)
+            } else {
+                CdParams::for_n(n_bound)
+            };
+            sim.run(|_, _| CdMis::new(p))
+        }
+        Algorithm::BeepingNative => {
+            let p = BeepingParams::for_n(n_bound);
+            sim.run(|_, _| NativeBeepingMis::new(p))
+        }
+        Algorithm::NaiveLuby => {
+            let p = if paper {
+                CdParams::paper(n_bound)
+            } else {
+                CdParams::for_n(n_bound)
+            };
+            sim.run(|_, _| naive_luby_cd(p))
+        }
+        Algorithm::NoCd => {
+            let p = if paper {
+                NoCdParams::paper(n_bound, delta)
+            } else {
+                NoCdParams::for_n(n_bound, delta)
+            };
+            sim.run(|_, _| NoCdMis::new(p))
+        }
+        Algorithm::LowDegree => {
+            let p = if paper {
+                LowDegreeParams::paper(n_bound, delta)
+            } else {
+                LowDegreeParams::for_n(n_bound, delta)
+            };
+            sim.run(|_, _| LowDegreeMis::new(p))
+        }
+        Algorithm::NoCdNaive => {
+            let cd = if paper {
+                CdParams::paper(n_bound)
+            } else {
+                CdParams::for_n(n_bound)
+            };
+            sim.run(|_, _| NoCdNaive::new(cd, NaiveSimParams::for_n(n_bound, delta)))
+        }
+        Algorithm::UnknownDelta => {
+            let template = if paper {
+                NoCdParams::paper(n_bound, 2)
+            } else {
+                NoCdParams::for_n(n_bound, 2)
+            };
+            sim.run(|_, _| UnknownDeltaMis::new(n_bound, template))
+        }
+        Algorithm::CongestLuby | Algorithm::CongestGhaffari => unreachable!("handled by caller"),
+    };
+    (
+        report.is_correct_mis(g),
+        mis::set_size(&report.mis_mask()),
+        report.max_energy(),
+        report.avg_energy(),
+        report.rounds,
+    )
+}
+
+fn congest_trial(g: &Graph, alg: Algorithm, seed: u64) -> (bool, usize, u64, f64, u64) {
+    let n_bound = g.len().max(2);
+    let sim = CongestSim::new(g, seed);
+    let report = match alg {
+        Algorithm::CongestLuby => sim.run(|_, _| LubyCongest::new(n_bound)),
+        Algorithm::CongestGhaffari => {
+            sim.run(|_, _| GhaffariCongest::new(n_bound, g.max_degree().max(1)))
+        }
+        _ => unreachable!("radio algorithms handled elsewhere"),
+    };
+    (
+        report.is_correct_mis(g),
+        report.mis_mask().iter().filter(|&&b| b).count(),
+        report.max_awake(),
+        report.avg_awake(),
+        report.rounds,
+    )
+}
+
+/// Executes `mis-sim run`.
+///
+/// # Errors
+///
+/// Returns a message on graph-file IO/parsing failures.
+pub fn execute(opts: &RunOpts) -> Result<String, String> {
+    let graph = match &opts.graph_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            io::from_text(&text).map_err(|e| format!("cannot parse {path}: {e}"))?
+        }
+        None => opts.family.generate(opts.n, opts.seed),
+    };
+    if matches!(
+        opts.algorithm,
+        Algorithm::CongestLuby | Algorithm::CongestGhaffari
+    ) && opts.loss > 0.0
+    {
+        return Err("--loss applies only to radio algorithms".into());
+    }
+
+    let mut rows = Vec::with_capacity(opts.trials);
+    for t in 0..opts.trials {
+        let seed = split_seed(opts.seed, t as u64);
+        let (correct, mis_size, emax, eavg, rounds) = match opts.algorithm {
+            Algorithm::CongestLuby | Algorithm::CongestGhaffari => {
+                congest_trial(&graph, opts.algorithm, seed)
+            }
+            alg => radio_trial(&graph, alg, seed, opts.loss, opts.paper_constants),
+        };
+        rows.push(TrialRow {
+            trial: t,
+            seed,
+            correct,
+            mis_size,
+            energy_max: emax,
+            energy_avg: eavg,
+            rounds,
+        });
+    }
+    let summary = RunSummary {
+        algorithm: opts.algorithm.label().to_string(),
+        channel: channel_of(opts.algorithm).to_string(),
+        graph_nodes: graph.len(),
+        graph_edges: graph.edge_count(),
+        graph_max_degree: graph.max_degree(),
+        success_rate: rows.iter().filter(|r| r.correct).count() as f64
+            / rows.len().max(1) as f64,
+        energy_max_mean: Summary::of(
+            &rows.iter().map(|r| r.energy_max as f64).collect::<Vec<_>>(),
+        )
+        .mean,
+        energy_avg_mean: Summary::of(&rows.iter().map(|r| r.energy_avg).collect::<Vec<_>>())
+            .mean,
+        rounds_mean: Summary::of(&rows.iter().map(|r| r.rounds as f64).collect::<Vec<_>>())
+            .mean,
+        trials: rows,
+    };
+
+    if opts.json {
+        return serde_json::to_string_pretty(&summary).map_err(|e| e.to_string());
+    }
+    let mut out = format!(
+        "{} ({} model) on {} nodes / {} edges (Δ = {})\n\n",
+        summary.algorithm,
+        summary.channel,
+        summary.graph_nodes,
+        summary.graph_edges,
+        summary.graph_max_degree
+    );
+    let mut table = Table::new(["trial", "MIS?", "|MIS|", "energy(max)", "energy(avg)", "rounds"]);
+    for r in &summary.trials {
+        table.push_row([
+            r.trial.to_string(),
+            if r.correct { "✓".into() } else { "✗".to_string() },
+            r.mis_size.to_string(),
+            r.energy_max.to_string(),
+            fmt_num(r.energy_avg),
+            r.rounds.to_string(),
+        ]);
+    }
+    out.push_str(&table.to_markdown());
+    out.push_str(&format!(
+        "\nsuccess {:.0}%  ·  mean energy(max) {}  ·  mean energy(avg) {}  ·  mean rounds {}\n",
+        100.0 * summary.success_rate,
+        fmt_num(summary.energy_max_mean),
+        fmt_num(summary.energy_avg_mean),
+        fmt_num(summary.rounds_mean),
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::RunOpts;
+
+    #[test]
+    fn runs_cd_table_output() {
+        let opts = RunOpts {
+            n: 64,
+            trials: 2,
+            ..RunOpts::default()
+        };
+        let out = execute(&opts).unwrap();
+        assert!(out.contains("cd (CD model)"));
+        assert!(out.contains("success 100%"), "{out}");
+    }
+
+    #[test]
+    fn runs_congest_json_output() {
+        let opts = RunOpts {
+            algorithm: Algorithm::CongestLuby,
+            n: 64,
+            trials: 2,
+            json: true,
+            ..RunOpts::default()
+        };
+        let out = execute(&opts).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(parsed["algorithm"], "congest-luby");
+        assert_eq!(parsed["success_rate"], 1.0);
+    }
+
+    #[test]
+    fn rejects_loss_on_congest() {
+        let opts = RunOpts {
+            algorithm: Algorithm::CongestLuby,
+            loss: 0.1,
+            ..RunOpts::default()
+        };
+        assert!(execute(&opts).unwrap_err().contains("radio"));
+    }
+
+    #[test]
+    fn loads_graph_from_file() {
+        let dir = std::env::temp_dir().join("mis_cli_test_run");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        let g = mis_graphs::generators::path(6);
+        std::fs::write(&path, mis_graphs::io::to_text(&g)).unwrap();
+        let opts = RunOpts {
+            graph_path: Some(path.to_string_lossy().into_owned()),
+            trials: 1,
+            ..RunOpts::default()
+        };
+        let out = execute(&opts).unwrap();
+        assert!(out.contains("6 nodes / 5 edges"), "{out}");
+    }
+
+    #[test]
+    fn missing_graph_file_errors() {
+        let opts = RunOpts {
+            graph_path: Some("/definitely/not/here.txt".into()),
+            ..RunOpts::default()
+        };
+        assert!(execute(&opts).unwrap_err().contains("cannot read"));
+    }
+}

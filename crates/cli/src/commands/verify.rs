@@ -1,0 +1,85 @@
+//! `mis-sim verify`: check a claimed MIS against a topology.
+
+use crate::args::VerifyOpts;
+use mis_graphs::{io, mis};
+
+/// Executes `mis-sim verify`. The set file holds one in-MIS node id per
+/// line (blank lines and `#` comments ignored).
+///
+/// # Errors
+///
+/// Returns a message on IO/parse failures; a *failed verification* is a
+/// successful command whose output describes the violation.
+pub fn execute(opts: &VerifyOpts) -> Result<String, String> {
+    let text = std::fs::read_to_string(&opts.graph)
+        .map_err(|e| format!("cannot read {}: {e}", opts.graph))?;
+    let g = io::from_text(&text).map_err(|e| format!("cannot parse {}: {e}", opts.graph))?;
+    let set_text = std::fs::read_to_string(&opts.set)
+        .map_err(|e| format!("cannot read {}: {e}", opts.set))?;
+    let mut mask = vec![false; g.len()];
+    for (idx, raw) in set_text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let v: usize = line
+            .parse()
+            .map_err(|e| format!("{}:{}: invalid node id: {e}", opts.set, idx + 1))?;
+        if v >= g.len() {
+            return Err(format!(
+                "{}:{}: node {v} out of range for a {}-node graph",
+                opts.set,
+                idx + 1,
+                g.len()
+            ));
+        }
+        mask[v] = true;
+    }
+    let size = mis::set_size(&mask);
+    Ok(match mis::verify_mis(&g, &mask) {
+        Ok(()) => format!("OK: {size} nodes form a maximal independent set\n"),
+        Err(e) => format!("INVALID ({size} nodes): {e}\n"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_tmp(name: &str, content: &str) -> String {
+        let dir = std::env::temp_dir().join("mis_cli_test_verify");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, content).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn accepts_valid_mis() {
+        let g = mis_graphs::generators::path(5);
+        let graph = write_tmp("p5.txt", &io::to_text(&g));
+        let set = write_tmp("s1.txt", "# heads\n0\n2\n4\n");
+        let out = execute(&VerifyOpts { graph, set }).unwrap();
+        assert!(out.starts_with("OK"), "{out}");
+    }
+
+    #[test]
+    fn reports_violations() {
+        let g = mis_graphs::generators::path(5);
+        let graph = write_tmp("p5b.txt", &io::to_text(&g));
+        let set = write_tmp("s2.txt", "0\n1\n");
+        let out = execute(&VerifyOpts { graph, set }).unwrap();
+        assert!(out.starts_with("INVALID"), "{out}");
+        assert!(out.contains("adjacent"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_ids() {
+        let g = mis_graphs::generators::path(3);
+        let graph = write_tmp("p3.txt", &io::to_text(&g));
+        let set = write_tmp("s3.txt", "7\n");
+        assert!(execute(&VerifyOpts { graph, set })
+            .unwrap_err()
+            .contains("out of range"));
+    }
+}

@@ -1,0 +1,34 @@
+//! `mis-sim`: the command-line driver for the energy-MIS simulator.
+//!
+//! ```text
+//! mis-sim run   --algorithm cd --family gnp-d8 --n 1000 [--trials 10]
+//!               [--seed S] [--loss P] [--paper-constants] [--json]
+//! mis-sim graph --family udg-d10 --n 500 [--seed S] [--out FILE]
+//! mis-sim verify --graph FILE --set FILE
+//! mis-sim list
+//! ```
+//!
+//! The library half of the crate (this module tree) holds the parser and
+//! command logic so everything is unit-testable; `main.rs` is a thin shell.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{Cli, Command};
+
+/// Executes a parsed command, returning the text to print.
+///
+/// # Errors
+///
+/// Returns a user-facing message on invalid inputs or IO failures.
+pub fn execute(cli: &Cli) -> Result<String, String> {
+    match &cli.command {
+        Command::Run(opts) => commands::run::execute(opts),
+        Command::Graph(opts) => commands::graph::execute(opts),
+        Command::Verify(opts) => commands::verify::execute(opts),
+        Command::List => Ok(commands::list_text()),
+    }
+}

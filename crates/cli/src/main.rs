@@ -1,0 +1,19 @@
+//! Thin binary shell around the `mis-cli` library.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match mis_cli::args::parse(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", mis_cli::args::USAGE);
+            std::process::exit(2);
+        }
+    };
+    match mis_cli::execute(&cli) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

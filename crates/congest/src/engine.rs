@@ -1,0 +1,312 @@
+//! The SLEEPING-CONGEST round engine.
+
+use mis_graphs::{mis, Graph, NodeId};
+use radio_netsim::{split_seed, NodeRng, NodeStatus};
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// What a node does after receiving a round's messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NextWake {
+    /// Stay awake: act again next round.
+    Next,
+    /// Sleep through every round `< r` (must be in the future).
+    At(u64),
+    /// Sleep forever; the node must then report `finished()`.
+    Halt,
+}
+
+/// A node protocol in the SLEEPING-CONGEST model.
+///
+/// Per awake round the engine calls [`CongestProtocol::send`], exchanges
+/// all messages, then calls [`CongestProtocol::receive`] with everything
+/// the node's awake neighbors sent this round.
+pub trait CongestProtocol {
+    /// The message type (conceptually ≤ O(log n) bits).
+    type Msg: Clone;
+
+    /// The message to broadcast this round, if any.
+    fn send(&mut self, round: u64, rng: &mut NodeRng) -> Option<Self::Msg>;
+
+    /// Delivers the messages broadcast this round by awake neighbors and
+    /// returns when the node next wakes.
+    fn receive(&mut self, round: u64, inbox: &[Self::Msg], rng: &mut NodeRng) -> NextWake;
+
+    /// The node's current MIS status.
+    fn status(&self) -> NodeStatus;
+
+    /// Whether the node is permanently done.
+    fn finished(&self) -> bool;
+}
+
+/// Result of one SLEEPING-CONGEST run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CongestReport {
+    /// Final status per node.
+    pub statuses: Vec<NodeStatus>,
+    /// Awake rounds per node (the awake/energy complexity measure).
+    pub awake: Vec<u64>,
+    /// Total rounds until the last node finished.
+    pub rounds: u64,
+    /// Whether all nodes finished before the round cap.
+    pub completed: bool,
+}
+
+impl CongestReport {
+    /// Awake complexity: max awake rounds over nodes.
+    pub fn max_awake(&self) -> u64 {
+        self.awake.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Node-averaged awake complexity (\[13\]'s measure).
+    pub fn avg_awake(&self) -> f64 {
+        if self.awake.is_empty() {
+            0.0
+        } else {
+            self.awake.iter().sum::<u64>() as f64 / self.awake.len() as f64
+        }
+    }
+
+    /// Membership mask of the computed set.
+    pub fn mis_mask(&self) -> Vec<bool> {
+        self.statuses
+            .iter()
+            .map(|&s| s == NodeStatus::InMis)
+            .collect()
+    }
+
+    /// Whether the run completed with a verified MIS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph` has a different node count.
+    pub fn is_correct_mis(&self, graph: &Graph) -> bool {
+        assert_eq!(graph.len(), self.statuses.len(), "graph/run size mismatch");
+        self.completed
+            && self.statuses.iter().all(|s| s.is_decided())
+            && mis::is_mis(graph, &self.mis_mask())
+    }
+}
+
+/// Drives a [`CongestProtocol`] over a graph.
+#[derive(Debug, Clone)]
+pub struct CongestSim<'g> {
+    graph: &'g Graph,
+    seed: u64,
+    max_rounds: u64,
+}
+
+impl<'g> CongestSim<'g> {
+    /// Creates a simulator with the default round cap (10⁷).
+    pub fn new(graph: &'g Graph, seed: u64) -> CongestSim<'g> {
+        CongestSim {
+            graph,
+            seed,
+            max_rounds: 10_000_000,
+        }
+    }
+
+    /// Overrides the round cap.
+    pub fn with_max_rounds(mut self, max_rounds: u64) -> CongestSim<'g> {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Runs the protocol on every node until all finish or the cap hits.
+    pub fn run<P, F>(&self, mut factory: F) -> CongestReport
+    where
+        P: CongestProtocol,
+        F: FnMut(NodeId, &mut NodeRng) -> P,
+    {
+        let n = self.graph.len();
+        let mut rngs: Vec<NodeRng> = (0..n)
+            .map(|v| NodeRng::seed_from_u64(split_seed(self.seed, v as u64)))
+            .collect();
+        let mut nodes: Vec<P> = (0..n).map(|v| factory(v, &mut rngs[v])).collect();
+        let mut awake = vec![0u64; n];
+        let mut queue: BinaryHeap<Reverse<(u64, NodeId)>> = BinaryHeap::new();
+        let mut live = 0usize;
+        #[allow(clippy::needless_range_loop)]
+        for v in 0..n {
+            if !nodes[v].finished() {
+                queue.push(Reverse((0, v)));
+                live += 1;
+            }
+        }
+        let mut sent: Vec<Option<P::Msg>> = (0..n).map(|_| None).collect();
+        let mut sent_stamp = vec![u64::MAX; n];
+        let mut last_round = 0u64;
+        while live > 0 {
+            let Reverse((round, _)) = *queue.peek().expect("live nodes queued");
+            if round >= self.max_rounds {
+                return CongestReport {
+                    statuses: nodes.iter().map(|p| p.status()).collect(),
+                    awake,
+                    rounds: self.max_rounds,
+                    completed: false,
+                };
+            }
+            last_round = round;
+            let mut actives: Vec<NodeId> = Vec::new();
+            while let Some(&Reverse((r, v))) = queue.peek() {
+                if r != round {
+                    break;
+                }
+                queue.pop();
+                actives.push(v);
+            }
+            // Send phase.
+            for &v in &actives {
+                awake[v] += 1;
+                sent[v] = nodes[v].send(round, &mut rngs[v]);
+                sent_stamp[v] = round;
+            }
+            // Receive phase.
+            for &v in &actives {
+                let inbox: Vec<P::Msg> = self
+                    .graph
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&u| sent_stamp[u] == round)
+                    .filter_map(|&u| sent[u].clone())
+                    .collect();
+                let next = nodes[v].receive(round, &inbox, &mut rngs[v]);
+                if nodes[v].finished() {
+                    live -= 1;
+                    continue;
+                }
+                match next {
+                    NextWake::Next => queue.push(Reverse((round + 1, v))),
+                    NextWake::At(r) => {
+                        assert!(r > round, "protocol bug: sleeping to the past");
+                        if r < self.max_rounds {
+                            queue.push(Reverse((r, v)));
+                        } else {
+                            queue.push(Reverse((self.max_rounds, v)));
+                        }
+                    }
+                    NextWake::Halt => {
+                        // Halt without finished(): treated as finished with
+                        // the current status (protocol's responsibility).
+                        live -= 1;
+                    }
+                }
+            }
+        }
+        CongestReport {
+            statuses: nodes.iter().map(|p| p.status()).collect(),
+            awake,
+            rounds: if n == 0 { 0 } else { last_round + 1 },
+            completed: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_graphs::generators;
+
+    /// Broadcasts its id once; counts messages received; finishes.
+    struct Counter {
+        id: u64,
+        got: usize,
+        done: bool,
+    }
+    impl CongestProtocol for Counter {
+        type Msg = u64;
+        fn send(&mut self, _round: u64, _rng: &mut NodeRng) -> Option<u64> {
+            Some(self.id)
+        }
+        fn receive(&mut self, _round: u64, inbox: &[u64], _rng: &mut NodeRng) -> NextWake {
+            self.got = inbox.len();
+            self.done = true;
+            NextWake::Halt
+        }
+        fn status(&self) -> NodeStatus {
+            NodeStatus::OutMis
+        }
+        fn finished(&self) -> bool {
+            self.done
+        }
+    }
+
+    #[test]
+    fn all_messages_delivered_no_collisions() {
+        let g = generators::clique(5);
+        use std::sync::Mutex;
+        let got: Mutex<Vec<usize>> = Mutex::new(vec![0; 5]);
+        struct Obs<'a>(Counter, usize, &'a Mutex<Vec<usize>>);
+        impl CongestProtocol for Obs<'_> {
+            type Msg = u64;
+            fn send(&mut self, round: u64, rng: &mut NodeRng) -> Option<u64> {
+                self.0.send(round, rng)
+            }
+            fn receive(&mut self, round: u64, inbox: &[u64], rng: &mut NodeRng) -> NextWake {
+                let r = self.0.receive(round, inbox, rng);
+                self.2.lock().unwrap()[self.1] = self.0.got;
+                r
+            }
+            fn status(&self) -> NodeStatus {
+                self.0.status()
+            }
+            fn finished(&self) -> bool {
+                self.0.finished()
+            }
+        }
+        let report = CongestSim::new(&g, 1).run(|v, _| {
+            Obs(
+                Counter {
+                    id: v as u64,
+                    got: 0,
+                    done: false,
+                },
+                v,
+                &got,
+            )
+        });
+        assert!(report.completed);
+        assert_eq!(report.rounds, 1);
+        // Every node heard all 4 neighbors simultaneously — the defining
+        // difference from radio.
+        assert_eq!(*got.lock().unwrap(), vec![4; 5]);
+    }
+
+    #[test]
+    fn awake_accounting() {
+        let g = generators::empty(2);
+        let report = CongestSim::new(&g, 1).run(|v, _| Counter {
+            id: v as u64,
+            got: 0,
+            done: false,
+        });
+        assert_eq!(report.max_awake(), 1);
+        assert_eq!(report.avg_awake(), 1.0);
+    }
+
+    #[test]
+    fn round_cap() {
+        struct Forever;
+        impl CongestProtocol for Forever {
+            type Msg = ();
+            fn send(&mut self, _round: u64, _rng: &mut NodeRng) -> Option<()> {
+                None
+            }
+            fn receive(&mut self, _round: u64, _inbox: &[()], _rng: &mut NodeRng) -> NextWake {
+                NextWake::Next
+            }
+            fn status(&self) -> NodeStatus {
+                NodeStatus::Undecided
+            }
+            fn finished(&self) -> bool {
+                false
+            }
+        }
+        let g = generators::empty(1);
+        let report = CongestSim::new(&g, 1).with_max_rounds(10).run(|_, _| Forever);
+        assert!(!report.completed);
+        assert_eq!(report.rounds, 10);
+    }
+}

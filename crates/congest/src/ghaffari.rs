@@ -1,0 +1,186 @@
+//! Ghaffari's MIS algorithm \[22\] in the SLEEPING-CONGEST model — the exact
+//! dynamics that `radio-mis`'s LowDegreeMIS approximates over radio.
+//!
+//! Every node keeps a *desire level* `p(v)`, initially 1/2. Per algorithm
+//! round (three CONGEST rounds here):
+//!
+//! 1. **Desire exchange**: broadcast `p(v)`; compute the effective degree
+//!    `d(v) = Σ_{active u ∈ N(v)} p(u)` exactly (radio can only estimate
+//!    this — compare `radio_mis::low_degree`).
+//! 2. **Mark exchange**: mark with probability `p(v)` and broadcast the
+//!    mark; a marked node with no marked neighbor joins the MIS.
+//! 3. **Announce**: MIS nodes broadcast; hearers leave as `out-MIS`.
+//!
+//! Update: `p ← p/2` if `d(v) ≥ 2`, else `p ← min(2p, 1/2)`.
+
+use crate::engine::{CongestProtocol, NextWake};
+use radio_netsim::{NodeRng, NodeStatus};
+use rand::Rng;
+
+/// Messages exchanged by [`GhaffariCongest`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GhaffariMsg {
+    /// Phase-1 desire level.
+    Desire(f64),
+    /// Phase-2 mark.
+    Marked,
+    /// Phase-3 MIS announcement.
+    Joined,
+}
+
+/// Per-node Ghaffari state machine.
+#[derive(Debug, Clone)]
+pub struct GhaffariCongest {
+    max_rounds_alg: u64,
+    p: f64,
+    p_min: f64,
+    effective_degree: f64,
+    marked: bool,
+    heard_mark: bool,
+    status: NodeStatus,
+    done: bool,
+}
+
+impl GhaffariCongest {
+    /// Creates a Ghaffari node; `n` bounds the network size and `d_max`
+    /// the degree (sets the desire floor to `1/(4·d_max)` and the round
+    /// budget to `8·⌈log₂ n⌉`).
+    pub fn new(n: usize, d_max: usize) -> GhaffariCongest {
+        let log = (n.max(2) as f64).log2().ceil() as u64;
+        GhaffariCongest {
+            max_rounds_alg: 8 * log + 8,
+            p: 0.5,
+            p_min: 1.0 / (4.0 * d_max.max(1) as f64),
+            effective_degree: 0.0,
+            marked: false,
+            heard_mark: false,
+            status: NodeStatus::Undecided,
+            done: false,
+        }
+    }
+
+    /// Current desire level (for cross-validation against the radio
+    /// estimate-driven version).
+    pub fn desire(&self) -> f64 {
+        self.p
+    }
+}
+
+impl CongestProtocol for GhaffariCongest {
+    type Msg = GhaffariMsg;
+
+    fn send(&mut self, round: u64, rng: &mut NodeRng) -> Option<GhaffariMsg> {
+        match round % 3 {
+            0 => Some(GhaffariMsg::Desire(self.p)),
+            1 => {
+                self.marked = rng.gen_bool(self.p);
+                self.heard_mark = false;
+                self.marked.then_some(GhaffariMsg::Marked)
+            }
+            _ => {
+                if self.status == NodeStatus::InMis {
+                    Some(GhaffariMsg::Joined)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn receive(&mut self, round: u64, inbox: &[GhaffariMsg], _rng: &mut NodeRng) -> NextWake {
+        match round % 3 {
+            0 => {
+                self.effective_degree = inbox
+                    .iter()
+                    .map(|m| match m {
+                        GhaffariMsg::Desire(p) => *p,
+                        _ => 0.0,
+                    })
+                    .sum();
+                NextWake::Next
+            }
+            1 => {
+                self.heard_mark = inbox.iter().any(|m| matches!(m, GhaffariMsg::Marked));
+                if self.marked && !self.heard_mark {
+                    self.status = NodeStatus::InMis;
+                }
+                NextWake::Next
+            }
+            _ => {
+                if self.status == NodeStatus::InMis {
+                    self.done = true;
+                    return NextWake::Halt;
+                }
+                if inbox.iter().any(|m| matches!(m, GhaffariMsg::Joined)) {
+                    self.status = NodeStatus::OutMis;
+                    self.done = true;
+                    return NextWake::Halt;
+                }
+                // Desire update for the next algorithm round.
+                if self.effective_degree >= 2.0 {
+                    self.p = (self.p / 2.0).max(self.p_min);
+                } else {
+                    self.p = (self.p * 2.0).min(0.5);
+                }
+                if round / 3 + 1 >= self.max_rounds_alg {
+                    self.done = true;
+                    return NextWake::Halt;
+                }
+                NextWake::Next
+            }
+        }
+    }
+
+    fn status(&self) -> NodeStatus {
+        self.status
+    }
+
+    fn finished(&self) -> bool {
+        self.done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::CongestSim;
+    use mis_graphs::generators;
+
+    #[test]
+    fn solves_standard_graphs() {
+        for g in [
+            generators::empty(8),
+            generators::path(50),
+            generators::star(64),
+            generators::clique(32),
+            generators::gnp(200, 0.05, 4),
+            generators::grid2d(10, 10),
+        ] {
+            let report = CongestSim::new(&g, 5)
+                .run(|_, _| GhaffariCongest::new(g.len().max(4), g.max_degree().max(1)));
+            assert!(report.is_correct_mis(&g), "failed on {g:?}");
+        }
+    }
+
+    #[test]
+    fn clique_single_winner() {
+        let g = generators::clique(20);
+        let report = CongestSim::new(&g, 8).run(|_, _| GhaffariCongest::new(20, 19));
+        assert!(report.is_correct_mis(&g));
+        assert_eq!(report.mis_mask().iter().filter(|&&b| b).count(), 1);
+    }
+
+    #[test]
+    fn awake_complexity_logarithmic() {
+        let g = generators::gnp(1000, 0.01, 6);
+        let report =
+            CongestSim::new(&g, 2).run(|_, _| GhaffariCongest::new(1000, g.max_degree()));
+        assert!(report.is_correct_mis(&g));
+        let log = (1000f64).log2();
+        assert!(
+            (report.max_awake() as f64) < 30.0 * log,
+            "awake {} not O(log n)",
+            report.max_awake()
+        );
+    }
+}

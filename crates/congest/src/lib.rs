@@ -1,0 +1,42 @@
+//! Wired SLEEPING-CONGEST simulator and reference MIS algorithms.
+//!
+//! The SLEEPING-CONGEST model (\[13\], \[20\] in the paper's bibliography) is
+//! the standard CONGEST message-passing model plus the ability to sleep:
+//! in each synchronous round an *awake* node broadcasts at most one
+//! O(log n)-bit message to all neighbors and receives every message sent by
+//! an awake neighbor — no collisions, unlike radio. Only awake rounds count
+//! towards the awake (energy) complexity.
+//!
+//! This crate exists for two reasons:
+//!
+//! 1. **Ground truth**: the radio `LowDegreeMIS` in `radio-mis` simulates
+//!    Ghaffari's algorithm over lossy backoffs; [`ghaffari::GhaffariCongest`]
+//!    is the exact dynamics it approximates, so the two can be
+//!    cross-validated.
+//! 2. **Context baseline** (experiment E13): the paper contrasts radio
+//!    energy complexities with what the wired sleeping model achieves;
+//!    [`luby::LubyCongest`] and [`ghaffari::GhaffariCongest`] provide those
+//!    reference numbers.
+//!
+//! # Example
+//!
+//! ```
+//! use congest_sim::{engine::CongestSim, luby::LubyCongest};
+//! use mis_graphs::generators;
+//!
+//! let g = generators::gnp(100, 0.08, 3);
+//! let report = CongestSim::new(&g, 7).run(|_, _| LubyCongest::new(100));
+//! assert!(report.is_correct_mis(&g));
+//! println!("awake complexity = {}", report.max_awake());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod ghaffari;
+pub mod luby;
+
+pub use engine::{CongestProtocol, CongestReport, CongestSim, NextWake};
+pub use ghaffari::GhaffariCongest;
+pub use luby::LubyCongest;

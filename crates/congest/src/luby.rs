@@ -1,0 +1,150 @@
+//! Luby's classical MIS algorithm \[31\] in the SLEEPING-CONGEST model.
+//!
+//! Each phase takes two rounds among the still-active nodes:
+//!
+//! 1. **Compare**: every active node draws a fresh random rank and
+//!    broadcasts it; a node whose rank strictly exceeds every received rank
+//!    joins the MIS.
+//! 2. **Announce**: new MIS nodes broadcast `Joined`; any active node
+//!    hearing one leaves as `out-MIS` and halts. MIS nodes halt right after
+//!    announcing.
+//!
+//! With no collisions, O(log n) phases suffice w.h.p., and every node is
+//! awake in every phase it is still active — awake complexity O(log n).
+
+use crate::engine::{CongestProtocol, NextWake};
+use radio_netsim::{NodeRng, NodeStatus};
+use rand::Rng;
+
+/// Messages exchanged by [`LubyCongest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LubyMsg {
+    /// A phase-1 rank.
+    Rank(u64),
+    /// A phase-2 MIS announcement.
+    Joined,
+}
+
+/// Per-node Luby state machine.
+#[derive(Debug, Clone)]
+pub struct LubyCongest {
+    max_phases: u64,
+    status: NodeStatus,
+    /// Whether the node won the current phase's comparison.
+    won: bool,
+    my_rank: u64,
+    done: bool,
+}
+
+impl LubyCongest {
+    /// Creates a Luby node; `n` bounds the network size (sets the phase
+    /// budget to `4·⌈log₂ n⌉ + 4`).
+    pub fn new(n: usize) -> LubyCongest {
+        let log = (n.max(2) as f64).log2().ceil() as u64;
+        LubyCongest {
+            max_phases: 4 * log + 4,
+            status: NodeStatus::Undecided,
+            won: false,
+            my_rank: 0,
+            done: false,
+        }
+    }
+}
+
+impl CongestProtocol for LubyCongest {
+    type Msg = LubyMsg;
+
+    fn send(&mut self, round: u64, rng: &mut NodeRng) -> Option<LubyMsg> {
+        if round.is_multiple_of(2) {
+            // Compare round.
+            self.my_rank = rng.gen();
+            Some(LubyMsg::Rank(self.my_rank))
+        } else if self.won {
+            Some(LubyMsg::Joined)
+        } else {
+            None
+        }
+    }
+
+    fn receive(&mut self, round: u64, inbox: &[LubyMsg], _rng: &mut NodeRng) -> NextWake {
+        if round.is_multiple_of(2) {
+            // Rank comparison: strict local maximum wins. (Rank ties lose
+            // for both — they retry next phase; with 64-bit ranks ties are
+            // negligible.)
+            self.won = inbox.iter().all(|m| match m {
+                LubyMsg::Rank(r) => *r < self.my_rank,
+                LubyMsg::Joined => true,
+            });
+            NextWake::Next
+        } else {
+            if self.won {
+                self.status = NodeStatus::InMis;
+                self.done = true;
+                return NextWake::Halt;
+            }
+            if inbox.iter().any(|m| matches!(m, LubyMsg::Joined)) {
+                self.status = NodeStatus::OutMis;
+                self.done = true;
+                return NextWake::Halt;
+            }
+            if round / 2 + 1 >= self.max_phases {
+                // Phase budget exhausted while undecided: failure.
+                self.done = true;
+                return NextWake::Halt;
+            }
+            NextWake::Next
+        }
+    }
+
+    fn status(&self) -> NodeStatus {
+        self.status
+    }
+
+    fn finished(&self) -> bool {
+        self.done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::CongestSim;
+    use mis_graphs::generators;
+
+    #[test]
+    fn solves_standard_graphs() {
+        for g in [
+            generators::empty(10),
+            generators::path(50),
+            generators::star(64),
+            generators::clique(32),
+            generators::gnp(200, 0.05, 4),
+            generators::grid2d(10, 10),
+        ] {
+            let report = CongestSim::new(&g, 5).run(|_, _| LubyCongest::new(g.len().max(4)));
+            assert!(report.is_correct_mis(&g), "failed on {g:?}");
+        }
+    }
+
+    #[test]
+    fn awake_complexity_logarithmic() {
+        let g = generators::gnp(1000, 0.01, 9);
+        let report = CongestSim::new(&g, 2).run(|_, _| LubyCongest::new(1000));
+        assert!(report.is_correct_mis(&g));
+        // 2 rounds per phase, O(log n) phases.
+        let log = (1000f64).log2();
+        assert!(
+            (report.max_awake() as f64) < 6.0 * log,
+            "awake {} not O(log n)",
+            report.max_awake()
+        );
+    }
+
+    #[test]
+    fn isolated_nodes_join_in_one_phase() {
+        let g = generators::empty(5);
+        let report = CongestSim::new(&g, 3).run(|_, _| LubyCongest::new(5));
+        assert!(report.is_correct_mis(&g));
+        assert_eq!(report.max_awake(), 2);
+    }
+}

@@ -1,0 +1,227 @@
+//! Applications built on the MIS primitives: maximal matching and
+//! (Δ+1)-coloring.
+//!
+//! The paper's introduction motivates MIS as *the* building block for
+//! higher-level coordination in ad-hoc networks (communication backbones,
+//! scheduling). This module demonstrates two classical reductions on top of
+//! the radio algorithms:
+//!
+//! - **Maximal matching** = MIS on the line graph L(G). (The paper's
+//!   bibliography \[14\] gives a *native* energy-efficient radio matching
+//!   algorithm; this reduction is the application demo, not a
+//!   reimplementation of \[14\] — the line-graph "nodes" are simulated
+//!   radios, one per link.)
+//! - **(Δ+1)-coloring** by iterated MIS: repeatedly compute an MIS among
+//!   the still-uncolored nodes; iteration `i`'s MIS becomes color class
+//!   `i`. Every uncolored node is dominated each round, so it loses at
+//!   least one uncolored neighbor per iteration and needs at most
+//!   `deg(v) + 1` iterations — at most Δ+1 colors.
+
+use crate::cd::CdMis;
+use crate::params::CdParams;
+use mis_graphs::{Graph, NodeId};
+use radio_netsim::{split_seed, ChannelModel, SimConfig, Simulator};
+
+/// Outcome of a matching/coloring computation, with the energy spent by
+/// the underlying MIS runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppReport<T> {
+    /// The computed object.
+    pub result: T,
+    /// Max awake rounds over all (simulated) nodes, summed across the MIS
+    /// runs the application made.
+    pub energy: u64,
+    /// Total rounds across the MIS runs.
+    pub rounds: u64,
+    /// Number of MIS runs performed.
+    pub mis_runs: u32,
+}
+
+/// Errors from the application layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppError {
+    /// An underlying MIS run failed verification (probability 1/poly(n)).
+    MisFailed {
+        /// Which MIS run failed (0-based).
+        run: u32,
+    },
+}
+
+impl std::fmt::Display for AppError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AppError::MisFailed { run } => write!(f, "underlying MIS run {run} failed"),
+        }
+    }
+}
+
+impl std::error::Error for AppError {}
+
+/// Computes a maximal matching of `g` by running Algorithm 1 (CD model) on
+/// the line graph L(G).
+///
+/// # Errors
+///
+/// Returns [`AppError::MisFailed`] if the MIS run fails verification
+/// (probability 1/poly of the parameter n).
+pub fn maximal_matching(g: &Graph, seed: u64) -> Result<AppReport<Vec<(NodeId, NodeId)>>, AppError> {
+    let (lg, edge_of) = g.line_graph();
+    if lg.is_empty() {
+        return Ok(AppReport {
+            result: Vec::new(),
+            energy: 0,
+            rounds: 0,
+            mis_runs: 0,
+        });
+    }
+    let params = CdParams::for_n((4 * lg.len()).max(64));
+    let report = Simulator::new(&lg, SimConfig::new(ChannelModel::Cd).with_seed(seed))
+        .run(|_, _| CdMis::new(params));
+    if !report.is_correct_mis(&lg) {
+        return Err(AppError::MisFailed { run: 0 });
+    }
+    let matching: Vec<(NodeId, NodeId)> = report
+        .mis_mask()
+        .iter()
+        .enumerate()
+        .filter(|(_, &b)| b)
+        .map(|(i, _)| edge_of[i])
+        .collect();
+    Ok(AppReport {
+        result: matching,
+        energy: report.max_energy(),
+        rounds: report.rounds,
+        mis_runs: 1,
+    })
+}
+
+/// Colors `g` with at most Δ+1 colors by iterated MIS (Algorithm 1, CD
+/// model, one fresh schedule per color class).
+///
+/// # Errors
+///
+/// Returns [`AppError::MisFailed`] if any MIS run fails verification.
+pub fn coloring_via_mis(g: &Graph, seed: u64) -> Result<AppReport<Vec<usize>>, AppError> {
+    let mut colors = vec![usize::MAX; g.len()];
+    let mut energy = 0u64;
+    let mut rounds = 0u64;
+    let mut run = 0u32;
+    let params = CdParams::for_n((4 * g.len()).max(64));
+    while colors.contains(&usize::MAX) {
+        let keep: Vec<bool> = colors.iter().map(|&c| c == usize::MAX).collect();
+        let (sub, back) = g.induced_subgraph(&keep);
+        let report = Simulator::new(
+            &sub,
+            SimConfig::new(ChannelModel::Cd).with_seed(split_seed(seed, run as u64)),
+        )
+        .run(|_, _| CdMis::new(params));
+        if !report.is_correct_mis(&sub) {
+            return Err(AppError::MisFailed { run });
+        }
+        for (i, &in_mis) in report.mis_mask().iter().enumerate() {
+            if in_mis {
+                colors[back[i]] = run as usize;
+            }
+        }
+        energy += report.max_energy();
+        rounds += report.rounds;
+        run += 1;
+        debug_assert!(run as usize <= g.len() + 1, "coloring failed to progress");
+    }
+    Ok(AppReport {
+        result: colors,
+        energy,
+        rounds,
+        mis_runs: run,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_graphs::{generators, mis};
+
+    #[test]
+    fn matching_on_standard_graphs() {
+        for g in [
+            generators::path(20),
+            generators::cycle(15),
+            generators::star(12),
+            generators::gnp(40, 0.15, 3),
+            generators::grid2d(5, 6),
+        ] {
+            let report = maximal_matching(&g, 7).unwrap();
+            assert!(
+                mis::is_maximal_matching(&g, &report.result),
+                "invalid matching on {g:?}"
+            );
+            assert_eq!(report.mis_runs, 1);
+        }
+    }
+
+    #[test]
+    fn matching_on_empty_graph() {
+        let g = generators::empty(5);
+        let report = maximal_matching(&g, 1).unwrap();
+        assert!(report.result.is_empty());
+        assert_eq!(report.energy, 0);
+    }
+
+    #[test]
+    fn matching_on_star_is_single_edge() {
+        let g = generators::star(10);
+        let report = maximal_matching(&g, 2).unwrap();
+        assert_eq!(report.result.len(), 1);
+        assert_eq!(report.result[0].0, 0); // hub is in every edge
+    }
+
+    #[test]
+    fn coloring_on_standard_graphs() {
+        for g in [
+            generators::path(20),
+            generators::cycle(15),
+            generators::clique(10),
+            generators::gnp(48, 0.12, 5),
+            generators::grid2d(5, 6),
+        ] {
+            let report = coloring_via_mis(&g, 11).unwrap();
+            assert!(
+                mis::is_proper_coloring(&g, &report.result),
+                "improper coloring on {g:?}"
+            );
+            let used = report.result.iter().max().unwrap() + 1;
+            assert!(
+                used <= g.max_degree() + 1,
+                "{used} colors > Δ+1 = {}",
+                g.max_degree() + 1
+            );
+        }
+    }
+
+    #[test]
+    fn coloring_clique_uses_exactly_n_colors() {
+        let g = generators::clique(7);
+        let report = coloring_via_mis(&g, 3).unwrap();
+        let mut cs = report.result.clone();
+        cs.sort_unstable();
+        cs.dedup();
+        assert_eq!(cs.len(), 7);
+        assert_eq!(report.mis_runs, 7);
+    }
+
+    #[test]
+    fn coloring_empty_graph_uses_one_color() {
+        let g = generators::empty(6);
+        let report = coloring_via_mis(&g, 1).unwrap();
+        assert!(report.result.iter().all(|&c| c == 0));
+        assert_eq!(report.mis_runs, 1);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            AppError::MisFailed { run: 3 }.to_string(),
+            "underlying MIS run 3 failed"
+        );
+    }
+}

@@ -1,0 +1,517 @@
+//! Energy-efficient backoff procedures (Algorithm 4, Appendix C) and the
+//! traditional Decay backoff they improve on.
+//!
+//! A *k-repeated backoff* consists of `k` iterations of `W = ⌈log₂ Δ⌉`
+//! rounds. Within one iteration:
+//!
+//! - an energy-efficient **sender** ([`SndEBackoff`]) samples a geometric
+//!   round index `x` (capped at `W`) and transmits *only* at round `x`,
+//!   sleeping otherwise — `k` awake rounds total (Lemma 8);
+//! - an energy-efficient **receiver** ([`RecEBackoff`]) listens through the
+//!   first `⌈log₂ Δ_est⌉` rounds of each iteration *until it first hears a
+//!   message*, then sleeps to the end — O(k·log Δ_est) awake rounds worst
+//!   case, O(log Δ_est) expected when a sender neighbor exists;
+//! - the **traditional** Decay sender ([`DecaySender`]) transmits in every
+//!   round `1..g` for geometric `g`, and the traditional receiver
+//!   ([`DecayReceiver`]) listens through all `k·W` rounds — both are the
+//!   energy-hungry baselines the paper's procedures replace.
+//!
+//! Lemma 9: a receiver with ≤ Δ_est sender neighbors learns whether at
+//! least one neighbor is sending with probability ≥ 1 − (7/8)^k.
+//!
+//! # Engine contract
+//!
+//! These are *sub-protocol machines* composed inside a parent
+//! [`radio_netsim::Protocol`]. Each machine owns an absolute round window
+//! `[start, end)`. The parent delegates `act`/`feedback` while
+//! `!is_done(round)`; the machine's sleep actions let the engine skip the
+//! parent entirely during idle stretches.
+
+use crate::params::log2_ceil;
+use radio_netsim::{Action, Feedback, Message, NodeRng};
+use rand::Rng;
+
+/// The backoff window width used throughout: `W = ⌈log₂ Δ⌉ + 1`.
+///
+/// The paper uses `⌈log Δ⌉`, which degenerates for Δ ≤ 2: the capped
+/// geometric then transmits in round 1 with probability 1, so two senders
+/// *always* collide and Lemma 9 fails. One extra round restores the
+/// 1/2-probability first round at every Δ without changing the asymptotics
+/// (documented in DESIGN.md).
+pub fn backoff_window(delta: usize) -> u32 {
+    log2_ceil(delta.max(2)) + 1
+}
+
+/// Samples the capped geometric round index of Algorithm 4 line 4–5:
+/// `min(Geometric(1/2), w)`, in `1..=w`.
+pub fn capped_geometric(rng: &mut NodeRng, w: u32) -> u32 {
+    debug_assert!(w >= 1);
+    let mut x = 1;
+    while x < w && rng.gen_bool(0.5) {
+        x += 1;
+    }
+    x
+}
+
+/// Energy-efficient sender backoff: `Snd-EBackoff(k, Δ)`.
+#[derive(Debug, Clone)]
+pub struct SndEBackoff {
+    start: u64,
+    w: u32,
+    /// Absolute transmit rounds, one per iteration, strictly increasing.
+    schedule: Vec<u64>,
+    end: u64,
+}
+
+impl SndEBackoff {
+    /// Creates a sender backoff occupying rounds `[start, start + k·W)`
+    /// with `W = ⌈log₂ Δ⌉`, presampling one transmit round per iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(start: u64, k: u32, delta: usize, rng: &mut NodeRng) -> SndEBackoff {
+        assert!(k >= 1, "k must be positive (Lemma 8)");
+        let w = backoff_window(delta);
+        let schedule = (0..k)
+            .map(|i| start + i as u64 * w as u64 + (capped_geometric(rng, w) - 1) as u64)
+            .collect();
+        SndEBackoff {
+            start,
+            w,
+            schedule,
+            end: start + k as u64 * w as u64,
+        }
+    }
+
+    /// First round of the window.
+    pub fn start(&self) -> u64 {
+        self.start
+    }
+
+    /// One past the last round of the window.
+    pub fn end(&self) -> u64 {
+        self.end
+    }
+
+    /// Window width W.
+    pub fn window(&self) -> u32 {
+        self.w
+    }
+
+    /// Whether the machine's window is over.
+    pub fn is_done(&self, round: u64) -> bool {
+        round >= self.end
+    }
+
+    /// Action for `round` (must be within the window): transmit at the
+    /// sampled rounds, sleep between them.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if called outside `[start, end)`.
+    pub fn act(&mut self, round: u64) -> Action {
+        debug_assert!(round >= self.start && round < self.end);
+        // The schedule is sorted; drop past entries.
+        while let Some(&next) = self.schedule.first() {
+            if next < round {
+                self.schedule.remove(0);
+            } else if next == round {
+                self.schedule.remove(0);
+                return Action::Transmit(Message::unary());
+            } else {
+                return Action::Sleep { wake_at: next };
+            }
+        }
+        Action::Sleep { wake_at: self.end }
+    }
+}
+
+/// Energy-efficient receiver backoff: `Rec-EBackoff(k, Δ, Δ_est)`.
+#[derive(Debug, Clone)]
+pub struct RecEBackoff {
+    start: u64,
+    w: u32,
+    w_est: u32,
+    end: u64,
+    heard: bool,
+}
+
+impl RecEBackoff {
+    /// Creates a receiver backoff occupying rounds `[start, start + k·W)`,
+    /// listening only through the first `⌈log₂ Δ_est⌉` rounds of each
+    /// iteration (Algorithm 4 line 18).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(start: u64, k: u32, delta: usize, delta_est: usize) -> RecEBackoff {
+        assert!(k >= 1, "k must be positive (Lemma 8)");
+        let w = backoff_window(delta);
+        let w_est = backoff_window(delta_est).min(w);
+        RecEBackoff {
+            start,
+            w,
+            w_est,
+            end: start + k as u64 * w as u64,
+            heard: false,
+        }
+    }
+
+    /// Receiver with `Δ_est = Δ` (the default third argument).
+    pub fn new_full(start: u64, k: u32, delta: usize) -> RecEBackoff {
+        RecEBackoff::new(start, k, delta, delta)
+    }
+
+    /// First round of the window.
+    pub fn start(&self) -> u64 {
+        self.start
+    }
+
+    /// One past the last round of the window.
+    pub fn end(&self) -> u64 {
+        self.end
+    }
+
+    /// Whether the machine's window is over.
+    pub fn is_done(&self, round: u64) -> bool {
+        round >= self.end
+    }
+
+    /// Whether a message has been heard so far (the procedure's return
+    /// value once done).
+    pub fn heard(&self) -> bool {
+        self.heard
+    }
+
+    /// Action for `round`: listen while relevant, sleep once `heard` or
+    /// past the Δ_est prefix of the iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if called outside `[start, end)`.
+    pub fn act(&mut self, round: u64) -> Action {
+        debug_assert!(round >= self.start && round < self.end);
+        if self.heard {
+            return Action::Sleep { wake_at: self.end };
+        }
+        let rel = round - self.start;
+        let j = (rel % self.w as u64) as u32;
+        if j < self.w_est {
+            Action::Listen
+        } else {
+            // Sleep to the start of the next iteration.
+            let next_iter = self.start + (rel / self.w as u64 + 1) * self.w as u64;
+            Action::Sleep {
+                wake_at: next_iter.min(self.end),
+            }
+        }
+    }
+
+    /// Feedback for a round this machine acted in.
+    pub fn feedback(&mut self, _round: u64, fb: Feedback) {
+        if matches!(fb, Feedback::Heard(_) | Feedback::Beep) {
+            self.heard = true;
+        }
+    }
+}
+
+/// Traditional Decay sender: transmits in rounds `1..=g` of each iteration
+/// for geometric `g` (capped at W), i.e. keeps transmitting while fair
+/// coin-flips succeed. Strictly more awake rounds than [`SndEBackoff`].
+#[derive(Debug, Clone)]
+pub struct DecaySender {
+    start: u64,
+    w: u32,
+    k: u32,
+    /// Per-iteration transmit-prefix lengths.
+    prefixes: Vec<u32>,
+    end: u64,
+}
+
+impl DecaySender {
+    /// Creates a traditional Decay sender over `[start, start + k·W)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(start: u64, k: u32, delta: usize, rng: &mut NodeRng) -> DecaySender {
+        assert!(k >= 1);
+        let w = backoff_window(delta);
+        let prefixes = (0..k).map(|_| capped_geometric(rng, w)).collect();
+        DecaySender {
+            start,
+            w,
+            k,
+            prefixes,
+            end: start + k as u64 * w as u64,
+        }
+    }
+
+    /// One past the last round of the window.
+    pub fn end(&self) -> u64 {
+        self.end
+    }
+
+    /// Whether the machine's window is over.
+    pub fn is_done(&self, round: u64) -> bool {
+        round >= self.end
+    }
+
+    /// Action for `round`: transmit through the iteration's prefix, sleep
+    /// after.
+    pub fn act(&mut self, round: u64) -> Action {
+        debug_assert!(round >= self.start && round < self.end);
+        let rel = round - self.start;
+        let iter = (rel / self.w as u64) as u32;
+        let j = (rel % self.w as u64) as u32;
+        debug_assert!(iter < self.k);
+        if j < self.prefixes[iter as usize] {
+            Action::Transmit(Message::unary())
+        } else {
+            let next_iter = self.start + (iter as u64 + 1) * self.w as u64;
+            Action::Sleep {
+                wake_at: next_iter.min(self.end),
+            }
+        }
+    }
+}
+
+/// Traditional Decay receiver: listens through every round of the window —
+/// the full `k·W` energy cost the paper's receiver avoids.
+#[derive(Debug, Clone)]
+pub struct DecayReceiver {
+    start: u64,
+    end: u64,
+    heard: bool,
+}
+
+impl DecayReceiver {
+    /// Creates a traditional receiver over `[start, start + k·W)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(start: u64, k: u32, delta: usize) -> DecayReceiver {
+        assert!(k >= 1);
+        let w = backoff_window(delta);
+        DecayReceiver {
+            start,
+            end: start + k as u64 * w as u64,
+            heard: false,
+        }
+    }
+
+    /// One past the last round of the window.
+    pub fn end(&self) -> u64 {
+        self.end
+    }
+
+    /// Whether the machine's window is over.
+    pub fn is_done(&self, round: u64) -> bool {
+        round >= self.end
+    }
+
+    /// Whether a message has been heard so far.
+    pub fn heard(&self) -> bool {
+        self.heard
+    }
+
+    /// Always listens within the window.
+    pub fn act(&mut self, round: u64) -> Action {
+        debug_assert!(round >= self.start && round < self.end);
+        Action::Listen
+    }
+
+    /// Feedback for a round this machine acted in.
+    pub fn feedback(&mut self, _round: u64, fb: Feedback) {
+        if matches!(fb, Feedback::Heard(_) | Feedback::Beep) {
+            self.heard = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> NodeRng {
+        NodeRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn capped_geometric_in_range() {
+        let mut r = rng(1);
+        for w in [1u32, 2, 5, 16] {
+            for _ in 0..200 {
+                let x = capped_geometric(&mut r, w);
+                assert!((1..=w).contains(&x), "x={x} w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn capped_geometric_distribution() {
+        // P(x = 1) = 1/2; P(x = w) = 2^-(w-1).
+        let mut r = rng(2);
+        let n = 20_000;
+        let w = 8;
+        let mut ones = 0;
+        for _ in 0..n {
+            if capped_geometric(&mut r, w) == 1 {
+                ones += 1;
+            }
+        }
+        let frac = ones as f64 / n as f64;
+        assert!((0.47..0.53).contains(&frac), "frac {frac}");
+    }
+
+    /// Drives a sender machine through its window, collecting per-round
+    /// actions, and checks Lemma 8's exact awake count.
+    #[test]
+    fn snd_transmits_exactly_k_times() {
+        let mut r = rng(3);
+        for (k, delta) in [(1u32, 2usize), (5, 16), (12, 100), (3, 1)] {
+            let mut snd = SndEBackoff::new(10, k, delta, &mut r);
+            let w = backoff_window(delta);
+            assert_eq!(snd.end(), 10 + (k * w) as u64);
+            let mut transmits = 0;
+            let mut round = 10;
+            while !snd.is_done(round) {
+                match snd.act(round) {
+                    Action::Transmit(_) => {
+                        transmits += 1;
+                        round += 1;
+                    }
+                    Action::Sleep { wake_at } => {
+                        assert!(wake_at > round);
+                        round = wake_at;
+                    }
+                    Action::Listen => panic!("sender never listens"),
+                }
+            }
+            assert_eq!(transmits, k, "k={k} delta={delta}");
+            assert_eq!(round, snd.end());
+        }
+    }
+
+    #[test]
+    fn snd_transmits_once_per_iteration() {
+        let mut r = rng(4);
+        let k = 50u32;
+        let delta = 64usize;
+        let w = backoff_window(delta) as u64;
+        let mut snd = SndEBackoff::new(0, k, delta, &mut r);
+        let mut per_iter = vec![0u32; k as usize];
+        let mut round = 0u64;
+        while !snd.is_done(round) {
+            match snd.act(round) {
+                Action::Transmit(_) => {
+                    per_iter[(round / w) as usize] += 1;
+                    round += 1;
+                }
+                Action::Sleep { wake_at } => round = wake_at,
+                Action::Listen => unreachable!(),
+            }
+        }
+        assert!(per_iter.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn rec_listens_prefix_until_heard() {
+        // Δ = 256 (W = 9), Δ_est = 4 (listen first 3 rounds of each iter).
+        let mut rec = RecEBackoff::new(0, 3, 256, 4);
+        assert_eq!(rec.end(), 27);
+        // Iteration 0: listens rounds 0..3; sleeps to 9.
+        for r in 0..3 {
+            assert_eq!(rec.act(r), Action::Listen);
+            rec.feedback(r, Feedback::Silence);
+        }
+        assert_eq!(rec.act(3), Action::Sleep { wake_at: 9 });
+        // Iteration 1: hears at round 9 → sleeps to end.
+        assert_eq!(rec.act(9), Action::Listen);
+        rec.feedback(9, Feedback::Heard(Message::unary()));
+        assert!(rec.heard());
+        assert_eq!(rec.act(10), Action::Sleep { wake_at: 27 });
+        assert!(rec.is_done(27));
+    }
+
+    #[test]
+    fn rec_awake_bound_lemma8() {
+        // Worst case (never hears): awake exactly k·⌈log Δ_est⌉ rounds.
+        let k = 7u32;
+        let delta = 1 << 10;
+        let d_est = 16;
+        let mut rec = RecEBackoff::new(0, k, delta, d_est);
+        let mut awake = 0;
+        let mut round = 0u64;
+        while !rec.is_done(round) {
+            match rec.act(round) {
+                Action::Listen => {
+                    rec.feedback(round, Feedback::Silence);
+                    awake += 1;
+                    round += 1;
+                }
+                Action::Sleep { wake_at } => round = wake_at,
+                Action::Transmit(_) => panic!("receiver never transmits"),
+            }
+        }
+        assert_eq!(awake, (k * backoff_window(d_est)) as u64);
+        assert!(!rec.heard());
+    }
+
+    #[test]
+    fn rec_est_capped_at_w() {
+        // Δ_est > Δ just clamps to the full window.
+        let rec = RecEBackoff::new(0, 1, 8, 1 << 20);
+        assert_eq!(rec.end(), 4); // W = ⌈log₂ 8⌉ + 1 = 4
+        let full = RecEBackoff::new_full(0, 1, 8);
+        assert_eq!(full.end(), 4);
+    }
+
+    #[test]
+    fn decay_sender_transmits_prefix() {
+        let mut r = rng(5);
+        let mut s = DecaySender::new(0, 4, 64, &mut r);
+        let w = 7u64;
+        let mut round = 0u64;
+        let mut in_iter_transmits: Vec<Vec<u64>> = vec![Vec::new(); 4];
+        while !s.is_done(round) {
+            match s.act(round) {
+                Action::Transmit(_) => {
+                    in_iter_transmits[(round / w) as usize].push(round % w);
+                    round += 1;
+                }
+                Action::Sleep { wake_at } => round = wake_at,
+                Action::Listen => unreachable!(),
+            }
+        }
+        for tx in &in_iter_transmits {
+            // Transmissions form a prefix 0..g of the iteration.
+            assert!(!tx.is_empty());
+            for (i, &j) in tx.iter().enumerate() {
+                assert_eq!(j, i as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn decay_receiver_always_awake() {
+        let mut rec = DecayReceiver::new(5, 3, 16);
+        let mut awake = 0;
+        for round in 5..rec.end() {
+            assert_eq!(rec.act(round), Action::Listen);
+            rec.feedback(round, Feedback::Silence);
+            awake += 1;
+        }
+        assert_eq!(awake, 3 * 5); // k·W with W = ⌈log₂ 16⌉ + 1 = 5
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let mut r = rng(6);
+        let _ = SndEBackoff::new(0, 0, 4, &mut r);
+    }
+}

@@ -1,0 +1,45 @@
+//! Naive Luby in the CD model: Algorithm 1's logic without the early sleep.
+//!
+//! Every non-terminated node stays awake through every round of every Luby
+//! phase, so energy equals round complexity: Θ(log²n). This is the §1.3
+//! baseline that motivates Algorithm 1's O(log n) energy bound.
+
+use crate::cd::{CdMis, EnergyMode};
+use crate::params::CdParams;
+
+/// Constructs a naive-Luby node: identical MIS logic to [`CdMis`], losers
+/// keep listening instead of sleeping.
+pub fn naive_luby_cd(params: CdParams) -> CdMis {
+    CdMis::with_mode(params, EnergyMode::Naive)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_graphs::generators;
+    use radio_netsim::{ChannelModel, SimConfig, Simulator};
+
+    #[test]
+    fn naive_energy_tracks_rounds() {
+        // In the naive version an undecided node is awake every round, so
+        // max energy ≈ the round at which the last node decided.
+        let g = generators::gnp(128, 0.06, 5);
+        let params = CdParams::for_n(128);
+        let report = Simulator::new(&g, SimConfig::new(ChannelModel::Cd).with_seed(9))
+            .run(|_, _| naive_luby_cd(params));
+        assert!(report.is_correct_mis(&g));
+        let max_decided = report
+            .meters
+            .iter()
+            .map(|m| m.decided_at.unwrap())
+            .max()
+            .unwrap();
+        let energy = report.max_energy();
+        // Energy within 1 of the slowest decision round (awake every round
+        // until deciding).
+        assert!(
+            energy >= max_decided && energy <= max_decided + 1,
+            "energy {energy} vs last decision {max_decided}"
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! Baseline algorithms the paper compares against (§1.3).
+//!
+//! - [`luby_cd_naive`]: the "somewhat straightforward implementation of
+//!   Luby for radio networks" in the CD model — O(log²n) energy and rounds
+//!   (no early sleeping);
+//! - [`nocd_naive`]: the straightforward no-CD simulation — each CD round
+//!   is emulated with a full traditional backoff in which every node stays
+//!   awake, giving ≈ O(log⁴n) energy and rounds.
+
+pub mod luby_cd_naive;
+pub mod nocd_naive;
+
+pub use luby_cd_naive::naive_luby_cd;
+pub use nocd_naive::NoCdNaive;

@@ -1,0 +1,285 @@
+//! Naive no-CD MIS: simulate a CD-model algorithm round by round with
+//! traditional backoff (§1.3's "straightforward implementation").
+//!
+//! Each CD round becomes a *block* of `k·W` no-CD rounds (`k = ⌈c·log₂ n⌉`
+//! repetitions of a `W = ⌈log₂ Δ⌉`-round Decay), so that a CD-round
+//! listener detects a transmitting neighbor with probability
+//! `1 − (7/8)^k = 1 − 1/poly(n)`:
+//!
+//! - a CD-round **transmitter** runs a traditional [`DecaySender`] for the
+//!   block;
+//! - a CD-round **listener** runs a traditional [`DecayReceiver`] — awake
+//!   for the entire block;
+//! - a CD-round **sleeper** sleeps through the whole block.
+//!
+//! With the naive Luby inner algorithm this costs Θ(log²n) CD rounds ×
+//! Θ(log n·log Δ) rounds per block ≈ O(log⁴n) energy *and* rounds — the
+//! baseline Theorem 10 improves to O(log²n·loglog n) energy.
+//!
+//! The wrapper is generic over the inner energy mode so the E11 ablation
+//! can also measure the intermediate point (early-sleep inner, naive
+//! simulation: O(log²n·log Δ) energy).
+
+use crate::backoff::{DecayReceiver, DecaySender};
+use crate::cd::{CdMis, EnergyMode};
+use crate::params::{log2f, CdParams};
+use radio_netsim::{Action, Feedback, Message, NodeRng, NodeStatus, Protocol};
+
+/// One in-flight simulated CD round.
+#[derive(Debug, Clone)]
+enum Block {
+    Snd(DecaySender),
+    Rec(DecayReceiver),
+}
+
+/// Parameters of the naive simulation layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NaiveSimParams {
+    /// Network size bound (sets the per-block repetition count).
+    pub n: usize,
+    /// Degree bound Δ (sets the Decay window width).
+    pub delta: usize,
+    /// Repetition multiplier: blocks run ⌈c_sim·log₂ n⌉ Decay iterations.
+    pub c_sim: f64,
+}
+
+impl NaiveSimParams {
+    /// Calibrated experiment preset.
+    pub fn for_n(n: usize, delta: usize) -> NaiveSimParams {
+        NaiveSimParams {
+            n,
+            delta,
+            c_sim: 2.0,
+        }
+    }
+
+    /// Decay iterations per block.
+    pub fn k(&self) -> u32 {
+        (self.c_sim * log2f(self.n)).ceil().max(1.0) as u32
+    }
+
+    /// Decay window width W (shared convention with
+    /// [`crate::backoff::backoff_window`]).
+    pub fn window(&self) -> u32 {
+        crate::backoff::backoff_window(self.delta)
+    }
+
+    /// Rounds per simulated CD round.
+    pub fn block_len(&self) -> u64 {
+        self.k() as u64 * self.window() as u64
+    }
+}
+
+/// The naive no-CD MIS protocol: a CD-model [`CdMis`] executed over
+/// traditional per-round backoff blocks.
+#[derive(Debug, Clone)]
+pub struct NoCdNaive {
+    inner: CdMis,
+    sim: NaiveSimParams,
+    block: Option<Block>,
+    /// Inner (CD) round of the in-flight block.
+    inner_round: u64,
+}
+
+impl NoCdNaive {
+    /// Creates the §1.3 baseline: naive Luby inside, naive simulation
+    /// outside.
+    pub fn new(cd: CdParams, sim: NaiveSimParams) -> NoCdNaive {
+        NoCdNaive::with_inner_mode(cd, sim, EnergyMode::Naive)
+    }
+
+    /// Creates the wrapper with an explicit inner energy mode (for
+    /// ablations).
+    pub fn with_inner_mode(cd: CdParams, sim: NaiveSimParams, mode: EnergyMode) -> NoCdNaive {
+        NoCdNaive {
+            inner: CdMis::with_mode(cd, mode),
+            sim,
+            block: None,
+            inner_round: 0,
+        }
+    }
+
+    /// The simulation-layer parameters.
+    pub fn sim_params(&self) -> &NaiveSimParams {
+        &self.sim
+    }
+
+    /// Total no-CD rounds of the full schedule.
+    pub fn total_rounds(&self) -> u64 {
+        self.inner.params().total_rounds() * self.sim.block_len()
+    }
+
+    /// Delivers the completed block's outcome to the inner machine.
+    fn close_block(&mut self, rng: &mut NodeRng) {
+        if let Some(block) = self.block.take() {
+            let fb = match block {
+                Block::Snd(_) => Feedback::Sent,
+                Block::Rec(r) => {
+                    if r.heard() {
+                        Feedback::Heard(Message::unary())
+                    } else {
+                        Feedback::Silence
+                    }
+                }
+            };
+            self.inner.feedback(self.inner_round, fb, rng);
+        }
+    }
+}
+
+impl Protocol for NoCdNaive {
+    fn act(&mut self, round: u64, rng: &mut NodeRng) -> Action {
+        let block_len = self.sim.block_len();
+        // Close a finished block before consulting the inner machine.
+        let done = match &self.block {
+            Some(Block::Snd(s)) => s.is_done(round),
+            Some(Block::Rec(r)) => r.is_done(round),
+            None => false,
+        };
+        if done {
+            self.close_block(rng);
+            if self.inner.finished() {
+                return Action::halt();
+            }
+        }
+        match &mut self.block {
+            Some(Block::Snd(s)) => s.act(round),
+            Some(Block::Rec(r)) => r.act(round),
+            None => {
+                // Block boundary: ask the inner machine for its CD action.
+                debug_assert_eq!(round % block_len, 0, "block misalignment");
+                let inner_round = round / block_len;
+                self.inner_round = inner_round;
+                match self.inner.act(inner_round, rng) {
+                    Action::Sleep { wake_at } => {
+                        if self.inner.finished() || wake_at == u64::MAX {
+                            Action::halt()
+                        } else {
+                            Action::Sleep {
+                                wake_at: wake_at * block_len,
+                            }
+                        }
+                    }
+                    Action::Transmit(_) => {
+                        let s = DecaySender::new(round, self.sim.k(), self.sim.delta, rng);
+                        self.block = Some(Block::Snd(s));
+                        self.block
+                            .as_mut()
+                            .map(|b| match b {
+                                Block::Snd(s) => s.act(round),
+                                Block::Rec(_) => unreachable!(),
+                            })
+                            .expect("just set")
+                    }
+                    Action::Listen => {
+                        let r = DecayReceiver::new(round, self.sim.k(), self.sim.delta);
+                        self.block = Some(Block::Rec(r));
+                        Action::Listen
+                    }
+                }
+            }
+        }
+    }
+
+    fn feedback(&mut self, round: u64, fb: Feedback, _rng: &mut NodeRng) {
+        match &mut self.block {
+            Some(Block::Rec(r)) => r.feedback(round, fb),
+            Some(Block::Snd(_)) | None => {}
+        }
+    }
+
+    fn status(&self) -> NodeStatus {
+        self.inner.status()
+    }
+
+    fn finished(&self) -> bool {
+        self.inner.finished() && self.block.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_graphs::generators;
+    use radio_netsim::{ChannelModel, SimConfig, Simulator};
+
+    fn run_naive(g: &mis_graphs::Graph, seed: u64) -> radio_netsim::RunReport {
+        // Use a comfortable upper bound for n (the paper only requires an
+        // upper bound): small exact n would make ranks short enough for
+        // occasional ties.
+        let n_bound = (4 * g.len()).max(64);
+        let cd = CdParams::for_n(n_bound);
+        let sim = NaiveSimParams::for_n(n_bound, g.max_degree().max(2));
+        Simulator::new(g, SimConfig::new(ChannelModel::NoCd).with_seed(seed))
+            .run(|_, _| NoCdNaive::new(cd, sim))
+    }
+
+    #[test]
+    fn solves_small_graphs_in_nocd() {
+        for g in [
+            generators::path(20),
+            generators::star(24),
+            generators::gnp(48, 0.1, 3),
+            generators::empty(10),
+        ] {
+            let report = run_naive(&g, 17);
+            assert!(
+                report.is_correct_mis(&g),
+                "failed on {g:?}: {:?}",
+                report.verify_mis(&g)
+            );
+        }
+    }
+
+    #[test]
+    fn block_structure_multiplies_rounds() {
+        let g = generators::empty(1);
+        let cd = CdParams::for_n(16);
+        let sim = NaiveSimParams::for_n(16, 4);
+        let report = Simulator::new(&g, SimConfig::new(ChannelModel::NoCd).with_seed(1))
+            .run(|_, _| NoCdNaive::new(cd, sim));
+        assert!(report.is_correct_mis(&g));
+        // The isolated node wins phase 0: awake for (rank_bits + 1) blocks.
+        let blocks = cd.phase_len();
+        // +1: the node is re-polled one round past its last block to close
+        // it and retire.
+        assert_eq!(report.rounds, blocks * sim.block_len() + 1);
+    }
+
+    #[test]
+    fn naive_energy_far_exceeds_cd_energy() {
+        let g = generators::gnp(64, 0.1, 7);
+        let naive = run_naive(&g, 3);
+        assert!(naive.is_correct_mis(&g));
+        let cd_params = CdParams::for_n(256);
+        let cd = Simulator::new(&g, SimConfig::new(ChannelModel::Cd).with_seed(3))
+            .run(|_, _| CdMis::new(cd_params));
+        assert!(cd.is_correct_mis(&g));
+        assert!(
+            naive.max_energy() > 5 * cd.max_energy(),
+            "naive {} vs cd {}",
+            naive.max_energy(),
+            cd.max_energy()
+        );
+    }
+
+    #[test]
+    fn early_sleep_inner_reduces_energy() {
+        let g = generators::clique(32);
+        let cd = CdParams::for_n(32);
+        let sim = NaiveSimParams::for_n(32, 31);
+        let config = SimConfig::new(ChannelModel::NoCd).with_seed(5);
+        let naive = Simulator::new(&g, config)
+            .run(|_, _| NoCdNaive::with_inner_mode(cd, sim, EnergyMode::Naive));
+        let early = Simulator::new(&g, config)
+            .run(|_, _| NoCdNaive::with_inner_mode(cd, sim, EnergyMode::EarlySleep));
+        assert!(naive.is_correct_mis(&g));
+        assert!(early.is_correct_mis(&g));
+        assert!(
+            early.max_energy() < naive.max_energy(),
+            "early {} !< naive {}",
+            early.max_energy(),
+            naive.max_energy()
+        );
+    }
+}

@@ -1,0 +1,250 @@
+//! A native beeping-model MIS with sender-side collision detection —
+//! the §1.4 related-work setting of Jeavons–Scott–Xu \[28\].
+//!
+//! The paper's radio model forbids sender-side CD (a transmitter learns
+//! nothing); \[28\] shows that *with* it, the beeping model admits an
+//! optimal O(log n)-round MIS. This module implements the feedback-driven
+//! dynamics in that spirit, as a baseline runnable under
+//! [`radio_netsim::ChannelModel::BeepingSenderCd`]:
+//!
+//! - rounds alternate **competition** (even) and **announcement** (odd);
+//! - an active node beeps in a competition round with its current desire
+//!   `p` and listens otherwise;
+//! - sender-side CD makes joining *deterministically safe*: a node joins
+//!   the MIS iff it beeped and heard **no** beep — two adjacent nodes
+//!   beeping together both hear each other and neither joins, so
+//!   independence can never be violated (unlike every radio algorithm in
+//!   this crate, whose failure probability is 1/poly(n));
+//! - desires adapt from the channel feedback alone (the "feedback from
+//!   nature" idea of \[28\]): contention — beeping into a beep, or hearing
+//!   one — halves `p`; silence doubles it (capped at 1/2);
+//! - MIS nodes beep in every announcement round; active nodes that hear
+//!   an announcement leave as dominated.
+//!
+//! Maximality holds as long as the round budget suffices; the budget is a
+//! parameter and the tests enforce the calibrated default.
+
+use crate::params::log2f;
+use radio_netsim::{Action, Feedback, Message, NodeRng, NodeStatus, Protocol};
+use rand::Rng;
+
+/// Parameters for [`NativeBeepingMis`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BeepingParams {
+    /// Network size bound.
+    pub n: usize,
+    /// Round-pair budget multiplier: the schedule runs ⌈c·log₂ n⌉
+    /// competition/announcement pairs.
+    pub c: f64,
+}
+
+impl BeepingParams {
+    /// Calibrated preset (c = 16; validated by the test suite).
+    pub fn for_n(n: usize) -> BeepingParams {
+        BeepingParams { n, c: 16.0 }
+    }
+
+    /// Number of competition/announcement pairs.
+    pub fn pairs(&self) -> u64 {
+        (self.c * log2f(self.n)).ceil().max(1.0) as u64
+    }
+
+    /// Total rounds (2 per pair).
+    pub fn total_rounds(&self) -> u64 {
+        2 * self.pairs()
+    }
+
+    /// Smallest desire exponent (p ≥ 2^-exp); desires never drop below
+    /// ~1/(4n).
+    pub fn max_desire_exp(&self) -> u32 {
+        (log2f(self.n).ceil() as u32) + 2
+    }
+}
+
+/// The per-node state machine. Run under
+/// [`radio_netsim::ChannelModel::BeepingSenderCd`].
+#[derive(Debug, Clone)]
+pub struct NativeBeepingMis {
+    params: BeepingParams,
+    /// Desire p = 2^-desire_exp.
+    desire_exp: u32,
+    /// Whether this node beeped in the current competition round.
+    beeped: bool,
+    status: NodeStatus,
+    finished: bool,
+}
+
+impl NativeBeepingMis {
+    /// Creates a node.
+    pub fn new(params: BeepingParams) -> NativeBeepingMis {
+        NativeBeepingMis {
+            params,
+            desire_exp: 1,
+            beeped: false,
+            status: NodeStatus::Undecided,
+            finished: false,
+        }
+    }
+
+    /// Current desire exponent (diagnostics).
+    pub fn desire_exp(&self) -> u32 {
+        self.desire_exp
+    }
+
+    fn bump_down(&mut self) {
+        self.desire_exp = (self.desire_exp + 1).min(self.params.max_desire_exp());
+    }
+
+    fn bump_up(&mut self) {
+        self.desire_exp = self.desire_exp.saturating_sub(1).max(1);
+    }
+}
+
+impl Protocol for NativeBeepingMis {
+    fn act(&mut self, round: u64, rng: &mut NodeRng) -> Action {
+        if round >= self.params.total_rounds() {
+            self.finished = true;
+            return Action::halt();
+        }
+        if round.is_multiple_of(2) {
+            // Competition round.
+            match self.status {
+                NodeStatus::InMis => Action::Sleep { wake_at: round + 1 },
+                NodeStatus::OutMis => unreachable!("dominated nodes terminate"),
+                NodeStatus::Undecided => {
+                    let p = 0.5f64.powi(self.desire_exp as i32);
+                    self.beeped = rng.gen_bool(p);
+                    if self.beeped {
+                        Action::Transmit(Message::unary())
+                    } else {
+                        Action::Listen
+                    }
+                }
+            }
+        } else {
+            // Announcement round.
+            match self.status {
+                NodeStatus::InMis => Action::Transmit(Message::unary()),
+                NodeStatus::OutMis => unreachable!("dominated nodes terminate"),
+                NodeStatus::Undecided => Action::Listen,
+            }
+        }
+    }
+
+    fn feedback(&mut self, round: u64, fb: Feedback, _rng: &mut NodeRng) {
+        if round.is_multiple_of(2) {
+            if self.status != NodeStatus::Undecided {
+                return;
+            }
+            match (self.beeped, fb) {
+                // Beeped alone: join. Sender-side CD guarantees no beeping
+                // neighbor, so this is always independent.
+                (true, Feedback::Sent) => self.status = NodeStatus::InMis,
+                // Beeped into a beep: contention; back off.
+                (true, Feedback::Beep) => self.bump_down(),
+                // Listened and heard competition: back off.
+                (false, Feedback::Beep) => self.bump_down(),
+                // Quiet neighborhood: push forward.
+                (false, Feedback::Silence) => self.bump_up(),
+                _ => {}
+            }
+        } else if self.status == NodeStatus::Undecided && fb.heard_activity() {
+            // An MIS neighbor announced: dominated.
+            self.status = NodeStatus::OutMis;
+            self.finished = true;
+        }
+    }
+
+    fn status(&self) -> NodeStatus {
+        self.status
+    }
+
+    fn finished(&self) -> bool {
+        self.finished
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_graphs::generators;
+    use radio_netsim::{ChannelModel, SimConfig, Simulator};
+
+    fn run_native(g: &mis_graphs::Graph, seed: u64) -> radio_netsim::RunReport {
+        let params = BeepingParams::for_n((4 * g.len()).max(64));
+        Simulator::new(g, SimConfig::new(ChannelModel::BeepingSenderCd).with_seed(seed))
+            .run(|_, _| NativeBeepingMis::new(params))
+    }
+
+    #[test]
+    fn solves_standard_graphs() {
+        for g in [
+            generators::empty(12),
+            generators::path(40),
+            generators::star(48),
+            generators::clique(24),
+            generators::gnp(96, 0.1, 4),
+            generators::grid2d(8, 8),
+            generators::lower_bound_family(40),
+        ] {
+            let report = run_native(&g, 9);
+            assert!(
+                report.is_correct_mis(&g),
+                "failed on {g:?}: {:?}",
+                report.verify_mis(&g)
+            );
+        }
+    }
+
+    #[test]
+    fn independence_never_violated_even_when_truncated() {
+        // Unlike the radio algorithms, independence is structural here:
+        // even with an absurdly short budget the joined set is independent
+        // (maximality is what needs the budget).
+        let g = generators::gnp(64, 0.2, 7);
+        for seed in 0..10 {
+            let params = BeepingParams { n: 256, c: 0.5 };
+            let report = Simulator::new(
+                &g,
+                SimConfig::new(ChannelModel::BeepingSenderCd).with_seed(seed),
+            )
+            .run(|_, _| NativeBeepingMis::new(params));
+            assert!(
+                mis_graphs::mis::is_independent(&g, &report.mis_mask()),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn rounds_are_logarithmic_scale() {
+        let g = generators::gnp(256, 0.05, 3);
+        let report = run_native(&g, 5);
+        assert!(report.is_correct_mis(&g));
+        let params = BeepingParams::for_n(1024);
+        assert!(report.rounds <= params.total_rounds() + 1);
+        // Energy ≈ rounds until decision (no sleeping in the beeping model
+        // aside from MIS nodes skipping competition rounds).
+        assert!(report.max_energy() <= report.rounds);
+    }
+
+    #[test]
+    fn requires_sender_side_cd() {
+        // Under plain beeping (no sender CD), a beeping node always sees
+        // `Sent` and immediately "joins" — adjacent pairs collide. The
+        // machine is only sound under BeepingSenderCd; verify the failure
+        // is detected under the weaker model.
+        let g = generators::clique(16);
+        let params = BeepingParams::for_n(64);
+        let mut violations = 0;
+        for seed in 0..5 {
+            let report =
+                Simulator::new(&g, SimConfig::new(ChannelModel::Beeping).with_seed(seed))
+                    .run(|_, _| NativeBeepingMis::new(params));
+            if !mis_graphs::mis::is_independent(&g, &report.mis_mask()) {
+                violations += 1;
+            }
+        }
+        assert!(violations > 0, "expected independence violations without sender CD");
+    }
+}

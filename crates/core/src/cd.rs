@@ -1,0 +1,305 @@
+//! Algorithm 1: the energy-optimal MIS algorithm for the CD model (§3).
+//!
+//! The algorithm runs `C·log n` *Luby phases* of `β·log n + 1` rounds each.
+//! A phase is a bit-by-bit **competition** followed by a one-round
+//! **check**:
+//!
+//! - each undecided node draws a fresh `β·log n`-bit random *rank* and walks
+//!   it bit by bit: on a 1-bit it transmits, on a 0-bit it listens; hearing
+//!   a 1 or a collision means some competitor with a higher prefix is still
+//!   alive, so the node *loses* — it sleeps for the rest of the phase
+//!   (this early sleep is the entire energy trick);
+//! - a node that survives all bits **wins**: it transmits once more in the
+//!   check round (announcing itself), sets `in-MIS`, and terminates;
+//! - a loser listens in the check round; hearing a 1 or a collision means an
+//!   MIS neighbor exists, so it sets `out-MIS` and terminates, otherwise it
+//!   continues to the next phase.
+//!
+//! Theorem 2: with probability ≥ 1 − 1/n the output is an MIS, energy is
+//! O(log n) and rounds are O(log²n).
+//!
+//! Setting [`EnergyMode::Naive`] disables the early sleep, yielding the
+//! "straightforward Luby" baseline of §1.3 with Θ(log²n) energy.
+
+use crate::params::CdParams;
+use radio_netsim::{Action, Feedback, Message, NodeRng, NodeStatus, Protocol};
+use rand::Rng;
+
+/// Whether losers sleep out the rest of the phase (the paper's algorithm)
+/// or stay awake listening (the naive Luby baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnergyMode {
+    /// Algorithm 1: a node that loses the competition sleeps until the
+    /// check round.
+    EarlySleep,
+    /// Naive baseline: every non-terminated node stays awake through every
+    /// round of every phase.
+    Naive,
+}
+
+/// Per-node state machine for Algorithm 1.
+///
+/// Works unchanged in the beeping model (§3.1): the algorithm only ever
+/// tests "heard a 1 or a collision", which [`Feedback::heard_activity`]
+/// maps to "heard a beep" there.
+#[derive(Debug, Clone)]
+pub struct CdMis {
+    params: CdParams,
+    mode: EnergyMode,
+    status: NodeStatus,
+    finished: bool,
+    /// Phase whose per-phase state (`lost`) is current.
+    phase_of_state: u64,
+    lost: bool,
+    /// Whether the node is a winner awaiting its check-round `Sent`.
+    winning: bool,
+}
+
+impl CdMis {
+    /// Creates a node running Algorithm 1 with the given parameters.
+    pub fn new(params: CdParams) -> CdMis {
+        CdMis::with_mode(params, EnergyMode::EarlySleep)
+    }
+
+    /// Creates a node with an explicit [`EnergyMode`].
+    pub fn with_mode(params: CdParams, mode: EnergyMode) -> CdMis {
+        CdMis {
+            params,
+            mode,
+            status: NodeStatus::Undecided,
+            finished: false,
+            phase_of_state: 0,
+            lost: false,
+            winning: false,
+        }
+    }
+
+    /// The parameters this node runs with.
+    pub fn params(&self) -> &CdParams {
+        &self.params
+    }
+
+    /// The Luby phase a round belongs to.
+    fn phase_of(&self, round: u64) -> u64 {
+        round / self.params.phase_len()
+    }
+
+    /// Round offset within its phase.
+    fn rel_of(&self, round: u64) -> u64 {
+        round % self.params.phase_len()
+    }
+
+    fn enter_phase(&mut self, phase: u64) {
+        if phase != self.phase_of_state {
+            self.phase_of_state = phase;
+            self.lost = false;
+            self.winning = false;
+        }
+    }
+}
+
+impl Protocol for CdMis {
+    fn act(&mut self, round: u64, rng: &mut NodeRng) -> Action {
+        if round >= self.params.total_rounds() {
+            // All phases exhausted while undecided: the algorithm failed for
+            // this node; it retires undecided (counted as a run failure).
+            self.finished = true;
+            return Action::halt();
+        }
+        let rel = self.rel_of(round);
+        self.enter_phase(self.phase_of(round));
+        let bits = self.params.rank_bits() as u64;
+        if rel < bits {
+            if self.lost {
+                return match self.mode {
+                    // Algorithm 1 line 10: sleep for the rest of the phase.
+                    EnergyMode::EarlySleep => Action::Sleep {
+                        wake_at: check_round_of_phase(&self.params, self.phase_of(round)),
+                    },
+                    // Naive Luby: stay awake listening.
+                    EnergyMode::Naive => Action::Listen,
+                };
+            }
+            // Sample this phase's next rank bit lazily; the bits are i.i.d.
+            // uniform so this is identical to drawing the rank up front
+            // (Algorithm 1 line 3).
+            if rng.gen_bool(0.5) {
+                Action::Transmit(Message::unary())
+            } else {
+                Action::Listen
+            }
+        } else {
+            // Check round.
+            if self.lost {
+                Action::Listen
+            } else {
+                self.winning = true;
+                Action::Transmit(Message::unary())
+            }
+        }
+    }
+
+    fn feedback(&mut self, round: u64, fb: Feedback, _rng: &mut NodeRng) {
+        let rel = self.rel_of(round);
+        let bits = self.params.rank_bits() as u64;
+        if rel < bits {
+            if !self.lost && fb.heard_activity() {
+                self.lost = true;
+            }
+        } else if self.winning {
+            // The check-round transmission went out: the node is in the MIS.
+            debug_assert_eq!(fb, Feedback::Sent);
+            self.status = NodeStatus::InMis;
+            self.finished = true;
+        } else if fb.heard_activity() {
+            // A neighbor won this phase.
+            self.status = NodeStatus::OutMis;
+            self.finished = true;
+        }
+    }
+
+    fn status(&self) -> NodeStatus {
+        self.status
+    }
+
+    fn finished(&self) -> bool {
+        self.finished
+    }
+}
+
+/// How the next round of a [`CdMis`] node will be scheduled: used by the
+/// engine implicitly via sleep actions. Losers in [`EnergyMode::EarlySleep`]
+/// sleep to the check round; this helper computes that round for tests.
+pub fn check_round_of_phase(params: &CdParams, phase: u64) -> u64 {
+    phase * params.phase_len() + params.rank_bits() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_graphs::generators;
+    use radio_netsim::{ChannelModel, SimConfig, Simulator};
+
+    fn run_cd(
+        g: &mis_graphs::Graph,
+        params: CdParams,
+        seed: u64,
+        mode: EnergyMode,
+    ) -> radio_netsim::RunReport {
+        Simulator::new(g, SimConfig::new(ChannelModel::Cd).with_seed(seed))
+            .run(|_, _| CdMis::with_mode(params, mode))
+    }
+
+    #[test]
+    fn solves_small_graphs() {
+        let params = CdParams::for_n(64);
+        for g in [
+            generators::path(30),
+            generators::star(40),
+            generators::clique(25),
+            generators::cycle(33),
+            generators::gnp(64, 0.1, 5),
+            generators::empty(20),
+            generators::lower_bound_family(48),
+        ] {
+            let report = run_cd(&g, params, 11, EnergyMode::EarlySleep);
+            assert!(
+                report.is_correct_mis(&g),
+                "failed on {g:?}: {:?}",
+                report.verify_mis(&g)
+            );
+        }
+    }
+
+    #[test]
+    fn isolated_node_wins_first_phase() {
+        let g = generators::empty(1);
+        let params = CdParams::for_n(16);
+        let report = run_cd(&g, params, 3, EnergyMode::EarlySleep);
+        assert!(report.is_correct_mis(&g));
+        // Decided in phase 0: within the first phase_len rounds.
+        assert!(report.meters[0].decided_at.unwrap() < params.phase_len());
+        // Energy: awake through all rank bits + 1 check round.
+        assert_eq!(report.meters[0].energy(), params.phase_len());
+    }
+
+    #[test]
+    fn energy_early_sleep_beats_naive_on_clique() {
+        // On a clique the phase-0 winner is awake the whole phase in both
+        // modes, so compare the *node-averaged* energy, where losers'
+        // early sleep shows up.
+        let g = generators::clique(60);
+        let params = CdParams::for_n(60);
+        let mut early_total = 0.0;
+        let mut naive_total = 0.0;
+        for seed in 0..5 {
+            early_total += run_cd(&g, params, seed, EnergyMode::EarlySleep).avg_energy();
+            naive_total += run_cd(&g, params, seed, EnergyMode::Naive).avg_energy();
+        }
+        assert!(
+            early_total < naive_total,
+            "early {early_total} !< naive {naive_total}"
+        );
+    }
+
+    #[test]
+    fn naive_mode_also_solves() {
+        let g = generators::gnp(50, 0.15, 2);
+        let params = CdParams::for_n(50);
+        let report = run_cd(&g, params, 7, EnergyMode::Naive);
+        assert!(report.is_correct_mis(&g));
+    }
+
+    #[test]
+    fn works_in_beeping_model() {
+        let g = generators::gnp(60, 0.1, 9);
+        let params = CdParams::for_n(60);
+        let report = Simulator::new(&g, SimConfig::new(ChannelModel::Beeping).with_seed(4))
+            .run(|_, _| CdMis::new(params));
+        assert!(report.is_correct_mis(&g));
+    }
+
+    #[test]
+    fn rounds_within_schedule() {
+        let g = generators::gnp(80, 0.08, 1);
+        let params = CdParams::for_n(80);
+        let report = run_cd(&g, params, 13, EnergyMode::EarlySleep);
+        assert!(report.rounds <= params.total_rounds());
+    }
+
+    #[test]
+    fn energy_scales_logarithmically() {
+        // Energy at n=4096 should be well under the naive Θ(log²n): compare
+        // against the full schedule length.
+        let g = generators::gnp(512, 0.02, 3);
+        let params = CdParams::for_n(512);
+        let report = run_cd(&g, params, 21, EnergyMode::EarlySleep);
+        assert!(report.is_correct_mis(&g));
+        let energy = report.max_energy();
+        // O(log n) regime: generous constant · log₂n; schedule is ~40·log²n.
+        let log_n = (512f64).log2();
+        assert!(
+            (energy as f64) < 20.0 * log_n,
+            "energy {energy} not O(log n)"
+        );
+    }
+
+    #[test]
+    fn check_round_helper() {
+        let params = CdParams::for_n(64);
+        assert_eq!(check_round_of_phase(&params, 0), params.rank_bits() as u64);
+        assert_eq!(
+            check_round_of_phase(&params, 2),
+            2 * params.phase_len() + params.rank_bits() as u64
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = generators::gnp(40, 0.1, 6);
+        let params = CdParams::for_n(40);
+        let a = run_cd(&g, params, 5, EnergyMode::EarlySleep);
+        let b = run_cd(&g, params, 5, EnergyMode::EarlySleep);
+        assert_eq!(a, b);
+    }
+}

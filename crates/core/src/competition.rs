@@ -1,0 +1,406 @@
+//! Algorithm 3: the no-CD competition, with the commit/energy-budget
+//! mechanism of §5.1.1.
+//!
+//! The competition walks a fresh `β·log n`-bit rank bit by bit, like
+//! Algorithm 1's, but each bit becomes a `C′·log n`-repeated backoff block
+//! so it survives the lack of collision detection:
+//!
+//! - on a 1-bit the node runs [`SndEBackoff`] (one transmission per
+//!   iteration — cheap);
+//! - on a 0-bit it runs [`RecEBackoff`] and reacts to the outcome:
+//!   - hearing a competitor at the node's *first* 0-bit → **lose** (sleep
+//!     out the rest of the competition);
+//!   - hearing nothing at the first 0-bit → **commit**: the node has just
+//!     paid a full Θ(log n·log Δ) listen and cannot afford another, so it
+//!     (a) reduces its degree estimate to κ·log n — justified by
+//!     Corollary 13 — shortening all later listens to Θ(log n·loglog n),
+//!     and (b) promises to decide within this Luby phase;
+//!   - a committed node that hears later stays committed (it will run
+//!     LowDegreeMIS); one that never hears **wins**.
+//! - nodes whose rank bits are all 1 never listen and win outright.
+//!
+//! Lemmas 11–15 are validated against this machine by experiment E8/E9 and
+//! the unit tests below.
+
+use crate::backoff::{RecEBackoff, SndEBackoff};
+use crate::params::NoCdParams;
+use radio_netsim::{Action, Feedback, NodeRng};
+use rand::Rng;
+
+/// Final status of a node after one competition (Algorithm 3's `status`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompetitionOutcome {
+    /// Heard nothing through every bitty phase: attempt to join the MIS via
+    /// the deep check (Algorithm 2 line 8).
+    Win {
+        /// Whether the node had committed along the way (it is then in both
+        /// W_i and C_i).
+        committed: bool,
+    },
+    /// Committed at its first 0-bit, then heard a competitor: decide within
+    /// this phase via LowDegreeMIS (Algorithm 2 line 17).
+    Commit,
+    /// Heard a competitor at its first 0-bit: sleep out the phase and do
+    /// only the shallow check.
+    Lose,
+}
+
+#[derive(Debug, Clone)]
+enum Sub {
+    Snd(SndEBackoff),
+    Rec(RecEBackoff),
+}
+
+/// The per-node competition state machine, occupying the fixed window
+/// `[start, start + T_C)`.
+#[derive(Debug, Clone)]
+pub struct Competition {
+    start: u64,
+    end: u64,
+    block: u64,
+    bits: u32,
+    k: u32,
+    delta: usize,
+    committed_degree: usize,
+    /// Cumulative `heard` flag (Algorithm 3 line 8).
+    heard: bool,
+    committed: bool,
+    lost: bool,
+    /// Bitty phase (0-based) at which the node committed, for the Lemma 11
+    /// audit.
+    committed_at_bit: Option<u32>,
+    sub: Option<Sub>,
+}
+
+impl Competition {
+    /// Creates a competition starting at absolute round `start`.
+    pub fn new(start: u64, params: &NoCdParams) -> Competition {
+        let k = params.k_deep();
+        let block = params.t_backoff(k);
+        let bits = params.rank_bits();
+        Competition {
+            start,
+            end: start + bits as u64 * block,
+            block,
+            bits,
+            k,
+            delta: params.delta.max(1),
+            committed_degree: params.committed_degree(),
+            heard: false,
+            committed: false,
+            lost: false,
+            committed_at_bit: None,
+            sub: None,
+        }
+    }
+
+    /// First round of the window.
+    pub fn start(&self) -> u64 {
+        self.start
+    }
+
+    /// One past the last round of the window (= `start + T_C`).
+    pub fn end(&self) -> u64 {
+        self.end
+    }
+
+    /// Whether the window is over.
+    pub fn is_done(&self, round: u64) -> bool {
+        round >= self.end
+    }
+
+    /// The competition's result; meaningful once [`Competition::is_done`].
+    pub fn outcome(&self) -> CompetitionOutcome {
+        if self.lost {
+            CompetitionOutcome::Lose
+        } else if self.heard {
+            debug_assert!(self.committed, "heard without losing implies committed");
+            CompetitionOutcome::Commit
+        } else {
+            CompetitionOutcome::Win {
+                committed: self.committed,
+            }
+        }
+    }
+
+    /// Bitty phase at which the node committed, if it did (Lemma 11 audit).
+    pub fn committed_at_bit(&self) -> Option<u32> {
+        self.committed_at_bit
+    }
+
+    /// Closes the completed backoff block, applying Algorithm 3 lines 8–13.
+    fn close_sub(&mut self) {
+        if let Some(Sub::Rec(rec)) = self.sub.take() {
+            if rec.heard() {
+                self.heard = true;
+                if !self.committed {
+                    self.lost = true;
+                }
+            } else if !self.heard {
+                // First silent 0-bit: commit and shrink the degree estimate
+                // (Algorithm 3 lines 11–13).
+                if !self.committed {
+                    self.committed = true;
+                    let bit = ((rec.start() - self.start) / self.block) as u32;
+                    self.committed_at_bit = Some(bit);
+                }
+            }
+        } else {
+            self.sub = None;
+        }
+    }
+
+    /// Action for `round` (must be within the window).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if called outside `[start, end)`.
+    pub fn act(&mut self, round: u64, rng: &mut NodeRng) -> Action {
+        debug_assert!(round >= self.start && round < self.end);
+        // Close a finished block.
+        let sub_done = match &self.sub {
+            Some(Sub::Snd(s)) => s.is_done(round),
+            Some(Sub::Rec(r)) => r.is_done(round),
+            None => false,
+        };
+        if sub_done {
+            self.close_sub();
+        }
+        if self.lost {
+            // Algorithm 3 line 5: sleep through the remaining bitty phases.
+            return Action::Sleep { wake_at: self.end };
+        }
+        match &mut self.sub {
+            Some(Sub::Snd(s)) => s.act(round),
+            Some(Sub::Rec(r)) => r.act(round),
+            None => {
+                debug_assert_eq!((round - self.start) % self.block, 0, "block misalignment");
+                let bit_idx = ((round - self.start) / self.block) as u32;
+                debug_assert!(bit_idx < self.bits);
+                // Sample this rank bit lazily (i.i.d. uniform bits).
+                if rng.gen_bool(0.5) {
+                    let s = SndEBackoff::new(round, self.k, self.delta, rng);
+                    self.sub = Some(Sub::Snd(s));
+                    match self.sub.as_mut().expect("just set") {
+                        Sub::Snd(s) => s.act(round),
+                        Sub::Rec(_) => unreachable!(),
+                    }
+                } else {
+                    let d_est = if self.committed {
+                        self.committed_degree
+                    } else {
+                        self.delta
+                    };
+                    let r = RecEBackoff::new(round, self.k, self.delta, d_est);
+                    self.sub = Some(Sub::Rec(r));
+                    match self.sub.as_mut().expect("just set") {
+                        Sub::Rec(r) => r.act(round),
+                        Sub::Snd(_) => unreachable!(),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Feedback for a round this machine acted in.
+    pub fn feedback(&mut self, round: u64, fb: Feedback) {
+        if let Some(Sub::Rec(r)) = &mut self.sub {
+            r.feedback(round, fb);
+        }
+    }
+
+    /// Finalizes the machine at the end of the window (delivers the last
+    /// block's outcome). Call once `is_done` before reading
+    /// [`Competition::outcome`].
+    pub fn finalize(&mut self, round: u64) {
+        debug_assert!(self.is_done(round));
+        let sub_done = match &self.sub {
+            Some(Sub::Snd(s)) => s.is_done(round),
+            Some(Sub::Rec(r)) => r.is_done(round),
+            None => true,
+        };
+        debug_assert!(sub_done, "finalize before last block completed");
+        self.close_sub();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn params() -> NoCdParams {
+        NoCdParams::for_n(64, 16)
+    }
+
+    fn rng(seed: u64) -> NodeRng {
+        NodeRng::seed_from_u64(seed)
+    }
+
+    /// Drives one competition machine alone (no neighbors): it must win.
+    #[test]
+    fn isolated_node_wins() {
+        let p = params();
+        let mut c = Competition::new(0, &p);
+        let mut r = rng(1);
+        let mut round = 0u64;
+        while !c.is_done(round) {
+            match c.act(round, &mut r) {
+                Action::Listen => {
+                    c.feedback(round, Feedback::Silence);
+                    round += 1;
+                }
+                Action::Transmit(_) => round += 1,
+                Action::Sleep { wake_at } => round = wake_at,
+            }
+        }
+        c.finalize(round);
+        match c.outcome() {
+            CompetitionOutcome::Win { .. } => {}
+            other => panic!("expected Win, got {other:?}"),
+        }
+        // A node with at least one 0-bit must have committed.
+        if c.committed_at_bit().is_some() {
+            assert!(matches!(c.outcome(), CompetitionOutcome::Win { committed: true }));
+        }
+    }
+
+    /// A node that hears activity at its first 0-bit loses and then sleeps
+    /// to the end of the window.
+    #[test]
+    fn hearing_at_first_zero_bit_loses() {
+        let p = params();
+        let mut c = Competition::new(0, &p);
+        let mut r = rng(2);
+        let mut round = 0u64;
+        let mut lost_seen = false;
+        while !c.is_done(round) {
+            match c.act(round, &mut r) {
+                Action::Listen => {
+                    // Adversarially always report a heard message.
+                    c.feedback(round, Feedback::Heard(radio_netsim::Message::unary()));
+                    round += 1;
+                }
+                Action::Transmit(_) => round += 1,
+                Action::Sleep { wake_at } => {
+                    if wake_at == c.end() && !lost_seen {
+                        lost_seen = true;
+                    }
+                    round = wake_at;
+                }
+            }
+        }
+        c.finalize(round);
+        // With seed 2 the rank has at least one 0-bit among β·log n bits
+        // (probability 2^-12 of all-ones would make this Win instead).
+        assert_eq!(c.outcome(), CompetitionOutcome::Lose);
+        assert_eq!(c.committed_at_bit(), None);
+    }
+
+    /// A node that hears nothing at its first 0-bit commits; hearing later
+    /// leaves it committed (not lost).
+    #[test]
+    fn commit_then_hear_stays_committed() {
+        let p = params();
+        let mut c = Competition::new(0, &p);
+        let mut r = rng(3);
+        let mut round = 0u64;
+        let mut silent_blocks = 0u32;
+        while !c.is_done(round) {
+            match c.act(round, &mut r) {
+                Action::Listen => {
+                    // Stay silent for the node's first 0-bit block, then
+                    // report activity afterwards.
+                    let fb = if silent_blocks == 0 {
+                        Feedback::Silence
+                    } else {
+                        Feedback::Heard(radio_netsim::Message::unary())
+                    };
+                    c.feedback(round, fb);
+                    round += 1;
+                }
+                Action::Transmit(_) => round += 1,
+                Action::Sleep { wake_at } => {
+                    // Completed a listening block (or skipped estimate tail).
+                    if c.committed_at_bit().is_some() && silent_blocks == 0 {
+                        silent_blocks = 1;
+                    }
+                    round = wake_at;
+                }
+            }
+        }
+        c.finalize(round);
+        // The node committed at its first 0-bit...
+        assert!(c.committed_at_bit().is_some());
+        // ...and heard afterwards (unless its rank had only one 0-bit and it
+        // was last — the chosen seed avoids that).
+        assert!(matches!(
+            c.outcome(),
+            CompetitionOutcome::Commit | CompetitionOutcome::Win { committed: true }
+        ));
+    }
+
+    /// The committed degree estimate shortens listening: a committed node's
+    /// awake rounds per 0-bit block drop from k·⌈log Δ⌉ to
+    /// k·⌈log(κ log n)⌉.
+    #[test]
+    fn commit_shrinks_listening() {
+        let p = NoCdParams::for_n(1 << 12, 1 << 10); // Δ = 1024 ≫ κ·log n = 48
+        let mut c = Competition::new(0, &p);
+        let mut r = rng(5);
+        let mut round = 0u64;
+        let mut listens_per_block: Vec<(bool, u64)> = Vec::new(); // (committed?, count)
+        let mut current_block_listens = 0u64;
+        let mut last_block = u64::MAX;
+        while !c.is_done(round) {
+            let block = round / p.t_backoff(p.k_deep());
+            if block != last_block {
+                if last_block != u64::MAX && current_block_listens > 0 {
+                    listens_per_block.push((c.committed_at_bit().is_some(), current_block_listens));
+                }
+                current_block_listens = 0;
+                last_block = block;
+            }
+            match c.act(round, &mut r) {
+                Action::Listen => {
+                    c.feedback(round, Feedback::Silence);
+                    current_block_listens += 1;
+                    round += 1;
+                }
+                Action::Transmit(_) => round += 1,
+                Action::Sleep { wake_at } => round = wake_at,
+            }
+        }
+        if current_block_listens > 0 {
+            listens_per_block.push((true, current_block_listens));
+        }
+        c.finalize(round);
+        let k = p.k_deep() as u64;
+        let w = p.window() as u64;
+        let w_est = crate::backoff::backoff_window(p.committed_degree()) as u64;
+        assert!(w_est < w, "test premise: reduced window strictly smaller");
+        let pre: Vec<u64> = listens_per_block
+            .iter()
+            .filter(|(c, _)| !c)
+            .map(|&(_, l)| l)
+            .collect();
+        let post: Vec<u64> = listens_per_block
+            .iter()
+            .filter(|(c, _)| *c)
+            .map(|&(_, l)| l)
+            .collect();
+        // First 0-bit block: full window listening.
+        assert_eq!(pre, vec![k * w]);
+        // Later 0-bit blocks: reduced listening.
+        for l in post {
+            assert_eq!(l, k * w_est);
+        }
+    }
+
+    #[test]
+    fn window_length_matches_params() {
+        let p = params();
+        let c = Competition::new(100, &p);
+        assert_eq!(c.end() - c.start(), p.t_competition());
+    }
+}

@@ -1,0 +1,63 @@
+//! The paper's contribution: energy-efficient MIS algorithms for radio
+//! networks with arbitrary and unknown topology.
+//!
+//! This crate implements, as [`radio_netsim::Protocol`] state machines:
+//!
+//! - **Algorithm 1** ([`cd::CdMis`]): the energy-*optimal* MIS algorithm for
+//!   the collision-detection (CD) model — O(log n) energy, O(log²n) rounds
+//!   (Theorem 2) — and its [`beeping`]-model variant (§3.1);
+//! - **Algorithms 2–3** ([`nocd::NoCdMis`], [`competition::Competition`]):
+//!   the energy-efficient MIS algorithm for the harder no-CD model —
+//!   O(log²n·loglog n) energy, O(log³n·log Δ) rounds (Theorem 10);
+//! - **Algorithm 4** ([`backoff`]): the energy-efficient sender/receiver
+//!   backoff primitives (Lemmas 8–9) plus the traditional Decay backoff;
+//! - **LowDegreeMIS** ([`low_degree`]): the Davies-style radio simulation of
+//!   Ghaffari's MIS used as Algorithm 2's low-degree subroutine and as the
+//!   prior-art baseline (§4.2);
+//! - **Baselines** ([`baselines`]): the naive Luby implementations the paper
+//!   compares against in §1.3;
+//! - **Theorem 1's lower-bound model** ([`lower_bound`]): strategy sampling
+//!   and energy-capped protocols for the Ω(log n) bound;
+//! - **Unknown-Δ doubling** ([`unknown_delta`]): the 2^(2^i) guessing scheme
+//!   sketched in §1.1;
+//! - **Applications** ([`applications`]): maximal matching (via the line
+//!   graph) and (Δ+1)-coloring (via iterated MIS) — the backbone-building
+//!   uses the paper's introduction motivates.
+//!
+//! All tunable constants live in [`params`], with both the paper's
+//! asymptotic-regime values and calibrated presets for finite-n experiments.
+//!
+//! # Example: solve MIS in the CD model
+//!
+//! ```
+//! use mis_graphs::generators;
+//! use radio_mis::cd::CdMis;
+//! use radio_mis::params::CdParams;
+//! use radio_netsim::{ChannelModel, SimConfig, Simulator};
+//!
+//! let g = generators::gnp(300, 0.03, 7);
+//! let params = CdParams::for_n(g.len());
+//! let report = Simulator::new(&g, SimConfig::new(ChannelModel::Cd).with_seed(1))
+//!     .run(|_, _| CdMis::new(params));
+//! assert!(report.is_correct_mis(&g));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod applications;
+pub mod backoff;
+pub mod baselines;
+pub mod beeping;
+pub mod beeping_native;
+pub mod cd;
+pub mod competition;
+pub mod low_degree;
+pub mod lower_bound;
+pub mod nocd;
+pub mod params;
+pub mod unknown_delta;
+
+pub use cd::CdMis;
+pub use nocd::NoCdMis;
+

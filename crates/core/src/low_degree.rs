@@ -1,0 +1,609 @@
+//! LowDegreeMIS (§4.2): a radio (no-CD) simulation of Ghaffari's MIS
+//! algorithm, used as Algorithm 2's committed-subgraph subroutine and as
+//! the Davies [PODC 2023]-style baseline for arbitrary graphs.
+//!
+//! Davies' algorithm simulates each round of Ghaffari's CONGEST MIS
+//! [SODA 2016] with Decay-style backoff; the paper's §4.2 tightens the
+//! Decay and degree-estimation subroutines to Θ(log Δ) width, giving
+//! O(log²n·log Δ) rounds overall — O(log²n·loglog n) on the degree-O(log n)
+//! subgraphs Algorithm 2 runs it on. Davies' pseudocode is not public, so
+//! this is a faithful reconstruction of the *structure* (documented in
+//! DESIGN.md): each simulated Ghaffari round has three fixed-length
+//! sections:
+//!
+//! 1. **Mark exchange** — each active node marks itself with probability
+//!    `p(v)` (its *desire level*). Marked nodes must discover whether a
+//!    marked neighbor exists despite half-duplex radio: in each of
+//!    `Θ(log n)` Decay iterations a marked node flips a fair coin to act as
+//!    sender (one geometric-position transmission) or listener. A marked
+//!    node that hears nothing through the section joins the MIS.
+//! 2. **Notification** — MIS nodes announce themselves via `Θ(log n)`
+//!    sender-backoff iterations; active nodes listen and leave as `out-MIS`
+//!    when dominated.
+//! 3. **Degree estimation** — Ghaffari's update needs to know whether the
+//!    *effective degree* `d(v) = Σ_{active u ∈ N(v)} p(u)` is ≥ 2. Nodes
+//!    probe at `Θ(log Δ)` scales: at scale `j`, every active node transmits
+//!    with probability `p(v)·2⁻ʲ` (listening otherwise) for `Θ(log n)`
+//!    trials; hearing succeeds when exactly one neighbor transmits, which
+//!    happens with constant probability at the scale matching `log₂ d(v)`.
+//!    Any sufficiently-hit scale `j ≥ 1` marks the degree as high (this is
+//!    the multi-scale structure of Davies' `EstimateEffectiveDegree`, run
+//!    for the paper's Θ(log Δ) outer iterations).
+//!
+//! Desire levels then follow Ghaffari's rule: halve `p` when `d̂ ≥ 2`, else
+//! double it (capped to `[1/(4·d_max), 1/2]`).
+
+use crate::backoff::capped_geometric;
+use crate::params::LowDegreeParams;
+use radio_netsim::{Action, Feedback, Message, NodeRng, NodeStatus, Protocol};
+use rand::Rng;
+
+/// Fraction of a scale's trials that must hear a message for the scale to
+/// count as "active" in the degree estimate. Calibrated by the
+/// `estimator_*` tests below.
+const HIT_THRESHOLD: f64 = 0.15;
+
+/// A node's state within a LowDegreeMIS instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LdStatus {
+    Active,
+    InMis,
+    OutMis,
+}
+
+/// Which section of a simulated Ghaffari round a round falls in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Mark,
+    Notify,
+    Estimate,
+}
+
+/// Role of a marked node within one mark-exchange iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MarkRole {
+    /// Transmit at this absolute round, sleep otherwise.
+    SenderAt(u64),
+    Listener,
+}
+
+/// One LowDegreeMIS instance occupying the fixed window
+/// `[start, start + params.total_rounds())`.
+///
+/// This is a sub-protocol machine (compare [`crate::competition`]); the
+/// standalone baseline wrapper is [`LowDegreeMis`].
+#[derive(Debug, Clone)]
+pub struct LowDegreeInstance {
+    params: LowDegreeParams,
+    start: u64,
+    total: u64,
+    w: u64,
+    t_mark: u64,
+    t_notify: u64,
+    t_round: u64,
+    trials: u64,
+    status: LdStatus,
+    /// Desire level p = 2^-desire_exp.
+    desire_exp: u32,
+    /// Current simulated Ghaffari round this node's flags refer to
+    /// (`u64::MAX` before the first round is entered).
+    cur_g: u64,
+    marked: bool,
+    heard_mark: bool,
+    /// Whether the end-of-mark-section join decision has been applied for
+    /// `cur_g`.
+    mark_resolved: bool,
+    /// Mark-section iteration state: (global iteration index, role).
+    mark_iter: Option<(u64, MarkRole)>,
+    /// Notify-section sender state: (global iteration index, transmit round).
+    notify_iter: Option<(u64, u64)>,
+    /// Per-scale hit counters for the estimate section of `cur_g`.
+    hits: Vec<u32>,
+    /// Set if the node reached the end of the window undecided and took the
+    /// arbitrary timeout decision.
+    timed_out: bool,
+}
+
+impl LowDegreeInstance {
+    /// Creates an instance starting at absolute round `start`.
+    pub fn new(start: u64, params: LowDegreeParams) -> LowDegreeInstance {
+        LowDegreeInstance {
+            start,
+            total: params.total_rounds(),
+            w: params.window() as u64,
+            t_mark: params.t_mark(),
+            t_notify: params.t_notify(),
+            t_round: params.t_round(),
+            trials: params.estimate_trials() as u64,
+            status: LdStatus::Active,
+            desire_exp: 1,
+            cur_g: u64::MAX,
+            marked: false,
+            heard_mark: false,
+            mark_resolved: false,
+            mark_iter: None,
+            notify_iter: None,
+            hits: vec![0; params.estimate_scales() as usize],
+            timed_out: false,
+            params,
+        }
+    }
+
+    /// First round of the window.
+    pub fn start(&self) -> u64 {
+        self.start
+    }
+
+    /// One past the last round of the window.
+    pub fn end(&self) -> u64 {
+        self.start + self.total
+    }
+
+    /// Whether the window is over.
+    pub fn is_done(&self, round: u64) -> bool {
+        round >= self.end()
+    }
+
+    /// The node's decision, as a [`NodeStatus`]. `Undecided` until the node
+    /// joins/leaves or the window ends.
+    pub fn decision(&self) -> NodeStatus {
+        match self.status {
+            LdStatus::Active => NodeStatus::Undecided,
+            LdStatus::InMis => NodeStatus::InMis,
+            LdStatus::OutMis => NodeStatus::OutMis,
+        }
+    }
+
+    /// Whether the node only decided by the end-of-window timeout rule
+    /// (diagnostic; counted by the experiments).
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+
+    /// Current desire-level exponent (p = 2^-exp); exposed for tests and
+    /// experiments.
+    pub fn desire_exp(&self) -> u32 {
+        self.desire_exp
+    }
+
+    /// Locates a round: (ghaffari round, section, offset within section).
+    fn locate(&self, round: u64) -> (u64, Section, u64) {
+        debug_assert!(round >= self.start && round < self.end());
+        let rel = round - self.start;
+        let g = rel / self.t_round;
+        let off = rel % self.t_round;
+        if off < self.t_mark {
+            (g, Section::Mark, off)
+        } else if off < self.t_mark + self.t_notify {
+            (g, Section::Notify, off - self.t_mark)
+        } else {
+            (g, Section::Estimate, off - self.t_mark - self.t_notify)
+        }
+    }
+
+    /// Absolute round at which section `sec` of ghaffari round `g` starts.
+    fn section_start(&self, g: u64, sec: Section) -> u64 {
+        let base = self.start + g * self.t_round;
+        match sec {
+            Section::Mark => base,
+            Section::Notify => base + self.t_mark,
+            Section::Estimate => base + self.t_mark + self.t_notify,
+        }
+    }
+
+    /// Brings per-round flags up to date for the round being acted in.
+    fn sync(&mut self, g: u64, sec: Section, rng: &mut NodeRng) {
+        if g != self.cur_g {
+            self.enter_ghaffari_round(g, rng);
+        }
+        if sec != Section::Mark && !self.mark_resolved {
+            self.resolve_mark();
+        }
+    }
+
+    /// Applies the pending updates of the previous Ghaffari round and draws
+    /// the new round's mark.
+    fn enter_ghaffari_round(&mut self, g: u64, rng: &mut NodeRng) {
+        if self.cur_g != u64::MAX && self.status == LdStatus::Active {
+            if !self.mark_resolved {
+                self.resolve_mark();
+            }
+            // Desire update from the previous round's estimate section (a
+            // node that just joined keeps its exponent; irrelevant).
+            if self.status == LdStatus::Active {
+                self.apply_estimate();
+            }
+        }
+        self.cur_g = g;
+        self.heard_mark = false;
+        self.mark_resolved = false;
+        self.mark_iter = None;
+        self.notify_iter = None;
+        self.hits.iter_mut().for_each(|h| *h = 0);
+        self.marked = if self.status == LdStatus::Active {
+            let p = 0.5f64.powi(self.desire_exp as i32);
+            rng.gen_bool(p)
+        } else {
+            false
+        };
+    }
+
+    /// End-of-mark-section rule: a marked node that heard no marked
+    /// neighbor joins the MIS.
+    fn resolve_mark(&mut self) {
+        self.mark_resolved = true;
+        if self.status == LdStatus::Active && self.marked && !self.heard_mark {
+            self.status = LdStatus::InMis;
+        }
+    }
+
+    /// Ghaffari's desire update from the multi-scale hit counters: halve on
+    /// d̂ ≥ 2, double otherwise.
+    fn apply_estimate(&mut self) {
+        let threshold = ((HIT_THRESHOLD * self.trials as f64).ceil() as u32).max(1);
+        let high = self
+            .hits
+            .iter()
+            .enumerate()
+            .any(|(j, &h)| j >= 1 && h >= threshold);
+        if high {
+            self.desire_exp = (self.desire_exp + 1).min(self.params.min_desire_exp());
+        } else {
+            self.desire_exp = self.desire_exp.saturating_sub(1).max(1);
+        }
+    }
+
+    /// Action for `round` (must be within the window).
+    pub fn act(&mut self, round: u64, rng: &mut NodeRng) -> Action {
+        let (g, sec, off) = self.locate(round);
+        self.sync(g, sec, rng);
+        match self.status {
+            LdStatus::OutMis => Action::Sleep { wake_at: self.end() },
+            LdStatus::InMis => self.act_in_mis(round, g, sec, rng),
+            LdStatus::Active => self.act_active(round, g, sec, off, rng),
+        }
+    }
+
+    /// MIS nodes: announce in every Notify section, sleep otherwise.
+    fn act_in_mis(&mut self, round: u64, g: u64, sec: Section, rng: &mut NodeRng) -> Action {
+        match sec {
+            Section::Mark | Section::Estimate => {
+                let next = if sec == Section::Mark {
+                    self.section_start(g, Section::Notify)
+                } else {
+                    self.section_start(g + 1, Section::Notify)
+                };
+                Action::Sleep {
+                    wake_at: next.min(self.end()),
+                }
+            }
+            Section::Notify => self.act_notify_sender(round, g, rng),
+        }
+    }
+
+    /// One-transmission-per-iteration announcing within a Notify section.
+    fn act_notify_sender(&mut self, round: u64, g: u64, rng: &mut NodeRng) -> Action {
+        let sec_start = self.section_start(g, Section::Notify);
+        let sec_end = self.section_start(g, Section::Estimate);
+        let iter = (round - sec_start) / self.w;
+        let global_iter = g * self.params.notify_iterations() as u64 + iter;
+        let iter_start = sec_start + iter * self.w;
+        let (gi, tx) = match self.notify_iter {
+            Some(pair) if pair.0 == global_iter => pair,
+            _ => {
+                let x = capped_geometric(rng, self.w as u32) as u64;
+                let pair = (global_iter, iter_start + x - 1);
+                self.notify_iter = Some(pair);
+                pair
+            }
+        };
+        debug_assert_eq!(gi, global_iter);
+        if round < tx {
+            Action::Sleep { wake_at: tx }
+        } else if round == tx {
+            Action::Transmit(Message::unary())
+        } else {
+            let next = iter_start + self.w;
+            if next >= sec_end {
+                let nn = self.section_start(g + 1, Section::Notify);
+                Action::Sleep {
+                    wake_at: nn.min(self.end()),
+                }
+            } else {
+                Action::Sleep { wake_at: next }
+            }
+        }
+    }
+
+    /// Active nodes: mark exchange / listen for MIS / degree probes.
+    fn act_active(&mut self, round: u64, g: u64, sec: Section, off: u64, rng: &mut NodeRng) -> Action {
+        match sec {
+            Section::Mark => {
+                if !self.marked || self.heard_mark {
+                    // Unmarked nodes (and marked nodes that already lost)
+                    // skip the rest of the section.
+                    return Action::Sleep {
+                        wake_at: self.section_start(g, Section::Notify),
+                    };
+                }
+                let iter = off / self.w;
+                let global_iter = g * self.params.mark_iterations() as u64 + iter;
+                let iter_start = self.section_start(g, Section::Mark) + iter * self.w;
+                let role = match self.mark_iter {
+                    Some((gi, role)) if gi == global_iter => role,
+                    _ => {
+                        let role = if rng.gen_bool(0.5) {
+                            let x = capped_geometric(rng, self.w as u32) as u64;
+                            MarkRole::SenderAt(iter_start + x - 1)
+                        } else {
+                            MarkRole::Listener
+                        };
+                        self.mark_iter = Some((global_iter, role));
+                        role
+                    }
+                };
+                match role {
+                    MarkRole::Listener => Action::Listen,
+                    MarkRole::SenderAt(tx) => {
+                        if round < tx {
+                            Action::Sleep { wake_at: tx }
+                        } else if round == tx {
+                            Action::Transmit(Message::unary())
+                        } else {
+                            let next = iter_start + self.w;
+                            Action::Sleep {
+                                wake_at: next.min(self.section_start(g, Section::Notify)),
+                            }
+                        }
+                    }
+                }
+            }
+            Section::Notify => Action::Listen,
+            Section::Estimate => {
+                let j = (off / self.trials) as i32;
+                let q = 0.5f64.powi(self.desire_exp as i32 + j);
+                if rng.gen_bool(q) {
+                    Action::Transmit(Message::unary())
+                } else {
+                    Action::Listen
+                }
+            }
+        }
+    }
+
+    /// Feedback for a round this machine acted in.
+    pub fn feedback(&mut self, round: u64, fb: Feedback) {
+        if self.status == LdStatus::OutMis {
+            return;
+        }
+        let (_, sec, off) = self.locate(round);
+        match sec {
+            Section::Mark => {
+                if fb.heard_activity() {
+                    self.heard_mark = true;
+                }
+            }
+            Section::Notify => {
+                if self.status == LdStatus::Active && fb.heard_activity() {
+                    // Dominated by an MIS neighbor.
+                    self.status = LdStatus::OutMis;
+                }
+            }
+            Section::Estimate => {
+                if fb.heard_activity() {
+                    let j = (off / self.trials) as usize;
+                    if j < self.hits.len() {
+                        self.hits[j] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies the end-of-window timeout rule: an undecided node decides
+    /// arbitrarily (joins — preserving maximality at a small independence
+    /// risk, as in Theorem 10's thresholding remark). Call once the window
+    /// is done.
+    pub fn finalize(&mut self, round: u64) {
+        debug_assert!(self.is_done(round));
+        if self.status == LdStatus::Active {
+            self.status = LdStatus::InMis;
+            self.timed_out = true;
+        }
+    }
+
+    #[cfg(test)]
+    fn force_hits(&mut self, scale: usize, hits: u32) {
+        self.hits[scale] = hits;
+    }
+}
+
+/// Standalone LowDegreeMIS protocol: the §4.2 round-efficient no-CD MIS
+/// baseline (Davies-style), runnable on arbitrary graphs with `d_max = Δ`.
+#[derive(Debug, Clone)]
+pub struct LowDegreeMis {
+    instance: LowDegreeInstance,
+    finished: bool,
+}
+
+impl LowDegreeMis {
+    /// Creates a standalone LowDegreeMIS node.
+    pub fn new(params: LowDegreeParams) -> LowDegreeMis {
+        LowDegreeMis {
+            instance: LowDegreeInstance::new(0, params),
+            finished: false,
+        }
+    }
+
+    /// The underlying instance (for experiment instrumentation).
+    pub fn instance(&self) -> &LowDegreeInstance {
+        &self.instance
+    }
+}
+
+impl Protocol for LowDegreeMis {
+    fn act(&mut self, round: u64, rng: &mut NodeRng) -> Action {
+        if self.instance.is_done(round) {
+            self.instance.finalize(round);
+            self.finished = true;
+            return Action::halt();
+        }
+        // Dominated nodes are done for good and can retire immediately.
+        if self.instance.decision() == NodeStatus::OutMis {
+            self.finished = true;
+            return Action::halt();
+        }
+        self.instance.act(round, rng)
+    }
+
+    fn feedback(&mut self, round: u64, fb: Feedback, _rng: &mut NodeRng) {
+        self.instance.feedback(round, fb);
+    }
+
+    fn status(&self) -> NodeStatus {
+        self.instance.decision()
+    }
+
+    fn finished(&self) -> bool {
+        self.finished
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_graphs::generators;
+    use radio_netsim::{ChannelModel, SimConfig, Simulator};
+
+    fn run_ld(g: &mis_graphs::Graph, d_max: usize, seed: u64) -> radio_netsim::RunReport {
+        let params = LowDegreeParams::for_n((4 * g.len()).max(64), d_max);
+        Simulator::new(g, SimConfig::new(ChannelModel::NoCd).with_seed(seed))
+            .run(|_, _| LowDegreeMis::new(params))
+    }
+
+    #[test]
+    fn isolated_node_joins() {
+        let g = generators::empty(3);
+        let report = run_ld(&g, 2, 1);
+        assert!(report.is_correct_mis(&g), "{:?}", report.verify_mis(&g));
+    }
+
+    #[test]
+    fn single_edge_breaks_tie() {
+        let g = generators::path(2);
+        for seed in 0..10 {
+            let report = run_ld(&g, 2, seed);
+            assert!(
+                report.is_correct_mis(&g),
+                "seed {seed}: {:?}",
+                report.verify_mis(&g)
+            );
+        }
+    }
+
+    #[test]
+    fn solves_low_degree_graphs() {
+        for (g, d) in [
+            (generators::path(40), 2),
+            (generators::cycle(30), 2),
+            (generators::grid2d(6, 6), 4),
+            (generators::bounded_degree(60, 5, 3), 5),
+        ] {
+            let report = run_ld(&g, d.max(g.max_degree()), 7);
+            assert!(
+                report.is_correct_mis(&g),
+                "failed on {g:?}: {:?}",
+                report.verify_mis(&g)
+            );
+        }
+    }
+
+    #[test]
+    fn solves_higher_degree_graphs() {
+        for g in [
+            generators::star(40),
+            generators::clique(24),
+            generators::gnp(64, 0.15, 5),
+        ] {
+            let report = run_ld(&g, g.max_degree(), 3);
+            assert!(
+                report.is_correct_mis(&g),
+                "failed on {g:?}: {:?}",
+                report.verify_mis(&g)
+            );
+        }
+    }
+
+    #[test]
+    fn clique_has_exactly_one_mis_node() {
+        let g = generators::clique(16);
+        let report = run_ld(&g, 15, 2);
+        assert!(report.is_correct_mis(&g));
+        assert_eq!(report.mis_mask().iter().filter(|&&b| b).count(), 1);
+    }
+
+    #[test]
+    fn schedule_lengths_consistent() {
+        let params = LowDegreeParams::for_n(256, 16);
+        let inst = LowDegreeInstance::new(100, params);
+        assert_eq!(inst.start(), 100);
+        assert_eq!(inst.end(), 100 + params.total_rounds());
+        assert!(!inst.is_done(100));
+        assert!(inst.is_done(inst.end()));
+    }
+
+    #[test]
+    fn timeout_rule_joins() {
+        let params = LowDegreeParams::for_n(64, 4);
+        let mut inst = LowDegreeInstance::new(0, params);
+        assert_eq!(inst.decision(), NodeStatus::Undecided);
+        inst.finalize(inst.end());
+        assert_eq!(inst.decision(), NodeStatus::InMis);
+        assert!(inst.timed_out());
+    }
+
+    #[test]
+    fn rounds_bounded_by_schedule() {
+        let g = generators::path(10);
+        let report = run_ld(&g, 2, 4);
+        let params = LowDegreeParams::for_n(64, 2);
+        assert!(report.rounds <= params.total_rounds() + 1);
+    }
+
+    #[test]
+    fn estimator_rule_direction() {
+        // apply_estimate must halve p when a j ≥ 1 scale is hot and double
+        // it when only scale 0 (or nothing) is.
+        let params = LowDegreeParams::for_n(256, 32);
+        let trials = params.estimate_trials();
+        let mut inst = LowDegreeInstance::new(0, params);
+        inst.force_hits(2, trials);
+        inst.apply_estimate();
+        assert_eq!(inst.desire_exp(), 2, "high degree must halve p");
+        let mut inst = LowDegreeInstance::new(0, params);
+        inst.desire_exp = 3;
+        inst.force_hits(0, trials);
+        inst.apply_estimate();
+        assert_eq!(inst.desire_exp(), 2, "low degree must double p");
+        let mut inst = LowDegreeInstance::new(0, params);
+        inst.apply_estimate();
+        assert_eq!(inst.desire_exp(), 1, "exponent floors at 1");
+    }
+
+    #[test]
+    fn energy_scales_with_degree_bound() {
+        // Same graph, same seed: a smaller d_max bound yields shorter
+        // windows and thus less energy.
+        let g = generators::cycle(40);
+        let small = run_ld(&g, 2, 6);
+        let large = run_ld(&g, 512, 6);
+        assert!(small.is_correct_mis(&g));
+        assert!(large.is_correct_mis(&g));
+        assert!(
+            small.max_energy() < large.max_energy(),
+            "small-Δ {} !< large-Δ {}",
+            small.max_energy(),
+            large.max_energy()
+        );
+    }
+}

@@ -1,0 +1,318 @@
+//! The Ω(log n) energy lower bound of Theorem 1, as executable models.
+//!
+//! Theorem 1 argues about *any* algorithm whose nodes are awake for at most
+//! `b` rounds: a node's behavior is a random sequence over {Sleep,
+//! Transmit, Listen} with ≤ b awake entries, followed "until it hears a
+//! message or a collision". On the hard instance — n/4 disjoint edges plus
+//! n/2 isolated nodes ([`mis_graphs::generators::lower_bound_family`]) — a
+//! node that hears nothing within its budget cannot distinguish itself
+//! from an isolated node and must join the MIS; a matched pair in which
+//! *neither* endpoint ever hears the other therefore produces two adjacent
+//! MIS nodes. The proof shows this happens to some pair with probability
+//! ≥ 1 − e^(−n/4^(b+1)), so `b ≥ ½·log₂ n` is required.
+//!
+//! Two executable models:
+//!
+//! - [`RandomStrategy`]: the proof's strategy object — i.i.d. rounds
+//!   (awake with probability `awake_prob`, then transmit/listen fairly)
+//!   until the budget is spent; joins iff it never heard. Experiment E1
+//!   sweeps `b` and measures the both-join probability against the
+//!   4^(−b)-per-pair prediction.
+//! - [`EnergyCapped`]: wraps a *real* protocol (e.g. Algorithm 1) with a
+//!   hard budget `b`; at the cap the node decides by the proof's Bayes
+//!   rule (join iff it never heard activity). Sweeping `b` shows the
+//!   algorithm's failure probability collapsing once `b` crosses
+//!   Θ(log n).
+
+use radio_netsim::{Action, Feedback, Message, NodeRng, NodeStatus, Protocol};
+use rand::Rng;
+
+/// The Theorem-1 strategy model: i.i.d. awake/asleep rounds with a hard
+/// awake budget.
+#[derive(Debug, Clone)]
+pub struct RandomStrategy {
+    budget: u64,
+    awake_prob: f64,
+    spent: u64,
+    heard: bool,
+    decided: bool,
+}
+
+impl RandomStrategy {
+    /// Creates a strategy node with awake budget `budget` and per-round
+    /// wake probability `awake_prob`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `awake_prob` is not in `(0, 1]`.
+    pub fn new(budget: u64, awake_prob: f64) -> RandomStrategy {
+        assert!(
+            awake_prob > 0.0 && awake_prob <= 1.0,
+            "awake_prob {awake_prob} outside (0, 1]"
+        );
+        RandomStrategy {
+            budget,
+            awake_prob,
+            spent: 0,
+            heard: false,
+            decided: false,
+        }
+    }
+
+    /// Whether the node heard any activity before deciding.
+    pub fn heard(&self) -> bool {
+        self.heard
+    }
+}
+
+impl Protocol for RandomStrategy {
+    fn act(&mut self, _round: u64, rng: &mut NodeRng) -> Action {
+        if self.heard || self.spent >= self.budget {
+            // Sequence over: decide by the proof's rule.
+            self.decided = true;
+            return Action::halt();
+        }
+        if rng.gen_bool(self.awake_prob) {
+            self.spent += 1;
+            if rng.gen_bool(0.5) {
+                Action::Transmit(Message::unary())
+            } else {
+                Action::Listen
+            }
+        } else {
+            Action::Sleep { wake_at: _round + 1 }
+        }
+    }
+
+    fn feedback(&mut self, _round: u64, fb: Feedback, _rng: &mut NodeRng) {
+        if fb.heard_activity() {
+            self.heard = true;
+        }
+    }
+
+    fn status(&self) -> NodeStatus {
+        if !self.decided {
+            NodeStatus::Undecided
+        } else if self.heard {
+            // Heard a neighbor: in the hard instance this identifies the
+            // node as matched; it stays out and lets its partner join.
+            NodeStatus::OutMis
+        } else {
+            // Indistinguishable from isolated: must join (Bayes' rule in
+            // the proof of Theorem 1).
+            NodeStatus::InMis
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.decided
+    }
+}
+
+/// Wraps any protocol with a hard energy budget: once the inner protocol
+/// has spent `budget` awake rounds, the node sleeps forever and — if still
+/// undecided — applies the Theorem-1 decision rule (join iff it never
+/// heard activity).
+#[derive(Debug, Clone)]
+pub struct EnergyCapped<P> {
+    inner: P,
+    budget: u64,
+    spent: u64,
+    heard: bool,
+    capped: bool,
+}
+
+impl<P: Protocol> EnergyCapped<P> {
+    /// Caps `inner` at `budget` awake rounds.
+    pub fn new(inner: P, budget: u64) -> EnergyCapped<P> {
+        EnergyCapped {
+            inner,
+            budget,
+            spent: 0,
+            heard: false,
+            capped: false,
+        }
+    }
+
+    /// Whether the cap fired before the inner protocol decided.
+    pub fn capped(&self) -> bool {
+        self.capped
+    }
+
+    /// Awake rounds spent.
+    pub fn spent(&self) -> u64 {
+        self.spent
+    }
+}
+
+impl<P: Protocol> Protocol for EnergyCapped<P> {
+    fn act(&mut self, round: u64, rng: &mut NodeRng) -> Action {
+        if self.capped {
+            return Action::halt();
+        }
+        if self.spent >= self.budget && !self.inner.status().is_decided() {
+            self.capped = true;
+            return Action::halt();
+        }
+        if self.spent >= self.budget {
+            // Inner decided but not finished (e.g. an MIS node that keeps
+            // announcing): it is simply cut off.
+            self.capped = true;
+            return Action::halt();
+        }
+        let action = self.inner.act(round, rng);
+        if action.is_awake() {
+            self.spent += 1;
+        }
+        action
+    }
+
+    fn feedback(&mut self, round: u64, fb: Feedback, rng: &mut NodeRng) {
+        if fb.heard_activity() {
+            self.heard = true;
+        }
+        self.inner.feedback(round, fb, rng);
+    }
+
+    fn status(&self) -> NodeStatus {
+        let s = self.inner.status();
+        if s.is_decided() {
+            s
+        } else if self.capped {
+            // Theorem 1's rule for budget-exhausted undecided nodes.
+            if self.heard {
+                NodeStatus::OutMis
+            } else {
+                NodeStatus::InMis
+            }
+        } else {
+            NodeStatus::Undecided
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.capped || self.inner.finished()
+    }
+}
+
+/// The Theorem-1 failure predicate: some matched pair of the hard instance
+/// ended with both endpoints in the MIS.
+///
+/// # Panics
+///
+/// Panics if `statuses.len() < 2 * pairs`.
+pub fn some_pair_both_joined(statuses: &[NodeStatus], pairs: usize) -> bool {
+    assert!(statuses.len() >= 2 * pairs, "status vector too short");
+    (0..pairs).any(|i| {
+        statuses[2 * i] == NodeStatus::InMis && statuses[2 * i + 1] == NodeStatus::InMis
+    })
+}
+
+/// Theorem 1's closed-form failure floor: 1 − e^(−n/4^(b+1)).
+pub fn theorem1_failure_floor(n: usize, b: u64) -> f64 {
+    let exponent = -(n as f64) / 4f64.powf(b as f64 + 1.0);
+    1.0 - exponent.exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cd::CdMis;
+    use crate::params::CdParams;
+    use mis_graphs::generators;
+    use radio_netsim::{ChannelModel, SimConfig, Simulator};
+
+    #[test]
+    fn strategy_with_tiny_budget_fails_often() {
+        // n = 256: pairs = 64. With b = 2, per-pair both-join probability
+        // is ≥ 4^-b /const, so some pair should fail almost surely.
+        let g = generators::lower_bound_family(256);
+        let pairs = 64;
+        let mut failures = 0;
+        let trials = 20;
+        for seed in 0..trials {
+            let report = Simulator::new(&g, SimConfig::new(ChannelModel::Cd).with_seed(seed))
+                .run(|_, _| RandomStrategy::new(2, 0.5));
+            if some_pair_both_joined(&report.statuses, pairs) {
+                failures += 1;
+            }
+        }
+        assert!(
+            failures >= trials * 3 / 4,
+            "only {failures}/{trials} failed with b = 2"
+        );
+    }
+
+    #[test]
+    fn strategy_with_large_budget_rarely_fails() {
+        let g = generators::lower_bound_family(256);
+        let pairs = 64;
+        let b = 40; // ≫ log₂ 256 = 8
+        let mut failures = 0;
+        let trials = 20;
+        for seed in 0..trials {
+            let report = Simulator::new(&g, SimConfig::new(ChannelModel::Cd).with_seed(seed))
+                .run(|_, _| RandomStrategy::new(b, 0.5));
+            if some_pair_both_joined(&report.statuses, pairs) {
+                failures += 1;
+            }
+        }
+        assert!(failures <= 2, "{failures}/{trials} failed with b = {b}");
+    }
+
+    #[test]
+    fn capped_cd_algorithm_recovers_with_budget() {
+        // With a generous budget the cap never fires and Algorithm 1 is
+        // unaffected.
+        let g = generators::lower_bound_family(64);
+        let params = CdParams::for_n(64);
+        let report = Simulator::new(&g, SimConfig::new(ChannelModel::Cd).with_seed(3))
+            .run(|_, _| EnergyCapped::new(CdMis::new(params), 10_000));
+        assert!(report.is_correct_mis(&g));
+    }
+
+    #[test]
+    fn capped_cd_algorithm_breaks_with_tiny_budget() {
+        let g = generators::lower_bound_family(256);
+        let params = CdParams::for_n(256);
+        let mut failures = 0;
+        let trials = 10;
+        for seed in 0..trials {
+            let report = Simulator::new(&g, SimConfig::new(ChannelModel::Cd).with_seed(seed))
+                .run(|_, _| EnergyCapped::new(CdMis::new(params), 2));
+            if !report.is_correct_mis(&g) {
+                failures += 1;
+            }
+        }
+        assert!(failures >= trials / 2, "only {failures}/{trials} failed");
+    }
+
+    #[test]
+    fn failure_floor_shape() {
+        // Below the threshold the floor is ≈ 1; above it ≈ 0.
+        assert!(theorem1_failure_floor(1 << 16, 2) > 0.99);
+        assert!(theorem1_failure_floor(1 << 16, 20) < 0.01);
+        // Monotone decreasing in b.
+        let n = 4096;
+        let mut prev = 2.0;
+        for b in 0..16 {
+            let f = theorem1_failure_floor(n, b);
+            assert!(f <= prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn pair_predicate() {
+        use NodeStatus::*;
+        assert!(some_pair_both_joined(&[InMis, InMis, OutMis, InMis], 2));
+        assert!(!some_pair_both_joined(&[InMis, OutMis, OutMis, InMis], 2));
+        assert!(!some_pair_both_joined(&[InMis, InMis], 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn rejects_bad_awake_prob() {
+        let _ = RandomStrategy::new(5, 0.0);
+    }
+}

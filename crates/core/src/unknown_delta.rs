@@ -1,0 +1,360 @@
+//! Unknown-Δ execution via doubly-exponential guessing (§1.1, footnote 1).
+//!
+//! When no degree bound is known, the paper sketches running the no-CD
+//! algorithm with guesses `Δ_i = 2^(2^i)`: too-small guesses may leave
+//! portions of the output non-independent; affected vertices must detect
+//! this and retry with the next guess. The guessing costs an O(loglog n)
+//! factor in energy and O(1) in rounds, because the epoch lengths grow
+//! geometrically in `log Δ_i` so the final (valid) epoch dominates.
+//!
+//! The paper omits the details ("sufficiently complicated"); this module
+//! implements a faithful-but-pragmatic reconstruction, documented in
+//! DESIGN.md:
+//!
+//! - epoch `i` runs a full Algorithm 2 schedule with `Δ_i` among the still
+//!   undecided nodes;
+//! - each epoch ends with an **audit window**: every node currently
+//!   believing itself in the MIS alternates sender/listener roles over
+//!   `Θ(log n)` backoff iterations; *hearing* another MIS node is proof of
+//!   an independence violation, and the hearer reverts to undecided (at
+//!   least one of any conflicting pair keeps its membership);
+//! - nodes dominated by a reverted MIS node are not individually repaired
+//!   (that is the part the paper leaves open); the residual error rate is
+//!   exactly what experiment E12 measures, alongside the energy/round
+//!   overhead factors;
+//! - the final epoch uses `Δ ≥ n`, where Algorithm 2's own guarantee
+//!   applies unconditionally.
+
+use crate::nocd::NoCdMis;
+use crate::params::{log2f, NoCdParams};
+use radio_netsim::{Action, Feedback, Message, NodeRng, NodeStatus, Protocol};
+use rand::Rng;
+
+/// The sequence of degree guesses: 2^(2^i), capped at (and terminated by)
+/// `n`.
+pub fn delta_guesses(n: usize) -> Vec<usize> {
+    let mut guesses = Vec::new();
+    let mut exp: u32 = 1;
+    loop {
+        if exp as u64 >= 63 || (1u64 << exp) as usize >= n {
+            guesses.push(n.max(2));
+            break;
+        }
+        guesses.push(1usize << exp);
+        exp = exp.saturating_mul(2);
+    }
+    guesses
+}
+
+/// Schedule of one epoch: the Algorithm 2 window plus the audit window.
+#[derive(Debug, Clone, Copy)]
+struct Epoch {
+    start: u64,
+    alg_len: u64,
+    audit_iters: u64,
+    audit_w: u64,
+}
+
+impl Epoch {
+    fn audit_start(&self) -> u64 {
+        self.start + self.alg_len
+    }
+    fn end(&self) -> u64 {
+        self.audit_start() + self.audit_iters * self.audit_w
+    }
+}
+
+/// Algorithm 2 without a known Δ: doubly-exponential guessing with
+/// end-of-epoch conflict audits.
+#[derive(Debug, Clone)]
+pub struct UnknownDeltaMis {
+    /// Template parameters (everything except `delta`, which each epoch
+    /// overrides).
+    template: NoCdParams,
+    epochs: Vec<(usize, Epoch)>,
+    cur_epoch: usize,
+    inner: Option<NoCdMis>,
+    status: NodeStatus,
+    /// Number of times this node reverted after a failed audit.
+    reverts: u32,
+    /// Audit sub-state: role for the current iteration
+    /// (iteration index, transmit round or listener marker).
+    audit_iter: Option<(u64, Option<u64>)>,
+    heard_conflict: bool,
+    finished: bool,
+}
+
+impl UnknownDeltaMis {
+    /// Creates a node that runs Algorithm 2 with Δ-guessing. `template`
+    /// supplies all constants; its `delta` field is ignored.
+    pub fn new(n: usize, template: NoCdParams) -> UnknownDeltaMis {
+        let audit_iters = (2.0 * log2f(n)).ceil() as u64;
+        let mut epochs = Vec::new();
+        let mut start = 0u64;
+        for guess in delta_guesses(n) {
+            let params = NoCdParams {
+                delta: guess,
+                ..template
+            };
+            let epoch = Epoch {
+                start,
+                alg_len: params.total_rounds(),
+                audit_iters,
+                audit_w: crate::backoff::backoff_window(guess) as u64,
+            };
+            start = epoch.end();
+            epochs.push((guess, epoch));
+        }
+        UnknownDeltaMis {
+            template,
+            epochs,
+            cur_epoch: 0,
+            inner: None,
+            status: NodeStatus::Undecided,
+            reverts: 0,
+            audit_iter: None,
+            heard_conflict: false,
+            finished: false,
+        }
+    }
+
+    /// The degree guesses this node will try, in order.
+    pub fn guesses(&self) -> Vec<usize> {
+        self.epochs.iter().map(|&(g, _)| g).collect()
+    }
+
+    /// Total schedule length over all epochs.
+    pub fn total_rounds(&self) -> u64 {
+        self.epochs.last().map(|&(_, e)| e.end()).unwrap_or(0)
+    }
+
+    /// Number of audit-triggered reverts this node performed.
+    pub fn reverts(&self) -> u32 {
+        self.reverts
+    }
+
+    fn epoch_of(&self, round: u64) -> usize {
+        // Epochs are few (loglog n); linear scan is fine.
+        self.epochs
+            .iter()
+            .position(|&(_, e)| round < e.end())
+            .unwrap_or(self.epochs.len() - 1)
+    }
+}
+
+impl Protocol for UnknownDeltaMis {
+    fn act(&mut self, round: u64, rng: &mut NodeRng) -> Action {
+        if round >= self.total_rounds() {
+            self.finished = true;
+            return Action::halt();
+        }
+        let idx = self.epoch_of(round);
+        let (guess, epoch) = self.epochs[idx];
+        if idx != self.cur_epoch {
+            // Entering a new epoch: undecided nodes start a fresh inner run.
+            self.cur_epoch = idx;
+            self.inner = None;
+            self.audit_iter = None;
+            self.heard_conflict = false;
+        }
+        if round < epoch.audit_start() {
+            // Algorithm 2 section of the epoch. Undecided nodes run a
+            // fresh full instance; MIS nodes from earlier epochs run an
+            // announce-only instance so later competitors stay dominated.
+            if self.status == NodeStatus::OutMis {
+                self.finished = true;
+                return Action::halt();
+            }
+            if self.inner.is_none() {
+                if round != epoch.start {
+                    // Missed the epoch start (e.g. just reverted in the
+                    // audit): wait for the next epoch.
+                    return Action::Sleep {
+                        wake_at: epoch.end().min(self.total_rounds()),
+                    };
+                }
+                let params = NoCdParams {
+                    delta: guess,
+                    ..self.template
+                };
+                self.inner = Some(if self.status == NodeStatus::InMis {
+                    NoCdMis::new_in_mis(params)
+                } else {
+                    NoCdMis::new(params)
+                });
+            }
+            let inner = self.inner.as_mut().expect("just ensured");
+            let inner_round = round - epoch.start;
+            let action = inner.act(inner_round, rng);
+            self.status = inner.status();
+            if self.status == NodeStatus::OutMis {
+                self.finished = true;
+                return Action::halt();
+            }
+            // Translate sleep targets back to absolute rounds; an inner
+            // halt means "done with this epoch's schedule".
+            match action {
+                Action::Sleep { wake_at } => {
+                    let abs = if wake_at == u64::MAX || inner.finished() {
+                        epoch.audit_start()
+                    } else {
+                        (epoch.start + wake_at).min(epoch.audit_start())
+                    };
+                    Action::Sleep {
+                        wake_at: abs.max(round + 1),
+                    }
+                }
+                other => other,
+            }
+        } else {
+            // Audit window: MIS nodes probe for adjacent MIS nodes.
+            if self.status != NodeStatus::InMis || self.heard_conflict {
+                return Action::Sleep {
+                    wake_at: epoch.end().min(self.total_rounds()),
+                };
+            }
+            let off = round - epoch.audit_start();
+            let iter = off / epoch.audit_w;
+            let iter_start = epoch.audit_start() + iter * epoch.audit_w;
+            let role = match self.audit_iter {
+                Some((i, role)) if i == iter => role,
+                _ => {
+                    let role = if rng.gen_bool(0.5) {
+                        let x = crate::backoff::capped_geometric(rng, epoch.audit_w as u32);
+                        Some(iter_start + x as u64 - 1)
+                    } else {
+                        None // listener
+                    };
+                    self.audit_iter = Some((iter, role));
+                    role
+                }
+            };
+            match role {
+                None => Action::Listen,
+                Some(tx) => {
+                    if round < tx {
+                        Action::Sleep { wake_at: tx }
+                    } else if round == tx {
+                        Action::Transmit(Message::unary())
+                    } else {
+                        Action::Sleep {
+                            wake_at: (iter_start + epoch.audit_w).min(epoch.end()),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn feedback(&mut self, round: u64, fb: Feedback, rng: &mut NodeRng) {
+        let idx = self.epoch_of(round);
+        let (_, epoch) = self.epochs[idx];
+        if round < epoch.audit_start() {
+            if let Some(inner) = self.inner.as_mut() {
+                inner.feedback(round - epoch.start, fb, rng);
+                self.status = inner.status();
+            }
+        } else if self.status == NodeStatus::InMis && fb.heard_activity() {
+            // Another MIS node is adjacent: independence violated under a
+            // too-small guess. Revert and retry next epoch.
+            self.heard_conflict = true;
+            self.status = NodeStatus::Undecided;
+            self.reverts += 1;
+            self.inner = None;
+        }
+    }
+
+    fn status(&self) -> NodeStatus {
+        self.status
+    }
+
+    fn finished(&self) -> bool {
+        self.finished
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_graphs::generators;
+    use radio_netsim::{ChannelModel, SimConfig, Simulator};
+
+    #[test]
+    fn guess_sequence_shape() {
+        assert_eq!(delta_guesses(1000), vec![2, 4, 16, 256, 1000]);
+        assert_eq!(delta_guesses(10), vec![2, 4, 10]);
+        assert_eq!(delta_guesses(2), vec![2]);
+        assert_eq!(delta_guesses(3), vec![2, 3]);
+        // Last guess always ≥ n (valid bound).
+        for n in [2usize, 5, 17, 300, 70_000] {
+            assert!(*delta_guesses(n).last().unwrap() >= n);
+        }
+    }
+
+    fn run_unknown(g: &mis_graphs::Graph, seed: u64) -> radio_netsim::RunReport {
+        let n_bound = (4 * g.len()).max(64);
+        let template = NoCdParams::for_n(n_bound, 2 /* overridden */);
+        Simulator::new(g, SimConfig::new(ChannelModel::NoCd).with_seed(seed))
+            .run(|_, _| UnknownDeltaMis::new(n_bound, template))
+    }
+
+    #[test]
+    fn solves_low_degree_graphs_without_delta() {
+        for g in [
+            generators::path(16),
+            generators::cycle(12),
+            generators::empty(8),
+        ] {
+            let report = run_unknown(&g, 3);
+            assert!(
+                report.is_correct_mis(&g),
+                "failed on {g:?}: {:?}",
+                report.verify_mis(&g)
+            );
+        }
+    }
+
+    #[test]
+    fn solves_star_where_first_guesses_are_wrong() {
+        // Star hub degree 19 ≫ first guesses 2, 4, 16.
+        let g = generators::star(20);
+        let mut successes = 0;
+        for seed in 0..5 {
+            if run_unknown(&g, seed).is_correct_mis(&g) {
+                successes += 1;
+            }
+        }
+        assert!(successes >= 4, "only {successes}/5 succeeded");
+    }
+
+    #[test]
+    fn schedule_is_guess_sum() {
+        let template = NoCdParams::for_n(64, 2);
+        let node = UnknownDeltaMis::new(64, template);
+        let mut expected = 0u64;
+        let audit_iters = (2.0 * log2f(64)).ceil() as u64;
+        for guess in delta_guesses(64) {
+            let params = NoCdParams {
+                delta: guess,
+                ..template
+            };
+            expected += params.total_rounds()
+                + audit_iters * crate::backoff::backoff_window(guess) as u64;
+        }
+        assert_eq!(node.total_rounds(), expected);
+    }
+
+    #[test]
+    fn round_overhead_is_constant_factor() {
+        // Total schedule with guessing ≤ c × the known-Δ schedule at Δ = n.
+        let n = 1 << 12;
+        let template = NoCdParams::for_n(n, 2);
+        let node = UnknownDeltaMis::new(n, template);
+        let known = NoCdParams::for_n(n, n).total_rounds();
+        let ratio = node.total_rounds() as f64 / known as f64;
+        // The Δ-independent T_G component repeats once per epoch, so the
+        // reconstruction's overhead is a little above the footnote's ideal
+        // O(1); E12 reports the measured factor.
+        assert!(ratio < 4.0, "round overhead ratio {ratio} too large");
+    }
+}

@@ -1,0 +1,261 @@
+//! Property-based tests of the sub-protocol machines' scheduling
+//! invariants: every machine must act only within its window, sleep only
+//! forward, and account for exactly the awake rounds the lemmas claim.
+
+use proptest::prelude::*;
+use radio_mis::backoff::{
+    backoff_window, DecayReceiver, DecaySender, RecEBackoff, SndEBackoff,
+};
+use radio_mis::competition::Competition;
+use radio_mis::low_degree::LowDegreeInstance;
+use radio_mis::params::{LowDegreeParams, NoCdParams};
+use radio_netsim::{Action, Feedback, Message, NodeRng};
+use rand::{Rng, SeedableRng};
+
+/// Drives a machine's `act` through its window with scripted feedback;
+/// returns (awake rounds, transmit rounds, rounds visited in order).
+fn drive<M>(
+    m: &mut M,
+    act: fn(&mut M, u64) -> Action,
+    feedback: fn(&mut M, u64, Feedback),
+    start: u64,
+    end: u64,
+    hear_probability: f64,
+    rng: &mut NodeRng,
+) -> (u64, u64, Vec<u64>) {
+    let mut awake = 0;
+    let mut tx = 0;
+    let mut visited = Vec::new();
+    let mut round = start;
+    while round < end {
+        visited.push(round);
+        match act(m, round) {
+            Action::Listen => {
+                awake += 1;
+                let fb = if rng.gen_bool(hear_probability) {
+                    Feedback::Heard(Message::unary())
+                } else {
+                    Feedback::Silence
+                };
+                feedback(m, round, fb);
+                round += 1;
+            }
+            Action::Transmit(_) => {
+                awake += 1;
+                tx += 1;
+                feedback(m, round, Feedback::Sent);
+                round += 1;
+            }
+            Action::Sleep { wake_at } => {
+                assert!(wake_at > round, "sleep must move forward");
+                round = wake_at;
+            }
+        }
+    }
+    (awake, tx, visited)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Lemma 8, sender side: exactly k awake rounds, all transmissions,
+    /// regardless of Δ and seed.
+    #[test]
+    fn snd_backoff_awake_exactly_k(
+        k in 1u32..32,
+        delta in 1usize..5000,
+        start in 0u64..1000,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = NodeRng::seed_from_u64(seed);
+        let mut m = SndEBackoff::new(start, k, delta, &mut rng);
+        let end = m.end();
+        prop_assert_eq!(end - start, (k * backoff_window(delta)) as u64);
+        let (awake, tx, _) = drive(
+            &mut m,
+            |m, r| m.act(r),
+            |_, _, _| {},
+            start,
+            end,
+            0.0,
+            &mut rng,
+        );
+        prop_assert_eq!(awake, k as u64);
+        prop_assert_eq!(tx, k as u64);
+    }
+
+    /// Lemma 8, receiver side: at most k·W_est awake rounds; exactly that
+    /// many when nothing is ever heard; strictly fewer once heard early.
+    #[test]
+    fn rec_backoff_awake_bounded(
+        k in 1u32..32,
+        delta in 2usize..5000,
+        d_est in 1usize..5000,
+        hear_pct in 0u32..=100,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = NodeRng::seed_from_u64(seed);
+        let mut m = RecEBackoff::new(0, k, delta, d_est);
+        let end = m.end();
+        let w_est = backoff_window(d_est).min(backoff_window(delta));
+        let (awake, tx, _) = drive(
+            &mut m,
+            |m, r| m.act(r),
+            |m, r, fb| m.feedback(r, fb),
+            0,
+            end,
+            hear_pct as f64 / 100.0,
+            &mut rng,
+        );
+        prop_assert_eq!(tx, 0);
+        prop_assert!(awake <= (k * w_est) as u64);
+        if hear_pct == 0 {
+            prop_assert_eq!(awake, (k * w_est) as u64);
+            prop_assert!(!m.heard());
+        }
+        if m.heard() {
+            // Early sleep kicked in: the machine reports what it heard.
+            prop_assert!(awake <= (k * w_est) as u64);
+        }
+    }
+
+    /// Traditional Decay: the receiver is awake for the whole window.
+    #[test]
+    fn decay_receiver_always_full_window(
+        k in 1u32..16,
+        delta in 2usize..2000,
+    ) {
+        let mut rng = NodeRng::seed_from_u64(1);
+        let mut m = DecayReceiver::new(0, k, delta);
+        let end = m.end();
+        let (awake, _, _) = drive(
+            &mut m,
+            |m, r| m.act(r),
+            |m, r, fb| m.feedback(r, fb),
+            0,
+            end,
+            0.0,
+            &mut rng,
+        );
+        prop_assert_eq!(awake, (k * backoff_window(delta)) as u64);
+    }
+
+    /// Traditional Decay sender transmits at least once per iteration and
+    /// each iteration's transmissions form a prefix.
+    #[test]
+    fn decay_sender_prefix_per_iteration(
+        k in 1u32..16,
+        delta in 2usize..2000,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = NodeRng::seed_from_u64(seed);
+        let mut m = DecaySender::new(0, k, delta, &mut rng);
+        let w = backoff_window(delta) as u64;
+        let end = m.end();
+        let mut tx_rounds = Vec::new();
+        let mut round = 0u64;
+        while round < end {
+            match m.act(round) {
+                Action::Transmit(_) => {
+                    tx_rounds.push(round);
+                    round += 1;
+                }
+                Action::Sleep { wake_at } => {
+                    prop_assert!(wake_at > round);
+                    round = wake_at;
+                }
+                Action::Listen => prop_assert!(false, "sender never listens"),
+            }
+        }
+        for iter in 0..k as u64 {
+            let in_iter: Vec<u64> = tx_rounds
+                .iter()
+                .filter(|&&r| r / w == iter)
+                .map(|&r| r % w)
+                .collect();
+            prop_assert!(!in_iter.is_empty(), "iteration {iter} never transmitted");
+            for (i, &j) in in_iter.iter().enumerate() {
+                prop_assert_eq!(j, i as u64, "transmissions must form a prefix");
+            }
+        }
+    }
+
+    /// The competition machine stays within its window, sleeps forward,
+    /// and always finalizes to a definite outcome.
+    #[test]
+    fn competition_always_resolves(
+        n_exp in 4u32..10,
+        delta in 2usize..512,
+        hear_pct in 0u32..=100,
+        seed in any::<u64>(),
+    ) {
+        let params = NoCdParams::for_n(1usize << n_exp, delta);
+        let mut rng = NodeRng::seed_from_u64(seed);
+        let mut comp = Competition::new(0, &params);
+        let end = comp.end();
+        prop_assert_eq!(end, params.t_competition());
+        let hear = hear_pct as f64 / 100.0;
+        let mut round = 0u64;
+        while round < end {
+            match comp.act(round, &mut rng) {
+                Action::Listen => {
+                    let fb = if rng.gen_bool(hear) {
+                        Feedback::Heard(Message::unary())
+                    } else {
+                        Feedback::Silence
+                    };
+                    comp.feedback(round, fb);
+                    round += 1;
+                }
+                Action::Transmit(_) => round += 1,
+                Action::Sleep { wake_at } => {
+                    prop_assert!(wake_at > round && wake_at <= end);
+                    round = wake_at;
+                }
+            }
+        }
+        comp.finalize(round);
+        // outcome() must not panic and must be consistent with commit info.
+        let outcome = comp.outcome();
+        use radio_mis::competition::CompetitionOutcome as O;
+        match outcome {
+            O::Lose => prop_assert!(comp.committed_at_bit().is_none()),
+            O::Commit => prop_assert!(comp.committed_at_bit().is_some()),
+            O::Win { committed } => {
+                prop_assert_eq!(committed, comp.committed_at_bit().is_some())
+            }
+        }
+    }
+
+    /// A LowDegreeMIS instance driven alone (all silence) always decides
+    /// InMis — an isolated node must join.
+    #[test]
+    fn low_degree_isolated_always_joins(
+        n_exp in 4u32..9,
+        d_max in 1usize..64,
+        seed in any::<u64>(),
+    ) {
+        let params = LowDegreeParams::for_n(1usize << n_exp, d_max);
+        let mut rng = NodeRng::seed_from_u64(seed);
+        let mut inst = LowDegreeInstance::new(0, params);
+        let end = inst.end();
+        let mut round = 0u64;
+        while round < end {
+            match inst.act(round, &mut rng) {
+                Action::Listen => {
+                    inst.feedback(round, Feedback::Silence);
+                    round += 1;
+                }
+                Action::Transmit(_) => round += 1,
+                Action::Sleep { wake_at } => {
+                    prop_assert!(wake_at > round);
+                    round = wake_at.min(end);
+                }
+            }
+        }
+        inst.finalize(end);
+        prop_assert_eq!(inst.decision(), radio_netsim::NodeStatus::InMis);
+        // Joining happened through the mark rule, not the timeout rule.
+        prop_assert!(!inst.timed_out());
+    }
+}

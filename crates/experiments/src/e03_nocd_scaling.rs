@@ -1,0 +1,127 @@
+//! E3 — Theorem 10: no-CD MIS scaling.
+//!
+//! Sweeps n on constant-average-degree G(n, p), measuring max energy
+//! (expect Θ(log²n·loglog n), empirically near-indistinguishable from
+//! log²n at these sizes — both are reported), rounds (expect within the
+//! O(log³n·log Δ) schedule), and success rate.
+
+use crate::harness::{pct, ExpConfig, ExperimentOutput, Section};
+use mis_graphs::generators::Family;
+use mis_stats::fit::{best_fit, fit_model, GrowthModel};
+use mis_stats::table::fmt_num;
+use mis_stats::{LineChart, Summary, Table};
+use radio_mis::nocd::NoCdMis;
+use radio_mis::params::NoCdParams;
+use radio_netsim::{run_trials, ChannelModel, SimConfig};
+
+/// Runs E3.
+pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
+    let ns = cfg.ns(6, if cfg.quick { 8 } else { 11 });
+    let trials = cfg.trials(12);
+    let mut table = Table::new([
+        "n",
+        "Δ",
+        "energy (mean ± ci)",
+        "energy (worst)",
+        "rounds (mean)",
+        "schedule T",
+        "success",
+    ]);
+    let mut nsf = Vec::new();
+    let mut energy_means = Vec::new();
+    let mut round_means = Vec::new();
+    for &n in &ns {
+        let g = Family::GnpAvgDegree(8).generate(n, cfg.seed ^ n as u64);
+        let params = NoCdParams::for_n(n, g.max_degree().max(2));
+        let set = run_trials(
+            &g,
+            SimConfig::new(ChannelModel::NoCd).with_seed(cfg.seed ^ (n as u64) << 9),
+            trials,
+            |_, _| NoCdMis::new(params),
+        );
+        let es = Summary::of(&set.energies());
+        let rs = Summary::of(&set.rounds());
+        table.push_row([
+            n.to_string(),
+            g.max_degree().to_string(),
+            format!("{} ± {}", fmt_num(es.mean), fmt_num(es.ci95)),
+            fmt_num(es.max),
+            fmt_num(rs.mean),
+            params.total_rounds().to_string(),
+            pct(
+                set.outcomes.iter().filter(|o| o.correct).count(),
+                set.len(),
+            ),
+        ]);
+        nsf.push(n as f64);
+        energy_means.push(es.mean);
+        round_means.push(rs.mean);
+    }
+    let (e_model, e_fit) = best_fit(&nsf, &energy_means);
+    let claimed = fit_model(GrowthModel::Log2NLogLogN, &nsf, &energy_means);
+    let log3 = fit_model(GrowthModel::Log3N, &nsf, &round_means);
+    let (r_model, r_fit) = best_fit(&nsf, &round_means);
+
+    let mut chart = LineChart::new(
+        "Algorithm 2 (no-CD): energy and rounds vs n",
+        "n (log scale)",
+        "rounds (log scale)",
+    )
+    .with_log_x()
+    .with_log_y();
+    chart.push_series(
+        "max energy (mean)",
+        nsf.iter().copied().zip(energy_means.iter().copied()),
+    );
+    chart.push_series(
+        "rounds (mean)",
+        nsf.iter().copied().zip(round_means.iter().copied()),
+    );
+    chart.push_series(
+        format!("fit of energy: {:.1}*log^2 n loglog n", claimed.slope),
+        nsf.iter().map(|&n| {
+            (
+                n,
+                (claimed.intercept + claimed.slope * GrowthModel::Log2NLogLogN.eval(n)).max(1.0),
+            )
+        }),
+    );
+
+    ExperimentOutput {
+        id: "e3",
+        title: "no-CD MIS: energy and round scaling".into(),
+        claim: "Theorem 10: Algorithm 2 outputs an MIS w.p. ≥ 1 − 1/n using \
+                O(log²n·loglog n) energy in O(log³n·log Δ) rounds."
+            .into(),
+        sections: vec![Section {
+            caption: format!("n sweep on gnp-d8, {trials} trials each"),
+            table,
+        }],
+        findings: vec![
+            format!(
+                "energy best fit: {e_model} (R² = {:.3}); claimed log²n·loglog n model \
+                 R² = {:.3} — the two are empirically indistinguishable at these sizes, \
+                 and both are far below the round curve",
+                e_fit.r2, claimed.r2
+            ),
+            format!(
+                "rounds best fit: {r_model} (R² = {:.3}); log³n model R² = {:.3} — \
+                 within the schedule bound",
+                r_fit.r2, log3.r2
+            ),
+        ],
+        charts: vec![("e3_energy_rounds_vs_n".into(), chart)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_completes() {
+        let out = run(&ExpConfig::quick(7));
+        assert_eq!(out.id, "e3");
+        assert!(!out.sections[0].table.is_empty());
+    }
+}

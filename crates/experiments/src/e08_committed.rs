@@ -1,0 +1,141 @@
+//! E8 — Corollary 13 / Lemma 11: the committed subgraph.
+//!
+//! From instrumented Algorithm 2 runs on dense graphs, reconstructs the
+//! per-phase committed sets C_i (nodes whose competition record carries a
+//! `committed_at_bit`) and audits:
+//!
+//! - the maximum degree of the subgraph induced by C_i against the
+//!   κ·log₂ n bound that justifies the Δ_est reduction (Corollary 13);
+//! - whether adjacent committed nodes committed in the *same* bitty phase
+//!   (Lemma 11).
+
+use crate::harness::{run_nocd_instrumented, ExpConfig, ExperimentOutput, Section};
+use mis_graphs::generators::Family;
+use mis_stats::table::fmt_num;
+use mis_stats::Table;
+use radio_mis::params::NoCdParams;
+use radio_netsim::split_seed;
+use std::collections::HashMap;
+
+/// Runs E8.
+pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
+    let n = if cfg.quick { 256 } else { 1024 };
+    let trials = cfg.trials(6);
+    let g = Family::GnpAvgDegree(32).generate(n, cfg.seed ^ 0xE8);
+    let params = NoCdParams::for_n(n, g.max_degree().max(2));
+    let bound = (params.kappa * (n as f64).log2()).ceil();
+
+    // (phase -> (committed nodes with their bit)) aggregated per trial.
+    let mut table = Table::new([
+        "trial",
+        "phase",
+        "|C_i|",
+        "max deg in C_i",
+        "κ·log n bound",
+        "adjacent pairs same-bit",
+    ]);
+    let mut max_deg_overall = 0usize;
+    let mut same_bit_pairs = 0usize;
+    let mut total_pairs = 0usize;
+    let mut success = true;
+    for t in 0..trials {
+        let seed = split_seed(cfg.seed, t as u64);
+        let (report, inst) = run_nocd_instrumented(&g, params, seed);
+        success &= report.is_correct_mis(&g);
+        let mut per_phase: HashMap<u32, Vec<(usize, u32)>> = HashMap::new();
+        for (v, h) in inst.histories.iter().enumerate() {
+            for rec in h {
+                if let Some(bit) = rec.committed_at_bit {
+                    per_phase.entry(rec.phase).or_default().push((v, bit));
+                }
+            }
+        }
+        let mut phases: Vec<u32> = per_phase.keys().copied().collect();
+        phases.sort_unstable();
+        for phase in phases.iter().take(4) {
+            let committed = &per_phase[phase];
+            let mut mask = vec![false; g.len()];
+            let mut bit_of = vec![u32::MAX; g.len()];
+            for &(v, bit) in committed {
+                mask[v] = true;
+                bit_of[v] = bit;
+            }
+            let max_deg = g.max_degree_within(&mask);
+            max_deg_overall = max_deg_overall.max(max_deg);
+            let mut same = 0usize;
+            let mut pairs = 0usize;
+            for (u, v) in g.edges() {
+                if mask[u] && mask[v] {
+                    pairs += 1;
+                    if bit_of[u] == bit_of[v] {
+                        same += 1;
+                    }
+                }
+            }
+            same_bit_pairs += same;
+            total_pairs += pairs;
+            table.push_row([
+                t.to_string(),
+                phase.to_string(),
+                committed.len().to_string(),
+                max_deg.to_string(),
+                fmt_num(bound),
+                if pairs == 0 {
+                    "—".to_string()
+                } else {
+                    format!("{same}/{pairs}")
+                },
+            ]);
+        }
+    }
+
+    let same_bit_rate = if total_pairs == 0 {
+        1.0
+    } else {
+        same_bit_pairs as f64 / total_pairs as f64
+    };
+    ExperimentOutput {
+        id: "e8",
+        title: "committed subgraph degree and synchrony".into(),
+        claim: "Corollary 13: the subgraph induced by the committed set C_i has maximum \
+                degree O(log n) (whence Δ_est ← κ·log n is sound). Lemma 11: adjacent \
+                committed nodes committed in the same bitty phase w.h.p."
+            .into(),
+        sections: vec![Section {
+            caption: format!(
+                "gnp-d32, n = {n} (Δ = {}), first phases of {trials} instrumented runs",
+                g.max_degree()
+            ),
+            table,
+        }],
+        findings: vec![
+            format!(
+                "max committed-subgraph degree observed: {max_deg_overall} vs bound \
+                 κ·log n = {bound} — Corollary 13 holds{}",
+                if (max_deg_overall as f64) <= bound {
+                    ""
+                } else {
+                    " (VIOLATED)"
+                }
+            ),
+            format!(
+                "{:.0}% of adjacent committed pairs committed in the same bitty phase \
+                 (Lemma 11 predicts ≈ 100%)",
+                100.0 * same_bit_rate
+            ),
+            format!("all runs produced verified MIS outputs: {success}"),
+        ],
+        charts: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_respects_bound() {
+        let out = run(&ExpConfig::quick(13));
+        assert!(!out.findings[0].contains("VIOLATED"), "{}", out.findings[0]);
+    }
+}

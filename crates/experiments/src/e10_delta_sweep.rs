@@ -1,0 +1,110 @@
+//! E10 — Theorem 10's log Δ round factor.
+//!
+//! Fixes n and sweeps the degree bound Δ over bounded-degree random
+//! graphs. Rounds should grow affinely in W = ⌈log₂ Δ⌉ + 1 (the backoff
+//! window), while max energy should grow much more slowly (only the
+//! pre-commit full-Δ listens and the Δ-dependent sender schedules feel Δ).
+
+use crate::harness::{pct, ExpConfig, ExperimentOutput, Section};
+use mis_graphs::generators;
+use mis_stats::fit::linear_fit;
+use mis_stats::table::fmt_num;
+use mis_stats::{LineChart, Summary, Table};
+use radio_mis::backoff::backoff_window;
+use radio_mis::nocd::NoCdMis;
+use radio_mis::params::NoCdParams;
+use radio_netsim::{run_trials, ChannelModel, SimConfig};
+
+/// Runs E10.
+pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
+    let n = if cfg.quick { 128 } else { 512 };
+    let trials = cfg.trials(9);
+    let deltas: Vec<usize> = if cfg.quick {
+        vec![4, 16, 64]
+    } else {
+        vec![4, 8, 16, 32, 64, 128]
+    };
+    let mut table = Table::new([
+        "Δ bound",
+        "W",
+        "rounds (mean)",
+        "schedule T",
+        "energy (mean)",
+        "success",
+    ]);
+    let mut ws = Vec::new();
+    let mut rounds_means = Vec::new();
+    let mut energy_means = Vec::new();
+    for &d in &deltas {
+        let g = generators::bounded_degree(n, d, cfg.seed ^ d as u64);
+        let params = NoCdParams::for_n(n, d);
+        let set = run_trials(
+            &g,
+            SimConfig::new(ChannelModel::NoCd).with_seed(cfg.seed ^ (d as u64) << 16),
+            trials,
+            |_, _| NoCdMis::new(params),
+        );
+        let rs = Summary::of(&set.rounds());
+        let es = Summary::of(&set.energies());
+        table.push_row([
+            d.to_string(),
+            backoff_window(d).to_string(),
+            fmt_num(rs.mean),
+            params.total_rounds().to_string(),
+            fmt_num(es.mean),
+            pct(
+                set.outcomes.iter().filter(|o| o.correct).count(),
+                set.len(),
+            ),
+        ]);
+        ws.push(backoff_window(d) as f64);
+        rounds_means.push(rs.mean);
+        energy_means.push(es.mean);
+    }
+    let round_fit = linear_fit(&ws, &rounds_means);
+    let mut chart = LineChart::new(
+        "Algorithm 2: rounds and energy vs backoff window W",
+        "W = ceil(log2 max-degree) + 1",
+        "rounds / energy (log scale)",
+    )
+    .with_log_y();
+    chart.push_series("rounds (mean)", ws.iter().copied().zip(rounds_means.iter().copied()));
+    chart.push_series("max energy (mean)", ws.iter().copied().zip(energy_means.iter().copied()));
+    let energy_growth = energy_means.last().unwrap_or(&1.0) / energy_means.first().unwrap_or(&1.0);
+    let round_growth = rounds_means.last().unwrap_or(&1.0) / rounds_means.first().unwrap_or(&1.0);
+
+    ExperimentOutput {
+        id: "e10",
+        title: "round complexity's log Δ factor".into(),
+        claim: "Theorem 10: rounds are O(log³n·log Δ) — affine in log Δ at fixed n — \
+                while energy O(log²n·loglog n) is (nearly) Δ-independent."
+            .into(),
+        sections: vec![Section {
+            caption: format!("bounded-degree graphs, n = {n}, {trials} trials per Δ"),
+            table,
+        }],
+        findings: vec![
+            format!(
+                "rounds vs W = ⌈log Δ⌉+1: linear fit R² = {:.3} — the log Δ factor is \
+                 visible and affine",
+                round_fit.r2
+            ),
+            format!(
+                "across the sweep, rounds grew {round_growth:.1}× while max energy grew \
+                 only {energy_growth:.1}× — energy is (nearly) Δ-insensitive as claimed"
+            ),
+        ],
+        charts: vec![("e10_rounds_vs_window".into(), chart)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_shows_delta_factor() {
+        let out = run(&ExpConfig::quick(19));
+        assert!(!out.sections[0].table.is_empty());
+    }
+}

@@ -1,0 +1,115 @@
+//! E12 — §1.1 footnote 1: running without a known Δ.
+//!
+//! Compares [`UnknownDeltaMis`] (guesses 2^(2^i)) against Algorithm 2 with
+//! the true Δ, on graphs whose Δ defeats several early guesses. Reports
+//! the measured energy and round overhead factors against the footnote's
+//! claimed O(loglog n)× energy and O(1)× rounds.
+
+use crate::harness::{pct, ExpConfig, ExperimentOutput, Section};
+use mis_graphs::generators::{self, Family};
+use mis_stats::table::fmt_num;
+use mis_stats::{Summary, Table};
+use radio_mis::nocd::NoCdMis;
+use radio_mis::params::NoCdParams;
+use radio_mis::unknown_delta::{delta_guesses, UnknownDeltaMis};
+use radio_netsim::{run_trials, ChannelModel, SimConfig};
+
+/// Runs E12.
+pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
+    let n = if cfg.quick { 128 } else { 512 };
+    let trials = cfg.trials(9);
+    let mut table = Table::new([
+        "graph",
+        "Δ",
+        "variant",
+        "energy(max)",
+        "rounds",
+        "success",
+    ]);
+    let mut energy_ratios = Vec::new();
+    let mut round_ratios = Vec::new();
+    let graphs = vec![
+        ("gnp-d8".to_string(), Family::GnpAvgDegree(8).generate(n, cfg.seed ^ 0x12)),
+        ("star".to_string(), generators::star(n)),
+    ];
+    for (label, g) in &graphs {
+        let delta = g.max_degree().max(2);
+        let known_params = NoCdParams::for_n(n, delta);
+        let template = NoCdParams::for_n(n, 2);
+        let known = run_trials(
+            &g.clone(),
+            SimConfig::new(ChannelModel::NoCd).with_seed(cfg.seed ^ 31),
+            trials,
+            |_, _| NoCdMis::new(known_params),
+        );
+        let unknown = run_trials(
+            &g.clone(),
+            SimConfig::new(ChannelModel::NoCd).with_seed(cfg.seed ^ 32),
+            trials,
+            |_, _| UnknownDeltaMis::new(n, template),
+        );
+        for (name, set) in [("known Δ", &known), ("unknown Δ (2^2^i guesses)", &unknown)] {
+            table.push_row([
+                label.clone(),
+                delta.to_string(),
+                name.to_string(),
+                fmt_num(Summary::of(&set.energies()).mean),
+                fmt_num(Summary::of(&set.rounds()).mean),
+                pct(
+                    set.outcomes.iter().filter(|o| o.correct).count(),
+                    set.len(),
+                ),
+            ]);
+        }
+        let ke = Summary::of(&known.energies()).mean.max(1e-9);
+        let ue = Summary::of(&unknown.energies()).mean;
+        let kr = Summary::of(&known.rounds()).mean.max(1e-9);
+        let ur = Summary::of(&unknown.rounds()).mean;
+        energy_ratios.push(ue / ke);
+        round_ratios.push(ur / kr);
+    }
+    let guesses = delta_guesses(n);
+    let mean_e = energy_ratios.iter().sum::<f64>() / energy_ratios.len().max(1) as f64;
+    let mean_r = round_ratios.iter().sum::<f64>() / round_ratios.len().max(1) as f64;
+
+    ExperimentOutput {
+        id: "e12",
+        title: "unknown Δ via doubly-exponential guessing".into(),
+        claim: "§1.1 footnote 1: guessing Δ as 2^(2^i) carries an O(loglog n) factor in \
+                energy and an O(1) factor in rounds."
+            .into(),
+        sections: vec![Section {
+            caption: format!(
+                "n = {n}, guesses {:?}, {trials} trials per cell",
+                guesses
+            ),
+            table,
+        }],
+        findings: vec![
+            format!(
+                "measured energy overhead {:.1}× (guess count = {} ≈ loglog n + 1) and \
+                 round overhead {:.1}× vs the known-Δ run",
+                mean_e,
+                guesses.len(),
+                mean_r
+            ),
+            "our reconstruction repairs independence violations with end-of-epoch audits \
+             but does not individually repair dominated-by-reverted nodes (the part the \
+             paper leaves open); the success column shows the residual effect"
+                .into(),
+        ],
+        charts: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_reports_overheads() {
+        let out = run(&ExpConfig::quick(29));
+        assert_eq!(out.sections[0].table.len(), 4);
+        assert!(out.findings[0].contains("overhead"));
+    }
+}

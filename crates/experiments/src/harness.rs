@@ -1,0 +1,261 @@
+//! Shared experiment infrastructure: configuration, output formatting, and
+//! instrumented-run helpers.
+
+use mis_stats::{LineChart, Table};
+use radio_mis::nocd::{EnergyBreakdown, NoCdMis, PhaseRecord};
+use radio_mis::params::NoCdParams;
+use radio_netsim::{
+    Action, ChannelModel, Feedback, NodeRng, NodeStatus, Protocol, RunReport, SimConfig,
+    Simulator,
+};
+use std::sync::Mutex;
+
+/// Experiment configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpConfig {
+    /// Shrinks sweeps and trial counts for CI / smoke testing.
+    pub quick: bool,
+    /// Master seed; every experiment derives all randomness from it.
+    pub seed: u64,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig {
+            quick: false,
+            seed: 0x00E1_7E55,
+        }
+    }
+}
+
+impl ExpConfig {
+    /// A quick-mode config (used by the test suite).
+    pub fn quick(seed: u64) -> ExpConfig {
+        ExpConfig { quick: true, seed }
+    }
+
+    /// Powers of two `2^min ..= 2^max`, truncated in quick mode.
+    pub fn ns(&self, min_exp: u32, max_exp: u32) -> Vec<usize> {
+        let max_exp = if self.quick {
+            (min_exp + 2).min(max_exp)
+        } else {
+            max_exp
+        };
+        (min_exp..=max_exp).map(|k| 1usize << k).collect()
+    }
+
+    /// Trial count: `full`, or a third of it (≥ 2) in quick mode.
+    pub fn trials(&self, full: usize) -> usize {
+        if self.quick {
+            (full / 3).max(2)
+        } else {
+            full
+        }
+    }
+}
+
+/// One captioned table within an experiment's output.
+#[derive(Debug, Clone)]
+pub struct Section {
+    /// Caption rendered above the table.
+    pub caption: String,
+    /// The data.
+    pub table: Table,
+}
+
+/// The rendered result of one experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutput {
+    /// Experiment id (`"e1"`, …).
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: String,
+    /// The paper claim being validated (with its reference).
+    pub claim: String,
+    /// Measured tables.
+    pub sections: Vec<Section>,
+    /// Measured-vs-claimed conclusions, one bullet each.
+    pub findings: Vec<String>,
+    /// Figures: (file stem, chart). Written as SVG when the runner is
+    /// given `--svg-dir`.
+    pub charts: Vec<(String, LineChart)>,
+}
+
+impl ExperimentOutput {
+    /// Renders the experiment as a markdown fragment for `EXPERIMENTS.md`.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {} — {}\n\n", self.id.to_uppercase(), self.title));
+        out.push_str(&format!("**Claim (paper).** {}\n\n", self.claim));
+        for sec in &self.sections {
+            out.push_str(&format!("*{}*\n\n", sec.caption));
+            out.push_str(&sec.table.to_markdown());
+            out.push('\n');
+        }
+        if !self.charts.is_empty() {
+            let names: Vec<String> = self
+                .charts
+                .iter()
+                .map(|(stem, _)| format!("`{stem}.svg`"))
+                .collect();
+            out.push_str(&format!(
+                "Figures (with `--svg-dir`): {}.\n\n",
+                names.join(", ")
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("**Measured.**\n\n");
+            for f in &self.findings {
+                out.push_str(&format!("- {f}\n"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Instrumentation capture for Algorithm 2 runs: per-node phase records
+/// plus cap/timeout flags.
+#[derive(Debug, Clone, Default)]
+pub struct NoCdInstruments {
+    /// Per-node per-phase competition records.
+    pub histories: Vec<Vec<PhaseRecord>>,
+    /// Per-node energy-cap flags.
+    pub capped: Vec<bool>,
+    /// Per-node LowDegreeMIS-timeout flags.
+    pub ld_timed_out: Vec<bool>,
+    /// Per-node per-component energy attribution (Figure 2).
+    pub breakdowns: Vec<EnergyBreakdown>,
+}
+
+/// Runs Algorithm 2 once while harvesting each node's diagnostics.
+pub fn run_nocd_instrumented(
+    graph: &mis_graphs::Graph,
+    params: NoCdParams,
+    seed: u64,
+) -> (RunReport, NoCdInstruments) {
+    let n = graph.len();
+    let cell: Mutex<NoCdInstruments> = Mutex::new(NoCdInstruments {
+        histories: vec![Vec::new(); n],
+        capped: vec![false; n],
+        ld_timed_out: vec![false; n],
+        breakdowns: vec![EnergyBreakdown::default(); n],
+    });
+    struct Harvest<'a> {
+        inner: NoCdMis,
+        id: usize,
+        cell: &'a Mutex<NoCdInstruments>,
+    }
+    impl Harvest<'_> {
+        fn flush(&self) {
+            let mut c = self.cell.lock().expect("no poisoning");
+            c.histories[self.id] = self.inner.history().to_vec();
+            c.capped[self.id] = self.inner.capped();
+            c.ld_timed_out[self.id] = self.inner.ld_timed_out();
+            c.breakdowns[self.id] = self.inner.energy_breakdown();
+        }
+    }
+    impl Protocol for Harvest<'_> {
+        fn act(&mut self, round: u64, rng: &mut NodeRng) -> Action {
+            let a = self.inner.act(round, rng);
+            if self.inner.finished() || matches!(a, Action::Sleep { .. }) {
+                self.flush();
+            }
+            a
+        }
+        fn feedback(&mut self, round: u64, fb: Feedback, rng: &mut NodeRng) {
+            self.inner.feedback(round, fb, rng);
+        }
+        fn status(&self) -> NodeStatus {
+            self.inner.status()
+        }
+        fn finished(&self) -> bool {
+            self.finished_inner()
+        }
+    }
+    impl Harvest<'_> {
+        fn finished_inner(&self) -> bool {
+            if self.inner.finished() {
+                self.flush();
+                true
+            } else {
+                false
+            }
+        }
+    }
+    let report = Simulator::new(graph, SimConfig::new(ChannelModel::NoCd).with_seed(seed)).run(
+        |v, _| Harvest {
+            inner: NoCdMis::new(params),
+            id: v,
+            cell: &cell,
+        },
+    );
+    (report, cell.into_inner().expect("no poisoning"))
+}
+
+/// Formats a success-rate as `"97% (29/30)"`.
+pub fn pct(successes: usize, total: usize) -> String {
+    if total == 0 {
+        "n/a".to_string()
+    } else {
+        format!(
+            "{:.0}% ({successes}/{total})",
+            100.0 * successes as f64 / total as f64
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_graphs::generators;
+
+    #[test]
+    fn config_scaling() {
+        let full = ExpConfig::default();
+        assert_eq!(full.ns(6, 9), vec![64, 128, 256, 512]);
+        assert_eq!(full.trials(30), 30);
+        let quick = ExpConfig::quick(1);
+        assert_eq!(quick.ns(6, 9), vec![64, 128, 256]);
+        assert_eq!(quick.trials(30), 10);
+        assert_eq!(quick.trials(3), 2);
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = Table::new(["x"]);
+        t.push_row(["1"]);
+        let out = ExperimentOutput {
+            id: "e0",
+            title: "demo".into(),
+            claim: "something holds".into(),
+            sections: vec![Section {
+                caption: "numbers".into(),
+                table: t,
+            }],
+            findings: vec!["it held".into()],
+            charts: Vec::new(),
+        };
+        let md = out.to_markdown();
+        assert!(md.contains("### E0 — demo"));
+        assert!(md.contains("**Claim (paper).** something holds"));
+        assert!(md.contains("*numbers*"));
+        assert!(md.contains("- it held"));
+    }
+
+    #[test]
+    fn instrumented_run_collects_history() {
+        let g = generators::clique(10);
+        let params = NoCdParams::for_n(64, 9);
+        let (report, inst) = run_nocd_instrumented(&g, params, 7);
+        assert!(report.is_correct_mis(&g));
+        assert_eq!(inst.histories.len(), 10);
+        assert!(inst.histories.iter().any(|h| !h.is_empty()));
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(29, 30), "97% (29/30)");
+        assert_eq!(pct(0, 0), "n/a");
+    }
+}

@@ -1,0 +1,80 @@
+//! The evaluation harness: one experiment per claim of the paper.
+//!
+//! The paper is a theory-only brief announcement, so its "tables and
+//! figures" are its theorems and lemmas; each module here turns one claim
+//! into a measured table (see `DESIGN.md` §4 for the index):
+//!
+//! | id | claim | module |
+//! |----|-------|--------|
+//! | E1 | Thm 1 — Ω(log n) energy lower bound | [`e01_lower_bound`] |
+//! | E2 | Thm 2 — CD: O(log n) energy, O(log²n) rounds | [`e02_cd_scaling`] |
+//! | E3 | Thm 10 — no-CD: O(log²n·loglog n) energy | [`e03_nocd_scaling`] |
+//! | E4 | §1.3 — CD vs naive Luby vs beeping | [`e04_cd_comparison`] |
+//! | E5 | §1.3/§5 — no-CD vs Davies-style vs naive | [`e05_nocd_comparison`] |
+//! | E6 | Lemmas 5 & 20 — residual-edge decay | [`e06_residual`] |
+//! | E7 | Lemmas 8–9 — backoff complexity/success | [`e07_backoff`] |
+//! | E8 | Cor. 13 / Lemma 11 — committed subgraph | [`e08_committed`] |
+//! | E9 | Lemmas 14–15 — winner properties | [`e09_winners`] |
+//! | E10 | Thm 10 — the log Δ round factor | [`e10_delta_sweep`] |
+//! | E11 | §5.1 — design ablations | [`e11_ablation`] |
+//! | E12 | §1.1 fn.1 — unknown-Δ guessing | [`e12_unknown_delta`] |
+//! | E13 | \[13\]/\[22\] — wired SLEEPING-CONGEST context | [`e13_congest`] |
+//! | E14 | Fig. 2 — Algorithm 2's per-component energy | [`e14_energy_breakdown`] |
+//! | E15 | beyond-model robustness: loss & async wake-up | [`e15_robustness`] |
+//!
+//! Run everything with `cargo run --release -p mis-experiments --bin
+//! experiments -- all`; each experiment is deterministic given `--seed`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod e01_lower_bound;
+pub mod e02_cd_scaling;
+pub mod e03_nocd_scaling;
+pub mod e04_cd_comparison;
+pub mod e05_nocd_comparison;
+pub mod e06_residual;
+pub mod e07_backoff;
+pub mod e08_committed;
+pub mod e09_winners;
+pub mod e10_delta_sweep;
+pub mod e11_ablation;
+pub mod e12_unknown_delta;
+pub mod e13_congest;
+pub mod e14_energy_breakdown;
+pub mod e15_robustness;
+pub mod harness;
+
+pub use harness::{ExpConfig, ExperimentOutput, Section};
+
+/// All experiment ids, in order.
+pub const ALL_IDS: [&str; 15] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+    "e15",
+];
+
+/// Runs one experiment by id.
+///
+/// # Panics
+///
+/// Panics on an unknown id (the binary validates first).
+pub fn run_experiment(id: &str, cfg: &ExpConfig) -> ExperimentOutput {
+    match id {
+        "e1" => e01_lower_bound::run(cfg),
+        "e2" => e02_cd_scaling::run(cfg),
+        "e3" => e03_nocd_scaling::run(cfg),
+        "e4" => e04_cd_comparison::run(cfg),
+        "e5" => e05_nocd_comparison::run(cfg),
+        "e6" => e06_residual::run(cfg),
+        "e7" => e07_backoff::run(cfg),
+        "e8" => e08_committed::run(cfg),
+        "e9" => e09_winners::run(cfg),
+        "e10" => e10_delta_sweep::run(cfg),
+        "e11" => e11_ablation::run(cfg),
+        "e12" => e12_unknown_delta::run(cfg),
+        "e13" => e13_congest::run(cfg),
+        "e14" => e14_energy_breakdown::run(cfg),
+        "e15" => e15_robustness::run(cfg),
+        other => panic!("unknown experiment id {other:?}"),
+    }
+}

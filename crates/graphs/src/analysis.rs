@@ -1,0 +1,144 @@
+//! Structural graph analysis helpers used by experiments and tests.
+
+use crate::graph::{Graph, NodeId};
+
+/// Number of connected components (isolated nodes count as components).
+pub fn connected_components(g: &Graph) -> usize {
+    let mut seen = vec![false; g.len()];
+    let mut components = 0;
+    let mut stack = Vec::new();
+    for start in g.nodes() {
+        if seen[start] {
+            continue;
+        }
+        components += 1;
+        seen[start] = true;
+        stack.push(start);
+        while let Some(v) = stack.pop() {
+            for &u in g.neighbors(v) {
+                if !seen[u] {
+                    seen[u] = true;
+                    stack.push(u);
+                }
+            }
+        }
+    }
+    components
+}
+
+/// Histogram of degrees: `hist[d]` = number of nodes with degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in g.nodes() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+/// The degeneracy of the graph and a degeneracy ordering (smallest-last).
+///
+/// The degeneracy is the smallest `k` such that every subgraph has a node of
+/// degree ≤ `k`; it upper-bounds the chromatic number minus one and is a
+/// useful sparsity measure when reporting workload characteristics.
+pub fn degeneracy(g: &Graph) -> (usize, Vec<NodeId>) {
+    let n = g.len();
+    let mut degree: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
+    let max_d = degree.iter().copied().max().unwrap_or(0);
+    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); max_d + 1];
+    for v in g.nodes() {
+        buckets[degree[v]].push(v);
+    }
+    let mut removed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut degen = 0usize;
+    let mut cursor = 0usize;
+    for _ in 0..n {
+        // Find the lowest non-empty bucket at or below the cursor; the cursor
+        // can decrease by at most 1 per removal, so start one lower.
+        cursor = cursor.saturating_sub(1);
+        loop {
+            while cursor <= max_d && buckets[cursor].is_empty() {
+                cursor += 1;
+            }
+            let v = match buckets[cursor].pop() {
+                Some(v) => v,
+                None => continue,
+            };
+            if removed[v] || degree[v] != cursor {
+                // Stale entry: the node moved buckets since insertion.
+                continue;
+            }
+            removed[v] = true;
+            order.push(v);
+            degen = degen.max(cursor);
+            for &u in g.neighbors(v) {
+                if !removed[u] {
+                    degree[u] -= 1;
+                    buckets[degree[u]].push(u);
+                    if degree[u] < cursor {
+                        cursor = degree[u];
+                    }
+                }
+            }
+            break;
+        }
+    }
+    (degen, order)
+}
+
+/// Count of isolated (degree-0) nodes.
+pub fn isolated_count(g: &Graph) -> usize {
+    g.nodes().filter(|&v| g.degree(v) == 0).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn components_of_matching() {
+        let g = generators::matching_plus_isolated(3, 4);
+        assert_eq!(connected_components(&g), 7);
+    }
+
+    #[test]
+    fn components_of_connected() {
+        assert_eq!(connected_components(&generators::cycle(10)), 1);
+        assert_eq!(connected_components(&generators::empty(5)), 5);
+        assert_eq!(connected_components(&generators::empty(0)), 0);
+    }
+
+    #[test]
+    fn histogram_star() {
+        let g = generators::star(5);
+        let h = degree_histogram(&g);
+        assert_eq!(h[1], 4);
+        assert_eq!(h[4], 1);
+    }
+
+    #[test]
+    fn degeneracy_values() {
+        assert_eq!(degeneracy(&generators::clique(6)).0, 5);
+        assert_eq!(degeneracy(&generators::path(10)).0, 1);
+        assert_eq!(degeneracy(&generators::cycle(10)).0, 2);
+        assert_eq!(degeneracy(&generators::star(10)).0, 1);
+        assert_eq!(degeneracy(&generators::empty(4)).0, 0);
+        assert_eq!(degeneracy(&generators::grid2d(5, 5)).0, 2);
+    }
+
+    #[test]
+    fn degeneracy_order_is_permutation() {
+        let g = generators::gnp(60, 0.1, 2);
+        let (_, order) = degeneracy(&g);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..60).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn isolated_counting() {
+        assert_eq!(isolated_count(&generators::lower_bound_family(16)), 8);
+        assert_eq!(isolated_count(&generators::clique(4)), 0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Error types for graph construction and IO.
+
+use std::fmt;
+
+/// Error produced by graph construction, validation, or parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint was `>=` the number of nodes.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// The number of nodes in the graph.
+        len: usize,
+    },
+    /// An edge joined a node to itself.
+    SelfLoop {
+        /// The offending node id.
+        node: usize,
+    },
+    /// An internal CSR invariant was violated (indicates a bug).
+    Corrupt(&'static str),
+    /// A textual graph description could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, len } => {
+                write!(f, "node {node} out of range for graph with {len} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            GraphError::Corrupt(what) => write!(f, "corrupt graph representation: {what}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GraphError::NodeOutOfRange { node: 7, len: 5 };
+        assert_eq!(e.to_string(), "node 7 out of range for graph with 5 nodes");
+        let e = GraphError::SelfLoop { node: 3 };
+        assert_eq!(e.to_string(), "self-loop at node 3");
+        let e = GraphError::Parse {
+            line: 2,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,171 @@
+//! Deterministic graph families: paths, cycles, stars, cliques, grids, trees.
+
+use crate::graph::{Graph, GraphBuilder};
+
+/// The empty graph on `n` nodes (no edges). Every node is isolated and must
+/// therefore join any MIS.
+pub fn empty(n: usize) -> Graph {
+    Graph::empty(n)
+}
+
+/// The path P_n: `0 - 1 - … - (n-1)`.
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge(v - 1, v).expect("consecutive ids valid");
+    }
+    b.build()
+}
+
+/// The cycle C_n. For `n < 3` this degenerates to a path (no self-loops or
+/// parallel edges are created).
+pub fn cycle(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge(v - 1, v).expect("consecutive ids valid");
+    }
+    if n >= 3 {
+        b.add_edge(n - 1, 0).expect("ids valid");
+    }
+    b.build()
+}
+
+/// The star K_{1,n-1}: node 0 is the hub adjacent to all others. The extreme
+/// Δ = n − 1 topology; stresses collision handling because every leaf
+/// transmission contends at the hub.
+pub fn star(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge(0, v).expect("ids valid");
+    }
+    b.build()
+}
+
+/// The complete graph K_n. The unique MIS is any single node.
+pub fn clique(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u, v).expect("ids valid");
+        }
+    }
+    b.build()
+}
+
+/// The complete bipartite graph K_{a,b}: sides `0..a` and `a..a+b`.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut builder = GraphBuilder::new(a + b);
+    for u in 0..a {
+        for v in a..(a + b) {
+            builder.add_edge(u, v).expect("ids valid");
+        }
+    }
+    builder.build()
+}
+
+/// The `rows × cols` 2D grid graph with 4-neighborhoods. Node `(r, c)` has
+/// id `r * cols + c`.
+pub fn grid2d(rows: usize, cols: usize) -> Graph {
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = r * cols + c;
+            if c + 1 < cols {
+                b.add_edge(v, v + 1).expect("ids valid");
+            }
+            if r + 1 < rows {
+                b.add_edge(v, v + cols).expect("ids valid");
+            }
+        }
+    }
+    b.build()
+}
+
+/// The complete binary tree on `n` nodes: node `v` has children `2v+1` and
+/// `2v+2` when present.
+pub fn binary_tree(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge(v, (v - 1) / 2).expect("ids valid");
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(path(0).len(), 0);
+        assert_eq!(path(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(5);
+        assert_eq!(g.edge_count(), 5);
+        for v in 0..5 {
+            assert_eq!(g.degree(v), 2);
+        }
+        // Degenerate sizes don't create loops.
+        assert_eq!(cycle(2).edge_count(), 1);
+        assert_eq!(cycle(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(6);
+        assert_eq!(g.degree(0), 5);
+        assert_eq!(g.max_degree(), 5);
+        for v in 1..6 {
+            assert_eq!(g.degree(v), 1);
+        }
+        assert_eq!(star(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn clique_shape() {
+        let g = clique(6);
+        assert_eq!(g.edge_count(), 15);
+        assert_eq!(g.max_degree(), 5);
+        assert_eq!(clique(0).len(), 0);
+        assert_eq!(clique(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn complete_bipartite_shape() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.len(), 7);
+        assert_eq!(g.edge_count(), 12);
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(g.degree(3), 3);
+        assert!(!g.has_edge(0, 1)); // same side
+        assert!(g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid2d(3, 4);
+        assert_eq!(g.len(), 12);
+        // edges: 3*(4-1) horizontal + (3-1)*4 vertical = 9 + 8 = 17
+        assert_eq!(g.edge_count(), 17);
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(grid2d(1, 5).edge_count(), 4); // degenerates to a path
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = binary_tree(7);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 3);
+        assert_eq!(g.degree(6), 1);
+    }
+}

@@ -1,0 +1,172 @@
+//! Random geometric (unit-disk) graphs — the classical ad-hoc / sensor
+//! network topology motivating the paper's introduction.
+//!
+//! Nodes are placed uniformly at random in the unit square; two nodes are
+//! adjacent when within Euclidean distance `radius` (their "transmission
+//! range"). A cell grid makes construction O(n + m) in expectation.
+
+use super::rng;
+use crate::graph::{Graph, GraphBuilder};
+use rand::Rng;
+
+/// Random geometric graph on the unit square.
+///
+/// # Panics
+///
+/// Panics if `radius` is negative or NaN.
+pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Graph {
+    build_geometric(n, radius, seed, false)
+}
+
+/// Random geometric graph on the unit *torus* (wrap-around distances), which
+/// removes boundary effects and gives a more uniform degree distribution.
+///
+/// # Panics
+///
+/// Panics if `radius` is negative or NaN.
+pub fn random_geometric_torus(n: usize, radius: f64, seed: u64) -> Graph {
+    build_geometric(n, radius, seed, true)
+}
+
+fn build_geometric(n: usize, radius: f64, seed: u64, torus: bool) -> Graph {
+    assert!(radius >= 0.0 && !radius.is_nan(), "invalid radius {radius}");
+    let mut r = rng(seed);
+    let points: Vec<(f64, f64)> = (0..n)
+        .map(|_| (r.gen_range(0.0..1.0), r.gen_range(0.0..1.0)))
+        .collect();
+    let mut b = GraphBuilder::new(n);
+    if n < 2 || radius == 0.0 {
+        return b.build();
+    }
+    if radius >= 1.0 && !torus {
+        // Dense regime fallback: the grid degenerates; just do all pairs when
+        // the radius spans the whole square diagonal.
+        if radius * radius >= 2.0 {
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    b.add_edge(u, v).expect("ids valid");
+                }
+            }
+            return b.build();
+        }
+    }
+    // Bucket points into cells of side >= radius.
+    let cells = ((1.0 / radius).floor() as usize).clamp(1, n.max(1));
+    let cell_of = |x: f64| -> usize { ((x * cells as f64) as usize).min(cells - 1) };
+    let mut grid: Vec<Vec<usize>> = vec![Vec::new(); cells * cells];
+    for (i, &(x, y)) in points.iter().enumerate() {
+        grid[cell_of(x) * cells + cell_of(y)].push(i);
+    }
+    let r2 = radius * radius;
+    let dist2 = |a: (f64, f64), bpt: (f64, f64)| -> f64 {
+        let mut dx = (a.0 - bpt.0).abs();
+        let mut dy = (a.1 - bpt.1).abs();
+        if torus {
+            dx = dx.min(1.0 - dx);
+            dy = dy.min(1.0 - dy);
+        }
+        dx * dx + dy * dy
+    };
+    let c = cells as isize;
+    for cx in 0..c {
+        for cy in 0..c {
+            let here = &grid[(cx * c + cy) as usize];
+            for dx in -1..=1isize {
+                for dy in -1..=1isize {
+                    let (nx, ny) = if torus {
+                        ((cx + dx).rem_euclid(c), (cy + dy).rem_euclid(c))
+                    } else {
+                        let nx = cx + dx;
+                        let ny = cy + dy;
+                        if nx < 0 || ny < 0 || nx >= c || ny >= c {
+                            continue;
+                        }
+                        (nx, ny)
+                    };
+                    let there = &grid[(nx * c + ny) as usize];
+                    for &i in here {
+                        for &j in there {
+                            if i < j && dist2(points[i], points[j]) <= r2 {
+                                b.add_edge(i, j).expect("ids valid");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_radius_no_edges() {
+        assert_eq!(random_geometric(100, 0.0, 1).edge_count(), 0);
+    }
+
+    #[test]
+    fn huge_radius_is_clique() {
+        let g = random_geometric(20, 1.5, 1);
+        assert_eq!(g.edge_count(), 190);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        assert_eq!(random_geometric(200, 0.1, 9), random_geometric(200, 0.1, 9));
+        assert_ne!(random_geometric(200, 0.1, 9), random_geometric(200, 0.1, 10));
+    }
+
+    #[test]
+    fn grid_matches_bruteforce() {
+        // Cross-check the cell-grid construction against O(n²) brute force.
+        let n = 150;
+        let radius = 0.13;
+        let seed = 42;
+        let fast = random_geometric(n, radius, seed);
+        // Re-derive points with the same RNG stream.
+        let mut r = super::rng(seed);
+        use rand::Rng;
+        let points: Vec<(f64, f64)> = (0..n)
+            .map(|_| (r.gen_range(0.0..1.0), r.gen_range(0.0..1.0)))
+            .collect();
+        let mut slow = crate::GraphBuilder::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = points[i].0 - points[j].0;
+                let dy = points[i].1 - points[j].1;
+                if dx * dx + dy * dy <= radius * radius {
+                    slow.add_edge(i, j).unwrap();
+                }
+            }
+        }
+        assert_eq!(fast, slow.build());
+    }
+
+    #[test]
+    fn torus_degree_distribution_tighter() {
+        let n = 1500;
+        let radius = 0.05;
+        let square = random_geometric(n, radius, 5);
+        let torus = random_geometric_torus(n, radius, 5);
+        // Torus has no boundary, so mean degree is >= the square's.
+        assert!(torus.avg_degree() >= square.avg_degree());
+        torus.validate().unwrap();
+    }
+
+    #[test]
+    fn expected_degree_formula() {
+        // E[deg] ≈ (n-1)·π·r² on the torus.
+        let n = 3000;
+        let radius = 0.04;
+        let g = random_geometric_torus(n, radius, 17);
+        let expected = (n as f64 - 1.0) * std::f64::consts::PI * radius * radius;
+        let got = g.avg_degree();
+        assert!(
+            (got - expected).abs() < 0.25 * expected,
+            "avg degree {got} vs expected {expected}"
+        );
+    }
+}

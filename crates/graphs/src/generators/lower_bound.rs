@@ -1,0 +1,87 @@
+//! The adversarial graph family from the paper's Theorem 1.
+//!
+//! The Ω(log n) energy lower bound is proved on the anonymous n-node graph
+//! that is the union of n/4 disjoint edges and n/2 isolated nodes: every
+//! isolated node must join the MIS, while each matched pair must break the
+//! tie — which requires one endpoint to *hear* the other, and hearing is
+//! exactly what costs energy.
+
+use crate::graph::{Graph, GraphBuilder};
+
+/// The Theorem-1 family at size `n`: `⌊n/4⌋` disjoint edges followed by
+/// isolated nodes filling up to `n`.
+///
+/// Node layout: nodes `2i` and `2i+1` are matched for `i < ⌊n/4⌋`; all nodes
+/// `>= 2⌊n/4⌋` are isolated.
+pub fn lower_bound_family(n: usize) -> Graph {
+    matching_plus_isolated(n / 4, n - 2 * (n / 4))
+}
+
+/// A union of `pairs` disjoint edges and `isolated` isolated nodes
+/// (`2·pairs + isolated` nodes total). [`lower_bound_family`] is the paper's
+/// n/4 + n/2 instantiation.
+pub fn matching_plus_isolated(pairs: usize, isolated: usize) -> Graph {
+    let mut b = GraphBuilder::new(2 * pairs + isolated);
+    for i in 0..pairs {
+        b.add_edge(2 * i, 2 * i + 1).expect("ids valid");
+    }
+    b.build()
+}
+
+/// Returns the matched partner of `v` in a [`matching_plus_isolated`] graph
+/// with `pairs` pairs, or `None` if `v` is isolated.
+pub fn partner(v: usize, pairs: usize) -> Option<usize> {
+    if v < 2 * pairs {
+        Some(v ^ 1)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_shape() {
+        let g = lower_bound_family(16);
+        assert_eq!(g.len(), 16);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.max_degree(), 1);
+        // Nodes 0..8 are matched, 8..16 isolated.
+        for i in 0..4 {
+            assert!(g.has_edge(2 * i, 2 * i + 1));
+        }
+        for v in 8..16 {
+            assert_eq!(g.degree(v), 0);
+        }
+    }
+
+    #[test]
+    fn family_handles_non_multiples_of_four() {
+        for n in [0usize, 1, 2, 3, 5, 7, 13] {
+            let g = lower_bound_family(n);
+            assert_eq!(g.len(), n);
+            assert_eq!(g.edge_count(), n / 4);
+            g.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn partner_mapping() {
+        assert_eq!(partner(0, 3), Some(1));
+        assert_eq!(partner(1, 3), Some(0));
+        assert_eq!(partner(5, 3), Some(4));
+        assert_eq!(partner(6, 3), None);
+    }
+
+    #[test]
+    fn unique_mis_on_family() {
+        // The MIS must contain all isolated nodes and exactly one endpoint
+        // per pair, so it has size pairs + isolated.
+        let g = matching_plus_isolated(5, 7);
+        let mis = crate::mis::greedy_mis(&g);
+        assert!(crate::mis::is_mis(&g, &mis));
+        assert_eq!(mis.iter().filter(|&&b| b).count(), 5 + 7);
+    }
+}

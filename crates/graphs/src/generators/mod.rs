@@ -1,0 +1,246 @@
+//! Graph generators for the evaluation workloads.
+//!
+//! The paper's algorithms work on *arbitrary and unknown* topologies, so the
+//! evaluation sweeps several structurally different families:
+//!
+//! - deterministic families ([`classic`]): paths, cycles, stars, cliques,
+//!   grids, bipartite graphs, trees — cover extreme degree distributions;
+//! - random families ([`random`]): Erdős–Rényi G(n,p)/G(n,m), bounded-degree
+//!   random graphs, random trees — "arbitrary topology" workloads;
+//! - geometric families ([`geometric`]): random geometric (unit-disk) graphs,
+//!   the classical ad-hoc / sensor-network topology the paper's introduction
+//!   motivates;
+//! - the adversarial family of Theorem 1 ([`lower_bound`]).
+//!
+//! Every randomized generator takes an explicit `seed` and is deterministic
+//! given it.
+
+pub mod classic;
+pub mod geometric;
+pub mod lower_bound;
+pub mod random;
+
+pub use classic::{
+    binary_tree, clique, complete_bipartite, cycle, empty, grid2d, path, star,
+};
+pub use geometric::{random_geometric, random_geometric_torus};
+pub use lower_bound::{lower_bound_family, matching_plus_isolated};
+pub use random::{bounded_degree, gnm, gnp, random_tree};
+
+use crate::Graph;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Creates the deterministic RNG used by all generators in this crate.
+pub(crate) fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// A named graph family used by the experiment sweeps, so tables can report
+/// which topology a row came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Family {
+    /// Erdős–Rényi with expected average degree given by the family parameter.
+    GnpAvgDegree(u32),
+    /// Random geometric graph with expected average degree given by the parameter.
+    GeometricAvgDegree(u32),
+    /// 2D grid (near-square).
+    Grid,
+    /// Star K_{1,n-1}: one hub.
+    Star,
+    /// Clique K_n.
+    Clique,
+    /// Path P_n.
+    Path,
+    /// Cycle C_n.
+    Cycle,
+    /// Empty graph (isolated nodes only).
+    Empty,
+    /// Random tree (uniform via Prüfer sequences).
+    RandomTree,
+    /// Bounded-degree random graph with max degree given by the parameter.
+    BoundedDegree(u32),
+    /// Theorem 1 lower-bound family: n/4 disjoint edges + n/2 isolated nodes.
+    LowerBound,
+}
+
+impl Family {
+    /// Instantiates this family at size `n` using `seed`.
+    pub fn generate(self, n: usize, seed: u64) -> Graph {
+        match self {
+            Family::GnpAvgDegree(d) => {
+                let p = if n <= 1 {
+                    0.0
+                } else {
+                    (d as f64 / (n as f64 - 1.0)).min(1.0)
+                };
+                gnp(n, p, seed)
+            }
+            Family::GeometricAvgDegree(d) => {
+                // In a unit square with n points, expected degree ≈ n·π·r².
+                let r = if n == 0 {
+                    0.0
+                } else {
+                    (d as f64 / (n as f64 * std::f64::consts::PI)).sqrt()
+                };
+                random_geometric(n, r, seed)
+            }
+            Family::Grid => {
+                let side = (n as f64).sqrt().round().max(1.0) as usize;
+                grid2d(side, n.div_ceil(side.max(1)))
+            }
+            Family::Star => star(n),
+            Family::Clique => clique(n),
+            Family::Path => path(n),
+            Family::Cycle => cycle(n),
+            Family::Empty => empty(n),
+            Family::RandomTree => random_tree(n, seed),
+            Family::BoundedDegree(d) => bounded_degree(n, d as usize, seed),
+            Family::LowerBound => lower_bound_family(n),
+        }
+    }
+
+    /// Short stable label used in experiment tables.
+    pub fn label(self) -> String {
+        match self {
+            Family::GnpAvgDegree(d) => format!("gnp-d{d}"),
+            Family::GeometricAvgDegree(d) => format!("udg-d{d}"),
+            Family::Grid => "grid".into(),
+            Family::Star => "star".into(),
+            Family::Clique => "clique".into(),
+            Family::Path => "path".into(),
+            Family::Cycle => "cycle".into(),
+            Family::Empty => "empty".into(),
+            Family::RandomTree => "tree".into(),
+            Family::BoundedDegree(d) => format!("bdeg-{d}"),
+            Family::LowerBound => "lowerbound".into(),
+        }
+    }
+}
+
+impl Family {
+    /// Parses the labels produced by [`Family::label`] (e.g. `"gnp-d8"`,
+    /// `"udg-d6"`, `"bdeg-5"`, `"star"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the expected syntax on failure.
+    pub fn parse(label: &str) -> Result<Family, String> {
+        let parse_param = |prefix: &str| -> Option<Result<u32, String>> {
+            label.strip_prefix(prefix).map(|rest| {
+                rest.parse::<u32>()
+                    .map_err(|e| format!("bad parameter in {label:?}: {e}"))
+            })
+        };
+        if let Some(d) = parse_param("gnp-d") {
+            return d.map(Family::GnpAvgDegree);
+        }
+        if let Some(d) = parse_param("udg-d") {
+            return d.map(Family::GeometricAvgDegree);
+        }
+        if let Some(d) = parse_param("bdeg-") {
+            return d.map(Family::BoundedDegree);
+        }
+        match label {
+            "grid" => Ok(Family::Grid),
+            "star" => Ok(Family::Star),
+            "clique" => Ok(Family::Clique),
+            "path" => Ok(Family::Path),
+            "cycle" => Ok(Family::Cycle),
+            "empty" => Ok(Family::Empty),
+            "tree" => Ok(Family::RandomTree),
+            "lowerbound" => Ok(Family::LowerBound),
+            other => Err(format!(
+                "unknown family {other:?}; expected one of gnp-d<K>, udg-d<K>, bdeg-<K>,                  grid, star, clique, path, cycle, empty, tree, lowerbound"
+            )),
+        }
+    }
+}
+
+impl std::str::FromStr for Family {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Family, String> {
+        Family::parse(s)
+    }
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_generate_is_deterministic() {
+        for fam in [
+            Family::GnpAvgDegree(8),
+            Family::GeometricAvgDegree(6),
+            Family::Grid,
+            Family::Star,
+            Family::Clique,
+            Family::Path,
+            Family::Cycle,
+            Family::Empty,
+            Family::RandomTree,
+            Family::BoundedDegree(5),
+            Family::LowerBound,
+        ] {
+            let a = fam.generate(64, 7);
+            let b = fam.generate(64, 7);
+            assert_eq!(a, b, "family {fam} not deterministic");
+            a.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn family_labels_are_unique() {
+        let fams = [
+            Family::GnpAvgDegree(8),
+            Family::GeometricAvgDegree(6),
+            Family::Grid,
+            Family::Star,
+            Family::Clique,
+            Family::Path,
+            Family::Cycle,
+            Family::Empty,
+            Family::RandomTree,
+            Family::BoundedDegree(5),
+            Family::LowerBound,
+        ];
+        let labels: std::collections::HashSet<_> = fams.iter().map(|f| f.label()).collect();
+        assert_eq!(labels.len(), fams.len());
+    }
+
+    #[test]
+    fn parse_roundtrips_labels() {
+        for fam in [
+            Family::GnpAvgDegree(8),
+            Family::GeometricAvgDegree(6),
+            Family::Grid,
+            Family::Star,
+            Family::Clique,
+            Family::Path,
+            Family::Cycle,
+            Family::Empty,
+            Family::RandomTree,
+            Family::BoundedDegree(5),
+            Family::LowerBound,
+        ] {
+            assert_eq!(Family::parse(&fam.label()), Ok(fam), "{fam}");
+        }
+        assert!(Family::parse("nope").is_err());
+        assert!(Family::parse("gnp-dxyz").is_err());
+        assert_eq!("gnp-d12".parse::<Family>(), Ok(Family::GnpAvgDegree(12)));
+    }
+
+    #[test]
+    fn geometric_family_hits_target_degree_roughly() {
+        let g = Family::GeometricAvgDegree(10).generate(2000, 3);
+        let avg = g.avg_degree();
+        assert!(avg > 5.0 && avg < 20.0, "avg degree {avg} far from target 10");
+    }
+}

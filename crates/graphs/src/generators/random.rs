@@ -1,0 +1,248 @@
+//! Randomized graph families: G(n,p), G(n,m), bounded-degree, random trees.
+
+use super::rng;
+use crate::graph::{Graph, GraphBuilder, NodeId};
+use rand::distributions::{Distribution, Uniform};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Erdős–Rényi G(n, p): each of the n·(n−1)/2 possible edges is present
+/// independently with probability `p`.
+///
+/// Uses geometric skipping, so the cost is O(n + m) rather than O(n²) for
+/// sparse graphs.
+///
+/// # Panics
+///
+/// Panics if `p` is not within `[0, 1]` or is NaN.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p = {p} outside [0, 1]");
+    let mut b = GraphBuilder::new(n);
+    if n < 2 || p == 0.0 {
+        return b.build();
+    }
+    let mut r = rng(seed);
+    if p >= 1.0 {
+        for u in 0..n {
+            for v in (u + 1)..n {
+                b.add_edge(u, v).expect("ids valid");
+            }
+        }
+        return b.build();
+    }
+    // Batagelj–Brandes geometric skipping over the lexicographic edge stream.
+    let log1mp = (1.0 - p).ln();
+    let mut v: i64 = 1;
+    let mut w: i64 = -1;
+    let n = n as i64;
+    while v < n {
+        let u: f64 = r.gen_range(0.0..1.0);
+        let skip = ((1.0 - u).ln() / log1mp).floor() as i64;
+        w += 1 + skip;
+        while w >= v && v < n {
+            w -= v;
+            v += 1;
+        }
+        if v < n {
+            b.add_edge(w as NodeId, v as NodeId).expect("ids valid");
+        }
+    }
+    b.build()
+}
+
+/// Erdős–Rényi G(n, m): exactly `m` distinct edges chosen uniformly at
+/// random (capped at the number of possible edges).
+pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
+    let possible = n.saturating_mul(n.saturating_sub(1)) / 2;
+    let m = m.min(possible);
+    let mut r = rng(seed);
+    let mut b = GraphBuilder::new(n);
+    if n < 2 || m == 0 {
+        return b.build();
+    }
+    let mut chosen = std::collections::HashSet::with_capacity(m * 2);
+    let side = Uniform::new(0, n);
+    while chosen.len() < m {
+        let u = side.sample(&mut r);
+        let v = side.sample(&mut r);
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if chosen.insert(key) {
+            b.add_edge(key.0, key.1).expect("ids valid");
+        }
+    }
+    b.build()
+}
+
+/// A random graph with maximum degree at most `d_max`, built by sampling
+/// candidate edges uniformly and keeping those that respect the bound.
+///
+/// The result is *not* a uniform d-regular graph; it is a simple workload
+/// with a hard Δ cap, which is what the Δ-sweep experiments need.
+pub fn bounded_degree(n: usize, d_max: usize, seed: u64) -> Graph {
+    let mut r = rng(seed);
+    let mut b = GraphBuilder::new(n);
+    if n < 2 || d_max == 0 {
+        return b.build();
+    }
+    let mut degree = vec![0usize; n];
+    let mut present = std::collections::HashSet::new();
+    // Aim for a near-saturated graph: try ~ n·d_max/2 edges with a bounded
+    // number of rejection retries.
+    let target = n * d_max / 2;
+    let mut attempts = 0usize;
+    let max_attempts = target * 20 + 100;
+    let side = Uniform::new(0, n);
+    let mut added = 0usize;
+    while added < target && attempts < max_attempts {
+        attempts += 1;
+        let u = side.sample(&mut r);
+        let v = side.sample(&mut r);
+        if u == v || degree[u] >= d_max || degree[v] >= d_max {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if present.insert(key) {
+            degree[u] += 1;
+            degree[v] += 1;
+            b.add_edge(key.0, key.1).expect("ids valid");
+            added += 1;
+        }
+    }
+    b.build()
+}
+
+/// A uniformly random labelled tree on `n` nodes, generated from a random
+/// Prüfer sequence. For `n <= 1` the graph has no edges; `n == 2` is a
+/// single edge.
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    match n {
+        0 | 1 => return b.build(),
+        2 => {
+            b.add_edge(0, 1).expect("ids valid");
+            return b.build();
+        }
+        _ => {}
+    }
+    let mut r = rng(seed);
+    let prufer: Vec<NodeId> = (0..n - 2).map(|_| r.gen_range(0..n)).collect();
+    let mut degree = vec![1usize; n];
+    for &v in &prufer {
+        degree[v] += 1;
+    }
+    // Standard Prüfer decoding with a min-heap of current leaves.
+    let mut leaves: std::collections::BinaryHeap<std::cmp::Reverse<NodeId>> = (0..n)
+        .filter(|&v| degree[v] == 1)
+        .map(std::cmp::Reverse)
+        .collect();
+    for &v in &prufer {
+        let std::cmp::Reverse(leaf) = leaves.pop().expect("a leaf always exists");
+        b.add_edge(leaf, v).expect("ids valid");
+        degree[leaf] -= 1;
+        degree[v] -= 1;
+        if degree[v] == 1 {
+            leaves.push(std::cmp::Reverse(v));
+        }
+    }
+    let std::cmp::Reverse(a) = leaves.pop().expect("two leaves remain");
+    let std::cmp::Reverse(c) = leaves.pop().expect("two leaves remain");
+    b.add_edge(a, c).expect("ids valid");
+    b.build()
+}
+
+/// A uniformly random permutation of `0..n`, useful for randomized node
+/// orders in baselines.
+pub fn random_permutation(n: usize, seed: u64) -> Vec<NodeId> {
+    let mut r = rng(seed);
+    let mut perm: Vec<NodeId> = (0..n).collect();
+    perm.shuffle(&mut r);
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(10, 0.0, 1).edge_count(), 0);
+        assert_eq!(gnp(10, 1.0, 1).edge_count(), 45);
+        assert_eq!(gnp(0, 0.5, 1).len(), 0);
+        assert_eq!(gnp(1, 0.5, 1).edge_count(), 0);
+    }
+
+    #[test]
+    fn gnp_density_close_to_expectation() {
+        let n = 400;
+        let p = 0.05;
+        let g = gnp(n, p, 99);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let m = g.edge_count() as f64;
+        assert!(
+            (m - expected).abs() < 0.25 * expected,
+            "edge count {m} far from expectation {expected}"
+        );
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn gnp_deterministic_by_seed() {
+        assert_eq!(gnp(100, 0.1, 5), gnp(100, 0.1, 5));
+        assert_ne!(gnp(100, 0.1, 5), gnp(100, 0.1, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn gnp_rejects_bad_p() {
+        let _ = gnp(10, 1.5, 0);
+    }
+
+    #[test]
+    fn gnm_exact_count() {
+        let g = gnm(50, 100, 7);
+        assert_eq!(g.edge_count(), 100);
+        g.validate().unwrap();
+        // Cap at complete graph.
+        assert_eq!(gnm(5, 1000, 7).edge_count(), 10);
+        assert_eq!(gnm(1, 5, 7).edge_count(), 0);
+    }
+
+    #[test]
+    fn bounded_degree_respects_cap() {
+        for d in [1, 2, 3, 8] {
+            let g = bounded_degree(200, d, 11);
+            assert!(g.max_degree() <= d, "Δ = {} > cap {d}", g.max_degree());
+            g.validate().unwrap();
+        }
+        assert_eq!(bounded_degree(10, 0, 1).edge_count(), 0);
+    }
+
+    #[test]
+    fn bounded_degree_nearly_saturates() {
+        let g = bounded_degree(500, 4, 3);
+        // Should get close to n·d/2 = 1000 edges.
+        assert!(g.edge_count() > 800, "only {} edges", g.edge_count());
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        for n in [2usize, 3, 10, 100] {
+            let g = random_tree(n, 13);
+            assert_eq!(g.edge_count(), n - 1, "n = {n}");
+            assert_eq!(crate::analysis::connected_components(&g), 1, "n = {n}");
+        }
+        assert_eq!(random_tree(0, 1).len(), 0);
+        assert_eq!(random_tree(1, 1).edge_count(), 0);
+    }
+
+    #[test]
+    fn random_permutation_is_permutation() {
+        let p = random_permutation(20, 5);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+}

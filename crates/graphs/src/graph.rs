@@ -1,0 +1,538 @@
+//! The core immutable graph type, stored in compressed-sparse-row form.
+//!
+//! Graphs here model the *communication topology* of a radio network: simple
+//! (no self-loops, no parallel edges), undirected, with nodes identified by
+//! dense indices `0..n`. The representation is immutable after construction —
+//! algorithms never mutate the topology — which lets the simulator share one
+//! graph across many trials without copying.
+
+use crate::error::GraphError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node: a dense index in `0..graph.len()`.
+pub type NodeId = usize;
+
+/// An immutable simple undirected graph in compressed-sparse-row form.
+///
+/// Construct one with [`GraphBuilder`], [`Graph::from_edges`], or a generator
+/// from [`crate::generators`].
+///
+/// # Examples
+///
+/// ```
+/// use mis_graphs::Graph;
+///
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+/// assert_eq!(g.len(), 4);
+/// assert_eq!(g.edge_count(), 3);
+/// assert_eq!(g.degree(1), 2);
+/// assert!(g.has_edge(2, 1) && !g.has_edge(0, 2));
+/// ```
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    /// `offsets[v]..offsets[v+1]` indexes `targets` for node `v`'s neighbors.
+    offsets: Vec<usize>,
+    /// Concatenated, per-node-sorted neighbor lists.
+    targets: Vec<NodeId>,
+    /// Number of undirected edges.
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Builds a graph with `n` nodes from an undirected edge list.
+    ///
+    /// Duplicate edges (in either orientation) are deduplicated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if an endpoint is `>= n` and
+    /// [`GraphError::SelfLoop`] if an edge joins a node to itself.
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Result<Graph, GraphError> {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in edges {
+            b.add_edge(u, v)?;
+        }
+        Ok(b.build())
+    }
+
+    /// Builds the graph with `n` nodes and no edges.
+    pub fn empty(n: usize) -> Graph {
+        Graph {
+            offsets: vec![0; n + 1],
+            targets: Vec::new(),
+            edge_count: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Degree of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Maximum degree Δ of the graph (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.len()).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Average degree (0.0 for an empty graph).
+    pub fn avg_degree(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            2.0 * self.edge_count as f64 / self.len() as f64
+        }
+    }
+
+    /// The sorted neighbor list of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Whether the undirected edge `{u, v}` is present. Order-insensitive in
+    /// meaning; this method requires `u != v` to return `true`.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        if u >= self.len() || v >= self.len() || u == v {
+            return false;
+        }
+        // Search the shorter adjacency list.
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Iterates over every undirected edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.len()).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Iterates over all node ids `0..len()`.
+    pub fn nodes(&self) -> std::ops::Range<NodeId> {
+        0..self.len()
+    }
+
+    /// The subgraph induced by `keep` (nodes with `keep[v] == true`),
+    /// together with the mapping from new ids to original ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep.len() != self.len()`.
+    pub fn induced_subgraph(&self, keep: &[bool]) -> (Graph, Vec<NodeId>) {
+        assert_eq!(keep.len(), self.len(), "keep mask length mismatch");
+        let mut new_id = vec![usize::MAX; self.len()];
+        let mut back = Vec::new();
+        for v in self.nodes() {
+            if keep[v] {
+                new_id[v] = back.len();
+                back.push(v);
+            }
+        }
+        let mut b = GraphBuilder::new(back.len());
+        for (u, v) in self.edges() {
+            if keep[u] && keep[v] {
+                b.add_edge(new_id[u], new_id[v]).expect("validated edge");
+            }
+        }
+        (b.build(), back)
+    }
+
+    /// Number of edges with both endpoints in `keep`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep.len() != self.len()`.
+    pub fn edges_within(&self, keep: &[bool]) -> usize {
+        assert_eq!(keep.len(), self.len(), "keep mask length mismatch");
+        self.edges().filter(|&(u, v)| keep[u] && keep[v]).count()
+    }
+
+    /// Maximum degree of the subgraph induced by `keep`, without
+    /// materializing the subgraph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep.len() != self.len()`.
+    pub fn max_degree_within(&self, keep: &[bool]) -> usize {
+        assert_eq!(keep.len(), self.len(), "keep mask length mismatch");
+        self.nodes()
+            .filter(|&v| keep[v])
+            .map(|v| self.neighbors(v).iter().filter(|&&u| keep[u]).count())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The line graph L(G): one node per edge of `self`, adjacent when the
+    /// original edges share an endpoint. Returns the line graph and the
+    /// mapping from line-graph node id to the original edge.
+    ///
+    /// An independent set in L(G) is a matching in G, which is how the
+    /// `radio_mis::applications` module derives maximal matchings from MIS.
+    pub fn line_graph(&self) -> (Graph, Vec<(NodeId, NodeId)>) {
+        let edges: Vec<(NodeId, NodeId)> = self.edges().collect();
+        let mut index_of_edge = std::collections::HashMap::new();
+        for (i, &e) in edges.iter().enumerate() {
+            index_of_edge.insert(e, i);
+        }
+        let mut b = GraphBuilder::new(edges.len());
+        for v in self.nodes() {
+            let nb = self.neighbors(v);
+            // All edges incident to v are pairwise adjacent in L(G).
+            let incident: Vec<usize> = nb
+                .iter()
+                .map(|&u| {
+                    let key = if v < u { (v, u) } else { (u, v) };
+                    index_of_edge[&key]
+                })
+                .collect();
+            for (i, &a) in incident.iter().enumerate() {
+                for &c in &incident[i + 1..] {
+                    b.add_edge(a, c).expect("line-graph ids valid");
+                }
+            }
+        }
+        (b.build(), edges)
+    }
+
+    /// Disjoint union: the nodes of `other` are appended after `self`'s.
+    pub fn disjoint_union(&self, other: &Graph) -> Graph {
+        let shift = self.len();
+        let mut b = GraphBuilder::new(self.len() + other.len());
+        for (u, v) in self.edges() {
+            b.add_edge(u, v).expect("validated edge");
+        }
+        for (u, v) in other.edges() {
+            b.add_edge(u + shift, v + shift).expect("validated edge");
+        }
+        b.build()
+    }
+
+    /// Checks internal CSR invariants; used by tests and debug assertions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] describing the first violated invariant.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        let n = self.len();
+        if *self.offsets.first().expect("offsets nonempty") != 0 {
+            return Err(GraphError::Corrupt("offsets[0] != 0"));
+        }
+        if *self.offsets.last().expect("offsets nonempty") != self.targets.len() {
+            return Err(GraphError::Corrupt("offsets end != targets.len()"));
+        }
+        if self.targets.len() != 2 * self.edge_count {
+            return Err(GraphError::Corrupt("targets.len() != 2 * edge_count"));
+        }
+        for v in 0..n {
+            if self.offsets[v] > self.offsets[v + 1] {
+                return Err(GraphError::Corrupt("offsets not monotone"));
+            }
+            let nb = self.neighbors(v);
+            for w in nb.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(GraphError::Corrupt("adjacency not strictly sorted"));
+                }
+            }
+            for &u in nb {
+                if u >= n {
+                    return Err(GraphError::NodeOutOfRange { node: u, len: n });
+                }
+                if u == v {
+                    return Err(GraphError::SelfLoop { node: v });
+                }
+                if self.neighbors(u).binary_search(&v).is_err() {
+                    return Err(GraphError::Corrupt("adjacency not symmetric"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("nodes", &self.len())
+            .field("edges", &self.edge_count)
+            .field("max_degree", &self.max_degree())
+            .finish()
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// # Examples
+///
+/// ```
+/// use mis_graphs::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1).unwrap();
+/// b.add_edge(1, 2).unwrap();
+/// b.add_edge(2, 1).unwrap(); // duplicate, deduplicated
+/// let g = b.build();
+/// assert_eq!(g.edge_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for a graph on `n` nodes.
+    pub fn new(n: usize) -> GraphBuilder {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of nodes the built graph will have.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Adds the undirected edge `{u, v}`. Duplicates are allowed and removed
+    /// at [`GraphBuilder::build`] time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] or [`GraphError::SelfLoop`] for
+    /// invalid endpoints.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<&mut Self, GraphError> {
+        if u >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: u, len: self.n });
+        }
+        if v >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: v, len: self.n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        self.edges.push(if u < v { (u, v) } else { (v, u) });
+        Ok(self)
+    }
+
+    /// Finalizes into an immutable [`Graph`], deduplicating edges.
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let mut degree = vec![0usize; self.n];
+        for &(u, v) in &self.edges {
+            degree[u] += 1;
+            degree[v] += 1;
+        }
+        let mut offsets = Vec::with_capacity(self.n + 1);
+        offsets.push(0usize);
+        for v in 0..self.n {
+            offsets.push(offsets[v] + degree[v]);
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0 as NodeId; 2 * self.edges.len()];
+        for &(u, v) in &self.edges {
+            targets[cursor[u]] = v;
+            cursor[u] += 1;
+            targets[cursor[v]] = u;
+            cursor[v] += 1;
+        }
+        // Each per-node slice is sorted because edges were globally sorted by
+        // (min, max); the `v`-side inserts arrive in increasing `u` order and
+        // the `u`-side inserts in increasing `v` order, but interleaving can
+        // break ordering, so sort each slice (cheap: already nearly sorted).
+        let graph = {
+            for v in 0..self.n {
+                targets[offsets[v]..offsets[v + 1]].sort_unstable();
+            }
+            Graph {
+                offsets,
+                targets,
+                edge_count: self.edges.len(),
+            }
+        };
+        debug_assert!(graph.validate().is_ok());
+        graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(5);
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert!(!g.has_edge(0, 1));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn zero_node_graph() {
+        let g = Graph::empty(0);
+        assert!(g.is_empty());
+        assert_eq!(g.edges().count(), 0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn triangle() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        assert_eq!(g.edge_count(), 3);
+        for v in 0..3 {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert!(g.has_edge(0, 2) && g.has_edge(2, 0));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn dedup_edges() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        assert!(matches!(
+            Graph::from_edges(3, &[(1, 1)]),
+            Err(GraphError::SelfLoop { node: 1 })
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(matches!(
+            Graph::from_edges(3, &[(0, 3)]),
+            Err(GraphError::NodeOutOfRange { node: 3, len: 3 })
+        ));
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let g = Graph::from_edges(5, &[(2, 4), (2, 0), (2, 3), (2, 1)]).unwrap();
+        assert_eq!(g.neighbors(2), &[0, 1, 3, 4]);
+        assert_eq!(g.degree(2), 4);
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn edges_iterates_once_each() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 3), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn induced_subgraph_maps_back() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]).unwrap();
+        let keep = vec![true, false, true, true, false];
+        let (sub, back) = g.induced_subgraph(&keep);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(back, vec![0, 2, 3]);
+        // Only the 2-3 edge survives: becomes (1, 2) in the subgraph.
+        assert_eq!(sub.edge_count(), 1);
+        assert!(sub.has_edge(1, 2));
+        sub.validate().unwrap();
+    }
+
+    #[test]
+    fn edges_within_mask() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(g.edges_within(&[true, true, true, true]), 3);
+        assert_eq!(g.edges_within(&[true, true, false, true]), 1);
+        assert_eq!(g.edges_within(&[false, false, false, false]), 0);
+    }
+
+    #[test]
+    fn max_degree_within_mask() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        assert_eq!(g.max_degree_within(&[true, true, true, true]), 3);
+        assert_eq!(g.max_degree_within(&[true, true, false, false]), 1);
+        assert_eq!(g.max_degree_within(&[false, true, true, true]), 0);
+    }
+
+    #[test]
+    fn line_graph_of_path() {
+        // P4: edges (0,1),(1,2),(2,3) -> line graph is P3.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let (lg, edges) = g.line_graph();
+        assert_eq!(lg.len(), 3);
+        assert_eq!(lg.edge_count(), 2);
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3)]);
+        lg.validate().unwrap();
+    }
+
+    #[test]
+    fn line_graph_of_star_is_clique() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        let (lg, _) = g.line_graph();
+        assert_eq!(lg.len(), 4);
+        assert_eq!(lg.edge_count(), 6); // K4
+    }
+
+    #[test]
+    fn line_graph_of_triangle_is_triangle() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let (lg, _) = g.line_graph();
+        assert_eq!(lg.len(), 3);
+        assert_eq!(lg.edge_count(), 3);
+    }
+
+    #[test]
+    fn disjoint_union_shifts() {
+        let a = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let b = Graph::from_edges(3, &[(0, 2)]).unwrap();
+        let u = a.disjoint_union(&b);
+        assert_eq!(u.len(), 5);
+        assert_eq!(u.edge_count(), 2);
+        assert!(u.has_edge(0, 1));
+        assert!(u.has_edge(2, 4));
+        u.validate().unwrap();
+    }
+
+    #[test]
+    fn avg_degree() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!((g.avg_degree() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let g = Graph::empty(1);
+        assert!(!format!("{g:?}").is_empty());
+    }
+}

@@ -1,0 +1,129 @@
+//! Plain-text graph serialization.
+//!
+//! Format: first non-comment line is `n m`; each following line is an edge
+//! `u v`. Lines starting with `#` are comments. This mirrors common edge-list
+//! formats so generated workloads can be inspected or reused outside Rust.
+
+use crate::error::GraphError;
+use crate::graph::{Graph, GraphBuilder};
+use std::fmt::Write as _;
+
+/// Serializes a graph to the edge-list text format.
+pub fn to_text(g: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# energy-mis edge list");
+    let _ = writeln!(out, "{} {}", g.len(), g.edge_count());
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "{u} {v}");
+    }
+    out
+}
+
+/// Parses the edge-list text format.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] on malformed input and the underlying
+/// construction error for invalid edges (self-loops, out-of-range ids).
+pub fn from_text(text: &str) -> Result<Graph, GraphError> {
+    let mut header: Option<(usize, usize)> = None;
+    let mut builder: Option<GraphBuilder> = None;
+    let mut edges_seen = 0usize;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = idx + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let a: usize = parse_field(parts.next(), lineno)?;
+        let b: usize = parse_field(parts.next(), lineno)?;
+        if parts.next().is_some() {
+            return Err(GraphError::Parse {
+                line: lineno,
+                message: "expected exactly two fields".into(),
+            });
+        }
+        match builder {
+            None => {
+                header = Some((a, b));
+                builder = Some(GraphBuilder::new(a));
+            }
+            Some(ref mut bl) => {
+                bl.add_edge(a, b)?;
+                edges_seen += 1;
+            }
+        }
+    }
+    let builder = builder.ok_or(GraphError::Parse {
+        line: 0,
+        message: "missing header line".into(),
+    })?;
+    let (_, m) = header.expect("header set when builder set");
+    if edges_seen != m {
+        return Err(GraphError::Parse {
+            line: 0,
+            message: format!("header declared {m} edges, found {edges_seen}"),
+        });
+    }
+    Ok(builder.build())
+}
+
+fn parse_field(field: Option<&str>, line: usize) -> Result<usize, GraphError> {
+    field
+        .ok_or(GraphError::Parse {
+            line,
+            message: "missing field".into(),
+        })?
+        .parse()
+        .map_err(|e| GraphError::Parse {
+            line,
+            message: format!("invalid integer: {e}"),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn roundtrip() {
+        let g = generators::gnp(40, 0.1, 8);
+        let text = to_text(&g);
+        let back = from_text(&text).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let g = generators::empty(5);
+        assert_eq!(from_text(&to_text(&g)).unwrap(), g);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let g = from_text("# hello\n\n3 1\n# mid\n0 2\n").unwrap();
+        assert_eq!(g.len(), 3);
+        assert!(g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert!(matches!(from_text("# only comments\n"), Err(GraphError::Parse { .. })));
+        assert!(matches!(from_text(""), Err(GraphError::Parse { .. })));
+    }
+
+    #[test]
+    fn rejects_edge_count_mismatch() {
+        let err = from_text("3 2\n0 1\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { .. }));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_text("3 one\n").is_err());
+        assert!(from_text("3 1\n0 1 2\n").is_err());
+        assert!(from_text("3 1\n0 9\n").is_err());
+    }
+}

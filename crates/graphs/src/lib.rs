@@ -1,0 +1,36 @@
+//! Graph substrate for the energy-efficient radio-network MIS reproduction.
+//!
+//! This crate provides everything the simulator and the algorithms need from
+//! the *topology* side of the paper's model (§1.1 of the paper): an immutable
+//! compressed-sparse-row [`Graph`] type, a library of [`generators`] covering
+//! the graph families the paper's analysis touches (arbitrary graphs via
+//! G(n,p), unit-disk graphs, the Theorem-1 lower-bound family, stars,
+//! cliques, grids, trees, …), and [`mis`] verification utilities that decide
+//! whether an algorithm's output is a maximal independent set.
+//!
+//! # Quick example
+//!
+//! ```
+//! use mis_graphs::{generators, mis};
+//!
+//! let g = generators::gnp(100, 0.05, 42);
+//! let set = mis::greedy_mis(&g);
+//! assert!(mis::is_mis(&g, &set));
+//! ```
+//!
+//! All generators are deterministic given their seed, which is what makes the
+//! experiment harness reproducible end to end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod error;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod mis;
+
+pub use error::GraphError;
+pub use graph::{Graph, GraphBuilder, NodeId};
+pub use mis::{is_independent, is_maximal, is_mis, MisViolation};

@@ -1,0 +1,285 @@
+//! Maximal-independent-set verification and sequential baselines.
+//!
+//! An MIS (paper §1.2) is a set M ⊆ V such that (i) no two nodes of M are
+//! adjacent, and (ii) every node is in M or has a neighbor in M. Sets are
+//! represented as `&[bool]` membership masks indexed by node id.
+
+use crate::graph::{Graph, NodeId};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The first structural violation found when checking a claimed MIS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MisViolation {
+    /// The mask length does not match the graph size.
+    WrongLength {
+        /// Mask length supplied.
+        got: usize,
+        /// Number of nodes expected.
+        expected: usize,
+    },
+    /// Two adjacent nodes are both in the set.
+    NotIndependent {
+        /// First endpoint (in the set).
+        u: NodeId,
+        /// Second endpoint (in the set, adjacent to `u`).
+        v: NodeId,
+    },
+    /// A node is neither in the set nor adjacent to a node in the set.
+    NotDominated {
+        /// The uncovered node.
+        v: NodeId,
+    },
+}
+
+impl std::fmt::Display for MisViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MisViolation::WrongLength { got, expected } => {
+                write!(f, "membership mask has length {got}, expected {expected}")
+            }
+            MisViolation::NotIndependent { u, v } => {
+                write!(f, "adjacent nodes {u} and {v} are both in the set")
+            }
+            MisViolation::NotDominated { v } => {
+                write!(f, "node {v} is neither in the set nor dominated by it")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MisViolation {}
+
+/// Checks independence: no edge has both endpoints in `set`.
+///
+/// # Panics
+///
+/// Panics if `set.len() != g.len()`.
+pub fn is_independent(g: &Graph, set: &[bool]) -> bool {
+    assert_eq!(set.len(), g.len(), "mask length mismatch");
+    g.edges().all(|(u, v)| !(set[u] && set[v]))
+}
+
+/// Checks maximality (domination): every node is in `set` or has a neighbor
+/// in `set`.
+///
+/// # Panics
+///
+/// Panics if `set.len() != g.len()`.
+pub fn is_maximal(g: &Graph, set: &[bool]) -> bool {
+    assert_eq!(set.len(), g.len(), "mask length mismatch");
+    g.nodes()
+        .all(|v| set[v] || g.neighbors(v).iter().any(|&u| set[u]))
+}
+
+/// Checks both MIS conditions.
+///
+/// # Panics
+///
+/// Panics if `set.len() != g.len()`.
+pub fn is_mis(g: &Graph, set: &[bool]) -> bool {
+    is_independent(g, set) && is_maximal(g, set)
+}
+
+/// Full check returning the first violation, for diagnostic output.
+///
+/// # Errors
+///
+/// Returns the first [`MisViolation`] encountered (length, then
+/// independence, then domination).
+pub fn verify_mis(g: &Graph, set: &[bool]) -> Result<(), MisViolation> {
+    if set.len() != g.len() {
+        return Err(MisViolation::WrongLength {
+            got: set.len(),
+            expected: g.len(),
+        });
+    }
+    for (u, v) in g.edges() {
+        if set[u] && set[v] {
+            return Err(MisViolation::NotIndependent { u, v });
+        }
+    }
+    for v in g.nodes() {
+        if !set[v] && !g.neighbors(v).iter().any(|&u| set[u]) {
+            return Err(MisViolation::NotDominated { v });
+        }
+    }
+    Ok(())
+}
+
+/// Sequential greedy MIS scanning nodes in id order. Deterministic; used as
+/// the ground-truth baseline in tests.
+pub fn greedy_mis(g: &Graph) -> Vec<bool> {
+    greedy_mis_in_order(g, g.nodes())
+}
+
+/// Sequential greedy MIS scanning nodes in a uniformly random order.
+pub fn random_greedy_mis(g: &Graph, seed: u64) -> Vec<bool> {
+    let mut order: Vec<NodeId> = g.nodes().collect();
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    greedy_mis_in_order(g, order)
+}
+
+/// Sequential greedy MIS scanning nodes in the order produced by `order`.
+/// Nodes missing from `order` are never considered, so passing a partial
+/// order yields an independent set that is maximal only w.r.t. visited nodes.
+pub fn greedy_mis_in_order(g: &Graph, order: impl IntoIterator<Item = NodeId>) -> Vec<bool> {
+    let mut in_set = vec![false; g.len()];
+    let mut blocked = vec![false; g.len()];
+    for v in order {
+        if !blocked[v] && !in_set[v] {
+            in_set[v] = true;
+            for &u in g.neighbors(v) {
+                blocked[u] = true;
+            }
+        }
+    }
+    in_set
+}
+
+/// Checks that `matching` (edge list) is a *maximal matching* of `g`:
+/// edges are disjoint, present in `g`, and every edge of `g` shares an
+/// endpoint with a matched edge.
+pub fn is_maximal_matching(g: &Graph, matching: &[(NodeId, NodeId)]) -> bool {
+    let mut matched = vec![false; g.len()];
+    for &(u, v) in matching {
+        if !g.has_edge(u, v) || matched[u] || matched[v] {
+            return false;
+        }
+        matched[u] = true;
+        matched[v] = true;
+    }
+    g.edges().all(|(u, v)| matched[u] || matched[v])
+}
+
+/// Checks that `colors` is a proper vertex coloring of `g` (every node
+/// colored, adjacent nodes differ). `usize::MAX` marks "uncolored".
+pub fn is_proper_coloring(g: &Graph, colors: &[usize]) -> bool {
+    colors.len() == g.len()
+        && colors.iter().all(|&c| c != usize::MAX)
+        && g.edges().all(|(u, v)| colors[u] != colors[v])
+}
+
+/// Size of the set (number of `true` entries).
+pub fn set_size(set: &[bool]) -> usize {
+    set.iter().filter(|&&b| b).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn greedy_on_path() {
+        let g = generators::path(5);
+        let set = greedy_mis(&g);
+        assert_eq!(set, vec![true, false, true, false, true]);
+        assert!(is_mis(&g, &set));
+    }
+
+    #[test]
+    fn greedy_on_clique_picks_one() {
+        let g = generators::clique(8);
+        let set = greedy_mis(&g);
+        assert_eq!(set_size(&set), 1);
+        assert!(is_mis(&g, &set));
+    }
+
+    #[test]
+    fn empty_graph_everyone_in() {
+        let g = generators::empty(6);
+        let set = greedy_mis(&g);
+        assert_eq!(set_size(&set), 6);
+        assert!(is_mis(&g, &set));
+    }
+
+    #[test]
+    fn detects_non_independent() {
+        let g = generators::path(3);
+        let set = vec![true, true, false];
+        assert!(!is_independent(&g, &set));
+        assert_eq!(
+            verify_mis(&g, &set),
+            Err(MisViolation::NotIndependent { u: 0, v: 1 })
+        );
+    }
+
+    #[test]
+    fn detects_non_maximal() {
+        let g = generators::path(5);
+        let set = vec![true, false, false, false, true];
+        assert!(is_independent(&g, &set));
+        assert!(!is_maximal(&g, &set));
+        assert_eq!(verify_mis(&g, &set), Err(MisViolation::NotDominated { v: 2 }));
+    }
+
+    #[test]
+    fn detects_wrong_length() {
+        let g = generators::path(3);
+        assert_eq!(
+            verify_mis(&g, &[true]),
+            Err(MisViolation::WrongLength { got: 1, expected: 3 })
+        );
+    }
+
+    #[test]
+    fn random_greedy_valid_on_many_graphs() {
+        for (i, g) in [
+            generators::gnp(120, 0.08, 3),
+            generators::star(50),
+            generators::grid2d(8, 9),
+            generators::random_tree(77, 4),
+            generators::lower_bound_family(40),
+        ]
+        .iter()
+        .enumerate()
+        {
+            for seed in 0..5u64 {
+                let set = random_greedy_mis(g, seed);
+                assert!(is_mis(g, &set), "graph #{i} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn violation_messages_nonempty() {
+        assert!(!MisViolation::NotDominated { v: 3 }.to_string().is_empty());
+        assert!(!MisViolation::NotIndependent { u: 1, v: 2 }
+            .to_string()
+            .is_empty());
+    }
+
+    #[test]
+    fn matching_checker() {
+        let g = generators::path(5); // edges 01,12,23,34
+        assert!(is_maximal_matching(&g, &[(0, 1), (2, 3)]));
+        // Not maximal: edge (3,4) uncovered.
+        assert!(!is_maximal_matching(&g, &[(1, 2)]));
+        // Shared endpoint.
+        assert!(!is_maximal_matching(&g, &[(0, 1), (1, 2), (3, 4)]));
+        // Non-edge.
+        assert!(!is_maximal_matching(&g, &[(0, 2), (3, 4)]));
+        // Empty matching maximal only on empty graphs.
+        assert!(!is_maximal_matching(&g, &[]));
+        assert!(is_maximal_matching(&generators::empty(3), &[]));
+    }
+
+    #[test]
+    fn coloring_checker() {
+        let g = generators::cycle(4);
+        assert!(is_proper_coloring(&g, &[0, 1, 0, 1]));
+        assert!(!is_proper_coloring(&g, &[0, 0, 1, 1]));
+        assert!(!is_proper_coloring(&g, &[0, 1, 0]));
+        assert!(!is_proper_coloring(&g, &[0, 1, 0, usize::MAX]));
+    }
+
+    #[test]
+    fn partial_order_greedy_is_independent() {
+        let g = generators::cycle(9);
+        let set = greedy_mis_in_order(&g, [0usize, 3, 6]);
+        assert!(is_independent(&g, &set));
+        assert_eq!(set_size(&set), 3);
+    }
+}

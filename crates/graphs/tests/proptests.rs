@@ -1,0 +1,111 @@
+//! Property-based tests for the graph substrate.
+
+use mis_graphs::{analysis, generators, io, mis, Graph, GraphBuilder};
+use proptest::prelude::*;
+
+/// Strategy producing an arbitrary small simple graph.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..40).prop_flat_map(|n| {
+        let edge = (0..n, 0..n).prop_filter("no self-loops", |(u, v)| u != v);
+        proptest::collection::vec(edge, 0..(n * 3)).prop_map(move |edges| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in edges {
+                b.add_edge(u, v).unwrap();
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn built_graphs_validate(g in arb_graph()) {
+        prop_assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn handshake_lemma(g in arb_graph()) {
+        let degree_sum: usize = g.nodes().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.edge_count());
+    }
+
+    #[test]
+    fn edges_match_has_edge(g in arb_graph()) {
+        for (u, v) in g.edges() {
+            prop_assert!(g.has_edge(u, v));
+            prop_assert!(g.has_edge(v, u));
+        }
+        // Random non-edges are reported absent.
+        let n = g.len();
+        for u in 0..n.min(6) {
+            for v in 0..n.min(6) {
+                let expected = u != v && g.neighbors(u).contains(&v);
+                prop_assert_eq!(g.has_edge(u, v), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_mis_is_mis(g in arb_graph()) {
+        let set = mis::greedy_mis(&g);
+        prop_assert!(mis::verify_mis(&g, &set).is_ok());
+    }
+
+    #[test]
+    fn random_greedy_mis_is_mis(g in arb_graph(), seed in any::<u64>()) {
+        let set = mis::random_greedy_mis(&g, seed);
+        prop_assert!(mis::verify_mis(&g, &set).is_ok());
+    }
+
+    #[test]
+    fn io_roundtrip(g in arb_graph()) {
+        let back = io::from_text(&io::to_text(&g)).unwrap();
+        prop_assert_eq!(g, back);
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_edges(g in arb_graph(), mask_seed in any::<u64>()) {
+        let n = g.len();
+        let keep: Vec<bool> = (0..n).map(|v| (mask_seed >> (v % 64)) & 1 == 1).collect();
+        let (sub, back) = g.induced_subgraph(&keep);
+        prop_assert!(sub.validate().is_ok());
+        // Every subgraph edge maps to an original edge within the mask.
+        for (u, v) in sub.edges() {
+            prop_assert!(g.has_edge(back[u], back[v]));
+            prop_assert!(keep[back[u]] && keep[back[v]]);
+        }
+        prop_assert_eq!(sub.edge_count(), g.edges_within(&keep));
+        prop_assert_eq!(sub.max_degree(), g.max_degree_within(&keep));
+    }
+
+    #[test]
+    fn components_bounds(g in arb_graph()) {
+        let c = analysis::connected_components(&g);
+        prop_assert!(c >= 1);
+        prop_assert!(c <= g.len());
+        // Adding edges can only reduce or keep the component count; compare
+        // with the fully isolated count.
+        prop_assert!(c >= g.len().saturating_sub(g.edge_count()));
+    }
+
+    #[test]
+    fn degeneracy_le_max_degree(g in arb_graph()) {
+        let (d, order) = analysis::degeneracy(&g);
+        prop_assert!(d <= g.max_degree());
+        prop_assert_eq!(order.len(), g.len());
+    }
+
+    #[test]
+    fn gnp_valid(n in 2usize..120, pm in 0u32..100, seed in any::<u64>()) {
+        let g = generators::gnp(n, pm as f64 / 100.0, seed);
+        prop_assert!(g.validate().is_ok());
+        prop_assert_eq!(g.len(), n);
+    }
+
+    #[test]
+    fn trees_have_n_minus_1_edges(n in 2usize..80, seed in any::<u64>()) {
+        let g = generators::random_tree(n, seed);
+        prop_assert_eq!(g.edge_count(), n - 1);
+        prop_assert_eq!(analysis::connected_components(&g), 1);
+    }
+}

@@ -1,0 +1,89 @@
+//! Per-node energy accounting (the sleeping model of §1.1).
+//!
+//! Only awake rounds — transmitting or listening — count towards energy.
+//! The meter also records *when* a node decided and finished, which the
+//! experiments use to study early termination.
+
+use serde::{Deserialize, Serialize};
+
+/// Energy ledger for one node across one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnergyMeter {
+    /// Rounds spent transmitting.
+    pub transmit_rounds: u64,
+    /// Rounds spent listening.
+    pub listen_rounds: u64,
+    /// Round at which the node's status first became decided (in/out of
+    /// MIS), if it ever did.
+    pub decided_at: Option<u64>,
+    /// Round after which the node was permanently retired (finished), if it
+    /// ever was.
+    pub finished_at: Option<u64>,
+}
+
+impl EnergyMeter {
+    /// Creates a zeroed meter.
+    pub fn new() -> EnergyMeter {
+        EnergyMeter::default()
+    }
+
+    /// Total awake rounds — the node's energy use.
+    pub fn energy(&self) -> u64 {
+        self.transmit_rounds + self.listen_rounds
+    }
+
+    pub(crate) fn record_transmit(&mut self) {
+        self.transmit_rounds += 1;
+    }
+
+    pub(crate) fn record_listen(&mut self) {
+        self.listen_rounds += 1;
+    }
+
+    pub(crate) fn record_decided(&mut self, round: u64) {
+        if self.decided_at.is_none() {
+            self.decided_at = Some(round);
+        }
+    }
+
+    pub(crate) fn record_finished(&mut self, round: u64) {
+        if self.finished_at.is_none() {
+            self.finished_at = Some(round);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates() {
+        let mut m = EnergyMeter::new();
+        m.record_transmit();
+        m.record_listen();
+        m.record_listen();
+        assert_eq!(m.energy(), 3);
+        assert_eq!(m.transmit_rounds, 1);
+        assert_eq!(m.listen_rounds, 2);
+    }
+
+    #[test]
+    fn first_decision_wins() {
+        let mut m = EnergyMeter::new();
+        m.record_decided(10);
+        m.record_decided(20);
+        assert_eq!(m.decided_at, Some(10));
+        m.record_finished(30);
+        m.record_finished(40);
+        assert_eq!(m.finished_at, Some(30));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        let m = EnergyMeter::default();
+        assert_eq!(m.energy(), 0);
+        assert_eq!(m.decided_at, None);
+        assert_eq!(m.finished_at, None);
+    }
+}

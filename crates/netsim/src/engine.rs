@@ -1,0 +1,855 @@
+//! The synchronous round engine.
+//!
+//! The engine maintains a wake-up queue keyed by round number; sleeping
+//! nodes are skipped entirely, so simulation cost is proportional to the
+//! total *awake* node-rounds (plus neighborhood scans for listeners), not to
+//! `rounds × n`. This is what makes the no-CD experiments — whose round
+//! complexity is Θ(log³n·log Δ) with mostly-sleeping nodes — tractable at
+//! n ≈ 10⁵.
+
+use crate::energy::EnergyMeter;
+use crate::model::{Action, ChannelModel, Feedback, Message, NodeStatus};
+use crate::protocol::{NodeRng, Protocol};
+use crate::report::RunReport;
+use crate::rng::split_seed;
+use crate::trace::{NullTrace, TraceEvent, TraceSink};
+use mis_graphs::{Graph, NodeId};
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Configuration for one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Collision-resolution model.
+    pub channel: ChannelModel,
+    /// Hard cap on simulated rounds; a run that hits it is reported as
+    /// incomplete rather than looping forever.
+    pub max_rounds: u64,
+    /// RADIO-CONGEST message budget in bits. `None` derives the paper's
+    /// O(log n) budget as `4·⌈log₂(n+2)⌉ + 8` at run time.
+    pub message_bits: Option<u32>,
+    /// Master seed; all node streams derive from it.
+    pub seed: u64,
+    /// Failure injection: probability that a successful reception (exactly
+    /// one transmitting neighbor) is lost to fading and heard as silence.
+    /// The paper's model has no loss (0.0, the default); the robustness
+    /// tests use it to probe how the algorithms degrade outside the model.
+    pub loss_probability: f64,
+}
+
+impl SimConfig {
+    /// A config with the given channel model and library defaults
+    /// (`max_rounds = 10⁹`, derived message budget, seed 0).
+    pub fn new(channel: ChannelModel) -> SimConfig {
+        SimConfig {
+            channel,
+            max_rounds: 1_000_000_000,
+            message_bits: None,
+            seed: 0,
+            loss_probability: 0.0,
+        }
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> SimConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the round cap.
+    pub fn with_max_rounds(mut self, max_rounds: u64) -> SimConfig {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Sets an explicit message-size budget in bits.
+    pub fn with_message_bits(mut self, bits: u32) -> SimConfig {
+        self.message_bits = Some(bits);
+        self
+    }
+
+    /// Enables reception-loss failure injection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn with_loss_probability(mut self, p: f64) -> SimConfig {
+        assert!((0.0..=1.0).contains(&p), "loss probability {p} outside [0, 1]");
+        self.loss_probability = p;
+        self
+    }
+
+    fn resolved_message_bits(&self, n: usize) -> u32 {
+        self.message_bits
+            .unwrap_or_else(|| 4 * ((n + 2) as f64).log2().ceil() as u32 + 8)
+    }
+}
+
+/// Drives a protocol over a graph under a [`SimConfig`].
+#[derive(Debug, Clone)]
+pub struct Simulator<'g> {
+    graph: &'g Graph,
+    config: SimConfig,
+    /// Per-node wake-up rounds (asynchronous wake-up extension). `None`
+    /// means the paper's synchronous wake-up: everyone starts at round 0.
+    wake_offsets: Option<Vec<u64>>,
+}
+
+impl<'g> Simulator<'g> {
+    /// Creates a simulator for `graph` under `config`.
+    pub fn new(graph: &'g Graph, config: SimConfig) -> Simulator<'g> {
+        Simulator {
+            graph,
+            config,
+            wake_offsets: None,
+        }
+    }
+
+    /// Enables *asynchronous wake-up*: node `v` is first polled at round
+    /// `offsets[v]` instead of round 0 (messages sent before then are
+    /// lost, as for any sleeping node). The paper's algorithms assume
+    /// synchronous wake-up (§1.1); this extension exists to measure how
+    /// much that assumption carries (see the robustness tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offsets.len() != graph.len()`.
+    pub fn with_wake_offsets(mut self, offsets: Vec<u64>) -> Simulator<'g> {
+        assert_eq!(offsets.len(), self.graph.len(), "offsets length mismatch");
+        self.wake_offsets = Some(offsets);
+        self
+    }
+
+    /// The graph being simulated.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs the protocol produced by `factory` on every node until all
+    /// nodes finish or `max_rounds` is reached.
+    ///
+    /// `factory(v, rng)` constructs node `v`'s state machine; `rng` is the
+    /// node's private stream (usable for e.g. random ID generation).
+    pub fn run<P, F>(&self, factory: F) -> RunReport
+    where
+        P: Protocol,
+        F: FnMut(NodeId, &mut NodeRng) -> P,
+    {
+        self.run_traced(factory, &mut NullTrace)
+    }
+
+    /// Like [`Simulator::run`], recording events into `trace`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a protocol violates the engine contract: sleeping to a
+    /// round not in the future, or transmitting a message over the
+    /// RADIO-CONGEST budget. These are protocol bugs, not run failures.
+    pub fn run_traced<P, F, T>(&self, mut factory: F, trace: &mut T) -> RunReport
+    where
+        P: Protocol,
+        F: FnMut(NodeId, &mut NodeRng) -> P,
+        T: TraceSink,
+    {
+        let n = self.graph.len();
+        let message_bits = self.config.resolved_message_bits(n);
+        let mut rngs: Vec<NodeRng> = (0..n)
+            .map(|v| NodeRng::seed_from_u64(split_seed(self.config.seed, v as u64)))
+            .collect();
+        // Dedicated stream for channel-level failure injection, so enabling
+        // loss never perturbs any node's private randomness.
+        let mut channel_rng =
+            NodeRng::seed_from_u64(split_seed(self.config.seed, u64::MAX - 1));
+        let lossy = self.config.loss_probability > 0.0;
+        let mut nodes: Vec<P> = (0..n)
+            .map(|v| factory(v, &mut rngs[v]))
+            .collect();
+        let mut meters = vec![EnergyMeter::new(); n];
+        let mut statuses: Vec<NodeStatus> = nodes.iter().map(|p| p.status()).collect();
+
+        // Wake queue: min-heap of (round, node). Nodes absent from the heap
+        // are finished.
+        let mut queue: BinaryHeap<Reverse<(u64, NodeId)>> = BinaryHeap::with_capacity(n);
+        let mut live = 0usize;
+        for v in 0..n {
+            if nodes[v].finished() {
+                meters[v].record_finished(0);
+                trace.record(TraceEvent::Finished { round: 0, node: v });
+            } else {
+                let wake = self
+                    .wake_offsets
+                    .as_ref()
+                    .map(|o| o[v])
+                    .unwrap_or(0);
+                queue.push(Reverse((wake, v)));
+                live += 1;
+            }
+        }
+
+        // Scratch: which nodes transmit this round (epoch-stamped).
+        let mut tx_stamp: Vec<u64> = vec![u64::MAX; n];
+        let mut tx_msg: Vec<Message> = vec![Message::unary(); n];
+        let mut listeners: Vec<NodeId> = Vec::new();
+        let mut transmitters: Vec<NodeId> = Vec::new();
+        let mut last_round_processed: u64 = 0;
+        let verbose = trace.verbose();
+
+        while live > 0 {
+            let Reverse((round, _)) = *queue.peek().expect("live nodes are queued");
+            if round >= self.config.max_rounds {
+                // Remaining nodes sleep past the horizon: incomplete run.
+                return self.finish_report(
+                    nodes,
+                    meters,
+                    self.config.max_rounds,
+                    false,
+                    message_bits,
+                );
+            }
+            last_round_processed = round;
+            listeners.clear();
+            transmitters.clear();
+            let mut sleep_updates: Vec<(NodeId, u64)> = Vec::new();
+
+            // Phase 1: collect actions from every node awake this round.
+            // Heap pops arrive in (round, node) order, so node order is
+            // deterministic and ascending.
+            while let Some(&Reverse((r, v))) = queue.peek() {
+                if r != round {
+                    break;
+                }
+                queue.pop();
+                let action = nodes[v].act(round, &mut rngs[v]);
+                if verbose {
+                    trace.record(TraceEvent::Acted {
+                        round,
+                        node: v,
+                        action,
+                    });
+                }
+                match action {
+                    Action::Sleep { wake_at } => {
+                        assert!(
+                            wake_at > round,
+                            "protocol bug: node {v} slept to round {wake_at} <= current {round}"
+                        );
+                        self.note_status(&mut statuses, &nodes, v, round, &mut meters, trace);
+                        if nodes[v].finished() {
+                            meters[v].record_finished(round);
+                            trace.record(TraceEvent::Finished { round, node: v });
+                            live -= 1;
+                        } else {
+                            sleep_updates.push((v, wake_at));
+                        }
+                    }
+                    Action::Transmit(msg) => {
+                        assert!(
+                            msg.bit_len() <= message_bits,
+                            "protocol bug: node {v} sent a {}-bit message; RADIO-CONGEST budget is {message_bits} bits",
+                            msg.bit_len()
+                        );
+                        meters[v].record_transmit();
+                        tx_stamp[v] = round;
+                        tx_msg[v] = msg;
+                        transmitters.push(v);
+                    }
+                    Action::Listen => {
+                        meters[v].record_listen();
+                        listeners.push(v);
+                    }
+                }
+            }
+            for (v, wake_at) in sleep_updates {
+                if wake_at < self.config.max_rounds {
+                    queue.push(Reverse((wake_at, v)));
+                } else {
+                    // Sleeping beyond the horizon without finishing: the run
+                    // will be reported incomplete when the queue drains.
+                    queue.push(Reverse((self.config.max_rounds, v)));
+                }
+            }
+
+            // Phase 2: resolve the channel and deliver feedback.
+            for &v in &transmitters {
+                // Sender-side collision detection (BeepingSenderCd only): a
+                // beeping node hears a beep iff some neighbor also beeped.
+                let fb = if self.config.channel == ChannelModel::BeepingSenderCd
+                    && self
+                        .graph
+                        .neighbors(v)
+                        .iter()
+                        .any(|&u| tx_stamp[u] == round)
+                {
+                    Feedback::Beep
+                } else {
+                    Feedback::Sent
+                };
+                nodes[v].feedback(round, fb, &mut rngs[v]);
+                if verbose {
+                    trace.record(TraceEvent::Fed {
+                        round,
+                        node: v,
+                        feedback: fb,
+                    });
+                }
+            }
+            for &v in &listeners {
+                let mut count = 0u32;
+                let mut heard = Message::unary();
+                for &u in self.graph.neighbors(v) {
+                    if tx_stamp[u] == round {
+                        count += 1;
+                        if count == 1 {
+                            heard = tx_msg[u];
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                let mut fb = match (self.config.channel, count) {
+                    (_, 0) => Feedback::Silence,
+                    (ChannelModel::Beeping | ChannelModel::BeepingSenderCd, _) => Feedback::Beep,
+                    (_, 1) => Feedback::Heard(heard),
+                    (ChannelModel::Cd, _) => Feedback::Collision,
+                    (ChannelModel::NoCd, _) => Feedback::Silence,
+                };
+                // Failure injection: fade out successful receptions (and
+                // single-beeper beeps) with the configured probability.
+                if lossy
+                    && count == 1
+                    && matches!(fb, Feedback::Heard(_) | Feedback::Beep)
+                    && rand::Rng::gen_bool(&mut channel_rng, self.config.loss_probability)
+                {
+                    fb = Feedback::Silence;
+                }
+                nodes[v].feedback(round, fb, &mut rngs[v]);
+                if verbose {
+                    trace.record(TraceEvent::Fed {
+                        round,
+                        node: v,
+                        feedback: fb,
+                    });
+                }
+            }
+
+            // Phase 3: retire finished awake nodes, requeue the rest.
+            for &v in transmitters.iter().chain(listeners.iter()) {
+                self.note_status(&mut statuses, &nodes, v, round, &mut meters, trace);
+                if nodes[v].finished() {
+                    meters[v].record_finished(round);
+                    trace.record(TraceEvent::Finished { round, node: v });
+                    live -= 1;
+                } else {
+                    queue.push(Reverse((round + 1, v)));
+                }
+            }
+        }
+
+        let rounds = if n == 0 { 0 } else { last_round_processed + 1 };
+        self.finish_report(nodes, meters, rounds, true, message_bits)
+    }
+
+    fn note_status<P: Protocol, T: TraceSink>(
+        &self,
+        statuses: &mut [NodeStatus],
+        nodes: &[P],
+        v: NodeId,
+        round: u64,
+        meters: &mut [EnergyMeter],
+        trace: &mut T,
+    ) {
+        let s = nodes[v].status();
+        if s != statuses[v] {
+            statuses[v] = s;
+            if s.is_decided() {
+                meters[v].record_decided(round);
+            }
+            trace.record(TraceEvent::StatusChanged {
+                round,
+                node: v,
+                status: s,
+            });
+        }
+    }
+
+    fn finish_report<P: Protocol>(
+        &self,
+        nodes: Vec<P>,
+        meters: Vec<EnergyMeter>,
+        rounds: u64,
+        completed: bool,
+        message_bits: u32,
+    ) -> RunReport {
+        RunReport {
+            statuses: nodes.iter().map(|p| p.status()).collect(),
+            meters,
+            rounds,
+            completed,
+            channel: self.config.channel,
+            seed: self.config.seed,
+            message_bits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Message;
+    use mis_graphs::generators;
+
+    /// Transmits in round 0 iff `id` is even, listens otherwise; records
+    /// what it saw; finishes after one round.
+    struct Probe {
+        transmit: bool,
+        saw: Option<Feedback>,
+    }
+
+    impl Protocol for Probe {
+        fn act(&mut self, _round: u64, _rng: &mut NodeRng) -> Action {
+            if self.transmit {
+                Action::Transmit(Message::unary())
+            } else {
+                Action::Listen
+            }
+        }
+        fn feedback(&mut self, _round: u64, fb: Feedback, _rng: &mut NodeRng) {
+            self.saw = Some(fb);
+        }
+        fn status(&self) -> NodeStatus {
+            NodeStatus::OutMis
+        }
+        fn finished(&self) -> bool {
+            self.saw.is_some()
+        }
+    }
+
+    fn probe_run(
+        g: &Graph,
+        channel: ChannelModel,
+        transmit: impl Fn(NodeId) -> bool,
+    ) -> Vec<Option<Feedback>> {
+        let mut observed: Vec<Option<Feedback>> = vec![None; g.len()];
+        let mut trace = crate::trace::VecTrace::new();
+        let report = Simulator::new(g, SimConfig::new(channel))
+            .run_traced(
+                |v, _| Probe {
+                    transmit: transmit(v),
+                    saw: None,
+                },
+                &mut trace,
+            );
+        assert!(report.completed);
+        for e in &trace.events {
+            if let TraceEvent::Fed {
+                node, feedback, ..
+            } = e
+            {
+                observed[*node] = Some(*feedback);
+            }
+        }
+        observed
+    }
+
+    #[test]
+    fn single_transmitter_is_heard() {
+        // Path 0-1-2: node 0 transmits, others listen.
+        let g = generators::path(3);
+        let obs = probe_run(&g, ChannelModel::Cd, |v| v == 0);
+        assert_eq!(obs[0], Some(Feedback::Sent));
+        assert_eq!(obs[1], Some(Feedback::Heard(Message::unary())));
+        assert_eq!(obs[2], Some(Feedback::Silence)); // not adjacent to 0
+    }
+
+    #[test]
+    fn collision_semantics_cd_vs_nocd_vs_beeping() {
+        // Star: both leaves 1 and 2 transmit; hub 0 listens.
+        let g = generators::star(3);
+        let obs = probe_run(&g, ChannelModel::Cd, |v| v != 0);
+        assert_eq!(obs[0], Some(Feedback::Collision));
+
+        let obs = probe_run(&g, ChannelModel::NoCd, |v| v != 0);
+        assert_eq!(obs[0], Some(Feedback::Silence));
+
+        let obs = probe_run(&g, ChannelModel::Beeping, |v| v != 0);
+        assert_eq!(obs[0], Some(Feedback::Beep));
+    }
+
+    #[test]
+    fn sender_side_cd_hears_concurrent_beeps() {
+        // Triangle: all three beep. With sender CD each hears a beep; in
+        // plain beeping each only learns Sent.
+        let g = generators::clique(3);
+        let obs = probe_run(&g, ChannelModel::BeepingSenderCd, |_| true);
+        for o in obs.iter().take(3) {
+            assert_eq!(*o, Some(Feedback::Beep));
+        }
+        let obs = probe_run(&g, ChannelModel::Beeping, |_| true);
+        for o in obs.iter().take(3) {
+            assert_eq!(*o, Some(Feedback::Sent));
+        }
+        // A lone beeper with sender CD hears nothing extra.
+        let g = generators::star(3);
+        let obs = probe_run(&g, ChannelModel::BeepingSenderCd, |v| v == 1);
+        assert_eq!(obs[1], Some(Feedback::Sent));
+        assert_eq!(obs[0], Some(Feedback::Beep));
+    }
+
+    #[test]
+    fn beeping_single_sender_is_beep_not_message() {
+        let g = generators::star(3);
+        let obs = probe_run(&g, ChannelModel::Beeping, |v| v == 1);
+        assert_eq!(obs[0], Some(Feedback::Beep));
+        assert_eq!(obs[2], Some(Feedback::Silence)); // leaves not adjacent
+    }
+
+    #[test]
+    fn transmitter_does_not_hear_itself_or_others() {
+        // Half-duplex: a transmitter only learns `Sent`.
+        let g = generators::clique(4);
+        let obs = probe_run(&g, ChannelModel::Cd, |_| true);
+        for o in obs.iter().take(4) {
+            assert_eq!(*o, Some(Feedback::Sent));
+        }
+    }
+
+    #[test]
+    fn isolated_listener_hears_silence() {
+        let g = generators::empty(2);
+        let obs = probe_run(&g, ChannelModel::Cd, |v| v == 0);
+        assert_eq!(obs[1], Some(Feedback::Silence));
+    }
+
+    /// Sleeps for `k` rounds, then transmits once and finishes.
+    struct Sleeper {
+        wake: u64,
+        done: bool,
+    }
+    impl Protocol for Sleeper {
+        fn act(&mut self, round: u64, _rng: &mut NodeRng) -> Action {
+            if round < self.wake {
+                Action::Sleep { wake_at: self.wake }
+            } else {
+                Action::Transmit(Message::unary())
+            }
+        }
+        fn feedback(&mut self, _round: u64, _fb: Feedback, _rng: &mut NodeRng) {
+            self.done = true;
+        }
+        fn status(&self) -> NodeStatus {
+            NodeStatus::InMis
+        }
+        fn finished(&self) -> bool {
+            self.done
+        }
+    }
+
+    #[test]
+    fn sleep_skipping_counts_rounds_but_not_energy() {
+        let g = generators::empty(3);
+        let report = Simulator::new(&g, SimConfig::new(ChannelModel::Cd)).run(|v, _| Sleeper {
+            wake: 1000 * (v as u64 + 1),
+            done: false,
+        });
+        assert!(report.completed);
+        assert_eq!(report.rounds, 3001);
+        for v in 0..3 {
+            assert_eq!(report.meters[v].energy(), 1);
+            assert_eq!(report.meters[v].finished_at, Some(1000 * (v as u64 + 1)));
+        }
+    }
+
+    #[test]
+    fn max_rounds_caps_incomplete_runs() {
+        struct Forever;
+        impl Protocol for Forever {
+            fn act(&mut self, _round: u64, _rng: &mut NodeRng) -> Action {
+                Action::Listen
+            }
+            fn feedback(&mut self, _round: u64, _fb: Feedback, _rng: &mut NodeRng) {}
+            fn status(&self) -> NodeStatus {
+                NodeStatus::Undecided
+            }
+            fn finished(&self) -> bool {
+                false
+            }
+        }
+        let g = generators::empty(2);
+        let report = Simulator::new(&g, SimConfig::new(ChannelModel::Cd).with_max_rounds(50))
+            .run(|_, _| Forever);
+        assert!(!report.completed);
+        assert_eq!(report.rounds, 50);
+        assert_eq!(report.meters[0].energy(), 50);
+    }
+
+    #[test]
+    fn empty_graph_zero_rounds() {
+        let g = generators::empty(0);
+        let report = Simulator::new(&g, SimConfig::new(ChannelModel::Cd)).run(|_, _| Probe {
+            transmit: false,
+            saw: None,
+        });
+        assert!(report.completed);
+        assert_eq!(report.rounds, 0);
+    }
+
+    #[test]
+    fn runs_are_reproducible_by_seed() {
+        use rand::Rng;
+        /// Random protocol: transmits with probability 1/2 for 20 rounds.
+        struct Coin {
+            rounds: u64,
+        }
+        impl Protocol for Coin {
+            fn act(&mut self, _round: u64, rng: &mut NodeRng) -> Action {
+                if rng.gen_bool(0.5) {
+                    Action::Transmit(Message::unary())
+                } else {
+                    Action::Listen
+                }
+            }
+            fn feedback(&mut self, _round: u64, _fb: Feedback, _rng: &mut NodeRng) {
+                self.rounds += 1;
+            }
+            fn status(&self) -> NodeStatus {
+                NodeStatus::OutMis
+            }
+            fn finished(&self) -> bool {
+                self.rounds >= 20
+            }
+        }
+        let g = generators::gnp(40, 0.2, 1);
+        let run = |seed| {
+            Simulator::new(&g, SimConfig::new(ChannelModel::Cd).with_seed(seed))
+                .run(|_, _| Coin { rounds: 0 })
+        };
+        let a = run(7);
+        let b = run(7);
+        let c = run(8);
+        assert_eq!(a.meters, b.meters);
+        assert_ne!(a.meters, c.meters);
+    }
+
+    #[test]
+    #[should_panic(expected = "RADIO-CONGEST")]
+    fn oversized_message_panics() {
+        struct Big;
+        impl Protocol for Big {
+            fn act(&mut self, _round: u64, _rng: &mut NodeRng) -> Action {
+                Action::Transmit(Message::with_payload(u64::MAX))
+            }
+            fn feedback(&mut self, _round: u64, _fb: Feedback, _rng: &mut NodeRng) {}
+            fn status(&self) -> NodeStatus {
+                NodeStatus::Undecided
+            }
+            fn finished(&self) -> bool {
+                false
+            }
+        }
+        let g = generators::empty(1);
+        let _ = Simulator::new(&g, SimConfig::new(ChannelModel::Cd).with_message_bits(16))
+            .run(|_, _| Big);
+    }
+
+    #[test]
+    fn loss_injection_fades_receptions() {
+        // Star, leaf 1 transmits, hub listens, loss = 1.0: the hub never
+        // hears anything.
+        let g = generators::star(3);
+        let mut heard_any = false;
+        let config = SimConfig::new(ChannelModel::Cd)
+            .with_loss_probability(1.0)
+            .with_seed(3);
+        let mut trace = crate::trace::VecTrace::new();
+        let _ = Simulator::new(&g, config).run_traced(
+            |v, _| Probe {
+                transmit: v == 1,
+                saw: None,
+            },
+            &mut trace,
+        );
+        for e in &trace.events {
+            if let TraceEvent::Fed { node: 0, feedback, .. } = e {
+                heard_any |= feedback.heard_activity();
+                assert_eq!(*feedback, Feedback::Silence);
+            }
+        }
+        assert!(!heard_any);
+    }
+
+    #[test]
+    fn loss_injection_statistics() {
+        // Repeated single-sender rounds at loss 0.3: the hub hears ~70%.
+        struct Tx(u32);
+        impl Protocol for Tx {
+            fn act(&mut self, _round: u64, _rng: &mut NodeRng) -> Action {
+                Action::Transmit(Message::unary())
+            }
+            fn feedback(&mut self, _round: u64, _fb: Feedback, _rng: &mut NodeRng) {
+                self.0 += 1;
+            }
+            fn status(&self) -> NodeStatus {
+                NodeStatus::OutMis
+            }
+            fn finished(&self) -> bool {
+                self.0 >= 500
+            }
+        }
+        struct Rx {
+            rounds: u32,
+            heard: u32,
+        }
+        impl Protocol for Rx {
+            fn act(&mut self, _round: u64, _rng: &mut NodeRng) -> Action {
+                Action::Listen
+            }
+            fn feedback(&mut self, _round: u64, fb: Feedback, _rng: &mut NodeRng) {
+                self.rounds += 1;
+                if fb.heard_activity() {
+                    self.heard += 1;
+                }
+            }
+            fn status(&self) -> NodeStatus {
+                if self.finished() {
+                    // Smuggle the heard count out via the meter-independent
+                    // status check in the assertion below (we re-derive the
+                    // rate from the trace instead).
+                    NodeStatus::OutMis
+                } else {
+                    NodeStatus::Undecided
+                }
+            }
+            fn finished(&self) -> bool {
+                self.rounds >= 500
+            }
+        }
+        let g = generators::path(2);
+        let config = SimConfig::new(ChannelModel::Cd)
+            .with_loss_probability(0.3)
+            .with_seed(9);
+        let mut trace = crate::trace::VecTrace::new();
+        let _ = Simulator::new(&g, config).run_traced(
+            |v, _| -> Box<dyn Protocol> {
+                if v == 0 {
+                    Box::new(Tx(0))
+                } else {
+                    Box::new(Rx { rounds: 0, heard: 0 })
+                }
+            },
+            &mut trace,
+        );
+        let mut heard = 0;
+        let mut total = 0;
+        for e in &trace.events {
+            if let TraceEvent::Fed { node: 1, feedback, .. } = e {
+                total += 1;
+                if feedback.heard_activity() {
+                    heard += 1;
+                }
+            }
+        }
+        assert_eq!(total, 500);
+        let rate = heard as f64 / total as f64;
+        assert!((0.6..0.8).contains(&rate), "heard rate {rate}");
+    }
+
+    #[test]
+    fn loss_zero_is_bit_identical() {
+        let g = generators::gnp(30, 0.2, 2);
+        let base = SimConfig::new(ChannelModel::Cd).with_seed(5);
+        let lossy0 = base.with_loss_probability(0.0);
+        let a = Simulator::new(&g, base).run(|_, _| Probe {
+            transmit: false,
+            saw: None,
+        });
+        let b = Simulator::new(&g, lossy0).run(|_, _| Probe {
+            transmit: false,
+            saw: None,
+        });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wake_offsets_delay_first_poll() {
+        // Three isolated nodes with staggered wake-ups: each transmits in
+        // its own first round and finishes; finish times equal the offsets.
+        let g = generators::empty(3);
+        let report = Simulator::new(&g, SimConfig::new(ChannelModel::Cd).with_seed(2))
+            .with_wake_offsets(vec![0, 10, 25])
+            .run(|_, _| Probe {
+                transmit: true,
+                saw: None,
+            });
+        assert!(report.completed);
+        assert_eq!(report.meters[0].finished_at, Some(0));
+        assert_eq!(report.meters[1].finished_at, Some(10));
+        assert_eq!(report.meters[2].finished_at, Some(25));
+        // Energy unaffected: one awake round each.
+        assert!(report.meters.iter().all(|m| m.energy() == 1));
+        assert_eq!(report.rounds, 26);
+    }
+
+    #[test]
+    fn late_waker_misses_early_transmissions() {
+        // Node 0 transmits at round 0 and leaves; node 1 wakes at round 5
+        // and hears only silence — messages to sleepers are lost.
+        let g = generators::path(2);
+        let mut trace = crate::trace::VecTrace::new();
+        let _ = Simulator::new(&g, SimConfig::new(ChannelModel::Cd).with_seed(1))
+            .with_wake_offsets(vec![0, 5])
+            .run_traced(
+                |v, _| Probe {
+                    transmit: v == 0,
+                    saw: None,
+                },
+                &mut trace,
+            );
+        for e in &trace.events {
+            if let TraceEvent::Fed { node: 1, feedback, .. } = e {
+                assert_eq!(*feedback, Feedback::Silence);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "offsets length mismatch")]
+    fn wake_offsets_length_checked() {
+        let g = generators::empty(2);
+        let _ = Simulator::new(&g, SimConfig::new(ChannelModel::Cd))
+            .with_wake_offsets(vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn loss_probability_validated() {
+        let _ = SimConfig::new(ChannelModel::Cd).with_loss_probability(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "protocol bug")]
+    fn sleeping_to_the_past_panics() {
+        struct Bad;
+        impl Protocol for Bad {
+            fn act(&mut self, round: u64, _rng: &mut NodeRng) -> Action {
+                Action::Sleep { wake_at: round }
+            }
+            fn feedback(&mut self, _round: u64, _fb: Feedback, _rng: &mut NodeRng) {}
+            fn status(&self) -> NodeStatus {
+                NodeStatus::Undecided
+            }
+            fn finished(&self) -> bool {
+                false
+            }
+        }
+        let g = generators::empty(1);
+        let _ = Simulator::new(&g, SimConfig::new(ChannelModel::Cd)).run(|_, _| Bad);
+    }
+
+    use mis_graphs::Graph;
+}

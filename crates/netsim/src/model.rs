@@ -1,0 +1,203 @@
+//! Core model types: channel models, actions, feedback, messages, statuses.
+
+use serde::{Deserialize, Serialize};
+
+/// How simultaneous transmissions at a listener are resolved (§1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChannelModel {
+    /// Collision detection: a listener distinguishes silence (0 transmitting
+    /// neighbors) from a collision (≥ 2).
+    Cd,
+    /// No collision detection: ≥ 2 transmitting neighbors are
+    /// indistinguishable from silence.
+    NoCd,
+    /// Beeping model: a listener hears a (content-free) beep iff ≥ 1 neighbor
+    /// beeps. No sender-side collision detection.
+    Beeping,
+    /// Beeping model *with sender-side collision detection* (the \[28\]
+    /// Jeavons–Scott–Xu setting, §1.4): a beeping node also hears a beep
+    /// when at least one neighbor beeps in the same round. The paper's
+    /// radio model explicitly excludes this power; it exists here for the
+    /// native beeping MIS baseline.
+    BeepingSenderCd,
+}
+
+impl ChannelModel {
+    /// Short stable label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ChannelModel::Cd => "CD",
+            ChannelModel::NoCd => "no-CD",
+            ChannelModel::Beeping => "beeping",
+            ChannelModel::BeepingSenderCd => "beeping+senderCD",
+        }
+    }
+}
+
+impl std::fmt::Display for ChannelModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A radio message. RADIO-CONGEST limits messages to O(log n) bits; the
+/// engine enforces [`crate::SimConfig::message_bits`] against the payload.
+///
+/// The paper's algorithms only ever perform *unary* communication
+/// (transmitting a "1"); richer payloads exist for the LowDegreeMIS
+/// simulation and for debugging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Message {
+    payload: u64,
+}
+
+impl Message {
+    /// The unary "1" bit used by Algorithms 1–4.
+    pub fn unary() -> Message {
+        Message { payload: 1 }
+    }
+
+    /// A message carrying an arbitrary payload (validated against the
+    /// configured bit budget at transmit time).
+    pub fn with_payload(payload: u64) -> Message {
+        Message { payload }
+    }
+
+    /// The payload bits.
+    pub fn payload(self) -> u64 {
+        self.payload
+    }
+
+    /// Number of bits needed to represent the payload.
+    pub fn bit_len(self) -> u32 {
+        64 - self.payload.leading_zeros()
+    }
+}
+
+impl Default for Message {
+    fn default() -> Self {
+        Message::unary()
+    }
+}
+
+/// What a node does in a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Sleep through every round `< wake_at`; the engine will next poll the
+    /// node at round `wake_at`. Must be strictly greater than the current
+    /// round. Sleeping rounds cost no energy.
+    Sleep {
+        /// First round at which the node is polled again. Use `u64::MAX` to
+        /// sleep forever (the node should then also report `finished()`).
+        wake_at: u64,
+    },
+    /// Transmit a message this round (awake; costs 1 energy).
+    Transmit(Message),
+    /// Listen this round (awake; costs 1 energy).
+    Listen,
+}
+
+impl Action {
+    /// Sleep forever. The node should also report `finished()` so the engine
+    /// can retire it.
+    pub fn halt() -> Action {
+        Action::Sleep { wake_at: u64::MAX }
+    }
+
+    /// Whether this action costs energy.
+    pub fn is_awake(&self) -> bool {
+        !matches!(self, Action::Sleep { .. })
+    }
+}
+
+/// What a node learns at the end of a round it was awake for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Feedback {
+    /// The node transmitted. (No sender-side collision detection: a
+    /// transmitter learns nothing about concurrent transmissions.)
+    Sent,
+    /// The node listened and heard nothing. In the no-CD model this also
+    /// covers ≥ 2 transmitting neighbors.
+    Silence,
+    /// CD model only: the node listened and ≥ 2 neighbors transmitted.
+    Collision,
+    /// The node listened and exactly one neighbor transmitted (CD / no-CD).
+    Heard(Message),
+    /// Beeping model only: ≥ 1 neighbor beeped.
+    Beep,
+}
+
+impl Feedback {
+    /// Whether the listener detected neighbor activity. In the CD model this
+    /// is "heard a 1 or a collision" (Algorithm 1's test); in the beeping
+    /// model "heard a beep"; in the no-CD model "heard a message".
+    pub fn heard_activity(&self) -> bool {
+        matches!(
+            self,
+            Feedback::Collision | Feedback::Heard(_) | Feedback::Beep
+        )
+    }
+}
+
+/// A node's externally visible decision state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeStatus {
+    /// Not yet committed to a decision.
+    Undecided,
+    /// Irrevocably in the MIS.
+    InMis,
+    /// Irrevocably dominated (not in the MIS).
+    OutMis,
+}
+
+impl NodeStatus {
+    /// Whether the node has irrevocably decided.
+    pub fn is_decided(self) -> bool {
+        !matches!(self, NodeStatus::Undecided)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_bits() {
+        assert_eq!(Message::unary().bit_len(), 1);
+        assert_eq!(Message::with_payload(0).bit_len(), 0);
+        assert_eq!(Message::with_payload(255).bit_len(), 8);
+        assert_eq!(Message::with_payload(256).bit_len(), 9);
+        assert_eq!(Message::default(), Message::unary());
+    }
+
+    #[test]
+    fn feedback_activity() {
+        assert!(Feedback::Collision.heard_activity());
+        assert!(Feedback::Heard(Message::unary()).heard_activity());
+        assert!(Feedback::Beep.heard_activity());
+        assert!(!Feedback::Silence.heard_activity());
+        assert!(!Feedback::Sent.heard_activity());
+    }
+
+    #[test]
+    fn action_awake() {
+        assert!(Action::Listen.is_awake());
+        assert!(Action::Transmit(Message::unary()).is_awake());
+        assert!(!Action::Sleep { wake_at: 5 }.is_awake());
+    }
+
+    #[test]
+    fn status_decided() {
+        assert!(!NodeStatus::Undecided.is_decided());
+        assert!(NodeStatus::InMis.is_decided());
+        assert!(NodeStatus::OutMis.is_decided());
+    }
+
+    #[test]
+    fn channel_labels() {
+        assert_eq!(ChannelModel::Cd.label(), "CD");
+        assert_eq!(ChannelModel::NoCd.to_string(), "no-CD");
+        assert_eq!(ChannelModel::Beeping.label(), "beeping");
+        assert_eq!(ChannelModel::BeepingSenderCd.label(), "beeping+senderCD");
+    }
+}

@@ -1,0 +1,128 @@
+//! The node-protocol interface driven by the simulator.
+
+use crate::model::{Action, Feedback, NodeStatus};
+
+/// The RNG handed to protocol callbacks: every node owns an independent,
+/// deterministic stream derived from the run's master seed.
+pub type NodeRng = rand::rngs::SmallRng;
+
+/// A per-node distributed protocol, written as an explicit state machine.
+///
+/// The engine drives each non-finished node with a two-phase round contract:
+///
+/// 1. [`Protocol::act`] — the node declares what it does this round;
+/// 2. [`Protocol::feedback`] — after global resolution, the node learns the
+///    outcome (only for awake rounds) and may transition state.
+///
+/// A node that returns [`Action::Sleep`] is not polled again until its
+/// `wake_at` round and receives no feedback for the skipped rounds (messages
+/// sent to a sleeping node are lost — §1 of the paper).
+///
+/// Protocols must be *oblivious to global state*: their only inputs are the
+/// construction parameters (n, Δ, …), the round number, their private RNG,
+/// and the feedback they hear. This is enforced by construction — the trait
+/// gives access to nothing else.
+pub trait Protocol {
+    /// Declares the node's action for `round`.
+    ///
+    /// Only called at rounds the node is scheduled for (round 0, rounds
+    /// following an awake round, and the `wake_at` of a sleep).
+    fn act(&mut self, round: u64, rng: &mut NodeRng) -> Action;
+
+    /// Delivers the outcome of an awake round (never called for sleeping
+    /// rounds).
+    fn feedback(&mut self, round: u64, fb: Feedback, rng: &mut NodeRng);
+
+    /// The node's current (irrevocable once decided) MIS status.
+    fn status(&self) -> NodeStatus;
+
+    /// Whether the node is permanently done (will sleep forever). Finished
+    /// nodes are retired by the engine; a run completes when every node is
+    /// finished.
+    fn finished(&self) -> bool;
+}
+
+/// Blanket impl so `Box<dyn Protocol>` works where a concrete type is
+/// expected.
+impl<P: Protocol + ?Sized> Protocol for Box<P> {
+    fn act(&mut self, round: u64, rng: &mut NodeRng) -> Action {
+        (**self).act(round, rng)
+    }
+    fn feedback(&mut self, round: u64, fb: Feedback, rng: &mut NodeRng) {
+        (**self).feedback(round, fb, rng)
+    }
+    fn status(&self) -> NodeStatus {
+        (**self).status()
+    }
+    fn finished(&self) -> bool {
+        (**self).finished()
+    }
+}
+
+/// Poll-style completion for composable sub-protocols (backoffs, competition
+/// phases, …): `Pending` while the sub-machine still owns upcoming rounds,
+/// `Ready(T)` once it has produced its result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubPoll<T> {
+    /// The sub-protocol continues next round.
+    Pending,
+    /// The sub-protocol completed with this output; the parent machine owns
+    /// the next round.
+    Ready(T),
+}
+
+impl<T> SubPoll<T> {
+    /// Returns the completed value, if any.
+    pub fn ready(self) -> Option<T> {
+        match self {
+            SubPoll::Pending => None,
+            SubPoll::Ready(t) => Some(t),
+        }
+    }
+
+    /// Whether the sub-protocol is still running.
+    pub fn is_pending(&self) -> bool {
+        matches!(self, SubPoll::Pending)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Message;
+    use rand::SeedableRng;
+
+    struct Fixed;
+    impl Protocol for Fixed {
+        fn act(&mut self, _round: u64, _rng: &mut NodeRng) -> Action {
+            Action::Transmit(Message::unary())
+        }
+        fn feedback(&mut self, _round: u64, _fb: Feedback, _rng: &mut NodeRng) {}
+        fn status(&self) -> NodeStatus {
+            NodeStatus::InMis
+        }
+        fn finished(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn boxed_protocol_delegates() {
+        let mut p: Box<dyn Protocol> = Box::new(Fixed);
+        let mut rng = NodeRng::seed_from_u64(0);
+        assert_eq!(p.act(0, &mut rng), Action::Transmit(Message::unary()));
+        p.feedback(0, Feedback::Sent, &mut rng);
+        assert_eq!(p.status(), NodeStatus::InMis);
+        assert!(p.finished());
+    }
+
+    #[test]
+    fn subpoll_accessors() {
+        let p: SubPoll<u32> = SubPoll::Pending;
+        assert!(p.is_pending());
+        assert_eq!(p.ready(), None);
+        let r = SubPoll::Ready(7u32);
+        assert!(!r.is_pending());
+        assert_eq!(r.ready(), Some(7));
+    }
+}

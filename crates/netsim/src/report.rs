@@ -1,0 +1,188 @@
+//! Run outcomes: statuses, energy ledgers, and verification helpers.
+
+use crate::energy::EnergyMeter;
+use crate::model::{ChannelModel, NodeStatus};
+use mis_graphs::{mis, Graph};
+use serde::{Deserialize, Serialize};
+
+/// The result of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Final status of every node.
+    pub statuses: Vec<NodeStatus>,
+    /// Per-node energy ledgers.
+    pub meters: Vec<EnergyMeter>,
+    /// Round complexity: rounds elapsed until the last node finished (or the
+    /// cap, for incomplete runs).
+    pub rounds: u64,
+    /// Whether every node finished before `max_rounds`.
+    pub completed: bool,
+    /// Channel model the run used.
+    pub channel: ChannelModel,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Resolved RADIO-CONGEST message budget (bits).
+    pub message_bits: u32,
+}
+
+impl RunReport {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.statuses.len()
+    }
+
+    /// Whether the run had zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.statuses.is_empty()
+    }
+
+    /// Membership mask of the computed set (`status == InMis`).
+    pub fn mis_mask(&self) -> Vec<bool> {
+        self.statuses
+            .iter()
+            .map(|&s| s == NodeStatus::InMis)
+            .collect()
+    }
+
+    /// Energy complexity of the run: max awake rounds over all nodes.
+    pub fn max_energy(&self) -> u64 {
+        self.meters.iter().map(|m| m.energy()).max().unwrap_or(0)
+    }
+
+    /// Mean awake rounds per node (node-averaged awake complexity).
+    pub fn avg_energy(&self) -> f64 {
+        if self.meters.is_empty() {
+            0.0
+        } else {
+            self.meters.iter().map(|m| m.energy()).sum::<u64>() as f64
+                / self.meters.len() as f64
+        }
+    }
+
+    /// Max transmit rounds over all nodes.
+    pub fn max_transmissions(&self) -> u64 {
+        self.meters
+            .iter()
+            .map(|m| m.transmit_rounds)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Max listen rounds over all nodes.
+    pub fn max_listens(&self) -> u64 {
+        self.meters
+            .iter()
+            .map(|m| m.listen_rounds)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of nodes still undecided at the end.
+    pub fn undecided_count(&self) -> usize {
+        self.statuses
+            .iter()
+            .filter(|s| !s.is_decided())
+            .count()
+    }
+
+    /// Whether the run completed with every node decided and the output is
+    /// a maximal independent set of `graph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph` has a different node count than the run.
+    pub fn is_correct_mis(&self, graph: &Graph) -> bool {
+        assert_eq!(graph.len(), self.len(), "graph/run size mismatch");
+        self.completed && self.undecided_count() == 0 && mis::is_mis(graph, &self.mis_mask())
+    }
+
+    /// Detailed verification: `Ok` iff [`RunReport::is_correct_mis`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first failure: an
+    /// incomplete run, an undecided node, or an MIS violation.
+    pub fn verify_mis(&self, graph: &Graph) -> Result<(), String> {
+        if !self.completed {
+            return Err(format!("run hit the round cap at {} rounds", self.rounds));
+        }
+        if let Some(v) = self.statuses.iter().position(|s| !s.is_decided()) {
+            return Err(format!("node {v} finished undecided"));
+        }
+        mis::verify_mis(graph, &self.mis_mask()).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(statuses: Vec<NodeStatus>, energies: Vec<u64>) -> RunReport {
+        RunReport {
+            meters: energies
+                .iter()
+                .map(|&e| EnergyMeter {
+                    transmit_rounds: e / 2,
+                    listen_rounds: e - e / 2,
+                    decided_at: Some(0),
+                    finished_at: Some(0),
+                })
+                .collect(),
+            statuses,
+            rounds: 10,
+            completed: true,
+            channel: ChannelModel::Cd,
+            seed: 0,
+            message_bits: 16,
+        }
+    }
+
+    #[test]
+    fn summaries() {
+        use NodeStatus::*;
+        let r = report(vec![InMis, OutMis, InMis], vec![3, 7, 2]);
+        assert_eq!(r.max_energy(), 7);
+        assert!((r.avg_energy() - 4.0).abs() < 1e-12);
+        assert_eq!(r.mis_mask(), vec![true, false, true]);
+        assert_eq!(r.undecided_count(), 0);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn verify_against_graph() {
+        use NodeStatus::*;
+        let g = mis_graphs::generators::path(3);
+        let good = report(vec![InMis, OutMis, InMis], vec![1, 1, 1]);
+        assert!(good.is_correct_mis(&g));
+        assert!(good.verify_mis(&g).is_ok());
+
+        let bad = report(vec![InMis, InMis, OutMis], vec![1, 1, 1]);
+        assert!(!bad.is_correct_mis(&g));
+        assert!(bad.verify_mis(&g).unwrap_err().contains("adjacent"));
+
+        let undecided = report(vec![InMis, OutMis, Undecided], vec![1, 1, 1]);
+        assert!(!undecided.is_correct_mis(&g));
+        assert!(undecided.verify_mis(&g).unwrap_err().contains("undecided"));
+
+        let mut incomplete = good.clone();
+        incomplete.completed = false;
+        assert!(incomplete.verify_mis(&g).unwrap_err().contains("round cap"));
+    }
+
+    #[test]
+    fn empty_report() {
+        let r = report(vec![], vec![]);
+        assert!(r.is_empty());
+        assert_eq!(r.max_energy(), 0);
+        assert_eq!(r.avg_energy(), 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        use NodeStatus::*;
+        let r = report(vec![InMis, OutMis], vec![2, 3]);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

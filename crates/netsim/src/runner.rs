@@ -1,0 +1,206 @@
+//! Multi-trial experiment runner.
+//!
+//! Experiments repeat each configuration over many independently seeded
+//! trials. Trials are embarrassingly parallel; [`run_trials`] fans them out
+//! with rayon. Parallelism cannot affect results: trial `i` always uses
+//! master seed `split_seed(base_seed, i)`.
+
+use crate::engine::{SimConfig, Simulator};
+use crate::protocol::{NodeRng, Protocol};
+use crate::report::RunReport;
+use crate::rng::split_seed;
+use mis_graphs::{Graph, NodeId};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One trial's outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialOutcome {
+    /// Index of the trial within its [`TrialSet`].
+    pub trial: usize,
+    /// Master seed the trial ran with.
+    pub seed: u64,
+    /// The full run report.
+    pub report: RunReport,
+    /// Whether the output was verified to be an MIS of the input graph.
+    pub correct: bool,
+}
+
+/// Outcomes of a batch of trials of one configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialSet {
+    /// Per-trial outcomes, in trial order.
+    pub outcomes: Vec<TrialOutcome>,
+}
+
+impl TrialSet {
+    /// Number of trials.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Fraction of trials whose output verified as an MIS.
+    pub fn success_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().filter(|o| o.correct).count() as f64 / self.outcomes.len() as f64
+    }
+
+    /// Per-trial energy complexities (max awake rounds).
+    pub fn energies(&self) -> Vec<f64> {
+        self.outcomes
+            .iter()
+            .map(|o| o.report.max_energy() as f64)
+            .collect()
+    }
+
+    /// Per-trial node-averaged energies.
+    pub fn avg_energies(&self) -> Vec<f64> {
+        self.outcomes.iter().map(|o| o.report.avg_energy()).collect()
+    }
+
+    /// Per-trial round complexities.
+    pub fn rounds(&self) -> Vec<f64> {
+        self.outcomes
+            .iter()
+            .map(|o| o.report.rounds as f64)
+            .collect()
+    }
+
+    /// Mean of per-trial energy complexities.
+    pub fn mean_energy(&self) -> f64 {
+        mean(&self.energies())
+    }
+
+    /// Mean of per-trial round complexities.
+    pub fn mean_rounds(&self) -> f64 {
+        mean(&self.rounds())
+    }
+
+    /// Max energy over all trials (worst case observed).
+    pub fn worst_energy(&self) -> u64 {
+        self.outcomes
+            .iter()
+            .map(|o| o.report.max_energy())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Runs `trials` independently seeded runs of the protocol on `graph` and
+/// verifies each output.
+///
+/// `factory` must be callable from multiple threads; it is invoked once per
+/// (trial, node).
+pub fn run_trials<P, F>(
+    graph: &Graph,
+    base: SimConfig,
+    trials: usize,
+    factory: F,
+) -> TrialSet
+where
+    P: Protocol,
+    F: Fn(NodeId, &mut NodeRng) -> P + Sync,
+{
+    let outcomes: Vec<TrialOutcome> = (0..trials)
+        .into_par_iter()
+        .map(|t| {
+            let seed = split_seed(base.seed, t as u64);
+            let config = SimConfig { seed, ..base };
+            let report = Simulator::new(graph, config).run(|v, rng| factory(v, rng));
+            let correct = report.is_correct_mis(graph);
+            TrialOutcome {
+                trial: t,
+                seed,
+                report,
+                correct,
+            }
+        })
+        .collect();
+    TrialSet { outcomes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Action, ChannelModel, Feedback, NodeStatus};
+    use mis_graphs::generators;
+
+    /// Everyone transmits in round 0 and decides InMis — an MIS only on the
+    /// empty graph.
+    #[derive(Default)]
+    struct Instant {
+        done: bool,
+    }
+    impl Protocol for Instant {
+        fn act(&mut self, _round: u64, _rng: &mut NodeRng) -> Action {
+            Action::Transmit(crate::model::Message::unary())
+        }
+        fn feedback(&mut self, _round: u64, _fb: Feedback, _rng: &mut NodeRng) {
+            self.done = true;
+        }
+        fn status(&self) -> NodeStatus {
+            NodeStatus::InMis
+        }
+        fn finished(&self) -> bool {
+            self.done
+        }
+    }
+
+    #[test]
+    fn trials_verify_against_graph() {
+        let empty = generators::empty(5);
+        let set = run_trials(&empty, SimConfig::new(ChannelModel::Cd), 8, |_, _| Instant::default());
+        assert_eq!(set.len(), 8);
+        assert_eq!(set.success_rate(), 1.0);
+        assert_eq!(set.worst_energy(), 1);
+
+        let edge = generators::path(2);
+        let set = run_trials(&edge, SimConfig::new(ChannelModel::Cd), 4, |_, _| Instant::default());
+        assert_eq!(set.success_rate(), 0.0); // both endpoints joined
+    }
+
+    #[test]
+    fn trial_seeds_are_distinct_and_deterministic() {
+        let g = generators::empty(2);
+        let a = run_trials(&g, SimConfig::new(ChannelModel::Cd).with_seed(5), 4, |_, _| Instant::default());
+        let b = run_trials(&g, SimConfig::new(ChannelModel::Cd).with_seed(5), 4, |_, _| Instant::default());
+        assert_eq!(a, b);
+        let seeds: std::collections::HashSet<u64> =
+            a.outcomes.iter().map(|o| o.seed).collect();
+        assert_eq!(seeds.len(), 4);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let g = generators::empty(3);
+        let set = run_trials(&g, SimConfig::new(ChannelModel::Cd), 3, |_, _| Instant::default());
+        assert_eq!(set.mean_energy(), 1.0);
+        assert_eq!(set.mean_rounds(), 1.0);
+        assert_eq!(set.energies().len(), 3);
+        assert_eq!(set.avg_energies(), vec![1.0; 3]);
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn empty_trialset_summaries() {
+        let set = TrialSet { outcomes: vec![] };
+        assert_eq!(set.success_rate(), 0.0);
+        assert_eq!(set.mean_energy(), 0.0);
+        assert_eq!(set.worst_energy(), 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Execution tracing for debugging and the per-lemma experiments.
+//!
+//! The engine emits [`TraceEvent`]s to a [`TraceSink`]. The default
+//! [`NullTrace`] compiles to nothing; [`VecTrace`] records everything for
+//! inspection in tests and experiment instrumentation.
+
+use crate::model::{Action, Feedback, NodeStatus};
+use mis_graphs::NodeId;
+
+/// One engine event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A node declared an action at a round.
+    Acted {
+        /// Round number.
+        round: u64,
+        /// The acting node.
+        node: NodeId,
+        /// Its action.
+        action: Action,
+    },
+    /// A node received feedback at a round.
+    Fed {
+        /// Round number.
+        round: u64,
+        /// The node receiving feedback.
+        node: NodeId,
+        /// The feedback delivered.
+        feedback: Feedback,
+    },
+    /// A node's status changed.
+    StatusChanged {
+        /// Round number at which the change was observed.
+        round: u64,
+        /// The node.
+        node: NodeId,
+        /// The new status.
+        status: NodeStatus,
+    },
+    /// A node was retired (finished).
+    Finished {
+        /// Round number.
+        round: u64,
+        /// The node.
+        node: NodeId,
+    },
+}
+
+/// Receives engine events.
+pub trait TraceSink {
+    /// Records one event.
+    fn record(&mut self, event: TraceEvent);
+
+    /// Whether the sink wants per-action/per-feedback events (the expensive
+    /// ones). Status changes and finishes are always delivered. Sinks that
+    /// return `false` let the engine skip event construction entirely.
+    fn verbose(&self) -> bool {
+        true
+    }
+}
+
+/// Discards everything; the default sink.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullTrace;
+
+impl TraceSink for NullTrace {
+    fn record(&mut self, _event: TraceEvent) {}
+    fn verbose(&self) -> bool {
+        false
+    }
+}
+
+/// Stores every event in order.
+#[derive(Debug, Clone, Default)]
+pub struct VecTrace {
+    /// The recorded events, in emission order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl VecTrace {
+    /// Creates an empty trace.
+    pub fn new() -> VecTrace {
+        VecTrace::default()
+    }
+
+    /// Iterates over the events of one node.
+    pub fn for_node(&self, node: NodeId) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| match e {
+            TraceEvent::Acted { node: n, .. }
+            | TraceEvent::Fed { node: n, .. }
+            | TraceEvent::StatusChanged { node: n, .. }
+            | TraceEvent::Finished { node: n, .. } => *n == node,
+        })
+    }
+
+    /// Number of awake actions recorded for a node (its traced energy).
+    pub fn awake_actions(&self, node: NodeId) -> usize {
+        self.for_node(node)
+            .filter(|e| matches!(e, TraceEvent::Acted { action, .. } if action.is_awake()))
+            .count()
+    }
+}
+
+impl TraceSink for VecTrace {
+    fn record(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Message;
+
+    #[test]
+    fn vec_trace_filters_by_node() {
+        let mut t = VecTrace::new();
+        t.record(TraceEvent::Acted {
+            round: 0,
+            node: 1,
+            action: Action::Listen,
+        });
+        t.record(TraceEvent::Acted {
+            round: 0,
+            node: 2,
+            action: Action::Transmit(Message::unary()),
+        });
+        t.record(TraceEvent::Fed {
+            round: 0,
+            node: 1,
+            feedback: Feedback::Heard(Message::unary()),
+        });
+        assert_eq!(t.for_node(1).count(), 2);
+        assert_eq!(t.for_node(2).count(), 1);
+        assert_eq!(t.awake_actions(1), 1);
+        assert_eq!(t.awake_actions(3), 0);
+    }
+
+    #[test]
+    fn null_trace_is_quiet() {
+        let mut t = NullTrace;
+        assert!(!t.verbose());
+        t.record(TraceEvent::Finished { round: 0, node: 0 });
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests of the round engine's conservation laws.
+
+use mis_graphs::{Graph, GraphBuilder};
+use proptest::prelude::*;
+use radio_netsim::{
+    Action, ChannelModel, Feedback, Message, NodeRng, NodeStatus, Protocol, SimConfig,
+    Simulator, TraceEvent, VecTrace,
+};
+use rand::Rng;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..24).prop_flat_map(|n| {
+        let edge = (0..n, 0..n).prop_filter("no loops", |(u, v)| u != v);
+        proptest::collection::vec(edge, 0..(2 * n)).prop_map(move |edges| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in edges {
+                b.add_edge(u, v).unwrap();
+            }
+            b.build()
+        })
+    })
+}
+
+/// A protocol that acts randomly for a bounded number of awake rounds.
+struct Chaotic {
+    awake_left: u32,
+    done: bool,
+}
+
+impl Protocol for Chaotic {
+    fn act(&mut self, round: u64, rng: &mut NodeRng) -> Action {
+        if self.awake_left == 0 {
+            self.done = true;
+            return Action::halt();
+        }
+        match rng.gen_range(0..4u8) {
+            0 => Action::Sleep {
+                wake_at: round + rng.gen_range(1..5u64),
+            },
+            1 => {
+                self.awake_left -= 1;
+                Action::Transmit(Message::unary())
+            }
+            _ => {
+                self.awake_left -= 1;
+                Action::Listen
+            }
+        }
+    }
+    fn feedback(&mut self, _round: u64, _fb: Feedback, _rng: &mut NodeRng) {}
+    fn status(&self) -> NodeStatus {
+        NodeStatus::OutMis
+    }
+    fn finished(&self) -> bool {
+        self.done
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Meters equal the traced action counts, and energy = tx + listen.
+    #[test]
+    fn meters_match_trace(g in arb_graph(), seed in any::<u64>(),
+                          channel_pick in 0u8..3) {
+        let channel = match channel_pick {
+            0 => ChannelModel::Cd,
+            1 => ChannelModel::NoCd,
+            _ => ChannelModel::Beeping,
+        };
+        let mut trace = VecTrace::new();
+        let report = Simulator::new(&g, SimConfig::new(channel).with_seed(seed))
+            .run_traced(|_, _| Chaotic { awake_left: 12, done: false }, &mut trace);
+        prop_assert!(report.completed);
+        for v in 0..g.len() {
+            let traced_awake = trace.awake_actions(v) as u64;
+            prop_assert_eq!(report.meters[v].energy(), traced_awake);
+            let traced_tx = trace
+                .for_node(v)
+                .filter(|e| matches!(e, TraceEvent::Acted { action: Action::Transmit(_), .. }))
+                .count() as u64;
+            prop_assert_eq!(report.meters[v].transmit_rounds, traced_tx);
+            // Exactly 12 awake rounds were budgeted and all were used.
+            prop_assert_eq!(report.meters[v].energy(), 12);
+        }
+    }
+
+    /// Every feedback is consistent with the channel model: a CD node never
+    /// sees Beep, a beeping node never sees Heard/Collision, a no-CD node
+    /// never sees Collision/Beep.
+    #[test]
+    fn feedback_respects_channel(g in arb_graph(), seed in any::<u64>()) {
+        for channel in [ChannelModel::Cd, ChannelModel::NoCd, ChannelModel::Beeping] {
+            let mut trace = VecTrace::new();
+            let _ = Simulator::new(&g, SimConfig::new(channel).with_seed(seed))
+                .run_traced(|_, _| Chaotic { awake_left: 8, done: false }, &mut trace);
+            for e in &trace.events {
+                if let TraceEvent::Fed { feedback, .. } = e {
+                    match channel {
+                        ChannelModel::Cd => {
+                            prop_assert!(!matches!(feedback, Feedback::Beep))
+                        }
+                        ChannelModel::NoCd => prop_assert!(!matches!(
+                            feedback,
+                            Feedback::Beep | Feedback::Collision
+                        )),
+                        ChannelModel::Beeping | ChannelModel::BeepingSenderCd => {
+                            prop_assert!(!matches!(
+                                feedback,
+                                Feedback::Heard(_) | Feedback::Collision
+                            ))
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs are reproducible and node-count invariants hold.
+    #[test]
+    fn reproducible_and_complete(g in arb_graph(), seed in any::<u64>()) {
+        let run = || Simulator::new(&g, SimConfig::new(ChannelModel::NoCd).with_seed(seed))
+            .run(|_, _| Chaotic { awake_left: 6, done: false });
+        let a = run();
+        let b = run();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), g.len());
+        prop_assert!(a.completed);
+        // Everyone finished and was stamped.
+        for m in &a.meters {
+            prop_assert!(m.finished_at.is_some());
+            prop_assert!(m.energy() <= a.rounds);
+        }
+    }
+
+    /// With loss = 1.0, nobody ever hears anything in any model.
+    #[test]
+    fn total_loss_silences_everything(g in arb_graph(), seed in any::<u64>()) {
+        let mut trace = VecTrace::new();
+        let config = SimConfig::new(ChannelModel::NoCd)
+            .with_seed(seed)
+            .with_loss_probability(1.0);
+        let _ = Simulator::new(&g, config)
+            .run_traced(|_, _| Chaotic { awake_left: 10, done: false }, &mut trace);
+        for e in &trace.events {
+            if let TraceEvent::Fed { feedback, .. } = e {
+                prop_assert!(!matches!(feedback, Feedback::Heard(_)));
+            }
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Least-squares fits of measured complexities against candidate growth
+//! laws.
+//!
+//! The paper's theorems predict specific shapes — Theorem 2: energy
+//! Θ(log n), rounds Θ(log²n); Theorem 10: energy Θ(log²n·loglog n), rounds
+//! Θ(log³n·log Δ). The experiments fit each measured series `y(n)` to
+//! `y = a + b·f(n)` for every candidate `f` and report R², so
+//! `EXPERIMENTS.md` can state *which* growth law explains the data best.
+
+use serde::{Deserialize, Serialize};
+
+/// Candidate growth laws `f(n)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GrowthModel {
+    /// f(n) = 1 (constant).
+    Constant,
+    /// f(n) = log₂ n.
+    LogN,
+    /// f(n) = log₂²n.
+    Log2N,
+    /// f(n) = log₂²n · log₂log₂ n.
+    Log2NLogLogN,
+    /// f(n) = log₂³n.
+    Log3N,
+    /// f(n) = log₂⁴n.
+    Log4N,
+    /// f(n) = √n.
+    SqrtN,
+    /// f(n) = n.
+    Linear,
+}
+
+impl GrowthModel {
+    /// All candidates, in increasing asymptotic order.
+    pub fn all() -> [GrowthModel; 8] {
+        [
+            GrowthModel::Constant,
+            GrowthModel::LogN,
+            GrowthModel::Log2N,
+            GrowthModel::Log2NLogLogN,
+            GrowthModel::Log3N,
+            GrowthModel::Log4N,
+            GrowthModel::SqrtN,
+            GrowthModel::Linear,
+        ]
+    }
+
+    /// Evaluates f(n).
+    pub fn eval(self, n: f64) -> f64 {
+        let n = n.max(2.0);
+        let l = n.log2();
+        match self {
+            GrowthModel::Constant => 1.0,
+            GrowthModel::LogN => l,
+            GrowthModel::Log2N => l * l,
+            GrowthModel::Log2NLogLogN => l * l * l.max(2.0).log2(),
+            GrowthModel::Log3N => l * l * l,
+            GrowthModel::Log4N => l * l * l * l,
+            GrowthModel::SqrtN => n.sqrt(),
+            GrowthModel::Linear => n,
+        }
+    }
+
+    /// Human-readable formula.
+    pub fn label(self) -> &'static str {
+        match self {
+            GrowthModel::Constant => "O(1)",
+            GrowthModel::LogN => "log n",
+            GrowthModel::Log2N => "log^2 n",
+            GrowthModel::Log2NLogLogN => "log^2 n loglog n",
+            GrowthModel::Log3N => "log^3 n",
+            GrowthModel::Log4N => "log^4 n",
+            GrowthModel::SqrtN => "sqrt n",
+            GrowthModel::Linear => "n",
+        }
+    }
+}
+
+impl std::fmt::Display for GrowthModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A least-squares fit `y ≈ intercept + slope·f(n)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fit {
+    /// Fitted slope b.
+    pub slope: f64,
+    /// Fitted intercept a.
+    pub intercept: f64,
+    /// Coefficient of determination.
+    pub r2: f64,
+}
+
+/// Ordinary least squares of `y = a + b·x`.
+///
+/// # Panics
+///
+/// Panics if the series lengths differ or fewer than 2 points are given.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Fit {
+    assert_eq!(xs.len(), ys.len(), "series length mismatch");
+    assert!(xs.len() >= 2, "need at least two points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let slope = if sxx == 0.0 { 0.0 } else { sxy / sxx };
+    let intercept = my - slope * mx;
+    let ss_tot: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (y - (intercept + slope * x)).powi(2))
+        .sum();
+    let r2 = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Fit {
+        slope,
+        intercept,
+        r2,
+    }
+}
+
+/// Fits `ys` against a specific growth model of `ns`.
+pub fn fit_model(model: GrowthModel, ns: &[f64], ys: &[f64]) -> Fit {
+    let xs: Vec<f64> = ns.iter().map(|&n| model.eval(n)).collect();
+    linear_fit(&xs, ys)
+}
+
+/// Fits every candidate model and returns the one with the best R²,
+/// preferring slower-growing models on near-ties (within 0.002 R²) and
+/// rejecting fits with negative slopes (a complexity cannot decrease in n).
+pub fn best_fit(ns: &[f64], ys: &[f64]) -> (GrowthModel, Fit) {
+    let mut best: Option<(GrowthModel, Fit)> = None;
+    for model in GrowthModel::all() {
+        let fit = fit_model(model, ns, ys);
+        if model != GrowthModel::Constant && fit.slope < 0.0 {
+            continue;
+        }
+        match &best {
+            None => best = Some((model, fit)),
+            Some((_, b)) => {
+                if fit.r2 > b.r2 + 0.002 {
+                    best = Some((model, fit));
+                }
+            }
+        }
+    }
+    best.expect("Constant model always eligible")
+}
+
+/// R² of every model, for the per-experiment diagnostics table.
+pub fn all_fits(ns: &[f64], ys: &[f64]) -> Vec<(GrowthModel, Fit)> {
+    GrowthModel::all()
+        .into_iter()
+        .map(|m| (m, fit_model(m, ns, ys)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns() -> Vec<f64> {
+        (6..18).map(|k| (1u64 << k) as f64).collect()
+    }
+
+    #[test]
+    fn linear_fit_exact() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [5.0, 7.0, 9.0];
+        let f = linear_fit(&xs, &ys);
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.intercept - 3.0).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovers_log_n() {
+        let ys: Vec<f64> = ns().iter().map(|&n| 7.0 * n.log2() + 2.0).collect();
+        let (m, f) = best_fit(&ns(), &ys);
+        assert_eq!(m, GrowthModel::LogN);
+        assert!((f.slope - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovers_log2_n() {
+        let ys: Vec<f64> = ns().iter().map(|&n| 3.0 * n.log2().powi(2)).collect();
+        let (m, _) = best_fit(&ns(), &ys);
+        assert_eq!(m, GrowthModel::Log2N);
+    }
+
+    #[test]
+    fn recovers_log2_loglog_up_to_near_tie() {
+        // Over experiment-scale n, log²n·loglog n and log²n are affinely
+        // near-indistinguishable (the loglog factor moves by ~1.5× while
+        // log² moves by ~8×), so best_fit may legitimately report either —
+        // but the true model must fit essentially perfectly.
+        let ys: Vec<f64> = ns()
+            .iter()
+            .map(|&n| {
+                let l = n.log2();
+                2.0 * l * l * l.log2()
+            })
+            .collect();
+        let (m, f) = best_fit(&ns(), &ys);
+        assert!(
+            matches!(m, GrowthModel::Log2NLogLogN | GrowthModel::Log2N),
+            "winner {m:?}"
+        );
+        assert!(f.r2 > 0.99);
+        let exact = fit_model(GrowthModel::Log2NLogLogN, &ns(), &ys);
+        assert!((exact.r2 - 1.0).abs() < 1e-9);
+        assert!((exact.slope - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovers_log3_n() {
+        let ys: Vec<f64> = ns().iter().map(|&n| 0.5 * n.log2().powi(3) + 10.0).collect();
+        let (m, _) = best_fit(&ns(), &ys);
+        assert_eq!(m, GrowthModel::Log3N);
+    }
+
+    #[test]
+    fn recovers_linear() {
+        let ys: Vec<f64> = ns().iter().map(|&n| 0.25 * n).collect();
+        let (m, _) = best_fit(&ns(), &ys);
+        assert_eq!(m, GrowthModel::Linear);
+    }
+
+    #[test]
+    fn noisy_log_n_still_wins() {
+        // Deterministic ±10% ripple.
+        let ys: Vec<f64> = ns()
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| 5.0 * n.log2() * (1.0 + 0.1 * if i % 2 == 0 { 1.0 } else { -1.0 }))
+            .collect();
+        let (m, f) = best_fit(&ns(), &ys);
+        assert_eq!(m, GrowthModel::LogN);
+        // ±10% multiplicative ripple leaves roughly 1 − 0.25·E[l²]/Var(5l)
+        // of the variance explained.
+        assert!(f.r2 > 0.8, "r2 = {}", f.r2);
+    }
+
+    #[test]
+    fn constant_data() {
+        let ys = vec![4.0; ns().len()];
+        let (m, f) = best_fit(&ns(), &ys);
+        assert_eq!(m, GrowthModel::Constant);
+        assert!((f.r2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_fits_covers_all_models() {
+        let ys: Vec<f64> = ns().iter().map(|&n| n.log2()).collect();
+        assert_eq!(all_fits(&ns(), &ys).len(), GrowthModel::all().len());
+    }
+
+    #[test]
+    fn model_labels_distinct() {
+        let labels: std::collections::HashSet<_> =
+            GrowthModel::all().iter().map(|m| m.label()).collect();
+        assert_eq!(labels.len(), GrowthModel::all().len());
+    }
+}

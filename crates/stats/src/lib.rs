@@ -1,0 +1,35 @@
+//! Statistics substrate for the energy-MIS evaluation harness.
+//!
+//! Three pieces:
+//!
+//! - [`summary`] — descriptive statistics (mean, std, quantiles, 95% CI)
+//!   over trial measurements;
+//! - [`fit`] — least-squares fits of measured complexities against the
+//!   candidate growth laws the paper's theorems predict (log n, log²n,
+//!   log²n·loglog n, …) with R² model selection;
+//! - [`table`] — markdown/CSV table rendering for `EXPERIMENTS.md`;
+//! - [`plot`] — dependency-free SVG line charts for the experiment figures.
+//!
+//! ```
+//! use mis_stats::fit::{best_fit, GrowthModel};
+//!
+//! // Perfect log²n data is attributed to the right model.
+//! let ns: Vec<f64> = (6..16).map(|k| (1u64 << k) as f64).collect();
+//! let ys: Vec<f64> = ns.iter().map(|&n| 3.0 * n.log2().powi(2) + 5.0).collect();
+//! let (model, fit) = best_fit(&ns, &ys);
+//! assert_eq!(model, GrowthModel::Log2N);
+//! assert!(fit.r2 > 0.999);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fit;
+pub mod plot;
+pub mod summary;
+pub mod table;
+
+pub use fit::{best_fit, Fit, GrowthModel};
+pub use plot::LineChart;
+pub use summary::Summary;
+pub use table::Table;

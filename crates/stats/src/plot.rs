@@ -1,0 +1,348 @@
+//! Minimal hand-rolled SVG line charts for the experiment figures.
+//!
+//! No plotting dependency: the charts the evaluation needs are simple
+//! multi-series line plots with optional log₂ axes. Output is standalone
+//! SVG viewable in any browser.
+
+use std::fmt::Write as _;
+
+/// One plotted series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// (x, y) data points, in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A multi-series line chart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineChart {
+    /// Title rendered above the plot area.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series to draw.
+    pub series: Vec<Series>,
+    /// Use a log₂ scale on x.
+    pub log_x: bool,
+    /// Use a log₂ scale on y.
+    pub log_y: bool,
+}
+
+/// Color-blind-safe series palette.
+const PALETTE: [&str; 6] = [
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9",
+];
+
+const W: f64 = 640.0;
+const H: f64 = 420.0;
+const ML: f64 = 70.0; // left margin
+const MR: f64 = 20.0;
+const MT: f64 = 42.0;
+const MB: f64 = 56.0;
+
+impl LineChart {
+    /// Creates an empty chart with linear axes.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> LineChart {
+        LineChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            log_x: false,
+            log_y: false,
+        }
+    }
+
+    /// Adds a series.
+    pub fn push_series(
+        &mut self,
+        name: impl Into<String>,
+        points: impl IntoIterator<Item = (f64, f64)>,
+    ) -> &mut LineChart {
+        self.series.push(Series {
+            name: name.into(),
+            points: points.into_iter().collect(),
+        });
+        self
+    }
+
+    /// Switches the x axis to log₂ scale.
+    pub fn with_log_x(mut self) -> LineChart {
+        self.log_x = true;
+        self
+    }
+
+    /// Switches the y axis to log₂ scale.
+    pub fn with_log_y(mut self) -> LineChart {
+        self.log_y = true;
+        self
+    }
+
+    fn tx(&self, x: f64) -> f64 {
+        if self.log_x {
+            x.max(1e-12).log2()
+        } else {
+            x
+        }
+    }
+
+    fn ty(&self, y: f64) -> f64 {
+        if self.log_y {
+            y.max(1e-12).log2()
+        } else {
+            y
+        }
+    }
+
+    /// Renders the chart as a standalone SVG document.
+    ///
+    /// Charts with no finite data points render an "empty" placeholder
+    /// rather than failing.
+    pub fn to_svg(&self) -> String {
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter())
+            .map(|&(x, y)| (self.tx(x), self.ty(y)))
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        let mut svg = String::new();
+        let _ = writeln!(
+            svg,
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{W}\" height=\"{H}\" \
+             viewBox=\"0 0 {W} {H}\" font-family=\"sans-serif\">"
+        );
+        let _ = writeln!(svg, "<rect width=\"{W}\" height=\"{H}\" fill=\"white\"/>");
+        let _ = writeln!(
+            svg,
+            "<text x=\"{}\" y=\"24\" text-anchor=\"middle\" font-size=\"15\" \
+             font-weight=\"bold\">{}</text>",
+            W / 2.0,
+            escape(&self.title)
+        );
+        if pts.is_empty() {
+            let _ = writeln!(
+                svg,
+                "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\" fill=\"#888\">no data</text>",
+                W / 2.0,
+                H / 2.0
+            );
+            svg.push_str("</svg>\n");
+            return svg;
+        }
+        let (mut x0, mut x1) = min_max(pts.iter().map(|p| p.0));
+        let (mut y0, mut y1) = min_max(pts.iter().map(|p| p.1));
+        if (x1 - x0).abs() < 1e-12 {
+            x0 -= 1.0;
+            x1 += 1.0;
+        }
+        if (y1 - y0).abs() < 1e-12 {
+            y0 -= 1.0;
+            y1 += 1.0;
+        }
+        // A little headroom.
+        let ypad = 0.06 * (y1 - y0);
+        y0 -= ypad;
+        y1 += ypad;
+        let sx = |x: f64| ML + (x - x0) / (x1 - x0) * (W - ML - MR);
+        let sy = |y: f64| H - MB - (y - y0) / (y1 - y0) * (H - MT - MB);
+
+        // Axes.
+        let _ = writeln!(
+            svg,
+            "<line x1=\"{ML}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"#333\"/>",
+            H - MB,
+            W - MR,
+            H - MB
+        );
+        let _ = writeln!(
+            svg,
+            "<line x1=\"{ML}\" y1=\"{MT}\" x2=\"{ML}\" y2=\"{}\" stroke=\"#333\"/>",
+            H - MB
+        );
+        // Ticks: 5 per axis.
+        for i in 0..=4 {
+            let fx = x0 + (x1 - x0) * i as f64 / 4.0;
+            let px = sx(fx);
+            let label = if self.log_x {
+                format_tick(2f64.powf(fx))
+            } else {
+                format_tick(fx)
+            };
+            let _ = writeln!(
+                svg,
+                "<line x1=\"{px}\" y1=\"{}\" x2=\"{px}\" y2=\"{}\" stroke=\"#333\"/>\
+                 <text x=\"{px}\" y=\"{}\" text-anchor=\"middle\" font-size=\"11\">{label}</text>",
+                H - MB,
+                H - MB + 5.0,
+                H - MB + 18.0
+            );
+            let fy = y0 + (y1 - y0) * i as f64 / 4.0;
+            let py = sy(fy);
+            let label = if self.log_y {
+                format_tick(2f64.powf(fy))
+            } else {
+                format_tick(fy)
+            };
+            let _ = writeln!(
+                svg,
+                "<line x1=\"{}\" y1=\"{py}\" x2=\"{ML}\" y2=\"{py}\" stroke=\"#333\"/>\
+                 <text x=\"{}\" y=\"{}\" text-anchor=\"end\" font-size=\"11\">{label}</text>",
+                ML - 5.0,
+                ML - 8.0,
+                py + 4.0
+            );
+            // Light gridline.
+            let _ = writeln!(
+                svg,
+                "<line x1=\"{ML}\" y1=\"{py}\" x2=\"{}\" y2=\"{py}\" stroke=\"#eee\"/>",
+                W - MR
+            );
+        }
+        // Axis labels.
+        let _ = writeln!(
+            svg,
+            "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\" font-size=\"12\">{}</text>",
+            ML + (W - ML - MR) / 2.0,
+            H - 12.0,
+            escape(&self.x_label)
+        );
+        let _ = writeln!(
+            svg,
+            "<text x=\"16\" y=\"{}\" text-anchor=\"middle\" font-size=\"12\" \
+             transform=\"rotate(-90 16 {})\">{}</text>",
+            MT + (H - MT - MB) / 2.0,
+            MT + (H - MT - MB) / 2.0,
+            escape(&self.y_label)
+        );
+        // Series.
+        for (i, s) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let path: Vec<String> = s
+                .points
+                .iter()
+                .map(|&(x, y)| (self.tx(x), self.ty(y)))
+                .filter(|(x, y)| x.is_finite() && y.is_finite())
+                .map(|(x, y)| format!("{:.1},{:.1}", sx(x), sy(y)))
+                .collect();
+            if path.len() > 1 {
+                let _ = writeln!(
+                    svg,
+                    "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" \
+                     stroke-width=\"2\"/>",
+                    path.join(" ")
+                );
+            }
+            for p in &path {
+                let mut it = p.split(',');
+                let (cx, cy) = (it.next().unwrap(), it.next().unwrap());
+                let _ = writeln!(
+                    svg,
+                    "<circle cx=\"{cx}\" cy=\"{cy}\" r=\"3\" fill=\"{color}\"/>"
+                );
+            }
+            // Legend entry.
+            let ly = MT + 6.0 + 16.0 * i as f64;
+            let _ = writeln!(
+                svg,
+                "<rect x=\"{}\" y=\"{}\" width=\"10\" height=\"10\" fill=\"{color}\"/>\
+                 <text x=\"{}\" y=\"{}\" font-size=\"11\">{}</text>",
+                ML + 8.0,
+                ly,
+                ML + 22.0,
+                ly + 9.0,
+                escape(&s.name)
+            );
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+}
+
+fn min_max(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    values.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+        (lo.min(v), hi.max(v))
+    })
+}
+
+fn format_tick(v: f64) -> String {
+    let a = v.abs();
+    if a >= 100_000.0 {
+        format!("{:.0}k", v / 1000.0)
+    } else if a >= 1000.0 {
+        format!("{:.1}k", v / 1000.0)
+    } else if a >= 10.0 || v == v.trunc() {
+        format!("{v:.0}")
+    } else if a >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> LineChart {
+        let mut c = LineChart::new("Energy vs n", "n", "awake rounds");
+        c.push_series("Algorithm 1", [(128.0, 19.0), (256.0, 22.0), (512.0, 25.0)]);
+        c.push_series("naive Luby", [(128.0, 37.0), (256.0, 48.0), (512.0, 57.0)]);
+        c
+    }
+
+    #[test]
+    fn renders_wellformed_svg() {
+        let svg = chart().to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 6);
+        assert!(svg.contains("Energy vs n"));
+        assert!(svg.contains("Algorithm 1"));
+        assert!(svg.contains("naive Luby"));
+    }
+
+    #[test]
+    fn log_axes_change_tick_labels() {
+        let svg = chart().with_log_x().to_svg();
+        // The middle x tick sits at the geometric mean 256.
+        assert!(svg.contains(">256<"), "{svg}");
+    }
+
+    #[test]
+    fn empty_chart_renders_placeholder() {
+        let svg = LineChart::new("t", "x", "y").to_svg();
+        assert!(svg.contains("no data"));
+    }
+
+    #[test]
+    fn escapes_markup() {
+        let mut c = LineChart::new("a < b & c", "x", "y");
+        c.push_series("s<1>", [(0.0, 0.0), (1.0, 1.0)]);
+        let svg = c.to_svg();
+        assert!(svg.contains("a &lt; b &amp; c"));
+        assert!(svg.contains("s&lt;1&gt;"));
+        assert!(!svg.contains("a < b"));
+    }
+
+    #[test]
+    fn constant_series_does_not_collapse() {
+        let mut c = LineChart::new("flat", "x", "y");
+        c.push_series("k", [(1.0, 5.0), (2.0, 5.0)]);
+        let svg = c.to_svg();
+        assert!(svg.contains("<polyline"));
+    }
+}

@@ -1,0 +1,128 @@
+//! Descriptive statistics over trial measurements.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean (0 for an empty sample).
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected; 0 for < 2 samples).
+    pub std: f64,
+    /// Minimum (0 for an empty sample).
+    pub min: f64,
+    /// Maximum (0 for an empty sample).
+    pub max: f64,
+    /// Median (interpolated).
+    pub median: f64,
+    /// Half-width of the normal-approximation 95% confidence interval for
+    /// the mean.
+    pub ci95: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a sample.
+    pub fn of(xs: &[f64]) -> Summary {
+        if xs.is_empty() {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                std: 0.0,
+                min: 0.0,
+                max: 0.0,
+                median: 0.0,
+                ci95: 0.0,
+            };
+        }
+        let count = xs.len();
+        let mean = xs.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count as f64 - 1.0)
+        } else {
+            0.0
+        };
+        let std = var.sqrt();
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in measurements"));
+        Summary {
+            count,
+            mean,
+            std,
+            min: sorted[0],
+            max: sorted[count - 1],
+            median: quantile_sorted(&sorted, 0.5),
+            ci95: 1.96 * std / (count as f64).sqrt(),
+        }
+    }
+
+    /// Interpolated quantile of the sample, `q ∈ [0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(xs: &[f64], q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if xs.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in measurements"));
+        quantile_sorted(&sorted, q)
+    }
+}
+
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_summary() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.count, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.std - (2.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+        assert!(s.ci95 > 0.0);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = Summary::of(&[]);
+        assert_eq!(e.count, 0);
+        assert_eq!(e.mean, 0.0);
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(Summary::quantile(&xs, 0.0), 1.0);
+        assert_eq!(Summary::quantile(&xs, 1.0), 4.0);
+        assert!((Summary::quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn quantile_range_checked() {
+        let _ = Summary::quantile(&[1.0], 1.5);
+    }
+}

@@ -1,0 +1,46 @@
+//! # energy-mis
+//!
+//! A full reproduction of *"Energy-Efficient Maximal Independent Sets in
+//! Radio Networks"* (PODC 2025): a synchronous radio-network simulator with
+//! the sleeping/energy model, the paper's CD and no-CD MIS algorithms with
+//! all their building blocks, baselines, and an evaluation harness that
+//! validates every theorem and lemma empirically.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! - [`graphs`] — topologies, generators, MIS verification;
+//! - [`netsim`] — the radio simulator (CD / no-CD / beeping channels,
+//!   energy accounting);
+//! - [`mis`] — the paper's algorithms and baselines;
+//! - [`congest`] — the wired SLEEPING-CONGEST reference substrate;
+//! - [`stats`] — summary statistics and complexity-fit utilities.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use energy_mis::graphs::generators;
+//! use energy_mis::mis::cd::CdMis;
+//! use energy_mis::mis::params::CdParams;
+//! use energy_mis::netsim::{ChannelModel, SimConfig, Simulator};
+//!
+//! let graph = generators::gnp(200, 0.05, 1);
+//! let params = CdParams::for_n(graph.len());
+//! let config = SimConfig::new(ChannelModel::Cd).with_seed(42);
+//! let report = Simulator::new(&graph, config)
+//!     .run(|_, _| CdMis::new(params));
+//! assert!(report.is_correct_mis(&graph));
+//! println!(
+//!     "energy = {} awake rounds, {} total rounds",
+//!     report.max_energy(),
+//!     report.rounds
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use congest_sim as congest;
+pub use mis_graphs as graphs;
+pub use mis_stats as stats;
+pub use radio_mis as mis;
+pub use radio_netsim as netsim;

@@ -1,0 +1,147 @@
+//! Cross-crate integration: every algorithm solves MIS on every topology
+//! family, verified against the graph.
+
+use energy_mis::congest::{CongestSim, GhaffariCongest, LubyCongest};
+use energy_mis::graphs::generators::Family;
+use energy_mis::mis::baselines::nocd_naive::{NaiveSimParams, NoCdNaive};
+use energy_mis::mis::baselines::naive_luby_cd;
+use energy_mis::mis::cd::CdMis;
+use energy_mis::mis::low_degree::LowDegreeMis;
+use energy_mis::mis::nocd::NoCdMis;
+use energy_mis::mis::params::{CdParams, LowDegreeParams, NoCdParams};
+use energy_mis::mis::unknown_delta::UnknownDeltaMis;
+use energy_mis::netsim::{ChannelModel, SimConfig, Simulator};
+
+fn families(n: usize) -> Vec<(String, energy_mis::graphs::Graph)> {
+    [
+        Family::GnpAvgDegree(8),
+        Family::GeometricAvgDegree(6),
+        Family::Grid,
+        Family::Star,
+        Family::Path,
+        Family::Cycle,
+        Family::Empty,
+        Family::RandomTree,
+        Family::BoundedDegree(4),
+        Family::LowerBound,
+    ]
+    .into_iter()
+    .map(|f| (f.label(), f.generate(n, 1234)))
+    .chain(std::iter::once((
+        "clique".to_string(),
+        Family::Clique.generate(n.min(24), 0),
+    )))
+    .collect()
+}
+
+#[test]
+fn cd_mis_on_every_family() {
+    for (label, g) in families(72) {
+        let params = CdParams::for_n(512);
+        let report = Simulator::new(&g, SimConfig::new(ChannelModel::Cd).with_seed(5))
+            .run(|_, _| CdMis::new(params));
+        assert!(
+            report.is_correct_mis(&g),
+            "CdMis failed on {label}: {:?}",
+            report.verify_mis(&g)
+        );
+    }
+}
+
+#[test]
+fn beeping_mis_on_every_family() {
+    for (label, g) in families(72) {
+        let params = CdParams::for_n(512);
+        let report = Simulator::new(&g, SimConfig::new(ChannelModel::Beeping).with_seed(6))
+            .run(|_, _| CdMis::new(params));
+        assert!(
+            report.is_correct_mis(&g),
+            "beeping CdMis failed on {label}: {:?}",
+            report.verify_mis(&g)
+        );
+    }
+}
+
+#[test]
+fn naive_luby_on_every_family() {
+    for (label, g) in families(72) {
+        let params = CdParams::for_n(512);
+        let report = Simulator::new(&g, SimConfig::new(ChannelModel::Cd).with_seed(7))
+            .run(|_, _| naive_luby_cd(params));
+        assert!(
+            report.is_correct_mis(&g),
+            "naive Luby failed on {label}: {:?}",
+            report.verify_mis(&g)
+        );
+    }
+}
+
+#[test]
+fn nocd_mis_on_every_family() {
+    for (label, g) in families(48) {
+        let params = NoCdParams::for_n(256, g.max_degree().max(2));
+        let report = Simulator::new(&g, SimConfig::new(ChannelModel::NoCd).with_seed(8))
+            .run(|_, _| NoCdMis::new(params));
+        assert!(
+            report.is_correct_mis(&g),
+            "NoCdMis failed on {label}: {:?}",
+            report.verify_mis(&g)
+        );
+    }
+}
+
+#[test]
+fn low_degree_mis_on_every_family() {
+    for (label, g) in families(48) {
+        let params = LowDegreeParams::for_n(256, g.max_degree().max(2));
+        let report = Simulator::new(&g, SimConfig::new(ChannelModel::NoCd).with_seed(9))
+            .run(|_, _| LowDegreeMis::new(params));
+        assert!(
+            report.is_correct_mis(&g),
+            "LowDegreeMis failed on {label}: {:?}",
+            report.verify_mis(&g)
+        );
+    }
+}
+
+#[test]
+fn nocd_naive_on_every_family() {
+    for (label, g) in families(40) {
+        let cd = CdParams::for_n(256);
+        let sim = NaiveSimParams::for_n(256, g.max_degree().max(2));
+        let report = Simulator::new(&g, SimConfig::new(ChannelModel::NoCd).with_seed(10))
+            .run(|_, _| NoCdNaive::new(cd, sim));
+        assert!(
+            report.is_correct_mis(&g),
+            "NoCdNaive failed on {label}: {:?}",
+            report.verify_mis(&g)
+        );
+    }
+}
+
+#[test]
+fn unknown_delta_on_low_degree_families() {
+    for fam in [Family::Path, Family::Cycle, Family::Empty, Family::BoundedDegree(4)] {
+        let g = fam.generate(32, 77);
+        let template = NoCdParams::for_n(128, 2);
+        let report = Simulator::new(&g, SimConfig::new(ChannelModel::NoCd).with_seed(11))
+            .run(|_, _| UnknownDeltaMis::new(128, template));
+        assert!(
+            report.is_correct_mis(&g),
+            "UnknownDeltaMis failed on {}: {:?}",
+            fam.label(),
+            report.verify_mis(&g)
+        );
+    }
+}
+
+#[test]
+fn congest_references_on_every_family() {
+    for (label, g) in families(72) {
+        let luby = CongestSim::new(&g, 12).run(|_, _| LubyCongest::new(512));
+        assert!(luby.is_correct_mis(&g), "Luby failed on {label}");
+        let gha = CongestSim::new(&g, 13)
+            .run(|_, _| GhaffariCongest::new(512, g.max_degree().max(1)));
+        assert!(gha.is_correct_mis(&g), "Ghaffari failed on {label}");
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based integration tests: on arbitrary small graphs, every
+//! algorithm's output verifies as an MIS.
+//!
+//! Failure probabilities are 1/poly of the *parameter* n, so all protocols
+//! run with a large n-bound (4096) regardless of the actual graph size —
+//! per-case failure odds are negligible across the proptest case budget.
+
+use energy_mis::graphs::{Graph, GraphBuilder};
+use energy_mis::mis::baselines::naive_luby_cd;
+use energy_mis::mis::cd::CdMis;
+use energy_mis::mis::low_degree::LowDegreeMis;
+use energy_mis::mis::nocd::NoCdMis;
+use energy_mis::mis::params::{CdParams, LowDegreeParams, NoCdParams};
+use energy_mis::netsim::{ChannelModel, SimConfig, Simulator};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..28).prop_flat_map(|n| {
+        let edge = (0..n, 0..n).prop_filter("no loops", |(u, v)| u != v);
+        proptest::collection::vec(edge, 0..(2 * n)).prop_map(move |edges| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in edges {
+                b.add_edge(u, v).unwrap();
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cd_mis_always_valid(g in arb_graph(), seed in any::<u64>()) {
+        let params = CdParams::for_n(4096);
+        let report = Simulator::new(&g, SimConfig::new(ChannelModel::Cd).with_seed(seed))
+            .run(|_, _| CdMis::new(params));
+        prop_assert!(report.is_correct_mis(&g), "{:?}", report.verify_mis(&g));
+    }
+
+    #[test]
+    fn beeping_mis_always_valid(g in arb_graph(), seed in any::<u64>()) {
+        let params = CdParams::for_n(4096);
+        let report = Simulator::new(&g, SimConfig::new(ChannelModel::Beeping).with_seed(seed))
+            .run(|_, _| CdMis::new(params));
+        prop_assert!(report.is_correct_mis(&g), "{:?}", report.verify_mis(&g));
+    }
+
+    #[test]
+    fn naive_luby_always_valid(g in arb_graph(), seed in any::<u64>()) {
+        let params = CdParams::for_n(4096);
+        let report = Simulator::new(&g, SimConfig::new(ChannelModel::Cd).with_seed(seed))
+            .run(|_, _| naive_luby_cd(params));
+        prop_assert!(report.is_correct_mis(&g), "{:?}", report.verify_mis(&g));
+    }
+
+    #[test]
+    fn energy_never_exceeds_rounds(g in arb_graph(), seed in any::<u64>()) {
+        let params = CdParams::for_n(4096);
+        let report = Simulator::new(&g, SimConfig::new(ChannelModel::Cd).with_seed(seed))
+            .run(|_, _| CdMis::new(params));
+        // Conservation: awake rounds ≤ elapsed rounds, per node.
+        for m in &report.meters {
+            prop_assert!(m.energy() <= report.rounds);
+        }
+    }
+}
+
+proptest! {
+    // The no-CD machines are slower; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn nocd_mis_always_valid(g in arb_graph(), seed in any::<u64>()) {
+        let params = NoCdParams::for_n(1024, g.max_degree().max(2));
+        let report = Simulator::new(&g, SimConfig::new(ChannelModel::NoCd).with_seed(seed))
+            .run(|_, _| NoCdMis::new(params));
+        prop_assert!(report.is_correct_mis(&g), "{:?}", report.verify_mis(&g));
+    }
+
+    #[test]
+    fn low_degree_mis_always_valid(g in arb_graph(), seed in any::<u64>()) {
+        let params = LowDegreeParams::for_n(1024, g.max_degree().max(2));
+        let report = Simulator::new(&g, SimConfig::new(ChannelModel::NoCd).with_seed(seed))
+            .run(|_, _| LowDegreeMis::new(params));
+        prop_assert!(report.is_correct_mis(&g), "{:?}", report.verify_mis(&g));
+    }
+}

@@ -1,0 +1,129 @@
+//! Failure injection: how the algorithms degrade when the channel loses
+//! receptions (outside the paper's model — fading, interference).
+//!
+//! These tests pin the *qualitative* behavior: runs always terminate and
+//! verification catches any damage; the no-CD algorithm tolerates mild loss
+//! (its backoffs already repeat Θ(log n) times), while Algorithm 1 in the
+//! CD model is brittle (one lost check-round reception can strand a node).
+
+use energy_mis::graphs::generators;
+use energy_mis::mis::cd::CdMis;
+use energy_mis::mis::nocd::NoCdMis;
+use energy_mis::mis::params::{CdParams, NoCdParams};
+use energy_mis::netsim::{split_seed, ChannelModel, SimConfig, Simulator};
+
+#[test]
+fn runs_always_terminate_under_any_loss() {
+    let g = generators::gnp(64, 0.1, 1);
+    for loss in [0.0, 0.2, 0.8, 1.0] {
+        let params = CdParams::for_n(256);
+        let config = SimConfig::new(ChannelModel::Cd)
+            .with_seed(11)
+            .with_loss_probability(loss);
+        let report = Simulator::new(&g, config).run(|_, _| CdMis::new(params));
+        assert!(report.completed, "loss {loss}: run did not terminate");
+        // Verification never panics; it reports honestly.
+        let _ = report.verify_mis(&g);
+    }
+}
+
+#[test]
+fn total_loss_makes_everyone_a_winner() {
+    // With loss = 1.0 in the CD model collisions are still detected, but a
+    // lone transmitter is never heard; on an empty-ish graph every node
+    // believes it is isolated and joins — detected as non-independent.
+    let g = generators::path(8);
+    let params = CdParams::for_n(64);
+    let config = SimConfig::new(ChannelModel::Cd)
+        .with_seed(3)
+        .with_loss_probability(1.0);
+    let report = Simulator::new(&g, config).run(|_, _| CdMis::new(params));
+    assert!(report.completed);
+    assert!(!report.is_correct_mis(&g));
+    // Most nodes joined: single transmissions are never heard, so only
+    // collision detection (≥ 2 transmitters, which loss does not mask)
+    // still knocks anyone out.
+    let joined = report.mis_mask().iter().filter(|&&b| b).count();
+    assert!(joined > 4, "only {joined} joined under total loss");
+}
+
+#[test]
+fn nocd_tolerates_mild_loss() {
+    // The no-CD algorithm's Θ(log n)-repeated backoffs provide redundancy:
+    // a 2% reception-loss rate should usually still yield a correct MIS.
+    let g = generators::gnp(48, 0.12, 5);
+    let params = NoCdParams::for_n(192, g.max_degree().max(2));
+    let mut successes = 0;
+    let trials = 5;
+    for t in 0..trials {
+        let config = SimConfig::new(ChannelModel::NoCd)
+            .with_seed(split_seed(77, t))
+            .with_loss_probability(0.02);
+        let report = Simulator::new(&g, config).run(|_, _| NoCdMis::new(params));
+        assert!(report.completed);
+        if report.is_correct_mis(&g) {
+            successes += 1;
+        }
+    }
+    assert!(
+        successes >= trials - 1,
+        "only {successes}/{trials} succeeded at 2% loss"
+    );
+}
+
+#[test]
+fn nocd_survives_even_heavy_loss_but_breaks_eventually() {
+    // The Θ(log n)-repeated backoffs absorb a remarkable amount of loss:
+    // measured, the success curve stays at 100% through ~60% loss and
+    // collapses by ~90%. Pin both ends.
+    let g = generators::gnp(48, 0.12, 9);
+    let params = NoCdParams::for_n(192, g.max_degree().max(2));
+    let run = |loss: f64, seed: u64| {
+        let config = SimConfig::new(ChannelModel::NoCd)
+            .with_seed(seed)
+            .with_loss_probability(loss);
+        Simulator::new(&g, config)
+            .run(|_, _| NoCdMis::new(params))
+            .is_correct_mis(&g)
+    };
+    let clean: usize = (0..4).filter(|&t| run(0.0, split_seed(5, t))).count();
+    let moderate: usize = (0..4).filter(|&t| run(0.6, split_seed(6, t))).count();
+    let extreme: usize = (0..4).filter(|&t| run(0.9, split_seed(7, t))).count();
+    assert_eq!(clean, 4, "clean runs must all succeed");
+    assert!(moderate >= 3, "60% loss should be absorbed, got {moderate}/4");
+    assert!(extreme <= 1, "90% loss unexpectedly succeeded {extreme}/4");
+}
+
+#[test]
+fn synchronous_wakeup_assumption_is_load_bearing() {
+    // §1.1: the paper assumes all nodes wake at round 0. Because nodes
+    // share the global round clock, sub-phase staggering is absorbed
+    // (late wakers are still schedule-aligned); but staggering across
+    // *multiple phases* makes late wakers miss winners' one-shot
+    // announcements entirely, and verification starts failing.
+    use energy_mis::netsim::split_seed;
+    let g = generators::gnp(64, 0.1, 13);
+    let params = CdParams::for_n(256);
+    let stagger = 8 * params.phase_len();
+    let trials = 8u64;
+    let run = |staggered: bool, t: u64| {
+        let seed = split_seed(31, t);
+        let sim = Simulator::new(&g, SimConfig::new(ChannelModel::Cd).with_seed(seed));
+        let sim = if staggered {
+            let offsets: Vec<u64> = (0..g.len() as u64)
+                .map(|v| split_seed(seed, v) % stagger)
+                .collect();
+            sim.with_wake_offsets(offsets)
+        } else {
+            sim
+        };
+        sim.run(|_, _| CdMis::new(params)).is_correct_mis(&g)
+    };
+    let sync_ok = (0..trials).filter(|&t| run(false, t)).count();
+    let async_ok = (0..trials).filter(|&t| run(true, t)).count();
+    assert_eq!(sync_ok, trials as usize, "synchronous baseline must succeed");
+    assert!(
+        async_ok < trials as usize,
+        "staggered wake-up unexpectedly always succeeded ({async_ok}/{trials})"
+    );
+}
