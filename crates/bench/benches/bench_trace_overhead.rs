@@ -1,0 +1,88 @@
+//! Observability overhead: the same CD run under each trace sink.
+//!
+//! `null` is the baseline (mask `NONE`, no metrics): it must sit within
+//! noise of the untraced engine, since every per-event and per-metrics
+//! branch is gated on the mask / `collect_metrics` flag. The other
+//! variants price the layers individually: round-metrics aggregation
+//! only, full in-memory event capture, and JSONL serialization to a
+//! sink writer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mis_bench::workload;
+use radio_mis::cd::CdMis;
+use radio_mis::params::CdParams;
+use radio_netsim::{ChannelModel, JsonlTrace, NullTrace, SimConfig, Simulator, VecTrace};
+
+const N: usize = 1024;
+
+fn config(seed: u64) -> SimConfig {
+    SimConfig::new(ChannelModel::Cd).with_seed(seed)
+}
+
+fn bench(c: &mut Criterion) {
+    let g = workload(N, 42);
+    let params = CdParams::for_n(N);
+    let mut group = c.benchmark_group("trace_overhead");
+    group.sample_size(20);
+
+    group.bench_function("untraced", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let report = Simulator::new(&g, config(seed)).run(|_, _| CdMis::new(params));
+            assert!(report.completed);
+            report.rounds
+        })
+    });
+
+    group.bench_function("null", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let report = Simulator::new(&g, config(seed))
+                .run_traced(|_, _| CdMis::new(params), &mut NullTrace);
+            assert!(report.completed);
+            report.rounds
+        })
+    });
+
+    group.bench_function("metrics_only", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let report = Simulator::new(&g, config(seed).with_round_metrics())
+                .run_traced(|_, _| CdMis::new(params), &mut NullTrace);
+            assert!(report.completed);
+            report.metrics_timeline().len()
+        })
+    });
+
+    group.bench_function("vec_all_events", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut trace = VecTrace::default();
+            let report = Simulator::new(&g, config(seed))
+                .run_traced(|_, _| CdMis::new(params), &mut trace);
+            assert!(report.completed);
+            trace.events.len()
+        })
+    });
+
+    group.bench_function("jsonl_sink", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut trace = JsonlTrace::new(std::io::sink());
+            let report = Simulator::new(&g, config(seed))
+                .run_traced(|_, _| CdMis::new(params), &mut trace);
+            assert!(report.completed);
+            trace.events_written()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -2,6 +2,7 @@
 //! baseline).
 
 use mis_graphs::generators::Family;
+use radio_netsim::EventKind;
 
 /// Which algorithm `mis-sim run` executes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +96,8 @@ pub struct RunOpts {
     pub paper_constants: bool,
     /// Emit JSON instead of a table.
     pub json: bool,
+    /// Write each trial's per-round metrics as JSON Lines to this path.
+    pub metrics: Option<String>,
 }
 
 impl Default for RunOpts {
@@ -109,6 +112,56 @@ impl Default for RunOpts {
             loss: 0.0,
             paper_constants: false,
             json: false,
+            metrics: None,
+        }
+    }
+}
+
+/// Options for `mis-sim trace`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceOpts {
+    /// Algorithm to trace (radio algorithms only).
+    pub algorithm: Algorithm,
+    /// Topology family (ignored when `graph_path` is set).
+    pub family: Family,
+    /// Network size (ignored when `graph_path` is set).
+    pub n: usize,
+    /// Load the topology from an edge-list file instead of generating.
+    pub graph_path: Option<String>,
+    /// Master seed of the (single) traced run.
+    pub seed: u64,
+    /// Channel reception-loss probability.
+    pub loss: f64,
+    /// Use the paper's asymptotic constants instead of the calibrated
+    /// presets.
+    pub paper_constants: bool,
+    /// Event kinds to record (`None` = every kind).
+    pub events: Option<Vec<EventKind>>,
+    /// Restrict per-node events to these nodes (`None` = all nodes).
+    pub nodes: Option<Vec<usize>>,
+    /// First round to record (inclusive).
+    pub from: Option<u64>,
+    /// Last round to record (exclusive).
+    pub to: Option<u64>,
+    /// Write the JSONL stream here instead of stdout.
+    pub out: Option<String>,
+}
+
+impl Default for TraceOpts {
+    fn default() -> TraceOpts {
+        TraceOpts {
+            algorithm: Algorithm::Cd,
+            family: Family::GnpAvgDegree(8),
+            n: 256,
+            graph_path: None,
+            seed: 0,
+            loss: 0.0,
+            paper_constants: false,
+            events: None,
+            nodes: None,
+            from: None,
+            to: None,
+            out: None,
         }
     }
 }
@@ -140,6 +193,8 @@ pub struct VerifyOpts {
 pub enum Command {
     /// `mis-sim run`.
     Run(RunOpts),
+    /// `mis-sim trace`.
+    Trace(TraceOpts),
     /// `mis-sim graph`.
     Graph(GraphOpts),
     /// `mis-sim verify`.
@@ -162,10 +217,18 @@ mis-sim — energy-efficient radio MIS simulator
 USAGE:
   mis-sim run    --algorithm <ALG> (--family <FAM> --n <N> | --graph <FILE>)
                  [--trials <T>] [--seed <S>] [--loss <P>]
-                 [--paper-constants] [--json]
+                 [--paper-constants] [--json] [--metrics <FILE>]
+  mis-sim trace  --algorithm <ALG> (--family <FAM> --n <N> | --graph <FILE>)
+                 [--seed <S>] [--loss <P>] [--paper-constants]
+                 [--events <K,K,..>] [--nodes <V,V,..>]
+                 [--from <ROUND>] [--to <ROUND>] [--out <FILE>]
   mis-sim graph  --family <FAM> --n <N> [--seed <S>] [--out <FILE>]
   mis-sim verify --graph <FILE> --set <FILE>
   mis-sim list
+
+`run --metrics` appends one JSON line per (trial, processed round) with the
+channel metrics of that round. `trace` streams the events of a single run
+as JSON Lines; event kinds are acted, fed, status, finished, metrics.
 
 Run `mis-sim list` for the available algorithms and families.";
 
@@ -180,6 +243,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
     let rest: Vec<&str> = it.collect();
     let command = match sub {
         "run" => Command::Run(parse_run(&rest)?),
+        "trace" => Command::Trace(parse_trace(&rest)?),
         "graph" => Command::Graph(parse_graph(&rest)?),
         "verify" => Command::Verify(parse_verify(&rest)?),
         "list" => {
@@ -242,7 +306,7 @@ fn parse_run(args: &[&str]) -> Result<RunOpts, String> {
     let opts = take_options(args, &["paper-constants", "json"])?;
     for key in opts.keys() {
         if !["algorithm", "family", "n", "graph", "trials", "seed", "loss",
-             "paper-constants", "json"]
+             "paper-constants", "json", "metrics"]
             .contains(&key.as_str())
         {
             return Err(format!("unknown option --{key} for `run`"));
@@ -271,10 +335,75 @@ fn parse_run(args: &[&str]) -> Result<RunOpts, String> {
     }
     run.paper_constants = opts.contains_key("paper-constants");
     run.json = opts.contains_key("json");
+    run.metrics = opts.get("metrics").and_then(|v| v.map(str::to_string));
     if run.trials == 0 {
         return Err("--trials must be ≥ 1".into());
     }
     Ok(run)
+}
+
+/// Parses a comma-separated list with one error message per bad element.
+fn parse_list<T>(
+    value: &str,
+    key: &str,
+    parse_one: impl Fn(&str) -> Result<T, String>,
+) -> Result<Vec<T>, String> {
+    value
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| parse_one(s).map_err(|e| format!("invalid --{key} element {s:?}: {e}")))
+        .collect()
+}
+
+fn parse_trace(args: &[&str]) -> Result<TraceOpts, String> {
+    let opts = take_options(args, &["paper-constants"])?;
+    for key in opts.keys() {
+        if !["algorithm", "family", "n", "graph", "seed", "loss", "paper-constants",
+             "events", "nodes", "from", "to", "out"]
+            .contains(&key.as_str())
+        {
+            return Err(format!("unknown option --{key} for `trace`"));
+        }
+    }
+    let mut trace = TraceOpts {
+        algorithm: Algorithm::parse(req(&opts, "algorithm")?)?,
+        ..TraceOpts::default()
+    };
+    trace.graph_path = opts.get("graph").and_then(|v| v.map(str::to_string));
+    if trace.graph_path.is_none() {
+        trace.family = Family::parse(req(&opts, "family")?)?;
+        trace.n = parse_num(req(&opts, "n")?, "n")?;
+    }
+    if let Some(Some(v)) = opts.get("seed") {
+        trace.seed = parse_num(v, "seed")?;
+    }
+    if let Some(Some(v)) = opts.get("loss") {
+        trace.loss = parse_num(v, "loss")?;
+        if !(0.0..=1.0).contains(&trace.loss) {
+            return Err(format!("--loss {} outside [0, 1]", trace.loss));
+        }
+    }
+    trace.paper_constants = opts.contains_key("paper-constants");
+    if let Some(Some(v)) = opts.get("events") {
+        trace.events = Some(parse_list(v, "events", EventKind::parse)?);
+    }
+    if let Some(Some(v)) = opts.get("nodes") {
+        trace.nodes = Some(parse_list(v, "nodes", |s| parse_num(s, "nodes"))?);
+    }
+    if let Some(Some(v)) = opts.get("from") {
+        trace.from = Some(parse_num(v, "from")?);
+    }
+    if let Some(Some(v)) = opts.get("to") {
+        trace.to = Some(parse_num(v, "to")?);
+    }
+    if let (Some(from), Some(to)) = (trace.from, trace.to) {
+        if from >= to {
+            return Err(format!("--from {from} must be below --to {to}"));
+        }
+    }
+    trace.out = opts.get("out").and_then(|v| v.map(str::to_string));
+    Ok(trace)
 }
 
 fn parse_graph(args: &[&str]) -> Result<GraphOpts, String> {
@@ -333,6 +462,56 @@ mod tests {
     }
 
     #[test]
+    fn parses_run_with_metrics_path() {
+        let cli = parse_ok("run --algorithm cd --family star --n 16 --metrics out.jsonl");
+        match cli.command {
+            Command::Run(r) => assert_eq!(r.metrics.as_deref(), Some("out.jsonl")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_trace() {
+        let cli = parse_ok(
+            "trace --algorithm nocd --family star --n 32 --seed 4 \
+             --events acted,metrics --nodes 0,3,5 --from 2 --to 9 --out t.jsonl",
+        );
+        match cli.command {
+            Command::Trace(t) => {
+                assert_eq!(t.algorithm, Algorithm::NoCd);
+                assert_eq!(t.n, 32);
+                assert_eq!(t.seed, 4);
+                assert_eq!(
+                    t.events,
+                    Some(vec![EventKind::Acted, EventKind::RoundMetrics])
+                );
+                assert_eq!(t.nodes, Some(vec![0, 3, 5]));
+                assert_eq!(t.from, Some(2));
+                assert_eq!(t.to, Some(9));
+                assert_eq!(t.out.as_deref(), Some("t.jsonl"));
+                assert!(!t.paper_constants);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_defaults_are_unfiltered() {
+        let cli = parse_ok("trace --algorithm cd --graph topo.txt");
+        match cli.command {
+            Command::Trace(t) => {
+                assert_eq!(t.graph_path.as_deref(), Some("topo.txt"));
+                assert_eq!(t.events, None);
+                assert_eq!(t.nodes, None);
+                assert_eq!(t.from, None);
+                assert_eq!(t.to, None);
+                assert_eq!(t.out, None);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
     fn parses_run_with_graph_file() {
         let cli = parse_ok("run --algorithm cd --graph topo.txt");
         match cli.command {
@@ -370,6 +549,10 @@ mod tests {
         check("frobnicate", "unknown subcommand");
         check("list --extra x", "takes no options");
         check("run --algorithm cd --family star --n 4 --bogus 1", "unknown option");
+        check("trace --algorithm cd --family star --n 4 --events warp", "unknown event kind");
+        check("trace --algorithm cd --family star --n 4 --nodes 1,x", "invalid --nodes");
+        check("trace --algorithm cd --family star --n 4 --from 9 --to 3", "below");
+        check("trace --algorithm cd --family star --n 4 --bogus 1", "unknown option");
     }
 
     #[test]

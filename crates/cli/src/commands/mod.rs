@@ -1,7 +1,9 @@
 //! Command implementations.
 
 pub mod graph;
+pub mod radio;
 pub mod run;
+pub mod trace;
 pub mod verify;
 
 use crate::args::Algorithm;

@@ -1,0 +1,158 @@
+//! Shared construction of radio-model runs.
+//!
+//! `mis-sim run` and `mis-sim trace` both need to instantiate the right
+//! protocol family for an [`Algorithm`] and drive it through the simulator;
+//! this module centralizes that match so the two commands cannot drift.
+
+use crate::args::Algorithm;
+use mis_graphs::Graph;
+use radio_mis::baselines::naive_luby_cd;
+use radio_mis::baselines::nocd_naive::{NaiveSimParams, NoCdNaive};
+use radio_mis::beeping_native::{BeepingParams, NativeBeepingMis};
+use radio_mis::cd::CdMis;
+use radio_mis::low_degree::LowDegreeMis;
+use radio_mis::nocd::NoCdMis;
+use radio_mis::params::{CdParams, LowDegreeParams, NoCdParams};
+use radio_mis::unknown_delta::UnknownDeltaMis;
+use radio_netsim::{ChannelModel, RunReport, SimConfig, Simulator, TraceSink};
+
+/// The radio channel model `alg` runs under, or `None` for the wired
+/// CONGEST reference algorithms.
+pub fn radio_channel(alg: Algorithm) -> Option<ChannelModel> {
+    match alg {
+        Algorithm::Cd | Algorithm::NaiveLuby => Some(ChannelModel::Cd),
+        Algorithm::Beeping => Some(ChannelModel::Beeping),
+        Algorithm::BeepingNative => Some(ChannelModel::BeepingSenderCd),
+        Algorithm::NoCd
+        | Algorithm::LowDegree
+        | Algorithm::NoCdNaive
+        | Algorithm::UnknownDelta => Some(ChannelModel::NoCd),
+        Algorithm::CongestLuby | Algorithm::CongestGhaffari => None,
+    }
+}
+
+/// Runs one traced radio simulation of `alg` on `g` under `config`.
+///
+/// `paper` selects the paper's asymptotic constants over the calibrated
+/// presets. The channel model in `config` should come from
+/// [`radio_channel`].
+///
+/// # Errors
+///
+/// Returns a message for the wired CONGEST algorithms, which have no radio
+/// simulation (and no trace/metrics support).
+pub fn run_radio_traced<T: TraceSink>(
+    g: &Graph,
+    alg: Algorithm,
+    config: SimConfig,
+    paper: bool,
+    trace: &mut T,
+) -> Result<RunReport, String> {
+    let n_bound = g.len().max(2);
+    let delta = g.max_degree().max(2);
+    let sim = Simulator::new(g, config);
+    let report = match alg {
+        Algorithm::Cd | Algorithm::Beeping => {
+            let p = if paper {
+                CdParams::paper(n_bound)
+            } else {
+                CdParams::for_n(n_bound)
+            };
+            sim.run_traced(|_, _| CdMis::new(p), trace)
+        }
+        Algorithm::BeepingNative => {
+            let p = BeepingParams::for_n(n_bound);
+            sim.run_traced(|_, _| NativeBeepingMis::new(p), trace)
+        }
+        Algorithm::NaiveLuby => {
+            let p = if paper {
+                CdParams::paper(n_bound)
+            } else {
+                CdParams::for_n(n_bound)
+            };
+            sim.run_traced(|_, _| naive_luby_cd(p), trace)
+        }
+        Algorithm::NoCd => {
+            let p = if paper {
+                NoCdParams::paper(n_bound, delta)
+            } else {
+                NoCdParams::for_n(n_bound, delta)
+            };
+            sim.run_traced(|_, _| NoCdMis::new(p), trace)
+        }
+        Algorithm::LowDegree => {
+            let p = if paper {
+                LowDegreeParams::paper(n_bound, delta)
+            } else {
+                LowDegreeParams::for_n(n_bound, delta)
+            };
+            sim.run_traced(|_, _| LowDegreeMis::new(p), trace)
+        }
+        Algorithm::NoCdNaive => {
+            let cd = if paper {
+                CdParams::paper(n_bound)
+            } else {
+                CdParams::for_n(n_bound)
+            };
+            sim.run_traced(
+                |_, _| NoCdNaive::new(cd, NaiveSimParams::for_n(n_bound, delta)),
+                trace,
+            )
+        }
+        Algorithm::UnknownDelta => {
+            let template = if paper {
+                NoCdParams::paper(n_bound, 2)
+            } else {
+                NoCdParams::for_n(n_bound, 2)
+            };
+            sim.run_traced(|_, _| UnknownDeltaMis::new(n_bound, template), trace)
+        }
+        Algorithm::CongestLuby | Algorithm::CongestGhaffari => {
+            return Err(format!(
+                "{} is a wired CONGEST algorithm; tracing and metrics apply to radio algorithms only",
+                alg.label()
+            ));
+        }
+    };
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_netsim::NullTrace;
+
+    #[test]
+    fn channel_mapping_covers_all_algorithms() {
+        for (_, alg) in Algorithm::all() {
+            let ch = radio_channel(alg);
+            match alg {
+                Algorithm::CongestLuby | Algorithm::CongestGhaffari => assert!(ch.is_none()),
+                _ => assert!(ch.is_some()),
+            }
+        }
+    }
+
+    #[test]
+    fn runs_every_radio_algorithm() {
+        let g = mis_graphs::generators::gnp(48, 0.1, 1);
+        for (_, alg) in Algorithm::all() {
+            let Some(channel) = radio_channel(alg) else {
+                continue;
+            };
+            let config = SimConfig::new(channel).with_seed(7);
+            let report =
+                run_radio_traced(&g, alg, config, false, &mut NullTrace).unwrap();
+            assert!(report.is_correct_mis(&g), "{} failed", alg.label());
+        }
+    }
+
+    #[test]
+    fn congest_algorithms_are_rejected() {
+        let g = mis_graphs::generators::path(4);
+        let config = SimConfig::new(ChannelModel::Cd);
+        let err = run_radio_traced(&g, Algorithm::CongestLuby, config, false, &mut NullTrace)
+            .unwrap_err();
+        assert!(err.contains("radio"), "{err}");
+    }
+}

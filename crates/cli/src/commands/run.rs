@@ -1,20 +1,14 @@
 //! `mis-sim run`: execute an algorithm over trials and summarize.
 
+use super::radio::{radio_channel, run_radio_traced};
 use crate::args::{Algorithm, RunOpts};
 use congest_sim::{CongestSim, GhaffariCongest, LubyCongest};
 use mis_graphs::{io, mis, Graph};
 use mis_stats::table::fmt_num;
 use mis_stats::{Summary, Table};
-use radio_mis::baselines::nocd_naive::{NaiveSimParams, NoCdNaive};
-use radio_mis::baselines::naive_luby_cd;
-use radio_mis::beeping_native::{BeepingParams, NativeBeepingMis};
-use radio_mis::cd::CdMis;
-use radio_mis::low_degree::LowDegreeMis;
-use radio_mis::nocd::NoCdMis;
-use radio_mis::params::{CdParams, LowDegreeParams, NoCdParams};
-use radio_mis::unknown_delta::UnknownDeltaMis;
-use radio_netsim::{split_seed, ChannelModel, SimConfig, Simulator};
+use radio_netsim::{split_seed, NullTrace, RoundMetrics, SimConfig};
 use serde::Serialize;
+use std::io::Write as _;
 
 /// Per-trial record for the report.
 #[derive(Debug, Clone, Serialize)]
@@ -57,90 +51,62 @@ fn channel_of(alg: Algorithm) -> &'static str {
     }
 }
 
-/// Runs one radio trial, returning (correct, mis_size, e_max, e_avg, rounds).
-#[allow(clippy::too_many_arguments)]
+/// Runs one radio trial, returning (correct, mis_size, e_max, e_avg,
+/// rounds) plus the round-metrics timeline when `collect_metrics` is set.
 fn radio_trial(
     g: &Graph,
     alg: Algorithm,
     seed: u64,
     loss: f64,
     paper: bool,
-) -> (bool, usize, u64, f64, u64) {
-    let n_bound = g.len().max(2);
-    let delta = g.max_degree().max(2);
-    let channel = match alg {
-        Algorithm::Beeping => ChannelModel::Beeping,
-        Algorithm::BeepingNative => ChannelModel::BeepingSenderCd,
-        Algorithm::Cd | Algorithm::NaiveLuby => ChannelModel::Cd,
-        _ => ChannelModel::NoCd,
-    };
+    collect_metrics: bool,
+) -> ((bool, usize, u64, f64, u64), Vec<RoundMetrics>) {
+    let channel = radio_channel(alg).expect("congest algorithms handled by caller");
     let mut config = SimConfig::new(channel).with_seed(seed);
     if loss > 0.0 {
         config = config.with_loss_probability(loss);
     }
-    let sim = Simulator::new(g, config);
-    let report = match alg {
-        Algorithm::Cd | Algorithm::Beeping => {
-            let p = if paper {
-                CdParams::paper(n_bound)
-            } else {
-                CdParams::for_n(n_bound)
-            };
-            sim.run(|_, _| CdMis::new(p))
-        }
-        Algorithm::BeepingNative => {
-            let p = BeepingParams::for_n(n_bound);
-            sim.run(|_, _| NativeBeepingMis::new(p))
-        }
-        Algorithm::NaiveLuby => {
-            let p = if paper {
-                CdParams::paper(n_bound)
-            } else {
-                CdParams::for_n(n_bound)
-            };
-            sim.run(|_, _| naive_luby_cd(p))
-        }
-        Algorithm::NoCd => {
-            let p = if paper {
-                NoCdParams::paper(n_bound, delta)
-            } else {
-                NoCdParams::for_n(n_bound, delta)
-            };
-            sim.run(|_, _| NoCdMis::new(p))
-        }
-        Algorithm::LowDegree => {
-            let p = if paper {
-                LowDegreeParams::paper(n_bound, delta)
-            } else {
-                LowDegreeParams::for_n(n_bound, delta)
-            };
-            sim.run(|_, _| LowDegreeMis::new(p))
-        }
-        Algorithm::NoCdNaive => {
-            let cd = if paper {
-                CdParams::paper(n_bound)
-            } else {
-                CdParams::for_n(n_bound)
-            };
-            sim.run(|_, _| NoCdNaive::new(cd, NaiveSimParams::for_n(n_bound, delta)))
-        }
-        Algorithm::UnknownDelta => {
-            let template = if paper {
-                NoCdParams::paper(n_bound, 2)
-            } else {
-                NoCdParams::for_n(n_bound, 2)
-            };
-            sim.run(|_, _| UnknownDeltaMis::new(n_bound, template))
-        }
-        Algorithm::CongestLuby | Algorithm::CongestGhaffari => unreachable!("handled by caller"),
-    };
+    if collect_metrics {
+        config = config.with_round_metrics();
+    }
+    let mut report = run_radio_traced(g, alg, config, paper, &mut NullTrace)
+        .expect("congest algorithms handled by caller");
+    let timeline = report.metrics.take().unwrap_or_default();
     (
-        report.is_correct_mis(g),
-        mis::set_size(&report.mis_mask()),
-        report.max_energy(),
-        report.avg_energy(),
-        report.rounds,
+        (
+            report.is_correct_mis(g),
+            mis::set_size(&report.mis_mask()),
+            report.max_energy(),
+            report.avg_energy(),
+            report.rounds,
+        ),
+        timeline,
     )
+}
+
+/// One `--metrics` JSONL line: a round-metrics record tagged with its trial.
+#[derive(Debug, Serialize)]
+struct MetricsRow<'a> {
+    trial: usize,
+    #[serde(flatten)]
+    metrics: &'a RoundMetrics,
+}
+
+fn write_metrics_jsonl(
+    path: &str,
+    timelines: &[Vec<RoundMetrics>],
+) -> Result<(), String> {
+    let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let mut w = std::io::BufWriter::new(file);
+    let io_err = |e: std::io::Error| format!("cannot write {path}: {e}");
+    for (trial, timeline) in timelines.iter().enumerate() {
+        for metrics in timeline {
+            serde_json::to_writer(&mut w, &MetricsRow { trial, metrics })
+                .map_err(|e| io_err(e.into()))?;
+            w.write_all(b"\n").map_err(io_err)?;
+        }
+    }
+    w.flush().map_err(io_err)
 }
 
 fn congest_trial(g: &Graph, alg: Algorithm, seed: u64) -> (bool, usize, u64, f64, u64) {
@@ -176,22 +142,39 @@ pub fn execute(opts: &RunOpts) -> Result<String, String> {
         }
         None => opts.family.generate(opts.n, opts.seed),
     };
-    if matches!(
+    let is_congest = matches!(
         opts.algorithm,
         Algorithm::CongestLuby | Algorithm::CongestGhaffari
-    ) && opts.loss > 0.0
-    {
+    );
+    if is_congest && opts.loss > 0.0 {
         return Err("--loss applies only to radio algorithms".into());
+    }
+    if is_congest && opts.metrics.is_some() {
+        return Err("--metrics applies only to radio algorithms".into());
     }
 
     let mut rows = Vec::with_capacity(opts.trials);
+    let mut timelines: Vec<Vec<RoundMetrics>> = Vec::new();
     for t in 0..opts.trials {
         let seed = split_seed(opts.seed, t as u64);
         let (correct, mis_size, emax, eavg, rounds) = match opts.algorithm {
             Algorithm::CongestLuby | Algorithm::CongestGhaffari => {
                 congest_trial(&graph, opts.algorithm, seed)
             }
-            alg => radio_trial(&graph, alg, seed, opts.loss, opts.paper_constants),
+            alg => {
+                let (row, timeline) = radio_trial(
+                    &graph,
+                    alg,
+                    seed,
+                    opts.loss,
+                    opts.paper_constants,
+                    opts.metrics.is_some(),
+                );
+                if opts.metrics.is_some() {
+                    timelines.push(timeline);
+                }
+                row
+            }
         };
         rows.push(TrialRow {
             trial: t,
@@ -202,6 +185,9 @@ pub fn execute(opts: &RunOpts) -> Result<String, String> {
             energy_avg: eavg,
             rounds,
         });
+    }
+    if let Some(path) = &opts.metrics {
+        write_metrics_jsonl(path, &timelines)?;
     }
     let summary = RunSummary {
         algorithm: opts.algorithm.label().to_string(),
@@ -252,6 +238,10 @@ pub fn execute(opts: &RunOpts) -> Result<String, String> {
         fmt_num(summary.energy_avg_mean),
         fmt_num(summary.rounds_mean),
     ));
+    if let Some(path) = &opts.metrics {
+        let records: usize = timelines.iter().map(Vec::len).sum();
+        out.push_str(&format!("round metrics: {records} records → {path}\n"));
+    }
     Ok(out)
 }
 
@@ -311,6 +301,42 @@ mod tests {
         };
         let out = execute(&opts).unwrap();
         assert!(out.contains("6 nodes / 5 edges"), "{out}");
+    }
+
+    #[test]
+    fn metrics_flag_writes_one_jsonl_record_per_round() {
+        let dir = std::env::temp_dir().join("mis_cli_test_metrics");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.jsonl");
+        let opts = RunOpts {
+            n: 48,
+            trials: 2,
+            metrics: Some(path.to_string_lossy().into_owned()),
+            ..RunOpts::default()
+        };
+        let out = execute(&opts).unwrap();
+        assert!(out.contains("round metrics:"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut trials_seen = std::collections::HashSet::new();
+        assert!(!text.trim().is_empty());
+        for line in text.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            let trial = v["trial"].as_u64().unwrap();
+            trials_seen.insert(trial);
+            assert!(v["round"].is_u64(), "{line}");
+            assert!(v["cumulative_energy"].is_u64(), "{line}");
+        }
+        assert_eq!(trials_seen.len(), 2);
+    }
+
+    #[test]
+    fn rejects_metrics_on_congest() {
+        let opts = RunOpts {
+            algorithm: Algorithm::CongestLuby,
+            metrics: Some("out.jsonl".into()),
+            ..RunOpts::default()
+        };
+        assert!(execute(&opts).unwrap_err().contains("radio"));
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! `mis-sim trace`: stream the events of a single run as JSON Lines.
+
+use super::radio::{radio_channel, run_radio_traced};
+use crate::args::TraceOpts;
+use mis_graphs::{io, Graph};
+use radio_netsim::{EventMask, FilteredTrace, JsonlTrace, RunReport, SimConfig};
+use std::io::Write;
+
+/// Executes `mis-sim trace`.
+///
+/// # Errors
+///
+/// Returns a message on graph IO failures, on a wired CONGEST algorithm
+/// (which has no radio trace), or on output-write failures.
+pub fn execute(opts: &TraceOpts) -> Result<String, String> {
+    let graph = match &opts.graph_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            io::from_text(&text).map_err(|e| format!("cannot parse {path}: {e}"))?
+        }
+        None => opts.family.generate(opts.n, opts.seed),
+    };
+    let channel = radio_channel(opts.algorithm).ok_or_else(|| {
+        format!(
+            "{} is a wired CONGEST algorithm; `trace` supports radio algorithms only",
+            opts.algorithm.label()
+        )
+    })?;
+    let mut config = SimConfig::new(channel).with_seed(opts.seed);
+    if opts.loss > 0.0 {
+        config = config.with_loss_probability(opts.loss);
+    }
+
+    match &opts.out {
+        Some(path) => {
+            let file =
+                std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            let (report, written, _) =
+                trace_to(&graph, opts, config, std::io::BufWriter::new(file))?;
+            Ok(format!(
+                "traced {written} events → {path}\n{} on {} nodes: {} rounds, completed = {}, MIS correct = {}\n",
+                opts.algorithm.label(),
+                graph.len(),
+                report.rounds,
+                report.completed,
+                report.is_correct_mis(&graph),
+            ))
+        }
+        None => {
+            let (_, _, bytes) = trace_to(&graph, opts, config, Vec::new())?;
+            String::from_utf8(bytes).map_err(|e| format!("non-UTF8 trace output: {e}"))
+        }
+    }
+}
+
+/// Runs the traced simulation, streaming filtered events into `writer`.
+/// Returns the run report, the number of events written, and the writer.
+fn trace_to<W: Write>(
+    graph: &Graph,
+    opts: &TraceOpts,
+    config: SimConfig,
+    writer: W,
+) -> Result<(RunReport, u64, W), String> {
+    let mask = match &opts.events {
+        Some(kinds) => EventMask::only(kinds.iter().copied()),
+        None => EventMask::ALL,
+    };
+    let mut sink = FilteredTrace::new(JsonlTrace::new(writer).with_mask(mask));
+    if let Some(nodes) = &opts.nodes {
+        sink = sink.with_nodes(nodes.iter().copied());
+    }
+    if opts.from.is_some() || opts.to.is_some() {
+        sink = sink.with_rounds(opts.from.unwrap_or(0)..opts.to.unwrap_or(u64::MAX));
+    }
+    let report = run_radio_traced(graph, opts.algorithm, config, opts.paper_constants, &mut sink)?;
+    let jsonl = sink.into_inner();
+    let written = jsonl.events_written();
+    let writer = jsonl
+        .into_inner()
+        .map_err(|e| format!("trace write failure: {e}"))?;
+    Ok((report, written, writer))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::{Algorithm, TraceOpts};
+    use radio_netsim::EventKind;
+
+    fn small(algorithm: Algorithm) -> TraceOpts {
+        TraceOpts {
+            algorithm,
+            n: 32,
+            ..TraceOpts::default()
+        }
+    }
+
+    #[test]
+    fn streams_parseable_jsonl_to_stdout() {
+        let out = execute(&small(Algorithm::Cd)).unwrap();
+        assert!(!out.trim().is_empty());
+        for line in out.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert!(v["event"].is_string(), "{line}");
+        }
+    }
+
+    #[test]
+    fn event_filter_restricts_kinds() {
+        let mut opts = small(Algorithm::Cd);
+        opts.events = Some(vec![EventKind::RoundMetrics]);
+        let out = execute(&opts).unwrap();
+        assert!(!out.trim().is_empty());
+        for line in out.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert_eq!(v["event"], "RoundEnd", "{line}");
+            assert!(v["metrics"]["round"].is_u64(), "{line}");
+        }
+    }
+
+    #[test]
+    fn node_and_round_filters_apply() {
+        let mut opts = small(Algorithm::Cd);
+        opts.events = Some(vec![EventKind::Acted]);
+        opts.nodes = Some(vec![3]);
+        opts.from = Some(0);
+        opts.to = Some(4);
+        let out = execute(&opts).unwrap();
+        for line in out.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert_eq!(v["node"], 3, "{line}");
+            assert!(v["round"].as_u64().unwrap() < 4, "{line}");
+        }
+    }
+
+    #[test]
+    fn writes_to_file_with_summary() {
+        let dir = std::env::temp_dir().join("mis_cli_test_trace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.jsonl");
+        let mut opts = small(Algorithm::Beeping);
+        opts.out = Some(path.to_string_lossy().into_owned());
+        let summary = execute(&opts).unwrap();
+        assert!(summary.contains("traced"), "{summary}");
+        assert!(summary.contains("MIS correct = true"), "{summary}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.lines().count() > 0);
+    }
+
+    #[test]
+    fn rejects_congest_algorithms() {
+        let err = execute(&small(Algorithm::CongestGhaffari)).unwrap_err();
+        assert!(err.contains("radio"), "{err}");
+    }
+}

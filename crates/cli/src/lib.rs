@@ -3,6 +3,10 @@
 //! ```text
 //! mis-sim run   --algorithm cd --family gnp-d8 --n 1000 [--trials 10]
 //!               [--seed S] [--loss P] [--paper-constants] [--json]
+//!               [--metrics FILE]
+//! mis-sim trace --algorithm cd --family gnp-d8 --n 1000 [--seed S]
+//!               [--events K,K,..] [--nodes V,V,..] [--from R] [--to R]
+//!               [--out FILE]
 //! mis-sim graph --family udg-d10 --n 500 [--seed S] [--out FILE]
 //! mis-sim verify --graph FILE --set FILE
 //! mis-sim list
@@ -27,6 +31,7 @@ pub use args::{Cli, Command};
 pub fn execute(cli: &Cli) -> Result<String, String> {
     match &cli.command {
         Command::Run(opts) => commands::run::execute(opts),
+        Command::Trace(opts) => commands::trace::execute(opts),
         Command::Graph(opts) => commands::graph::execute(opts),
         Command::Verify(opts) => commands::verify::execute(opts),
         Command::List => Ok(commands::list_text()),

@@ -12,7 +12,7 @@ use mis_stats::table::fmt_num;
 use mis_stats::{LineChart, Summary, Table};
 use radio_mis::nocd::NoCdMis;
 use radio_mis::params::NoCdParams;
-use radio_netsim::{run_trials, ChannelModel, SimConfig};
+use radio_netsim::{run_trials, ChannelModel, SimConfig, Simulator};
 
 /// Runs E3.
 pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
@@ -87,17 +87,80 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
         }),
     );
 
+    // Cumulative-energy checkpoints at the largest size, from the engine's
+    // per-round metrics: Theorem 10's budget is about *total* awake rounds,
+    // so the interesting shape is how early the spending happens.
+    let n_big = *ns.last().expect("sweep is non-empty");
+    let g_big = Family::GnpAvgDegree(8).generate(n_big, cfg.seed ^ n_big as u64);
+    let big_params = NoCdParams::for_n(n_big, g_big.max_degree().max(2));
+    let energy_report = Simulator::new(
+        &g_big,
+        SimConfig::new(ChannelModel::NoCd)
+            .with_seed(cfg.seed ^ 0xE3E3)
+            .with_round_metrics(),
+    )
+    .run(|_, _| NoCdMis::new(big_params));
+    let timeline = energy_report.metrics_timeline();
+    let mut energy_table = Table::new([
+        "run fraction",
+        "round",
+        "undecided",
+        "awake",
+        "cum. energy",
+        "cum. energy / n",
+    ]);
+    for quarter in [0.25, 0.5, 0.75, 1.0] {
+        let idx = ((timeline.len() as f64 * quarter) as usize)
+            .min(timeline.len().saturating_sub(1));
+        let Some(m) = timeline.get(idx) else { continue };
+        energy_table.push_row([
+            format!("{quarter:.2}"),
+            m.round.to_string(),
+            m.undecided().to_string(),
+            m.awake().to_string(),
+            m.cumulative_energy.to_string(),
+            fmt_num(m.cumulative_energy as f64 / n_big as f64),
+        ]);
+    }
+    let energy_finding = match (timeline.first(), timeline.last()) {
+        (Some(_), Some(last)) => {
+            let halfway = timeline
+                .iter()
+                .find(|m| m.cumulative_energy * 2 >= last.cumulative_energy)
+                .map(|m| m.round)
+                .unwrap_or(last.round);
+            format!(
+                "at n = {n_big} half of the total awake budget ({} node-rounds, \
+                 {:.1}/node) is spent by round {halfway} of {} — energy spending is \
+                 front-loaded into the early, crowded Luby phases",
+                last.cumulative_energy,
+                last.cumulative_energy as f64 / n_big as f64,
+                last.round,
+            )
+        }
+        _ => "energy-checkpoint timeline empty (degenerate run)".to_string(),
+    };
+
     ExperimentOutput {
         id: "e3",
         title: "no-CD MIS: energy and round scaling".into(),
         claim: "Theorem 10: Algorithm 2 outputs an MIS w.p. ≥ 1 − 1/n using \
                 O(log²n·loglog n) energy in O(log³n·log Δ) rounds."
             .into(),
-        sections: vec![Section {
-            caption: format!("n sweep on gnp-d8, {trials} trials each"),
-            table,
-        }],
+        sections: vec![
+            Section {
+                caption: format!("n sweep on gnp-d8, {trials} trials each"),
+                table,
+            },
+            Section {
+                caption: format!(
+                    "cumulative awake-energy checkpoints (round metrics, n = {n_big})"
+                ),
+                table: energy_table,
+            },
+        ],
         findings: vec![
+            energy_finding,
             format!(
                 "energy best fit: {e_model} (R² = {:.3}); claimed log²n·loglog n model \
                  R² = {:.3} — the two are empirically indistinguishable at these sizes, \
@@ -122,6 +185,13 @@ mod tests {
     fn quick_run_completes() {
         let out = run(&ExpConfig::quick(7));
         assert_eq!(out.id, "e3");
+        assert_eq!(out.sections.len(), 2);
         assert!(!out.sections[0].table.is_empty());
+        // Quarter-point checkpoints from the metrics timeline.
+        assert!(!out.sections[1].table.is_empty());
+        assert!(out
+            .findings
+            .iter()
+            .any(|f| f.contains("awake budget") || f.contains("energy-checkpoint")));
     }
 }

@@ -131,6 +131,46 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
         .collect();
     let (nocd_table, nocd_worst) = decay_table(&nocd_counts, 63.0 / 64.0);
 
+    // Cross-check: the engine's round-metrics timeline and the decision-round
+    // reconstruction above are two independent views of the same run, and must
+    // agree on the undecided population at every phase boundary (decisions only
+    // happen on processed rounds, so the last record before a boundary is
+    // authoritative).
+    let check_report = Simulator::new(
+        &g,
+        SimConfig::new(ChannelModel::Cd)
+            .with_seed(split_seed(cfg.seed, 0))
+            .with_round_metrics(),
+    )
+    .run(|_, _| CdMis::new(cd_params));
+    let timeline = check_report.metrics_timeline();
+    let mut boundaries_checked = 0u32;
+    let mut mismatches = 0u32;
+    for i in 1..=u64::from(cd_params.phases()) {
+        let boundary = i * cd_params.phase_len();
+        let from_metrics = timeline
+            .iter()
+            .take_while(|m| m.round < boundary)
+            .last()
+            .map(|m| m.undecided() as usize)
+            .unwrap_or(g.len());
+        let reconstructed = (0..g.len())
+            .filter(|&v| cd_keep(&check_report, v, boundary))
+            .count();
+        boundaries_checked += 1;
+        if from_metrics != reconstructed {
+            mismatches += 1;
+        }
+        if reconstructed == 0 {
+            break;
+        }
+    }
+    let crosscheck_finding = format!(
+        "cross-check: {mismatches} mismatches across {boundaries_checked} CD phase \
+         boundaries between the engine's round-metrics `undecided()` and the \
+         decision-round reconstruction used for the residual tables"
+    );
+
     ExperimentOutput {
         id: "e6",
         title: "residual-graph decay per Luby phase".into(),
@@ -159,6 +199,7 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
                  Lemma 20 holds with large margin (the bound is loose by design)",
                 nocd_worst
             ),
+            crosscheck_finding,
         ],
         charts: Vec::new(),
     }
@@ -174,5 +215,16 @@ mod tests {
         assert_eq!(out.sections.len(), 2);
         assert!(!out.sections[0].table.is_empty());
         assert!(out.findings[0].contains("Lemma 5"));
+    }
+
+    #[test]
+    fn metrics_agree_with_reconstruction() {
+        let out = run(&ExpConfig::quick(9));
+        let check = out
+            .findings
+            .iter()
+            .find(|f| f.contains("cross-check"))
+            .expect("cross-check finding present");
+        assert!(check.contains("0 mismatches"), "{check}");
     }
 }

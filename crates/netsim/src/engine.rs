@@ -8,11 +8,12 @@
 //! n ≈ 10⁵.
 
 use crate::energy::EnergyMeter;
+use crate::metrics::{MetricsAccumulator, RoundMetrics};
 use crate::model::{Action, ChannelModel, Feedback, Message, NodeStatus};
 use crate::protocol::{NodeRng, Protocol};
 use crate::report::RunReport;
 use crate::rng::split_seed;
-use crate::trace::{NullTrace, TraceEvent, TraceSink};
+use crate::trace::{EventKind, EventMask, NullTrace, TraceEvent, TraceSink};
 use mis_graphs::{Graph, NodeId};
 use rand::SeedableRng;
 use std::cmp::Reverse;
@@ -36,6 +37,10 @@ pub struct SimConfig {
     /// The paper's model has no loss (0.0, the default); the robustness
     /// tests use it to probe how the algorithms degrade outside the model.
     pub loss_probability: f64,
+    /// Collect a per-round [`RoundMetrics`] timeline into
+    /// [`RunReport::metrics`]. Off by default; aggregation adds a handful
+    /// of counter increments per processed round when enabled.
+    pub collect_metrics: bool,
 }
 
 impl SimConfig {
@@ -48,6 +53,7 @@ impl SimConfig {
             message_bits: None,
             seed: 0,
             loss_probability: 0.0,
+            collect_metrics: false,
         }
     }
 
@@ -66,6 +72,14 @@ impl SimConfig {
     /// Sets an explicit message-size budget in bits.
     pub fn with_message_bits(mut self, bits: u32) -> SimConfig {
         self.message_bits = Some(bits);
+        self
+    }
+
+    /// Enables per-round metrics collection: the run's [`RunReport`] will
+    /// carry one [`RoundMetrics`] record per processed round in
+    /// [`RunReport::metrics`].
+    pub fn with_round_metrics(mut self) -> SimConfig {
+        self.collect_metrics = true;
         self
     }
 
@@ -173,6 +187,21 @@ impl<'g> Simulator<'g> {
         let mut meters = vec![EnergyMeter::new(); n];
         let mut statuses: Vec<NodeStatus> = nodes.iter().map(|p| p.status()).collect();
 
+        // Event-mask contract: queried once, here, for the whole run.
+        let mask = trace.mask();
+        let record_finish = mask.contains(EventKind::Finished);
+        let want_metrics =
+            self.config.collect_metrics || mask.contains(EventKind::RoundMetrics);
+        let mut acc = MetricsAccumulator::default();
+        if want_metrics {
+            acc.joined_mis = statuses
+                .iter()
+                .filter(|&&s| s == NodeStatus::InMis)
+                .count() as u32;
+            acc.decided = statuses.iter().filter(|s| s.is_decided()).count() as u32;
+        }
+        let mut timeline: Vec<RoundMetrics> = Vec::new();
+
         // Wake queue: min-heap of (round, node). Nodes absent from the heap
         // are finished.
         let mut queue: BinaryHeap<Reverse<(u64, NodeId)>> = BinaryHeap::with_capacity(n);
@@ -180,7 +209,9 @@ impl<'g> Simulator<'g> {
         for v in 0..n {
             if nodes[v].finished() {
                 meters[v].record_finished(0);
-                trace.record(TraceEvent::Finished { round: 0, node: v });
+                if record_finish {
+                    trace.record(TraceEvent::Finished { round: 0, node: v });
+                }
             } else {
                 let wake = self
                     .wake_offsets
@@ -198,21 +229,28 @@ impl<'g> Simulator<'g> {
         let mut listeners: Vec<NodeId> = Vec::new();
         let mut transmitters: Vec<NodeId> = Vec::new();
         let mut last_round_processed: u64 = 0;
-        let verbose = trace.verbose();
+        let record_actions = mask.contains(EventKind::Acted);
+        let record_feedback = mask.contains(EventKind::Fed);
 
         while live > 0 {
             let Reverse((round, _)) = *queue.peek().expect("live nodes are queued");
             if round >= self.config.max_rounds {
                 // Remaining nodes sleep past the horizon: incomplete run.
+                let metrics = self
+                    .config
+                    .collect_metrics
+                    .then(|| std::mem::take(&mut timeline));
                 return self.finish_report(
                     nodes,
                     meters,
                     self.config.max_rounds,
                     false,
                     message_bits,
+                    metrics,
                 );
             }
             last_round_processed = round;
+            let live_at_start = live;
             listeners.clear();
             transmitters.clear();
             let mut sleep_updates: Vec<(NodeId, u64)> = Vec::new();
@@ -226,7 +264,7 @@ impl<'g> Simulator<'g> {
                 }
                 queue.pop();
                 let action = nodes[v].act(round, &mut rngs[v]);
-                if verbose {
+                if record_actions {
                     trace.record(TraceEvent::Acted {
                         round,
                         node: v,
@@ -239,10 +277,21 @@ impl<'g> Simulator<'g> {
                             wake_at > round,
                             "protocol bug: node {v} slept to round {wake_at} <= current {round}"
                         );
-                        self.note_status(&mut statuses, &nodes, v, round, &mut meters, trace);
+                        self.note_status(
+                            &mut statuses,
+                            &nodes,
+                            v,
+                            round,
+                            &mut meters,
+                            trace,
+                            mask,
+                            &mut acc,
+                        );
                         if nodes[v].finished() {
                             meters[v].record_finished(round);
-                            trace.record(TraceEvent::Finished { round, node: v });
+                            if record_finish {
+                                trace.record(TraceEvent::Finished { round, node: v });
+                            }
                             live -= 1;
                         } else {
                             sleep_updates.push((v, wake_at));
@@ -276,6 +325,9 @@ impl<'g> Simulator<'g> {
             }
 
             // Phase 2: resolve the channel and deliver feedback.
+            let mut collisions = 0u32;
+            let mut receptions = 0u32;
+            let mut lost_receptions = 0u32;
             for &v in &transmitters {
                 // Sender-side collision detection (BeepingSenderCd only): a
                 // beeping node hears a beep iff some neighbor also beeped.
@@ -291,7 +343,7 @@ impl<'g> Simulator<'g> {
                     Feedback::Sent
                 };
                 nodes[v].feedback(round, fb, &mut rngs[v]);
-                if verbose {
+                if record_feedback {
                     trace.record(TraceEvent::Fed {
                         round,
                         node: v,
@@ -312,6 +364,13 @@ impl<'g> Simulator<'g> {
                         }
                     }
                 }
+                if want_metrics {
+                    match count {
+                        0 => {}
+                        1 => receptions += 1,
+                        _ => collisions += 1,
+                    }
+                }
                 let mut fb = match (self.config.channel, count) {
                     (_, 0) => Feedback::Silence,
                     (ChannelModel::Beeping | ChannelModel::BeepingSenderCd, _) => Feedback::Beep,
@@ -327,9 +386,12 @@ impl<'g> Simulator<'g> {
                     && rand::Rng::gen_bool(&mut channel_rng, self.config.loss_probability)
                 {
                     fb = Feedback::Silence;
+                    if want_metrics {
+                        lost_receptions += 1;
+                    }
                 }
                 nodes[v].feedback(round, fb, &mut rngs[v]);
-                if verbose {
+                if record_feedback {
                     trace.record(TraceEvent::Fed {
                         round,
                         node: v,
@@ -340,21 +402,56 @@ impl<'g> Simulator<'g> {
 
             // Phase 3: retire finished awake nodes, requeue the rest.
             for &v in transmitters.iter().chain(listeners.iter()) {
-                self.note_status(&mut statuses, &nodes, v, round, &mut meters, trace);
+                self.note_status(
+                    &mut statuses,
+                    &nodes,
+                    v,
+                    round,
+                    &mut meters,
+                    trace,
+                    mask,
+                    &mut acc,
+                );
                 if nodes[v].finished() {
                     meters[v].record_finished(round);
-                    trace.record(TraceEvent::Finished { round, node: v });
+                    if record_finish {
+                        trace.record(TraceEvent::Finished { round, node: v });
+                    }
                     live -= 1;
                 } else {
                     queue.push(Reverse((round + 1, v)));
                 }
             }
+
+            // Close the round's metrics record (aggregation is a handful of
+            // counter folds; skipped entirely unless someone asked).
+            if want_metrics {
+                let finished_before = (n - live_at_start) as u32;
+                let m = acc.finish_round(
+                    round,
+                    n,
+                    finished_before,
+                    transmitters.len() as u32,
+                    listeners.len() as u32,
+                    collisions,
+                    receptions,
+                    lost_receptions,
+                );
+                if mask.contains(EventKind::RoundMetrics) {
+                    trace.record(TraceEvent::RoundEnd { metrics: m });
+                }
+                if self.config.collect_metrics {
+                    timeline.push(m);
+                }
+            }
         }
 
         let rounds = if n == 0 { 0 } else { last_round_processed + 1 };
-        self.finish_report(nodes, meters, rounds, true, message_bits)
+        let metrics = self.config.collect_metrics.then_some(timeline);
+        self.finish_report(nodes, meters, rounds, true, message_bits, metrics)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn note_status<P: Protocol, T: TraceSink>(
         &self,
         statuses: &mut [NodeStatus],
@@ -363,18 +460,35 @@ impl<'g> Simulator<'g> {
         round: u64,
         meters: &mut [EnergyMeter],
         trace: &mut T,
+        mask: EventMask,
+        acc: &mut MetricsAccumulator,
     ) {
         let s = nodes[v].status();
         if s != statuses[v] {
+            let was = statuses[v];
             statuses[v] = s;
             if s.is_decided() {
                 meters[v].record_decided(round);
             }
-            trace.record(TraceEvent::StatusChanged {
-                round,
-                node: v,
-                status: s,
-            });
+            // Status changes are rare (at most two per node per run), so the
+            // cumulative counters are maintained unconditionally.
+            if s == NodeStatus::InMis {
+                acc.joined_mis += 1;
+            } else if was == NodeStatus::InMis {
+                acc.joined_mis -= 1;
+            }
+            if s.is_decided() && !was.is_decided() {
+                acc.decided += 1;
+            } else if !s.is_decided() && was.is_decided() {
+                acc.decided -= 1;
+            }
+            if mask.contains(EventKind::StatusChanged) {
+                trace.record(TraceEvent::StatusChanged {
+                    round,
+                    node: v,
+                    status: s,
+                });
+            }
         }
     }
 
@@ -385,6 +499,7 @@ impl<'g> Simulator<'g> {
         rounds: u64,
         completed: bool,
         message_bits: u32,
+        metrics: Option<Vec<RoundMetrics>>,
     ) -> RunReport {
         RunReport {
             statuses: nodes.iter().map(|p| p.status()).collect(),
@@ -394,6 +509,7 @@ impl<'g> Simulator<'g> {
             channel: self.config.channel,
             seed: self.config.seed,
             message_bits,
+            metrics,
         }
     }
 }
@@ -849,6 +965,199 @@ mod tests {
         }
         let g = generators::empty(1);
         let _ = Simulator::new(&g, SimConfig::new(ChannelModel::Cd)).run(|_, _| Bad);
+    }
+
+    #[test]
+    fn metrics_timeline_invariants() {
+        use rand::Rng;
+        /// Random protocol: transmits/listens/sleeps at random; finishes
+        /// after 15 awake rounds, deciding InMis for even ids.
+        struct Jitter {
+            awake: u32,
+            even: bool,
+        }
+        impl Protocol for Jitter {
+            fn act(&mut self, round: u64, rng: &mut NodeRng) -> Action {
+                if self.awake >= 15 {
+                    return Action::halt();
+                }
+                match rng.gen_range(0..3u8) {
+                    0 => Action::Sleep {
+                        wake_at: round + rng.gen_range(1..4u64),
+                    },
+                    1 => {
+                        self.awake += 1;
+                        Action::Transmit(Message::unary())
+                    }
+                    _ => {
+                        self.awake += 1;
+                        Action::Listen
+                    }
+                }
+            }
+            fn feedback(&mut self, _round: u64, _fb: Feedback, _rng: &mut NodeRng) {}
+            fn status(&self) -> NodeStatus {
+                if self.awake >= 15 {
+                    if self.even {
+                        NodeStatus::InMis
+                    } else {
+                        NodeStatus::OutMis
+                    }
+                } else {
+                    NodeStatus::Undecided
+                }
+            }
+            fn finished(&self) -> bool {
+                self.awake >= 15
+            }
+        }
+        let g = generators::gnp(30, 0.15, 4);
+        let n = g.len() as u32;
+        let config = SimConfig::new(ChannelModel::Cd)
+            .with_seed(11)
+            .with_round_metrics();
+        let mut trace = crate::trace::VecTrace::new();
+        let report = Simulator::new(&g, config).run_traced(
+            |v, _| Jitter {
+                awake: 0,
+                even: v % 2 == 0,
+            },
+            &mut trace,
+        );
+        assert!(report.completed);
+        let timeline = report.metrics.as_ref().expect("metrics requested");
+        assert!(!timeline.is_empty());
+        let mut prev_round = None;
+        let mut prev_decided = 0;
+        for m in timeline {
+            // Population conservation: every node is transmitting,
+            // listening, sleeping, or already finished.
+            assert_eq!(m.node_count(), n, "round {}", m.round);
+            // Rounds strictly increase; cumulative curves are monotone.
+            if let Some(p) = prev_round {
+                assert!(m.round > p);
+            }
+            prev_round = Some(m.round);
+            assert!(m.decided >= prev_decided);
+            prev_decided = m.decided;
+            assert!(m.joined_mis <= m.decided);
+            assert!(m.lost_receptions <= m.receptions);
+        }
+        // The final record's cumulative energy equals the meter totals.
+        let last = timeline.last().unwrap();
+        let metered: u64 = report.meters.iter().map(|mtr| mtr.energy()).sum();
+        assert_eq!(last.cumulative_energy, metered);
+        assert_eq!(last.decided, n);
+        assert_eq!(last.joined_mis, 15);
+        // The streamed RoundEnd events carry the identical records.
+        let streamed: Vec<crate::metrics::RoundMetrics> = trace
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::RoundEnd { metrics } => Some(*metrics),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(&streamed, timeline);
+    }
+
+    #[test]
+    fn metrics_count_collisions_and_receptions() {
+        // Star: both leaves transmit, hub listens → one physical collision.
+        let g = generators::star(3);
+        let config = SimConfig::new(ChannelModel::NoCd).with_round_metrics();
+        let report = Simulator::new(&g, config).run(|v, _| Probe {
+            transmit: v != 0,
+            saw: None,
+        });
+        let timeline = report.metrics.unwrap();
+        assert_eq!(timeline.len(), 1);
+        let m = timeline[0];
+        assert_eq!(m.round, 0);
+        assert_eq!(m.transmitting, 2);
+        assert_eq!(m.listening, 1);
+        assert_eq!(m.sleeping, 0);
+        assert_eq!(m.finished, 0);
+        assert_eq!(m.collisions, 1);
+        assert_eq!(m.receptions, 0);
+        assert_eq!(m.cumulative_energy, 3);
+    }
+
+    #[test]
+    fn metrics_count_lost_receptions() {
+        // Path: node 0 transmits, node 1 listens, loss = 1.0 — every
+        // reception is counted and counted lost.
+        let g = generators::path(2);
+        let config = SimConfig::new(ChannelModel::Cd)
+            .with_loss_probability(1.0)
+            .with_round_metrics();
+        let report = Simulator::new(&g, config).run(|v, _| Probe {
+            transmit: v == 0,
+            saw: None,
+        });
+        let m = report.metrics.unwrap()[0];
+        assert_eq!(m.receptions, 1);
+        assert_eq!(m.lost_receptions, 1);
+    }
+
+    #[test]
+    fn metrics_absent_unless_requested() {
+        let g = generators::path(3);
+        let report = Simulator::new(&g, SimConfig::new(ChannelModel::Cd)).run(|v, _| Probe {
+            transmit: v == 0,
+            saw: None,
+        });
+        assert!(report.metrics.is_none());
+    }
+
+    #[test]
+    fn masked_kinds_are_never_delivered() {
+        use crate::trace::{EventKind, EventMask, FilteredTrace, VecTrace};
+        let g = generators::star(4);
+        let sink = FilteredTrace::new(VecTrace::new())
+            .with_mask(EventMask::only([EventKind::Fed, EventKind::RoundMetrics]));
+        let mut sink = sink;
+        let _ = Simulator::new(&g, SimConfig::new(ChannelModel::Cd)).run_traced(
+            |v, _| Probe {
+                transmit: v == 0,
+                saw: None,
+            },
+            &mut sink,
+        );
+        let inner = sink.into_inner();
+        assert!(!inner.events.is_empty());
+        for e in &inner.events {
+            assert!(
+                matches!(e.kind(), EventKind::Fed | EventKind::RoundMetrics),
+                "masked kind delivered: {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_partial_timeline_on_round_cap() {
+        struct Forever;
+        impl Protocol for Forever {
+            fn act(&mut self, _round: u64, _rng: &mut NodeRng) -> Action {
+                Action::Listen
+            }
+            fn feedback(&mut self, _round: u64, _fb: Feedback, _rng: &mut NodeRng) {}
+            fn status(&self) -> NodeStatus {
+                NodeStatus::Undecided
+            }
+            fn finished(&self) -> bool {
+                false
+            }
+        }
+        let g = generators::empty(2);
+        let config = SimConfig::new(ChannelModel::Cd)
+            .with_max_rounds(10)
+            .with_round_metrics();
+        let report = Simulator::new(&g, config).run(|_, _| Forever);
+        assert!(!report.completed);
+        let timeline = report.metrics.unwrap();
+        assert_eq!(timeline.len(), 10);
+        assert_eq!(timeline.last().unwrap().cumulative_energy, 20);
     }
 
     use mis_graphs::Graph;

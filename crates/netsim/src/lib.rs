@@ -20,6 +20,22 @@
 //! simulator's work is proportional to total *awake* rounds plus deliveries,
 //! mirroring the energy measure itself.
 //!
+//! # Observability
+//!
+//! Two opt-in channels expose what happens *during* a run:
+//!
+//! - **Round metrics** ([`metrics`]): [`SimConfig::with_round_metrics`]
+//!   makes the engine aggregate one [`RoundMetrics`] record per processed
+//!   round (awake/sleeping populations, physical collisions, receptions,
+//!   MIS progress, cumulative energy) into [`RunReport::metrics`].
+//! - **Trace sinks** ([`trace`]): [`Simulator::run_traced`] streams
+//!   [`TraceEvent`]s to any [`TraceSink`]. Sinks advertise an
+//!   [`EventMask`] of the event kinds they want; the engine skips the
+//!   rest, so [`NullTrace`] (mask `NONE`) costs nothing. Ready-made sinks:
+//!   [`VecTrace`] (collect all), [`JsonlTrace`] (stream JSON Lines to a
+//!   writer), [`RingTrace`] (bounded last-N buffer), and [`FilteredTrace`]
+//!   (restrict by event kind, node set, or round range).
+//!
 //! # Quick example
 //!
 //! ```
@@ -47,10 +63,11 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod energy;
 pub mod engine;
+pub mod metrics;
 pub mod model;
 pub mod protocol;
 pub mod report;
@@ -60,9 +77,13 @@ pub mod trace;
 
 pub use energy::EnergyMeter;
 pub use engine::{SimConfig, Simulator};
+pub use metrics::RoundMetrics;
 pub use model::{Action, ChannelModel, Feedback, Message, NodeStatus};
 pub use protocol::{NodeRng, Protocol};
 pub use report::RunReport;
 pub use rng::split_seed;
 pub use runner::{run_trials, TrialOutcome, TrialSet};
-pub use trace::{NullTrace, TraceEvent, TraceSink, VecTrace};
+pub use trace::{
+    EventKind, EventMask, FilteredTrace, JsonlTrace, NullTrace, RingTrace, TraceEvent, TraceSink,
+    VecTrace,
+};

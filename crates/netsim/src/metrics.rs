@@ -1,0 +1,186 @@
+//! Per-round channel metrics.
+//!
+//! The paper's claims are statements about *per-round* quantities — how many
+//! nodes are awake, how fast the undecided population decays, how much
+//! energy has been spent by round `r` — while [`crate::RunReport`] only
+//! carries end-of-run totals. [`RoundMetrics`] is the per-round record the
+//! engine aggregates cheaply inside its existing round loop; a run collects
+//! one record per *processed* round (rounds in which every node slept are
+//! skipped by the engine and therefore produce no record — exactly as they
+//! cost no energy).
+//!
+//! Metrics flow through two channels, both opt-in and both zero-cost when
+//! unused:
+//!
+//! - [`SimConfig::with_round_metrics`](crate::SimConfig::with_round_metrics)
+//!   stores the full timeline in [`RunReport::metrics`](crate::RunReport);
+//! - a [`TraceSink`](crate::TraceSink) whose mask includes
+//!   [`EventKind::RoundMetrics`](crate::EventKind) receives one
+//!   [`TraceEvent::RoundEnd`](crate::TraceEvent) per processed round,
+//!   suitable for streaming (see [`crate::JsonlTrace`]).
+
+use serde::{Deserialize, Serialize};
+
+/// Channel-level counters for one processed simulation round.
+///
+/// Counting conventions (all verified by the aggregation-invariant tests):
+///
+/// - `transmitting + listening + sleeping + finished == n` for every record,
+///   where `finished` counts nodes retired *strictly before* the round began
+///   (a node that finishes during the round is still counted in the awake or
+///   sleeping population of that round);
+/// - `joined_mis` and `decided` are cumulative *through the end of* the
+///   round, so they form monotone completion curves;
+/// - the final record's `cumulative_energy` equals the sum of all
+///   [`EnergyMeter`](crate::EnergyMeter) totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundMetrics {
+    /// The round this record describes.
+    pub round: u64,
+    /// Nodes that transmitted this round.
+    pub transmitting: u32,
+    /// Nodes that listened this round.
+    pub listening: u32,
+    /// Nodes that were asleep this round (including nodes that chose
+    /// `Sleep` when polled) and had not yet finished before the round began.
+    pub sleeping: u32,
+    /// Nodes retired (finished) strictly before this round began.
+    pub finished: u32,
+    /// Listeners with ≥ 2 transmitting neighbors this round. This counts
+    /// the *physical* collision regardless of whether the channel model
+    /// makes it observable (CD reports `Collision`, no-CD reports
+    /// `Silence`, beeping reports `Beep`).
+    pub collisions: u32,
+    /// Listeners with exactly one transmitting neighbor this round —
+    /// successful receptions before loss injection.
+    pub receptions: u32,
+    /// Receptions faded to silence by loss injection
+    /// ([`SimConfig::with_loss_probability`](crate::SimConfig::with_loss_probability)).
+    pub lost_receptions: u32,
+    /// Nodes whose status is `InMis` at the end of this round (cumulative).
+    pub joined_mis: u32,
+    /// Nodes whose status is decided (in or out of the MIS) at the end of
+    /// this round (cumulative).
+    pub decided: u32,
+    /// Total awake node-rounds spent through the end of this round — the
+    /// running sum of `transmitting + listening` over all processed rounds.
+    pub cumulative_energy: u64,
+}
+
+impl RoundMetrics {
+    /// Nodes awake this round (`transmitting + listening`).
+    pub fn awake(&self) -> u32 {
+        self.transmitting + self.listening
+    }
+
+    /// Total node count this record describes
+    /// (`transmitting + listening + sleeping + finished`).
+    pub fn node_count(&self) -> u32 {
+        self.transmitting + self.listening + self.sleeping + self.finished
+    }
+
+    /// Nodes still undecided at the end of this round.
+    pub fn undecided(&self) -> u32 {
+        self.node_count() - self.decided
+    }
+}
+
+/// Running cumulative state the engine threads across rounds while
+/// aggregating [`RoundMetrics`].
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct MetricsAccumulator {
+    /// Cumulative count of nodes currently `InMis`.
+    pub joined_mis: u32,
+    /// Cumulative count of decided nodes.
+    pub decided: u32,
+    /// Cumulative awake node-rounds.
+    pub cumulative_energy: u64,
+}
+
+impl MetricsAccumulator {
+    /// Closes one round: folds this round's per-round counters together with
+    /// the running cumulative state into a [`RoundMetrics`] record.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn finish_round(
+        &mut self,
+        round: u64,
+        n: usize,
+        finished_before: u32,
+        transmitting: u32,
+        listening: u32,
+        collisions: u32,
+        receptions: u32,
+        lost_receptions: u32,
+    ) -> RoundMetrics {
+        self.cumulative_energy += u64::from(transmitting) + u64::from(listening);
+        RoundMetrics {
+            round,
+            transmitting,
+            listening,
+            sleeping: n as u32 - finished_before - transmitting - listening,
+            finished: finished_before,
+            collisions,
+            receptions,
+            lost_receptions,
+            joined_mis: self.joined_mis,
+            decided: self.decided,
+            cumulative_energy: self.cumulative_energy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_quantities() {
+        let m = RoundMetrics {
+            round: 3,
+            transmitting: 2,
+            listening: 5,
+            sleeping: 1,
+            finished: 4,
+            decided: 9,
+            ..RoundMetrics::default()
+        };
+        assert_eq!(m.awake(), 7);
+        assert_eq!(m.node_count(), 12);
+        assert_eq!(m.undecided(), 3);
+    }
+
+    #[test]
+    fn accumulator_folds_rounds() {
+        let mut acc = MetricsAccumulator::default();
+        acc.decided = 1;
+        let a = acc.finish_round(0, 4, 0, 2, 2, 1, 0, 0);
+        assert_eq!(a.cumulative_energy, 4);
+        assert_eq!(a.sleeping, 0);
+        assert_eq!(a.decided, 1);
+        let b = acc.finish_round(5, 4, 1, 1, 0, 0, 0, 0);
+        assert_eq!(b.cumulative_energy, 5);
+        assert_eq!(b.sleeping, 2);
+        assert_eq!(b.finished, 1);
+        assert_eq!(b.node_count(), 4);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = RoundMetrics {
+            round: 7,
+            transmitting: 1,
+            listening: 2,
+            sleeping: 3,
+            finished: 4,
+            collisions: 1,
+            receptions: 2,
+            lost_receptions: 1,
+            joined_mis: 2,
+            decided: 4,
+            cumulative_energy: 99,
+        };
+        let json = serde_json::to_string(&m).unwrap();
+        let back: RoundMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -81,7 +81,7 @@ impl Default for Message {
 }
 
 /// What a node does in a round.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Action {
     /// Sleep through every round `< wake_at`; the engine will next poll the
     /// node at round `wake_at`. Must be strictly greater than the current
@@ -111,7 +111,7 @@ impl Action {
 }
 
 /// What a node learns at the end of a round it was awake for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Feedback {
     /// The node transmitted. (No sender-side collision detection: a
     /// transmitter learns nothing about concurrent transmissions.)

@@ -1,6 +1,7 @@
 //! Run outcomes: statuses, energy ledgers, and verification helpers.
 
 use crate::energy::EnergyMeter;
+use crate::metrics::RoundMetrics;
 use crate::model::{ChannelModel, NodeStatus};
 use mis_graphs::{mis, Graph};
 use serde::{Deserialize, Serialize};
@@ -23,6 +24,15 @@ pub struct RunReport {
     pub seed: u64,
     /// Resolved RADIO-CONGEST message budget (bits).
     pub message_bits: u32,
+    /// Per-round metrics timeline, one record per *processed* round.
+    ///
+    /// `None` unless the run was configured with
+    /// [`SimConfig::with_round_metrics`](crate::SimConfig::with_round_metrics).
+    /// Rounds in which every node slept are skipped by the engine and
+    /// produce no record; see [`crate::metrics`] for the counting
+    /// conventions.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub metrics: Option<Vec<RoundMetrics>>,
 }
 
 impl RunReport {
@@ -34,6 +44,11 @@ impl RunReport {
     /// Whether the run had zero nodes.
     pub fn is_empty(&self) -> bool {
         self.statuses.is_empty()
+    }
+
+    /// The round-metrics timeline, if collected (empty slice otherwise).
+    pub fn metrics_timeline(&self) -> &[RoundMetrics] {
+        self.metrics.as_deref().unwrap_or(&[])
     }
 
     /// Membership mask of the computed set (`status == InMis`).
@@ -134,6 +149,7 @@ mod tests {
             channel: ChannelModel::Cd,
             seed: 0,
             message_bits: 16,
+            metrics: None,
         }
     }
 

@@ -1,14 +1,46 @@
-//! Execution tracing for debugging and the per-lemma experiments.
+//! Execution tracing: event kinds, sink masks, and streaming sinks.
 //!
-//! The engine emits [`TraceEvent`]s to a [`TraceSink`]. The default
-//! [`NullTrace`] compiles to nothing; [`VecTrace`] records everything for
-//! inspection in tests and experiment instrumentation.
+//! The engine emits [`TraceEvent`]s to a [`TraceSink`]. Which kinds of
+//! events a sink wants is declared through its [`EventMask`]; the default
+//! [`NullTrace`] masks everything out and compiles to nothing. Four
+//! recording sinks are provided:
+//!
+//! - [`VecTrace`] — stores every event in memory, for tests and small runs;
+//! - [`JsonlTrace`] — streams every event as one JSON line to any writer,
+//!   for offline analysis of long runs;
+//! - [`RingTrace`] — keeps only the last `capacity` events, for "what just
+//!   happened" debugging of runs too long to record fully;
+//! - [`FilteredTrace`] — wraps any other sink and filters by event kind,
+//!   node set, and round range.
+//!
+//! # The event-mask contract
+//!
+//! [`TraceSink::mask`] is a *promise*, not a filter: it tells the engine
+//! which event kinds the sink cares about, so the engine can skip
+//! constructing the others entirely (this is what keeps [`NullTrace`] —
+//! and therefore every untraced run — zero-cost). The contract has three
+//! clauses:
+//!
+//! 1. the engine queries `mask()` **once, at run start** — a sink must
+//!    return the same mask for the whole run;
+//! 2. the engine **may** skip any event whose kind is masked out, but is
+//!    not required to — a sink must tolerate receiving a masked-out kind
+//!    (ignoring it is fine, as [`FilteredTrace`] does);
+//! 3. the engine delivers every event whose kind is *in* the mask, in
+//!    deterministic order (ascending round; within a round: actions, then
+//!    feedback, then status changes and finishes).
 
+use crate::metrics::RoundMetrics;
 use crate::model::{Action, Feedback, NodeStatus};
 use mis_graphs::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::collections::VecDeque;
+use std::io::Write;
 
 /// One engine event.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "event")]
 pub enum TraceEvent {
     /// A node declared an action at a round.
     Acted {
@@ -44,29 +76,187 @@ pub enum TraceEvent {
         /// The node.
         node: NodeId,
     },
+    /// A processed round ended; carries the aggregated channel metrics.
+    RoundEnd {
+        /// The per-round metrics record.
+        metrics: RoundMetrics,
+    },
 }
 
-/// Receives engine events.
+impl TraceEvent {
+    /// The kind of this event.
+    pub fn kind(&self) -> EventKind {
+        match self {
+            TraceEvent::Acted { .. } => EventKind::Acted,
+            TraceEvent::Fed { .. } => EventKind::Fed,
+            TraceEvent::StatusChanged { .. } => EventKind::StatusChanged,
+            TraceEvent::Finished { .. } => EventKind::Finished,
+            TraceEvent::RoundEnd { .. } => EventKind::RoundMetrics,
+        }
+    }
+
+    /// The round the event belongs to.
+    pub fn round(&self) -> u64 {
+        match self {
+            TraceEvent::Acted { round, .. }
+            | TraceEvent::Fed { round, .. }
+            | TraceEvent::StatusChanged { round, .. }
+            | TraceEvent::Finished { round, .. } => *round,
+            TraceEvent::RoundEnd { metrics } => metrics.round,
+        }
+    }
+
+    /// The node the event concerns, if it is a per-node event
+    /// (`RoundEnd` is channel-wide and has no node).
+    pub fn node(&self) -> Option<NodeId> {
+        match self {
+            TraceEvent::Acted { node, .. }
+            | TraceEvent::Fed { node, .. }
+            | TraceEvent::StatusChanged { node, .. }
+            | TraceEvent::Finished { node, .. } => Some(*node),
+            TraceEvent::RoundEnd { .. } => None,
+        }
+    }
+}
+
+/// The kinds of [`TraceEvent`] a sink can subscribe to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Per-node actions ([`TraceEvent::Acted`]).
+    Acted,
+    /// Per-node feedback deliveries ([`TraceEvent::Fed`]).
+    Fed,
+    /// Per-node status changes ([`TraceEvent::StatusChanged`]).
+    StatusChanged,
+    /// Per-node retirements ([`TraceEvent::Finished`]).
+    Finished,
+    /// Per-round aggregated metrics ([`TraceEvent::RoundEnd`]).
+    RoundMetrics,
+}
+
+impl EventKind {
+    /// All kinds, in delivery order.
+    pub fn all() -> [EventKind; 5] {
+        [
+            EventKind::Acted,
+            EventKind::Fed,
+            EventKind::StatusChanged,
+            EventKind::Finished,
+            EventKind::RoundMetrics,
+        ]
+    }
+
+    /// Stable lower-case label (used by the `mis-sim trace --events` flag).
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::Acted => "acted",
+            EventKind::Fed => "fed",
+            EventKind::StatusChanged => "status",
+            EventKind::Finished => "finished",
+            EventKind::RoundMetrics => "metrics",
+        }
+    }
+
+    /// Parses a label produced by [`EventKind::label`].
+    ///
+    /// # Errors
+    ///
+    /// Lists the accepted labels on failure.
+    pub fn parse(label: &str) -> Result<EventKind, String> {
+        EventKind::all()
+            .into_iter()
+            .find(|k| k.label() == label)
+            .ok_or_else(|| {
+                format!(
+                    "unknown event kind {label:?}; expected one of: {}",
+                    EventKind::all().map(EventKind::label).join(", ")
+                )
+            })
+    }
+
+    fn bit(self) -> u8 {
+        match self {
+            EventKind::Acted => 1 << 0,
+            EventKind::Fed => 1 << 1,
+            EventKind::StatusChanged => 1 << 2,
+            EventKind::Finished => 1 << 3,
+            EventKind::RoundMetrics => 1 << 4,
+        }
+    }
+}
+
+/// A set of [`EventKind`]s — the subscription a [`TraceSink`] declares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventMask(u8);
+
+impl EventMask {
+    /// The empty mask: no events wanted ([`NullTrace`]'s mask).
+    pub const NONE: EventMask = EventMask(0);
+    /// Every event kind.
+    pub const ALL: EventMask = EventMask(0b1_1111);
+
+    /// A mask containing exactly the given kinds.
+    pub fn only<I: IntoIterator<Item = EventKind>>(kinds: I) -> EventMask {
+        kinds
+            .into_iter()
+            .fold(EventMask::NONE, |m, k| m.with(k))
+    }
+
+    /// Whether `kind` is in the mask.
+    pub fn contains(self, kind: EventKind) -> bool {
+        self.0 & kind.bit() != 0
+    }
+
+    /// This mask with `kind` added.
+    pub fn with(self, kind: EventKind) -> EventMask {
+        EventMask(self.0 | kind.bit())
+    }
+
+    /// This mask with `kind` removed.
+    pub fn without(self, kind: EventKind) -> EventMask {
+        EventMask(self.0 & !kind.bit())
+    }
+
+    /// The kinds present in both masks.
+    pub fn intersect(self, other: EventMask) -> EventMask {
+        EventMask(self.0 & other.0)
+    }
+
+    /// Whether no kind is wanted.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Default for EventMask {
+    fn default() -> EventMask {
+        EventMask::ALL
+    }
+}
+
+/// Receives engine events. See the [module docs](self) for the event-mask
+/// contract a sink and the engine agree on.
 pub trait TraceSink {
     /// Records one event.
     fn record(&mut self, event: TraceEvent);
 
-    /// Whether the sink wants per-action/per-feedback events (the expensive
-    /// ones). Status changes and finishes are always delivered. Sinks that
-    /// return `false` let the engine skip event construction entirely.
-    fn verbose(&self) -> bool {
-        true
+    /// The event kinds this sink wants delivered. Queried once at run
+    /// start; must be constant for the lifetime of a run. Defaults to
+    /// [`EventMask::ALL`].
+    fn mask(&self) -> EventMask {
+        EventMask::ALL
     }
 }
 
-/// Discards everything; the default sink.
+/// Discards everything; the default sink. Its mask is [`EventMask::NONE`],
+/// so the engine constructs no events at all — untraced runs pay nothing.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NullTrace;
 
 impl TraceSink for NullTrace {
     fn record(&mut self, _event: TraceEvent) {}
-    fn verbose(&self) -> bool {
-        false
+    fn mask(&self) -> EventMask {
+        EventMask::NONE
     }
 }
 
@@ -83,14 +273,9 @@ impl VecTrace {
         VecTrace::default()
     }
 
-    /// Iterates over the events of one node.
+    /// Iterates over the per-node events of one node.
     pub fn for_node(&self, node: NodeId) -> impl Iterator<Item = &TraceEvent> {
-        self.events.iter().filter(move |e| match e {
-            TraceEvent::Acted { node: n, .. }
-            | TraceEvent::Fed { node: n, .. }
-            | TraceEvent::StatusChanged { node: n, .. }
-            | TraceEvent::Finished { node: n, .. } => *n == node,
-        })
+        self.events.iter().filter(move |e| e.node() == Some(node))
     }
 
     /// Number of awake actions recorded for a node (its traced energy).
@@ -107,19 +292,273 @@ impl TraceSink for VecTrace {
     }
 }
 
+/// Streams every event as one JSON line (JSONL) to a writer.
+///
+/// The sink never panics on IO failure: the first error is stored, further
+/// events are dropped, and the error is surfaced by [`JsonlTrace::into_inner`]
+/// (or inspected mid-run via [`JsonlTrace::io_error`]).
+///
+/// ```
+/// use radio_netsim::{JsonlTrace, TraceEvent, TraceSink};
+///
+/// let mut sink = JsonlTrace::new(Vec::new());
+/// sink.record(TraceEvent::Finished { round: 3, node: 0 });
+/// assert_eq!(sink.events_written(), 1);
+/// let bytes = sink.into_inner().unwrap();
+/// let line = String::from_utf8(bytes).unwrap();
+/// assert_eq!(line, "{\"event\":\"Finished\",\"round\":3,\"node\":0}\n");
+/// ```
+#[derive(Debug)]
+pub struct JsonlTrace<W: Write> {
+    writer: W,
+    mask: EventMask,
+    written: u64,
+    failed: Option<std::io::Error>,
+}
+
+impl<W: Write> JsonlTrace<W> {
+    /// Creates a sink streaming to `writer`, subscribed to every event kind.
+    pub fn new(writer: W) -> JsonlTrace<W> {
+        JsonlTrace {
+            writer,
+            mask: EventMask::ALL,
+            written: 0,
+            failed: None,
+        }
+    }
+
+    /// Restricts the subscription to `mask`.
+    pub fn with_mask(mut self, mask: EventMask) -> JsonlTrace<W> {
+        self.mask = mask;
+        self
+    }
+
+    /// Number of lines successfully written so far.
+    pub fn events_written(&self) -> u64 {
+        self.written
+    }
+
+    /// The first IO error encountered, if any.
+    pub fn io_error(&self) -> Option<&std::io::Error> {
+        self.failed.as_ref()
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first IO error encountered during recording or the
+    /// final flush.
+    pub fn into_inner(mut self) -> std::io::Result<W> {
+        if let Some(e) = self.failed {
+            return Err(e);
+        }
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: Write> TraceSink for JsonlTrace<W> {
+    fn record(&mut self, event: TraceEvent) {
+        if self.failed.is_some() || !self.mask.contains(event.kind()) {
+            return;
+        }
+        let result = serde_json::to_writer(&mut self.writer, &event)
+            .map_err(std::io::Error::from)
+            .and_then(|()| self.writer.write_all(b"\n"));
+        match result {
+            Ok(()) => self.written += 1,
+            Err(e) => self.failed = Some(e),
+        }
+    }
+
+    fn mask(&self) -> EventMask {
+        self.mask
+    }
+}
+
+/// Bounded sink that keeps only the most recent `capacity` events.
+///
+/// Long runs produce unboundedly many events; `RingTrace` answers "what
+/// just happened" without the memory cost of a full [`VecTrace`].
+///
+/// ```
+/// use radio_netsim::{RingTrace, TraceEvent, TraceSink};
+///
+/// let mut sink = RingTrace::new(2);
+/// for round in 0..5 {
+///     sink.record(TraceEvent::Finished { round, node: 0 });
+/// }
+/// assert_eq!(sink.len(), 2);
+/// assert_eq!(sink.dropped(), 3);
+/// let kept: Vec<u64> = sink.events().map(|e| e.round()).collect();
+/// assert_eq!(kept, vec![3, 4]); // only the most recent survive
+/// ```
+#[derive(Debug, Clone)]
+pub struct RingTrace {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    mask: EventMask,
+    dropped: u64,
+}
+
+impl RingTrace {
+    /// Creates a ring keeping the last `capacity` events, subscribed to
+    /// every event kind. A capacity of 0 keeps nothing (every event is
+    /// counted as dropped).
+    pub fn new(capacity: usize) -> RingTrace {
+        RingTrace {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            mask: EventMask::ALL,
+            dropped: 0,
+        }
+    }
+
+    /// Restricts the subscription to `mask`.
+    pub fn with_mask(mut self, mask: EventMask) -> RingTrace {
+        self.mask = mask;
+        self
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no event is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Number of events evicted (or refused, for capacity 0) so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl TraceSink for RingTrace {
+    fn record(&mut self, event: TraceEvent) {
+        if !self.mask.contains(event.kind()) {
+            return;
+        }
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event);
+    }
+
+    fn mask(&self) -> EventMask {
+        self.mask
+    }
+}
+
+/// Wraps another sink, forwarding only events that pass an event-kind mask,
+/// an optional node set, and an optional round range.
+///
+/// The advertised mask is the intersection of this filter's mask with the
+/// inner sink's, so the engine still skips construction of everything
+/// neither side wants. Node and round filters are applied per event;
+/// channel-wide events ([`TraceEvent::RoundEnd`]) pass any node filter.
+#[derive(Debug, Clone)]
+pub struct FilteredTrace<T: TraceSink> {
+    inner: T,
+    mask: EventMask,
+    nodes: Option<HashSet<NodeId>>,
+    rounds: Option<std::ops::Range<u64>>,
+}
+
+impl<T: TraceSink> FilteredTrace<T> {
+    /// Wraps `inner` with an all-pass filter.
+    pub fn new(inner: T) -> FilteredTrace<T> {
+        FilteredTrace {
+            inner,
+            mask: EventMask::ALL,
+            nodes: None,
+            rounds: None,
+        }
+    }
+
+    /// Forwards only events whose kind is in `mask`.
+    pub fn with_mask(mut self, mask: EventMask) -> FilteredTrace<T> {
+        self.mask = mask;
+        self
+    }
+
+    /// Forwards only per-node events concerning one of `nodes`
+    /// (channel-wide events still pass).
+    pub fn with_nodes<I: IntoIterator<Item = NodeId>>(mut self, nodes: I) -> FilteredTrace<T> {
+        self.nodes = Some(nodes.into_iter().collect());
+        self
+    }
+
+    /// Forwards only events from rounds in `rounds` (half-open).
+    pub fn with_rounds(mut self, rounds: std::ops::Range<u64>) -> FilteredTrace<T> {
+        self.rounds = Some(rounds);
+        self
+    }
+
+    /// A shared reference to the wrapped sink.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Unwraps the filter, returning the inner sink.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+}
+
+impl<T: TraceSink> TraceSink for FilteredTrace<T> {
+    fn record(&mut self, event: TraceEvent) {
+        if !self.mask.contains(event.kind()) {
+            return;
+        }
+        if let Some(rounds) = &self.rounds {
+            if !rounds.contains(&event.round()) {
+                return;
+            }
+        }
+        if let (Some(nodes), Some(node)) = (&self.nodes, event.node()) {
+            if !nodes.contains(&node) {
+                return;
+            }
+        }
+        self.inner.record(event);
+    }
+
+    fn mask(&self) -> EventMask {
+        self.mask.intersect(self.inner.mask())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::model::Message;
 
+    fn acted(round: u64, node: NodeId) -> TraceEvent {
+        TraceEvent::Acted {
+            round,
+            node,
+            action: Action::Listen,
+        }
+    }
+
     #[test]
     fn vec_trace_filters_by_node() {
         let mut t = VecTrace::new();
-        t.record(TraceEvent::Acted {
-            round: 0,
-            node: 1,
-            action: Action::Listen,
-        });
+        t.record(acted(0, 1));
         t.record(TraceEvent::Acted {
             round: 0,
             node: 2,
@@ -130,6 +569,9 @@ mod tests {
             node: 1,
             feedback: Feedback::Heard(Message::unary()),
         });
+        t.record(TraceEvent::RoundEnd {
+            metrics: RoundMetrics::default(),
+        });
         assert_eq!(t.for_node(1).count(), 2);
         assert_eq!(t.for_node(2).count(), 1);
         assert_eq!(t.awake_actions(1), 1);
@@ -139,7 +581,158 @@ mod tests {
     #[test]
     fn null_trace_is_quiet() {
         let mut t = NullTrace;
-        assert!(!t.verbose());
+        assert!(t.mask().is_empty());
         t.record(TraceEvent::Finished { round: 0, node: 0 });
+    }
+
+    #[test]
+    fn mask_set_operations() {
+        let m = EventMask::only([EventKind::Acted, EventKind::RoundMetrics]);
+        assert!(m.contains(EventKind::Acted));
+        assert!(m.contains(EventKind::RoundMetrics));
+        assert!(!m.contains(EventKind::Fed));
+        assert!(m.without(EventKind::Acted).contains(EventKind::RoundMetrics));
+        assert!(!m.without(EventKind::Acted).contains(EventKind::Acted));
+        let other = EventMask::only([EventKind::Acted, EventKind::Fed]);
+        assert_eq!(
+            m.intersect(other),
+            EventMask::only([EventKind::Acted])
+        );
+        assert!(EventMask::NONE.is_empty());
+        assert!(!EventMask::ALL.is_empty());
+        for kind in EventKind::all() {
+            assert!(EventMask::ALL.contains(kind));
+            assert!(EventMask::default().contains(kind));
+        }
+    }
+
+    #[test]
+    fn event_kind_labels_roundtrip() {
+        for kind in EventKind::all() {
+            assert_eq!(EventKind::parse(kind.label()), Ok(kind));
+        }
+        assert!(EventKind::parse("bogus").unwrap_err().contains("metrics"));
+    }
+
+    #[test]
+    fn event_accessors() {
+        let e = acted(4, 9);
+        assert_eq!(e.kind(), EventKind::Acted);
+        assert_eq!(e.round(), 4);
+        assert_eq!(e.node(), Some(9));
+        let r = TraceEvent::RoundEnd {
+            metrics: RoundMetrics {
+                round: 11,
+                ..RoundMetrics::default()
+            },
+        };
+        assert_eq!(r.kind(), EventKind::RoundMetrics);
+        assert_eq!(r.round(), 11);
+        assert_eq!(r.node(), None);
+    }
+
+    #[test]
+    fn jsonl_lines_parse_back() {
+        let mut sink = JsonlTrace::new(Vec::new());
+        sink.record(acted(0, 1));
+        sink.record(TraceEvent::Fed {
+            round: 0,
+            node: 1,
+            feedback: Feedback::Collision,
+        });
+        sink.record(TraceEvent::RoundEnd {
+            metrics: RoundMetrics {
+                round: 0,
+                transmitting: 1,
+                ..RoundMetrics::default()
+            },
+        });
+        assert_eq!(sink.events_written(), 3);
+        assert!(sink.io_error().is_none());
+        let bytes = sink.into_inner().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let events: Vec<TraceEvent> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0], acted(0, 1));
+        assert!(matches!(events[2], TraceEvent::RoundEnd { metrics } if metrics.transmitting == 1));
+    }
+
+    #[test]
+    fn jsonl_respects_mask() {
+        let mut sink = JsonlTrace::new(Vec::new())
+            .with_mask(EventMask::only([EventKind::Finished]));
+        sink.record(acted(0, 1));
+        sink.record(TraceEvent::Finished { round: 0, node: 1 });
+        assert_eq!(sink.events_written(), 1);
+        let text = String::from_utf8(sink.into_inner().unwrap()).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("Finished"));
+    }
+
+    #[test]
+    fn ring_trace_keeps_tail_and_counts_drops() {
+        let mut sink = RingTrace::new(3);
+        for round in 0..10 {
+            sink.record(acted(round, 0));
+        }
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.dropped(), 7);
+        let rounds: Vec<u64> = sink.events().map(TraceEvent::round).collect();
+        assert_eq!(rounds, vec![7, 8, 9]);
+        assert!(!sink.is_empty());
+    }
+
+    #[test]
+    fn ring_trace_capacity_zero_drops_everything() {
+        let mut sink = RingTrace::new(0);
+        sink.record(acted(0, 0));
+        assert!(sink.is_empty());
+        assert_eq!(sink.dropped(), 1);
+    }
+
+    #[test]
+    fn filtered_trace_masks_kinds_nodes_and_rounds() {
+        let mut sink = FilteredTrace::new(VecTrace::new())
+            .with_mask(EventMask::ALL.without(EventKind::Fed))
+            .with_nodes([1usize, 3])
+            .with_rounds(5..10);
+        // Wrong kind, right node and round.
+        sink.record(TraceEvent::Fed {
+            round: 6,
+            node: 1,
+            feedback: Feedback::Silence,
+        });
+        // Right kind, wrong node.
+        sink.record(acted(6, 2));
+        // Right kind, right node, wrong round.
+        sink.record(acted(12, 1));
+        // Passes.
+        sink.record(acted(6, 3));
+        // Channel-wide event in range: passes the node filter.
+        sink.record(TraceEvent::RoundEnd {
+            metrics: RoundMetrics {
+                round: 7,
+                ..RoundMetrics::default()
+            },
+        });
+        let inner = sink.into_inner();
+        assert_eq!(inner.events.len(), 2);
+        assert_eq!(inner.events[0], acted(6, 3));
+        assert_eq!(inner.events[1].kind(), EventKind::RoundMetrics);
+    }
+
+    #[test]
+    fn filtered_trace_intersects_masks() {
+        let sink = FilteredTrace::new(
+            RingTrace::new(4).with_mask(EventMask::only([EventKind::Acted, EventKind::Fed])),
+        )
+        .with_mask(EventMask::only([EventKind::Fed, EventKind::Finished]));
+        assert_eq!(sink.mask(), EventMask::only([EventKind::Fed]));
+        assert!(sink.inner().is_empty());
+        let null = FilteredTrace::new(NullTrace);
+        assert!(null.mask().is_empty());
     }
 }

@@ -8,7 +8,10 @@
 //!   candidate growth laws the paper's theorems predict (log n, log²n,
 //!   log²n·loglog n, …) with R² model selection;
 //! - [`table`] — markdown/CSV table rendering for `EXPERIMENTS.md`;
-//! - [`plot`] — dependency-free SVG line charts for the experiment figures.
+//! - [`plot`] — dependency-free SVG line charts for the experiment figures;
+//! - [`timeline`] — time-series analysis of the per-round metrics records
+//!   the simulator's observability layer emits (geometric decay-rate fits,
+//!   series summaries).
 //!
 //! ```
 //! use mis_stats::fit::{best_fit, GrowthModel};
@@ -28,8 +31,10 @@ pub mod fit;
 pub mod plot;
 pub mod summary;
 pub mod table;
+pub mod timeline;
 
 pub use fit::{best_fit, Fit, GrowthModel};
 pub use plot::LineChart;
 pub use summary::Summary;
 pub use table::Table;
+pub use timeline::{exp_decay_fit, DecayFit, TimelineSummary};

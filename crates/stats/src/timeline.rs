@@ -1,0 +1,210 @@
+//! Time-series analysis of per-round metrics timelines.
+//!
+//! The observability layer in `radio-netsim` produces one metrics record
+//! per processed round (awake counts, undecided population, cumulative
+//! energy, …). The paper's arguments are *round-indexed*: Lemma 4 bounds
+//! the per-phase survival probability of an undecided node, so the
+//! undecided population should decay geometrically in rounds. This module
+//! fits and summarizes such series.
+//!
+//! Series are passed as parallel slices `(rounds, values)` — the same
+//! convention as [`crate::fit`] — so the module stays independent of the
+//! simulator's record types; callers extract the field they care about
+//! from each `RoundMetrics` record.
+//!
+//! ```
+//! use mis_stats::timeline::exp_decay_fit;
+//!
+//! // A population halving every 10 rounds.
+//! let rounds: Vec<f64> = (0..20).map(|r| r as f64).collect();
+//! let ys: Vec<f64> = rounds.iter().map(|r| 1024.0 * (-0.0693 * r).exp()).collect();
+//! let fit = exp_decay_fit(&rounds, &ys).unwrap();
+//! assert!((fit.half_life() - 10.0).abs() < 0.1);
+//! ```
+
+use crate::summary::Summary;
+use serde::{Deserialize, Serialize};
+
+/// A fitted geometric decay `y(r) ≈ initial · exp(−rate · r)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecayFit {
+    /// Decay rate per round (positive for a shrinking series).
+    pub rate: f64,
+    /// Fitted value at round 0.
+    pub initial: f64,
+    /// Coefficient of determination of the log-linear fit.
+    pub r2: f64,
+    /// Number of (strictly positive) points the fit used.
+    pub points: usize,
+}
+
+impl DecayFit {
+    /// Rounds for the fitted series to halve: `ln 2 / rate`
+    /// (infinite for a non-decaying series).
+    pub fn half_life(&self) -> f64 {
+        if self.rate <= 0.0 {
+            f64::INFINITY
+        } else {
+            std::f64::consts::LN_2 / self.rate
+        }
+    }
+
+    /// The fitted value at round `r`.
+    pub fn eval(&self, r: f64) -> f64 {
+        self.initial * (-self.rate * r).exp()
+    }
+}
+
+/// Fits `ys(rounds)` to a geometric decay by ordinary least squares on
+/// `ln y` — the standard estimator for the per-round survival factor a
+/// round-indexed potential argument predicts.
+///
+/// Non-positive values (the series hitting zero once everyone decided)
+/// carry no log information and are skipped. Returns `None` if fewer than
+/// two positive points remain.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn exp_decay_fit(rounds: &[f64], ys: &[f64]) -> Option<DecayFit> {
+    assert_eq!(rounds.len(), ys.len(), "series length mismatch");
+    let (xs, lns): (Vec<f64>, Vec<f64>) = rounds
+        .iter()
+        .zip(ys)
+        .filter(|(_, &y)| y > 0.0)
+        .map(|(&r, &y)| (r, y.ln()))
+        .unzip();
+    if xs.len() < 2 {
+        return None;
+    }
+    let fit = crate::fit::linear_fit(&xs, &lns);
+    Some(DecayFit {
+        rate: -fit.slope,
+        initial: fit.intercept.exp(),
+        r2: fit.r2,
+        points: xs.len(),
+    })
+}
+
+/// Descriptive summary of one per-round series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimelineSummary {
+    /// Distribution of the per-round values.
+    pub values: Summary,
+    /// Value at the first recorded round.
+    pub first: f64,
+    /// Value at the last recorded round.
+    pub last: f64,
+    /// Round at which the series peaked (first occurrence of the max).
+    pub peak_round: f64,
+    /// Area under the series by the trapezoid rule over recorded rounds —
+    /// for an awake-count series this is total energy spent.
+    pub auc: f64,
+}
+
+impl TimelineSummary {
+    /// Summarizes a series given as parallel `(rounds, values)` slices.
+    /// Returns `None` for an empty series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ.
+    pub fn of(rounds: &[f64], ys: &[f64]) -> Option<TimelineSummary> {
+        assert_eq!(rounds.len(), ys.len(), "series length mismatch");
+        if ys.is_empty() {
+            return None;
+        }
+        let peak = ys
+            .iter()
+            .enumerate()
+            .reduce(|a, b| if b.1 > a.1 { b } else { a })
+            .expect("non-empty");
+        Some(TimelineSummary {
+            values: Summary::of(ys),
+            first: ys[0],
+            last: ys[ys.len() - 1],
+            peak_round: rounds[peak.0],
+            auc: trapezoid_auc(rounds, ys),
+        })
+    }
+}
+
+/// Area under the series by the trapezoid rule (0 for < 2 points).
+/// Assumes `rounds` is ascending.
+pub fn trapezoid_auc(rounds: &[f64], ys: &[f64]) -> f64 {
+    rounds
+        .windows(2)
+        .zip(ys.windows(2))
+        .map(|(r, y)| (r[1] - r[0]) * (y[0] + y[1]) / 2.0)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_decay_rate() {
+        let rounds: Vec<f64> = (0..30).map(|r| r as f64).collect();
+        let ys: Vec<f64> = rounds.iter().map(|r| 500.0 * (-0.2 * r).exp()).collect();
+        let fit = exp_decay_fit(&rounds, &ys).unwrap();
+        assert!((fit.rate - 0.2).abs() < 1e-9);
+        assert!((fit.initial - 500.0).abs() < 1e-6);
+        assert!((fit.r2 - 1.0).abs() < 1e-9);
+        assert_eq!(fit.points, 30);
+        assert!((fit.half_life() - std::f64::consts::LN_2 / 0.2).abs() < 1e-9);
+        assert!((fit.eval(0.0) - 500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn skips_zeros_at_the_tail() {
+        // The undecided count hits 0 once the run finishes; those rounds
+        // must not poison the log fit.
+        let rounds: Vec<f64> = (0..10).map(|r| r as f64).collect();
+        let mut ys: Vec<f64> = rounds.iter().map(|r| 64.0 * (-0.5 * r).exp()).collect();
+        ys[8] = 0.0;
+        ys[9] = 0.0;
+        let fit = exp_decay_fit(&rounds, &ys).unwrap();
+        assert_eq!(fit.points, 8);
+        assert!((fit.rate - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn too_few_points_is_none() {
+        assert!(exp_decay_fit(&[0.0, 1.0], &[0.0, 0.0]).is_none());
+        assert!(exp_decay_fit(&[3.0], &[5.0]).is_none());
+        assert!(exp_decay_fit(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn growing_series_has_negative_rate() {
+        let rounds = [0.0, 1.0, 2.0];
+        let ys = [1.0, 2.0, 4.0];
+        let fit = exp_decay_fit(&rounds, &ys).unwrap();
+        assert!(fit.rate < 0.0);
+        assert_eq!(fit.half_life(), f64::INFINITY);
+    }
+
+    #[test]
+    fn timeline_summary_basics() {
+        let rounds = [0.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 5.0, 5.0, 2.0];
+        let s = TimelineSummary::of(&rounds, &ys).unwrap();
+        assert_eq!(s.first, 1.0);
+        assert_eq!(s.last, 2.0);
+        assert_eq!(s.peak_round, 1.0); // first occurrence of the max
+        assert_eq!(s.values.count, 4);
+        assert!((s.auc - (3.0 + 5.0 + 3.5)).abs() < 1e-12);
+        assert!(TimelineSummary::of(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn auc_handles_gaps() {
+        // Processed rounds may be non-contiguous (all-sleep rounds are
+        // skipped); the trapezoid rule weights by the actual gap.
+        let rounds = [0.0, 4.0];
+        let ys = [2.0, 2.0];
+        assert!((trapezoid_auc(&rounds, &ys) - 8.0).abs() < 1e-12);
+        assert_eq!(trapezoid_auc(&[1.0], &[3.0]), 0.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Checks that relative links in the repo's markdown files resolve.
+//!
+//! Std-only on purpose: this is the link half of the CI docs job (the
+//! rustdoc half is `cargo doc` with `-D warnings`), and it must not pull
+//! in a markdown parser for what is a ten-line scan. Only inline
+//! `[text](target)` links are checked; external URLs and in-page anchors
+//! are skipped.
+
+use std::path::{Path, PathBuf};
+
+/// The markdown files under the link check, relative to the repo root.
+const DOC_FILES: &[&str] = &[
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "CHANGELOG.md",
+    "docs/ARCHITECTURE.md",
+];
+
+/// Extracts inline-link targets from markdown source.
+fn link_targets(text: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let mut rest = text;
+    while let Some(open) = rest.find("](") {
+        rest = &rest[open + 2..];
+        let Some(close) = rest.find(')') else { break };
+        targets.push(rest[..close].to_string());
+        rest = &rest[close + 1..];
+    }
+    targets
+}
+
+/// Whether a target needs a filesystem check (relative path, not URL or
+/// pure anchor).
+fn is_relative(target: &str) -> bool {
+    !(target.starts_with("http://")
+        || target.starts_with("https://")
+        || target.starts_with("mailto:")
+        || target.starts_with('#'))
+}
+
+#[test]
+fn relative_markdown_links_resolve() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut broken = Vec::new();
+    for file in DOC_FILES {
+        let path = root.join(file);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let base = path.parent().unwrap_or(Path::new(""));
+        for target in link_targets(&text).iter().filter(|t| is_relative(t)) {
+            // Drop a trailing `#section` anchor before resolving.
+            let file_part = target.split('#').next().unwrap_or(target);
+            if file_part.is_empty() {
+                continue;
+            }
+            if !base.join(file_part).exists() {
+                broken.push(format!("{file}: ({target})"));
+            }
+        }
+    }
+    assert!(broken.is_empty(), "broken relative links:\n{}", broken.join("\n"));
+}
+
+#[test]
+fn doc_files_under_check_exist() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    for file in DOC_FILES {
+        assert!(root.join(file).exists(), "missing doc file {file}");
+    }
+}
+
+#[test]
+fn extractor_handles_mixed_content() {
+    let text = "see [a](docs/x.md), [b](https://e.com/p), [c](#anchor), `act(round)`";
+    let targets = link_targets(text);
+    assert_eq!(targets, vec!["docs/x.md", "https://e.com/p", "#anchor"]);
+    assert!(is_relative("docs/x.md"));
+    assert!(!is_relative("https://e.com/p"));
+    assert!(!is_relative("#anchor"));
+}
