@@ -55,15 +55,14 @@ fn bench(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                let report =
-                    Simulator::new(&g, SimConfig::new(ChannelModel::NoCd).with_seed(seed))
-                        .run(|v, rng| {
-                            if v == 0 {
-                                Node::Rec(RecEBackoff::new(0, 16, 1024, 1024), false)
-                            } else {
-                                Node::Snd(SndEBackoff::new(0, 16, 1024, rng), false)
-                            }
-                        });
+                let report = Simulator::new(&g, SimConfig::new(ChannelModel::NoCd).with_seed(seed))
+                    .run(|v, rng| {
+                        if v == 0 {
+                            Node::Rec(RecEBackoff::new(0, 16, 1024, 1024), false)
+                        } else {
+                            Node::Snd(SndEBackoff::new(0, 16, 1024, rng), false)
+                        }
+                    });
                 report.rounds
             })
         });

@@ -2,8 +2,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mis_bench::workload;
-use radio_mis::baselines::nocd_naive::{NaiveSimParams, NoCdNaive};
 use radio_mis::baselines::naive_luby_cd;
+use radio_mis::baselines::nocd_naive::{NaiveSimParams, NoCdNaive};
 use radio_mis::cd::CdMis;
 use radio_mis::low_degree::LowDegreeMis;
 use radio_mis::params::{CdParams, LowDegreeParams};

@@ -1,7 +1,7 @@
 //! E13 family: the wired SLEEPING-CONGEST references.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use congest_sim::{CongestSim, GhaffariCongest, LubyCongest};
+use criterion::{criterion_group, criterion_main, Criterion};
 use mis_bench::workload;
 
 fn bench(c: &mut Criterion) {
@@ -12,7 +12,9 @@ fn bench(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            CongestSim::new(&g, seed).run(|_, _| LubyCongest::new(n)).max_awake()
+            CongestSim::new(&g, seed)
+                .run(|_, _| LubyCongest::new(n))
+                .max_awake()
         })
     });
     group.bench_function("ghaffari", |b| {

@@ -16,9 +16,8 @@ fn bench(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                let report =
-                    Simulator::new(&g, SimConfig::new(ChannelModel::NoCd).with_seed(seed))
-                        .run(|_, _| NoCdMis::new(params));
+                let report = Simulator::new(&g, SimConfig::new(ChannelModel::NoCd).with_seed(seed))
+                    .run(|_, _| NoCdMis::new(params));
                 assert!(report.completed);
                 report.max_energy()
             })

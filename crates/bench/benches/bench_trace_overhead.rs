@@ -3,15 +3,18 @@
 //! `null` is the baseline (mask `NONE`, no metrics): it must sit within
 //! noise of the untraced engine, since every per-event and per-metrics
 //! branch is gated on the mask / `collect_metrics` flag. The other
-//! variants price the layers individually: round-metrics aggregation
-//! only, full in-memory event capture, and JSONL serialization to a
-//! sink writer.
+//! variants price the layers individually: an inert fault plan (which
+//! must be free — zero-cost-when-off), round-metrics aggregation only,
+//! full in-memory event capture, and JSONL serialization to a sink
+//! writer.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mis_bench::workload;
 use radio_mis::cd::CdMis;
 use radio_mis::params::CdParams;
-use radio_netsim::{ChannelModel, JsonlTrace, NullTrace, SimConfig, Simulator, VecTrace};
+use radio_netsim::{
+    ChannelModel, FaultPlan, JsonlTrace, NullTrace, SimConfig, Simulator, VecTrace,
+};
 
 const N: usize = 1024;
 
@@ -46,6 +49,20 @@ fn bench(c: &mut Criterion) {
         })
     });
 
+    // An explicitly-attached inert FaultPlan must cost the same as no
+    // plan at all: the engine resolves it once up-front and every
+    // per-round fault branch is gated on cached booleans.
+    group.bench_function("null_inert_faults", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let report = Simulator::new(&g, config(seed).with_faults(FaultPlan::none()))
+                .run_traced(|_, _| CdMis::new(params), &mut NullTrace);
+            assert!(report.completed);
+            report.rounds
+        })
+    });
+
     group.bench_function("metrics_only", |b| {
         let mut seed = 0u64;
         b.iter(|| {
@@ -62,8 +79,8 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             seed += 1;
             let mut trace = VecTrace::default();
-            let report = Simulator::new(&g, config(seed))
-                .run_traced(|_, _| CdMis::new(params), &mut trace);
+            let report =
+                Simulator::new(&g, config(seed)).run_traced(|_, _| CdMis::new(params), &mut trace);
             assert!(report.completed);
             trace.events.len()
         })
@@ -74,8 +91,8 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             seed += 1;
             let mut trace = JsonlTrace::new(std::io::sink());
-            let report = Simulator::new(&g, config(seed))
-                .run_traced(|_, _| CdMis::new(params), &mut trace);
+            let report =
+                Simulator::new(&g, config(seed)).run_traced(|_, _| CdMis::new(params), &mut trace);
             assert!(report.completed);
             trace.events_written()
         })

@@ -2,7 +2,7 @@
 //! baseline).
 
 use mis_graphs::generators::Family;
-use radio_netsim::EventKind;
+use radio_netsim::{EventKind, FaultPlan};
 
 /// Which algorithm `mis-sim run` executes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,8 +89,13 @@ pub struct RunOpts {
     pub trials: usize,
     /// Master seed.
     pub seed: u64,
-    /// Channel reception-loss probability.
-    pub loss: f64,
+    /// Fault plan assembled from `--loss`, `--crashes`/`--crash-by`,
+    /// `--jammers`, `--wake-window`, and the `--dormancy*` flags.
+    pub faults: FaultPlan,
+    /// Round cap (`None` = the engine default). Essential under heavy
+    /// faults: a jammed node may never decide, and an uncapped run would
+    /// spin to the default 10⁹-round horizon.
+    pub max_rounds: Option<u64>,
     /// Use the paper's asymptotic constants instead of the calibrated
     /// presets.
     pub paper_constants: bool,
@@ -109,7 +114,8 @@ impl Default for RunOpts {
             graph_path: None,
             trials: 5,
             seed: 0,
-            loss: 0.0,
+            faults: FaultPlan::none(),
+            max_rounds: None,
             paper_constants: false,
             json: false,
             metrics: None,
@@ -130,8 +136,11 @@ pub struct TraceOpts {
     pub graph_path: Option<String>,
     /// Master seed of the (single) traced run.
     pub seed: u64,
-    /// Channel reception-loss probability.
-    pub loss: f64,
+    /// Fault plan assembled from `--loss`, `--crashes`/`--crash-by`,
+    /// `--jammers`, `--wake-window`, and the `--dormancy*` flags.
+    pub faults: FaultPlan,
+    /// Round cap (`None` = the engine default).
+    pub max_rounds: Option<u64>,
     /// Use the paper's asymptotic constants instead of the calibrated
     /// presets.
     pub paper_constants: bool,
@@ -155,7 +164,8 @@ impl Default for TraceOpts {
             n: 256,
             graph_path: None,
             seed: 0,
-            loss: 0.0,
+            faults: FaultPlan::none(),
+            max_rounds: None,
             paper_constants: false,
             events: None,
             nodes: None,
@@ -216,19 +226,30 @@ mis-sim — energy-efficient radio MIS simulator
 
 USAGE:
   mis-sim run    --algorithm <ALG> (--family <FAM> --n <N> | --graph <FILE>)
-                 [--trials <T>] [--seed <S>] [--loss <P>]
+                 [--trials <T>] [--seed <S>] [--max-rounds <R>] [FAULTS]
                  [--paper-constants] [--json] [--metrics <FILE>]
   mis-sim trace  --algorithm <ALG> (--family <FAM> --n <N> | --graph <FILE>)
-                 [--seed <S>] [--loss <P>] [--paper-constants]
+                 [--seed <S>] [--max-rounds <R>] [FAULTS] [--paper-constants]
                  [--events <K,K,..>] [--nodes <V,V,..>]
                  [--from <ROUND>] [--to <ROUND>] [--out <FILE>]
   mis-sim graph  --family <FAM> --n <N> [--seed <S>] [--out <FILE>]
   mis-sim verify --graph <FILE> --set <FILE>
   mis-sim list
 
+FAULTS (radio algorithms only; resolved deterministically from --seed):
+  --loss <P>            per-edge reception-loss probability in [0, 1]
+  --crashes <K>         crash-stop K random nodes ...
+  --crash-by <R>        ... at rounds drawn uniformly from [0, R] (default 0)
+  --jammers <K>         K random nodes become noise jammers for the run
+  --wake-window <W>     random per-node wake-up offsets in [0, W)
+  --dormancy <P>        each node independently gets a dead-radio window
+                        with probability P ...
+  --dormancy-start <R>  ... starting uniformly in [0, R] (default 0)
+  --dormancy-len <L>    ... lasting L rounds (default 8)
+
 `run --metrics` appends one JSON line per (trial, processed round) with the
 channel metrics of that round. `trace` streams the events of a single run
-as JSON Lines; event kinds are acted, fed, status, finished, metrics.
+as JSON Lines; event kinds are acted, fed, status, finished, fault, metrics.
 
 Run `mis-sim list` for the available algorithms and families.";
 
@@ -302,12 +323,97 @@ where
         .map_err(|e| format!("invalid --{key} {value:?}: {e}"))
 }
 
+/// The fault-flag names shared by `run` and `trace`.
+const FAULT_KEYS: [&str; 8] = [
+    "loss",
+    "crashes",
+    "crash-by",
+    "jammers",
+    "wake-window",
+    "dormancy",
+    "dormancy-start",
+    "dormancy-len",
+];
+
+/// Assembles a [`FaultPlan`] from the shared fault flags.
+fn parse_faults(
+    opts: &std::collections::HashMap<String, Option<&str>>,
+) -> Result<FaultPlan, String> {
+    let mut plan = FaultPlan::none();
+    if let Some(Some(v)) = opts.get("loss") {
+        let p: f64 = parse_num(v, "loss")?;
+        if !(0.0..=1.0).contains(&p) {
+            return Err(format!("--loss {p} outside [0, 1]"));
+        }
+        plan = plan.with_loss(p);
+    }
+    let crashes: usize = match opts.get("crashes") {
+        Some(Some(v)) => parse_num(v, "crashes")?,
+        _ => 0,
+    };
+    if crashes > 0 {
+        let by: u64 = match opts.get("crash-by") {
+            Some(Some(v)) => parse_num(v, "crash-by")?,
+            _ => 0,
+        };
+        plan = plan.with_random_crashes(crashes, by);
+    } else if opts.contains_key("crash-by") {
+        return Err("--crash-by requires --crashes".into());
+    }
+    if let Some(Some(v)) = opts.get("jammers") {
+        let k: usize = parse_num(v, "jammers")?;
+        if k > 0 {
+            plan = plan.with_random_jammers(k);
+        }
+    }
+    if let Some(Some(v)) = opts.get("wake-window") {
+        let w: u64 = parse_num(v, "wake-window")?;
+        if w > 0 {
+            plan = plan.with_wake_window(w);
+        }
+    }
+    if let Some(Some(v)) = opts.get("dormancy") {
+        let p: f64 = parse_num(v, "dormancy")?;
+        if !(0.0..=1.0).contains(&p) {
+            return Err(format!("--dormancy {p} outside [0, 1]"));
+        }
+        if p > 0.0 {
+            let start: u64 = match opts.get("dormancy-start") {
+                Some(Some(v)) => parse_num(v, "dormancy-start")?,
+                _ => 0,
+            };
+            let len: u64 = match opts.get("dormancy-len") {
+                Some(Some(v)) => parse_num(v, "dormancy-len")?,
+                _ => 8,
+            };
+            if len == 0 {
+                return Err("--dormancy-len must be ≥ 1".into());
+            }
+            plan = plan.with_dormancy(p, start, len);
+        }
+    } else if opts.contains_key("dormancy-start") || opts.contains_key("dormancy-len") {
+        return Err("--dormancy-start/--dormancy-len require --dormancy".into());
+    }
+    Ok(plan)
+}
+
 fn parse_run(args: &[&str]) -> Result<RunOpts, String> {
     let opts = take_options(args, &["paper-constants", "json"])?;
     for key in opts.keys() {
-        if !["algorithm", "family", "n", "graph", "trials", "seed", "loss",
-             "paper-constants", "json", "metrics"]
-            .contains(&key.as_str())
+        if ![
+            "algorithm",
+            "family",
+            "n",
+            "graph",
+            "trials",
+            "seed",
+            "max-rounds",
+            "paper-constants",
+            "json",
+            "metrics",
+        ]
+        .contains(&key.as_str())
+            && !FAULT_KEYS.contains(&key.as_str())
         {
             return Err(format!("unknown option --{key} for `run`"));
         }
@@ -327,12 +433,10 @@ fn parse_run(args: &[&str]) -> Result<RunOpts, String> {
     if let Some(Some(v)) = opts.get("seed") {
         run.seed = parse_num(v, "seed")?;
     }
-    if let Some(Some(v)) = opts.get("loss") {
-        run.loss = parse_num(v, "loss")?;
-        if !(0.0..=1.0).contains(&run.loss) {
-            return Err(format!("--loss {} outside [0, 1]", run.loss));
-        }
+    if let Some(Some(v)) = opts.get("max-rounds") {
+        run.max_rounds = Some(parse_num(v, "max-rounds")?);
     }
+    run.faults = parse_faults(&opts)?;
     run.paper_constants = opts.contains_key("paper-constants");
     run.json = opts.contains_key("json");
     run.metrics = opts.get("metrics").and_then(|v| v.map(str::to_string));
@@ -359,9 +463,22 @@ fn parse_list<T>(
 fn parse_trace(args: &[&str]) -> Result<TraceOpts, String> {
     let opts = take_options(args, &["paper-constants"])?;
     for key in opts.keys() {
-        if !["algorithm", "family", "n", "graph", "seed", "loss", "paper-constants",
-             "events", "nodes", "from", "to", "out"]
-            .contains(&key.as_str())
+        if ![
+            "algorithm",
+            "family",
+            "n",
+            "graph",
+            "seed",
+            "max-rounds",
+            "paper-constants",
+            "events",
+            "nodes",
+            "from",
+            "to",
+            "out",
+        ]
+        .contains(&key.as_str())
+            && !FAULT_KEYS.contains(&key.as_str())
         {
             return Err(format!("unknown option --{key} for `trace`"));
         }
@@ -378,12 +495,10 @@ fn parse_trace(args: &[&str]) -> Result<TraceOpts, String> {
     if let Some(Some(v)) = opts.get("seed") {
         trace.seed = parse_num(v, "seed")?;
     }
-    if let Some(Some(v)) = opts.get("loss") {
-        trace.loss = parse_num(v, "loss")?;
-        if !(0.0..=1.0).contains(&trace.loss) {
-            return Err(format!("--loss {} outside [0, 1]", trace.loss));
-        }
+    if let Some(Some(v)) = opts.get("max-rounds") {
+        trace.max_rounds = Some(parse_num(v, "max-rounds")?);
     }
+    trace.faults = parse_faults(&opts)?;
     trace.paper_constants = opts.contains_key("paper-constants");
     if let Some(Some(v)) = opts.get("events") {
         trace.events = Some(parse_list(v, "events", EventKind::parse)?);
@@ -453,10 +568,46 @@ mod tests {
                 assert_eq!(r.n, 500);
                 assert_eq!(r.trials, 3);
                 assert_eq!(r.seed, 9);
-                assert!((r.loss - 0.1).abs() < 1e-12);
+                assert!((r.faults.loss - 0.1).abs() < 1e-12);
                 assert!(r.json);
                 assert!(!r.paper_constants);
             }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_fault_flags_into_a_plan() {
+        let cli = parse_ok(
+            "run --algorithm cd --family star --n 16 --loss 0.2 --crashes 3 \
+             --crash-by 40 --jammers 2 --wake-window 8 --dormancy 0.5 \
+             --dormancy-start 10 --dormancy-len 4",
+        );
+        match cli.command {
+            Command::Run(r) => {
+                let f = &r.faults;
+                assert!(!f.is_inert());
+                assert!((f.loss - 0.2).abs() < 1e-12);
+                let rc = f.random_crashes.as_ref().unwrap();
+                assert_eq!((rc.count, rc.by_round), (3, 40));
+                assert_eq!(f.random_jammers, 2);
+                assert_eq!(f.wake, radio_netsim::WakePlan::RandomWindow(8));
+                let d = f.dormancy.as_ref().unwrap();
+                assert!((d.probability - 0.5).abs() < 1e-12);
+                assert_eq!((d.latest_start, d.duration), (10, 4));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Fault flags parse identically on `trace`.
+        let cli = parse_ok("trace --algorithm cd --family star --n 16 --jammers 1");
+        match cli.command {
+            Command::Trace(t) => assert_eq!(t.faults.random_jammers, 1),
+            other => panic!("{other:?}"),
+        }
+        // No fault flags → inert plan.
+        let cli = parse_ok("run --algorithm cd --family star --n 16");
+        match cli.command {
+            Command::Run(r) => assert!(r.faults.is_inert()),
             other => panic!("{other:?}"),
         }
     }
@@ -540,19 +691,59 @@ mod tests {
             let err = parse(&args).unwrap_err();
             assert!(err.contains(needle), "{err:?} missing {needle:?}");
         };
-        check("run --algorithm warp --family star --n 4", "unknown algorithm");
+        check(
+            "run --algorithm warp --family star --n 4",
+            "unknown algorithm",
+        );
         check("run --algorithm cd --family nope --n 4", "unknown family");
-        check("run --algorithm cd --family star", "missing required option --n");
+        check(
+            "run --algorithm cd --family star",
+            "missing required option --n",
+        );
         check("run --algorithm cd --family star --n x", "invalid --n");
-        check("run --algorithm cd --family star --n 4 --loss 2", "outside [0, 1]");
+        check(
+            "run --algorithm cd --family star --n 4 --loss 2",
+            "outside [0, 1]",
+        );
+        check(
+            "run --algorithm cd --family star --n 4 --dormancy 3",
+            "outside [0, 1]",
+        );
+        check(
+            "run --algorithm cd --family star --n 4 --crash-by 5",
+            "requires --crashes",
+        );
+        check(
+            "run --algorithm cd --family star --n 4 --dormancy-len 2",
+            "require --dormancy",
+        );
+        check(
+            "trace --algorithm cd --family star --n 4 --dormancy 0.5 --dormancy-len 0",
+            "must be ≥ 1",
+        );
         check("run --algorithm cd --family star --n 4 --trials 0", "≥ 1");
         check("frobnicate", "unknown subcommand");
         check("list --extra x", "takes no options");
-        check("run --algorithm cd --family star --n 4 --bogus 1", "unknown option");
-        check("trace --algorithm cd --family star --n 4 --events warp", "unknown event kind");
-        check("trace --algorithm cd --family star --n 4 --nodes 1,x", "invalid --nodes");
-        check("trace --algorithm cd --family star --n 4 --from 9 --to 3", "below");
-        check("trace --algorithm cd --family star --n 4 --bogus 1", "unknown option");
+        check(
+            "run --algorithm cd --family star --n 4 --bogus 1",
+            "unknown option",
+        );
+        check(
+            "trace --algorithm cd --family star --n 4 --events warp",
+            "unknown event kind",
+        );
+        check(
+            "trace --algorithm cd --family star --n 4 --nodes 1,x",
+            "invalid --nodes",
+        );
+        check(
+            "trace --algorithm cd --family star --n 4 --from 9 --to 3",
+            "below",
+        );
+        check(
+            "trace --algorithm cd --family star --n 4 --bogus 1",
+            "unknown option",
+        );
     }
 
     #[test]

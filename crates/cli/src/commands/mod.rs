@@ -66,7 +66,14 @@ mod tests {
     #[test]
     fn list_mentions_everything() {
         let text = super::list_text();
-        for needle in ["cd", "nocd", "low-degree", "gnp-d8", "lowerbound", "congest-ghaffari"] {
+        for needle in [
+            "cd",
+            "nocd",
+            "low-degree",
+            "gnp-d8",
+            "lowerbound",
+            "congest-ghaffari",
+        ] {
             assert!(text.contains(needle), "missing {needle}");
         }
     }

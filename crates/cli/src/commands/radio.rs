@@ -23,10 +23,9 @@ pub fn radio_channel(alg: Algorithm) -> Option<ChannelModel> {
         Algorithm::Cd | Algorithm::NaiveLuby => Some(ChannelModel::Cd),
         Algorithm::Beeping => Some(ChannelModel::Beeping),
         Algorithm::BeepingNative => Some(ChannelModel::BeepingSenderCd),
-        Algorithm::NoCd
-        | Algorithm::LowDegree
-        | Algorithm::NoCdNaive
-        | Algorithm::UnknownDelta => Some(ChannelModel::NoCd),
+        Algorithm::NoCd | Algorithm::LowDegree | Algorithm::NoCdNaive | Algorithm::UnknownDelta => {
+            Some(ChannelModel::NoCd)
+        }
         Algorithm::CongestLuby | Algorithm::CongestGhaffari => None,
     }
 }
@@ -141,8 +140,7 @@ mod tests {
                 continue;
             };
             let config = SimConfig::new(channel).with_seed(7);
-            let report =
-                run_radio_traced(&g, alg, config, false, &mut NullTrace).unwrap();
+            let report = run_radio_traced(&g, alg, config, false, &mut NullTrace).unwrap();
             assert!(report.is_correct_mis(&g), "{} failed", alg.label());
         }
     }

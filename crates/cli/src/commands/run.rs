@@ -6,7 +6,7 @@ use congest_sim::{CongestSim, GhaffariCongest, LubyCongest};
 use mis_graphs::{io, mis, Graph};
 use mis_stats::table::fmt_num;
 use mis_stats::{Summary, Table};
-use radio_netsim::{split_seed, NullTrace, RoundMetrics, SimConfig};
+use radio_netsim::{split_seed, FaultPlan, NullTrace, RoundMetrics, SimConfig};
 use serde::Serialize;
 use std::io::Write as _;
 
@@ -43,10 +43,9 @@ fn channel_of(alg: Algorithm) -> &'static str {
         Algorithm::Cd | Algorithm::NaiveLuby => "CD",
         Algorithm::Beeping => "beeping",
         Algorithm::BeepingNative => "beeping+senderCD",
-        Algorithm::NoCd
-        | Algorithm::LowDegree
-        | Algorithm::NoCdNaive
-        | Algorithm::UnknownDelta => "no-CD",
+        Algorithm::NoCd | Algorithm::LowDegree | Algorithm::NoCdNaive | Algorithm::UnknownDelta => {
+            "no-CD"
+        }
         Algorithm::CongestLuby | Algorithm::CongestGhaffari => "wired CONGEST",
     }
 }
@@ -57,14 +56,17 @@ fn radio_trial(
     g: &Graph,
     alg: Algorithm,
     seed: u64,
-    loss: f64,
+    faults: &FaultPlan,
+    max_rounds: Option<u64>,
     paper: bool,
     collect_metrics: bool,
 ) -> ((bool, usize, u64, f64, u64), Vec<RoundMetrics>) {
     let channel = radio_channel(alg).expect("congest algorithms handled by caller");
-    let mut config = SimConfig::new(channel).with_seed(seed);
-    if loss > 0.0 {
-        config = config.with_loss_probability(loss);
+    let mut config = SimConfig::new(channel)
+        .with_seed(seed)
+        .with_faults(faults.clone());
+    if let Some(cap) = max_rounds {
+        config = config.with_max_rounds(cap);
     }
     if collect_metrics {
         config = config.with_round_metrics();
@@ -92,10 +94,7 @@ struct MetricsRow<'a> {
     metrics: &'a RoundMetrics,
 }
 
-fn write_metrics_jsonl(
-    path: &str,
-    timelines: &[Vec<RoundMetrics>],
-) -> Result<(), String> {
+fn write_metrics_jsonl(path: &str, timelines: &[Vec<RoundMetrics>]) -> Result<(), String> {
     let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
     let mut w = std::io::BufWriter::new(file);
     let io_err = |e: std::io::Error| format!("cannot write {path}: {e}");
@@ -136,8 +135,8 @@ fn congest_trial(g: &Graph, alg: Algorithm, seed: u64) -> (bool, usize, u64, f64
 pub fn execute(opts: &RunOpts) -> Result<String, String> {
     let graph = match &opts.graph_path {
         Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             io::from_text(&text).map_err(|e| format!("cannot parse {path}: {e}"))?
         }
         None => opts.family.generate(opts.n, opts.seed),
@@ -146,8 +145,8 @@ pub fn execute(opts: &RunOpts) -> Result<String, String> {
         opts.algorithm,
         Algorithm::CongestLuby | Algorithm::CongestGhaffari
     );
-    if is_congest && opts.loss > 0.0 {
-        return Err("--loss applies only to radio algorithms".into());
+    if is_congest && !opts.faults.is_inert() {
+        return Err("fault injection (--loss/--crashes/--jammers/--wake-window/--dormancy) applies only to radio algorithms".into());
     }
     if is_congest && opts.metrics.is_some() {
         return Err("--metrics applies only to radio algorithms".into());
@@ -166,7 +165,8 @@ pub fn execute(opts: &RunOpts) -> Result<String, String> {
                     &graph,
                     alg,
                     seed,
-                    opts.loss,
+                    &opts.faults,
+                    opts.max_rounds,
                     opts.paper_constants,
                     opts.metrics.is_some(),
                 );
@@ -195,16 +195,11 @@ pub fn execute(opts: &RunOpts) -> Result<String, String> {
         graph_nodes: graph.len(),
         graph_edges: graph.edge_count(),
         graph_max_degree: graph.max_degree(),
-        success_rate: rows.iter().filter(|r| r.correct).count() as f64
-            / rows.len().max(1) as f64,
-        energy_max_mean: Summary::of(
-            &rows.iter().map(|r| r.energy_max as f64).collect::<Vec<_>>(),
-        )
-        .mean,
-        energy_avg_mean: Summary::of(&rows.iter().map(|r| r.energy_avg).collect::<Vec<_>>())
+        success_rate: rows.iter().filter(|r| r.correct).count() as f64 / rows.len().max(1) as f64,
+        energy_max_mean: Summary::of(&rows.iter().map(|r| r.energy_max as f64).collect::<Vec<_>>())
             .mean,
-        rounds_mean: Summary::of(&rows.iter().map(|r| r.rounds as f64).collect::<Vec<_>>())
-            .mean,
+        energy_avg_mean: Summary::of(&rows.iter().map(|r| r.energy_avg).collect::<Vec<_>>()).mean,
+        rounds_mean: Summary::of(&rows.iter().map(|r| r.rounds as f64).collect::<Vec<_>>()).mean,
         trials: rows,
     };
 
@@ -219,11 +214,22 @@ pub fn execute(opts: &RunOpts) -> Result<String, String> {
         summary.graph_edges,
         summary.graph_max_degree
     );
-    let mut table = Table::new(["trial", "MIS?", "|MIS|", "energy(max)", "energy(avg)", "rounds"]);
+    let mut table = Table::new([
+        "trial",
+        "MIS?",
+        "|MIS|",
+        "energy(max)",
+        "energy(avg)",
+        "rounds",
+    ]);
     for r in &summary.trials {
         table.push_row([
             r.trial.to_string(),
-            if r.correct { "✓".into() } else { "✗".to_string() },
+            if r.correct {
+                "✓".into()
+            } else {
+                "✗".to_string()
+            },
             r.mis_size.to_string(),
             r.energy_max.to_string(),
             fmt_num(r.energy_avg),
@@ -278,13 +284,34 @@ mod tests {
     }
 
     #[test]
-    fn rejects_loss_on_congest() {
+    fn rejects_faults_on_congest() {
         let opts = RunOpts {
             algorithm: Algorithm::CongestLuby,
-            loss: 0.1,
+            faults: FaultPlan::none().with_loss(0.1),
             ..RunOpts::default()
         };
         assert!(execute(&opts).unwrap_err().contains("radio"));
+        let opts = RunOpts {
+            algorithm: Algorithm::CongestLuby,
+            faults: FaultPlan::none().with_random_jammers(1),
+            ..RunOpts::default()
+        };
+        assert!(execute(&opts).unwrap_err().contains("radio"));
+    }
+
+    #[test]
+    fn faulty_run_degrades_but_executes() {
+        // A heavy jammer load on a small clique-ish graph: the run must
+        // execute end-to-end and report per-trial outcomes either way.
+        let opts = RunOpts {
+            n: 32,
+            trials: 2,
+            faults: FaultPlan::none().with_random_crashes(4, 16).with_loss(0.2),
+            max_rounds: Some(100_000),
+            ..RunOpts::default()
+        };
+        let out = execute(&opts).unwrap();
+        assert!(out.contains("success"), "{out}");
     }
 
     #[test]

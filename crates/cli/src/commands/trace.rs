@@ -15,8 +15,8 @@ use std::io::Write;
 pub fn execute(opts: &TraceOpts) -> Result<String, String> {
     let graph = match &opts.graph_path {
         Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             io::from_text(&text).map_err(|e| format!("cannot parse {path}: {e}"))?
         }
         None => opts.family.generate(opts.n, opts.seed),
@@ -27,9 +27,11 @@ pub fn execute(opts: &TraceOpts) -> Result<String, String> {
             opts.algorithm.label()
         )
     })?;
-    let mut config = SimConfig::new(channel).with_seed(opts.seed);
-    if opts.loss > 0.0 {
-        config = config.with_loss_probability(opts.loss);
+    let mut config = SimConfig::new(channel)
+        .with_seed(opts.seed)
+        .with_faults(opts.faults.clone());
+    if let Some(cap) = opts.max_rounds {
+        config = config.with_max_rounds(cap);
     }
 
     match &opts.out {
@@ -73,7 +75,13 @@ fn trace_to<W: Write>(
     if opts.from.is_some() || opts.to.is_some() {
         sink = sink.with_rounds(opts.from.unwrap_or(0)..opts.to.unwrap_or(u64::MAX));
     }
-    let report = run_radio_traced(graph, opts.algorithm, config, opts.paper_constants, &mut sink)?;
+    let report = run_radio_traced(
+        graph,
+        opts.algorithm,
+        config,
+        opts.paper_constants,
+        &mut sink,
+    )?;
     let jsonl = sink.into_inner();
     let written = jsonl.events_written();
     let writer = jsonl
@@ -152,5 +160,27 @@ mod tests {
     fn rejects_congest_algorithms() {
         let err = execute(&small(Algorithm::CongestGhaffari)).unwrap_err();
         assert!(err.contains("radio"), "{err}");
+    }
+
+    #[test]
+    fn fault_events_appear_in_the_stream() {
+        use radio_netsim::FaultPlan;
+        let mut opts = small(Algorithm::Cd);
+        opts.faults = FaultPlan::none().with_random_jammers(2).with_loss(0.1);
+        // Nodes bordering a jammer can never decide in the CD model; cap
+        // the run so the trace terminates.
+        opts.max_rounds = Some(400);
+        opts.events = Some(vec![EventKind::Fault]);
+        let out = execute(&opts).unwrap();
+        // Two jammers announce themselves up-front.
+        let mut jams = 0;
+        for line in out.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert_eq!(v["event"], "Fault", "{line}");
+            if v["fault"] == "Jam" {
+                jams += 1;
+            }
+        }
+        assert_eq!(jams, 2);
     }
 }

@@ -14,8 +14,8 @@ pub fn execute(opts: &VerifyOpts) -> Result<String, String> {
     let text = std::fs::read_to_string(&opts.graph)
         .map_err(|e| format!("cannot read {}: {e}", opts.graph))?;
     let g = io::from_text(&text).map_err(|e| format!("cannot parse {}: {e}", opts.graph))?;
-    let set_text = std::fs::read_to_string(&opts.set)
-        .map_err(|e| format!("cannot read {}: {e}", opts.set))?;
+    let set_text =
+        std::fs::read_to_string(&opts.set).map_err(|e| format!("cannot read {}: {e}", opts.set))?;
     let mut mask = vec![false; g.len()];
     for (idx, raw) in set_text.lines().enumerate() {
         let line = raw.trim();

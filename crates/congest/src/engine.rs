@@ -305,7 +305,9 @@ mod tests {
             }
         }
         let g = generators::empty(1);
-        let report = CongestSim::new(&g, 1).with_max_rounds(10).run(|_, _| Forever);
+        let report = CongestSim::new(&g, 1)
+            .with_max_rounds(10)
+            .run(|_, _| Forever);
         assert!(!report.completed);
         assert_eq!(report.rounds, 10);
     }

@@ -173,8 +173,7 @@ mod tests {
     #[test]
     fn awake_complexity_logarithmic() {
         let g = generators::gnp(1000, 0.01, 6);
-        let report =
-            CongestSim::new(&g, 2).run(|_, _| GhaffariCongest::new(1000, g.max_degree()));
+        let report = CongestSim::new(&g, 2).run(|_, _| GhaffariCongest::new(1000, g.max_degree()));
         assert!(report.is_correct_mis(&g));
         let log = (1000f64).log2();
         assert!(

@@ -64,7 +64,10 @@ impl std::error::Error for AppError {}
 ///
 /// Returns [`AppError::MisFailed`] if the MIS run fails verification
 /// (probability 1/poly of the parameter n).
-pub fn maximal_matching(g: &Graph, seed: u64) -> Result<AppReport<Vec<(NodeId, NodeId)>>, AppError> {
+pub fn maximal_matching(
+    g: &Graph,
+    seed: u64,
+) -> Result<AppReport<Vec<(NodeId, NodeId)>>, AppError> {
     let (lg, edge_of) = g.line_graph();
     if lg.is_empty() {
         return Ok(AppReport {

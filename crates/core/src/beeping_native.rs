@@ -172,8 +172,11 @@ mod tests {
 
     fn run_native(g: &mis_graphs::Graph, seed: u64) -> radio_netsim::RunReport {
         let params = BeepingParams::for_n((4 * g.len()).max(64));
-        Simulator::new(g, SimConfig::new(ChannelModel::BeepingSenderCd).with_seed(seed))
-            .run(|_, _| NativeBeepingMis::new(params))
+        Simulator::new(
+            g,
+            SimConfig::new(ChannelModel::BeepingSenderCd).with_seed(seed),
+        )
+        .run(|_, _| NativeBeepingMis::new(params))
     }
 
     #[test]
@@ -238,13 +241,15 @@ mod tests {
         let params = BeepingParams::for_n(64);
         let mut violations = 0;
         for seed in 0..5 {
-            let report =
-                Simulator::new(&g, SimConfig::new(ChannelModel::Beeping).with_seed(seed))
-                    .run(|_, _| NativeBeepingMis::new(params));
+            let report = Simulator::new(&g, SimConfig::new(ChannelModel::Beeping).with_seed(seed))
+                .run(|_, _| NativeBeepingMis::new(params));
             if !mis_graphs::mis::is_independent(&g, &report.mis_mask()) {
                 violations += 1;
             }
         }
-        assert!(violations > 0, "expected independence violations without sender CD");
+        assert!(
+            violations > 0,
+            "expected independence violations without sender CD"
+        );
     }
 }

@@ -261,7 +261,10 @@ mod tests {
         }
         // A node with at least one 0-bit must have committed.
         if c.committed_at_bit().is_some() {
-            assert!(matches!(c.outcome(), CompetitionOutcome::Win { committed: true }));
+            assert!(matches!(
+                c.outcome(),
+                CompetitionOutcome::Win { committed: true }
+            ));
         }
     }
 

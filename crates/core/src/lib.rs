@@ -60,4 +60,3 @@ pub mod unknown_delta;
 
 pub use cd::CdMis;
 pub use nocd::NoCdMis;
-

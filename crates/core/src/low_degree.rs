@@ -258,7 +258,9 @@ impl LowDegreeInstance {
         let (g, sec, off) = self.locate(round);
         self.sync(g, sec, rng);
         match self.status {
-            LdStatus::OutMis => Action::Sleep { wake_at: self.end() },
+            LdStatus::OutMis => Action::Sleep {
+                wake_at: self.end(),
+            },
             LdStatus::InMis => self.act_in_mis(round, g, sec, rng),
             LdStatus::Active => self.act_active(round, g, sec, off, rng),
         }
@@ -316,7 +318,14 @@ impl LowDegreeInstance {
     }
 
     /// Active nodes: mark exchange / listen for MIS / degree probes.
-    fn act_active(&mut self, round: u64, g: u64, sec: Section, off: u64, rng: &mut NodeRng) -> Action {
+    fn act_active(
+        &mut self,
+        round: u64,
+        g: u64,
+        sec: Section,
+        off: u64,
+        rng: &mut NodeRng,
+    ) -> Action {
         match sec {
             Section::Mark => {
                 if !self.marked || self.heard_mark {

@@ -80,7 +80,9 @@ impl Protocol for RandomStrategy {
                 Action::Listen
             }
         } else {
-            Action::Sleep { wake_at: _round + 1 }
+            Action::Sleep {
+                wake_at: _round + 1,
+            }
         }
     }
 
@@ -203,9 +205,8 @@ impl<P: Protocol> Protocol for EnergyCapped<P> {
 /// Panics if `statuses.len() < 2 * pairs`.
 pub fn some_pair_both_joined(statuses: &[NodeStatus], pairs: usize) -> bool {
     assert!(statuses.len() >= 2 * pairs, "status vector too short");
-    (0..pairs).any(|i| {
-        statuses[2 * i] == NodeStatus::InMis && statuses[2 * i + 1] == NodeStatus::InMis
-    })
+    (0..pairs)
+        .any(|i| statuses[2 * i] == NodeStatus::InMis && statuses[2 * i + 1] == NodeStatus::InMis)
 }
 
 /// Theorem 1's closed-form failure floor: 1 − e^(−n/4^(b+1)).

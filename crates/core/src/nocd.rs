@@ -413,9 +413,7 @@ impl Protocol for NoCdMis {
             // current machine (Figure 2's color coding).
             match &self.machine {
                 Some(Machine::Comp(_)) => self.breakdown.competition += 1,
-                Some(Machine::Rec(_, Sect::Deep1 | Sect::Deep2)) => {
-                    self.breakdown.deep_checks += 1
-                }
+                Some(Machine::Rec(_, Sect::Deep1 | Sect::Deep2)) => self.breakdown.deep_checks += 1,
                 Some(Machine::Rec(_, Sect::Shallow)) => self.breakdown.shallow_checks += 1,
                 Some(Machine::Ld(_)) => self.breakdown.low_degree += 1,
                 // Snd machines only exist for in-MIS announcements.
@@ -545,13 +543,14 @@ mod tests {
                 self.inner.finished()
             }
         }
-        let report = Simulator::new(&g, SimConfig::new(ChannelModel::NoCd).with_seed(3)).run(
-            |v, _| Harvest {
-                inner: NoCdMis::new(params),
-                id: v,
-                cell: &cell,
-            },
-        );
+        let report =
+            Simulator::new(&g, SimConfig::new(ChannelModel::NoCd).with_seed(3)).run(|v, _| {
+                Harvest {
+                    inner: NoCdMis::new(params),
+                    id: v,
+                    cell: &cell,
+                }
+            });
         assert!(report.is_correct_mis(&g));
         let histories = cell.into_inner().unwrap();
         // Some node ran a competition, and at most one node per phase can
@@ -598,13 +597,14 @@ mod tests {
                 self.inner.finished()
             }
         }
-        let report = Simulator::new(&g, SimConfig::new(ChannelModel::NoCd).with_seed(4)).run(
-            |v, _| Harvest {
-                inner: NoCdMis::new(params),
-                id: v,
-                cell: &cell,
-            },
-        );
+        let report =
+            Simulator::new(&g, SimConfig::new(ChannelModel::NoCd).with_seed(4)).run(|v, _| {
+                Harvest {
+                    inner: NoCdMis::new(params),
+                    id: v,
+                    cell: &cell,
+                }
+            });
         assert!(report.is_correct_mis(&g));
         let breakdowns = cell.into_inner().unwrap();
         for (v, b) in breakdowns.iter().enumerate() {
@@ -618,15 +618,15 @@ mod tests {
         }
         // Across the run, the competition and at least one check component
         // must show up.
-        let sum = breakdowns.iter().fold(EnergyBreakdown::default(), |acc, b| {
-            EnergyBreakdown {
+        let sum = breakdowns
+            .iter()
+            .fold(EnergyBreakdown::default(), |acc, b| EnergyBreakdown {
                 competition: acc.competition + b.competition,
                 deep_checks: acc.deep_checks + b.deep_checks,
                 low_degree: acc.low_degree + b.low_degree,
                 shallow_checks: acc.shallow_checks + b.shallow_checks,
                 announcements: acc.announcements + b.announcements,
-            }
-        });
+            });
         assert!(sum.competition > 0);
         assert!(sum.deep_checks > 0);
         assert!(sum.announcements > 0);

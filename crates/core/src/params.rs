@@ -38,13 +38,21 @@ pub struct CdParams {
 impl CdParams {
     /// The paper's asymptotic-regime constants (β = 4, C = 4).
     pub fn paper(n: usize) -> CdParams {
-        CdParams { n, beta: 4.0, c: 4.0 }
+        CdParams {
+            n,
+            beta: 4.0,
+            c: 4.0,
+        }
     }
 
     /// Calibrated experiment preset (β = 2, C = 4): succeeds with high
     /// empirical probability for n up to ~10⁶ while keeping runs short.
     pub fn for_n(n: usize) -> CdParams {
-        CdParams { n, beta: 2.0, c: 4.0 }
+        CdParams {
+            n,
+            beta: 2.0,
+            c: 4.0,
+        }
     }
 
     /// Number of rank bits per Luby phase: ⌈β·log₂ n⌉ (Algorithm 1 line 3).

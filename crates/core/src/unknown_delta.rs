@@ -338,8 +338,8 @@ mod tests {
                 delta: guess,
                 ..template
             };
-            expected += params.total_rounds()
-                + audit_iters * crate::backoff::backoff_window(guess) as u64;
+            expected +=
+                params.total_rounds() + audit_iters * crate::backoff::backoff_window(guess) as u64;
         }
         assert_eq!(node.total_rounds(), expected);
     }

@@ -3,9 +3,7 @@
 //! forward, and account for exactly the awake rounds the lemmas claim.
 
 use proptest::prelude::*;
-use radio_mis::backoff::{
-    backoff_window, DecayReceiver, DecaySender, RecEBackoff, SndEBackoff,
-};
+use radio_mis::backoff::{backoff_window, DecayReceiver, DecaySender, RecEBackoff, SndEBackoff};
 use radio_mis::competition::Competition;
 use radio_mis::low_degree::LowDegreeInstance;
 use radio_mis::params::{LowDegreeParams, NoCdParams};

@@ -111,7 +111,9 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
     chart.push_series("energy-capped Algorithm 1", capped_curve);
     chart.push_series(
         "Thm 1 floor (best strategy)",
-        budgets.iter().map(|&b| (b as f64, theorem1_failure_floor(n, b))),
+        budgets
+            .iter()
+            .map(|&b| (b as f64, theorem1_failure_floor(n, b))),
     );
 
     ExperimentOutput {
@@ -148,6 +150,9 @@ mod tests {
         assert!(!out.sections[0].table.is_empty());
         // The findings mention a threshold (budgets reach 2.5·log n, far
         // past the ½·log n bound).
-        assert!(out.findings.iter().any(|f| f.contains("drops below") || f.contains("stayed")));
+        assert!(out
+            .findings
+            .iter()
+            .any(|f| f.contains("drops below") || f.contains("stayed")));
     }
 }

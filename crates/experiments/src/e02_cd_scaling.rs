@@ -45,10 +45,7 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
             format!("{} ± {}", fmt_num(es.mean), fmt_num(es.ci95)),
             fmt_num(es.max),
             fmt_num(rs.mean),
-            pct(
-                set.outcomes.iter().filter(|o| o.correct).count(),
-                set.len(),
-            ),
+            pct(set.outcomes.iter().filter(|o| o.correct).count(), set.len()),
         ]);
         energy_means.push(es.mean);
         round_means.push(rs.mean);
@@ -70,15 +67,15 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
     );
     energy_chart.push_series(
         format!("fit {:.2}*log2 n + {:.1}", log_fit.slope, log_fit.intercept),
-        nsf.iter()
-            .map(|&n| (n, log_fit.intercept + log_fit.slope * GrowthModel::LogN.eval(n))),
+        nsf.iter().map(|&n| {
+            (
+                n,
+                log_fit.intercept + log_fit.slope * GrowthModel::LogN.eval(n),
+            )
+        }),
     );
-    let mut rounds_chart = LineChart::new(
-        "Algorithm 1 (CD): rounds vs n",
-        "n (log scale)",
-        "rounds",
-    )
-    .with_log_x();
+    let mut rounds_chart =
+        LineChart::new("Algorithm 1 (CD): rounds vs n", "n (log scale)", "rounds").with_log_x();
     rounds_chart.push_series(
         "measured mean",
         nsf.iter().copied().zip(round_means.iter().copied()),
@@ -98,7 +95,11 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
         Family::LowerBound,
         Family::Empty,
     ] {
-        let n = if fam == Family::Clique { n_fam.min(512) } else { n_fam };
+        let n = if fam == Family::Clique {
+            n_fam.min(512)
+        } else {
+            n_fam
+        };
         let g = fam.generate(n, cfg.seed ^ 0xFA);
         let params = CdParams::for_n(n);
         let set = run_trials(
@@ -112,10 +113,7 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
             g.max_degree().to_string(),
             fmt_num(Summary::of(&set.energies()).mean),
             fmt_num(Summary::of(&set.rounds()).mean),
-            pct(
-                set.outcomes.iter().filter(|o| o.correct).count(),
-                set.len(),
-            ),
+            pct(set.outcomes.iter().filter(|o| o.correct).count(), set.len()),
         ]);
     }
 

@@ -48,10 +48,7 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
             fmt_num(es.max),
             fmt_num(rs.mean),
             params.total_rounds().to_string(),
-            pct(
-                set.outcomes.iter().filter(|o| o.correct).count(),
-                set.len(),
-            ),
+            pct(set.outcomes.iter().filter(|o| o.correct).count(), set.len()),
         ]);
         nsf.push(n as f64);
         energy_means.push(es.mean);
@@ -110,8 +107,8 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
         "cum. energy / n",
     ]);
     for quarter in [0.25, 0.5, 0.75, 1.0] {
-        let idx = ((timeline.len() as f64 * quarter) as usize)
-            .min(timeline.len().saturating_sub(1));
+        let idx =
+            ((timeline.len() as f64 * quarter) as usize).min(timeline.len().saturating_sub(1));
         let Some(m) = timeline.get(idx) else { continue };
         energy_table.push_row([
             format!("{quarter:.2}"),

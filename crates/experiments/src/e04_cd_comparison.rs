@@ -19,10 +19,7 @@ fn row_stats(set: &TrialSet) -> (String, String, String, String) {
         fmt_num(Summary::of(&set.energies()).mean),
         fmt_num(Summary::of(&set.avg_energies()).mean),
         fmt_num(Summary::of(&set.rounds()).mean),
-        pct(
-            set.outcomes.iter().filter(|o| o.correct).count(),
-            set.len(),
-        ),
+        pct(set.outcomes.iter().filter(|o| o.correct).count(), set.len()),
     )
 }
 

@@ -22,10 +22,7 @@ fn stats(set: &TrialSet) -> (String, String, String, String) {
         fmt_num(Summary::of(&set.energies()).mean),
         fmt_num(Summary::of(&set.avg_energies()).mean),
         fmt_num(Summary::of(&set.rounds()).mean),
-        pct(
-            set.outcomes.iter().filter(|o| o.correct).count(),
-            set.len(),
-        ),
+        pct(set.outcomes.iter().filter(|o| o.correct).count(), set.len()),
     )
 }
 

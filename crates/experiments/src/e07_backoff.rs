@@ -14,8 +14,7 @@ use mis_stats::table::fmt_num;
 use mis_stats::{Summary, Table};
 use radio_mis::backoff::{backoff_window, RecEBackoff, SndEBackoff};
 use radio_netsim::{
-    split_seed, Action, ChannelModel, Feedback, NodeRng, NodeStatus, Protocol, SimConfig,
-    Simulator,
+    split_seed, Action, ChannelModel, Feedback, NodeRng, NodeStatus, Protocol, SimConfig, Simulator,
 };
 use rayon::prelude::*;
 
@@ -69,8 +68,16 @@ impl Protocol for BackoffNode {
 pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
     let delta = 1usize << 10;
     let trials = cfg.trials(200);
-    let ks: &[u32] = if cfg.quick { &[1, 4, 8] } else { &[1, 2, 4, 8, 16, 24] };
-    let ds: &[usize] = if cfg.quick { &[1, 8] } else { &[1, 2, 8, 64, 512] };
+    let ks: &[u32] = if cfg.quick {
+        &[1, 4, 8]
+    } else {
+        &[1, 2, 4, 8, 16, 24]
+    };
+    let ds: &[usize] = if cfg.quick {
+        &[1, 8]
+    } else {
+        &[1, 2, 8, 64, 512]
+    };
 
     let mut success_table = Table::new(["senders d", "k", "detection rate", "Lemma 9 bound"]);
     let mut energy_table = Table::new([
@@ -87,19 +94,18 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
             let outcomes: Vec<(bool, u64, u64)> = (0..trials)
                 .into_par_iter()
                 .map(|t| {
-                    let seed = split_seed(cfg.seed, ((d as u64) << 40) ^ ((k as u64) << 20) ^ t as u64);
+                    let seed =
+                        split_seed(cfg.seed, ((d as u64) << 40) ^ ((k as u64) << 20) ^ t as u64);
                     let report =
-                        Simulator::new(&g, SimConfig::new(ChannelModel::NoCd).with_seed(seed))
-                            .run(|v, rng| {
+                        Simulator::new(&g, SimConfig::new(ChannelModel::NoCd).with_seed(seed)).run(
+                            |v, rng| {
                                 if v == 0 {
-                                    BackoffNode::Rec(
-                                        RecEBackoff::new(0, k, delta, delta),
-                                        false,
-                                    )
+                                    BackoffNode::Rec(RecEBackoff::new(0, k, delta, delta), false)
                                 } else {
                                     BackoffNode::Snd(SndEBackoff::new(0, k, delta, rng), false)
                                 }
-                            });
+                            },
+                        );
                     let heard = report.statuses[0] == NodeStatus::InMis;
                     let sender_awake = if d > 0 { report.meters[1].energy() } else { 0 };
                     (heard, report.meters[0].energy(), sender_awake)

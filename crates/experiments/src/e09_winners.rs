@@ -104,6 +104,10 @@ mod tests {
     #[test]
     fn quick_run_no_adjacent_winners() {
         let out = run(&ExpConfig::quick(17));
-        assert!(out.findings[0].contains("pairs observed: 0"), "{}", out.findings[0]);
+        assert!(
+            out.findings[0].contains("pairs observed: 0"),
+            "{}",
+            out.findings[0]
+        );
     }
 }

@@ -52,10 +52,7 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
             fmt_num(rs.mean),
             params.total_rounds().to_string(),
             fmt_num(es.mean),
-            pct(
-                set.outcomes.iter().filter(|o| o.correct).count(),
-                set.len(),
-            ),
+            pct(set.outcomes.iter().filter(|o| o.correct).count(), set.len()),
         ]);
         ws.push(backoff_window(d) as f64);
         rounds_means.push(rs.mean);
@@ -68,8 +65,14 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
         "rounds / energy (log scale)",
     )
     .with_log_y();
-    chart.push_series("rounds (mean)", ws.iter().copied().zip(rounds_means.iter().copied()));
-    chart.push_series("max energy (mean)", ws.iter().copied().zip(energy_means.iter().copied()));
+    chart.push_series(
+        "rounds (mean)",
+        ws.iter().copied().zip(rounds_means.iter().copied()),
+    );
+    chart.push_series(
+        "max energy (mean)",
+        ws.iter().copied().zip(energy_means.iter().copied()),
+    );
     let energy_growth = energy_means.last().unwrap_or(&1.0) / energy_means.first().unwrap_or(&1.0);
     let round_growth = rounds_means.last().unwrap_or(&1.0) / rounds_means.first().unwrap_or(&1.0);
 

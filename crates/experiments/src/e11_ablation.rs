@@ -81,10 +81,7 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
             fmt_num(e),
             fmt_num(Summary::of(&set.avg_energies()).mean),
             fmt_num(Summary::of(&set.rounds()).mean),
-            pct(
-                set.outcomes.iter().filter(|o| o.correct).count(),
-                set.len(),
-            ),
+            pct(set.outcomes.iter().filter(|o| o.correct).count(), set.len()),
         ]);
     }
     let full_e = energies[0].1;
@@ -107,9 +104,7 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
                 "upgrading the shallow check to a deep check multiplies max energy by \
                  {deep_ratio:.2}×"
             ),
-            format!(
-                "disabling the Δ_est reduction multiplies max energy by {nored_ratio:.2}×"
-            ),
+            format!("disabling the Δ_est reduction multiplies max energy by {nored_ratio:.2}×"),
         ],
         charts: Vec::new(),
     }

@@ -18,18 +18,14 @@ use radio_netsim::{run_trials, ChannelModel, SimConfig};
 pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
     let n = if cfg.quick { 128 } else { 512 };
     let trials = cfg.trials(9);
-    let mut table = Table::new([
-        "graph",
-        "Δ",
-        "variant",
-        "energy(max)",
-        "rounds",
-        "success",
-    ]);
+    let mut table = Table::new(["graph", "Δ", "variant", "energy(max)", "rounds", "success"]);
     let mut energy_ratios = Vec::new();
     let mut round_ratios = Vec::new();
     let graphs = vec![
-        ("gnp-d8".to_string(), Family::GnpAvgDegree(8).generate(n, cfg.seed ^ 0x12)),
+        (
+            "gnp-d8".to_string(),
+            Family::GnpAvgDegree(8).generate(n, cfg.seed ^ 0x12),
+        ),
         ("star".to_string(), generators::star(n)),
     ];
     for (label, g) in &graphs {
@@ -55,10 +51,7 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
                 name.to_string(),
                 fmt_num(Summary::of(&set.energies()).mean),
                 fmt_num(Summary::of(&set.rounds()).mean),
-                pct(
-                    set.outcomes.iter().filter(|o| o.correct).count(),
-                    set.len(),
-                ),
+                pct(set.outcomes.iter().filter(|o| o.correct).count(), set.len()),
             ]);
         }
         let ke = Summary::of(&known.energies()).mean.max(1e-9);
@@ -79,10 +72,7 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
                 energy and an O(1) factor in rounds."
             .into(),
         sections: vec![Section {
-            caption: format!(
-                "n = {n}, guesses {:?}, {trials} trials per cell",
-                guesses
-            ),
+            caption: format!("n = {n}, guesses {:?}, {trials} trials per cell", guesses),
             table,
         }],
         findings: vec![

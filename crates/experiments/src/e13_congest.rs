@@ -68,7 +68,10 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
         "max awake rounds (mean)",
     )
     .with_log_x();
-    for (alg, pts) in [("Luby", curves.remove("Luby")), ("Ghaffari", curves.remove("Ghaffari"))] {
+    for (alg, pts) in [
+        ("Luby", curves.remove("Luby")),
+        ("Ghaffari", curves.remove("Ghaffari")),
+    ] {
         if let Some(pts) = pts {
             chart.push_series(alg, pts);
         }

@@ -76,13 +76,8 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
                 let (_, at_max) = component_stats(&inst.breakdowns, pick);
                 agg[i] += at_max as f64 / trials as f64;
             }
-            total_max += inst
-                .breakdowns
-                .iter()
-                .map(|b| b.total())
-                .max()
-                .unwrap_or(0) as f64
-                / trials as f64;
+            total_max +=
+                inst.breakdowns.iter().map(|b| b.total()).max().unwrap_or(0) as f64 / trials as f64;
         }
         table.push_row([
             n.to_string(),

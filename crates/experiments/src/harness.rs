@@ -5,8 +5,7 @@ use mis_stats::{LineChart, Table};
 use radio_mis::nocd::{EnergyBreakdown, NoCdMis, PhaseRecord};
 use radio_mis::params::NoCdParams;
 use radio_netsim::{
-    Action, ChannelModel, Feedback, NodeRng, NodeStatus, Protocol, RunReport, SimConfig,
-    Simulator,
+    Action, ChannelModel, Feedback, NodeRng, NodeStatus, Protocol, RunReport, SimConfig, Simulator,
 };
 use std::sync::Mutex;
 
@@ -85,7 +84,11 @@ impl ExperimentOutput {
     /// Renders the experiment as a markdown fragment for `EXPERIMENTS.md`.
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("### {} — {}\n\n", self.id.to_uppercase(), self.title));
+        out.push_str(&format!(
+            "### {} — {}\n\n",
+            self.id.to_uppercase(),
+            self.title
+        ));
         out.push_str(&format!("**Claim (paper).** {}\n\n", self.claim));
         for sec in &self.sections {
             out.push_str(&format!("*{}*\n\n", sec.caption));
@@ -183,13 +186,14 @@ pub fn run_nocd_instrumented(
             }
         }
     }
-    let report = Simulator::new(graph, SimConfig::new(ChannelModel::NoCd).with_seed(seed)).run(
-        |v, _| Harvest {
-            inner: NoCdMis::new(params),
-            id: v,
-            cell: &cell,
-        },
-    );
+    let report =
+        Simulator::new(graph, SimConfig::new(ChannelModel::NoCd).with_seed(seed)).run(|v, _| {
+            Harvest {
+                inner: NoCdMis::new(params),
+                id: v,
+                cell: &cell,
+            }
+        });
     (report, cell.into_inner().expect("no poisoning"))
 }
 

@@ -49,8 +49,7 @@ pub use harness::{ExpConfig, ExperimentOutput, Section};
 
 /// All experiment ids, in order.
 pub const ALL_IDS: [&str; 15] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-    "e15",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
 ];
 
 /// Runs one experiment by id.

@@ -116,7 +116,10 @@ mod tests {
     #[test]
     fn deterministic_by_seed() {
         assert_eq!(random_geometric(200, 0.1, 9), random_geometric(200, 0.1, 9));
-        assert_ne!(random_geometric(200, 0.1, 9), random_geometric(200, 0.1, 10));
+        assert_ne!(
+            random_geometric(200, 0.1, 9),
+            random_geometric(200, 0.1, 10)
+        );
     }
 
     #[test]

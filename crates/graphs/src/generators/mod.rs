@@ -20,9 +20,7 @@ pub mod geometric;
 pub mod lower_bound;
 pub mod random;
 
-pub use classic::{
-    binary_tree, clique, complete_bipartite, cycle, empty, grid2d, path, star,
-};
+pub use classic::{binary_tree, clique, complete_bipartite, cycle, empty, grid2d, path, star};
 pub use geometric::{random_geometric, random_geometric_torus};
 pub use lower_bound::{lower_bound_family, matching_plus_isolated};
 pub use random::{bounded_degree, gnm, gnp, random_tree};
@@ -241,6 +239,9 @@ mod tests {
     fn geometric_family_hits_target_degree_roughly() {
         let g = Family::GeometricAvgDegree(10).generate(2000, 3);
         let avg = g.avg_degree();
-        assert!(avg > 5.0 && avg < 20.0, "avg degree {avg} far from target 10");
+        assert!(
+            avg > 5.0 && avg < 20.0,
+            "avg degree {avg} far from target 10"
+        );
     }
 }

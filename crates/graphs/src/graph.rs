@@ -333,10 +333,16 @@ impl GraphBuilder {
     /// invalid endpoints.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<&mut Self, GraphError> {
         if u >= self.n {
-            return Err(GraphError::NodeOutOfRange { node: u, len: self.n });
+            return Err(GraphError::NodeOutOfRange {
+                node: u,
+                len: self.n,
+            });
         }
         if v >= self.n {
-            return Err(GraphError::NodeOutOfRange { node: v, len: self.n });
+            return Err(GraphError::NodeOutOfRange {
+                node: v,
+                len: self.n,
+            });
         }
         if u == v {
             return Err(GraphError::SelfLoop { node: u });

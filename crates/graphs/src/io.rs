@@ -110,7 +110,10 @@ mod tests {
 
     #[test]
     fn rejects_missing_header() {
-        assert!(matches!(from_text("# only comments\n"), Err(GraphError::Parse { .. })));
+        assert!(matches!(
+            from_text("# only comments\n"),
+            Err(GraphError::Parse { .. })
+        ));
         assert!(matches!(from_text(""), Err(GraphError::Parse { .. })));
     }
 

@@ -212,7 +212,10 @@ mod tests {
         let set = vec![true, false, false, false, true];
         assert!(is_independent(&g, &set));
         assert!(!is_maximal(&g, &set));
-        assert_eq!(verify_mis(&g, &set), Err(MisViolation::NotDominated { v: 2 }));
+        assert_eq!(
+            verify_mis(&g, &set),
+            Err(MisViolation::NotDominated { v: 2 })
+        );
     }
 
     #[test]
@@ -220,7 +223,10 @@ mod tests {
         let g = generators::path(3);
         assert_eq!(
             verify_mis(&g, &[true]),
-            Err(MisViolation::WrongLength { got: 1, expected: 3 })
+            Err(MisViolation::WrongLength {
+                got: 1,
+                expected: 3
+            })
         );
     }
 

@@ -6,9 +6,27 @@
 //! `rounds × n`. This is what makes the no-CD experiments — whose round
 //! complexity is Θ(log³n·log Δ) with mostly-sleeping nodes — tractable at
 //! n ≈ 10⁵.
+//!
+//! # Fault injection
+//!
+//! A [`SimConfig`] carries a [`FaultPlan`] describing how the run departs
+//! from the paper's clean model (per-edge reception loss, crash-stop
+//! faults, jammers, staggered wake-up and dormancy windows — see
+//! [`crate::fault`]). The fault-free path is kept branch-cheap: the plan is
+//! resolved once per run into per-class flags, and every fault check in the
+//! round loop is gated on a cached boolean, so an inert plan costs nothing
+//! measurable (enforced by `bench_trace_overhead`).
+//!
+//! Loss is applied per *(listener, transmitter) signal edge, before channel
+//! resolution*: each arriving signal — a real transmission or jammer noise
+//! — independently fades with probability `loss`, and the listener's
+//! feedback is derived from the surviving arrivals. Every channel model
+//! therefore experiences the same physical fade: at `loss = 1.0` every
+//! listener hears silence, whether its neighborhood had one beeper or ten.
 
 use crate::energy::EnergyMeter;
-use crate::metrics::{MetricsAccumulator, RoundMetrics};
+use crate::fault::{FaultKind, FaultPlan};
+use crate::metrics::{MetricsAccumulator, RoundCounters, RoundMetrics};
 use crate::model::{Action, ChannelModel, Feedback, Message, NodeStatus};
 use crate::protocol::{NodeRng, Protocol};
 use crate::report::RunReport;
@@ -20,7 +38,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Configuration for one simulation run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Collision-resolution model.
     pub channel: ChannelModel,
@@ -32,11 +50,10 @@ pub struct SimConfig {
     pub message_bits: Option<u32>,
     /// Master seed; all node streams derive from it.
     pub seed: u64,
-    /// Failure injection: probability that a successful reception (exactly
-    /// one transmitting neighbor) is lost to fading and heard as silence.
-    /// The paper's model has no loss (0.0, the default); the robustness
-    /// tests use it to probe how the algorithms degrade outside the model.
-    pub loss_probability: f64,
+    /// Fault injection: how the run departs from the paper's clean model
+    /// (per-edge reception loss, crash-stop faults, jammers, wake-up /
+    /// dormancy windows). Inert by default; see [`crate::fault`].
+    pub faults: FaultPlan,
     /// Collect a per-round [`RoundMetrics`] timeline into
     /// [`RunReport::metrics`]. Off by default; aggregation adds a handful
     /// of counter increments per processed round when enabled.
@@ -45,14 +62,14 @@ pub struct SimConfig {
 
 impl SimConfig {
     /// A config with the given channel model and library defaults
-    /// (`max_rounds = 10⁹`, derived message budget, seed 0).
+    /// (`max_rounds = 10⁹`, derived message budget, seed 0, no faults).
     pub fn new(channel: ChannelModel) -> SimConfig {
         SimConfig {
             channel,
             max_rounds: 1_000_000_000,
             message_bits: None,
             seed: 0,
-            loss_probability: 0.0,
+            faults: FaultPlan::none(),
             collect_metrics: false,
         }
     }
@@ -83,14 +100,21 @@ impl SimConfig {
         self
     }
 
-    /// Enables reception-loss failure injection.
+    /// Installs a fault plan (replacing any previously configured one).
+    pub fn with_faults(mut self, faults: FaultPlan) -> SimConfig {
+        self.faults = faults;
+        self
+    }
+
+    /// Reception-loss sugar: sets the fault plan's per-edge fade
+    /// probability, leaving its other clauses untouched. Equivalent to
+    /// `config.faults.loss = p` via [`FaultPlan::with_loss`].
     ///
     /// # Panics
     ///
     /// Panics if `p` is not within `[0, 1]`.
     pub fn with_loss_probability(mut self, p: f64) -> SimConfig {
-        assert!((0.0..=1.0).contains(&p), "loss probability {p} outside [0, 1]");
-        self.loss_probability = p;
+        self.faults = self.faults.with_loss(p);
         self
     }
 
@@ -106,7 +130,8 @@ pub struct Simulator<'g> {
     graph: &'g Graph,
     config: SimConfig,
     /// Per-node wake-up rounds (asynchronous wake-up extension). `None`
-    /// means the paper's synchronous wake-up: everyone starts at round 0.
+    /// means the wake plan of the config's [`FaultPlan`] applies (which
+    /// defaults to the paper's synchronous wake-up at round 0).
     wake_offsets: Option<Vec<u64>>,
 }
 
@@ -125,6 +150,9 @@ impl<'g> Simulator<'g> {
     /// lost, as for any sleeping node). The paper's algorithms assume
     /// synchronous wake-up (§1.1); this extension exists to measure how
     /// much that assumption carries (see the robustness tests).
+    ///
+    /// Takes precedence over the [`FaultPlan`]'s
+    /// [`WakePlan`](crate::fault::WakePlan) when both are set.
     ///
     /// # Panics
     ///
@@ -176,48 +204,93 @@ impl<'g> Simulator<'g> {
         let mut rngs: Vec<NodeRng> = (0..n)
             .map(|v| NodeRng::seed_from_u64(split_seed(self.config.seed, v as u64)))
             .collect();
-        // Dedicated stream for channel-level failure injection, so enabling
-        // loss never perturbs any node's private randomness.
-        let mut channel_rng =
-            NodeRng::seed_from_u64(split_seed(self.config.seed, u64::MAX - 1));
-        let lossy = self.config.loss_probability > 0.0;
-        let mut nodes: Vec<P> = (0..n)
-            .map(|v| factory(v, &mut rngs[v]))
-            .collect();
+        // Dedicated stream for channel-level fading, so enabling loss never
+        // perturbs any node's private randomness (fault *resolution* draws
+        // from yet another stream; see `FaultPlan::resolve`).
+        let mut channel_rng = NodeRng::seed_from_u64(split_seed(self.config.seed, u64::MAX - 1));
+        let resolved = self.config.faults.resolve(n, self.config.seed);
+        let loss = self.config.faults.loss;
+        let lossy = loss > 0.0;
+        let has_jammers = !resolved.jammer_list.is_empty();
+        let has_crashes = resolved.has_crashes();
+        let has_dormancy = resolved.has_dormancy();
+        // Per-edge fading and jammer noise both force a full neighborhood
+        // scan per listener; without them the fast path early-exits at the
+        // second arrival.
+        let listener_slow = lossy || has_jammers;
+        let mut faulty: Vec<bool> = if has_jammers || has_crashes {
+            vec![false; n]
+        } else {
+            Vec::new()
+        };
+        // Explicit simulator offsets override the plan's wake plan.
+        let wake_offsets: Option<&Vec<u64>> = self
+            .wake_offsets
+            .as_ref()
+            .or(resolved.wake_offsets.as_ref());
+        // Jammer `u` is on air in `round` iff
+        // `jam_from[u] <= round < jam_until[u]` (wake to crash).
+        let (jam_from, jam_until): (Vec<u64>, Vec<u64>) = if has_jammers {
+            (0..n)
+                .map(|v| {
+                    if resolved.jammer[v] {
+                        (wake_offsets.map_or(0, |o| o[v]), resolved.crash_of(v))
+                    } else {
+                        (u64::MAX, 0)
+                    }
+                })
+                .unzip()
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let mut nodes: Vec<P> = (0..n).map(|v| factory(v, &mut rngs[v])).collect();
         let mut meters = vec![EnergyMeter::new(); n];
         let mut statuses: Vec<NodeStatus> = nodes.iter().map(|p| p.status()).collect();
 
         // Event-mask contract: queried once, here, for the whole run.
         let mask = trace.mask();
         let record_finish = mask.contains(EventKind::Finished);
-        let want_metrics =
-            self.config.collect_metrics || mask.contains(EventKind::RoundMetrics);
+        let record_fault = mask.contains(EventKind::Fault);
+        let want_metrics = self.config.collect_metrics || mask.contains(EventKind::RoundMetrics);
         let mut acc = MetricsAccumulator::default();
         if want_metrics {
-            acc.joined_mis = statuses
-                .iter()
-                .filter(|&&s| s == NodeStatus::InMis)
-                .count() as u32;
+            acc.joined_mis = statuses.iter().filter(|&&s| s == NodeStatus::InMis).count() as u32;
             acc.decided = statuses.iter().filter(|s| s.is_decided()).count() as u32;
         }
         let mut timeline: Vec<RoundMetrics> = Vec::new();
+        let mut dormancy_noted: Vec<bool> = if has_dormancy && record_fault {
+            vec![false; n]
+        } else {
+            Vec::new()
+        };
 
         // Wake queue: min-heap of (round, node). Nodes absent from the heap
-        // are finished.
+        // are finished, crashed, or jammers (jammers never run the
+        // protocol; they are pure channel noise).
         let mut queue: BinaryHeap<Reverse<(u64, NodeId)>> = BinaryHeap::with_capacity(n);
         let mut live = 0usize;
+        let mut finished_cum: u32 = 0;
+        let mut crashed_cum: u32 = 0;
         for v in 0..n {
+            if has_jammers && resolved.jammer[v] {
+                faulty[v] = true;
+                if record_fault {
+                    trace.record(TraceEvent::Fault {
+                        round: 0,
+                        node: v,
+                        fault: FaultKind::Jam,
+                    });
+                }
+                continue;
+            }
             if nodes[v].finished() {
                 meters[v].record_finished(0);
+                finished_cum += 1;
                 if record_finish {
                     trace.record(TraceEvent::Finished { round: 0, node: v });
                 }
             } else {
-                let wake = self
-                    .wake_offsets
-                    .as_ref()
-                    .map(|o| o[v])
-                    .unwrap_or(0);
+                let wake = wake_offsets.map_or(0, |o| o[v]);
                 queue.push(Reverse((wake, v)));
                 live += 1;
             }
@@ -243,6 +316,7 @@ impl<'g> Simulator<'g> {
                 return self.finish_report(
                     nodes,
                     meters,
+                    faulty,
                     self.config.max_rounds,
                     false,
                     message_bits,
@@ -250,7 +324,8 @@ impl<'g> Simulator<'g> {
                 );
             }
             last_round_processed = round;
-            let live_at_start = live;
+            let finished_before = finished_cum;
+            let crashed_before = crashed_cum;
             listeners.clear();
             transmitters.clear();
             let mut sleep_updates: Vec<(NodeId, u64)> = Vec::new();
@@ -263,6 +338,22 @@ impl<'g> Simulator<'g> {
                     break;
                 }
                 queue.pop();
+                // Crash-stop faults take effect when the node would next
+                // act (observably identical for a node that slept through
+                // its crash round — a sleeping node does nothing anyway).
+                if has_crashes && resolved.crash_of(v) <= round {
+                    live -= 1;
+                    crashed_cum += 1;
+                    faulty[v] = true;
+                    if record_fault {
+                        trace.record(TraceEvent::Fault {
+                            round,
+                            node: v,
+                            fault: FaultKind::Crash,
+                        });
+                    }
+                    continue;
+                }
                 let action = nodes[v].act(round, &mut rngs[v]);
                 if record_actions {
                     trace.record(TraceEvent::Acted {
@@ -289,6 +380,7 @@ impl<'g> Simulator<'g> {
                         );
                         if nodes[v].finished() {
                             meters[v].record_finished(round);
+                            finished_cum += 1;
                             if record_finish {
                                 trace.record(TraceEvent::Finished { round, node: v });
                             }
@@ -304,12 +396,37 @@ impl<'g> Simulator<'g> {
                             msg.bit_len()
                         );
                         meters[v].record_transmit();
-                        tx_stamp[v] = round;
-                        tx_msg[v] = msg;
+                        if has_dormancy && resolved.is_dormant(v, round) {
+                            // Radio dead: the node pays the energy and
+                            // believes it sent, but nothing goes on air.
+                            if record_fault && !dormancy_noted[v] {
+                                dormancy_noted[v] = true;
+                                trace.record(TraceEvent::Fault {
+                                    round,
+                                    node: v,
+                                    fault: FaultKind::Dormant,
+                                });
+                            }
+                        } else {
+                            tx_stamp[v] = round;
+                            tx_msg[v] = msg;
+                        }
                         transmitters.push(v);
                     }
                     Action::Listen => {
                         meters[v].record_listen();
+                        if has_dormancy
+                            && record_fault
+                            && resolved.is_dormant(v, round)
+                            && !dormancy_noted[v]
+                        {
+                            dormancy_noted[v] = true;
+                            trace.record(TraceEvent::Fault {
+                                round,
+                                node: v,
+                                fault: FaultKind::Dormant,
+                            });
+                        }
                         listeners.push(v);
                     }
                 }
@@ -328,17 +445,45 @@ impl<'g> Simulator<'g> {
             let mut collisions = 0u32;
             let mut receptions = 0u32;
             let mut lost_receptions = 0u32;
+            let mut faded_edges = 0u32;
+            let mut jammed_receptions = 0u32;
             for &v in &transmitters {
                 // Sender-side collision detection (BeepingSenderCd only): a
-                // beeping node hears a beep iff some neighbor also beeped.
-                let fb = if self.config.channel == ChannelModel::BeepingSenderCd
-                    && self
+                // beeping node hears a beep iff some neighbor's signal —
+                // real beep or jammer noise — survives fading.
+                let fb = if self.config.channel == ChannelModel::BeepingSenderCd {
+                    if has_dormancy && resolved.is_dormant(v, round) {
+                        Feedback::Sent // dead radio: can't hear either
+                    } else if listener_slow {
+                        let mut beep = false;
+                        for &u in self.graph.neighbors(v) {
+                            let real = tx_stamp[u] == round;
+                            let jam = has_jammers && jam_from[u] <= round && round < jam_until[u];
+                            if !(real || jam) {
+                                continue;
+                            }
+                            if lossy && rand::Rng::gen_bool(&mut channel_rng, loss) {
+                                faded_edges += 1;
+                                continue;
+                            }
+                            beep = true;
+                            break;
+                        }
+                        if beep {
+                            Feedback::Beep
+                        } else {
+                            Feedback::Sent
+                        }
+                    } else if self
                         .graph
                         .neighbors(v)
                         .iter()
                         .any(|&u| tx_stamp[u] == round)
-                {
-                    Feedback::Beep
+                    {
+                        Feedback::Beep
+                    } else {
+                        Feedback::Sent
+                    }
                 } else {
                     Feedback::Sent
                 };
@@ -352,44 +497,89 @@ impl<'g> Simulator<'g> {
                 }
             }
             for &v in &listeners {
-                let mut count = 0u32;
-                let mut heard = Message::unary();
-                for &u in self.graph.neighbors(v) {
-                    if tx_stamp[u] == round {
-                        count += 1;
-                        if count == 1 {
+                let fb = if has_dormancy && resolved.is_dormant(v, round) {
+                    // Dead radio: arrivals are not even scanned.
+                    Feedback::Silence
+                } else if listener_slow {
+                    // Slow path: full neighborhood scan with per-edge
+                    // fading and jammer noise; feedback is derived from
+                    // the *surviving* arrivals.
+                    let mut pre = 0u32;
+                    let mut surviving = 0u32;
+                    let mut noise = false;
+                    let mut heard = Message::unary();
+                    for &u in self.graph.neighbors(v) {
+                        let real = tx_stamp[u] == round;
+                        let jam = has_jammers && jam_from[u] <= round && round < jam_until[u];
+                        if !(real || jam) {
+                            continue;
+                        }
+                        pre += 1;
+                        if lossy && rand::Rng::gen_bool(&mut channel_rng, loss) {
+                            faded_edges += 1;
+                            continue;
+                        }
+                        surviving += 1;
+                        if jam {
+                            noise = true;
+                        } else if surviving == 1 {
                             heard = tx_msg[u];
-                        } else {
-                            break;
                         }
                     }
-                }
-                if want_metrics {
-                    match count {
-                        0 => {}
-                        1 => receptions += 1,
-                        _ => collisions += 1,
-                    }
-                }
-                let mut fb = match (self.config.channel, count) {
-                    (_, 0) => Feedback::Silence,
-                    (ChannelModel::Beeping | ChannelModel::BeepingSenderCd, _) => Feedback::Beep,
-                    (_, 1) => Feedback::Heard(heard),
-                    (ChannelModel::Cd, _) => Feedback::Collision,
-                    (ChannelModel::NoCd, _) => Feedback::Silence,
-                };
-                // Failure injection: fade out successful receptions (and
-                // single-beeper beeps) with the configured probability.
-                if lossy
-                    && count == 1
-                    && matches!(fb, Feedback::Heard(_) | Feedback::Beep)
-                    && rand::Rng::gen_bool(&mut channel_rng, self.config.loss_probability)
-                {
-                    fb = Feedback::Silence;
                     if want_metrics {
-                        lost_receptions += 1;
+                        if surviving >= 2 || noise {
+                            collisions += 1;
+                        } else if surviving == 1 {
+                            receptions += 1;
+                        }
+                        if noise {
+                            jammed_receptions += 1;
+                        }
+                        if pre > 0 && surviving == 0 {
+                            lost_receptions += 1;
+                        }
                     }
-                }
+                    match (self.config.channel, surviving) {
+                        (_, 0) => Feedback::Silence,
+                        (ChannelModel::Beeping | ChannelModel::BeepingSenderCd, _) => {
+                            Feedback::Beep
+                        }
+                        (_, 1) if !noise => Feedback::Heard(heard),
+                        (ChannelModel::Cd, _) => Feedback::Collision,
+                        (ChannelModel::NoCd, _) => Feedback::Silence,
+                    }
+                } else {
+                    // Fast path (no loss, no jammers): early-exit at the
+                    // second arrival.
+                    let mut count = 0u32;
+                    let mut heard = Message::unary();
+                    for &u in self.graph.neighbors(v) {
+                        if tx_stamp[u] == round {
+                            count += 1;
+                            if count == 1 {
+                                heard = tx_msg[u];
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    if want_metrics {
+                        match count {
+                            0 => {}
+                            1 => receptions += 1,
+                            _ => collisions += 1,
+                        }
+                    }
+                    match (self.config.channel, count) {
+                        (_, 0) => Feedback::Silence,
+                        (ChannelModel::Beeping | ChannelModel::BeepingSenderCd, _) => {
+                            Feedback::Beep
+                        }
+                        (_, 1) => Feedback::Heard(heard),
+                        (ChannelModel::Cd, _) => Feedback::Collision,
+                        (ChannelModel::NoCd, _) => Feedback::Silence,
+                    }
+                };
                 nodes[v].feedback(round, fb, &mut rngs[v]);
                 if record_feedback {
                     trace.record(TraceEvent::Fed {
@@ -414,6 +604,7 @@ impl<'g> Simulator<'g> {
                 );
                 if nodes[v].finished() {
                     meters[v].record_finished(round);
+                    finished_cum += 1;
                     if record_finish {
                         trace.record(TraceEvent::Finished { round, node: v });
                     }
@@ -426,17 +617,29 @@ impl<'g> Simulator<'g> {
             // Close the round's metrics record (aggregation is a handful of
             // counter folds; skipped entirely unless someone asked).
             if want_metrics {
-                let finished_before = (n - live_at_start) as u32;
-                let m = acc.finish_round(
+                let jamming = if has_jammers {
+                    resolved
+                        .jammer_list
+                        .iter()
+                        .filter(|&&u| jam_from[u] <= round && round < jam_until[u])
+                        .count() as u32
+                } else {
+                    0
+                };
+                let m = acc.finish_round(RoundCounters {
                     round,
                     n,
                     finished_before,
-                    transmitters.len() as u32,
-                    listeners.len() as u32,
+                    crashed_before,
+                    jamming,
+                    transmitting: transmitters.len() as u32,
+                    listening: listeners.len() as u32,
                     collisions,
                     receptions,
                     lost_receptions,
-                );
+                    faded_edges,
+                    jammed_receptions,
+                });
                 if mask.contains(EventKind::RoundMetrics) {
                     trace.record(TraceEvent::RoundEnd { metrics: m });
                 }
@@ -448,7 +651,7 @@ impl<'g> Simulator<'g> {
 
         let rounds = if n == 0 { 0 } else { last_round_processed + 1 };
         let metrics = self.config.collect_metrics.then_some(timeline);
-        self.finish_report(nodes, meters, rounds, true, message_bits, metrics)
+        self.finish_report(nodes, meters, faulty, rounds, true, message_bits, metrics)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -467,7 +670,10 @@ impl<'g> Simulator<'g> {
         if s != statuses[v] {
             let was = statuses[v];
             statuses[v] = s;
-            if s.is_decided() {
+            // Only the *first* transition into a decided status stamps the
+            // decision round; a protocol that revises its decision
+            // (InMis → OutMis) keeps its original decision time.
+            if s.is_decided() && !was.is_decided() {
                 meters[v].record_decided(round);
             }
             // Status changes are rare (at most two per node per run), so the
@@ -492,10 +698,12 @@ impl<'g> Simulator<'g> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn finish_report<P: Protocol>(
         &self,
         nodes: Vec<P>,
         meters: Vec<EnergyMeter>,
+        faulty: Vec<bool>,
         rounds: u64,
         completed: bool,
         message_bits: u32,
@@ -504,6 +712,7 @@ impl<'g> Simulator<'g> {
         RunReport {
             statuses: nodes.iter().map(|p| p.status()).collect(),
             meters,
+            faulty,
             rounds,
             completed,
             channel: self.config.channel,
@@ -551,22 +760,26 @@ mod tests {
         channel: ChannelModel,
         transmit: impl Fn(NodeId) -> bool,
     ) -> Vec<Option<Feedback>> {
+        probe_run_config(g, SimConfig::new(channel), transmit)
+    }
+
+    fn probe_run_config(
+        g: &Graph,
+        config: SimConfig,
+        transmit: impl Fn(NodeId) -> bool,
+    ) -> Vec<Option<Feedback>> {
         let mut observed: Vec<Option<Feedback>> = vec![None; g.len()];
         let mut trace = crate::trace::VecTrace::new();
-        let report = Simulator::new(g, SimConfig::new(channel))
-            .run_traced(
-                |v, _| Probe {
-                    transmit: transmit(v),
-                    saw: None,
-                },
-                &mut trace,
-            );
+        let report = Simulator::new(g, config).run_traced(
+            |v, _| Probe {
+                transmit: transmit(v),
+                saw: None,
+            },
+            &mut trace,
+        );
         assert!(report.completed);
         for e in &trace.events {
-            if let TraceEvent::Fed {
-                node, feedback, ..
-            } = e
-            {
+            if let TraceEvent::Fed { node, feedback, .. } = e {
                 observed[*node] = Some(*feedback);
             }
         }
@@ -778,25 +991,41 @@ mod tests {
         // Star, leaf 1 transmits, hub listens, loss = 1.0: the hub never
         // hears anything.
         let g = generators::star(3);
-        let mut heard_any = false;
         let config = SimConfig::new(ChannelModel::Cd)
             .with_loss_probability(1.0)
             .with_seed(3);
-        let mut trace = crate::trace::VecTrace::new();
-        let _ = Simulator::new(&g, config).run_traced(
-            |v, _| Probe {
-                transmit: v == 1,
-                saw: None,
-            },
-            &mut trace,
-        );
-        for e in &trace.events {
-            if let TraceEvent::Fed { node: 0, feedback, .. } = e {
-                heard_any |= feedback.heard_activity();
-                assert_eq!(*feedback, Feedback::Silence);
+        let obs = probe_run_config(&g, config, |v| v == 1);
+        assert_eq!(obs[0], Some(Feedback::Silence));
+    }
+
+    #[test]
+    fn total_loss_silences_every_channel_model() {
+        // The old loss model only faded single-transmitter receptions, so
+        // a multi-beeper Beep (and CD Collision) survived loss = 1.0. The
+        // per-edge model fades every arrival: whatever the channel model
+        // and however many neighbors transmit, every listener hears
+        // Silence — and every BeepingSenderCd sender hears only Sent.
+        let g = generators::clique(5);
+        for channel in [
+            ChannelModel::Cd,
+            ChannelModel::NoCd,
+            ChannelModel::Beeping,
+            ChannelModel::BeepingSenderCd,
+        ] {
+            let config = SimConfig::new(channel)
+                .with_loss_probability(1.0)
+                .with_seed(13);
+            // Three transmitters per listener: a guaranteed collision /
+            // multi-beep without loss.
+            let obs = probe_run_config(&g, config, |v| v < 3);
+            for (v, o) in obs.iter().enumerate() {
+                if v < 3 {
+                    assert_eq!(*o, Some(Feedback::Sent), "{channel} sender {v}");
+                } else {
+                    assert_eq!(*o, Some(Feedback::Silence), "{channel} listener {v}");
+                }
             }
         }
-        assert!(!heard_any);
     }
 
     #[test]
@@ -819,27 +1048,16 @@ mod tests {
         }
         struct Rx {
             rounds: u32,
-            heard: u32,
         }
         impl Protocol for Rx {
             fn act(&mut self, _round: u64, _rng: &mut NodeRng) -> Action {
                 Action::Listen
             }
-            fn feedback(&mut self, _round: u64, fb: Feedback, _rng: &mut NodeRng) {
+            fn feedback(&mut self, _round: u64, _fb: Feedback, _rng: &mut NodeRng) {
                 self.rounds += 1;
-                if fb.heard_activity() {
-                    self.heard += 1;
-                }
             }
             fn status(&self) -> NodeStatus {
-                if self.finished() {
-                    // Smuggle the heard count out via the meter-independent
-                    // status check in the assertion below (we re-derive the
-                    // rate from the trace instead).
-                    NodeStatus::OutMis
-                } else {
-                    NodeStatus::Undecided
-                }
+                NodeStatus::OutMis
             }
             fn finished(&self) -> bool {
                 self.rounds >= 500
@@ -855,7 +1073,7 @@ mod tests {
                 if v == 0 {
                     Box::new(Tx(0))
                 } else {
-                    Box::new(Rx { rounds: 0, heard: 0 })
+                    Box::new(Rx { rounds: 0 })
                 }
             },
             &mut trace,
@@ -863,7 +1081,10 @@ mod tests {
         let mut heard = 0;
         let mut total = 0;
         for e in &trace.events {
-            if let TraceEvent::Fed { node: 1, feedback, .. } = e {
+            if let TraceEvent::Fed {
+                node: 1, feedback, ..
+            } = e
+            {
                 total += 1;
                 if feedback.heard_activity() {
                     heard += 1;
@@ -879,7 +1100,7 @@ mod tests {
     fn loss_zero_is_bit_identical() {
         let g = generators::gnp(30, 0.2, 2);
         let base = SimConfig::new(ChannelModel::Cd).with_seed(5);
-        let lossy0 = base.with_loss_probability(0.0);
+        let lossy0 = base.clone().with_loss_probability(0.0);
         let a = Simulator::new(&g, base).run(|_, _| Probe {
             transmit: false,
             saw: None,
@@ -889,6 +1110,311 @@ mod tests {
             saw: None,
         });
         assert_eq!(a, b);
+    }
+
+    /// Transmits every round; finishes after `budget` feedbacks.
+    struct Chatter {
+        budget: u32,
+        seen: u32,
+    }
+    impl Protocol for Chatter {
+        fn act(&mut self, _round: u64, _rng: &mut NodeRng) -> Action {
+            Action::Transmit(Message::unary())
+        }
+        fn feedback(&mut self, _round: u64, _fb: Feedback, _rng: &mut NodeRng) {
+            self.seen += 1;
+        }
+        fn status(&self) -> NodeStatus {
+            NodeStatus::OutMis
+        }
+        fn finished(&self) -> bool {
+            self.seen >= self.budget
+        }
+    }
+
+    #[test]
+    fn crash_stop_retires_node_and_marks_it_faulty() {
+        let g = generators::empty(3);
+        let config =
+            SimConfig::new(ChannelModel::Cd).with_faults(FaultPlan::none().with_crash(1, 2));
+        let mut trace = crate::trace::VecTrace::new();
+        let report = Simulator::new(&g, config)
+            .run_traced(|_, _| Chatter { budget: 5, seen: 0 }, &mut trace);
+        assert!(report.completed);
+        // The crashed node acted in rounds 0 and 1 only.
+        assert_eq!(report.meters[1].energy(), 2);
+        assert_eq!(report.meters[0].energy(), 5);
+        assert_eq!(report.faulty, vec![false, true, false]);
+        assert_eq!(report.meters[1].finished_at, None);
+        let crash_events: Vec<_> = trace
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TraceEvent::Fault {
+                        fault: FaultKind::Crash,
+                        ..
+                    }
+                )
+            })
+            .collect();
+        assert_eq!(crash_events.len(), 1);
+        assert_eq!(crash_events[0].round(), 2);
+        assert_eq!(crash_events[0].node(), Some(1));
+    }
+
+    #[test]
+    fn jammer_degrades_single_reception_per_channel_model() {
+        // Star: leaf 1 transmits, hub 0 listens, leaf 2 jams. The hub's
+        // lone real message is polluted into the model's collision symbol.
+        let g = generators::star(3);
+        for (channel, expect) in [
+            (ChannelModel::Cd, Feedback::Collision),
+            (ChannelModel::NoCd, Feedback::Silence),
+            (ChannelModel::Beeping, Feedback::Beep),
+        ] {
+            let config = SimConfig::new(channel).with_faults(FaultPlan::none().with_jammer(2));
+            let obs = probe_run_config(&g, config, |v| v == 1);
+            assert_eq!(obs[0], Some(expect), "{channel}");
+            // The jammer runs no protocol and gets no feedback.
+            assert_eq!(obs[2], None, "{channel}");
+        }
+    }
+
+    #[test]
+    fn jammer_alone_jams_every_round_it_is_awake() {
+        // Path 0-1: node 1 is a jammer; node 0 listens for 4 rounds and
+        // hears a collision every round (CD model).
+        let g = generators::path(2);
+        let config = SimConfig::new(ChannelModel::Cd).with_faults(FaultPlan::none().with_jammer(1));
+        let mut trace = crate::trace::VecTrace::new();
+        let report = Simulator::new(&g, config).run_traced(
+            |v, _| -> Box<dyn Protocol> {
+                if v == 0 {
+                    Box::new(Rx4::default())
+                } else {
+                    // Never polled: jammers don't run their protocol.
+                    Box::new(Chatter { budget: 1, seen: 0 })
+                }
+            },
+            &mut trace,
+        );
+        assert!(report.completed);
+        assert_eq!(report.faulty, vec![false, true]);
+        assert_eq!(
+            report.meters[1].energy(),
+            0,
+            "jammers spend no metered energy"
+        );
+        let fed: Vec<Feedback> = trace
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Fed {
+                    node: 0, feedback, ..
+                } => Some(*feedback),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(fed, vec![Feedback::Collision; 4]);
+        // The jammer announced itself once, up-front.
+        assert!(trace.events.iter().any(|e| matches!(
+            e,
+            TraceEvent::Fault {
+                node: 1,
+                fault: FaultKind::Jam,
+                ..
+            }
+        )));
+    }
+
+    /// Listens for 4 rounds, then finishes.
+    #[derive(Default)]
+    struct Rx4 {
+        seen: u32,
+    }
+    impl Protocol for Rx4 {
+        fn act(&mut self, _round: u64, _rng: &mut NodeRng) -> Action {
+            Action::Listen
+        }
+        fn feedback(&mut self, _round: u64, _fb: Feedback, _rng: &mut NodeRng) {
+            self.seen += 1;
+        }
+        fn status(&self) -> NodeStatus {
+            NodeStatus::OutMis
+        }
+        fn finished(&self) -> bool {
+            self.seen >= 4
+        }
+    }
+
+    #[test]
+    fn dormancy_kills_the_radio_but_not_the_energy() {
+        // Path 0-1: node 0 transmits 5 rounds, node 1 listens 5 rounds.
+        // Both are dormant for rounds 0..2 (probability 1, start 0, len 2):
+        // node 1 hears silence while dormant, then real receptions.
+        let g = generators::path(2);
+        let config = SimConfig::new(ChannelModel::Cd)
+            .with_faults(FaultPlan::none().with_dormancy(1.0, 0, 2));
+        let mut trace = crate::trace::VecTrace::new();
+        let report = Simulator::new(&g, config).run_traced(
+            |v, _| -> Box<dyn Protocol> {
+                if v == 0 {
+                    Box::new(Chatter { budget: 5, seen: 0 })
+                } else {
+                    Box::new(Rx5::default())
+                }
+            },
+            &mut trace,
+        );
+        assert!(report.completed);
+        // Energy is spent even while dormant.
+        assert_eq!(report.meters[0].energy(), 5);
+        assert_eq!(report.meters[1].energy(), 5);
+        // Dormant nodes are degraded, not faulty: they still count for MIS.
+        assert!(report.faulty.is_empty());
+        let fed: Vec<Feedback> = trace
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Fed {
+                    node: 1, feedback, ..
+                } => Some(*feedback),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            fed,
+            vec![
+                Feedback::Silence,
+                Feedback::Silence,
+                Feedback::Heard(Message::unary()),
+                Feedback::Heard(Message::unary()),
+                Feedback::Heard(Message::unary()),
+            ]
+        );
+        // Each node surfaced its dormancy onset exactly once.
+        let dormant_events: Vec<_> = trace
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TraceEvent::Fault {
+                        fault: FaultKind::Dormant,
+                        ..
+                    }
+                )
+            })
+            .collect();
+        assert_eq!(dormant_events.len(), 2);
+        assert!(dormant_events.iter().all(|e| e.round() == 0));
+    }
+
+    /// Listens for 5 rounds, then finishes.
+    #[derive(Default)]
+    struct Rx5 {
+        seen: u32,
+    }
+    impl Protocol for Rx5 {
+        fn act(&mut self, _round: u64, _rng: &mut NodeRng) -> Action {
+            Action::Listen
+        }
+        fn feedback(&mut self, _round: u64, _fb: Feedback, _rng: &mut NodeRng) {
+            self.seen += 1;
+        }
+        fn status(&self) -> NodeStatus {
+            NodeStatus::OutMis
+        }
+        fn finished(&self) -> bool {
+            self.seen >= 5
+        }
+    }
+
+    #[test]
+    fn fault_plan_runs_are_reproducible_by_seed() {
+        let g = generators::gnp(24, 0.2, 3);
+        let plan = FaultPlan::none()
+            .with_loss(0.4)
+            .with_random_crashes(3, 2)
+            .with_random_jammers(2)
+            .with_wake_window(6)
+            .with_dormancy(0.3, 8, 4);
+        let run = |seed: u64| {
+            Simulator::new(
+                &g,
+                SimConfig::new(ChannelModel::Cd)
+                    .with_seed(seed)
+                    .with_faults(plan.clone())
+                    .with_round_metrics(),
+            )
+            .run(|_, _| Chatter { budget: 8, seen: 0 })
+        };
+        let a = run(21);
+        let b = run(21);
+        let c = run(22);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.faulty.iter().filter(|&&f| f).count(), 5);
+    }
+
+    #[test]
+    fn plan_wake_window_staggers_and_simulator_offsets_override() {
+        // Plan-level explicit wake offsets behave like with_wake_offsets.
+        let g = generators::empty(3);
+        let config = SimConfig::new(ChannelModel::Cd).with_faults(
+            FaultPlan::none().with_wake(crate::fault::WakePlan::Explicit(vec![0, 10, 25])),
+        );
+        let report = Simulator::new(&g, config.clone()).run(|_, _| Probe {
+            transmit: true,
+            saw: None,
+        });
+        assert_eq!(report.meters[1].finished_at, Some(10));
+        assert_eq!(report.meters[2].finished_at, Some(25));
+        // Simulator offsets take precedence over the plan's.
+        let report = Simulator::new(&g, config)
+            .with_wake_offsets(vec![0, 1, 2])
+            .run(|_, _| Probe {
+                transmit: true,
+                saw: None,
+            });
+        assert_eq!(report.meters[1].finished_at, Some(1));
+        assert_eq!(report.meters[2].finished_at, Some(2));
+    }
+
+    #[test]
+    fn decided_at_keeps_the_first_decision() {
+        // Revises its decision: InMis after round 0, OutMis after round 2.
+        struct Flip {
+            fed: u32,
+        }
+        impl Protocol for Flip {
+            fn act(&mut self, _round: u64, _rng: &mut NodeRng) -> Action {
+                Action::Listen
+            }
+            fn feedback(&mut self, _round: u64, _fb: Feedback, _rng: &mut NodeRng) {
+                self.fed += 1;
+            }
+            fn status(&self) -> NodeStatus {
+                match self.fed {
+                    0 => NodeStatus::Undecided,
+                    1 | 2 => NodeStatus::InMis,
+                    _ => NodeStatus::OutMis,
+                }
+            }
+            fn finished(&self) -> bool {
+                self.fed >= 3
+            }
+        }
+        let g = generators::empty(1);
+        let report =
+            Simulator::new(&g, SimConfig::new(ChannelModel::Cd)).run(|_, _| Flip { fed: 0 });
+        assert!(report.completed);
+        assert_eq!(report.statuses[0], NodeStatus::OutMis);
+        // The decision round is the *first* transition into a decided
+        // status (round 0), not the revision (round 2).
+        assert_eq!(report.meters[0].decided_at, Some(0));
     }
 
     #[test]
@@ -927,7 +1453,10 @@ mod tests {
                 &mut trace,
             );
         for e in &trace.events {
-            if let TraceEvent::Fed { node: 1, feedback, .. } = e {
+            if let TraceEvent::Fed {
+                node: 1, feedback, ..
+            } = e
+            {
                 assert_eq!(*feedback, Feedback::Silence);
             }
         }
@@ -937,8 +1466,7 @@ mod tests {
     #[should_panic(expected = "offsets length mismatch")]
     fn wake_offsets_length_checked() {
         let g = generators::empty(2);
-        let _ = Simulator::new(&g, SimConfig::new(ChannelModel::Cd))
-            .with_wake_offsets(vec![0]);
+        let _ = Simulator::new(&g, SimConfig::new(ChannelModel::Cd)).with_wake_offsets(vec![0]);
     }
 
     #[test]
@@ -1031,7 +1559,7 @@ mod tests {
         let mut prev_decided = 0;
         for m in timeline {
             // Population conservation: every node is transmitting,
-            // listening, sleeping, or already finished.
+            // listening, sleeping, jamming, crashed, or already finished.
             assert_eq!(m.node_count(), n, "round {}", m.round);
             // Rounds strictly increase; cumulative curves are monotone.
             if let Some(p) = prev_round {
@@ -1041,7 +1569,13 @@ mod tests {
             assert!(m.decided >= prev_decided);
             prev_decided = m.decided;
             assert!(m.joined_mis <= m.decided);
-            assert!(m.lost_receptions <= m.receptions);
+            // A listener silenced by fading faded all its arrivals.
+            assert!(m.lost_receptions <= m.faded_edges);
+            // Fault-free run: no fault counter moves.
+            assert_eq!(
+                m.jamming + m.crashed + m.faded_edges + m.jammed_receptions,
+                0
+            );
         }
         // The final record's cumulative energy equals the meter totals.
         let last = timeline.last().unwrap();
@@ -1085,8 +1619,9 @@ mod tests {
 
     #[test]
     fn metrics_count_lost_receptions() {
-        // Path: node 0 transmits, node 1 listens, loss = 1.0 — every
-        // reception is counted and counted lost.
+        // Path: node 0 transmits, node 1 listens, loss = 1.0 — the lone
+        // arrival fades, so the listen is a lost reception (and *not* a
+        // successful one: receptions now count post-fade decodes).
         let g = generators::path(2);
         let config = SimConfig::new(ChannelModel::Cd)
             .with_loss_probability(1.0)
@@ -1096,8 +1631,40 @@ mod tests {
             saw: None,
         });
         let m = report.metrics.unwrap()[0];
-        assert_eq!(m.receptions, 1);
+        assert_eq!(m.receptions, 0);
         assert_eq!(m.lost_receptions, 1);
+        assert_eq!(m.faded_edges, 1);
+        assert_eq!(m.collisions, 0);
+    }
+
+    #[test]
+    fn metrics_count_jamming_and_crashes() {
+        // Star: leaf 1 transmits to the hub, leaf 2 jams; leaf 1's node 3
+        // (extra leaf) crashes at round 1.
+        let g = generators::star(4);
+        let plan = FaultPlan::none().with_jammer(2).with_crash(3, 1);
+        let config = SimConfig::new(ChannelModel::Cd)
+            .with_faults(plan)
+            .with_round_metrics();
+        let report = Simulator::new(&g, config).run(|v, _| -> Box<dyn Protocol> {
+            match v {
+                0 => Box::new(Rx4::default()),
+                _ => Box::new(Chatter { budget: 4, seen: 0 }),
+            }
+        });
+        assert!(report.completed);
+        let timeline = report.metrics.unwrap();
+        let first = timeline[0];
+        assert_eq!(first.jamming, 1);
+        assert_eq!(first.crashed, 0);
+        assert_eq!(first.jammed_receptions, 1);
+        assert_eq!(first.collisions, 1);
+        assert_eq!(first.node_count(), 4);
+        // From round 2 on, node 3's crash (at its round-1 poll) is visible.
+        let later = timeline.iter().find(|m| m.round == 2).unwrap();
+        assert_eq!(later.crashed, 1);
+        assert_eq!(later.node_count(), 4);
+        assert_eq!(report.faulty, vec![false, false, true, true]);
     }
 
     #[test]
@@ -1159,6 +1726,4 @@ mod tests {
         assert_eq!(timeline.len(), 10);
         assert_eq!(timeline.last().unwrap().cumulative_energy, 20);
     }
-
-    use mis_graphs::Graph;
 }

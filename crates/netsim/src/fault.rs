@@ -1,0 +1,580 @@
+//! Composable fault injection: reception loss, crash-stop faults, jammers,
+//! and staggered wake-up / dormancy windows.
+//!
+//! The paper's model (§1.1) is clean: lossless channel, synchronous wake-up,
+//! no adversary. A [`FaultPlan`] describes how far a run departs from it:
+//!
+//! - **reception loss** ([`FaultPlan::with_loss`]): every (listener,
+//!   transmitter) signal edge fades independently with probability `loss`
+//!   *before* the channel is resolved, so every channel model — CD, no-CD,
+//!   beeping, beeping + sender CD — experiences the same physical fade and
+//!   feedback is re-derived from the surviving arrivals. At `loss = 1.0`
+//!   every listener hears silence, whatever the model;
+//! - **crash-stop faults** ([`FaultPlan::with_crash`],
+//!   [`FaultPlan::with_random_crashes`]): node `v` dies at round `r` — it is
+//!   retired the next time it would act, never transmits or listens again,
+//!   and is excluded from MIS verification
+//!   (see [`RunReport::faulty`](crate::RunReport::faulty));
+//! - **jammers** ([`FaultPlan::with_jammer`],
+//!   [`FaultPlan::with_random_jammers`]): adversarial nodes that transmit
+//!   noise every round they are awake instead of running the protocol.
+//!   Their noise collides with (and fades like) any real transmission;
+//! - **staggered wake-up / dormancy** ([`WakePlan`],
+//!   [`FaultPlan::with_dormancy`]): generalizing
+//!   [`Simulator::with_wake_offsets`](crate::Simulator::with_wake_offsets),
+//!   nodes may wake late (drawn from a window) or go radio-dormant for a
+//!   contiguous window mid-run — still spending energy, but deaf and mute.
+//!
+//! All randomness (random crash picks, jammer picks, wake windows, dormancy
+//! windows) is drawn from a dedicated stream `split_seed(seed, u64::MAX - 2)`
+//! — distinct from both the per-node protocol streams and the channel-fade
+//! stream — so enabling one fault class never perturbs the draws of another
+//! or of the protocol itself. Same seed + same plan ⇒ bit-identical run.
+
+use crate::protocol::NodeRng;
+use crate::rng::split_seed;
+use mis_graphs::NodeId;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Stream index (for [`split_seed`]) of the fault-resolution RNG.
+/// `u64::MAX - 1` is the channel-fade stream; node streams use `0..n`.
+const FAULT_STREAM_INDEX: u64 = u64::MAX - 2;
+
+/// An explicit crash-stop fault: `node` dies at round `round`.
+///
+/// The crash takes effect the next time the node would act: a node asleep
+/// through its crash round is retired when its wake round arrives (which is
+/// observably identical — a sleeping node does nothing anyway).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Crash {
+    /// The node that crashes.
+    pub node: NodeId,
+    /// First round at which the node is dead.
+    pub round: u64,
+}
+
+/// Randomly drawn crash-stop faults: `count` distinct non-jammer nodes each
+/// crash at a round drawn uniformly from `0..=by_round`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RandomCrashes {
+    /// How many nodes crash (clamped to the number of eligible nodes).
+    pub count: usize,
+    /// Latest possible crash round (inclusive).
+    pub by_round: u64,
+}
+
+/// Random dormancy windows: each node independently, with `probability`,
+/// goes radio-dormant for `duration` rounds starting at a round drawn
+/// uniformly from `0..=latest_start`.
+///
+/// A dormant node keeps running the protocol and keeps paying energy for
+/// awake rounds, but its radio is dead: its transmissions never reach the
+/// channel (it still believes it `Sent`) and its listens hear `Silence`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Dormancy {
+    /// Per-node probability of having a dormant window.
+    pub probability: f64,
+    /// Latest possible window start (inclusive).
+    pub latest_start: u64,
+    /// Window length in rounds (must be ≥ 1).
+    pub duration: u64,
+}
+
+/// When nodes first wake up. Generalizes
+/// [`Simulator::with_wake_offsets`](crate::Simulator::with_wake_offsets)
+/// (which, when set, takes precedence over the plan's `WakePlan`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum WakePlan {
+    /// The paper's model: every node wakes at round 0.
+    #[default]
+    Synchronous,
+    /// Node `v` wakes at `offsets[v]` (length must equal the node count).
+    Explicit(Vec<u64>),
+    /// Each node's wake round is drawn uniformly from `0..window`
+    /// (a window of 0 means synchronous).
+    RandomWindow(u64),
+}
+
+/// The kind of a fault occurrence, carried by
+/// [`TraceEvent::Fault`](crate::TraceEvent::Fault).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The node crashed (crash-stop); `round` is its first dead round.
+    Crash,
+    /// The node is a jammer. Emitted once at run start with `round` 0; the
+    /// jammer transmits noise from its wake round until it crashes (if
+    /// ever).
+    Jam,
+    /// The node entered its dormancy window. Emitted at the first round the
+    /// node *acts* while dormant (a node that sleeps through its whole
+    /// window never surfaces it).
+    Dormant,
+}
+
+/// A composable description of every fault a run injects. The default plan
+/// ([`FaultPlan::none`]) is inert and costs the engine nothing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Per-(listener, transmitter) signal-fade probability, applied to every
+    /// arriving signal (real or jammer noise) before channel resolution.
+    pub loss: f64,
+    /// Explicit crash-stop faults.
+    pub crashes: Vec<Crash>,
+    /// Randomly drawn crash-stop faults (on top of any explicit ones).
+    pub random_crashes: Option<RandomCrashes>,
+    /// Explicit jammer nodes.
+    pub jammers: Vec<NodeId>,
+    /// Number of additional jammers drawn uniformly at random.
+    pub random_jammers: usize,
+    /// When nodes wake up.
+    pub wake: WakePlan,
+    /// Random dormancy windows.
+    pub dormancy: Option<Dormancy>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The inert plan: no loss, no crashes, no jammers, synchronous wake-up.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            loss: 0.0,
+            crashes: Vec::new(),
+            random_crashes: None,
+            jammers: Vec::new(),
+            random_jammers: 0,
+            wake: WakePlan::Synchronous,
+            dormancy: None,
+        }
+    }
+
+    /// Whether this plan injects nothing (the engine then takes its
+    /// fault-free fast paths everywhere).
+    pub fn is_inert(&self) -> bool {
+        self.loss == 0.0
+            && self.crashes.is_empty()
+            && self.random_crashes.is_none()
+            && self.jammers.is_empty()
+            && self.random_jammers == 0
+            && self.wake == WakePlan::Synchronous
+            && self.dormancy.is_none()
+    }
+
+    /// Sets the per-edge reception-loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn with_loss(mut self, p: f64) -> FaultPlan {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability {p} outside [0, 1]"
+        );
+        self.loss = p;
+        self
+    }
+
+    /// Adds an explicit crash-stop fault: `node` dies at round `round`.
+    pub fn with_crash(mut self, node: NodeId, round: u64) -> FaultPlan {
+        self.crashes.push(Crash { node, round });
+        self
+    }
+
+    /// Draws `count` random crash-stop faults, each at a round uniform in
+    /// `0..=by_round` (from the dedicated fault stream).
+    pub fn with_random_crashes(mut self, count: usize, by_round: u64) -> FaultPlan {
+        self.random_crashes = Some(RandomCrashes { count, by_round });
+        self
+    }
+
+    /// Makes `node` a jammer: it never runs the protocol and transmits
+    /// noise every round from its wake round until it crashes (if ever).
+    pub fn with_jammer(mut self, node: NodeId) -> FaultPlan {
+        self.jammers.push(node);
+        self
+    }
+
+    /// Draws `count` additional random jammers (from the fault stream).
+    pub fn with_random_jammers(mut self, count: usize) -> FaultPlan {
+        self.random_jammers = count;
+        self
+    }
+
+    /// Sets the wake-up plan.
+    pub fn with_wake(mut self, wake: WakePlan) -> FaultPlan {
+        self.wake = wake;
+        self
+    }
+
+    /// Staggered wake-up sugar: each node's wake round is drawn uniformly
+    /// from `0..window`.
+    pub fn with_wake_window(mut self, window: u64) -> FaultPlan {
+        self.wake = WakePlan::RandomWindow(window);
+        self
+    }
+
+    /// Gives each node, with `probability`, a radio-dormant window of
+    /// `duration` rounds starting uniformly in `0..=latest_start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probability` is outside `[0, 1]` or `duration` is 0.
+    pub fn with_dormancy(
+        mut self,
+        probability: f64,
+        latest_start: u64,
+        duration: u64,
+    ) -> FaultPlan {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "dormancy probability {probability} outside [0, 1]"
+        );
+        assert!(duration > 0, "dormancy duration must be >= 1 round");
+        self.dormancy = Some(Dormancy {
+            probability,
+            latest_start,
+            duration,
+        });
+        self
+    }
+
+    /// Resolves the plan against a concrete node count and master seed:
+    /// draws every random choice (jammer picks, crash picks and rounds,
+    /// wake offsets, dormancy windows) from the dedicated fault stream.
+    ///
+    /// Deterministic: same `(plan, n, seed)` ⇒ same resolution. The draw
+    /// order is fixed (wake, jammers, crashes, dormancy) so that e.g.
+    /// adding a dormancy clause never re-rolls the jammer picks... within
+    /// one plan; across plans the stream is shared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an explicit crash/jammer node is out of range, or an
+    /// explicit wake-offset vector has the wrong length.
+    pub(crate) fn resolve(&self, n: usize, master_seed: u64) -> ResolvedFaults {
+        if self.is_inert() || n == 0 {
+            return ResolvedFaults::inert();
+        }
+        let mut rng = NodeRng::seed_from_u64(split_seed(master_seed, FAULT_STREAM_INDEX));
+
+        // 1. Wake offsets.
+        let wake_offsets = match &self.wake {
+            WakePlan::Synchronous => None,
+            WakePlan::Explicit(offsets) => {
+                assert_eq!(offsets.len(), n, "explicit wake-offset length mismatch");
+                Some(offsets.clone())
+            }
+            WakePlan::RandomWindow(0) => None,
+            WakePlan::RandomWindow(w) => Some((0..n).map(|_| rng.gen_range(0..*w)).collect()),
+        };
+
+        // 2. Jammers: explicit first, then distinct random picks.
+        let any_jammers = !self.jammers.is_empty() || self.random_jammers > 0;
+        let mut jammer = if any_jammers {
+            vec![false; n]
+        } else {
+            Vec::new()
+        };
+        for &j in &self.jammers {
+            assert!(j < n, "jammer node {j} out of range (n = {n})");
+            jammer[j] = true;
+        }
+        if self.random_jammers > 0 {
+            let placed = jammer.iter().filter(|&&b| b).count();
+            let mut remaining = self.random_jammers.min(n - placed);
+            while remaining > 0 {
+                let v = rng.gen_range(0..n);
+                if !jammer[v] {
+                    jammer[v] = true;
+                    remaining -= 1;
+                }
+            }
+        }
+        let jammer_list: Vec<NodeId> = jammer
+            .iter()
+            .enumerate()
+            .filter_map(|(v, &b)| b.then_some(v))
+            .collect();
+
+        // 3. Crashes: explicit (earliest round wins), then distinct random
+        // picks among non-jammer, not-yet-crashing nodes.
+        let any_crashes = !self.crashes.is_empty() || self.random_crashes.is_some();
+        let mut crash_round = if any_crashes {
+            vec![u64::MAX; n]
+        } else {
+            Vec::new()
+        };
+        for c in &self.crashes {
+            assert!(c.node < n, "crash node {} out of range (n = {n})", c.node);
+            crash_round[c.node] = crash_round[c.node].min(c.round);
+        }
+        if let Some(rc) = self.random_crashes {
+            let eligible = (0..n)
+                .filter(|&v| crash_round[v] == u64::MAX && !jammer.get(v).copied().unwrap_or(false))
+                .count();
+            let mut remaining = rc.count.min(eligible);
+            while remaining > 0 {
+                let v = rng.gen_range(0..n);
+                if crash_round[v] == u64::MAX && !jammer.get(v).copied().unwrap_or(false) {
+                    crash_round[v] = rng.gen_range(0..=rc.by_round);
+                    remaining -= 1;
+                }
+            }
+        }
+
+        // 4. Dormancy windows.
+        let (dormant_from, dormant_len) = match self.dormancy {
+            None => (Vec::new(), 0),
+            Some(d) => {
+                let from: Vec<u64> = (0..n)
+                    .map(|_| {
+                        if rng.gen_bool(d.probability) {
+                            rng.gen_range(0..=d.latest_start)
+                        } else {
+                            u64::MAX
+                        }
+                    })
+                    .collect();
+                (from, d.duration)
+            }
+        };
+
+        ResolvedFaults {
+            wake_offsets,
+            crash_round,
+            jammer,
+            jammer_list,
+            dormant_from,
+            dormant_len,
+        }
+    }
+}
+
+/// A [`FaultPlan`] with every random choice drawn: the concrete per-node
+/// fault schedule the engine executes.
+///
+/// Empty vectors mean "this fault class is absent" — the engine checks the
+/// class flags once per run and skips absent classes entirely.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ResolvedFaults {
+    /// Per-node wake rounds from the plan's [`WakePlan`] (`None` =
+    /// synchronous). Overridden by `Simulator::with_wake_offsets`.
+    pub wake_offsets: Option<Vec<u64>>,
+    /// Per-node first dead round (`u64::MAX` = never crashes). Empty when
+    /// the plan has no crash faults.
+    pub crash_round: Vec<u64>,
+    /// Per-node jammer flag. Empty when the plan has no jammers.
+    pub jammer: Vec<bool>,
+    /// The jammer nodes, ascending.
+    pub jammer_list: Vec<NodeId>,
+    /// Per-node dormancy-window start (`u64::MAX` = none). Empty when the
+    /// plan has no dormancy clause.
+    pub dormant_from: Vec<u64>,
+    /// Dormancy-window length in rounds.
+    pub dormant_len: u64,
+}
+
+impl ResolvedFaults {
+    /// The resolution of an inert plan.
+    pub fn inert() -> ResolvedFaults {
+        ResolvedFaults {
+            wake_offsets: None,
+            crash_round: Vec::new(),
+            jammer: Vec::new(),
+            jammer_list: Vec::new(),
+            dormant_from: Vec::new(),
+            dormant_len: 0,
+        }
+    }
+
+    /// Whether any node ever crashes.
+    pub fn has_crashes(&self) -> bool {
+        !self.crash_round.is_empty()
+    }
+
+    /// Whether any node has a dormancy window.
+    pub fn has_dormancy(&self) -> bool {
+        !self.dormant_from.is_empty()
+    }
+
+    /// First dead round of `v` (`u64::MAX` if it never crashes).
+    pub fn crash_of(&self, v: NodeId) -> u64 {
+        self.crash_round.get(v).copied().unwrap_or(u64::MAX)
+    }
+
+    /// Whether `v`'s radio is dormant at `round`.
+    pub fn is_dormant(&self, v: NodeId, round: u64) -> bool {
+        match self.dormant_from.get(v) {
+            Some(&from) => round >= from && round - from < self.dormant_len,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_inert());
+        assert_eq!(plan, FaultPlan::default());
+        let r = plan.resolve(16, 7);
+        assert_eq!(r, ResolvedFaults::inert());
+        assert!(!r.has_crashes());
+        assert!(!r.has_dormancy());
+        assert_eq!(r.crash_of(3), u64::MAX);
+        assert!(!r.is_dormant(3, 0));
+    }
+
+    #[test]
+    fn every_clause_deactivates_inertness() {
+        assert!(!FaultPlan::none().with_loss(0.5).is_inert());
+        assert!(!FaultPlan::none().with_crash(0, 1).is_inert());
+        assert!(!FaultPlan::none().with_random_crashes(1, 10).is_inert());
+        assert!(!FaultPlan::none().with_jammer(0).is_inert());
+        assert!(!FaultPlan::none().with_random_jammers(1).is_inert());
+        assert!(!FaultPlan::none().with_wake_window(4).is_inert());
+        assert!(!FaultPlan::none().with_dormancy(0.5, 10, 3).is_inert());
+        // Degenerate-but-explicit clauses still count as faults configured,
+        // except loss 0.0 and a synchronous wake plan.
+        assert!(FaultPlan::none().with_loss(0.0).is_inert());
+        assert!(FaultPlan::none()
+            .with_wake(WakePlan::Synchronous)
+            .is_inert());
+    }
+
+    #[test]
+    fn explicit_crashes_and_jammers_resolve_verbatim() {
+        let plan = FaultPlan::none()
+            .with_crash(3, 10)
+            .with_crash(3, 4) // earliest wins
+            .with_crash(5, 0)
+            .with_jammer(1)
+            .with_jammer(1); // idempotent
+        let r = plan.resolve(8, 99);
+        assert_eq!(r.crash_of(3), 4);
+        assert_eq!(r.crash_of(5), 0);
+        assert_eq!(r.crash_of(0), u64::MAX);
+        assert_eq!(r.jammer_list, vec![1]);
+        assert!(r.jammer[1]);
+        assert!(!r.jammer[2]);
+    }
+
+    #[test]
+    fn random_draws_are_seed_deterministic_and_in_range() {
+        let plan = FaultPlan::none()
+            .with_random_crashes(3, 20)
+            .with_random_jammers(2)
+            .with_wake_window(16)
+            .with_dormancy(0.5, 30, 5);
+        let a = plan.resolve(32, 42);
+        let b = plan.resolve(32, 42);
+        let c = plan.resolve(32, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+
+        assert_eq!(a.jammer_list.len(), 2);
+        let crashed: Vec<usize> = (0..32).filter(|&v| a.crash_of(v) != u64::MAX).collect();
+        assert_eq!(crashed.len(), 3);
+        for &v in &crashed {
+            assert!(a.crash_of(v) <= 20);
+            assert!(!a.jammer[v], "random crashes never hit jammers");
+        }
+        for off in a.wake_offsets.as_ref().unwrap() {
+            assert!(*off < 16);
+        }
+        for &from in &a.dormant_from {
+            assert!(from == u64::MAX || from <= 30);
+        }
+        assert_eq!(a.dormant_len, 5);
+    }
+
+    #[test]
+    fn random_counts_clamp_to_population() {
+        let plan = FaultPlan::none()
+            .with_random_jammers(100)
+            .with_random_crashes(100, 5);
+        let r = plan.resolve(4, 1);
+        assert_eq!(r.jammer_list.len(), 4);
+        // All nodes are jammers, so no node is eligible to crash.
+        assert!((0..4).all(|v| r.crash_of(v) == u64::MAX));
+    }
+
+    #[test]
+    fn dormancy_window_arithmetic() {
+        let r = ResolvedFaults {
+            dormant_from: vec![5, u64::MAX],
+            dormant_len: 3,
+            ..ResolvedFaults::inert()
+        };
+        assert!(!r.is_dormant(0, 4));
+        assert!(r.is_dormant(0, 5));
+        assert!(r.is_dormant(0, 7));
+        assert!(!r.is_dormant(0, 8));
+        assert!(!r.is_dormant(1, 5));
+        // Out-of-range node defaults to not dormant.
+        assert!(!r.is_dormant(9, 5));
+    }
+
+    #[test]
+    fn wake_window_of_zero_is_synchronous() {
+        let r = FaultPlan::none()
+            .with_wake_window(0)
+            .with_loss(0.1) // keep the plan non-inert
+            .resolve(4, 0);
+        assert!(r.wake_offsets.is_none());
+    }
+
+    #[test]
+    fn explicit_wake_offsets_pass_through() {
+        let plan = FaultPlan::none().with_wake(WakePlan::Explicit(vec![0, 3, 9]));
+        let r = plan.resolve(3, 0);
+        assert_eq!(r.wake_offsets, Some(vec![0, 3, 9]));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn explicit_wake_offsets_length_checked() {
+        let _ = FaultPlan::none()
+            .with_wake(WakePlan::Explicit(vec![0, 3]))
+            .resolve(3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn loss_validated() {
+        let _ = FaultPlan::none().with_loss(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn crash_node_validated() {
+        let _ = FaultPlan::none().with_crash(9, 0).resolve(4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration")]
+    fn dormancy_duration_validated() {
+        let _ = FaultPlan::none().with_dormancy(0.5, 10, 0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let plan = FaultPlan::none()
+            .with_loss(0.25)
+            .with_crash(1, 7)
+            .with_jammer(0)
+            .with_wake_window(8)
+            .with_dormancy(0.1, 20, 4);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+}

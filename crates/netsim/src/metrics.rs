@@ -18,6 +18,15 @@
 //!   [`EventKind::RoundMetrics`](crate::EventKind) receives one
 //!   [`TraceEvent::RoundEnd`](crate::TraceEvent) per processed round,
 //!   suitable for streaming (see [`crate::JsonlTrace`]).
+//!
+//! # Fault counters
+//!
+//! Runs under a non-inert [`FaultPlan`](crate::FaultPlan) extend the record
+//! with per-round fault accounting: `faded_edges` (per-edge fade draws that
+//! destroyed a signal), `jammed_receptions` (listeners whose channel was
+//! polluted by surviving jammer noise), the `jamming` population column
+//! (active jammers), and the cumulative `crashed` column. Fault-free runs
+//! leave all four at zero.
 
 use serde::{Deserialize, Serialize};
 
@@ -25,38 +34,71 @@ use serde::{Deserialize, Serialize};
 ///
 /// Counting conventions (all verified by the aggregation-invariant tests):
 ///
-/// - `transmitting + listening + sleeping + finished == n` for every record,
-///   where `finished` counts nodes retired *strictly before* the round began
-///   (a node that finishes during the round is still counted in the awake or
-///   sleeping population of that round);
+/// - `transmitting + listening + sleeping + finished + jamming + crashed
+///   == n` for every record, where `finished` counts nodes retired
+///   *strictly before* the round began (a node that finishes during the
+///   round is still counted in the awake or sleeping population of that
+///   round) and `crashed` likewise counts nodes that crashed strictly
+///   before the round began;
 /// - `joined_mis` and `decided` are cumulative *through the end of* the
 ///   round, so they form monotone completion curves;
+/// - channel counters (`collisions`, `receptions`, `lost_receptions`,
+///   `jammed_receptions`) describe the channel *after* per-edge fading:
+///   a reception is a successful post-fade decode, a lost reception is a
+///   listener silenced entirely by fading, and the two are disjoint;
 /// - the final record's `cumulative_energy` equals the sum of all
 ///   [`EnergyMeter`](crate::EnergyMeter) totals.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RoundMetrics {
     /// The round this record describes.
     pub round: u64,
-    /// Nodes that transmitted this round.
+    /// Nodes that transmitted this round (including radio-dormant nodes
+    /// that *chose* to transmit — they spend the energy even though their
+    /// signal never reaches the channel).
     pub transmitting: u32,
     /// Nodes that listened this round.
     pub listening: u32,
     /// Nodes that were asleep this round (including nodes that chose
-    /// `Sleep` when polled) and had not yet finished before the round began.
+    /// `Sleep` when polled) and had not yet finished, crashed, or started
+    /// jamming before the round began.
     pub sleeping: u32,
     /// Nodes retired (finished) strictly before this round began.
     pub finished: u32,
-    /// Listeners with ≥ 2 transmitting neighbors this round. This counts
+    /// Listeners whose post-fade channel was undecodable: ≥ 2 surviving
+    /// arrivals, or surviving jammer noise on top of anything. This counts
     /// the *physical* collision regardless of whether the channel model
     /// makes it observable (CD reports `Collision`, no-CD reports
-    /// `Silence`, beeping reports `Beep`).
+    /// `Silence`, beeping reports `Beep`). Without loss or jammers this is
+    /// exactly "listeners with ≥ 2 transmitting neighbors".
     pub collisions: u32,
-    /// Listeners with exactly one transmitting neighbor this round —
-    /// successful receptions before loss injection.
+    /// Listeners that successfully decoded a message this round: exactly
+    /// one arrival survived fading and it was a real transmission, not
+    /// jammer noise.
     pub receptions: u32,
-    /// Receptions faded to silence by loss injection
-    /// ([`SimConfig::with_loss_probability`](crate::SimConfig::with_loss_probability)).
+    /// Listeners with ≥ 1 arriving signal, all of which were destroyed by
+    /// per-edge fading ([`FaultPlan::with_loss`](crate::FaultPlan::with_loss))
+    /// — the listener heard silence where it physically should not have.
     pub lost_receptions: u32,
+    /// Active jammer nodes this round (awake, not yet crashed). A
+    /// population column: jammers are neither transmitting protocol
+    /// messages nor listening.
+    #[serde(default)]
+    pub jamming: u32,
+    /// Nodes crashed strictly before this round began (cumulative).
+    #[serde(default)]
+    pub crashed: u32,
+    /// Per-edge fade draws this round that destroyed an arriving signal.
+    /// One lost reception can account for several faded edges (every
+    /// arrival at the listener faded). Sender-side beep detection
+    /// short-circuits after the first surviving signal, so its untested
+    /// edges are not counted.
+    #[serde(default)]
+    pub faded_edges: u32,
+    /// Listeners whose surviving channel contained jammer noise this round
+    /// (their feedback was degraded to a collision/beep/silence even if a
+    /// real message also arrived).
+    #[serde(default)]
+    pub jammed_receptions: u32,
     /// Nodes whose status is `InMis` at the end of this round (cumulative).
     pub joined_mis: u32,
     /// Nodes whose status is decided (in or out of the MIS) at the end of
@@ -68,21 +110,57 @@ pub struct RoundMetrics {
 }
 
 impl RoundMetrics {
-    /// Nodes awake this round (`transmitting + listening`).
+    /// Nodes awake this round (`transmitting + listening`; jammers are not
+    /// protocol participants and are excluded).
     pub fn awake(&self) -> u32 {
         self.transmitting + self.listening
     }
 
-    /// Total node count this record describes
-    /// (`transmitting + listening + sleeping + finished`).
+    /// Total node count this record describes (`transmitting + listening +
+    /// sleeping + finished + jamming + crashed`).
     pub fn node_count(&self) -> u32 {
-        self.transmitting + self.listening + self.sleeping + self.finished
+        self.transmitting
+            + self.listening
+            + self.sleeping
+            + self.finished
+            + self.jamming
+            + self.crashed
     }
 
     /// Nodes still undecided at the end of this round.
     pub fn undecided(&self) -> u32 {
         self.node_count() - self.decided
     }
+}
+
+/// One round's raw counters, handed to the accumulator when the round
+/// closes. Groups what used to be a long positional argument list.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct RoundCounters {
+    /// The round being closed.
+    pub round: u64,
+    /// Total node count.
+    pub n: usize,
+    /// Nodes finished strictly before the round began.
+    pub finished_before: u32,
+    /// Nodes crashed strictly before the round began.
+    pub crashed_before: u32,
+    /// Active jammers this round.
+    pub jamming: u32,
+    /// Nodes that chose `Transmit` this round.
+    pub transmitting: u32,
+    /// Nodes that chose `Listen` this round.
+    pub listening: u32,
+    /// Post-fade undecodable listens.
+    pub collisions: u32,
+    /// Post-fade successful decodes.
+    pub receptions: u32,
+    /// Listeners silenced entirely by fading.
+    pub lost_receptions: u32,
+    /// Per-edge fade draws that destroyed a signal.
+    pub faded_edges: u32,
+    /// Listeners with surviving jammer noise.
+    pub jammed_receptions: u32,
 }
 
 /// Running cumulative state the engine threads across rounds while
@@ -98,30 +176,28 @@ pub(crate) struct MetricsAccumulator {
 }
 
 impl MetricsAccumulator {
-    /// Closes one round: folds this round's per-round counters together with
-    /// the running cumulative state into a [`RoundMetrics`] record.
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn finish_round(
-        &mut self,
-        round: u64,
-        n: usize,
-        finished_before: u32,
-        transmitting: u32,
-        listening: u32,
-        collisions: u32,
-        receptions: u32,
-        lost_receptions: u32,
-    ) -> RoundMetrics {
-        self.cumulative_energy += u64::from(transmitting) + u64::from(listening);
+    /// Closes one round: folds this round's counters together with the
+    /// running cumulative state into a [`RoundMetrics`] record.
+    pub(crate) fn finish_round(&mut self, c: RoundCounters) -> RoundMetrics {
+        self.cumulative_energy += u64::from(c.transmitting) + u64::from(c.listening);
         RoundMetrics {
-            round,
-            transmitting,
-            listening,
-            sleeping: n as u32 - finished_before - transmitting - listening,
-            finished: finished_before,
-            collisions,
-            receptions,
-            lost_receptions,
+            round: c.round,
+            transmitting: c.transmitting,
+            listening: c.listening,
+            sleeping: c.n as u32
+                - c.finished_before
+                - c.crashed_before
+                - c.jamming
+                - c.transmitting
+                - c.listening,
+            finished: c.finished_before,
+            collisions: c.collisions,
+            receptions: c.receptions,
+            lost_receptions: c.lost_receptions,
+            jamming: c.jamming,
+            crashed: c.crashed_before,
+            faded_edges: c.faded_edges,
+            jammed_receptions: c.jammed_receptions,
             joined_mis: self.joined_mis,
             decided: self.decided,
             cumulative_energy: self.cumulative_energy,
@@ -141,27 +217,70 @@ mod tests {
             listening: 5,
             sleeping: 1,
             finished: 4,
+            jamming: 1,
+            crashed: 2,
             decided: 9,
             ..RoundMetrics::default()
         };
         assert_eq!(m.awake(), 7);
-        assert_eq!(m.node_count(), 12);
-        assert_eq!(m.undecided(), 3);
+        assert_eq!(m.node_count(), 15);
+        assert_eq!(m.undecided(), 6);
     }
 
     #[test]
     fn accumulator_folds_rounds() {
-        let mut acc = MetricsAccumulator::default();
-        acc.decided = 1;
-        let a = acc.finish_round(0, 4, 0, 2, 2, 1, 0, 0);
+        let mut acc = MetricsAccumulator {
+            decided: 1,
+            ..MetricsAccumulator::default()
+        };
+        let a = acc.finish_round(RoundCounters {
+            round: 0,
+            n: 4,
+            transmitting: 2,
+            listening: 2,
+            collisions: 1,
+            ..RoundCounters::default()
+        });
         assert_eq!(a.cumulative_energy, 4);
         assert_eq!(a.sleeping, 0);
         assert_eq!(a.decided, 1);
-        let b = acc.finish_round(5, 4, 1, 1, 0, 0, 0, 0);
+        let b = acc.finish_round(RoundCounters {
+            round: 5,
+            n: 4,
+            finished_before: 1,
+            transmitting: 1,
+            ..RoundCounters::default()
+        });
         assert_eq!(b.cumulative_energy, 5);
         assert_eq!(b.sleeping, 2);
         assert_eq!(b.finished, 1);
         assert_eq!(b.node_count(), 4);
+    }
+
+    #[test]
+    fn accumulator_accounts_fault_populations() {
+        let mut acc = MetricsAccumulator::default();
+        let m = acc.finish_round(RoundCounters {
+            round: 2,
+            n: 10,
+            finished_before: 1,
+            crashed_before: 2,
+            jamming: 3,
+            transmitting: 1,
+            listening: 2,
+            faded_edges: 7,
+            jammed_receptions: 2,
+            lost_receptions: 1,
+            ..RoundCounters::default()
+        });
+        assert_eq!(m.sleeping, 1);
+        assert_eq!(m.node_count(), 10);
+        assert_eq!(m.jamming, 3);
+        assert_eq!(m.crashed, 2);
+        assert_eq!(m.faded_edges, 7);
+        assert_eq!(m.jammed_receptions, 2);
+        // Energy counts only protocol participants.
+        assert_eq!(m.cumulative_energy, 3);
     }
 
     #[test]
@@ -175,6 +294,10 @@ mod tests {
             collisions: 1,
             receptions: 2,
             lost_receptions: 1,
+            jamming: 2,
+            crashed: 1,
+            faded_edges: 5,
+            jammed_receptions: 1,
             joined_mis: 2,
             decided: 4,
             cumulative_energy: 99,
@@ -182,5 +305,19 @@ mod tests {
         let json = serde_json::to_string(&m).unwrap();
         let back: RoundMetrics = serde_json::from_str(&json).unwrap();
         assert_eq!(m, back);
+    }
+
+    #[test]
+    fn old_records_deserialize_with_zero_fault_counters() {
+        // PR 1 records predate the fault counters; serde must default them.
+        let json = r#"{"round":1,"transmitting":1,"listening":1,"sleeping":0,
+            "finished":0,"collisions":0,"receptions":1,"lost_receptions":0,
+            "joined_mis":0,"decided":0,"cumulative_energy":2}"#;
+        let m: RoundMetrics = serde_json::from_str(json).unwrap();
+        assert_eq!(m.jamming, 0);
+        assert_eq!(m.crashed, 0);
+        assert_eq!(m.faded_edges, 0);
+        assert_eq!(m.jammed_receptions, 0);
+        assert_eq!(m.node_count(), 2);
     }
 }

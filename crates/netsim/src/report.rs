@@ -13,6 +13,14 @@ pub struct RunReport {
     pub statuses: Vec<NodeStatus>,
     /// Per-node energy ledgers.
     pub meters: Vec<EnergyMeter>,
+    /// Fault mask: `faulty[v]` is true iff node `v` was a jammer or crashed
+    /// during the run. Empty (length 0) for runs whose
+    /// [`FaultPlan`](crate::FaultPlan) had neither — use
+    /// [`RunReport::is_faulty`] rather than indexing directly. Faulty nodes
+    /// are exempted from MIS verification: they cannot be required to
+    /// decide, and their neighbors cannot be required to cover them.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub faulty: Vec<bool>,
     /// Round complexity: rounds elapsed until the last node finished (or the
     /// cap, for incomplete runs).
     pub rounds: u64,
@@ -69,8 +77,7 @@ impl RunReport {
         if self.meters.is_empty() {
             0.0
         } else {
-            self.meters.iter().map(|m| m.energy()).sum::<u64>() as f64
-                / self.meters.len() as f64
+            self.meters.iter().map(|m| m.energy()).sum::<u64>() as f64 / self.meters.len() as f64
         }
     }
 
@@ -92,26 +99,45 @@ impl RunReport {
             .unwrap_or(0)
     }
 
-    /// Number of nodes still undecided at the end.
+    /// Whether node `v` was faulty (a jammer, or crashed) during the run.
+    pub fn is_faulty(&self, v: usize) -> bool {
+        self.faulty.get(v).copied().unwrap_or(false)
+    }
+
+    /// Whether the run had any faulty (jammer or crashed) nodes.
+    pub fn has_faulty(&self) -> bool {
+        self.faulty.iter().any(|&f| f)
+    }
+
+    /// Number of *non-faulty* nodes still undecided at the end. Jammers and
+    /// crashed nodes never get to decide and are not counted against the
+    /// protocol.
     pub fn undecided_count(&self) -> usize {
         self.statuses
             .iter()
-            .filter(|s| !s.is_decided())
+            .enumerate()
+            .filter(|&(v, s)| !s.is_decided() && !self.is_faulty(v))
             .count()
     }
 
-    /// Whether the run completed with every node decided and the output is
-    /// a maximal independent set of `graph`.
+    /// Whether the run completed with every non-faulty node decided and the
+    /// output is a maximal independent set of the subgraph induced by the
+    /// non-faulty nodes (for fault-free runs: of `graph` itself).
     ///
     /// # Panics
     ///
     /// Panics if `graph` has a different node count than the run.
     pub fn is_correct_mis(&self, graph: &Graph) -> bool {
         assert_eq!(graph.len(), self.len(), "graph/run size mismatch");
-        self.completed && self.undecided_count() == 0 && mis::is_mis(graph, &self.mis_mask())
+        self.verify_mis(graph).is_ok()
     }
 
     /// Detailed verification: `Ok` iff [`RunReport::is_correct_mis`].
+    ///
+    /// Faulty nodes (jammers, crashed nodes) are exempt: they need not
+    /// decide, their `InMis` claims are ignored, and a non-faulty node is
+    /// considered covered only by a *non-faulty* `InMis` neighbor — i.e.
+    /// the check is MIS-ness on the subgraph induced by non-faulty nodes.
     ///
     /// # Errors
     ///
@@ -121,10 +147,42 @@ impl RunReport {
         if !self.completed {
             return Err(format!("run hit the round cap at {} rounds", self.rounds));
         }
-        if let Some(v) = self.statuses.iter().position(|s| !s.is_decided()) {
+        if let Some(v) = self
+            .statuses
+            .iter()
+            .enumerate()
+            .position(|(v, s)| !s.is_decided() && !self.is_faulty(v))
+        {
             return Err(format!("node {v} finished undecided"));
         }
-        mis::verify_mis(graph, &self.mis_mask()).map_err(|e| e.to_string())
+        if !self.has_faulty() {
+            return mis::verify_mis(graph, &self.mis_mask()).map_err(|e| e.to_string());
+        }
+        // Fault-aware check: MIS-ness on the induced non-faulty subgraph.
+        let in_set = |v: usize| self.statuses[v] == NodeStatus::InMis && !self.is_faulty(v);
+        for v in 0..graph.len() {
+            if !in_set(v) {
+                continue;
+            }
+            for &u in graph.neighbors(v) {
+                if u > v && in_set(u) {
+                    return Err(format!(
+                        "independence violated: adjacent nodes {v} and {u} are both in the set"
+                    ));
+                }
+            }
+        }
+        for v in 0..graph.len() {
+            if self.is_faulty(v) || in_set(v) {
+                continue;
+            }
+            if !graph.neighbors(v).iter().any(|&u| in_set(u)) {
+                return Err(format!(
+                    "maximality violated: node {v} has no non-faulty neighbor in the set"
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -144,6 +202,7 @@ mod tests {
                 })
                 .collect(),
             statuses,
+            faulty: Vec::new(),
             rounds: 10,
             completed: true,
             channel: ChannelModel::Cd,
@@ -183,6 +242,45 @@ mod tests {
         let mut incomplete = good.clone();
         incomplete.completed = false;
         assert!(incomplete.verify_mis(&g).unwrap_err().contains("round cap"));
+    }
+
+    #[test]
+    fn faulty_nodes_are_exempt_from_verification() {
+        use NodeStatus::*;
+        // Path 0-1-2-3: node 2 crashed undecided. The induced subgraph on
+        // {0, 1, 3} is 0-1 plus isolated 3; {0, 3} is a valid MIS of it.
+        let g = mis_graphs::generators::path(4);
+        let mut r = report(vec![InMis, OutMis, Undecided, InMis], vec![1; 4]);
+        r.faulty = vec![false, false, true, false];
+        assert!(r.is_faulty(2) && r.has_faulty());
+        assert_eq!(r.undecided_count(), 0);
+        assert!(r.verify_mis(&g).is_ok());
+
+        // Without the fault mask the same statuses fail (node 2 undecided).
+        let plain = report(vec![InMis, OutMis, Undecided, InMis], vec![1; 4]);
+        assert!(!plain.has_faulty());
+        assert_eq!(plain.undecided_count(), 1);
+        assert!(plain.verify_mis(&g).unwrap_err().contains("undecided"));
+
+        // A faulty node's InMis claim is ignored: node 1 (crashed) claims
+        // InMis next to node 0, but independence is checked on survivors.
+        let mut r = report(vec![InMis, InMis, OutMis, InMis], vec![1; 4]);
+        r.faulty = vec![false, true, false, false];
+        assert!(r.verify_mis(&g).is_ok());
+
+        // Coverage must come from a non-faulty neighbor: node 2 is OutMis
+        // and its only InMis neighbor is faulty node 1 — while node 3,
+        // also a neighbor, stays out. Maximality fails.
+        let mut r = report(vec![InMis, InMis, OutMis, OutMis], vec![1; 4]);
+        r.faulty = vec![false, true, false, false];
+        let err = r.verify_mis(&g).unwrap_err();
+        assert!(err.contains("maximality"), "{err}");
+
+        // Adjacent non-faulty InMis nodes still violate independence.
+        let mut r = report(vec![InMis, OutMis, InMis, InMis], vec![1; 4]);
+        r.faulty = vec![false, true, false, false];
+        let err = r.verify_mis(&g).unwrap_err();
+        assert!(err.contains("independence"), "{err}");
     }
 
     #[test]

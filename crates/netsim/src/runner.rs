@@ -45,9 +45,12 @@ impl TrialSet {
     }
 
     /// Fraction of trials whose output verified as an MIS.
+    ///
+    /// Returns [`f64::NAN`] on an empty set: "no data" must not masquerade
+    /// as a measured 0% success rate.
     pub fn success_rate(&self) -> f64 {
         if self.outcomes.is_empty() {
-            return 0.0;
+            return f64::NAN;
         }
         self.outcomes.iter().filter(|o| o.correct).count() as f64 / self.outcomes.len() as f64
     }
@@ -62,7 +65,10 @@ impl TrialSet {
 
     /// Per-trial node-averaged energies.
     pub fn avg_energies(&self) -> Vec<f64> {
-        self.outcomes.iter().map(|o| o.report.avg_energy()).collect()
+        self.outcomes
+            .iter()
+            .map(|o| o.report.avg_energy())
+            .collect()
     }
 
     /// Per-trial round complexities.
@@ -73,12 +79,12 @@ impl TrialSet {
             .collect()
     }
 
-    /// Mean of per-trial energy complexities.
+    /// Mean of per-trial energy complexities ([`f64::NAN`] on an empty set).
     pub fn mean_energy(&self) -> f64 {
         mean(&self.energies())
     }
 
-    /// Mean of per-trial round complexities.
+    /// Mean of per-trial round complexities ([`f64::NAN`] on an empty set).
     pub fn mean_rounds(&self) -> f64 {
         mean(&self.rounds())
     }
@@ -95,7 +101,7 @@ impl TrialSet {
 
 fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
-        0.0
+        f64::NAN
     } else {
         xs.iter().sum::<f64>() / xs.len() as f64
     }
@@ -106,12 +112,7 @@ fn mean(xs: &[f64]) -> f64 {
 ///
 /// `factory` must be callable from multiple threads; it is invoked once per
 /// (trial, node).
-pub fn run_trials<P, F>(
-    graph: &Graph,
-    base: SimConfig,
-    trials: usize,
-    factory: F,
-) -> TrialSet
+pub fn run_trials<P, F>(graph: &Graph, base: SimConfig, trials: usize, factory: F) -> TrialSet
 where
     P: Protocol,
     F: Fn(NodeId, &mut NodeRng) -> P + Sync,
@@ -120,7 +121,10 @@ where
         .into_par_iter()
         .map(|t| {
             let seed = split_seed(base.seed, t as u64);
-            let config = SimConfig { seed, ..base };
+            let config = SimConfig {
+                seed,
+                ..base.clone()
+            };
             let report = Simulator::new(graph, config).run(|v, rng| factory(v, rng));
             let correct = report.is_correct_mis(graph);
             TrialOutcome {
@@ -164,31 +168,46 @@ mod tests {
     #[test]
     fn trials_verify_against_graph() {
         let empty = generators::empty(5);
-        let set = run_trials(&empty, SimConfig::new(ChannelModel::Cd), 8, |_, _| Instant::default());
+        let set = run_trials(&empty, SimConfig::new(ChannelModel::Cd), 8, |_, _| {
+            Instant::default()
+        });
         assert_eq!(set.len(), 8);
         assert_eq!(set.success_rate(), 1.0);
         assert_eq!(set.worst_energy(), 1);
 
         let edge = generators::path(2);
-        let set = run_trials(&edge, SimConfig::new(ChannelModel::Cd), 4, |_, _| Instant::default());
+        let set = run_trials(&edge, SimConfig::new(ChannelModel::Cd), 4, |_, _| {
+            Instant::default()
+        });
         assert_eq!(set.success_rate(), 0.0); // both endpoints joined
     }
 
     #[test]
     fn trial_seeds_are_distinct_and_deterministic() {
         let g = generators::empty(2);
-        let a = run_trials(&g, SimConfig::new(ChannelModel::Cd).with_seed(5), 4, |_, _| Instant::default());
-        let b = run_trials(&g, SimConfig::new(ChannelModel::Cd).with_seed(5), 4, |_, _| Instant::default());
+        let a = run_trials(
+            &g,
+            SimConfig::new(ChannelModel::Cd).with_seed(5),
+            4,
+            |_, _| Instant::default(),
+        );
+        let b = run_trials(
+            &g,
+            SimConfig::new(ChannelModel::Cd).with_seed(5),
+            4,
+            |_, _| Instant::default(),
+        );
         assert_eq!(a, b);
-        let seeds: std::collections::HashSet<u64> =
-            a.outcomes.iter().map(|o| o.seed).collect();
+        let seeds: std::collections::HashSet<u64> = a.outcomes.iter().map(|o| o.seed).collect();
         assert_eq!(seeds.len(), 4);
     }
 
     #[test]
     fn summary_statistics() {
         let g = generators::empty(3);
-        let set = run_trials(&g, SimConfig::new(ChannelModel::Cd), 3, |_, _| Instant::default());
+        let set = run_trials(&g, SimConfig::new(ChannelModel::Cd), 3, |_, _| {
+            Instant::default()
+        });
         assert_eq!(set.mean_energy(), 1.0);
         assert_eq!(set.mean_rounds(), 1.0);
         assert_eq!(set.energies().len(), 3);
@@ -197,10 +216,30 @@ mod tests {
     }
 
     #[test]
-    fn empty_trialset_summaries() {
+    fn empty_trialset_summaries_are_nan_not_zero() {
+        // An empty set has no data: a 0.0 here would read as "every trial
+        // failed" / "zero energy", which is a different (wrong) claim.
         let set = TrialSet { outcomes: vec![] };
-        assert_eq!(set.success_rate(), 0.0);
-        assert_eq!(set.mean_energy(), 0.0);
+        assert!(set.success_rate().is_nan());
+        assert!(set.mean_energy().is_nan());
+        assert!(set.mean_rounds().is_nan());
         assert_eq!(set.worst_energy(), 0);
+    }
+
+    #[test]
+    fn trials_propagate_fault_plans() {
+        use crate::fault::FaultPlan;
+        // Path 0-1: node 1 crashes at round 0 in every trial; node 0 joins
+        // alone. With node 1 faulty the single-node set {0} is a correct
+        // MIS of the induced survivor subgraph.
+        let g = generators::path(2);
+        let config =
+            SimConfig::new(ChannelModel::Cd).with_faults(FaultPlan::none().with_crash(1, 0));
+        let set = run_trials(&g, config, 4, |_, _| Instant::default());
+        assert_eq!(set.len(), 4);
+        assert_eq!(set.success_rate(), 1.0);
+        for o in &set.outcomes {
+            assert_eq!(o.report.faulty, vec![false, true]);
+        }
     }
 }

@@ -27,9 +27,12 @@
 //!    not required to — a sink must tolerate receiving a masked-out kind
 //!    (ignoring it is fine, as [`FilteredTrace`] does);
 //! 3. the engine delivers every event whose kind is *in* the mask, in
-//!    deterministic order (ascending round; within a round: actions, then
-//!    feedback, then status changes and finishes).
+//!    deterministic order (ascending round; within a round: crashes and
+//!    other faults taking effect, then actions, then feedback, then status
+//!    changes and finishes; jammer [`TraceEvent::Fault`] events are emitted
+//!    up-front at run start with round 0).
 
+use crate::fault::FaultKind;
 use crate::metrics::RoundMetrics;
 use crate::model::{Action, Feedback, NodeStatus};
 use mis_graphs::NodeId;
@@ -76,6 +79,18 @@ pub enum TraceEvent {
         /// The node.
         node: NodeId,
     },
+    /// A fault took effect at a node (crash, jammer, dormancy onset). Only
+    /// emitted by runs with a non-inert
+    /// [`FaultPlan`](crate::FaultPlan); see [`FaultKind`] for when each
+    /// kind fires.
+    Fault {
+        /// Round number.
+        round: u64,
+        /// The affected node.
+        node: NodeId,
+        /// What happened to it.
+        fault: FaultKind,
+    },
     /// A processed round ended; carries the aggregated channel metrics.
     RoundEnd {
         /// The per-round metrics record.
@@ -91,6 +106,7 @@ impl TraceEvent {
             TraceEvent::Fed { .. } => EventKind::Fed,
             TraceEvent::StatusChanged { .. } => EventKind::StatusChanged,
             TraceEvent::Finished { .. } => EventKind::Finished,
+            TraceEvent::Fault { .. } => EventKind::Fault,
             TraceEvent::RoundEnd { .. } => EventKind::RoundMetrics,
         }
     }
@@ -101,7 +117,8 @@ impl TraceEvent {
             TraceEvent::Acted { round, .. }
             | TraceEvent::Fed { round, .. }
             | TraceEvent::StatusChanged { round, .. }
-            | TraceEvent::Finished { round, .. } => *round,
+            | TraceEvent::Finished { round, .. }
+            | TraceEvent::Fault { round, .. } => *round,
             TraceEvent::RoundEnd { metrics } => metrics.round,
         }
     }
@@ -113,7 +130,8 @@ impl TraceEvent {
             TraceEvent::Acted { node, .. }
             | TraceEvent::Fed { node, .. }
             | TraceEvent::StatusChanged { node, .. }
-            | TraceEvent::Finished { node, .. } => Some(*node),
+            | TraceEvent::Finished { node, .. }
+            | TraceEvent::Fault { node, .. } => Some(*node),
             TraceEvent::RoundEnd { .. } => None,
         }
     }
@@ -130,18 +148,21 @@ pub enum EventKind {
     StatusChanged,
     /// Per-node retirements ([`TraceEvent::Finished`]).
     Finished,
+    /// Per-node fault occurrences ([`TraceEvent::Fault`]).
+    Fault,
     /// Per-round aggregated metrics ([`TraceEvent::RoundEnd`]).
     RoundMetrics,
 }
 
 impl EventKind {
     /// All kinds, in delivery order.
-    pub fn all() -> [EventKind; 5] {
+    pub fn all() -> [EventKind; 6] {
         [
             EventKind::Acted,
             EventKind::Fed,
             EventKind::StatusChanged,
             EventKind::Finished,
+            EventKind::Fault,
             EventKind::RoundMetrics,
         ]
     }
@@ -153,6 +174,7 @@ impl EventKind {
             EventKind::Fed => "fed",
             EventKind::StatusChanged => "status",
             EventKind::Finished => "finished",
+            EventKind::Fault => "fault",
             EventKind::RoundMetrics => "metrics",
         }
     }
@@ -180,7 +202,8 @@ impl EventKind {
             EventKind::Fed => 1 << 1,
             EventKind::StatusChanged => 1 << 2,
             EventKind::Finished => 1 << 3,
-            EventKind::RoundMetrics => 1 << 4,
+            EventKind::Fault => 1 << 4,
+            EventKind::RoundMetrics => 1 << 5,
         }
     }
 }
@@ -193,13 +216,11 @@ impl EventMask {
     /// The empty mask: no events wanted ([`NullTrace`]'s mask).
     pub const NONE: EventMask = EventMask(0);
     /// Every event kind.
-    pub const ALL: EventMask = EventMask(0b1_1111);
+    pub const ALL: EventMask = EventMask(0b11_1111);
 
     /// A mask containing exactly the given kinds.
     pub fn only<I: IntoIterator<Item = EventKind>>(kinds: I) -> EventMask {
-        kinds
-            .into_iter()
-            .fold(EventMask::NONE, |m, k| m.with(k))
+        kinds.into_iter().fold(EventMask::NONE, |m, k| m.with(k))
     }
 
     /// Whether `kind` is in the mask.
@@ -591,13 +612,12 @@ mod tests {
         assert!(m.contains(EventKind::Acted));
         assert!(m.contains(EventKind::RoundMetrics));
         assert!(!m.contains(EventKind::Fed));
-        assert!(m.without(EventKind::Acted).contains(EventKind::RoundMetrics));
+        assert!(m
+            .without(EventKind::Acted)
+            .contains(EventKind::RoundMetrics));
         assert!(!m.without(EventKind::Acted).contains(EventKind::Acted));
         let other = EventMask::only([EventKind::Acted, EventKind::Fed]);
-        assert_eq!(
-            m.intersect(other),
-            EventMask::only([EventKind::Acted])
-        );
+        assert_eq!(m.intersect(other), EventMask::only([EventKind::Acted]));
         assert!(EventMask::NONE.is_empty());
         assert!(!EventMask::ALL.is_empty());
         for kind in EventKind::all() {
@@ -632,6 +652,24 @@ mod tests {
     }
 
     #[test]
+    fn fault_event_accessors_and_serde() {
+        let e = TraceEvent::Fault {
+            round: 6,
+            node: 2,
+            fault: FaultKind::Crash,
+        };
+        assert_eq!(e.kind(), EventKind::Fault);
+        assert_eq!(e.round(), 6);
+        assert_eq!(e.node(), Some(2));
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.contains("\"Fault\""));
+        assert!(json.contains("Crash"));
+        let back: TraceEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+        assert_eq!(EventKind::parse("fault"), Ok(EventKind::Fault));
+    }
+
+    #[test]
     fn jsonl_lines_parse_back() {
         let mut sink = JsonlTrace::new(Vec::new());
         sink.record(acted(0, 1));
@@ -662,8 +700,8 @@ mod tests {
 
     #[test]
     fn jsonl_respects_mask() {
-        let mut sink = JsonlTrace::new(Vec::new())
-            .with_mask(EventMask::only([EventKind::Finished]));
+        let mut sink =
+            JsonlTrace::new(Vec::new()).with_mask(EventMask::only([EventKind::Finished]));
         sink.record(acted(0, 1));
         sink.record(TraceEvent::Finished { round: 0, node: 1 });
         assert_eq!(sink.events_written(), 1);

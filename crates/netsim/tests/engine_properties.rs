@@ -3,10 +3,17 @@
 use mis_graphs::{Graph, GraphBuilder};
 use proptest::prelude::*;
 use radio_netsim::{
-    Action, ChannelModel, Feedback, Message, NodeRng, NodeStatus, Protocol, SimConfig,
-    Simulator, TraceEvent, VecTrace,
+    Action, ChannelModel, FaultPlan, Feedback, JsonlTrace, Message, NodeRng, NodeStatus, Protocol,
+    SimConfig, Simulator, TraceEvent, VecTrace,
 };
 use rand::Rng;
+
+const ALL_CHANNELS: [ChannelModel; 4] = [
+    ChannelModel::Cd,
+    ChannelModel::NoCd,
+    ChannelModel::Beeping,
+    ChannelModel::BeepingSenderCd,
+];
 
 fn arb_graph() -> impl Strategy<Value = Graph> {
     (2usize..24).prop_flat_map(|n| {
@@ -133,19 +140,102 @@ proptest! {
         }
     }
 
-    /// With loss = 1.0, nobody ever hears anything in any model.
+    /// With loss = 1.0 every arrival fades, so in *every* channel model a
+    /// listener's feedback is exactly `Silence` — never `Heard`, never
+    /// `Collision`, never a multi-beeper `Beep` — and a transmitter's is
+    /// exactly `Sent` (sender-side collision detection included: the
+    /// concurrent beeps it would hear also fade).
     #[test]
-    fn total_loss_silences_everything(g in arb_graph(), seed in any::<u64>()) {
-        let mut trace = VecTrace::new();
-        let config = SimConfig::new(ChannelModel::NoCd)
-            .with_seed(seed)
-            .with_loss_probability(1.0);
-        let _ = Simulator::new(&g, config)
-            .run_traced(|_, _| Chaotic { awake_left: 10, done: false }, &mut trace);
-        for e in &trace.events {
-            if let TraceEvent::Fed { feedback, .. } = e {
-                prop_assert!(!matches!(feedback, Feedback::Heard(_)));
+    fn total_loss_silences_every_model(g in arb_graph(), seed in any::<u64>()) {
+        for channel in ALL_CHANNELS {
+            let mut trace = VecTrace::new();
+            let config = SimConfig::new(channel)
+                .with_seed(seed)
+                .with_loss_probability(1.0);
+            let _ = Simulator::new(&g, config)
+                .run_traced(|_, _| Chaotic { awake_left: 10, done: false }, &mut trace);
+            for e in &trace.events {
+                if let TraceEvent::Fed { feedback, .. } = e {
+                    prop_assert!(
+                        matches!(feedback, Feedback::Silence | Feedback::Sent),
+                        "{} leaked {:?} through total loss", channel, feedback
+                    );
+                }
             }
         }
+    }
+
+    /// Aggregation invariants survive the combination of skipped all-asleep
+    /// rounds and loss injection, in all four channel models: population
+    /// conservation per record, monotone cumulative curves, disjoint
+    /// post-fade reception/loss accounting, and a final cumulative energy
+    /// equal to the metered totals.
+    #[test]
+    fn metrics_invariants_hold_under_loss(g in arb_graph(), seed in any::<u64>(),
+                                          loss in 0.05f64..0.95) {
+        for channel in ALL_CHANNELS {
+            let config = SimConfig::new(channel)
+                .with_seed(seed)
+                .with_loss_probability(loss)
+                .with_round_metrics();
+            let report = Simulator::new(&g, config)
+                .run(|_, _| Chaotic { awake_left: 8, done: false });
+            prop_assert!(report.completed);
+            let timeline = report.metrics.as_ref().unwrap();
+            prop_assert!(!timeline.is_empty());
+            let n = g.len() as u32;
+            let mut prev_round = None;
+            let mut prev_decided = 0u32;
+            let mut prev_energy = 0u64;
+            for m in timeline {
+                prop_assert_eq!(m.node_count(), n, "round {}", m.round);
+                if let Some(p) = prev_round {
+                    prop_assert!(m.round > p, "rounds must strictly increase");
+                }
+                prev_round = Some(m.round);
+                prop_assert!(m.decided >= prev_decided);
+                prev_decided = m.decided;
+                prop_assert!(m.cumulative_energy >= prev_energy);
+                prev_energy = m.cumulative_energy;
+                // Receptions and lost receptions are disjoint listener
+                // outcomes; collisions are a third.
+                prop_assert!(
+                    m.receptions + m.lost_receptions + m.collisions <= m.listening
+                );
+                // A fully-faded listener faded at least one edge each.
+                prop_assert!(m.lost_receptions <= m.faded_edges);
+                // No jammers or crashes in this plan.
+                prop_assert_eq!(m.jamming, 0);
+                prop_assert_eq!(m.crashed, 0);
+                prop_assert_eq!(m.jammed_receptions, 0);
+            }
+            let metered: u64 = report.meters.iter().map(|mtr| mtr.energy()).sum();
+            prop_assert_eq!(timeline.last().unwrap().cumulative_energy, metered);
+        }
+    }
+
+    /// Two same-seed runs under an active multi-clause FaultPlan produce
+    /// byte-identical JSONL trace streams.
+    #[test]
+    fn jsonl_streams_are_deterministic_under_faults(g in arb_graph(), seed in any::<u64>()) {
+        let plan = FaultPlan::none()
+            .with_loss(0.35)
+            .with_random_crashes(2, 6)
+            .with_random_jammers(1)
+            .with_wake_window(4)
+            .with_dormancy(0.25, 5, 3);
+        let stream = || {
+            let config = SimConfig::new(ChannelModel::Cd)
+                .with_seed(seed)
+                .with_faults(plan.clone());
+            let mut sink = JsonlTrace::new(Vec::<u8>::new());
+            let _ = Simulator::new(&g, config)
+                .run_traced(|_, _| Chaotic { awake_left: 8, done: false }, &mut sink);
+            sink.into_inner().expect("in-memory writer cannot fail")
+        };
+        let a = stream();
+        let b = stream();
+        prop_assert!(!a.is_empty());
+        prop_assert_eq!(a, b);
     }
 }

@@ -221,7 +221,10 @@ mod tests {
 
     #[test]
     fn recovers_log3_n() {
-        let ys: Vec<f64> = ns().iter().map(|&n| 0.5 * n.log2().powi(3) + 10.0).collect();
+        let ys: Vec<f64> = ns()
+            .iter()
+            .map(|&n| 0.5 * n.log2().powi(3) + 10.0)
+            .collect();
         let (m, _) = best_fit(&ns(), &ys);
         assert_eq!(m, GrowthModel::Log3N);
     }

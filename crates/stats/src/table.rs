@@ -95,9 +95,14 @@ impl Table {
 }
 
 /// Formats a float with sensible precision for tables: integers as
-/// integers, otherwise 2–3 significant decimals.
+/// integers, otherwise 2–3 significant decimals. Non-finite values —
+/// e.g. the `NaN` an empty trial set summarizes to, or an infinity from
+/// a zero division — render as `n/a` rather than leaking `NaN` into
+/// reports.
 pub fn fmt_num(x: f64) -> String {
-    if x == x.trunc() && x.abs() < 1e12 {
+    if !x.is_finite() {
+        "n/a".to_string()
+    } else if x == x.trunc() && x.abs() < 1e12 {
         format!("{}", x as i64)
     } else if x.abs() >= 100.0 {
         format!("{x:.1}")
@@ -146,5 +151,12 @@ mod tests {
         assert_eq!(fmt_num(3.14159), "3.14");
         assert_eq!(fmt_num(123.456), "123.5");
         assert_eq!(fmt_num(0.01234), "0.0123");
+    }
+
+    #[test]
+    fn non_finite_values_render_as_na() {
+        assert_eq!(fmt_num(f64::NAN), "n/a");
+        assert_eq!(fmt_num(f64::INFINITY), "n/a");
+        assert_eq!(fmt_num(f64::NEG_INFINITY), "n/a");
     }
 }

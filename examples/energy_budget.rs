@@ -27,7 +27,10 @@ fn main() {
         n / 2
     );
     println!();
-    println!("{:>6} | {:>12} | {:>12}", "budget", "failure rate", "Thm 1 floor");
+    println!(
+        "{:>6} | {:>12} | {:>12}",
+        "budget", "failure rate", "Thm 1 floor"
+    );
     println!("{:->6}-+-{:->12}-+-{:->12}", "", "", "");
     for b in (0..=30).step_by(3) {
         let mut failures = 0;

@@ -11,12 +11,12 @@
 
 use energy_mis::congest::{CongestSim, GhaffariCongest, LubyCongest};
 use energy_mis::graphs::generators;
-use energy_mis::mis::baselines::nocd_naive::{NaiveSimParams, NoCdNaive};
 use energy_mis::mis::baselines::naive_luby_cd;
+use energy_mis::mis::baselines::nocd_naive::{NaiveSimParams, NoCdNaive};
+use energy_mis::mis::beeping_native::{BeepingParams, NativeBeepingMis};
 use energy_mis::mis::cd::CdMis;
 use energy_mis::mis::low_degree::LowDegreeMis;
 use energy_mis::mis::nocd::NoCdMis;
-use energy_mis::mis::beeping_native::{BeepingParams, NativeBeepingMis};
 use energy_mis::mis::params::{CdParams, LowDegreeParams, NoCdParams};
 use energy_mis::netsim::{ChannelModel, RunReport, SimConfig, Simulator};
 
@@ -26,7 +26,11 @@ fn radio_row(name: &str, graph: &energy_mis::graphs::Graph, report: &RunReport) 
         report.max_energy(),
         format!("{:.1}", report.avg_energy()),
         report.rounds,
-        if report.is_correct_mis(graph) { "✓" } else { "✗" }
+        if report.is_correct_mis(graph) {
+            "✓"
+        } else {
+            "✗"
+        }
     );
 }
 
@@ -34,10 +38,7 @@ fn main() {
     let n = 512;
     let graph = generators::gnp(n, 8.0 / (n as f64 - 1.0), 11);
     let delta = graph.max_degree().max(2);
-    println!(
-        "graph: n = {n}, m = {}, Δ = {delta}\n",
-        graph.edge_count()
-    );
+    println!("graph: n = {n}, m = {}, Δ = {delta}\n", graph.edge_count());
     println!(
         "{:<42} | {:>7} | {:>10} | {:>8} | MIS",
         "algorithm (model)", "E(max)", "E(avg)", "rounds"
@@ -51,8 +52,11 @@ fn main() {
         .run(|_, _| CdMis::new(cd_params));
     radio_row("Algorithm 1 (CD)", &graph, &r);
 
-    let r = Simulator::new(&graph, SimConfig::new(ChannelModel::Beeping).with_seed(seed))
-        .run(|_, _| CdMis::new(cd_params));
+    let r = Simulator::new(
+        &graph,
+        SimConfig::new(ChannelModel::Beeping).with_seed(seed),
+    )
+    .run(|_, _| CdMis::new(cd_params));
     radio_row("Algorithm 1 (beeping)", &graph, &r);
 
     let r = Simulator::new(&graph, SimConfig::new(ChannelModel::Cd).with_seed(seed))
@@ -89,7 +93,11 @@ fn main() {
         r.max_awake(),
         format!("{:.1}", r.avg_awake()),
         r.rounds,
-        if r.is_correct_mis(&graph) { "✓" } else { "✗" }
+        if r.is_correct_mis(&graph) {
+            "✓"
+        } else {
+            "✗"
+        }
     );
     let r = CongestSim::new(&graph, seed).run(|_, _| GhaffariCongest::new(n, delta));
     println!(
@@ -98,7 +106,11 @@ fn main() {
         r.max_awake(),
         format!("{:.1}", r.avg_awake()),
         r.rounds,
-        if r.is_correct_mis(&graph) { "✓" } else { "✗" }
+        if r.is_correct_mis(&graph) {
+            "✓"
+        } else {
+            "✗"
+        }
     );
 
     println!();

@@ -40,7 +40,10 @@ fn main() {
         Err(e) => println!("backbone INVALID: {e}"),
     }
     let heads = report.mis_mask().iter().filter(|&&b| b).count();
-    println!("cluster heads: {heads} ({:.1}% of sensors)", 100.0 * heads as f64 / n as f64);
+    println!(
+        "cluster heads: {heads} ({:.1}% of sensors)",
+        100.0 * heads as f64 / n as f64
+    );
 
     // Battery report: the whole point of the sleeping model.
     let energies: Vec<f64> = report.meters.iter().map(|m| m.energy() as f64).collect();

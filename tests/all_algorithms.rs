@@ -3,8 +3,8 @@
 
 use energy_mis::congest::{CongestSim, GhaffariCongest, LubyCongest};
 use energy_mis::graphs::generators::Family;
-use energy_mis::mis::baselines::nocd_naive::{NaiveSimParams, NoCdNaive};
 use energy_mis::mis::baselines::naive_luby_cd;
+use energy_mis::mis::baselines::nocd_naive::{NaiveSimParams, NoCdNaive};
 use energy_mis::mis::cd::CdMis;
 use energy_mis::mis::low_degree::LowDegreeMis;
 use energy_mis::mis::nocd::NoCdMis;
@@ -121,7 +121,12 @@ fn nocd_naive_on_every_family() {
 
 #[test]
 fn unknown_delta_on_low_degree_families() {
-    for fam in [Family::Path, Family::Cycle, Family::Empty, Family::BoundedDegree(4)] {
+    for fam in [
+        Family::Path,
+        Family::Cycle,
+        Family::Empty,
+        Family::BoundedDegree(4),
+    ] {
         let g = fam.generate(32, 77);
         let template = NoCdParams::for_n(128, 2);
         let report = Simulator::new(&g, SimConfig::new(ChannelModel::NoCd).with_seed(11))
@@ -140,8 +145,8 @@ fn congest_references_on_every_family() {
     for (label, g) in families(72) {
         let luby = CongestSim::new(&g, 12).run(|_, _| LubyCongest::new(512));
         assert!(luby.is_correct_mis(&g), "Luby failed on {label}");
-        let gha = CongestSim::new(&g, 13)
-            .run(|_, _| GhaffariCongest::new(512, g.max_degree().max(1)));
+        let gha =
+            CongestSim::new(&g, 13).run(|_, _| GhaffariCongest::new(512, g.max_degree().max(1)));
         assert!(gha.is_correct_mis(&g), "Ghaffari failed on {label}");
     }
 }

@@ -59,7 +59,11 @@ fn relative_markdown_links_resolve() {
             }
         }
     }
-    assert!(broken.is_empty(), "broken relative links:\n{}", broken.join("\n"));
+    assert!(
+        broken.is_empty(),
+        "broken relative links:\n{}",
+        broken.join("\n")
+    );
 }
 
 #[test]

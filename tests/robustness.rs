@@ -29,9 +29,10 @@ fn runs_always_terminate_under_any_loss() {
 
 #[test]
 fn total_loss_makes_everyone_a_winner() {
-    // With loss = 1.0 in the CD model collisions are still detected, but a
-    // lone transmitter is never heard; on an empty-ish graph every node
-    // believes it is isolated and joins — detected as non-independent.
+    // With loss = 1.0 every reception fades — including multi-transmitter
+    // collisions, which the fade model used to (incorrectly) let through.
+    // Every node hears pure Silence, believes it is isolated, and joins;
+    // on a path that is maximally non-independent, and verification says so.
     let g = generators::path(8);
     let params = CdParams::for_n(64);
     let config = SimConfig::new(ChannelModel::Cd)
@@ -40,11 +41,10 @@ fn total_loss_makes_everyone_a_winner() {
     let report = Simulator::new(&g, config).run(|_, _| CdMis::new(params));
     assert!(report.completed);
     assert!(!report.is_correct_mis(&g));
-    // Most nodes joined: single transmissions are never heard, so only
-    // collision detection (≥ 2 transmitters, which loss does not mask)
-    // still knocks anyone out.
+    // *Everyone* joined: with collisions silenced too, no signal of any
+    // kind survives to knock a node out.
     let joined = report.mis_mask().iter().filter(|&&b| b).count();
-    assert!(joined > 4, "only {joined} joined under total loss");
+    assert_eq!(joined, 8, "only {joined} joined under total loss");
 }
 
 #[test]
@@ -90,7 +90,10 @@ fn nocd_survives_even_heavy_loss_but_breaks_eventually() {
     let moderate: usize = (0..4).filter(|&t| run(0.6, split_seed(6, t))).count();
     let extreme: usize = (0..4).filter(|&t| run(0.9, split_seed(7, t))).count();
     assert_eq!(clean, 4, "clean runs must all succeed");
-    assert!(moderate >= 3, "60% loss should be absorbed, got {moderate}/4");
+    assert!(
+        moderate >= 3,
+        "60% loss should be absorbed, got {moderate}/4"
+    );
     assert!(extreme <= 1, "90% loss unexpectedly succeeded {extreme}/4");
 }
 
@@ -121,9 +124,72 @@ fn synchronous_wakeup_assumption_is_load_bearing() {
     };
     let sync_ok = (0..trials).filter(|&t| run(false, t)).count();
     let async_ok = (0..trials).filter(|&t| run(true, t)).count();
-    assert_eq!(sync_ok, trials as usize, "synchronous baseline must succeed");
+    assert_eq!(
+        sync_ok, trials as usize,
+        "synchronous baseline must succeed"
+    );
     assert!(
         async_ok < trials as usize,
         "staggered wake-up unexpectedly always succeeded ({async_ok}/{trials})"
     );
+}
+
+#[test]
+fn crashed_nodes_are_exempt_and_survivors_still_solve_mis() {
+    // Crash-stop faults through the facade: the fault-aware verifier judges
+    // the surviving subgraph, so random crashes must not break correctness.
+    use energy_mis::netsim::FaultPlan;
+    let g = generators::gnp(48, 0.12, 21);
+    let params = NoCdParams::for_n(192, g.max_degree().max(2));
+    let mut successes = 0;
+    let trials = 5;
+    for t in 0..trials {
+        // Crash rounds ≤ 10: early enough that every victim is still
+        // active, so all six crashes are guaranteed to land.
+        let plan = FaultPlan::none().with_random_crashes(6, 10);
+        let config = SimConfig::new(ChannelModel::NoCd)
+            .with_seed(split_seed(123, t))
+            .with_faults(plan);
+        let report = Simulator::new(&g, config).run(|_, _| NoCdMis::new(params));
+        assert!(report.completed);
+        assert_eq!(
+            report.faulty.iter().filter(|&&f| f).count(),
+            6,
+            "every injected crash must be recorded as faulty"
+        );
+        if report.is_correct_mis(&g) {
+            successes += 1;
+        }
+    }
+    assert!(
+        successes >= trials - 1,
+        "only {successes}/{trials} solved the surviving subgraph under crashes"
+    );
+}
+
+#[test]
+fn jammers_strand_their_neighborhood_but_the_run_stays_bounded() {
+    // A jammer is pure noise: its CD-model neighbors hear Collision forever
+    // and can never decide, so the run must be capped — and the residual
+    // undecided population must sit inside the jammed neighborhood.
+    use energy_mis::netsim::FaultPlan;
+    let g = generators::gnp(48, 0.12, 33);
+    let params = CdParams::for_n(192);
+    let plan = FaultPlan::none().with_jammer(0);
+    let config = SimConfig::new(ChannelModel::Cd)
+        .with_seed(9)
+        .with_faults(plan)
+        .with_max_rounds(50_000);
+    let report = Simulator::new(&g, config).run(|_, _| CdMis::new(params));
+    assert!(report.is_faulty(0), "the jammer itself is faulty");
+    assert_eq!(report.meters[0].energy(), 0, "jammers meter no energy");
+    // Every undecided survivor borders the jammer.
+    for v in 1..g.len() {
+        if report.meters[v].decided_at.is_none() {
+            assert!(
+                g.neighbors(v).contains(&0),
+                "node {v} is stuck but does not border the jammer"
+            );
+        }
+    }
 }
