@@ -1,0 +1,75 @@
+//! Recovery-layer overhead: pricing the self-healing wrapper and a repair.
+//!
+//! `plain_cd` is the baseline one-shot run. `wrapper_no_faults` wraps the
+//! same machine in [`RepairingMis`] under an inert fault plan, so it pays
+//! the initial run plus the cover/duel monitoring epochs until the
+//! convergence policy stops it — the steady-state cost of *maintaining*
+//! an MIS rather than computing one. `one_recovery` adds a single
+//! crash-recovery window, pricing a full repair episode (violation
+//! detection, neighborhood re-run, re-convergence) end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mis_bench::workload;
+use radio_mis::cd::CdMis;
+use radio_mis::params::CdParams;
+use radio_mis::{RepairConfig, RepairingMis};
+use radio_netsim::{ChannelModel, ConvergencePolicy, FaultPlan, NodeRng, SimConfig, Simulator};
+
+const N: usize = 256;
+
+fn bench(c: &mut Criterion) {
+    let g = workload(N, 42);
+    let params = CdParams::for_n(N);
+    let rc = RepairConfig::for_cd(params.total_rounds());
+    let e = rc.epoch_len();
+    let mut group = c.benchmark_group("repair");
+    group.sample_size(10);
+
+    group.bench_function("plain_cd", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let config = SimConfig::new(ChannelModel::Cd).with_seed(seed);
+            let report = Simulator::new(&g, config).run(|_, _| CdMis::new(params));
+            assert!(report.completed);
+            report.rounds
+        })
+    });
+
+    group.bench_function("wrapper_no_faults", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let config = SimConfig::new(ChannelModel::Cd)
+                .with_seed(seed)
+                .with_convergence(ConvergencePolicy::new(3 * e))
+                .with_max_rounds(600 * e);
+            let report = Simulator::new(&g, config)
+                .run(|_, _| RepairingMis::new(rc, move |_rng: &mut NodeRng| CdMis::new(params)));
+            assert!(report.completed);
+            report.rounds
+        })
+    });
+
+    group.bench_function("one_recovery", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let plan = FaultPlan::none().with_recovery(0, e + 1, 2 * e + 1);
+            let config = SimConfig::new(ChannelModel::Cd)
+                .with_seed(seed)
+                .with_faults(plan)
+                .with_convergence(ConvergencePolicy::new(3 * e))
+                .with_max_rounds(600 * e);
+            let report = Simulator::new(&g, config)
+                .run(|_, _| RepairingMis::new(rc, move |_rng: &mut NodeRng| CdMis::new(params)));
+            assert!(report.completed);
+            report.rounds
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

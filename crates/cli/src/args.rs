@@ -2,7 +2,7 @@
 //! baseline).
 
 use mis_graphs::generators::Family;
-use radio_netsim::{EventKind, FaultPlan};
+use radio_netsim::{DownTime, EventKind, FaultPlan};
 
 /// Which algorithm `mis-sim run` executes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,12 +90,16 @@ pub struct RunOpts {
     /// Master seed.
     pub seed: u64,
     /// Fault plan assembled from `--loss`, `--crashes`/`--crash-by`,
-    /// `--jammers`, `--wake-window`, and the `--dormancy*` flags.
+    /// `--recover-by`, `--jammers`, `--wake-window`, the `--dormancy*`
+    /// flags, and the `--churn*` flags.
     pub faults: FaultPlan,
     /// Round cap (`None` = the engine default). Essential under heavy
     /// faults: a jammed node may never decide, and an uncapped run would
     /// spin to the default 10⁹-round horizon.
     pub max_rounds: Option<u64>,
+    /// Checkpoint file for crash-safe sweeps: finished trials are appended
+    /// as JSON Lines, and re-running with the same path skips them.
+    pub resume: Option<String>,
     /// Use the paper's asymptotic constants instead of the calibrated
     /// presets.
     pub paper_constants: bool,
@@ -116,6 +120,7 @@ impl Default for RunOpts {
             seed: 0,
             faults: FaultPlan::none(),
             max_rounds: None,
+            resume: None,
             paper_constants: false,
             json: false,
             metrics: None,
@@ -137,7 +142,8 @@ pub struct TraceOpts {
     /// Master seed of the (single) traced run.
     pub seed: u64,
     /// Fault plan assembled from `--loss`, `--crashes`/`--crash-by`,
-    /// `--jammers`, `--wake-window`, and the `--dormancy*` flags.
+    /// `--recover-by`, `--jammers`, `--wake-window`, the `--dormancy*`
+    /// flags, and the `--churn*` flags.
     pub faults: FaultPlan,
     /// Round cap (`None` = the engine default).
     pub max_rounds: Option<u64>,
@@ -228,6 +234,7 @@ USAGE:
   mis-sim run    --algorithm <ALG> (--family <FAM> --n <N> | --graph <FILE>)
                  [--trials <T>] [--seed <S>] [--max-rounds <R>] [FAULTS]
                  [--paper-constants] [--json] [--metrics <FILE>]
+                 [--resume <FILE>]
   mis-sim trace  --algorithm <ALG> (--family <FAM> --n <N> | --graph <FILE>)
                  [--seed <S>] [--max-rounds <R>] [FAULTS] [--paper-constants]
                  [--events <K,K,..>] [--nodes <V,V,..>]
@@ -246,9 +253,19 @@ FAULTS (radio algorithms only; resolved deterministically from --seed):
                         with probability P ...
   --dormancy-start <R>  ... starting uniformly in [0, R] (default 0)
   --dormancy-len <L>    ... lasting L rounds (default 8)
+  --recover-by <R>      crashed nodes restart (state wiped, re-admitted) at
+                        a round drawn uniformly in (crash, R]; needs --crashes
+  --churn <RATE>        per-round probability that an up node goes down ...
+  --churn-until <R>     ... with no new outage at or after round R
+                        (default 1000) ...
+  --churn-downtime <D>  ... staying down D rounds, or LO:HI for a uniform
+                        draw from [LO, HI] (default 8)
 
 `run --metrics` appends one JSON line per (trial, processed round) with the
-channel metrics of that round. `trace` streams the events of a single run
+channel metrics of that round. `run --resume FILE` checkpoints each finished
+trial to FILE as JSON Lines and, when re-run with the same FILE, re-runs
+only the missing trials — a killed sweep loses at most one trial's work.
+`trace` streams the events of a single run
 as JSON Lines; event kinds are acted, fed, status, finished, fault, metrics.
 
 Run `mis-sim list` for the available algorithms and families.";
@@ -324,7 +341,7 @@ where
 }
 
 /// The fault-flag names shared by `run` and `trace`.
-const FAULT_KEYS: [&str; 8] = [
+const FAULT_KEYS: [&str; 12] = [
     "loss",
     "crashes",
     "crash-by",
@@ -333,7 +350,32 @@ const FAULT_KEYS: [&str; 8] = [
     "dormancy",
     "dormancy-start",
     "dormancy-len",
+    "recover-by",
+    "churn",
+    "churn-until",
+    "churn-downtime",
 ];
+
+/// Parses a `--churn-downtime` value: `"D"` for a fixed outage length or
+/// `"LO:HI"` for a uniform draw.
+fn parse_downtime(value: &str) -> Result<DownTime, String> {
+    if let Some((lo, hi)) = value.split_once(':') {
+        let lo: u64 = parse_num(lo, "churn-downtime")?;
+        let hi: u64 = parse_num(hi, "churn-downtime")?;
+        if lo == 0 || hi < lo {
+            return Err(format!(
+                "--churn-downtime {value:?} must satisfy 1 ≤ LO ≤ HI"
+            ));
+        }
+        Ok(DownTime::Uniform { lo, hi })
+    } else {
+        let d: u64 = parse_num(value, "churn-downtime")?;
+        if d == 0 {
+            return Err("--churn-downtime must be ≥ 1".into());
+        }
+        Ok(DownTime::Fixed(d))
+    }
+}
 
 /// Assembles a [`FaultPlan`] from the shared fault flags.
 fn parse_faults(
@@ -357,8 +399,17 @@ fn parse_faults(
             _ => 0,
         };
         plan = plan.with_random_crashes(crashes, by);
+        if let Some(Some(v)) = opts.get("recover-by") {
+            let r: u64 = parse_num(v, "recover-by")?;
+            if r <= by {
+                return Err(format!("--recover-by {r} must be above --crash-by {by}"));
+            }
+            plan = plan.with_recover_by(r);
+        }
     } else if opts.contains_key("crash-by") {
         return Err("--crash-by requires --crashes".into());
+    } else if opts.contains_key("recover-by") {
+        return Err("--recover-by requires --crashes".into());
     }
     if let Some(Some(v)) = opts.get("jammers") {
         let k: usize = parse_num(v, "jammers")?;
@@ -394,6 +445,25 @@ fn parse_faults(
     } else if opts.contains_key("dormancy-start") || opts.contains_key("dormancy-len") {
         return Err("--dormancy-start/--dormancy-len require --dormancy".into());
     }
+    if let Some(Some(v)) = opts.get("churn") {
+        let rate: f64 = parse_num(v, "churn")?;
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!("--churn {rate} outside [0, 1]"));
+        }
+        if rate > 0.0 {
+            let until: u64 = match opts.get("churn-until") {
+                Some(Some(v)) => parse_num(v, "churn-until")?,
+                _ => 1000,
+            };
+            let downtime = match opts.get("churn-downtime") {
+                Some(Some(v)) => parse_downtime(v)?,
+                _ => DownTime::Fixed(8),
+            };
+            plan = plan.with_churn(rate, until, downtime);
+        }
+    } else if opts.contains_key("churn-until") || opts.contains_key("churn-downtime") {
+        return Err("--churn-until/--churn-downtime require --churn".into());
+    }
     Ok(plan)
 }
 
@@ -411,6 +481,7 @@ fn parse_run(args: &[&str]) -> Result<RunOpts, String> {
             "paper-constants",
             "json",
             "metrics",
+            "resume",
         ]
         .contains(&key.as_str())
             && !FAULT_KEYS.contains(&key.as_str())
@@ -440,6 +511,7 @@ fn parse_run(args: &[&str]) -> Result<RunOpts, String> {
     run.paper_constants = opts.contains_key("paper-constants");
     run.json = opts.contains_key("json");
     run.metrics = opts.get("metrics").and_then(|v| v.map(str::to_string));
+    run.resume = opts.get("resume").and_then(|v| v.map(str::to_string));
     if run.trials == 0 {
         return Err("--trials must be ≥ 1".into());
     }
@@ -610,6 +682,89 @@ mod tests {
             Command::Run(r) => assert!(r.faults.is_inert()),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_recovery_flags_into_a_plan() {
+        let cli = parse_ok(
+            "run --algorithm cd --family star --n 16 --crashes 3 --crash-by 40 \
+             --recover-by 90 --churn 0.01 --churn-until 500 --churn-downtime 3:9",
+        );
+        match cli.command {
+            Command::Run(r) => {
+                let f = &r.faults;
+                assert!(!f.is_inert());
+                assert_eq!(f.recover_by, Some(90));
+                let c = f.churn.as_ref().unwrap();
+                assert!((c.rate - 0.01).abs() < 1e-12);
+                assert_eq!(c.until, 500);
+                assert_eq!(c.downtime, DownTime::Uniform { lo: 3, hi: 9 });
+            }
+            other => panic!("{other:?}"),
+        }
+        // Fixed down-time spelling, with the default window.
+        let cli =
+            parse_ok("run --algorithm cd --family star --n 16 --churn 0.02 --churn-downtime 5");
+        match cli.command {
+            Command::Run(r) => {
+                let c = r.faults.churn.as_ref().unwrap();
+                assert_eq!(c.downtime, DownTime::Fixed(5));
+                assert_eq!(c.until, 1000);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Churn flags parse identically on `trace`.
+        let cli = parse_ok("trace --algorithm cd --family star --n 16 --churn 0.05");
+        match cli.command {
+            Command::Trace(t) => assert!(t.faults.churn.is_some()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_run_with_resume_path() {
+        let cli = parse_ok("run --algorithm cd --family star --n 16 --resume sweep.jsonl");
+        match cli.command {
+            Command::Run(r) => assert_eq!(r.resume.as_deref(), Some("sweep.jsonl")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_recovery_flags() {
+        let check = |line: &str, needle: &str| {
+            let args: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+            let err = parse(&args).unwrap_err();
+            assert!(err.contains(needle), "{err:?} missing {needle:?}");
+        };
+        check(
+            "run --algorithm cd --family star --n 4 --recover-by 9",
+            "requires --crashes",
+        );
+        check(
+            "run --algorithm cd --family star --n 4 --crashes 2 --crash-by 10 --recover-by 5",
+            "must be above",
+        );
+        check(
+            "run --algorithm cd --family star --n 4 --churn-until 50",
+            "require --churn",
+        );
+        check(
+            "run --algorithm cd --family star --n 4 --churn 2",
+            "outside [0, 1]",
+        );
+        check(
+            "run --algorithm cd --family star --n 4 --churn 0.1 --churn-downtime 0",
+            "≥ 1",
+        );
+        check(
+            "run --algorithm cd --family star --n 4 --churn 0.1 --churn-downtime 9:3",
+            "LO ≤ HI",
+        );
+        check(
+            "run --algorithm cd --family star --n 4 --churn 0.1 --churn-downtime x:3",
+            "invalid --churn-downtime",
+        );
     }
 
     #[test]

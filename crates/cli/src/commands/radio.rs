@@ -14,7 +14,10 @@ use radio_mis::low_degree::LowDegreeMis;
 use radio_mis::nocd::NoCdMis;
 use radio_mis::params::{CdParams, LowDegreeParams, NoCdParams};
 use radio_mis::unknown_delta::UnknownDeltaMis;
-use radio_netsim::{ChannelModel, RunReport, SimConfig, Simulator, TraceSink};
+use radio_netsim::{
+    run_trials_resumable, ChannelModel, RunReport, SimConfig, Simulator, TraceSink, TrialSet,
+};
+use std::path::Path;
 
 /// The radio channel model `alg` runs under, or `None` for the wired
 /// CONGEST reference algorithms.
@@ -116,6 +119,101 @@ pub fn run_radio_traced<T: TraceSink>(
     Ok(report)
 }
 
+/// Runs `trials` checkpointed trials of `alg` on `g`, appending each
+/// finished trial to the JSONL file at `checkpoint` and skipping trials
+/// already recorded there (see
+/// [`run_trials_resumable`](radio_netsim::run_trials_resumable)).
+///
+/// Trial `t` runs with seed `split_seed(config.seed, t)`, exactly like the
+/// non-resumable path, so a resumed sweep merges byte-identically with a
+/// fresh one. Panicking trials land in [`TrialSet::failures`] instead of
+/// aborting the sweep.
+///
+/// # Errors
+///
+/// Returns a message for the wired CONGEST algorithms and for checkpoint
+/// I/O failures.
+pub fn run_radio_resumable(
+    g: &Graph,
+    alg: Algorithm,
+    config: SimConfig,
+    paper: bool,
+    trials: usize,
+    checkpoint: &Path,
+) -> Result<TrialSet, String> {
+    let n_bound = g.len().max(2);
+    let delta = g.max_degree().max(2);
+    let set = match alg {
+        Algorithm::Cd | Algorithm::Beeping => {
+            let p = if paper {
+                CdParams::paper(n_bound)
+            } else {
+                CdParams::for_n(n_bound)
+            };
+            run_trials_resumable(g, config, trials, None, checkpoint, |_, _| CdMis::new(p))
+        }
+        Algorithm::BeepingNative => {
+            let p = BeepingParams::for_n(n_bound);
+            run_trials_resumable(g, config, trials, None, checkpoint, |_, _| {
+                NativeBeepingMis::new(p)
+            })
+        }
+        Algorithm::NaiveLuby => {
+            let p = if paper {
+                CdParams::paper(n_bound)
+            } else {
+                CdParams::for_n(n_bound)
+            };
+            run_trials_resumable(g, config, trials, None, checkpoint, |_, _| naive_luby_cd(p))
+        }
+        Algorithm::NoCd => {
+            let p = if paper {
+                NoCdParams::paper(n_bound, delta)
+            } else {
+                NoCdParams::for_n(n_bound, delta)
+            };
+            run_trials_resumable(g, config, trials, None, checkpoint, |_, _| NoCdMis::new(p))
+        }
+        Algorithm::LowDegree => {
+            let p = if paper {
+                LowDegreeParams::paper(n_bound, delta)
+            } else {
+                LowDegreeParams::for_n(n_bound, delta)
+            };
+            run_trials_resumable(g, config, trials, None, checkpoint, |_, _| {
+                LowDegreeMis::new(p)
+            })
+        }
+        Algorithm::NoCdNaive => {
+            let cd = if paper {
+                CdParams::paper(n_bound)
+            } else {
+                CdParams::for_n(n_bound)
+            };
+            run_trials_resumable(g, config, trials, None, checkpoint, |_, _| {
+                NoCdNaive::new(cd, NaiveSimParams::for_n(n_bound, delta))
+            })
+        }
+        Algorithm::UnknownDelta => {
+            let template = if paper {
+                NoCdParams::paper(n_bound, 2)
+            } else {
+                NoCdParams::for_n(n_bound, 2)
+            };
+            run_trials_resumable(g, config, trials, None, checkpoint, |_, _| {
+                UnknownDeltaMis::new(n_bound, template)
+            })
+        }
+        Algorithm::CongestLuby | Algorithm::CongestGhaffari => {
+            return Err(format!(
+                "{} is a wired CONGEST algorithm; --resume checkpointing applies to radio algorithms only",
+                alg.label()
+            ));
+        }
+    };
+    set.map_err(|e| format!("checkpoint {}: {e}", checkpoint.display()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,6 +249,46 @@ mod tests {
         let config = SimConfig::new(ChannelModel::Cd);
         let err = run_radio_traced(&g, Algorithm::CongestLuby, config, false, &mut NullTrace)
             .unwrap_err();
+        assert!(err.contains("radio"), "{err}");
+    }
+
+    #[test]
+    fn resumable_dispatch_checkpoints_and_skips_recorded_trials() {
+        let dir = std::env::temp_dir().join(format!("mis_cli_radio_resume_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        let g = mis_graphs::generators::gnp(32, 0.1, 1);
+        let config = SimConfig::new(ChannelModel::Cd).with_seed(11);
+        let first =
+            run_radio_resumable(&g, Algorithm::Cd, config.clone(), false, 2, &path).unwrap();
+        assert_eq!(first.len(), 2);
+        assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 2);
+
+        // Asking for 4 trials appends only the 2 missing ones.
+        let second = run_radio_resumable(&g, Algorithm::Cd, config, false, 4, &path).unwrap();
+        assert_eq!(second.len(), 4);
+        assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 4);
+        assert!(second.outcomes.iter().all(|o| o.correct));
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn resumable_dispatch_rejects_congest() {
+        let g = mis_graphs::generators::path(4);
+        let config = SimConfig::new(ChannelModel::Cd);
+        let err = run_radio_resumable(
+            &g,
+            Algorithm::CongestGhaffari,
+            config,
+            false,
+            1,
+            Path::new("unused.jsonl"),
+        )
+        .unwrap_err();
         assert!(err.contains("radio"), "{err}");
     }
 }

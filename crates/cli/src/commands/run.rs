@@ -1,6 +1,6 @@
 //! `mis-sim run`: execute an algorithm over trials and summarize.
 
-use super::radio::{radio_channel, run_radio_traced};
+use super::radio::{radio_channel, run_radio_resumable, run_radio_traced};
 use crate::args::{Algorithm, RunOpts};
 use congest_sim::{CongestSim, GhaffariCongest, LubyCongest};
 use mis_graphs::{io, mis, Graph};
@@ -9,6 +9,7 @@ use mis_stats::{Summary, Table};
 use radio_netsim::{split_seed, FaultPlan, NullTrace, RoundMetrics, SimConfig};
 use serde::Serialize;
 use std::io::Write as _;
+use std::path::Path;
 
 /// Per-trial record for the report.
 #[derive(Debug, Clone, Serialize)]
@@ -22,6 +23,14 @@ struct TrialRow {
     rounds: u64,
 }
 
+/// A trial that panicked or blew its budget during a `--resume` sweep.
+#[derive(Debug, Clone, Serialize)]
+struct FailureRow {
+    trial: usize,
+    seed: u64,
+    panic: String,
+}
+
 /// Aggregated run report (serialized with `--json`).
 #[derive(Debug, Clone, Serialize)]
 struct RunSummary {
@@ -31,6 +40,10 @@ struct RunSummary {
     graph_edges: usize,
     graph_max_degree: usize,
     trials: Vec<TrialRow>,
+    /// Isolated trial failures (panics / budget violations) from a
+    /// `--resume` sweep; summaries below cover the surviving trials only.
+    #[serde(skip_serializing_if = "Vec::is_empty")]
+    failures: Vec<FailureRow>,
     success_rate: f64,
     energy_max_mean: f64,
     energy_avg_mean: f64,
@@ -94,14 +107,20 @@ struct MetricsRow<'a> {
     metrics: &'a RoundMetrics,
 }
 
-fn write_metrics_jsonl(path: &str, timelines: &[Vec<RoundMetrics>]) -> Result<(), String> {
+fn write_metrics_jsonl(path: &str, timelines: &[(usize, Vec<RoundMetrics>)]) -> Result<(), String> {
     let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
     let mut w = std::io::BufWriter::new(file);
     let io_err = |e: std::io::Error| format!("cannot write {path}: {e}");
-    for (trial, timeline) in timelines.iter().enumerate() {
+    for (trial, timeline) in timelines {
         for metrics in timeline {
-            serde_json::to_writer(&mut w, &MetricsRow { trial, metrics })
-                .map_err(|e| io_err(e.into()))?;
+            serde_json::to_writer(
+                &mut w,
+                &MetricsRow {
+                    trial: *trial,
+                    metrics,
+                },
+            )
+            .map_err(|e| io_err(e.into()))?;
             w.write_all(b"\n").map_err(io_err)?;
         }
     }
@@ -151,40 +170,91 @@ pub fn execute(opts: &RunOpts) -> Result<String, String> {
     if is_congest && opts.metrics.is_some() {
         return Err("--metrics applies only to radio algorithms".into());
     }
+    if is_congest && opts.resume.is_some() {
+        return Err("--resume checkpointing applies only to radio algorithms".into());
+    }
 
     let mut rows = Vec::with_capacity(opts.trials);
-    let mut timelines: Vec<Vec<RoundMetrics>> = Vec::new();
-    for t in 0..opts.trials {
-        let seed = split_seed(opts.seed, t as u64);
-        let (correct, mis_size, emax, eavg, rounds) = match opts.algorithm {
-            Algorithm::CongestLuby | Algorithm::CongestGhaffari => {
-                congest_trial(&graph, opts.algorithm, seed)
+    let mut failures: Vec<FailureRow> = Vec::new();
+    let mut timelines: Vec<(usize, Vec<RoundMetrics>)> = Vec::new();
+    if let Some(checkpoint) = &opts.resume {
+        // Checkpointed sweep: finished trials append to the JSONL file as
+        // they complete; trials already recorded there are merged, not
+        // re-run. Panicking trials are isolated into `failures`.
+        let channel = radio_channel(opts.algorithm).expect("congest rejected above");
+        let mut config = SimConfig::new(channel)
+            .with_seed(opts.seed)
+            .with_faults(opts.faults.clone());
+        if let Some(cap) = opts.max_rounds {
+            config = config.with_max_rounds(cap);
+        }
+        if opts.metrics.is_some() {
+            config = config.with_round_metrics();
+        }
+        let set = run_radio_resumable(
+            &graph,
+            opts.algorithm,
+            config,
+            opts.paper_constants,
+            opts.trials,
+            Path::new(checkpoint),
+        )?;
+        for mut o in set.outcomes {
+            if opts.metrics.is_some() {
+                timelines.push((o.trial, o.report.metrics.take().unwrap_or_default()));
             }
-            alg => {
-                let (row, timeline) = radio_trial(
-                    &graph,
-                    alg,
-                    seed,
-                    &opts.faults,
-                    opts.max_rounds,
-                    opts.paper_constants,
-                    opts.metrics.is_some(),
-                );
-                if opts.metrics.is_some() {
-                    timelines.push(timeline);
+            rows.push(TrialRow {
+                trial: o.trial,
+                seed: o.seed,
+                correct: o.correct,
+                mis_size: mis::set_size(&o.report.mis_mask()),
+                energy_max: o.report.max_energy(),
+                energy_avg: o.report.avg_energy(),
+                rounds: o.report.rounds,
+            });
+        }
+        failures = set
+            .failures
+            .into_iter()
+            .map(|f| FailureRow {
+                trial: f.trial,
+                seed: f.seed,
+                panic: f.panic,
+            })
+            .collect();
+    } else {
+        for t in 0..opts.trials {
+            let seed = split_seed(opts.seed, t as u64);
+            let (correct, mis_size, emax, eavg, rounds) = match opts.algorithm {
+                Algorithm::CongestLuby | Algorithm::CongestGhaffari => {
+                    congest_trial(&graph, opts.algorithm, seed)
                 }
-                row
-            }
-        };
-        rows.push(TrialRow {
-            trial: t,
-            seed,
-            correct,
-            mis_size,
-            energy_max: emax,
-            energy_avg: eavg,
-            rounds,
-        });
+                alg => {
+                    let (row, timeline) = radio_trial(
+                        &graph,
+                        alg,
+                        seed,
+                        &opts.faults,
+                        opts.max_rounds,
+                        opts.paper_constants,
+                        opts.metrics.is_some(),
+                    );
+                    if opts.metrics.is_some() {
+                        timelines.push((t, timeline));
+                    }
+                    row
+                }
+            };
+            rows.push(TrialRow {
+                trial: t,
+                seed,
+                correct,
+                mis_size,
+                energy_max: emax,
+                energy_avg: eavg,
+                rounds,
+            });
+        }
     }
     if let Some(path) = &opts.metrics {
         write_metrics_jsonl(path, &timelines)?;
@@ -201,6 +271,7 @@ pub fn execute(opts: &RunOpts) -> Result<String, String> {
         energy_avg_mean: Summary::of(&rows.iter().map(|r| r.energy_avg).collect::<Vec<_>>()).mean,
         rounds_mean: Summary::of(&rows.iter().map(|r| r.rounds as f64).collect::<Vec<_>>()).mean,
         trials: rows,
+        failures,
     };
 
     if opts.json {
@@ -244,8 +315,27 @@ pub fn execute(opts: &RunOpts) -> Result<String, String> {
         fmt_num(summary.energy_avg_mean),
         fmt_num(summary.rounds_mean),
     ));
+    if !summary.failures.is_empty() {
+        out.push_str(&format!(
+            "{} trial(s) failed and were isolated (summaries cover survivors):\n",
+            summary.failures.len()
+        ));
+        for f in &summary.failures {
+            out.push_str(&format!(
+                "  trial {} (seed {}): {}\n",
+                f.trial, f.seed, f.panic
+            ));
+        }
+    }
+    if let Some(path) = &opts.resume {
+        out.push_str(&format!(
+            "checkpoint: {} of {} trial(s) recorded in {path}\n",
+            summary.trials.len() + summary.failures.len(),
+            opts.trials
+        ));
+    }
     if let Some(path) = &opts.metrics {
-        let records: usize = timelines.iter().map(Vec::len).sum();
+        let records: usize = timelines.iter().map(|(_, t)| t.len()).sum();
         out.push_str(&format!("round metrics: {records} records → {path}\n"));
     }
     Ok(out)
@@ -361,6 +451,57 @@ mod tests {
         let opts = RunOpts {
             algorithm: Algorithm::CongestLuby,
             metrics: Some("out.jsonl".into()),
+            ..RunOpts::default()
+        };
+        assert!(execute(&opts).unwrap_err().contains("radio"));
+    }
+
+    #[test]
+    fn resume_sweep_checkpoints_and_reruns_only_missing_trials() {
+        let dir = std::env::temp_dir().join(format!("mis_cli_test_resume_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let base = RunOpts {
+            n: 48,
+            seed: 4,
+            resume: Some(path.to_string_lossy().into_owned()),
+            ..RunOpts::default()
+        };
+        let opts = RunOpts {
+            trials: 2,
+            ..base.clone()
+        };
+        let out = execute(&opts).unwrap();
+        assert!(
+            out.contains("checkpoint: 2 of 2 trial(s) recorded"),
+            "{out}"
+        );
+        assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 2);
+
+        // Re-running for 4 trials appends only the 2 missing ones, and the
+        // merged report covers all 4.
+        let opts = RunOpts {
+            trials: 4,
+            ..base.clone()
+        };
+        let out = execute(&opts).unwrap();
+        assert!(
+            out.contains("checkpoint: 4 of 4 trial(s) recorded"),
+            "{out}"
+        );
+        assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 4);
+        assert!(out.contains("success 100%"), "{out}");
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn rejects_resume_on_congest() {
+        let opts = RunOpts {
+            algorithm: Algorithm::CongestLuby,
+            resume: Some("sweep.jsonl".into()),
             ..RunOpts::default()
         };
         assert!(execute(&opts).unwrap_err().contains("radio"));

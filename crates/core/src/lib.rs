@@ -22,7 +22,13 @@
 //!   sketched in §1.1;
 //! - **Applications** ([`applications`]): maximal matching (via the line
 //!   graph) and (Δ+1)-coloring (via iterated MIS) — the backbone-building
-//!   uses the paper's introduction motivates.
+//!   uses the paper's introduction motivates;
+//! - **Self-healing MIS** ([`repair::RepairingMis`]): a maintenance wrapper
+//!   that detects post-fault MIS violations locally (uncovered nodes,
+//!   adjacent in-MIS pairs) and re-runs any of the above schedules on the
+//!   affected neighborhood — the repair layer for the crash-recovery,
+//!   churn, and join fault clauses of
+//!   [`radio_netsim::FaultPlan`].
 //!
 //! All tunable constants live in [`params`], with both the paper's
 //! asymptotic-regime values and calibrated presets for finite-n experiments.
@@ -56,7 +62,9 @@ pub mod low_degree;
 pub mod lower_bound;
 pub mod nocd;
 pub mod params;
+pub mod repair;
 pub mod unknown_delta;
 
 pub use cd::CdMis;
 pub use nocd::NoCdMis;
+pub use repair::{RepairConfig, RepairingMis};

@@ -1,0 +1,644 @@
+//! Self-healing MIS: a wrapper that detects post-fault violations locally
+//! and re-runs the underlying MIS machine on the affected neighborhood.
+//!
+//! The paper's algorithms compute an MIS once and terminate; under the
+//! crash-recovery and churn clauses of
+//! [`radio_netsim::FaultPlan`] that is not enough — a revived or joined
+//! node comes back blank, and the set it rejoins may no longer be correct
+//! around it. [`RepairingMis`] wraps any MIS [`Protocol`] (the inner
+//! *schedule*, e.g. [`CdMis`](crate::cd::CdMis)) in a maintenance loop that
+//! keeps the MIS invariant locally checkable and locally repairable:
+//!
+//! Time is divided into **epochs** of `schedule_len + 2` rounds:
+//!
+//! - **Cover round** (offset 0): every `in-MIS` monitor transmits with
+//!   probability `cover_tx_prob`; everyone else listens. An `out-MIS`
+//!   monitor that hears activity is still covered and resets its miss
+//!   counter; one that misses `miss_threshold` consecutive covers concludes
+//!   its dominator is gone and *reopens* (reverts to undecided). An
+//!   undecided (repairing) node that hears a cover adopts `out-MIS`
+//!   directly — its dominator announced itself. An `in-MIS` monitor that
+//!   *listened* (only possible when `cover_tx_prob < 1`) and heard activity
+//!   has an adjacent `in-MIS` node: it reopens.
+//! - **Duel round** (offset 1): `in-MIS` monitors flip a fair coin between
+//!   transmitting and listening; a listener that hears activity has an
+//!   adjacent `in-MIS` transmitter and reopens. Only listeners reopen, so
+//!   two adjacent `in-MIS` nodes are never both dropped in the same duel —
+//!   the asymmetry is what breaks the tie.
+//! - **Work rounds** (offsets `2..schedule_len + 2`): reopened nodes run a
+//!   *fresh* instance of the inner schedule (built by the wrapper's
+//!   factory), with the epoch's work rounds presented to it as rounds
+//!   `0..schedule_len`. Monitors sleep through the work rounds, so a
+//!   repairing neighborhood competes only with itself.
+//!
+//! A node that reopens mid-epoch (at a cover or duel) does **not** run the
+//! inner schedule in the same epoch: it first listens to the *next* cover.
+//! This is load-bearing, not an optimisation — a duel loser that re-ran
+//! immediately would compete against sleeping monitors, win unopposed, and
+//! duel its neighbor forever. Checking the cover first lets it adopt
+//! `out-MIS` under its surviving dominator and converge.
+//!
+//! Restarted nodes (rebuilt by the engine after a down window, see
+//! [`Protocol::on_restart`]) and mid-run joiners enter the same way: they
+//! wait for the next cover, fast-adopt `out-MIS` if they hear one, and
+//! otherwise run the inner schedule in the following epoch.
+//!
+//! # Termination and convergence
+//!
+//! With `monitor_epochs = None` (the default) monitors never retire, so the
+//! wrapped protocol never finishes on its own — runs are ended by a
+//! [`ConvergencePolicy`](radio_netsim::ConvergencePolicy), which stops once
+//! the live-subgraph MIS has been stable for a configured window and
+//! reports [`RunReport::converged_at`](radio_netsim::RunReport). With
+//! `monitor_epochs = Some(k)`, an `out-MIS` monitor retires after `k`
+//! consecutive covered epochs and an `in-MIS` monitor at its `k + 1`-th
+//! quiet cover, so a fault-free tail ends by itself.
+//!
+//! # Channel-model caveats
+//!
+//! Cover and duel detection use [`Feedback::heard_activity`], so the loop
+//! runs unchanged in the CD, no-CD and beeping models — with two caveats.
+//! Under **no-CD**, two simultaneous cover transmissions read as silence,
+//! so coverage can be missed spuriously; [`RepairConfig::for_nocd`]
+//! compensates with `cover_tx_prob = 0.5` and a deeper miss threshold.
+//! Under **jamming**, cover rounds can read as activity that isn't a
+//! dominator, making repairing nodes adopt `out-MIS` spuriously; the
+//! wrapper is designed for the *terminal* fault classes (crash-recovery,
+//! churn, joins), and composing it with continuous jammers trades repair
+//! latency for false coverage.
+
+use radio_netsim::{Action, Feedback, Message, NodeRng, NodeStatus, Protocol};
+use rand::Rng;
+
+/// Tuning for the [`RepairingMis`] maintenance loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepairConfig {
+    /// Length of the inner schedule in rounds: the wrapper presents each
+    /// epoch's work rounds to a fresh inner instance as rounds
+    /// `0..schedule_len` (e.g. [`CdParams::total_rounds`](crate::params::CdParams::total_rounds)).
+    pub schedule_len: u64,
+    /// Probability that an `in-MIS` monitor transmits in a cover round
+    /// (listening otherwise). `1.0` for models where collisions are
+    /// audible; below `1.0` where two covers would cancel to silence.
+    pub cover_tx_prob: f64,
+    /// Consecutive missed covers after which an `out-MIS` monitor reopens.
+    pub miss_threshold: u32,
+    /// If `Some(k)`, monitors retire after `k` quiet epochs (`k + 1` for
+    /// `in-MIS`, which outlives the neighbors it covers); if `None`, they
+    /// monitor forever and the run is ended by a
+    /// [`ConvergencePolicy`](radio_netsim::ConvergencePolicy).
+    pub monitor_epochs: Option<u64>,
+}
+
+impl RepairConfig {
+    /// Preset for channels with audible collisions (CD, beeping): covers
+    /// are always transmitted, and two misses prove the dominator gone.
+    pub fn for_cd(schedule_len: u64) -> RepairConfig {
+        assert!(
+            schedule_len >= 1,
+            "inner schedule must have at least 1 round"
+        );
+        RepairConfig {
+            schedule_len,
+            cover_tx_prob: 1.0,
+            miss_threshold: 2,
+            monitor_epochs: None,
+        }
+    }
+
+    /// Preset for the no-CD model, where simultaneous covers cancel to
+    /// silence: covers are halved and the miss threshold deepened so a
+    /// covered node is overwhelmingly likely to hear a lone cover before
+    /// concluding it is orphaned.
+    pub fn for_nocd(schedule_len: u64) -> RepairConfig {
+        assert!(
+            schedule_len >= 1,
+            "inner schedule must have at least 1 round"
+        );
+        RepairConfig {
+            schedule_len,
+            cover_tx_prob: 0.5,
+            miss_threshold: 6,
+            monitor_epochs: None,
+        }
+    }
+
+    /// Makes monitors retire after `k` quiet epochs (see
+    /// [`RepairConfig::monitor_epochs`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn with_monitor_epochs(mut self, k: u64) -> RepairConfig {
+        assert!(k >= 1, "monitoring for 0 epochs would retire unverified");
+        self.monitor_epochs = Some(k);
+        self
+    }
+
+    /// Rounds per epoch: cover + duel + the inner schedule.
+    pub fn epoch_len(&self) -> u64 {
+        self.schedule_len + 2
+    }
+}
+
+/// Self-healing wrapper around an inner MIS schedule (module docs).
+///
+/// `make` builds a fresh inner instance each time the node (re)enters
+/// repair; the wrapper never reuses a partially-run inner across epochs.
+#[derive(Debug)]
+pub struct RepairingMis<P, F> {
+    config: RepairConfig,
+    make: F,
+    /// The inner machine currently being driven; `None` while monitoring
+    /// or while waiting for the next cover before repairing.
+    inner: Option<P>,
+    /// Decided status held while monitoring.
+    status: NodeStatus,
+    /// `true` once the inner schedule has decided and the node is in the
+    /// cover/duel maintenance loop.
+    monitoring: bool,
+    /// Earliest cover round from which the inner schedule may be (re)run.
+    /// Reopening mid-epoch pushes this to the next cover (module docs).
+    work_from: u64,
+    /// Consecutive missed covers (out-MIS monitors only).
+    misses: u32,
+    /// Consecutive quiet epochs (towards `monitor_epochs` retirement).
+    quiet: u64,
+    finished: bool,
+    /// Whether the engine revived this instance after a down window.
+    pub restarted: bool,
+    /// Awake rounds spent monitoring (covers and duels).
+    pub monitor_rounds: u64,
+    /// Awake rounds spent repairing (cover checks while undecided plus
+    /// inner work rounds).
+    pub repair_rounds: u64,
+    /// Times this node revoked a decision (miss-threshold, cover conflict
+    /// or duel loss).
+    pub repairs: u32,
+}
+
+impl<P, F> RepairingMis<P, F>
+where
+    P: Protocol,
+    F: FnMut(&mut NodeRng) -> P,
+{
+    /// Creates a repairing node; the first inner instance is built at the
+    /// first work round.
+    pub fn new(config: RepairConfig, make: F) -> RepairingMis<P, F> {
+        RepairingMis {
+            config,
+            make,
+            inner: None,
+            status: NodeStatus::Undecided,
+            monitoring: false,
+            work_from: 0,
+            misses: 0,
+            quiet: 0,
+            finished: false,
+            restarted: false,
+            monitor_rounds: 0,
+            repair_rounds: 0,
+            repairs: 0,
+        }
+    }
+
+    /// The wrapper's tuning.
+    pub fn config(&self) -> &RepairConfig {
+        &self.config
+    }
+
+    /// Revokes the node's decision: it re-checks the next cover and, if
+    /// still undominated, re-runs the inner schedule in the epoch after.
+    fn reopen(&mut self, round: u64) {
+        let e = self.config.epoch_len();
+        self.monitoring = false;
+        self.status = NodeStatus::Undecided;
+        self.inner = None;
+        self.misses = 0;
+        self.quiet = 0;
+        self.work_from = round - round % e + e;
+        self.repairs += 1;
+    }
+
+    /// Adopts a decided status and enters the maintenance loop.
+    fn start_monitoring(&mut self, status: NodeStatus) {
+        debug_assert!(status.is_decided());
+        self.monitoring = true;
+        self.status = status;
+        self.inner = None;
+        self.misses = 0;
+        self.quiet = 0;
+    }
+}
+
+impl<P, F> Protocol for RepairingMis<P, F>
+where
+    P: Protocol,
+    F: FnMut(&mut NodeRng) -> P,
+{
+    fn act(&mut self, round: u64, rng: &mut NodeRng) -> Action {
+        let e = self.config.epoch_len();
+        let base = round - round % e;
+        let offset = round % e;
+        if self.finished {
+            // Defensive: the engine does not poll finished nodes.
+            return Action::halt();
+        }
+        if self.monitoring {
+            if offset == 0 {
+                if self.status == NodeStatus::InMis {
+                    if let Some(k) = self.config.monitor_epochs {
+                        self.quiet += 1;
+                        if self.quiet > k {
+                            self.finished = true;
+                            return Action::halt();
+                        }
+                    }
+                    self.monitor_rounds += 1;
+                    return if rng.gen_bool(self.config.cover_tx_prob) {
+                        Action::Transmit(Message::unary())
+                    } else {
+                        Action::Listen
+                    };
+                }
+                // Out-MIS: check coverage.
+                self.monitor_rounds += 1;
+                return Action::Listen;
+            }
+            if offset == 1 && self.status == NodeStatus::InMis {
+                self.monitor_rounds += 1;
+                return if rng.gen_bool(0.5) {
+                    Action::Transmit(Message::unary())
+                } else {
+                    Action::Listen
+                };
+            }
+            // Monitors sleep through the work rounds.
+            return Action::Sleep { wake_at: base + e };
+        }
+        // Repairing (undecided).
+        if offset == 0 {
+            // Listen to the cover: a dominator announcing itself lets the
+            // node adopt out-MIS without re-running the schedule. Any
+            // half-run inner from a previous epoch is stale by now.
+            self.inner = None;
+            self.repair_rounds += 1;
+            return Action::Listen;
+        }
+        if base < self.work_from {
+            // Reopened mid-epoch: wait for the next cover (module docs).
+            return Action::Sleep {
+                wake_at: self.work_from,
+            };
+        }
+        if offset == 1 {
+            return Action::Sleep { wake_at: base + 2 };
+        }
+        // Work round.
+        if self.inner.is_none() {
+            if offset != 2 {
+                // Mid-schedule arrival (restart or join): the inner can
+                // only start at a work-round 0; wait for the next epoch.
+                return Action::Sleep { wake_at: base + e };
+            }
+            self.inner = Some((self.make)(rng));
+        }
+        let vround = offset - 2;
+        let inner = self.inner.as_mut().expect("inner built above");
+        match inner.act(vround, rng) {
+            Action::Sleep { wake_at } => {
+                if wake_at >= self.config.schedule_len {
+                    Action::Sleep { wake_at: base + e }
+                } else {
+                    Action::Sleep {
+                        wake_at: base + 2 + wake_at,
+                    }
+                }
+            }
+            awake => {
+                self.repair_rounds += 1;
+                awake
+            }
+        }
+    }
+
+    fn feedback(&mut self, round: u64, fb: Feedback, rng: &mut NodeRng) {
+        let e = self.config.epoch_len();
+        let offset = round % e;
+        if self.monitoring {
+            if offset == 0 {
+                if self.status == NodeStatus::InMis {
+                    // Only possible outcome of a transmitted cover is
+                    // `Sent`; a *listening* in-MIS monitor that hears a
+                    // cover has an adjacent in-MIS node.
+                    if fb.heard_activity() {
+                        self.reopen(round);
+                    }
+                } else if fb.heard_activity() {
+                    self.misses = 0;
+                    if let Some(k) = self.config.monitor_epochs {
+                        self.quiet += 1;
+                        if self.quiet >= k {
+                            self.finished = true;
+                        }
+                    }
+                } else {
+                    self.misses += 1;
+                    self.quiet = 0;
+                    if self.misses >= self.config.miss_threshold {
+                        self.reopen(round);
+                    }
+                }
+            } else if offset == 1 && fb.heard_activity() {
+                // Duel loss: an adjacent in-MIS monitor transmitted while
+                // this one listened.
+                self.reopen(round);
+            }
+            return;
+        }
+        if offset == 0 {
+            if fb.heard_activity() {
+                // A dominator covered us: adopt out-MIS directly.
+                self.start_monitoring(NodeStatus::OutMis);
+            }
+            return;
+        }
+        if offset >= 2 {
+            if let Some(inner) = self.inner.as_mut() {
+                inner.feedback(offset - 2, fb, rng);
+                if inner.finished() {
+                    let s = inner.status();
+                    if s.is_decided() {
+                        self.start_monitoring(s);
+                    } else {
+                        // Inner gave up undecided: retry with a fresh
+                        // instance next epoch.
+                        self.inner = None;
+                    }
+                }
+            }
+        }
+    }
+
+    fn status(&self) -> NodeStatus {
+        if self.monitoring {
+            self.status
+        } else {
+            self.inner
+                .as_ref()
+                .map_or(NodeStatus::Undecided, |i| i.status())
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.finished
+    }
+
+    fn on_restart(&mut self, _round: u64, _rng: &mut NodeRng) {
+        // The engine rebuilds the node via the factory before calling this,
+        // so state is already blank; the flag records the revival and the
+        // `work_from` machinery handles the mid-epoch arrival.
+        self.restarted = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_graphs::generators;
+    use proptest::prelude::*;
+    use radio_netsim::{
+        ChannelModel, ConvergencePolicy, FaultPlan, RunReport, SimConfig, Simulator,
+    };
+
+    /// Trivial 1-round inner schedule: transmits once and adopts `target`
+    /// on any feedback. Deterministic, so the wrapper's timing is exactly
+    /// checkable.
+    struct Claim {
+        target: NodeStatus,
+        status: NodeStatus,
+        done: bool,
+    }
+    impl Claim {
+        fn new(target: NodeStatus) -> Claim {
+            Claim {
+                target,
+                status: NodeStatus::Undecided,
+                done: false,
+            }
+        }
+    }
+    impl Protocol for Claim {
+        fn act(&mut self, _round: u64, _rng: &mut NodeRng) -> Action {
+            Action::Transmit(Message::unary())
+        }
+        fn feedback(&mut self, _round: u64, _fb: Feedback, _rng: &mut NodeRng) {
+            self.status = self.target;
+            self.done = true;
+        }
+        fn status(&self) -> NodeStatus {
+            self.status
+        }
+        fn finished(&self) -> bool {
+            self.done
+        }
+    }
+
+    // With `Claim`, schedule_len = 1 and epochs are 3 rounds:
+    // cover (0), duel (1), work (2).
+    const E: u64 = 3;
+
+    fn claim_config() -> RepairConfig {
+        RepairConfig::for_cd(1)
+    }
+
+    #[test]
+    fn epoch_len_and_presets() {
+        assert_eq!(RepairConfig::for_cd(7).epoch_len(), 9);
+        assert_eq!(RepairConfig::for_cd(1).miss_threshold, 2);
+        assert_eq!(RepairConfig::for_nocd(1).miss_threshold, 6);
+        assert!(RepairConfig::for_nocd(1).cover_tx_prob < 1.0);
+        assert_eq!(
+            RepairConfig::for_cd(4)
+                .with_monitor_epochs(3)
+                .monitor_epochs,
+            Some(3)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "0 epochs")]
+    fn zero_monitor_epochs_is_rejected() {
+        let _ = RepairConfig::for_cd(1).with_monitor_epochs(0);
+    }
+
+    /// Path 0-1 where node 0 claims in-MIS and node 1 claims out-MIS: a
+    /// stable configuration from epoch 0. Crashing node 0 permanently
+    /// leaves node 1 uncovered; it must miss two covers, reopen, and
+    /// re-decide in-MIS — at an exactly predictable round.
+    #[test]
+    fn uncovered_out_mis_node_repairs_itself_after_miss_threshold() {
+        let g = generators::path(2);
+        let config = SimConfig::new(ChannelModel::Cd)
+            .with_faults(FaultPlan::none().with_crash(0, 4))
+            .with_convergence(ConvergencePolicy::new(2 * E))
+            .with_round_metrics();
+        let report = Simulator::new(&g, config).run(|v, _| {
+            RepairingMis::new(claim_config(), move |_rng: &mut NodeRng| {
+                Claim::new(if v == 0 {
+                    NodeStatus::InMis
+                } else {
+                    NodeStatus::OutMis
+                })
+            })
+        });
+        assert!(report.completed, "policy should stop the stable tail");
+        assert!(!report.watchdog_fired);
+        // Node 0 crashes at round 4 (its epoch-1 duel). Node 1 misses the
+        // covers at rounds 6 and 9, reopens, checks the (silent) cover at
+        // round 12, and re-decides in-MIS at the work round 14.
+        assert_eq!(report.converged_at, Some(14));
+        assert_eq!(report.statuses[1], NodeStatus::InMis);
+        assert_eq!(report.faulty, vec![true, false]);
+        // The revoked decision reopened the stamp: node 1's decision time
+        // is the repair round, not its original epoch-0 decision.
+        assert_eq!(report.meters[1].decided_at, Some(14));
+        // Population identity holds on every record even while the node
+        // cycles out of and back into the decided set.
+        for m in report.metrics.as_deref().unwrap() {
+            assert_eq!(m.node_count(), 2, "round {}", m.round);
+        }
+        // The repairing column was live while the decision was revoked
+        // (rounds 9..14) and empty again after the re-decision.
+        let timeline = report.metrics.unwrap();
+        assert!(timeline.iter().any(|m| m.repairing == 1));
+        assert_eq!(timeline.last().unwrap().repairing, 0);
+    }
+
+    /// Two adjacent nodes that both claim in-MIS: the duels must whittle
+    /// the conflict down to a single in-MIS node, and the loser must adopt
+    /// out-MIS from its rival's cover.
+    #[test]
+    fn adjacent_in_mis_monitors_duel_down_to_one() {
+        let g = generators::path(2);
+        let config = SimConfig::new(ChannelModel::Cd)
+            .with_seed(5)
+            .with_convergence(ConvergencePolicy::new(4 * E))
+            .with_max_rounds(3000);
+        let report = Simulator::new(&g, config).run(|_, _| {
+            RepairingMis::new(claim_config(), |_rng: &mut NodeRng| {
+                Claim::new(NodeStatus::InMis)
+            })
+        });
+        assert!(report.completed, "duels failed to resolve the conflict");
+        assert!(report.converged_at.is_some());
+        assert!(report.is_correct_mis(&g), "{:?}", report.verify_mis(&g));
+    }
+
+    /// A restarted node re-enters through the cover fast-path: it adopts
+    /// out-MIS under its surviving dominator without re-running the inner
+    /// schedule, and its `restarted` flag is set by the engine hook.
+    #[test]
+    fn revived_node_fast_adopts_out_mis_under_surviving_dominator() {
+        let g = generators::path(2);
+        let config = SimConfig::new(ChannelModel::Cd)
+            .with_faults(FaultPlan::none().with_recovery(1, 4, 5))
+            .with_convergence(ConvergencePolicy::new(2 * E));
+        let report = Simulator::new(&g, config).run(|v, _| {
+            RepairingMis::new(claim_config(), move |_rng: &mut NodeRng| {
+                Claim::new(if v == 0 {
+                    NodeStatus::InMis
+                } else {
+                    NodeStatus::OutMis
+                })
+            })
+        });
+        assert!(report.completed);
+        assert_eq!(report.faulty, vec![false, false]);
+        // Node 1 went down at round 4 and was rebuilt at round 5; its first
+        // chance to hear node 0's cover is round 6, where it adopts
+        // out-MIS — converged one round after the last fault.
+        assert_eq!(report.statuses[1], NodeStatus::OutMis);
+        assert_eq!(report.converged_at, Some(6));
+        assert_eq!(report.meters[1].decided_at, Some(6));
+    }
+
+    /// `monitor_epochs` retires a stable configuration without a policy:
+    /// the out-MIS node leaves after k covered epochs, the in-MIS node one
+    /// cover later, and the run completes on its own.
+    #[test]
+    fn monitor_epochs_retire_a_stable_configuration() {
+        let g = generators::path(2);
+        let config = SimConfig::new(ChannelModel::Cd).with_max_rounds(200);
+        let report = Simulator::new(&g, config).run(|v, _| {
+            RepairingMis::new(
+                claim_config().with_monitor_epochs(3),
+                move |_rng: &mut NodeRng| {
+                    Claim::new(if v == 0 {
+                        NodeStatus::InMis
+                    } else {
+                        NodeStatus::OutMis
+                    })
+                },
+            )
+        });
+        assert!(report.completed, "monitors never retired");
+        assert_eq!(report.statuses[0], NodeStatus::InMis);
+        assert_eq!(report.statuses[1], NodeStatus::OutMis);
+        // In-MIS outlives out-MIS: it must keep covering until its
+        // dependants are gone.
+        let f0 = report.meters[0].finished_at.unwrap();
+        let f1 = report.meters[1].finished_at.unwrap();
+        assert!(f0 > f1, "in-MIS retired at {f0}, before out-MIS at {f1}");
+    }
+
+    /// End-to-end repair with the real CD schedule as the inner machine:
+    /// crash-then-recover a node on corpus graphs and require the run to
+    /// re-converge, with the population identity intact on every round.
+    fn repair_run(n: usize, graph_kind: u8, seed: u64) -> (RunReport, mis_graphs::Graph) {
+        use crate::cd::CdMis;
+        use crate::params::CdParams;
+        let g = match graph_kind {
+            0 => generators::path(n),
+            1 => generators::star(n),
+            2 => generators::cycle(n),
+            _ => generators::clique(n),
+        };
+        let params = CdParams::for_n(32);
+        let config = RepairConfig::for_cd(params.total_rounds());
+        let e = config.epoch_len();
+        let sim = SimConfig::new(ChannelModel::Cd)
+            .with_seed(seed)
+            .with_faults(FaultPlan::none().with_recovery(0, e + 1, e + e / 2))
+            .with_convergence(ConvergencePolicy::new(3 * e))
+            .with_max_rounds(400 * e)
+            .with_round_metrics();
+        let report = Simulator::new(&g, sim)
+            .run(|_, _| RepairingMis::new(config, move |_rng: &mut NodeRng| CdMis::new(params)));
+        (report, g)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// Satellite invariant: a crash-then-recover run of the self-healing
+        /// wrapper re-converges, and nodes leaving and re-entering the
+        /// decided set never unbalance the per-round population identity.
+        #[test]
+        fn crash_recover_runs_reconverge_with_balanced_populations(
+            n in 4usize..10,
+            graph_kind in 0u8..4,
+            seed in 0u64..1000,
+        ) {
+            let (report, g) = repair_run(n, graph_kind, seed);
+            prop_assert!(report.completed, "no convergence: {report:?}");
+            prop_assert!(report.converged_at.is_some());
+            prop_assert!(!report.watchdog_fired);
+            prop_assert!(report.is_correct_mis(&g), "{:?}", report.verify_mis(&g));
+            for m in report.metrics.as_deref().unwrap() {
+                prop_assert_eq!(m.node_count(), g.len() as u32, "round {}", m.round);
+                prop_assert!(m.decided <= g.len() as u32);
+            }
+        }
+    }
+}

@@ -1,0 +1,446 @@
+//! E16 — churn and recovery: self-healing MIS maintenance under
+//! crash-recovery faults.
+//!
+//! The paper computes an MIS once on a static network; this experiment
+//! measures what it takes to *keep* one under the engine's recoverable
+//! fault classes — explicit down windows, recover-by crashes, seeded churn,
+//! and mid-run joins — using [`RepairingMis`] around Algorithm 1 (CD) as
+//! the maintenance layer and a [`ConvergencePolicy`] as the stopwatch.
+//! Per grid cell:
+//!
+//! - **reconverged fraction** — trials whose live-subgraph MIS became and
+//!   stayed correct after the last scheduled fault (`converged_at` set);
+//! - **watchdog aborts** — trials the quiescence watchdog had to kill;
+//! - **mean `converged_at`** — over reconverged trials only (NaN-filtered
+//!   via [`Summary::of_finite`], rendered `n/a` when none reconverged);
+//! - **energy inflation** — mean max-energy vs the fault-free wrapper
+//!   baseline (note: churned cells also run longer, so this folds the
+//!   extended monitoring horizon in with the repair work itself);
+//! - **recovery events** — revivals + joins actually injected (from the
+//!   cumulative round-metrics counters).
+//!
+//! A final instrumented run audits the wrapper's own energy ledger: total
+//! revoked decisions, awake rounds spent repairing, and awake rounds spent
+//! monitoring, with measured rounds-per-repair compared against the claimed
+//! bound (one repair re-runs the inner O(log n)-energy schedule at most
+//! once, plus a constant number of cover checks).
+
+use crate::harness::{pct, ExpConfig, ExperimentOutput, Section};
+use mis_graphs::generators::Family;
+use mis_graphs::Graph;
+use mis_stats::{LineChart, Summary, Table};
+use radio_mis::cd::CdMis;
+use radio_mis::params::CdParams;
+use radio_mis::{RepairConfig, RepairingMis};
+use radio_netsim::{
+    split_seed, Action, ChannelModel, ConvergencePolicy, DownTime, FaultPlan, Feedback, NodeRng,
+    NodeStatus, Protocol, SimConfig, Simulator,
+};
+use rayon::prelude::*;
+use std::sync::Mutex;
+
+/// Aggregates of one fault-plan grid cell.
+struct Cell {
+    converged: usize,
+    aborted: usize,
+    trials: usize,
+    conv: Summary,
+    mean_energy: f64,
+    mean_events: f64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_cell(
+    g: &Graph,
+    params: CdParams,
+    rc: RepairConfig,
+    plan: &FaultPlan,
+    policy: ConvergencePolicy,
+    cap: u64,
+    seed_base: u64,
+    trials: usize,
+) -> Cell {
+    let outcomes: Vec<(f64, bool, u64, u64)> = (0..trials)
+        .into_par_iter()
+        .map(|t| {
+            let config = SimConfig::new(ChannelModel::Cd)
+                .with_seed(split_seed(seed_base, t as u64))
+                .with_faults(plan.clone())
+                .with_convergence(policy)
+                .with_max_rounds(cap)
+                .with_round_metrics();
+            let report = Simulator::new(g, config)
+                .run(|_, _| RepairingMis::new(rc, move |_rng: &mut NodeRng| CdMis::new(params)));
+            let conv = report.converged_at.map_or(f64::NAN, |c| c as f64);
+            let events = report
+                .metrics_timeline()
+                .last()
+                .map_or(0, |m| u64::from(m.recovered) + u64::from(m.joined));
+            (conv, report.watchdog_fired, report.max_energy(), events)
+        })
+        .collect();
+    let t = outcomes.len().max(1) as f64;
+    let convs: Vec<f64> = outcomes.iter().map(|o| o.0).collect();
+    Cell {
+        converged: convs.iter().filter(|c| c.is_finite()).count(),
+        aborted: outcomes.iter().filter(|o| o.1).count(),
+        trials: outcomes.len(),
+        conv: Summary::of_finite(&convs),
+        mean_energy: outcomes.iter().map(|o| o.2 as f64).sum::<f64>() / t,
+        mean_events: outcomes.iter().map(|o| o.3 as f64).sum::<f64>() / t,
+    }
+}
+
+fn push_cell_row(table: &mut Table, label: &str, cell: &Cell, base_energy: f64) {
+    let conv_col = if cell.conv.count == 0 {
+        "n/a".to_string()
+    } else {
+        format!("{:.0}", cell.conv.mean)
+    };
+    table.push_row([
+        label.to_string(),
+        pct(cell.converged, cell.trials),
+        cell.aborted.to_string(),
+        conv_col,
+        format!("{:.2}", cell.mean_energy / base_energy.max(1.0)),
+        format!("{:.1}", cell.mean_events),
+    ]);
+}
+
+const CELL_COLUMNS: [&str; 6] = [
+    "fault plan",
+    "reconverged",
+    "watchdog",
+    "mean converged_at",
+    "energy×",
+    "events",
+];
+
+/// Wrapper that banks the repair ledger of every [`RepairingMis`] instance
+/// — including instances replaced by an engine rebuild — when it is
+/// dropped.
+struct Audit<'a> {
+    inner: RepairingMis<CdMis, Box<dyn FnMut(&mut NodeRng) -> CdMis>>,
+    totals: &'a Mutex<(u64, u64, u64)>,
+}
+
+impl Drop for Audit<'_> {
+    fn drop(&mut self) {
+        let mut t = self.totals.lock().expect("no poisoning");
+        t.0 += u64::from(self.inner.repairs);
+        t.1 += self.inner.repair_rounds;
+        t.2 += self.inner.monitor_rounds;
+    }
+}
+
+impl Protocol for Audit<'_> {
+    fn act(&mut self, round: u64, rng: &mut NodeRng) -> Action {
+        self.inner.act(round, rng)
+    }
+    fn feedback(&mut self, round: u64, fb: Feedback, rng: &mut NodeRng) {
+        self.inner.feedback(round, fb, rng);
+    }
+    fn status(&self) -> NodeStatus {
+        self.inner.status()
+    }
+    fn finished(&self) -> bool {
+        self.inner.finished()
+    }
+    fn on_restart(&mut self, round: u64, rng: &mut NodeRng) {
+        self.inner.on_restart(round, rng);
+    }
+}
+
+/// Runs E16.
+pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
+    let n = if cfg.quick { 24 } else { 64 };
+    let trials = cfg.trials(9);
+    let g = Family::GnpAvgDegree(6).generate(n, cfg.seed ^ 0x16);
+    let params = CdParams::for_n(4 * n);
+    let rc = RepairConfig::for_cd(params.total_rounds());
+    let e = rc.epoch_len();
+    let policy = ConvergencePolicy::new(3 * e).with_quiescence(40 * e);
+    let cap = 200 * e;
+    let churn_until = 6 * e;
+    let downtime = DownTime::Uniform {
+        lo: e / 2,
+        hi: 2 * e,
+    };
+
+    // Fault-free wrapper baseline: epoch 0 solves the MIS, the policy stops
+    // after the stability window, and the energy is the inner schedule plus
+    // a few epochs of monitoring.
+    let base = run_cell(
+        &g,
+        params,
+        rc,
+        &FaultPlan::none(),
+        policy,
+        cap,
+        cfg.seed ^ 0x60,
+        trials,
+    );
+    let base_energy = base.mean_energy;
+
+    // Axis 1: churn load, expressed as the expected number of outages per
+    // node over the churn window (per-round rate = load / window).
+    let loads: &[f64] = if cfg.quick {
+        &[0.0, 1.0, 3.0]
+    } else {
+        &[0.0, 0.5, 1.0, 2.0, 4.0]
+    };
+    let mut churn_table = Table::new(CELL_COLUMNS);
+    let mut conv_series = Vec::new();
+    let mut abort_series = Vec::new();
+    let mut churn_cells = Vec::new();
+    for (i, &load) in loads.iter().enumerate() {
+        let plan = if load == 0.0 {
+            FaultPlan::none()
+        } else {
+            FaultPlan::none().with_churn(load / churn_until as f64, churn_until, downtime)
+        };
+        let cell = run_cell(
+            &g,
+            params,
+            rc,
+            &plan,
+            policy,
+            cap,
+            split_seed(cfg.seed ^ 0x61, i as u64),
+            trials,
+        );
+        push_cell_row(
+            &mut churn_table,
+            &format!("churn ×{load:.1}"),
+            &cell,
+            base_energy,
+        );
+        conv_series.push((load, cell.converged as f64 / cell.trials.max(1) as f64));
+        abort_series.push((load, cell.aborted as f64 / cell.trials.max(1) as f64));
+        churn_cells.push((load, cell));
+    }
+    let mut churn_chart = LineChart::new(
+        "reconvergence vs churn load",
+        "expected outages per node",
+        "fraction of trials",
+    );
+    churn_chart.push_series("reconverged", conv_series);
+    churn_chart.push_series("watchdog aborted", abort_series);
+
+    // Axis 2: fault kind, at a fixed moderate intensity each.
+    let kinds: Vec<(String, FaultPlan)> = vec![
+        (
+            "1 down window".into(),
+            FaultPlan::none().with_recovery(0, e + 1, 2 * e),
+        ),
+        (
+            "3 down windows".into(),
+            FaultPlan::none()
+                .with_recovery(0, e + 1, 2 * e)
+                .with_recovery(1, e + 2, 3 * e)
+                .with_recovery(2, 2 * e, 3 * e + e / 2),
+        ),
+        (
+            "crashes, recover-by".into(),
+            FaultPlan::none()
+                .with_random_crashes(n / 8, 2 * e)
+                .with_recover_by(4 * e),
+        ),
+        (
+            "3 joins".into(),
+            FaultPlan::none()
+                .with_join(n - 1, e / 2)
+                .with_join(n - 2, e)
+                .with_join(n - 3, 2 * e),
+        ),
+        (
+            "churn ×1 + 3 joins".into(),
+            FaultPlan::none()
+                .with_churn(1.0 / churn_until as f64, churn_until, downtime)
+                .with_join(n - 1, e / 2)
+                .with_join(n - 2, e)
+                .with_join(n - 3, 2 * e),
+        ),
+    ];
+    let mut kind_table = Table::new(CELL_COLUMNS);
+    let mut kind_cells = Vec::new();
+    for (i, (label, plan)) in kinds.iter().enumerate() {
+        let cell = run_cell(
+            &g,
+            params,
+            rc,
+            plan,
+            policy,
+            cap,
+            split_seed(cfg.seed ^ 0x62, i as u64),
+            trials,
+        );
+        push_cell_row(&mut kind_table, label, &cell, base_energy);
+        kind_cells.push((label.clone(), cell));
+    }
+
+    // Repair energy audit: one instrumented churn run, banking every
+    // instance's ledger (including pre-revival instances) on drop.
+    let totals = Mutex::new((0u64, 0u64, 0u64));
+    let audit_plan = FaultPlan::none().with_churn(2.0 / churn_until as f64, churn_until, downtime);
+    let audit_config = SimConfig::new(ChannelModel::Cd)
+        .with_seed(cfg.seed ^ 0x63)
+        .with_faults(audit_plan)
+        .with_convergence(policy)
+        .with_max_rounds(cap);
+    let audit_report = Simulator::new(&g, audit_config).run(|_, _| Audit {
+        inner: RepairingMis::new(rc, Box::new(move |_rng: &mut NodeRng| CdMis::new(params))),
+        totals: &totals,
+    });
+    let (repairs, repair_rounds, monitor_rounds) = *totals.lock().expect("no poisoning");
+    // Claimed bound per repair: one inner-schedule re-run (O(log n) awake
+    // rounds — measured as the fault-free mean energy of plain CdMis) plus
+    // miss_threshold + 1 cover checks.
+    let plain = Simulator::new(
+        &g,
+        SimConfig::new(ChannelModel::Cd).with_seed(cfg.seed ^ 0x64),
+    )
+    .run(|_, _| CdMis::new(params));
+    let claimed_per_repair = plain.meters.iter().map(|m| m.energy() as f64).sum::<f64>()
+        / plain.len().max(1) as f64
+        + f64::from(rc.miss_threshold + 1);
+    let measured_per_repair = if repairs == 0 {
+        f64::NAN
+    } else {
+        repair_rounds as f64 / repairs as f64
+    };
+    let epochs_elapsed = (audit_report.rounds / e).max(1);
+    let mut audit_table = Table::new(["quantity", "value"]);
+    audit_table.push_row(["revoked decisions (repairs)".into(), repairs.to_string()]);
+    audit_table.push_row([
+        "repair awake rounds (total)".into(),
+        repair_rounds.to_string(),
+    ]);
+    audit_table.push_row([
+        "measured awake rounds / repair".into(),
+        if measured_per_repair.is_nan() {
+            "n/a".to_string()
+        } else {
+            format!("{measured_per_repair:.1}")
+        },
+    ]);
+    audit_table.push_row([
+        "claimed bound / repair".into(),
+        format!("{claimed_per_repair:.1}"),
+    ]);
+    audit_table.push_row([
+        "monitor awake rounds / node / epoch".into(),
+        format!(
+            "{:.2}",
+            monitor_rounds as f64 / (n as f64 * epochs_elapsed as f64)
+        ),
+    ]);
+
+    // Findings.
+    let finite_ok = churn_cells
+        .iter()
+        .map(|(_, c)| c)
+        .chain(kind_cells.iter().map(|(_, c)| c))
+        .all(|c| c.converged == c.trials);
+    let worst_churn = churn_cells.last();
+    let mut findings = vec![
+        format!(
+            "every finite-churn cell reports converged_at: {}",
+            if finite_ok {
+                "yes — all trials of all cells reconverged under the fault-aware \
+                 live-subgraph check"
+            } else {
+                "NO — at least one trial failed to reconverge (see watchdog column)"
+            }
+        ),
+        format!(
+            "the repair layer's measured cost per revoked decision is {} awake rounds \
+             vs a claimed bound of {:.1} (one inner-schedule re-run plus \
+             {} cover checks); monitoring costs {:.2} awake rounds per node per \
+             {e}-round epoch",
+            if measured_per_repair.is_nan() {
+                "n/a (no repairs triggered)".to_string()
+            } else {
+                format!("{measured_per_repair:.1}")
+            },
+            claimed_per_repair,
+            rc.miss_threshold + 1,
+            monitor_rounds as f64 / (n as f64 * epochs_elapsed as f64),
+        ),
+        "energy inflation under churn folds two effects together: the repair work \
+         itself and the longer maintenance horizon (churned runs monitor until the \
+         policy's stability window clears after the last revival)"
+            .into(),
+    ];
+    if let Some((load, cell)) = worst_churn {
+        findings.push(format!(
+            "at churn ×{load:.1} ({:.1} revivals+joins per trial) the run still \
+             reconverges in {}/{} trials, converging on average at round {}",
+            cell.mean_events,
+            cell.converged,
+            cell.trials,
+            if cell.conv.count == 0 {
+                "n/a".to_string()
+            } else {
+                format!("{:.0}", cell.conv.mean)
+            }
+        ));
+    }
+
+    ExperimentOutput {
+        id: "e16",
+        title: "churn and recovery: self-healing MIS maintenance".into(),
+        claim: "No claim in the paper — its network is static. This experiment \
+                measures the cost of *maintaining* the paper's MIS under \
+                crash-recovery, churn, and join faults with the RepairingMis \
+                wrapper (cover/duel/repair epochs) around Algorithm 1."
+            .into(),
+        sections: vec![
+            Section {
+                caption: format!(
+                    "churn-load sweep (gnp-d6, n = {n}, {trials} trials, epoch {e} rounds, \
+                     churn window {churn_until} rounds, energy vs fault-free wrapper \
+                     baseline {base_energy:.0})"
+                ),
+                table: churn_table,
+            },
+            Section {
+                caption: "fault-kind grid (explicit windows, recover-by crashes, joins, \
+                          churn + joins)"
+                    .into(),
+                table: kind_table,
+            },
+            Section {
+                caption: "repair energy audit (one instrumented churn ×2 run; ledger \
+                          banked per protocol instance on drop)"
+                    .into(),
+                table: audit_table,
+            },
+        ],
+        findings,
+        charts: vec![("e16_churn_sweep".into(), churn_chart)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_reconverges_every_cell() {
+        let out = run(&ExpConfig::quick(16));
+        assert_eq!(out.id, "e16");
+        assert_eq!(out.sections.len(), 3);
+        assert_eq!(out.charts.len(), 1);
+        // One row per churn load, one per fault kind, five audit rows.
+        assert_eq!(out.sections[0].table.len(), 3);
+        assert_eq!(out.sections[1].table.len(), 5);
+        assert_eq!(out.sections[2].table.len(), 5);
+        // The acceptance gate: every finite-churn cell reported converged_at.
+        assert!(
+            out.findings.iter().any(|f| f.contains("yes — all trials")),
+            "findings: {:?}",
+            out.findings
+        );
+    }
+}

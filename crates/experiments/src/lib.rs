@@ -21,6 +21,7 @@
 //! | E13 | \[13\]/\[22\] — wired SLEEPING-CONGEST context | [`e13_congest`] |
 //! | E14 | Fig. 2 — Algorithm 2's per-component energy | [`e14_energy_breakdown`] |
 //! | E15 | beyond-model robustness: loss & async wake-up | [`e15_robustness`] |
+//! | E16 | churn & recovery: self-healing MIS maintenance | [`e16_churn_recovery`] |
 //!
 //! Run everything with `cargo run --release -p mis-experiments --bin
 //! experiments -- all`; each experiment is deterministic given `--seed`.
@@ -43,13 +44,15 @@ pub mod e12_unknown_delta;
 pub mod e13_congest;
 pub mod e14_energy_breakdown;
 pub mod e15_robustness;
+pub mod e16_churn_recovery;
 pub mod harness;
 
 pub use harness::{ExpConfig, ExperimentOutput, Section};
 
 /// All experiment ids, in order.
-pub const ALL_IDS: [&str; 15] = [
+pub const ALL_IDS: [&str; 16] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16",
 ];
 
 /// Runs one experiment by id.
@@ -74,6 +77,7 @@ pub fn run_experiment(id: &str, cfg: &ExpConfig) -> ExperimentOutput {
         "e13" => e13_congest::run(cfg),
         "e14" => e14_energy_breakdown::run(cfg),
         "e15" => e15_robustness::run(cfg),
+        "e16" => e16_churn_recovery::run(cfg),
         other => panic!("unknown experiment id {other:?}"),
     }
 }

@@ -46,10 +46,24 @@ impl EnergyMeter {
         }
     }
 
+    /// Reopens the decision: the node's decided status was revoked (a
+    /// self-healing wrapper demoted it, or a crash-recovery window wiped
+    /// its state). The next decided transition stamps a fresh `decided_at`.
+    pub(crate) fn record_reopened(&mut self) {
+        self.decided_at = None;
+    }
+
     pub(crate) fn record_finished(&mut self, round: u64) {
         if self.finished_at.is_none() {
             self.finished_at = Some(round);
         }
+    }
+
+    /// Wipes the lifecycle stamps when the node goes down for a recovery
+    /// window: whatever it had decided or finished no longer stands.
+    pub(crate) fn record_down(&mut self) {
+        self.decided_at = None;
+        self.finished_at = None;
     }
 }
 
@@ -77,6 +91,23 @@ mod tests {
         m.record_finished(30);
         m.record_finished(40);
         assert_eq!(m.finished_at, Some(30));
+    }
+
+    #[test]
+    fn reopening_allows_a_fresh_decision_stamp() {
+        let mut m = EnergyMeter::new();
+        m.record_decided(10);
+        m.record_reopened();
+        assert_eq!(m.decided_at, None);
+        m.record_decided(25);
+        assert_eq!(m.decided_at, Some(25));
+        m.record_finished(30);
+        m.record_down();
+        assert_eq!(m.decided_at, None);
+        assert_eq!(m.finished_at, None);
+        // Energy is never wiped: the rounds were spent.
+        m.record_listen();
+        assert_eq!(m.energy(), 1);
     }
 
     #[test]

@@ -23,6 +23,32 @@
 //! feedback is derived from the surviving arrivals. Every channel model
 //! therefore experiences the same physical fade: at `loss = 1.0` every
 //! listener hears silence, whether its neighborhood had one beeper or ten.
+//!
+//! # Crash recovery, churn, and convergence
+//!
+//! Plans with crash-*recovery* clauses ([`FaultPlan::with_recovery`],
+//! [`FaultPlan::with_recover_by`], [`FaultPlan::with_churn`],
+//! [`FaultPlan::with_join`]) make faults non-terminal: a node scheduled for
+//! a down window `[down, up)` is removed from the round loop at `down`
+//! (its protocol state and lifecycle stamps are wiped, and it counts in the
+//! `crashed` population while down), then at `up` the engine rebuilds it
+//! via the run's factory, calls [`Protocol::on_restart`], and re-admits it;
+//! its first post-recovery `act` happens at `up + 1`. Mid-run joins hold a
+//! node out of the loop (it counts as sleeping) until its join round.
+//!
+//! Because recovery makes "did the run end with a correct MIS?" the wrong
+//! question, such runs track *convergence* instead: after every round in
+//! which the live picture changed, the engine checks MIS-ness of the
+//! statuses on the subgraph induced by the currently-live nodes, and
+//! [`RunReport::converged_at`] reports the first round at or after the last
+//! scheduled fault where that check passes and keeps passing. A
+//! [`ConvergencePolicy`] additionally stops the run early once convergence
+//! has held for a stability window — necessary for self-healing protocols
+//! that otherwise monitor forever — and its quiescence watchdog aborts
+//! runs that never re-converge within a budget
+//! ([`RunReport::watchdog_fired`]). All of this is gated on the same
+//! resolved-flag scheme as the other fault classes: an inert plan with no
+//! policy skips every recovery branch.
 
 use crate::energy::EnergyMeter;
 use crate::fault::{FaultKind, FaultPlan};
@@ -36,6 +62,63 @@ use mis_graphs::{Graph, NodeId};
 use rand::SeedableRng;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// When and how a run is judged *converged* (see the module docs).
+///
+/// Convergence is tracked automatically for any run whose
+/// [`FaultPlan`] has recovery or join clauses; installing a policy via
+/// [`SimConfig::with_convergence`] additionally changes how the run *ends*:
+///
+/// - once the live-subgraph MIS has been correct for `stability`
+///   consecutive rounds after the last scheduled fault, the run stops
+///   early and is reported `completed` with
+///   [`RunReport::converged_at`](crate::RunReport::converged_at) set —
+///   this is how runs of self-healing wrappers (which never finish on
+///   their own) terminate;
+/// - if `quiescence` is set and the run has not converged-and-stabilised
+///   within that many rounds after the last scheduled fault, the run is
+///   aborted with [`RunReport::watchdog_fired`](crate::RunReport) set and
+///   `completed == false`.
+///
+/// Both triggers need a *finite* last-fault round: plans with continuous
+/// fault processes (per-edge loss, jammers) never quiesce, so the policy
+/// is inert for them and the run ends by finishing or at `max_rounds`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvergencePolicy {
+    /// Consecutive correct rounds (after the last scheduled fault) required
+    /// before the run may stop early.
+    pub stability: u64,
+    /// Abort budget: rounds after the last scheduled fault within which the
+    /// run must converge and stabilise, or be aborted. `None` disables the
+    /// watchdog.
+    pub quiescence: Option<u64>,
+}
+
+impl ConvergencePolicy {
+    /// A policy with the given stability window and no watchdog.
+    pub fn new(stability: u64) -> ConvergencePolicy {
+        ConvergencePolicy {
+            stability,
+            quiescence: None,
+        }
+    }
+
+    /// Sets the quiescence watchdog budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quiescence < stability` — the watchdog would then always
+    /// fire before a converged run could prove itself stable.
+    pub fn with_quiescence(mut self, quiescence: u64) -> ConvergencePolicy {
+        assert!(
+            quiescence >= self.stability,
+            "quiescence budget {quiescence} is shorter than the stability window {}",
+            self.stability
+        );
+        self.quiescence = Some(quiescence);
+        self
+    }
+}
 
 /// Configuration for one simulation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,6 +141,10 @@ pub struct SimConfig {
     /// [`RunReport::metrics`]. Off by default; aggregation adds a handful
     /// of counter increments per processed round when enabled.
     pub collect_metrics: bool,
+    /// Convergence-based termination (early stop once the live-subgraph
+    /// MIS has been stable, quiescence watchdog). `None` by default; see
+    /// [`ConvergencePolicy`].
+    pub convergence: Option<ConvergencePolicy>,
 }
 
 impl SimConfig {
@@ -71,6 +158,7 @@ impl SimConfig {
             seed: 0,
             faults: FaultPlan::none(),
             collect_metrics: false,
+            convergence: None,
         }
     }
 
@@ -103,6 +191,12 @@ impl SimConfig {
     /// Installs a fault plan (replacing any previously configured one).
     pub fn with_faults(mut self, faults: FaultPlan) -> SimConfig {
         self.faults = faults;
+        self
+    }
+
+    /// Installs a [`ConvergencePolicy`] (replacing any previous one).
+    pub fn with_convergence(mut self, policy: ConvergencePolicy) -> SimConfig {
+        self.convergence = Some(policy);
         self
     }
 
@@ -214,15 +308,48 @@ impl<'g> Simulator<'g> {
         let has_jammers = !resolved.jammer_list.is_empty();
         let has_crashes = resolved.has_crashes();
         let has_dormancy = resolved.has_dormancy();
+        let has_recovery = resolved.has_recovery();
+        let has_joins = resolved.has_joins();
         // Per-edge fading and jammer noise both force a full neighborhood
         // scan per listener; without them the fast path early-exits at the
         // second arrival.
         let listener_slow = lossy || has_jammers;
-        let mut faulty: Vec<bool> = if has_jammers || has_crashes {
+        let mut faulty: Vec<bool> = if has_jammers || has_crashes || has_recovery {
             vec![false; n]
         } else {
             Vec::new()
         };
+        // Crash-recovery state: `win_cursor[v]` indexes v's next (or
+        // current) down window, `down_now[v]` marks a node inside one, and
+        // `parked[v]` marks a node that finished but still has a future
+        // window scheduled — it stays queued (at its next down round)
+        // instead of retiring, because the window will wipe it back to life.
+        let mut win_cursor: Vec<usize> = if has_recovery { vec![0; n] } else { Vec::new() };
+        let mut down_now: Vec<bool> = if has_recovery {
+            vec![false; n]
+        } else {
+            Vec::new()
+        };
+        let mut parked: Vec<bool> = if has_recovery {
+            vec![false; n]
+        } else {
+            Vec::new()
+        };
+        let mut join_pending: Vec<bool> = if has_joins {
+            (0..n).map(|v| resolved.join_of(v) > 0).collect()
+        } else {
+            Vec::new()
+        };
+        let mut recovered_cum: u32 = 0;
+        let mut joined_cum: u32 = 0;
+        // Convergence tracking (see the module docs): `conv_candidate` is
+        // the first round of the current unbroken correct streak of the
+        // live-subgraph MIS check; `conv_dirty` marks rounds whose events
+        // may have changed the verdict.
+        let want_conv = has_recovery || has_joins || self.config.convergence.is_some();
+        let last_fault = resolved.last_fault_round;
+        let mut conv_candidate: Option<u64> = None;
+        let mut conv_dirty = want_conv;
         // Explicit simulator offsets override the plan's wake plan.
         let wake_offsets: Option<&Vec<u64>> = self
             .wake_offsets
@@ -252,6 +379,13 @@ impl<'g> Simulator<'g> {
         let record_finish = mask.contains(EventKind::Finished);
         let record_fault = mask.contains(EventKind::Fault);
         let want_metrics = self.config.collect_metrics || mask.contains(EventKind::RoundMetrics);
+        // Tracks nodes whose decision was revoked and not re-made, for the
+        // `repairing` metrics column. Only maintained when metrics are on.
+        let mut reopened: Vec<bool> = if want_metrics {
+            vec![false; n]
+        } else {
+            Vec::new()
+        };
         let mut acc = MetricsAccumulator::default();
         if want_metrics {
             acc.joined_mis = statuses.iter().filter(|&&s| s == NodeStatus::InMis).count() as u32;
@@ -289,8 +423,28 @@ impl<'g> Simulator<'g> {
                 if record_finish {
                     trace.record(TraceEvent::Finished { round: 0, node: v });
                 }
+                // A pre-finished node with a scheduled down window cannot
+                // retire for good: park it at the window instead.
+                if has_recovery {
+                    if let Some(&(down, _)) = resolved.windows_of(v).first() {
+                        parked[v] = true;
+                        queue.push(Reverse((down, v)));
+                        live += 1;
+                    }
+                }
             } else {
-                let wake = wake_offsets.map_or(0, |o| o[v]);
+                // A joining node is held out until its join round; a node
+                // with a down window earlier than its wake goes down first
+                // (its pre-wake state is vacuous anyway).
+                let mut wake = wake_offsets.map_or(0, |o| o[v]);
+                if has_joins {
+                    wake = wake.max(resolved.join_of(v));
+                }
+                if has_recovery {
+                    if let Some(&(down, _)) = resolved.windows_of(v).first() {
+                        wake = wake.min(down);
+                    }
+                }
                 queue.push(Reverse((wake, v)));
                 live += 1;
             }
@@ -313,6 +467,8 @@ impl<'g> Simulator<'g> {
                     .config
                     .collect_metrics
                     .then(|| std::mem::take(&mut timeline));
+                let converged_at =
+                    anchored_convergence(conv_candidate, last_fault, self.config.max_rounds);
                 return self.finish_report(
                     nodes,
                     meters,
@@ -321,6 +477,8 @@ impl<'g> Simulator<'g> {
                     false,
                     message_bits,
                     metrics,
+                    converged_at,
+                    false,
                 );
             }
             last_round_processed = round;
@@ -343,8 +501,19 @@ impl<'g> Simulator<'g> {
                 // its crash round — a sleeping node does nothing anyway).
                 if has_crashes && resolved.crash_of(v) <= round {
                     live -= 1;
-                    crashed_cum += 1;
+                    // A node already inside a down window was counted into
+                    // the crashed population when it went down; a parked
+                    // (finished, awaiting a window) node moves from the
+                    // finished column to the crashed one.
+                    if !(has_recovery && down_now[v]) {
+                        crashed_cum += 1;
+                    }
+                    if has_recovery && parked[v] {
+                        parked[v] = false;
+                        finished_cum -= 1;
+                    }
                     faulty[v] = true;
+                    conv_dirty |= want_conv;
                     if record_fault {
                         trace.record(TraceEvent::Fault {
                             round,
@@ -353,6 +522,118 @@ impl<'g> Simulator<'g> {
                         });
                     }
                     continue;
+                }
+                if has_recovery {
+                    let wins = resolved.windows_of(v);
+                    if down_now[v] {
+                        // The node was pushed at its window's `up` round:
+                        // rebuild it, tell it it is a revival, and re-admit
+                        // it. It acts again from `round + 1` (this round it
+                        // still counts in the crashed population).
+                        let up = wins[win_cursor[v]].1;
+                        if round < up {
+                            queue.push(Reverse((up, v)));
+                            continue;
+                        }
+                        down_now[v] = false;
+                        win_cursor[v] += 1;
+                        faulty[v] = false;
+                        crashed_cum -= 1;
+                        recovered_cum += 1;
+                        nodes[v] = factory(v, &mut rngs[v]);
+                        nodes[v].on_restart(round, &mut rngs[v]);
+                        if record_fault {
+                            trace.record(TraceEvent::Fault {
+                                round,
+                                node: v,
+                                fault: FaultKind::Recover,
+                            });
+                        }
+                        // Register the fresh instance's status (the old one
+                        // was wiped to Undecided when the node went down).
+                        self.note_status(
+                            &mut statuses,
+                            &nodes,
+                            v,
+                            round,
+                            &mut meters,
+                            trace,
+                            mask,
+                            &mut acc,
+                            &mut reopened,
+                        );
+                        conv_dirty = true;
+                        queue.push(Reverse((round + 1, v)));
+                        continue;
+                    }
+                    // Skip windows the node slept or idled past (defensive;
+                    // sleep capping normally prevents this).
+                    while win_cursor[v] < wins.len() && wins[win_cursor[v]].1 <= round {
+                        win_cursor[v] += 1;
+                    }
+                    if win_cursor[v] < wins.len() && wins[win_cursor[v]].0 <= round {
+                        // Down it goes: wipe its status and lifecycle
+                        // stamps, count it crashed, and schedule the
+                        // restart at the window's `up` round.
+                        down_now[v] = true;
+                        faulty[v] = true;
+                        crashed_cum += 1;
+                        if parked[v] {
+                            parked[v] = false;
+                            finished_cum -= 1;
+                        }
+                        let was = statuses[v];
+                        if was != NodeStatus::Undecided {
+                            statuses[v] = NodeStatus::Undecided;
+                            if !reopened.is_empty() {
+                                if was == NodeStatus::InMis {
+                                    acc.joined_mis -= 1;
+                                }
+                                acc.decided -= 1;
+                                if !reopened[v] {
+                                    reopened[v] = true;
+                                    acc.repairing += 1;
+                                }
+                            }
+                            if mask.contains(EventKind::StatusChanged) {
+                                trace.record(TraceEvent::StatusChanged {
+                                    round,
+                                    node: v,
+                                    status: NodeStatus::Undecided,
+                                });
+                            }
+                        }
+                        meters[v].record_down();
+                        if record_fault {
+                            trace.record(TraceEvent::Fault {
+                                round,
+                                node: v,
+                                fault: FaultKind::Crash,
+                            });
+                        }
+                        conv_dirty = true;
+                        queue.push(Reverse((wins[win_cursor[v]].1, v)));
+                        continue;
+                    }
+                    if parked[v] {
+                        // Defensive: the parked node's window went stale
+                        // before it was reached — retire it for good.
+                        parked[v] = false;
+                        live -= 1;
+                        continue;
+                    }
+                }
+                if has_joins && join_pending[v] {
+                    join_pending[v] = false;
+                    joined_cum += 1;
+                    conv_dirty = true;
+                    if record_fault {
+                        trace.record(TraceEvent::Fault {
+                            round,
+                            node: v,
+                            fault: FaultKind::Join,
+                        });
+                    }
                 }
                 let action = nodes[v].act(round, &mut rngs[v]);
                 if record_actions {
@@ -368,7 +649,7 @@ impl<'g> Simulator<'g> {
                             wake_at > round,
                             "protocol bug: node {v} slept to round {wake_at} <= current {round}"
                         );
-                        self.note_status(
+                        let changed = self.note_status(
                             &mut statuses,
                             &nodes,
                             v,
@@ -377,14 +658,24 @@ impl<'g> Simulator<'g> {
                             trace,
                             mask,
                             &mut acc,
+                            &mut reopened,
                         );
+                        conv_dirty |= changed && want_conv;
                         if nodes[v].finished() {
                             meters[v].record_finished(round);
                             finished_cum += 1;
                             if record_finish {
                                 trace.record(TraceEvent::Finished { round, node: v });
                             }
-                            live -= 1;
+                            if has_recovery && win_cursor[v] < resolved.windows_of(v).len() {
+                                // A future down window will wipe this node
+                                // back to life: park it at the window
+                                // instead of retiring it.
+                                parked[v] = true;
+                                queue.push(Reverse((resolved.windows_of(v)[win_cursor[v]].0, v)));
+                            } else {
+                                live -= 1;
+                            }
                         } else {
                             sleep_updates.push((v, wake_at));
                         }
@@ -431,7 +722,14 @@ impl<'g> Simulator<'g> {
                     }
                 }
             }
-            for (v, wake_at) in sleep_updates {
+            for (v, mut wake_at) in sleep_updates {
+                if has_recovery && win_cursor[v] < resolved.windows_of(v).len() {
+                    // Cap the sleep at the node's next down round: it must
+                    // be reachable to be taken down on schedule. (The lost
+                    // original wake is irrelevant — the window wipes its
+                    // state anyway.)
+                    wake_at = wake_at.min(resolved.windows_of(v)[win_cursor[v]].0);
+                }
                 if wake_at < self.config.max_rounds {
                     queue.push(Reverse((wake_at, v)));
                 } else {
@@ -592,7 +890,7 @@ impl<'g> Simulator<'g> {
 
             // Phase 3: retire finished awake nodes, requeue the rest.
             for &v in transmitters.iter().chain(listeners.iter()) {
-                self.note_status(
+                let changed = self.note_status(
                     &mut statuses,
                     &nodes,
                     v,
@@ -601,14 +899,23 @@ impl<'g> Simulator<'g> {
                     trace,
                     mask,
                     &mut acc,
+                    &mut reopened,
                 );
+                conv_dirty |= changed && want_conv;
                 if nodes[v].finished() {
                     meters[v].record_finished(round);
                     finished_cum += 1;
                     if record_finish {
                         trace.record(TraceEvent::Finished { round, node: v });
                     }
-                    live -= 1;
+                    if has_recovery && win_cursor[v] < resolved.windows_of(v).len() {
+                        // Park instead of retiring: a future down window
+                        // will wipe this node back to life.
+                        parked[v] = true;
+                        queue.push(Reverse((resolved.windows_of(v)[win_cursor[v]].0, v)));
+                    } else {
+                        live -= 1;
+                    }
                 } else {
                     queue.push(Reverse((round + 1, v)));
                 }
@@ -639,6 +946,8 @@ impl<'g> Simulator<'g> {
                     lost_receptions,
                     faded_edges,
                     jammed_receptions,
+                    recovered: recovered_cum,
+                    joined: joined_cum,
                 });
                 if mask.contains(EventKind::RoundMetrics) {
                     trace.record(TraceEvent::RoundEnd { metrics: m });
@@ -647,13 +956,85 @@ impl<'g> Simulator<'g> {
                     timeline.push(m);
                 }
             }
+
+            // Convergence: re-evaluate the live-subgraph MIS check on
+            // rounds whose events may have changed the verdict, then apply
+            // the policy's early stop / watchdog (module docs).
+            if want_conv {
+                if conv_dirty {
+                    conv_dirty = false;
+                    if live_mis_ok(self.graph, &statuses, &faulty) {
+                        conv_candidate.get_or_insert(round);
+                    } else {
+                        conv_candidate = None;
+                    }
+                }
+                if let Some(policy) = self.config.convergence {
+                    if last_fault != u64::MAX {
+                        if let Some(c) = conv_candidate {
+                            let eff = c.max(last_fault);
+                            if round >= eff.saturating_add(policy.stability) {
+                                let metrics = self
+                                    .config
+                                    .collect_metrics
+                                    .then(|| std::mem::take(&mut timeline));
+                                return self.finish_report(
+                                    nodes,
+                                    meters,
+                                    faulty,
+                                    round + 1,
+                                    true,
+                                    message_bits,
+                                    metrics,
+                                    Some(eff),
+                                    false,
+                                );
+                            }
+                        }
+                        if let Some(q) = policy.quiescence {
+                            if round >= last_fault.saturating_add(q) {
+                                let metrics = self
+                                    .config
+                                    .collect_metrics
+                                    .then(|| std::mem::take(&mut timeline));
+                                return self.finish_report(
+                                    nodes,
+                                    meters,
+                                    faulty,
+                                    round + 1,
+                                    false,
+                                    message_bits,
+                                    metrics,
+                                    None,
+                                    true,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
         }
 
         let rounds = if n == 0 { 0 } else { last_round_processed + 1 };
         let metrics = self.config.collect_metrics.then_some(timeline);
-        self.finish_report(nodes, meters, faulty, rounds, true, message_bits, metrics)
+        let converged_at = anchored_convergence(conv_candidate, last_fault, rounds);
+        self.finish_report(
+            nodes,
+            meters,
+            faulty,
+            rounds,
+            true,
+            message_bits,
+            metrics,
+            converged_at,
+            false,
+        )
     }
 
+    /// Registers a node's (possibly changed) status: stamps decision
+    /// times, maintains the cumulative counters, and emits the trace
+    /// event. Returns whether the status changed (the caller marks the
+    /// convergence check dirty).
     #[allow(clippy::too_many_arguments)]
     fn note_status<P: Protocol, T: TraceSink>(
         &self,
@@ -665,19 +1046,31 @@ impl<'g> Simulator<'g> {
         trace: &mut T,
         mask: EventMask,
         acc: &mut MetricsAccumulator,
-    ) {
+        reopened: &mut [bool],
+    ) -> bool {
         let s = nodes[v].status();
-        if s != statuses[v] {
-            let was = statuses[v];
-            statuses[v] = s;
-            // Only the *first* transition into a decided status stamps the
-            // decision round; a protocol that revises its decision
-            // (InMis → OutMis) keeps its original decision time.
-            if s.is_decided() && !was.is_decided() {
-                meters[v].record_decided(round);
-            }
-            // Status changes are rare (at most two per node per run), so the
-            // cumulative counters are maintained unconditionally.
+        if s == statuses[v] {
+            return false;
+        }
+        let was = statuses[v];
+        statuses[v] = s;
+        // Only the *first* transition into a decided status stamps the
+        // decision round; a protocol that revises its decision
+        // (InMis → OutMis) keeps its original decision time. A protocol
+        // that *revokes* its decision entirely (decided → Undecided, as a
+        // self-healing wrapper does when it detects a violation) reopens
+        // the stamp: the eventual re-decision round is the honest one.
+        if s.is_decided() && !was.is_decided() {
+            meters[v].record_decided(round);
+        } else if !s.is_decided() && was.is_decided() {
+            meters[v].record_reopened();
+        }
+        // The cumulative counters only exist for metrics consumers.
+        // `reopened` is allocated exactly when metrics are wanted, so its
+        // emptiness doubles as the flag — and keeps the counters from
+        // underflowing in non-metrics runs, whose initial decided
+        // population is never folded into the accumulator.
+        if !reopened.is_empty() {
             if s == NodeStatus::InMis {
                 acc.joined_mis += 1;
             } else if was == NodeStatus::InMis {
@@ -685,17 +1078,26 @@ impl<'g> Simulator<'g> {
             }
             if s.is_decided() && !was.is_decided() {
                 acc.decided += 1;
+                if reopened[v] {
+                    reopened[v] = false;
+                    acc.repairing -= 1;
+                }
             } else if !s.is_decided() && was.is_decided() {
                 acc.decided -= 1;
-            }
-            if mask.contains(EventKind::StatusChanged) {
-                trace.record(TraceEvent::StatusChanged {
-                    round,
-                    node: v,
-                    status: s,
-                });
+                if !reopened[v] {
+                    reopened[v] = true;
+                    acc.repairing += 1;
+                }
             }
         }
+        if mask.contains(EventKind::StatusChanged) {
+            trace.record(TraceEvent::StatusChanged {
+                round,
+                node: v,
+                status: s,
+            });
+        }
+        true
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -708,6 +1110,8 @@ impl<'g> Simulator<'g> {
         completed: bool,
         message_bits: u32,
         metrics: Option<Vec<RoundMetrics>>,
+        converged_at: Option<u64>,
+        watchdog_fired: bool,
     ) -> RunReport {
         RunReport {
             statuses: nodes.iter().map(|p| p.status()).collect(),
@@ -715,12 +1119,64 @@ impl<'g> Simulator<'g> {
             faulty,
             rounds,
             completed,
+            converged_at,
+            watchdog_fired,
             channel: self.config.channel,
             seed: self.config.seed,
             message_bits,
             metrics,
         }
     }
+}
+
+/// Whether `statuses` restricted to non-faulty nodes is a maximal
+/// independent set of the subgraph they induce: every live node decided,
+/// no two adjacent live `InMis` nodes, every live `OutMis` node covered by
+/// a live `InMis` neighbor. This is the per-round core of
+/// [`RunReport::verify_mis`](crate::RunReport::verify_mis), kept
+/// allocation-free because convergence tracking runs it on every dirty
+/// round.
+fn live_mis_ok(graph: &Graph, statuses: &[NodeStatus], faulty: &[bool]) -> bool {
+    let is_faulty = |v: usize| faulty.get(v).copied().unwrap_or(false);
+    for v in 0..graph.len() {
+        if is_faulty(v) {
+            continue;
+        }
+        match statuses[v] {
+            NodeStatus::Undecided => return false,
+            NodeStatus::InMis => {
+                for &u in graph.neighbors(v) {
+                    if u > v && !is_faulty(u) && statuses[u] == NodeStatus::InMis {
+                        return false;
+                    }
+                }
+            }
+            NodeStatus::OutMis => {
+                if !graph
+                    .neighbors(v)
+                    .iter()
+                    .any(|&u| !is_faulty(u) && statuses[u] == NodeStatus::InMis)
+                {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Maps the raw convergence candidate (first round of the final unbroken
+/// correct streak) to the reported `converged_at`: the streak only counts
+/// from the last scheduled fault onwards, clamped to the run's length for
+/// faults the run ended before reaching. Plans with continuous fault
+/// processes have no last fault (`u64::MAX`) and report the raw candidate.
+fn anchored_convergence(candidate: Option<u64>, last_fault: u64, rounds: u64) -> Option<u64> {
+    let anchor = if last_fault == u64::MAX {
+        0
+    } else {
+        last_fault.min(rounds)
+    };
+    candidate.map(|c| c.max(anchor))
 }
 
 #[cfg(test)]
@@ -1725,5 +2181,284 @@ mod tests {
         let timeline = report.metrics.unwrap();
         assert_eq!(timeline.len(), 10);
         assert_eq!(timeline.last().unwrap().cumulative_energy, 20);
+    }
+
+    /// Collects `(round, node)` for every trace event of the given fault
+    /// kind.
+    fn fault_events(trace: &crate::trace::VecTrace, kind: FaultKind) -> Vec<(u64, NodeId)> {
+        trace
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Fault { round, node, fault } if *fault == kind => Some((*round, *node)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovery_window_downs_then_revives_a_node() {
+        // Three isolated chatterboxes; node 1 is down for rounds [3, 6).
+        // It acts in rounds 0..3, is rebuilt at 6, and chats again from 7
+        // with a fresh budget — so it finishes 7 rounds after the others.
+        let g = generators::empty(3);
+        let config = SimConfig::new(ChannelModel::Cd)
+            .with_faults(FaultPlan::none().with_recovery(1, 3, 6))
+            .with_round_metrics();
+        let mut trace = crate::trace::VecTrace::new();
+        let report = Simulator::new(&g, config).run_traced(
+            |_, _| Chatter {
+                budget: 20,
+                seen: 0,
+            },
+            &mut trace,
+        );
+        assert!(report.completed);
+        assert_eq!(report.rounds, 27);
+        // Recovered nodes are not faulty at the end of the run.
+        assert_eq!(report.faulty, vec![false, false, false]);
+        assert_eq!(report.meters[0].energy(), 20);
+        assert_eq!(report.meters[1].energy(), 23); // 3 before + 20 after
+        assert_eq!(report.meters[0].finished_at, Some(19));
+        assert_eq!(report.meters[1].finished_at, Some(26));
+        // Going down wipes the lifecycle stamps; the fresh instance
+        // re-registers its (always-OutMis) status at the restart round.
+        assert_eq!(report.meters[0].decided_at, None);
+        assert_eq!(report.meters[1].decided_at, Some(6));
+        assert_eq!(fault_events(&trace, FaultKind::Crash), vec![(3, 1)]);
+        assert_eq!(fault_events(&trace, FaultKind::Recover), vec![(6, 1)]);
+        // The metrics timeline moves node 1 through the crashed column and
+        // back; the population identity holds on every record.
+        let timeline = report.metrics.unwrap();
+        assert_eq!(timeline.len(), 27); // every round was processed
+        for (i, m) in timeline.iter().enumerate() {
+            assert_eq!(m.round, i as u64);
+            assert_eq!(m.node_count(), 3, "round {i}");
+        }
+        assert_eq!(timeline[2].crashed, 0);
+        assert_eq!(timeline[3].crashed, 0); // snapshot is taken pre-round
+        assert_eq!(timeline[4].crashed, 1);
+        assert_eq!(timeline[6].crashed, 1);
+        assert_eq!(timeline[7].crashed, 0);
+        assert_eq!(timeline[5].recovered, 0);
+        assert_eq!(timeline[6].recovered, 1);
+        assert_eq!(timeline.last().unwrap().recovered, 1);
+        assert_eq!(timeline.last().unwrap().joined, 0);
+    }
+
+    #[test]
+    fn finished_node_is_parked_and_revived_by_a_later_window() {
+        // A lone chatterbox finishes at round 1, long before its down
+        // window [5, 7). Finishing must not retire it for good: the window
+        // wipes it back to life and it redoes its work.
+        let g = generators::empty(1);
+        let config =
+            SimConfig::new(ChannelModel::Cd).with_faults(FaultPlan::none().with_recovery(0, 5, 7));
+        let report = Simulator::new(&g, config).run(|_, _| Chatter { budget: 2, seen: 0 });
+        assert!(report.completed);
+        assert_eq!(report.rounds, 10);
+        assert_eq!(report.faulty, vec![false]);
+        assert_eq!(report.meters[0].energy(), 4); // 2 before + 2 after
+        assert_eq!(report.meters[0].finished_at, Some(9));
+    }
+
+    #[test]
+    fn recover_by_turns_a_crash_into_a_down_window() {
+        // The same scheduled crash as `crash_stop_retires_node_and_marks_
+        // it_faulty`, but with a recovery deadline: the node comes back at
+        // a seeded round in (2, 12] and completes its work.
+        let g = generators::empty(3);
+        let config = SimConfig::new(ChannelModel::Cd)
+            .with_faults(FaultPlan::none().with_crash(1, 2).with_recover_by(12));
+        let mut trace = crate::trace::VecTrace::new();
+        let report = Simulator::new(&g, config)
+            .run_traced(|_, _| Chatter { budget: 5, seen: 0 }, &mut trace);
+        assert!(report.completed);
+        assert_eq!(report.faulty, vec![false, false, false]);
+        let recoveries = fault_events(&trace, FaultKind::Recover);
+        assert_eq!(recoveries.len(), 1);
+        let (up, node) = recoveries[0];
+        assert_eq!(node, 1);
+        assert!((3..=12).contains(&up), "recovery at {up} outside (2, 12]");
+        assert_eq!(report.meters[1].energy(), 7); // 2 before + 5 after
+        assert_eq!(report.meters[1].finished_at, Some(up + 5));
+    }
+
+    #[test]
+    fn joins_hold_a_node_out_until_its_round() {
+        // Path 0-1: node 0 listens; node 1 joins at round 3 and transmits.
+        // Until the join, node 0 hears silence and node 1 counts in the
+        // sleeping population.
+        let g = generators::path(2);
+        let config = SimConfig::new(ChannelModel::Cd)
+            .with_faults(FaultPlan::none().with_join(1, 3))
+            .with_round_metrics();
+        let mut trace = crate::trace::VecTrace::new();
+        let report = Simulator::new(&g, config).run_traced(
+            |v, _| -> Box<dyn Protocol> {
+                if v == 0 {
+                    Box::new(Rx4::default())
+                } else {
+                    Box::new(Chatter { budget: 2, seen: 0 })
+                }
+            },
+            &mut trace,
+        );
+        assert!(report.completed);
+        assert_eq!(report.rounds, 5);
+        assert_eq!(fault_events(&trace, FaultKind::Join), vec![(3, 1)]);
+        let fed: Vec<Feedback> = trace
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Fed {
+                    node: 0, feedback, ..
+                } => Some(*feedback),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            fed,
+            vec![
+                Feedback::Silence,
+                Feedback::Silence,
+                Feedback::Silence,
+                Feedback::Heard(Message::unary()),
+            ]
+        );
+        let timeline = report.metrics.unwrap();
+        for m in &timeline {
+            assert_eq!(m.node_count(), 2, "round {}", m.round);
+        }
+        assert_eq!(timeline[0].sleeping, 1); // the pre-join node
+        assert_eq!(timeline[0].joined, 0);
+        assert_eq!(timeline[3].transmitting, 1);
+        assert_eq!(timeline[3].joined, 1);
+        assert_eq!(timeline[4].joined, 1);
+    }
+
+    #[test]
+    fn churned_runs_are_deterministic_per_seed() {
+        let run = || {
+            let config = SimConfig::new(ChannelModel::Cd)
+                .with_seed(11)
+                .with_faults(FaultPlan::none().with_churn(
+                    0.15,
+                    20,
+                    crate::fault::DownTime::Fixed(3),
+                ))
+                .with_round_metrics();
+            Simulator::new(&generators::empty(4), config).run(|_, _| Chatter {
+                budget: 30,
+                seen: 0,
+            })
+        };
+        let (a, b) = (run(), run());
+        assert!(a.completed);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    /// Listens forever, claiming MIS membership. On an empty graph this is
+    /// a correct (all-InMis) MIS that never finishes on its own — the
+    /// canonical client of [`ConvergencePolicy`] early stopping.
+    struct Beacon;
+    impl Protocol for Beacon {
+        fn act(&mut self, _round: u64, _rng: &mut NodeRng) -> Action {
+            Action::Listen
+        }
+        fn feedback(&mut self, _round: u64, _fb: Feedback, _rng: &mut NodeRng) {}
+        fn status(&self) -> NodeStatus {
+            NodeStatus::InMis
+        }
+        fn finished(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn convergence_policy_stops_a_recovered_run_and_stamps_converged_at() {
+        // Node 0 is down for rounds [2, 4); both nodes are correct InMis
+        // singletons whenever alive. The live-subgraph check never fails,
+        // so convergence anchors at the last scheduled fault (round 4) and
+        // the run stops after the 3-round stability window.
+        let g = generators::empty(2);
+        let config = SimConfig::new(ChannelModel::Cd)
+            .with_faults(FaultPlan::none().with_recovery(0, 2, 4))
+            .with_convergence(ConvergencePolicy::new(3));
+        let report = Simulator::new(&g, config).run(|_, _| Beacon);
+        assert!(report.completed);
+        assert!(!report.watchdog_fired);
+        assert_eq!(report.converged_at, Some(4));
+        assert_eq!(report.rounds, 8); // stability proven at round 4 + 3
+        assert_eq!(report.meters[1].energy(), 8);
+        assert_eq!(report.meters[0].energy(), 5); // rounds 0, 1, 5, 6, 7
+                                                  // The revoked decision stamp was reopened and honestly re-stamped.
+        assert_eq!(report.meters[0].decided_at, Some(4));
+        assert_eq!(report.meters[1].decided_at, None);
+    }
+
+    #[test]
+    fn convergence_policy_ends_fault_free_runs_of_nonterminating_protocols() {
+        // No faults at all: the last-fault anchor is round 0, the MIS is
+        // correct from the start, and the policy is the only thing standing
+        // between a monitoring protocol and `max_rounds`.
+        let g = generators::empty(3);
+        let config = SimConfig::new(ChannelModel::Cd).with_convergence(ConvergencePolicy::new(5));
+        let report = Simulator::new(&g, config).run(|_, _| Beacon);
+        assert!(report.completed);
+        assert_eq!(report.converged_at, Some(0));
+        assert_eq!(report.rounds, 6);
+    }
+
+    #[test]
+    fn quiescence_watchdog_aborts_runs_that_never_reconverge() {
+        // An eternally-undecided protocol can never pass the live-subgraph
+        // check; the watchdog calls the run off 10 rounds after the last
+        // scheduled fault (round 4).
+        struct Limbo;
+        impl Protocol for Limbo {
+            fn act(&mut self, _round: u64, _rng: &mut NodeRng) -> Action {
+                Action::Listen
+            }
+            fn feedback(&mut self, _round: u64, _fb: Feedback, _rng: &mut NodeRng) {}
+            fn status(&self) -> NodeStatus {
+                NodeStatus::Undecided
+            }
+            fn finished(&self) -> bool {
+                false
+            }
+        }
+        let g = generators::empty(2);
+        let config = SimConfig::new(ChannelModel::Cd)
+            .with_faults(FaultPlan::none().with_recovery(0, 2, 4))
+            .with_convergence(ConvergencePolicy::new(2).with_quiescence(10));
+        let report = Simulator::new(&g, config).run(|_, _| Limbo);
+        assert!(!report.completed);
+        assert!(report.watchdog_fired);
+        assert_eq!(report.converged_at, None);
+        assert_eq!(report.rounds, 15); // aborted at round 4 + 10
+    }
+
+    #[test]
+    #[should_panic(expected = "quiescence budget")]
+    fn quiescence_shorter_than_stability_is_rejected() {
+        let _ = ConvergencePolicy::new(5).with_quiescence(3);
+    }
+
+    #[test]
+    fn fault_free_reports_omit_convergence_fields() {
+        let g = generators::path(3);
+        let report = Simulator::new(&g, SimConfig::new(ChannelModel::Cd)).run(|v, _| Probe {
+            transmit: v == 0,
+            saw: None,
+        });
+        assert_eq!(report.converged_at, None);
+        assert!(!report.watchdog_fired);
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(!json.contains("converged_at"));
+        assert!(!json.contains("watchdog_fired"));
     }
 }

@@ -23,13 +23,27 @@
 //!   [`FaultPlan::with_dormancy`]): generalizing
 //!   [`Simulator::with_wake_offsets`](crate::Simulator::with_wake_offsets),
 //!   nodes may wake late (drawn from a window) or go radio-dormant for a
-//!   contiguous window mid-run — still spending energy, but deaf and mute.
+//!   contiguous window mid-run — still spending energy, but deaf and mute;
+//! - **crash-recovery / churn** ([`FaultPlan::with_recovery`],
+//!   [`FaultPlan::with_recover_by`], [`FaultPlan::with_churn`]): nodes go
+//!   down for a *window* `[down, up)` and come back with their protocol
+//!   state wiped — the engine rebuilds the node via the run's factory and
+//!   calls [`Protocol::on_restart`](crate::Protocol::on_restart). Churn is
+//!   a seeded per-node renewal process (geometric gaps at a per-round rate,
+//!   down-times from a [`DownTime`] distribution);
+//! - **mid-run joins** ([`FaultPlan::with_join`]): a node that does not
+//!   exist until round `r` — it is first polled at `r` and surfaces a
+//!   [`FaultKind::Join`] event, and convergence reporting counts the join
+//!   as a fault to recover from.
 //!
 //! All randomness (random crash picks, jammer picks, wake windows, dormancy
-//! windows) is drawn from a dedicated stream `split_seed(seed, u64::MAX - 2)`
-//! — distinct from both the per-node protocol streams and the channel-fade
-//! stream — so enabling one fault class never perturbs the draws of another
-//! or of the protocol itself. Same seed + same plan ⇒ bit-identical run.
+//! windows, recovery rounds, churn processes) is drawn from a dedicated
+//! stream `split_seed(seed, u64::MAX - 2)` — distinct from both the
+//! per-node protocol streams and the channel-fade stream — so enabling one
+//! fault class never perturbs the draws of another or of the protocol
+//! itself. New clauses draw strictly *after* the pre-existing ones, so a
+//! plan without recovery resolves exactly as it did before recovery
+//! support existed. Same seed + same plan ⇒ bit-identical run.
 
 use crate::protocol::NodeRng;
 use crate::rng::split_seed;
@@ -81,6 +95,69 @@ pub struct Dormancy {
     pub duration: u64,
 }
 
+/// An explicit crash-recovery window: `node` is down for rounds
+/// `[down, up)` and restarts (with wiped protocol state) at `up`.
+///
+/// Like crash-stop faults, the window takes effect when the node would next
+/// act; unlike them, the engine re-admits the node at `up`, rebuilding its
+/// protocol instance via the run's factory and calling
+/// [`Protocol::on_restart`](crate::Protocol::on_restart).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryWindow {
+    /// The node that goes down.
+    pub node: NodeId,
+    /// First round at which the node is down.
+    pub down: u64,
+    /// First round at which the node is back (exclusive end of the window).
+    pub up: u64,
+}
+
+/// Down-time distribution for churned nodes ([`FaultPlan::with_churn`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DownTime {
+    /// Every outage lasts exactly this many rounds.
+    Fixed(u64),
+    /// Outage lengths drawn uniformly from `lo..=hi`.
+    Uniform {
+        /// Shortest possible outage (≥ 1).
+        lo: u64,
+        /// Longest possible outage (inclusive).
+        hi: u64,
+    },
+}
+
+impl DownTime {
+    fn sample(&self, rng: &mut NodeRng) -> u64 {
+        match *self {
+            DownTime::Fixed(d) => d.max(1),
+            DownTime::Uniform { lo, hi } => rng.gen_range(lo.max(1)..=hi.max(lo.max(1))),
+        }
+    }
+}
+
+/// A seeded churn process: every non-jammer node independently goes down
+/// at per-round rate `rate` (geometric gaps between outages) until round
+/// `until`, with down-times drawn from `downtime`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Churn {
+    /// Per-round probability that an up node goes down.
+    pub rate: f64,
+    /// No new outage starts at or after this round.
+    pub until: u64,
+    /// Down-time distribution.
+    pub downtime: DownTime,
+}
+
+/// A mid-run join: `node` does not exist until `round` — it is first polled
+/// then, whatever its wake offset says.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Join {
+    /// The joining node.
+    pub node: NodeId,
+    /// First round at which the node exists (≥ 1).
+    pub round: u64,
+}
+
 /// When nodes first wake up. Generalizes
 /// [`Simulator::with_wake_offsets`](crate::Simulator::with_wake_offsets)
 /// (which, when set, takes precedence over the plan's `WakePlan`).
@@ -110,6 +187,14 @@ pub enum FaultKind {
     /// node *acts* while dormant (a node that sleeps through its whole
     /// window never surfaces it).
     Dormant,
+    /// The node came back up after a down window: its protocol state was
+    /// wiped, the engine rebuilt it via the run's factory and called
+    /// [`Protocol::on_restart`](crate::Protocol::on_restart). `round` is
+    /// the restart round; the node acts again from `round + 1`.
+    Recover,
+    /// The node joined the network mid-run; `round` is its first round of
+    /// existence.
+    Join,
 }
 
 /// A composable description of every fault a run injects. The default plan
@@ -131,6 +216,20 @@ pub struct FaultPlan {
     pub wake: WakePlan,
     /// Random dormancy windows.
     pub dormancy: Option<Dormancy>,
+    /// Explicit crash-recovery windows.
+    #[serde(default)]
+    pub recoveries: Vec<RecoveryWindow>,
+    /// Makes every crash clause recoverable: each crashed node restarts at
+    /// a round drawn uniformly from `(crash, recover_by]`. A modifier of
+    /// the crash clauses — it injects nothing on its own.
+    #[serde(default)]
+    pub recover_by: Option<u64>,
+    /// Seeded churn process (down/up cycles with random down-times).
+    #[serde(default)]
+    pub churn: Option<Churn>,
+    /// Mid-run joins.
+    #[serde(default)]
+    pub joins: Vec<Join>,
 }
 
 impl Default for FaultPlan {
@@ -150,6 +249,10 @@ impl FaultPlan {
             random_jammers: 0,
             wake: WakePlan::Synchronous,
             dormancy: None,
+            recoveries: Vec::new(),
+            recover_by: None,
+            churn: None,
+            joins: Vec::new(),
         }
     }
 
@@ -163,6 +266,11 @@ impl FaultPlan {
             && self.random_jammers == 0
             && self.wake == WakePlan::Synchronous
             && self.dormancy.is_none()
+            && self.recoveries.is_empty()
+            && self.churn.is_none()
+            && self.joins.is_empty()
+        // `recover_by` alone modifies crash clauses; with none configured it
+        // injects nothing and keeps the plan inert.
     }
 
     /// Sets the per-edge reception-loss probability.
@@ -240,6 +348,58 @@ impl FaultPlan {
             latest_start,
             duration,
         });
+        self
+    }
+
+    /// Adds an explicit crash-recovery window: `node` is down for rounds
+    /// `[down, up)` and restarts (state wiped) at `up`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `down >= up`.
+    pub fn with_recovery(mut self, node: NodeId, down: u64, up: u64) -> FaultPlan {
+        assert!(down < up, "recovery window [{down}, {up}) is empty");
+        self.recoveries.push(RecoveryWindow { node, down, up });
+        self
+    }
+
+    /// Makes every crash clause recoverable: each crashed node restarts at
+    /// a round drawn uniformly from `(crash, recover_by]` (or `crash + 1`
+    /// if `recover_by` is not past the crash).
+    pub fn with_recover_by(mut self, recover_by: u64) -> FaultPlan {
+        self.recover_by = Some(recover_by);
+        self
+    }
+
+    /// Installs a seeded churn process: every non-jammer node independently
+    /// goes down at per-round `rate` until round `until`, staying down for
+    /// a duration drawn from `downtime`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]`.
+    pub fn with_churn(mut self, rate: f64, until: u64, downtime: DownTime) -> FaultPlan {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "churn rate {rate} outside [0, 1]"
+        );
+        self.churn = Some(Churn {
+            rate,
+            until,
+            downtime,
+        });
+        self
+    }
+
+    /// Adds a mid-run join: `node` does not exist until `round`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round` is 0 (that is the paper's synchronous start, not a
+    /// join).
+    pub fn with_join(mut self, node: NodeId, round: u64) -> FaultPlan {
+        assert!(round > 0, "a join at round 0 is not a join");
+        self.joins.push(Join { node, round });
         self
     }
 
@@ -344,6 +504,148 @@ impl FaultPlan {
             }
         };
 
+        // 5..7. Recovery clauses. These draw strictly *after* every
+        // pre-existing clause, so plans without recovery resolve exactly as
+        // they did before recovery support existed.
+        let any_recovery =
+            !self.recoveries.is_empty() || self.recover_by.is_some() || self.churn.is_some();
+        let mut down_windows: Vec<Vec<(u64, u64)>> = if any_recovery {
+            vec![Vec::new(); n]
+        } else {
+            Vec::new()
+        };
+
+        // 5. `recover_by`: convert every crash into a down window ending at
+        // a uniform round in `(crash, recover_by]`. Jammers keep their
+        // crash round — it is the end of their jamming, not a protocol
+        // fault to recover from.
+        if let Some(by) = self.recover_by {
+            for v in 0..n {
+                let crash = crash_round.get(v).copied().unwrap_or(u64::MAX);
+                if crash == u64::MAX || jammer.get(v).copied().unwrap_or(false) {
+                    continue;
+                }
+                let up = if by > crash {
+                    rng.gen_range(crash + 1..=by)
+                } else {
+                    crash + 1
+                };
+                down_windows[v].push((crash, up));
+                crash_round[v] = u64::MAX;
+            }
+            if crash_round.iter().all(|&c| c == u64::MAX) {
+                crash_round = Vec::new();
+            }
+        }
+
+        // 6. Explicit recovery windows.
+        for w in &self.recoveries {
+            assert!(
+                w.node < n,
+                "recovery node {} out of range (n = {n})",
+                w.node
+            );
+            down_windows[w.node].push((w.down, w.up));
+        }
+
+        // 7. Churn: per node, a renewal process of geometric up-gaps at
+        // `rate` and sampled down-times, until round `until`.
+        if let Some(c) = self.churn {
+            if c.rate > 0.0 {
+                for (v, wins) in down_windows.iter_mut().enumerate() {
+                    if jammer.get(v).copied().unwrap_or(false) {
+                        continue;
+                    }
+                    let mut t = 0u64;
+                    while t < c.until {
+                        let gap = if c.rate >= 1.0 {
+                            0
+                        } else {
+                            // Geometric gap via inverse transform; capped so
+                            // a tiny draw cannot overflow the round space.
+                            let u: f64 = rng.gen();
+                            let g = (1.0 - u).ln() / (1.0 - c.rate).ln();
+                            if g >= c.until as f64 {
+                                break;
+                            }
+                            g as u64
+                        };
+                        let down = t + gap;
+                        if down >= c.until {
+                            break;
+                        }
+                        let up = down + c.downtime.sample(&mut rng);
+                        wins.push((down, up));
+                        t = up;
+                    }
+                }
+            }
+        }
+
+        if any_recovery {
+            // Sort and coalesce each node's windows into disjoint,
+            // ascending intervals (explicit windows may overlap churn).
+            for wins in &mut down_windows {
+                wins.sort_unstable();
+                let mut merged: Vec<(u64, u64)> = Vec::with_capacity(wins.len());
+                for &(d, u) in wins.iter() {
+                    match merged.last_mut() {
+                        Some(last) if d <= last.1 => last.1 = last.1.max(u),
+                        _ => merged.push((d, u)),
+                    }
+                }
+                *wins = merged;
+            }
+            if down_windows.iter().all(|w| w.is_empty()) {
+                down_windows = Vec::new();
+            }
+        }
+
+        // 8. Joins: explicit, latest round wins per node.
+        let join_round = if self.joins.is_empty() {
+            Vec::new()
+        } else {
+            let mut jr = vec![0u64; n];
+            for j in &self.joins {
+                assert!(j.node < n, "join node {} out of range (n = {n})", j.node);
+                jr[j.node] = jr[j.node].max(j.round);
+            }
+            jr
+        };
+
+        // Last fault round: the latest round at which any injected fault
+        // can still perturb the run. Continuous clauses (loss, jammers)
+        // never end.
+        let last_fault_round = if self.loss > 0.0 || !jammer_list.is_empty() {
+            u64::MAX
+        } else {
+            let mut last = 0u64;
+            for &c in &crash_round {
+                if c != u64::MAX {
+                    last = last.max(c);
+                }
+            }
+            for wins in &down_windows {
+                if let Some(&(_, up)) = wins.last() {
+                    last = last.max(up);
+                }
+            }
+            for &j in &join_round {
+                last = last.max(j);
+            }
+            for &from in &dormant_from {
+                if from != u64::MAX {
+                    last = last.max(from + dormant_len);
+                }
+            }
+            if let Some(offsets) = &wake_offsets {
+                for &o in offsets {
+                    last = last.max(o);
+                }
+            }
+            last
+        };
+
         ResolvedFaults {
             wake_offsets,
             crash_round,
@@ -351,6 +653,9 @@ impl FaultPlan {
             jammer_list,
             dormant_from,
             dormant_len,
+            down_windows,
+            join_round,
+            last_fault_round,
         }
     }
 }
@@ -377,6 +682,16 @@ pub(crate) struct ResolvedFaults {
     pub dormant_from: Vec<u64>,
     /// Dormancy-window length in rounds.
     pub dormant_len: u64,
+    /// Per-node sorted, disjoint down windows `(down, up)`. Empty when the
+    /// plan has no recovery clauses.
+    pub down_windows: Vec<Vec<(u64, u64)>>,
+    /// Per-node join round (0 = present from the start). Empty when the
+    /// plan has no joins.
+    pub join_round: Vec<u64>,
+    /// Latest round at which any injected fault can still perturb the run
+    /// (`u64::MAX` for never-ending clauses: loss, jammers). Convergence
+    /// reporting only trusts correctness observed *after* this round.
+    pub last_fault_round: u64,
 }
 
 impl ResolvedFaults {
@@ -389,12 +704,35 @@ impl ResolvedFaults {
             jammer_list: Vec::new(),
             dormant_from: Vec::new(),
             dormant_len: 0,
+            down_windows: Vec::new(),
+            join_round: Vec::new(),
+            last_fault_round: 0,
         }
     }
 
-    /// Whether any node ever crashes.
+    /// Whether any node ever crashes (permanently).
     pub fn has_crashes(&self) -> bool {
         !self.crash_round.is_empty()
+    }
+
+    /// Whether any node has a crash-recovery (down/up) window.
+    pub fn has_recovery(&self) -> bool {
+        !self.down_windows.is_empty()
+    }
+
+    /// Whether any node joins mid-run.
+    pub fn has_joins(&self) -> bool {
+        !self.join_round.is_empty()
+    }
+
+    /// Node `v`'s down windows (empty slice when it has none).
+    pub fn windows_of(&self, v: NodeId) -> &[(u64, u64)] {
+        self.down_windows.get(v).map_or(&[], |w| w.as_slice())
+    }
+
+    /// Node `v`'s join round (0 = present from the start).
+    pub fn join_of(&self, v: NodeId) -> u64 {
+        self.join_round.get(v).copied().unwrap_or(0)
     }
 
     /// Whether any node has a dormancy window.
@@ -572,9 +910,201 @@ mod tests {
             .with_crash(1, 7)
             .with_jammer(0)
             .with_wake_window(8)
-            .with_dormancy(0.1, 20, 4);
+            .with_dormancy(0.1, 20, 4)
+            .with_recovery(2, 3, 9)
+            .with_churn(0.01, 50, DownTime::Uniform { lo: 2, hi: 6 })
+            .with_join(3, 12);
         let json = serde_json::to_string(&plan).unwrap();
         let back: FaultPlan = serde_json::from_str(&json).unwrap();
         assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn pr2_plans_deserialize_without_recovery_fields() {
+        // Plans serialized before recovery support lack the new fields;
+        // serde must default them to the inert values.
+        let json = r#"{"loss":0.5,"crashes":[],"random_crashes":null,
+            "jammers":[],"random_jammers":0,"wake":"Synchronous",
+            "dormancy":null}"#;
+        let plan: FaultPlan = serde_json::from_str(json).unwrap();
+        assert!(plan.recoveries.is_empty());
+        assert!(plan.recover_by.is_none());
+        assert!(plan.churn.is_none());
+        assert!(plan.joins.is_empty());
+    }
+
+    #[test]
+    fn recovery_clauses_deactivate_inertness() {
+        assert!(!FaultPlan::none().with_recovery(0, 1, 5).is_inert());
+        assert!(!FaultPlan::none()
+            .with_churn(0.1, 10, DownTime::Fixed(2))
+            .is_inert());
+        assert!(!FaultPlan::none().with_join(0, 3).is_inert());
+        // `recover_by` is a modifier of crash clauses: alone it injects
+        // nothing and keeps the plan inert.
+        assert!(FaultPlan::none().with_recover_by(10).is_inert());
+    }
+
+    #[test]
+    fn explicit_recovery_windows_resolve_sorted_and_merged() {
+        let plan = FaultPlan::none()
+            .with_recovery(1, 10, 14)
+            .with_recovery(1, 2, 5)
+            .with_recovery(1, 4, 8); // overlaps [2, 5) — merged
+        let r = plan.resolve(3, 7);
+        assert!(r.has_recovery());
+        assert_eq!(r.windows_of(1), &[(2, 8), (10, 14)]);
+        assert_eq!(r.windows_of(0), &[] as &[(u64, u64)]);
+        assert_eq!(r.windows_of(9), &[] as &[(u64, u64)]);
+        assert_eq!(r.last_fault_round, 14);
+    }
+
+    #[test]
+    fn recover_by_converts_crashes_into_windows() {
+        let plan = FaultPlan::none()
+            .with_crash(0, 5)
+            .with_crash(2, 20)
+            .with_recover_by(12);
+        let r = plan.resolve(3, 3);
+        // All crashes became recoverable: no permanent crash remains.
+        assert!(!r.has_crashes());
+        let w0 = r.windows_of(0);
+        assert_eq!(w0.len(), 1);
+        assert_eq!(w0[0].0, 5);
+        assert!(
+            w0[0].1 > 5 && w0[0].1 <= 12,
+            "up {} not in (5, 12]",
+            w0[0].1
+        );
+        // Crash at 20 is past recover_by: the node restarts right after.
+        assert_eq!(r.windows_of(2), &[(20, 21)]);
+    }
+
+    #[test]
+    fn recover_by_leaves_jammer_crashes_permanent() {
+        // A jammer's crash round is the end of its jamming, not a fault to
+        // recover from.
+        let plan = FaultPlan::none()
+            .with_jammer(1)
+            .with_crash(1, 4)
+            .with_crash(0, 2)
+            .with_recover_by(10);
+        let r = plan.resolve(2, 0);
+        assert_eq!(r.crash_of(1), 4);
+        assert_eq!(r.windows_of(1), &[] as &[(u64, u64)]);
+        assert_eq!(r.windows_of(0).len(), 1);
+    }
+
+    #[test]
+    fn churn_is_seed_deterministic_with_disjoint_windows() {
+        let plan = FaultPlan::none().with_churn(0.02, 200, DownTime::Uniform { lo: 3, hi: 9 });
+        let a = plan.resolve(16, 11);
+        let b = plan.resolve(16, 11);
+        let c = plan.resolve(16, 12);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut any = false;
+        for v in 0..16 {
+            let wins = a.windows_of(v);
+            any |= !wins.is_empty();
+            for w in wins.windows(2) {
+                assert!(w[0].1 <= w[1].0, "overlapping windows {w:?}");
+            }
+            for &(d, u) in wins {
+                assert!(d < 200, "churn outage starts after `until`");
+                assert!(u > d && u - d >= 3 && u - d <= 9, "down-time {:?}", (d, u));
+            }
+        }
+        assert!(any, "rate 0.02 over 200 rounds × 16 nodes drew no outage");
+    }
+
+    #[test]
+    fn churn_skips_jammers_and_zero_rate_is_empty() {
+        let plan = FaultPlan::none()
+            .with_jammer(0)
+            .with_churn(1.0, 5, DownTime::Fixed(1));
+        let r = plan.resolve(2, 9);
+        assert_eq!(r.windows_of(0), &[] as &[(u64, u64)]);
+        assert!(!r.windows_of(1).is_empty());
+
+        let r = FaultPlan::none()
+            .with_loss(0.1) // keep non-inert
+            .with_churn(0.0, 100, DownTime::Fixed(1))
+            .resolve(4, 9);
+        assert!(!r.has_recovery());
+    }
+
+    #[test]
+    fn joins_resolve_with_latest_round_winning() {
+        let plan = FaultPlan::none().with_join(1, 5).with_join(1, 9);
+        let r = plan.resolve(3, 0);
+        assert!(r.has_joins());
+        assert_eq!(r.join_of(1), 9);
+        assert_eq!(r.join_of(0), 0);
+        assert_eq!(r.join_of(7), 0);
+        assert_eq!(r.last_fault_round, 9);
+    }
+
+    #[test]
+    fn last_fault_round_is_infinite_for_continuous_clauses() {
+        assert_eq!(
+            FaultPlan::none()
+                .with_loss(0.1)
+                .resolve(4, 0)
+                .last_fault_round,
+            u64::MAX
+        );
+        assert_eq!(
+            FaultPlan::none()
+                .with_jammer(0)
+                .resolve(4, 0)
+                .last_fault_round,
+            u64::MAX
+        );
+        // Terminal clauses end: crash at 7, dormancy through 10 + 4.
+        let r = FaultPlan::none()
+            .with_crash(0, 7)
+            .with_dormancy(1.0, 10, 4)
+            .resolve(4, 5);
+        assert!(r.last_fault_round >= 7 && r.last_fault_round <= 14);
+    }
+
+    #[test]
+    fn adding_recovery_does_not_perturb_prior_draws() {
+        // Recovery draws come strictly after the pre-existing clauses on
+        // the shared fault stream: the wake/jammer/crash/dormancy outcome
+        // of a plan must be bit-identical with and without a churn clause.
+        let base = FaultPlan::none()
+            .with_random_crashes(3, 20)
+            .with_random_jammers(2)
+            .with_wake_window(16)
+            .with_dormancy(0.5, 30, 5);
+        let with = base
+            .clone()
+            .with_churn(0.05, 40, DownTime::Fixed(3))
+            .resolve(32, 42);
+        let without = base.resolve(32, 42);
+        assert_eq!(with.wake_offsets, without.wake_offsets);
+        assert_eq!(with.jammer_list, without.jammer_list);
+        assert_eq!(with.crash_round, without.crash_round);
+        assert_eq!(with.dormant_from, without.dormant_from);
+    }
+
+    #[test]
+    #[should_panic(expected = "is empty")]
+    fn recovery_window_validated() {
+        let _ = FaultPlan::none().with_recovery(0, 5, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a join")]
+    fn join_round_validated() {
+        let _ = FaultPlan::none().with_join(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn recovery_node_validated() {
+        let _ = FaultPlan::none().with_recovery(9, 0, 4).resolve(4, 0);
     }
 }

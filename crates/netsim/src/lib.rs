@@ -49,6 +49,23 @@
 //! [`EventKind::Fault`] trace event. An inert plan (the default) costs the
 //! round loop nothing measurable.
 //!
+//! # Crash recovery and convergence
+//!
+//! Faults need not be terminal: recovery clauses
+//! ([`FaultPlan::with_recovery`], [`FaultPlan::with_recover_by`], seeded
+//! churn via [`FaultPlan::with_churn`], mid-run joins via
+//! [`FaultPlan::with_join`]) schedule down *windows* after which the
+//! engine rebuilds the node, calls [`Protocol::on_restart`] on the fresh
+//! instance, and re-admits it to the round loop. Such runs are judged by
+//! *convergence* rather than end state: [`RunReport::converged_at`] is the
+//! first round at or after the last scheduled fault where the
+//! live-subgraph MIS is correct and stays correct, and a
+//! [`ConvergencePolicy`] can stop a run early once convergence is stable
+//! or abort it via a quiescence watchdog (see [`engine`]). The multi-trial
+//! [`runner`] additionally isolates panicking trials and checkpoints
+//! completed trials to JSONL so interrupted sweeps resume
+//! ([`run_trials_resumable`]).
+//!
 //! # Quick example
 //!
 //! ```
@@ -90,14 +107,19 @@ pub mod runner;
 pub mod trace;
 
 pub use energy::EnergyMeter;
-pub use engine::{SimConfig, Simulator};
-pub use fault::{Crash, Dormancy, FaultKind, FaultPlan, RandomCrashes, WakePlan};
+pub use engine::{ConvergencePolicy, SimConfig, Simulator};
+pub use fault::{
+    Churn, Crash, Dormancy, DownTime, FaultKind, FaultPlan, Join, RandomCrashes, RecoveryWindow,
+    WakePlan,
+};
 pub use metrics::RoundMetrics;
 pub use model::{Action, ChannelModel, Feedback, Message, NodeStatus};
 pub use protocol::{NodeRng, Protocol};
 pub use report::RunReport;
 pub use rng::split_seed;
-pub use runner::{run_trials, TrialOutcome, TrialSet};
+pub use runner::{
+    run_trials, run_trials_budgeted, run_trials_resumable, TrialFailure, TrialOutcome, TrialSet,
+};
 pub use trace::{
     EventKind, EventMask, FilteredTrace, JsonlTrace, NullTrace, RingTrace, TraceEvent, TraceSink,
     VecTrace,

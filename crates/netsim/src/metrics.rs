@@ -27,6 +27,13 @@
 //! polluted by surviving jammer noise), the `jamming` population column
 //! (active jammers), and the cumulative `crashed` column. Fault-free runs
 //! leave all four at zero.
+//!
+//! Runs with crash-*recovery* clauses (see
+//! [`FaultPlan::with_recovery`](crate::FaultPlan::with_recovery)) further
+//! extend the record with `recovered` and `joined` (cumulative lifecycle
+//! events) and `repairing` (the current count of nodes whose earlier
+//! decision was revoked and who have not re-decided). All three stay zero
+//! on recovery-free runs and deserialize as zero from older records.
 
 use serde::{Deserialize, Serialize};
 
@@ -99,6 +106,19 @@ pub struct RoundMetrics {
     /// real message also arrived).
     #[serde(default)]
     pub jammed_receptions: u32,
+    /// Nodes that came back from a down window through the end of this
+    /// round (cumulative). A node that churns twice counts twice.
+    #[serde(default)]
+    pub recovered: u32,
+    /// Nodes that joined mid-run through the end of this round
+    /// (cumulative).
+    #[serde(default)]
+    pub joined: u32,
+    /// Nodes whose earlier decision has been revoked (by a self-healing
+    /// wrapper or a down window) and who have not re-decided yet — the
+    /// population currently under repair. Not cumulative.
+    #[serde(default)]
+    pub repairing: u32,
     /// Nodes whose status is `InMis` at the end of this round (cumulative).
     pub joined_mis: u32,
     /// Nodes whose status is decided (in or out of the MIS) at the end of
@@ -161,6 +181,10 @@ pub(crate) struct RoundCounters {
     pub faded_edges: u32,
     /// Listeners with surviving jammer noise.
     pub jammed_receptions: u32,
+    /// Recovery events through the end of the round (cumulative).
+    pub recovered: u32,
+    /// Mid-run joins through the end of the round (cumulative).
+    pub joined: u32,
 }
 
 /// Running cumulative state the engine threads across rounds while
@@ -171,6 +195,9 @@ pub(crate) struct MetricsAccumulator {
     pub joined_mis: u32,
     /// Cumulative count of decided nodes.
     pub decided: u32,
+    /// Current count of nodes whose decision was revoked and not yet
+    /// re-made.
+    pub repairing: u32,
     /// Cumulative awake node-rounds.
     pub cumulative_energy: u64,
 }
@@ -198,6 +225,9 @@ impl MetricsAccumulator {
             crashed: c.crashed_before,
             faded_edges: c.faded_edges,
             jammed_receptions: c.jammed_receptions,
+            recovered: c.recovered,
+            joined: c.joined,
+            repairing: self.repairing,
             joined_mis: self.joined_mis,
             decided: self.decided,
             cumulative_energy: self.cumulative_energy,
@@ -298,6 +328,9 @@ mod tests {
             crashed: 1,
             faded_edges: 5,
             jammed_receptions: 1,
+            recovered: 2,
+            joined: 1,
+            repairing: 1,
             joined_mis: 2,
             decided: 4,
             cumulative_energy: 99,
@@ -318,6 +351,32 @@ mod tests {
         assert_eq!(m.crashed, 0);
         assert_eq!(m.faded_edges, 0);
         assert_eq!(m.jammed_receptions, 0);
+        assert_eq!(m.recovered, 0);
+        assert_eq!(m.joined, 0);
+        assert_eq!(m.repairing, 0);
         assert_eq!(m.node_count(), 2);
+    }
+
+    #[test]
+    fn accumulator_carries_recovery_counters() {
+        let mut acc = MetricsAccumulator {
+            repairing: 2,
+            ..MetricsAccumulator::default()
+        };
+        let m = acc.finish_round(RoundCounters {
+            round: 4,
+            n: 6,
+            crashed_before: 1,
+            listening: 2,
+            recovered: 3,
+            joined: 1,
+            ..RoundCounters::default()
+        });
+        assert_eq!(m.recovered, 3);
+        assert_eq!(m.joined, 1);
+        assert_eq!(m.repairing, 2);
+        // A node sitting in a down window is part of the `crashed`
+        // population column, so the identity still balances.
+        assert_eq!(m.node_count(), 6);
     }
 }

@@ -40,6 +40,20 @@ pub trait Protocol {
     /// nodes are retired by the engine; a run completes when every node is
     /// finished.
     fn finished(&self) -> bool;
+
+    /// Called once when the node comes back from a crash-recovery window
+    /// (see [`FaultPlan::with_recovery`](crate::FaultPlan::with_recovery)).
+    ///
+    /// The engine guarantees a full state reset regardless of this hook: it
+    /// rebuilds the node via the run's factory and calls `on_restart` on
+    /// the *fresh* instance, at the restart round, before the node's first
+    /// post-recovery `act` (which happens at `round + 1`). Implementations
+    /// use it to learn that they are a revived node rather than an original
+    /// one — e.g. a self-healing wrapper switches into repair mode instead
+    /// of re-running its initial schedule. The default does nothing.
+    fn on_restart(&mut self, round: u64, rng: &mut NodeRng) {
+        let _ = (round, rng);
+    }
 }
 
 /// Blanket impl so `Box<dyn Protocol>` works where a concrete type is
@@ -56,6 +70,9 @@ impl<P: Protocol + ?Sized> Protocol for Box<P> {
     }
     fn finished(&self) -> bool {
         (**self).finished()
+    }
+    fn on_restart(&mut self, round: u64, rng: &mut NodeRng) {
+        (**self).on_restart(round, rng)
     }
 }
 
@@ -113,6 +130,9 @@ mod tests {
         assert_eq!(p.act(0, &mut rng), Action::Transmit(Message::unary()));
         p.feedback(0, Feedback::Sent, &mut rng);
         assert_eq!(p.status(), NodeStatus::InMis);
+        assert!(p.finished());
+        // The default restart hook is a no-op and delegates through Box.
+        p.on_restart(3, &mut rng);
         assert!(p.finished());
     }
 

@@ -24,8 +24,22 @@ pub struct RunReport {
     /// Round complexity: rounds elapsed until the last node finished (or the
     /// cap, for incomplete runs).
     pub rounds: u64,
-    /// Whether every node finished before `max_rounds`.
+    /// Whether every node finished before `max_rounds`, or — for runs ended
+    /// by a [`ConvergencePolicy`](crate::ConvergencePolicy) — whether the
+    /// run converged and was stopped early.
     pub completed: bool,
+    /// First round at or after the last scheduled fault where the induced
+    /// live-subgraph MIS became correct *and stayed correct* through the end
+    /// of the run. `None` for runs that never converged, and for runs
+    /// without convergence tracking (no recovery clauses and no
+    /// [`ConvergencePolicy`](crate::ConvergencePolicy)).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub converged_at: Option<u64>,
+    /// Whether the quiescence watchdog of a
+    /// [`ConvergencePolicy`](crate::ConvergencePolicy) aborted the run
+    /// because it failed to re-converge within the budget.
+    #[serde(default, skip_serializing_if = "std::ops::Not::not")]
+    pub watchdog_fired: bool,
     /// Channel model the run used.
     pub channel: ChannelModel,
     /// Master seed of the run.
@@ -205,6 +219,8 @@ mod tests {
             faulty: Vec::new(),
             rounds: 10,
             completed: true,
+            converged_at: None,
+            watchdog_fired: false,
             channel: ChannelModel::Cd,
             seed: 0,
             message_bits: 16,
@@ -294,9 +310,25 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         use NodeStatus::*;
-        let r = report(vec![InMis, OutMis], vec![2, 3]);
+        let mut r = report(vec![InMis, OutMis], vec![2, 3]);
+        r.converged_at = Some(6);
+        r.watchdog_fired = true;
         let json = serde_json::to_string(&r).unwrap();
         let back: RunReport = serde_json::from_str(&json).unwrap();
         assert_eq!(r, back);
+    }
+
+    #[test]
+    fn pre_recovery_reports_deserialize_with_convergence_defaults() {
+        // PR 2 reports predate convergence tracking; serde must default the
+        // new fields, and default-valued fields must not be serialized.
+        let json = r#"{"statuses":[],"meters":[],"rounds":3,"completed":true,
+            "channel":"Cd","seed":1,"message_bits":16}"#;
+        let r: RunReport = serde_json::from_str(json).unwrap();
+        assert_eq!(r.converged_at, None);
+        assert!(!r.watchdog_fired);
+        let out = serde_json::to_string(&r).unwrap();
+        assert!(!out.contains("converged_at"), "{out}");
+        assert!(!out.contains("watchdog_fired"), "{out}");
     }
 }

@@ -57,6 +57,19 @@ impl Summary {
         }
     }
 
+    /// Computes the summary of the *finite* values in a sample, silently
+    /// dropping `NaN`/`±∞` entries.
+    ///
+    /// Trial harnesses encode missing measurements as `NaN` — a
+    /// watchdog-aborted run has no `converged_at`, a failed trial has no
+    /// energy — and [`Summary::of`] would panic sorting them. This filters
+    /// first; `count` reports how many measurements survived, so callers
+    /// can render `"n/a"` when none did.
+    pub fn of_finite(xs: &[f64]) -> Summary {
+        let finite: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).collect();
+        Summary::of(&finite)
+    }
+
     /// Interpolated quantile of the sample, `q ∈ [0, 1]`.
     ///
     /// # Panics
@@ -110,6 +123,19 @@ mod tests {
         assert_eq!(s.mean, 7.0);
         assert_eq!(s.std, 0.0);
         assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    fn finite_filtering_drops_missing_measurements() {
+        let s = Summary::of_finite(&[1.0, f64::NAN, 3.0, f64::INFINITY, 2.0]);
+        assert_eq!(s.count, 3);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        // All-missing collapses to the empty summary, not a panic.
+        let none = Summary::of_finite(&[f64::NAN, f64::NAN]);
+        assert_eq!(none.count, 0);
+        assert_eq!(none.mean, 0.0);
     }
 
     #[test]

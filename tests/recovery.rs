@@ -1,0 +1,105 @@
+//! Crash-recovery through the facade: revived and joined nodes are healed
+//! by the self-healing wrapper, runs re-converge, and the report says when.
+//!
+//! These tests exercise the full recovery stack end to end — the engine's
+//! down-window/rebuild/`on_restart` machinery, [`RepairingMis`]'s
+//! cover/duel/repair epochs, and the convergence stamping — the way a
+//! library consumer would, via `energy_mis::` re-exports only.
+
+use energy_mis::graphs::generators;
+use energy_mis::mis::cd::CdMis;
+use energy_mis::mis::params::CdParams;
+use energy_mis::mis::{RepairConfig, RepairingMis};
+use energy_mis::netsim::{
+    ChannelModel, ConvergencePolicy, FaultPlan, NodeRng, SimConfig, Simulator,
+};
+use proptest::prelude::*;
+
+/// Two explicit down windows plus a mid-run join, healed by the wrapper:
+/// the run re-converges after the last revival, nobody is left marked
+/// faulty, and the cumulative recovery counters land exactly.
+#[test]
+fn explicit_windows_and_a_join_reconverge_with_exact_counters() {
+    let g = generators::path(12);
+    let params = CdParams::for_n(32);
+    let rc = RepairConfig::for_cd(params.total_rounds());
+    let e = rc.epoch_len();
+    let plan = FaultPlan::none()
+        .with_recovery(2, e + 1, e + 2)
+        .with_recovery(7, e + 1, 2 * e)
+        .with_join(11, 3);
+    let config = SimConfig::new(ChannelModel::Cd)
+        .with_seed(9)
+        .with_faults(plan)
+        .with_convergence(ConvergencePolicy::new(3 * e))
+        .with_max_rounds(600 * e)
+        .with_round_metrics();
+    let report = Simulator::new(&g, config)
+        .run(|_, _| RepairingMis::new(rc, move |_rng: &mut NodeRng| CdMis::new(params)));
+    assert!(report.completed, "policy never stopped the run");
+    assert!(!report.watchdog_fired);
+    assert!(report.is_correct_mis(&g), "{:?}", report.verify_mis(&g));
+    // Recovered nodes are live again: nobody ends the run faulty.
+    assert!(report.faulty.iter().all(|&f| !f));
+    // Convergence is anchored after the last fault (the round-2e revival).
+    let conv = report.converged_at.expect("converged_at must be stamped");
+    assert!(
+        conv >= 2 * e,
+        "converged at {conv}, before the last revival"
+    );
+    let timeline = report.metrics.as_deref().unwrap();
+    let mut prev = 0;
+    for m in timeline {
+        assert_eq!(m.node_count(), 12, "round {}", m.round);
+        assert!(m.recovered >= prev, "cumulative recovered went backwards");
+        prev = m.recovered;
+    }
+    let last = timeline.last().unwrap();
+    assert_eq!(last.recovered, 2, "both down windows must revive");
+    assert_eq!(last.joined, 1, "the join must be counted");
+}
+
+fn corpus_graph(kind: u8, n: usize, seed: u64) -> energy_mis::graphs::Graph {
+    match kind {
+        0 => generators::path(n),
+        1 => generators::star(n),
+        2 => generators::cycle(n),
+        3 => generators::clique(n),
+        4 => generators::binary_tree(n),
+        _ => generators::random_tree(n, seed),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// A crash-then-recover of node 0 with no other faults re-converges on
+    /// every connected corpus graph — including the star, where node 0 is
+    /// the hub and its crash uncovers every leaf at once — and
+    /// `converged_at` is stamped at or after the revival.
+    #[test]
+    fn crash_then_recover_always_stamps_converged_at(
+        n in 4usize..12,
+        kind in 0u8..6,
+        seed in 0u64..1000,
+    ) {
+        let g = corpus_graph(kind, n, seed);
+        let params = CdParams::for_n(32);
+        let rc = RepairConfig::for_cd(params.total_rounds());
+        let e = rc.epoch_len();
+        let config = SimConfig::new(ChannelModel::Cd)
+            .with_seed(seed)
+            .with_faults(FaultPlan::none().with_recovery(0, e + 1, 2 * e + 1))
+            .with_convergence(ConvergencePolicy::new(3 * e))
+            .with_max_rounds(600 * e);
+        let report = Simulator::new(&g, config)
+            .run(|_, _| RepairingMis::new(rc, move |_rng: &mut NodeRng| CdMis::new(params)));
+        prop_assert!(report.completed, "no reconvergence on kind {kind}, n {n}");
+        prop_assert!(!report.watchdog_fired);
+        let conv = report.converged_at;
+        prop_assert!(conv.is_some(), "converged_at missing on kind {kind}");
+        prop_assert!(conv.unwrap() >= 2 * e + 1, "converged before the revival");
+        prop_assert!(report.is_correct_mis(&g), "{:?}", report.verify_mis(&g));
+        prop_assert!(report.faulty.iter().all(|&f| !f));
+    }
+}
