@@ -1,0 +1,169 @@
+//! Round-loop backends head to head: the sparse wake queue vs the dense
+//! per-node-scan oracle, on the sparse-awake workload the queue exists for.
+//!
+//! The workload wakes nodes in staggered batches of 100: at any processed
+//! round only ~100 of n nodes are due, so the dense backend pays an O(n)
+//! wake-table scan per processed round while the sparse backend pays
+//! O(batch · log n) heap traffic. The gap is the whole point of the
+//! `EngineMode::Sparse` default; `BENCH_engine.json` at the repo root pins
+//! the expected speedup ratios.
+//!
+//! Two entry points:
+//! - `cargo bench --bench bench_engine_sparse` — full criterion run over
+//!   n ∈ {10³, 10⁴, 10⁵} × {path, UDG, G(n,p)} × {dense, sparse};
+//! - `ENGINE_BENCH_SMOKE=1 cargo bench --bench bench_engine_sparse` — a
+//!   quick wall-clock check at n = 10⁵ that fails (exit 1) if any measured
+//!   speedup drops below max(5, 0.8 × baseline): the CI regression gate.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use mis_bench::workload;
+use mis_graphs::generators::{self, Family};
+use mis_graphs::Graph;
+use radio_netsim::{
+    Action, ChannelModel, EngineMode, Feedback, NodeRng, NodeStatus, Protocol, SimConfig,
+    Simulator,
+};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Nodes awake together per wake slot.
+const BATCH: usize = 100;
+/// Awake (listening) rounds each node spends in its slot.
+const WORK: u64 = 2;
+/// Rounds between consecutive wake slots — the quiet span the engine jumps.
+const STRIDE: u64 = 8;
+
+/// Sleeps until its batch's wake slot, listens for [`WORK`] rounds, halts.
+struct Staggered {
+    slot: u64,
+    work_left: u64,
+    done: bool,
+}
+
+impl Protocol for Staggered {
+    fn act(&mut self, round: u64, _rng: &mut NodeRng) -> Action {
+        if round < self.slot {
+            return Action::Sleep { wake_at: self.slot };
+        }
+        if self.work_left == 0 {
+            self.done = true;
+            return Action::halt();
+        }
+        self.work_left -= 1;
+        Action::Listen
+    }
+    fn feedback(&mut self, _round: u64, _fb: Feedback, _rng: &mut NodeRng) {}
+    fn status(&self) -> NodeStatus {
+        NodeStatus::OutMis
+    }
+    fn finished(&self) -> bool {
+        self.done
+    }
+}
+
+fn staggered(v: usize) -> Staggered {
+    Staggered {
+        slot: (v / BATCH) as u64 * STRIDE,
+        work_left: WORK,
+        done: false,
+    }
+}
+
+fn run(g: &Graph, mode: EngineMode) -> u64 {
+    let config = SimConfig::new(ChannelModel::Cd)
+        .with_seed(1)
+        .with_engine_mode(mode);
+    let report = Simulator::new(g, config).run(|v, _| staggered(v));
+    assert!(report.completed, "staggered workload must finish");
+    report.rounds
+}
+
+fn topologies(n: usize) -> Vec<(&'static str, Graph)> {
+    vec![
+        ("path", generators::path(n)),
+        ("udg6", Family::GeometricAvgDegree(6).generate(n, 42)),
+        ("gnp8", workload(n, 42)),
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let mut group = c.benchmark_group(format!("engine_round_loop/n={n}"));
+        group.sample_size(10);
+        for (label, g) in topologies(n) {
+            for mode in [EngineMode::Dense, EngineMode::Sparse] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{mode:?}"), label),
+                    &g,
+                    |b, g| b.iter(|| run(g, mode)),
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+
+/// Best-of-3 wall-clock time for one run.
+fn measure(g: &Graph, mode: EngineMode) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..3 {
+        let start = Instant::now();
+        run(g, mode);
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+/// Loads the committed speedup baselines (`{"speedup": {"path/100000": …}}`).
+fn load_baseline() -> HashMap<String, f64> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let v: serde_json::Value = serde_json::from_str(&text).expect("baseline must parse");
+    v["speedup"]
+        .as_object()
+        .expect("baseline needs a \"speedup\" table")
+        .iter()
+        .map(|(k, val)| (k.clone(), val.as_f64().expect("speedup must be numeric")))
+        .collect()
+}
+
+/// The CI regression gate: measures the dense/sparse ratio at n = 10⁵ and
+/// fails on a >20% regression against the committed baseline (never below
+/// the 5× acceptance floor).
+fn smoke() {
+    let baseline = load_baseline();
+    let n = 100_000;
+    let mut failed = false;
+    for (label, g) in topologies(n) {
+        let dense = measure(&g, EngineMode::Dense);
+        let sparse = measure(&g, EngineMode::Sparse);
+        let speedup = dense.as_secs_f64() / sparse.as_secs_f64().max(1e-9);
+        let key = format!("{label}/{n}");
+        let floor = baseline
+            .get(&key)
+            .map_or(5.0, |&b| (0.8 * b).max(5.0));
+        println!(
+            "{key}: dense {dense:?} / sparse {sparse:?} = {speedup:.1}x (floor {floor:.1}x)"
+        );
+        if speedup < floor {
+            eprintln!("REGRESSION: {key} speedup {speedup:.1}x below floor {floor:.1}x");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("engine smoke: all speedups above their floors");
+}
+
+fn main() {
+    if std::env::var_os("ENGINE_BENCH_SMOKE").is_some() {
+        smoke();
+        return;
+    }
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -2,7 +2,7 @@
 //! baseline).
 
 use mis_graphs::generators::Family;
-use radio_netsim::{DownTime, EventKind, FaultPlan};
+use radio_netsim::{DownTime, EngineMode, EventKind, FaultPlan};
 
 /// Which algorithm `mis-sim run` executes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,6 +107,9 @@ pub struct RunOpts {
     pub json: bool,
     /// Write each trial's per-round metrics as JSON Lines to this path.
     pub metrics: Option<String>,
+    /// Round-loop backend (`--engine dense|sparse`). Both are
+    /// byte-equivalent; `dense` is the slow reference oracle.
+    pub engine: EngineMode,
 }
 
 impl Default for RunOpts {
@@ -124,6 +127,7 @@ impl Default for RunOpts {
             paper_constants: false,
             json: false,
             metrics: None,
+            engine: EngineMode::default(),
         }
     }
 }
@@ -160,6 +164,9 @@ pub struct TraceOpts {
     pub to: Option<u64>,
     /// Write the JSONL stream here instead of stdout.
     pub out: Option<String>,
+    /// Round-loop backend (`--engine dense|sparse`). Both are
+    /// byte-equivalent, so the traced stream never depends on this.
+    pub engine: EngineMode,
 }
 
 impl Default for TraceOpts {
@@ -178,6 +185,7 @@ impl Default for TraceOpts {
             from: None,
             to: None,
             out: None,
+            engine: EngineMode::default(),
         }
     }
 }
@@ -234,11 +242,12 @@ USAGE:
   mis-sim run    --algorithm <ALG> (--family <FAM> --n <N> | --graph <FILE>)
                  [--trials <T>] [--seed <S>] [--max-rounds <R>] [FAULTS]
                  [--paper-constants] [--json] [--metrics <FILE>]
-                 [--resume <FILE>]
+                 [--resume <FILE>] [--engine dense|sparse]
   mis-sim trace  --algorithm <ALG> (--family <FAM> --n <N> | --graph <FILE>)
                  [--seed <S>] [--max-rounds <R>] [FAULTS] [--paper-constants]
                  [--events <K,K,..>] [--nodes <V,V,..>]
                  [--from <ROUND>] [--to <ROUND>] [--out <FILE>]
+                 [--engine dense|sparse]
   mis-sim graph  --family <FAM> --n <N> [--seed <S>] [--out <FILE>]
   mis-sim verify --graph <FILE> --set <FILE>
   mis-sim list
@@ -267,6 +276,10 @@ trial to FILE as JSON Lines and, when re-run with the same FILE, re-runs
 only the missing trials — a killed sweep loses at most one trial's work.
 `trace` streams the events of a single run
 as JSON Lines; event kinds are acted, fed, status, finished, fault, metrics.
+`--engine` picks the round-loop backend: the default `sparse` wake queue,
+or the `dense` per-node-scan reference oracle. Both are byte-equivalent —
+same reports, same metrics, same trace stream — so the flag only changes
+speed, never results.
 
 Run `mis-sim list` for the available algorithms and families.";
 
@@ -355,6 +368,17 @@ const FAULT_KEYS: [&str; 12] = [
     "churn-until",
     "churn-downtime",
 ];
+
+/// Parses an `--engine` value.
+fn parse_engine(value: &str) -> Result<EngineMode, String> {
+    match value {
+        "dense" => Ok(EngineMode::Dense),
+        "sparse" => Ok(EngineMode::Sparse),
+        other => Err(format!(
+            "unknown engine {other:?}; expected dense or sparse"
+        )),
+    }
+}
 
 /// Parses a `--churn-downtime` value: `"D"` for a fixed outage length or
 /// `"LO:HI"` for a uniform draw.
@@ -482,6 +506,7 @@ fn parse_run(args: &[&str]) -> Result<RunOpts, String> {
             "json",
             "metrics",
             "resume",
+            "engine",
         ]
         .contains(&key.as_str())
             && !FAULT_KEYS.contains(&key.as_str())
@@ -512,6 +537,9 @@ fn parse_run(args: &[&str]) -> Result<RunOpts, String> {
     run.json = opts.contains_key("json");
     run.metrics = opts.get("metrics").and_then(|v| v.map(str::to_string));
     run.resume = opts.get("resume").and_then(|v| v.map(str::to_string));
+    if let Some(Some(v)) = opts.get("engine") {
+        run.engine = parse_engine(v)?;
+    }
     if run.trials == 0 {
         return Err("--trials must be ≥ 1".into());
     }
@@ -548,6 +576,7 @@ fn parse_trace(args: &[&str]) -> Result<TraceOpts, String> {
             "from",
             "to",
             "out",
+            "engine",
         ]
         .contains(&key.as_str())
             && !FAULT_KEYS.contains(&key.as_str())
@@ -590,6 +619,9 @@ fn parse_trace(args: &[&str]) -> Result<TraceOpts, String> {
         }
     }
     trace.out = opts.get("out").and_then(|v| v.map(str::to_string));
+    if let Some(Some(v)) = opts.get("engine") {
+        trace.engine = parse_engine(v)?;
+    }
     Ok(trace)
 }
 
@@ -765,6 +797,40 @@ mod tests {
             "run --algorithm cd --family star --n 4 --churn 0.1 --churn-downtime x:3",
             "invalid --churn-downtime",
         );
+    }
+
+    #[test]
+    fn parses_engine_flag_and_defaults_to_sparse() {
+        let cli = parse_ok("run --algorithm cd --family star --n 16 --engine dense");
+        match cli.command {
+            Command::Run(r) => assert_eq!(r.engine, EngineMode::Dense),
+            other => panic!("{other:?}"),
+        }
+        let cli = parse_ok("run --algorithm cd --family star --n 16");
+        match cli.command {
+            Command::Run(r) => assert_eq!(r.engine, EngineMode::Sparse),
+            other => panic!("{other:?}"),
+        }
+        let cli = parse_ok("trace --algorithm cd --family star --n 16 --engine dense");
+        match cli.command {
+            Command::Trace(t) => assert_eq!(t.engine, EngineMode::Dense),
+            other => panic!("{other:?}"),
+        }
+        let cli = parse_ok("trace --algorithm cd --family star --n 16 --engine sparse");
+        match cli.command {
+            Command::Trace(t) => assert_eq!(t.engine, EngineMode::Sparse),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_engine() {
+        let args: Vec<String> = "run --algorithm cd --family star --n 4 --engine warp"
+            .split_whitespace()
+            .map(str::to_string)
+            .collect();
+        let err = parse(&args).unwrap_err();
+        assert!(err.contains("unknown engine"), "{err:?}");
     }
 
     #[test]

@@ -6,7 +6,7 @@ use congest_sim::{CongestSim, GhaffariCongest, LubyCongest};
 use mis_graphs::{io, mis, Graph};
 use mis_stats::table::fmt_num;
 use mis_stats::{Summary, Table};
-use radio_netsim::{split_seed, FaultPlan, NullTrace, RoundMetrics, SimConfig};
+use radio_netsim::{split_seed, EngineMode, FaultPlan, NullTrace, RoundMetrics, SimConfig};
 use serde::Serialize;
 use std::io::Write as _;
 use std::path::Path;
@@ -73,11 +73,13 @@ fn radio_trial(
     max_rounds: Option<u64>,
     paper: bool,
     collect_metrics: bool,
+    engine: EngineMode,
 ) -> ((bool, usize, u64, f64, u64), Vec<RoundMetrics>) {
     let channel = radio_channel(alg).expect("congest algorithms handled by caller");
     let mut config = SimConfig::new(channel)
         .with_seed(seed)
-        .with_faults(faults.clone());
+        .with_faults(faults.clone())
+        .with_engine_mode(engine);
     if let Some(cap) = max_rounds {
         config = config.with_max_rounds(cap);
     }
@@ -184,7 +186,8 @@ pub fn execute(opts: &RunOpts) -> Result<String, String> {
         let channel = radio_channel(opts.algorithm).expect("congest rejected above");
         let mut config = SimConfig::new(channel)
             .with_seed(opts.seed)
-            .with_faults(opts.faults.clone());
+            .with_faults(opts.faults.clone())
+            .with_engine_mode(opts.engine);
         if let Some(cap) = opts.max_rounds {
             config = config.with_max_rounds(cap);
         }
@@ -238,6 +241,7 @@ pub fn execute(opts: &RunOpts) -> Result<String, String> {
                         opts.max_rounds,
                         opts.paper_constants,
                         opts.metrics.is_some(),
+                        opts.engine,
                     );
                     if opts.metrics.is_some() {
                         timelines.push((t, timeline));
@@ -371,6 +375,25 @@ mod tests {
         let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
         assert_eq!(parsed["algorithm"], "congest-luby");
         assert_eq!(parsed["success_rate"], 1.0);
+    }
+
+    #[test]
+    fn dense_engine_reproduces_the_sparse_json_report() {
+        let base = RunOpts {
+            n: 48,
+            trials: 2,
+            json: true,
+            faults: FaultPlan::none().with_random_crashes(2, 16).with_loss(0.1),
+            max_rounds: Some(100_000),
+            ..RunOpts::default()
+        };
+        let sparse = execute(&base).unwrap();
+        let dense = execute(&RunOpts {
+            engine: EngineMode::Dense,
+            ..base
+        })
+        .unwrap();
+        assert_eq!(sparse, dense, "--engine must never change results");
     }
 
     #[test]

@@ -29,7 +29,8 @@ pub fn execute(opts: &TraceOpts) -> Result<String, String> {
     })?;
     let mut config = SimConfig::new(channel)
         .with_seed(opts.seed)
-        .with_faults(opts.faults.clone());
+        .with_faults(opts.faults.clone())
+        .with_engine_mode(opts.engine);
     if let Some(cap) = opts.max_rounds {
         config = config.with_max_rounds(cap);
     }
@@ -154,6 +155,17 @@ mod tests {
         assert!(summary.contains("MIS correct = true"), "{summary}");
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.lines().count() > 0);
+    }
+
+    #[test]
+    fn dense_engine_streams_an_identical_trace() {
+        use radio_netsim::EngineMode;
+        let mut opts = small(Algorithm::Cd);
+        opts.faults = radio_netsim::FaultPlan::none().with_wake_window(16);
+        let sparse = execute(&opts).unwrap();
+        opts.engine = EngineMode::Dense;
+        let dense = execute(&opts).unwrap();
+        assert_eq!(sparse, dense, "--engine must never change the stream");
     }
 
     #[test]

@@ -1,11 +1,28 @@
 //! The synchronous round engine.
 //!
-//! The engine maintains a wake-up queue keyed by round number; sleeping
+//! The engine maintains a wake schedule keyed by round number; sleeping
 //! nodes are skipped entirely, so simulation cost is proportional to the
 //! total *awake* node-rounds (plus neighborhood scans for listeners), not to
 //! `rounds × n`. This is what makes the no-CD experiments — whose round
 //! complexity is Θ(log³n·log Δ) with mostly-sleeping nodes — tractable at
 //! n ≈ 10⁵.
+//!
+//! # Engine modes and the quiet-round contract
+//!
+//! Two scheduling backends implement the wake schedule — the default
+//! [`EngineMode::Sparse`] min-heap and the [`EngineMode::Dense`] reference
+//! table scan (see [`EngineMode`]). Both drive the *same* round pipeline
+//! and observe the same quiet-round contract: a round in which no node is
+//! due (everyone asleep, down, or pre-join) is never *processed* — no RNG
+//! stream advances, no trace event is recorded, and no
+//! [`RoundMetrics`] row is emitted, so metrics timelines index rounds by
+//! their `round` field, not by position. The engine fast-forwards straight
+//! to the next due round; only [`ConvergencePolicy`] deadlines are honoured
+//! inside the jumped span (a run can end at its exact deadline round even
+//! when that round lies strictly between two due rounds). Because the
+//! backends share everything but the schedule lookup, their outputs are
+//! byte-identical — `RunReport` JSON, trace streams, RNG consumption —
+//! an invariant fuzzed by the `engine_differential` test suite.
 //!
 //! # Fault injection
 //!
@@ -120,6 +137,31 @@ impl ConvergencePolicy {
     }
 }
 
+/// Which scheduling backend finds the nodes due each round (module docs).
+///
+/// Both backends run the *same* round pipeline over the same wake
+/// schedule and are byte-for-byte equivalent — identical [`RunReport`]s,
+/// trace streams, and RNG consumption for any (graph, config, protocol)
+/// triple — an invariant enforced by the `engine_differential` proptest
+/// suite. They differ only in how the due set is located:
+///
+/// - [`EngineMode::Sparse`] (the default) keys a binary min-heap by wake
+///   round: per-round cost is proportional to the number of *due* nodes
+///   (plus their neighborhood scans), and quiet spans are skipped in one
+///   jump;
+/// - [`EngineMode::Dense`] scans a per-node wake table — O(n) per
+///   processed round — and exists as the simple reference oracle the
+///   sparse backend is differentially tested against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum EngineMode {
+    /// O(n)-per-round scan of the per-node wake table: the reference
+    /// oracle.
+    Dense,
+    /// Min-heap wake queue: touch only due nodes, jump over quiet spans.
+    #[default]
+    Sparse,
+}
+
 /// Configuration for one simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
@@ -145,6 +187,10 @@ pub struct SimConfig {
     /// MIS has been stable, quiescence watchdog). `None` by default; see
     /// [`ConvergencePolicy`].
     pub convergence: Option<ConvergencePolicy>,
+    /// Scheduling backend for the round loop. [`EngineMode::Sparse`] by
+    /// default; the dense oracle exists for differential testing and
+    /// benchmarking, never for accuracy — the two are byte-equivalent.
+    pub mode: EngineMode,
 }
 
 impl SimConfig {
@@ -159,6 +205,7 @@ impl SimConfig {
             faults: FaultPlan::none(),
             collect_metrics: false,
             convergence: None,
+            mode: EngineMode::default(),
         }
     }
 
@@ -200,6 +247,13 @@ impl SimConfig {
         self
     }
 
+    /// Selects the scheduling backend (see [`EngineMode`]). Results are
+    /// byte-identical across modes; only wall-clock cost differs.
+    pub fn with_engine_mode(mut self, mode: EngineMode) -> SimConfig {
+        self.mode = mode;
+        self
+    }
+
     /// Reception-loss sugar: sets the fault plan's per-edge fade
     /// probability, leaving its other clauses untouched. Equivalent to
     /// `config.faults.loss = p` via [`FaultPlan::with_loss`].
@@ -215,6 +269,108 @@ impl SimConfig {
     fn resolved_message_bits(&self, n: usize) -> u32 {
         self.message_bits
             .unwrap_or_else(|| 4 * ((n + 2) as f64).log2().ceil() as u32 + 8)
+    }
+}
+
+/// The engine's wake schedule: which node is due at which round, behind
+/// the backend selected by [`EngineMode`].
+///
+/// Both backends rely on (and preserve) two invariants of the round loop:
+/// every live node is scheduled exactly once, and every `push` made while
+/// a round is being drained targets a strictly later round. Under those
+/// invariants the backends yield identical `(round, node)` pop sequences —
+/// the heap pops pairs in ascending lexicographic order, and the dense
+/// cursor walks node ids in ascending order at the minimum due round —
+/// which is what makes the modes byte-equivalent.
+enum WakeSchedule {
+    /// Min-heap of `(wake round, node)`.
+    Sparse(BinaryHeap<Reverse<(u64, NodeId)>>),
+    /// Per-node wake table: `next_wake[v]` is meaningful iff `queued[v]`.
+    /// `cursor` is the dense drain position within the current round.
+    Dense {
+        next_wake: Vec<u64>,
+        queued: Vec<bool>,
+        cursor: usize,
+    },
+}
+
+impl WakeSchedule {
+    fn new(mode: EngineMode, n: usize) -> WakeSchedule {
+        match mode {
+            EngineMode::Sparse => WakeSchedule::Sparse(BinaryHeap::with_capacity(n)),
+            EngineMode::Dense => WakeSchedule::Dense {
+                next_wake: vec![0; n],
+                queued: vec![false; n],
+                cursor: 0,
+            },
+        }
+    }
+
+    /// Schedules node `v` to be polled at `round`. The caller guarantees
+    /// `v` is not currently scheduled.
+    fn push(&mut self, round: u64, v: NodeId) {
+        match self {
+            WakeSchedule::Sparse(heap) => heap.push(Reverse((round, v))),
+            WakeSchedule::Dense {
+                next_wake, queued, ..
+            } => {
+                debug_assert!(!queued[v], "node {v} scheduled twice");
+                next_wake[v] = round;
+                queued[v] = true;
+            }
+        }
+    }
+
+    /// The earliest round at which any scheduled node is due, or `None`
+    /// when the schedule is empty. Resets the dense drain cursor.
+    fn next_round(&mut self) -> Option<u64> {
+        match self {
+            WakeSchedule::Sparse(heap) => heap.peek().map(|&Reverse((r, _))| r),
+            WakeSchedule::Dense {
+                next_wake,
+                queued,
+                cursor,
+            } => {
+                *cursor = 0;
+                queued
+                    .iter()
+                    .zip(next_wake.iter())
+                    .filter_map(|(&q, &r)| q.then_some(r))
+                    .min()
+            }
+        }
+    }
+
+    /// Pops the next node due exactly at `round`, in ascending node order,
+    /// or `None` once the round is drained. Pushes made between `pop_due`
+    /// calls must target strictly later rounds (the dense cursor never
+    /// revisits a node id within a round).
+    fn pop_due(&mut self, round: u64) -> Option<NodeId> {
+        match self {
+            WakeSchedule::Sparse(heap) => {
+                let &Reverse((r, v)) = heap.peek()?;
+                if r != round {
+                    return None;
+                }
+                heap.pop();
+                Some(v)
+            }
+            WakeSchedule::Dense {
+                next_wake,
+                queued,
+                cursor,
+            } => {
+                while *cursor < queued.len() {
+                    let v = *cursor;
+                    *cursor += 1;
+                    if queued[v] && next_wake[v] == round {
+                        queued[v] = false;
+                        return Some(v);
+                    }
+                }
+                None
+            }
+        }
     }
 }
 
@@ -398,10 +554,10 @@ impl<'g> Simulator<'g> {
             Vec::new()
         };
 
-        // Wake queue: min-heap of (round, node). Nodes absent from the heap
+        // Wake schedule (backend per `config.mode`): nodes absent from it
         // are finished, crashed, or jammers (jammers never run the
         // protocol; they are pure channel noise).
-        let mut queue: BinaryHeap<Reverse<(u64, NodeId)>> = BinaryHeap::with_capacity(n);
+        let mut queue = WakeSchedule::new(self.config.mode, n);
         let mut live = 0usize;
         let mut finished_cum: u32 = 0;
         let mut crashed_cum: u32 = 0;
@@ -428,7 +584,7 @@ impl<'g> Simulator<'g> {
                 if has_recovery {
                     if let Some(&(down, _)) = resolved.windows_of(v).first() {
                         parked[v] = true;
-                        queue.push(Reverse((down, v)));
+                        queue.push(down, v);
                         live += 1;
                     }
                 }
@@ -445,22 +601,88 @@ impl<'g> Simulator<'g> {
                         wake = wake.min(down);
                     }
                 }
-                queue.push(Reverse((wake, v)));
+                queue.push(wake, v);
                 live += 1;
             }
         }
 
-        // Scratch: which nodes transmit this round (epoch-stamped).
+        // Scratch: which nodes transmit this round (epoch-stamped), plus
+        // the per-round work lists — hoisted once for the whole run so the
+        // steady-state loop is allocation-free (see `engine_alloc`).
         let mut tx_stamp: Vec<u64> = vec![u64::MAX; n];
         let mut tx_msg: Vec<Message> = vec![Message::unary(); n];
         let mut listeners: Vec<NodeId> = Vec::new();
         let mut transmitters: Vec<NodeId> = Vec::new();
+        let mut sleep_updates: Vec<(NodeId, u64)> = Vec::new();
         let mut last_round_processed: u64 = 0;
         let record_actions = mask.contains(EventKind::Acted);
         let record_feedback = mask.contains(EventKind::Fed);
 
         while live > 0 {
-            let Reverse((round, _)) = *queue.peek().expect("live nodes are queued");
+            let round = queue.next_round().expect("live nodes are queued");
+            // A convergence-policy deadline can land strictly inside a
+            // quiet span (every scheduled node due past it). Nothing
+            // happens in a quiet round — no status can change, so the
+            // verdict from the last processed round still stands — but the
+            // run must still *end* at the exact deadline round, as a
+            // round-by-round execution would. Both backends take this
+            // branch identically.
+            if let Some(policy) = self.config.convergence {
+                if last_fault != u64::MAX {
+                    let horizon = round.min(self.config.max_rounds);
+                    let candidate = if conv_dirty {
+                        // Only possible before the first processed round:
+                        // peek at the verdict without consuming the dirty
+                        // flag (the first processed round will).
+                        live_mis_ok(self.graph, &statuses, &faulty).then_some(0)
+                    } else {
+                        conv_candidate
+                    };
+                    let quiet_deadline = policy
+                        .quiescence
+                        .map_or(u64::MAX, |q| last_fault.saturating_add(q));
+                    if let Some(c) = candidate {
+                        let eff = c.max(last_fault);
+                        let stop = eff.saturating_add(policy.stability);
+                        // Ties with the watchdog go to the stability stop,
+                        // exactly as in the processed-round path below.
+                        if stop < horizon && stop <= quiet_deadline {
+                            let metrics = self
+                                .config
+                                .collect_metrics
+                                .then(|| std::mem::take(&mut timeline));
+                            return self.finish_report(
+                                nodes,
+                                meters,
+                                faulty,
+                                stop + 1,
+                                true,
+                                message_bits,
+                                metrics,
+                                Some(eff),
+                                false,
+                            );
+                        }
+                    }
+                    if quiet_deadline < horizon {
+                        let metrics = self
+                            .config
+                            .collect_metrics
+                            .then(|| std::mem::take(&mut timeline));
+                        return self.finish_report(
+                            nodes,
+                            meters,
+                            faulty,
+                            quiet_deadline + 1,
+                            false,
+                            message_bits,
+                            metrics,
+                            None,
+                            true,
+                        );
+                    }
+                }
+            }
             if round >= self.config.max_rounds {
                 // Remaining nodes sleep past the horizon: incomplete run.
                 let metrics = self
@@ -486,16 +708,12 @@ impl<'g> Simulator<'g> {
             let crashed_before = crashed_cum;
             listeners.clear();
             transmitters.clear();
-            let mut sleep_updates: Vec<(NodeId, u64)> = Vec::new();
+            sleep_updates.clear();
 
-            // Phase 1: collect actions from every node awake this round.
-            // Heap pops arrive in (round, node) order, so node order is
-            // deterministic and ascending.
-            while let Some(&Reverse((r, v))) = queue.peek() {
-                if r != round {
-                    break;
-                }
-                queue.pop();
+            // Phase 1: collect actions from every node due this round.
+            // Both backends yield nodes in ascending id order within a
+            // round, so node order is deterministic and mode-independent.
+            while let Some(v) = queue.pop_due(round) {
                 // Crash-stop faults take effect when the node would next
                 // act (observably identical for a node that slept through
                 // its crash round — a sleeping node does nothing anyway).
@@ -532,7 +750,7 @@ impl<'g> Simulator<'g> {
                         // still counts in the crashed population).
                         let up = wins[win_cursor[v]].1;
                         if round < up {
-                            queue.push(Reverse((up, v)));
+                            queue.push(up, v);
                             continue;
                         }
                         down_now[v] = false;
@@ -563,7 +781,7 @@ impl<'g> Simulator<'g> {
                             &mut reopened,
                         );
                         conv_dirty = true;
-                        queue.push(Reverse((round + 1, v)));
+                        queue.push(round + 1, v);
                         continue;
                     }
                     // Skip windows the node slept or idled past (defensive;
@@ -612,7 +830,7 @@ impl<'g> Simulator<'g> {
                             });
                         }
                         conv_dirty = true;
-                        queue.push(Reverse((wins[win_cursor[v]].1, v)));
+                        queue.push(wins[win_cursor[v]].1, v);
                         continue;
                     }
                     if parked[v] {
@@ -672,7 +890,7 @@ impl<'g> Simulator<'g> {
                                 // back to life: park it at the window
                                 // instead of retiring it.
                                 parked[v] = true;
-                                queue.push(Reverse((resolved.windows_of(v)[win_cursor[v]].0, v)));
+                                queue.push(resolved.windows_of(v)[win_cursor[v]].0, v);
                             } else {
                                 live -= 1;
                             }
@@ -722,7 +940,7 @@ impl<'g> Simulator<'g> {
                     }
                 }
             }
-            for (v, mut wake_at) in sleep_updates {
+            for (v, mut wake_at) in sleep_updates.drain(..) {
                 if has_recovery && win_cursor[v] < resolved.windows_of(v).len() {
                     // Cap the sleep at the node's next down round: it must
                     // be reachable to be taken down on schedule. (The lost
@@ -731,11 +949,11 @@ impl<'g> Simulator<'g> {
                     wake_at = wake_at.min(resolved.windows_of(v)[win_cursor[v]].0);
                 }
                 if wake_at < self.config.max_rounds {
-                    queue.push(Reverse((wake_at, v)));
+                    queue.push(wake_at, v);
                 } else {
                     // Sleeping beyond the horizon without finishing: the run
                     // will be reported incomplete when the queue drains.
-                    queue.push(Reverse((self.config.max_rounds, v)));
+                    queue.push(self.config.max_rounds, v);
                 }
             }
 
@@ -912,12 +1130,12 @@ impl<'g> Simulator<'g> {
                         // Park instead of retiring: a future down window
                         // will wipe this node back to life.
                         parked[v] = true;
-                        queue.push(Reverse((resolved.windows_of(v)[win_cursor[v]].0, v)));
+                        queue.push(resolved.windows_of(v)[win_cursor[v]].0, v);
                     } else {
                         live -= 1;
                     }
                 } else {
-                    queue.push(Reverse((round + 1, v)));
+                    queue.push(round + 1, v);
                 }
             }
 
@@ -2460,5 +2678,249 @@ mod tests {
         let json = serde_json::to_string(&report).unwrap();
         assert!(!json.contains("converged_at"));
         assert!(!json.contains("watchdog_fired"));
+    }
+
+    #[test]
+    fn sparse_is_the_default_engine_mode() {
+        assert_eq!(SimConfig::new(ChannelModel::Cd).mode, EngineMode::Sparse);
+        assert_eq!(
+            SimConfig::new(ChannelModel::Cd)
+                .with_engine_mode(EngineMode::Dense)
+                .mode,
+            EngineMode::Dense
+        );
+    }
+
+    /// Runs `config` under both backends and asserts byte-identical
+    /// reports before handing them back.
+    fn run_both_modes<P: Protocol>(
+        g: &Graph,
+        config: &SimConfig,
+        factory: impl Fn(NodeId, &mut NodeRng) -> P + Copy,
+    ) -> RunReport {
+        let dense = Simulator::new(g, config.clone().with_engine_mode(EngineMode::Dense))
+            .run(|v, rng| factory(v, rng));
+        let sparse = Simulator::new(g, config.clone().with_engine_mode(EngineMode::Sparse))
+            .run(|v, rng| factory(v, rng));
+        assert_eq!(dense, sparse, "engine modes diverged");
+        assert_eq!(
+            serde_json::to_string(&dense).unwrap(),
+            serde_json::to_string(&sparse).unwrap()
+        );
+        sparse
+    }
+
+    #[test]
+    fn engine_modes_agree_on_a_fault_heavy_run() {
+        let g = generators::gnp(24, 0.2, 3);
+        let plan = FaultPlan::none()
+            .with_loss(0.4)
+            .with_random_crashes(3, 2)
+            .with_random_jammers(2)
+            .with_wake_window(6)
+            .with_dormancy(0.3, 8, 4);
+        let config = SimConfig::new(ChannelModel::Cd)
+            .with_seed(21)
+            .with_faults(plan)
+            .with_round_metrics();
+        let report = run_both_modes(&g, &config, |_, _| Chatter { budget: 8, seen: 0 });
+        assert!(report.completed);
+    }
+
+    #[test]
+    fn wake_offsets_landing_inside_a_skipped_span_still_fire() {
+        // Node 0 acts at round 0 then sleeps to 100; node 1's wake offset
+        // 30 lands strictly inside that quiet span. The fast-forward must
+        // stop at 30 for node 1 — in both engine modes, identically.
+        let g = generators::empty(2);
+        let base = SimConfig::new(ChannelModel::Cd).with_seed(5);
+        let mut reports = Vec::new();
+        for mode in [EngineMode::Dense, EngineMode::Sparse] {
+            let report = Simulator::new(&g, base.clone().with_engine_mode(mode))
+                .with_wake_offsets(vec![0, 30])
+                .run(|v, _| -> Box<dyn Protocol> {
+                    if v == 0 {
+                        Box::new(Sleeper {
+                            wake: 100,
+                            done: false,
+                        })
+                    } else {
+                        Box::new(Probe {
+                            transmit: true,
+                            saw: None,
+                        })
+                    }
+                });
+            assert!(report.completed, "{mode:?}");
+            assert_eq!(report.meters[1].finished_at, Some(30), "{mode:?}");
+            assert_eq!(report.meters[0].finished_at, Some(100), "{mode:?}");
+            assert_eq!(report.rounds, 101, "{mode:?}");
+            reports.push(report);
+        }
+        assert_eq!(reports[0], reports[1]);
+    }
+
+    /// Listens at rounds 0 and 20, sleeping through [2, 20); finishes
+    /// once it hears a collision.
+    struct Napper {
+        heard_jam: bool,
+    }
+    impl Protocol for Napper {
+        fn act(&mut self, round: u64, _rng: &mut NodeRng) -> Action {
+            if round == 1 {
+                Action::Sleep { wake_at: 20 }
+            } else {
+                Action::Listen
+            }
+        }
+        fn feedback(&mut self, _round: u64, fb: Feedback, _rng: &mut NodeRng) {
+            if fb == Feedback::Collision {
+                self.heard_jam = true;
+            }
+        }
+        fn status(&self) -> NodeStatus {
+            NodeStatus::OutMis
+        }
+        fn finished(&self) -> bool {
+            self.heard_jam
+        }
+    }
+
+    #[test]
+    fn jammer_window_opening_mid_span_jams_the_next_processed_round() {
+        // Path 0-1: node 0 sleeps through rounds [2, 20); jammer 1's
+        // window opens at its wake offset 10, in the middle of that quiet
+        // span. No round in the span is processed — the jam is simply in
+        // force when node 0 next listens, and the metrics row for round 20
+        // shows the jammer on air.
+        let g = generators::path(2);
+        let plan = FaultPlan::none()
+            .with_jammer(1)
+            .with_wake(crate::fault::WakePlan::Explicit(vec![0, 10]));
+        let base = SimConfig::new(ChannelModel::Cd)
+            .with_faults(plan)
+            .with_round_metrics();
+        let mut reports = Vec::new();
+        for mode in [EngineMode::Dense, EngineMode::Sparse] {
+            let config = base.clone().with_engine_mode(mode);
+            let report =
+                Simulator::new(&g, config).run(|_, _| Napper { heard_jam: false });
+            assert!(report.completed, "{mode:?}");
+            assert_eq!(report.rounds, 21, "{mode:?}");
+            let timeline = report.metrics.as_deref().unwrap();
+            let processed: Vec<u64> = timeline.iter().map(|m| m.round).collect();
+            assert_eq!(processed, vec![0, 1, 20], "{mode:?}");
+            assert_eq!(timeline[0].jamming, 0, "{mode:?}");
+            assert_eq!(timeline[2].jamming, 1, "{mode:?}");
+            assert_eq!(timeline[2].collisions, 1, "{mode:?}");
+            reports.push(report);
+        }
+        assert_eq!(reports[0], reports[1]);
+    }
+
+    /// Listens once at round 0, then sleeps to round 10 000; claims MIS
+    /// membership throughout (a sleeping [`Beacon`]).
+    struct DozingBeacon;
+    impl Protocol for DozingBeacon {
+        fn act(&mut self, round: u64, _rng: &mut NodeRng) -> Action {
+            if round == 0 {
+                Action::Listen
+            } else {
+                Action::Sleep { wake_at: 10_000 }
+            }
+        }
+        fn feedback(&mut self, _round: u64, _fb: Feedback, _rng: &mut NodeRng) {}
+        fn status(&self) -> NodeStatus {
+            NodeStatus::InMis
+        }
+        fn finished(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn stability_stop_fires_inside_a_skipped_span() {
+        // Both nodes doze until round 10 000; node 0's recovery window
+        // ends at round 4, so the 5-round stability window expires at
+        // round 9 — strictly inside the quiet span. The run must end
+        // `completed` at exactly round 10, as a round-by-round execution
+        // would, not at the next wake.
+        let g = generators::empty(2);
+        let base = SimConfig::new(ChannelModel::Cd)
+            .with_faults(FaultPlan::none().with_recovery(0, 2, 4))
+            .with_convergence(ConvergencePolicy::new(5));
+        let mut reports = Vec::new();
+        for mode in [EngineMode::Dense, EngineMode::Sparse] {
+            let report = Simulator::new(&g, base.clone().with_engine_mode(mode))
+                .run(|_, _| DozingBeacon);
+            assert!(report.completed, "{mode:?}");
+            assert!(!report.watchdog_fired, "{mode:?}");
+            assert_eq!(report.converged_at, Some(4), "{mode:?}");
+            assert_eq!(report.rounds, 10, "{mode:?}");
+            reports.push(report);
+        }
+        assert_eq!(reports[0], reports[1]);
+    }
+
+    #[test]
+    fn quiescence_watchdog_fires_inside_a_skipped_span() {
+        // An eternally-undecided protocol that sleeps far past the
+        // watchdog deadline (last fault 4 + budget 10 = round 14): the
+        // abort must land at round 14 inside the quiet span, giving the
+        // same 15-round report as the always-awake `Limbo` variant.
+        struct DozingLimbo;
+        impl Protocol for DozingLimbo {
+            fn act(&mut self, round: u64, _rng: &mut NodeRng) -> Action {
+                if round == 0 {
+                    Action::Listen
+                } else {
+                    Action::Sleep { wake_at: 10_000 }
+                }
+            }
+            fn feedback(&mut self, _round: u64, _fb: Feedback, _rng: &mut NodeRng) {}
+            fn status(&self) -> NodeStatus {
+                NodeStatus::Undecided
+            }
+            fn finished(&self) -> bool {
+                false
+            }
+        }
+        let g = generators::empty(2);
+        let base = SimConfig::new(ChannelModel::Cd)
+            .with_faults(FaultPlan::none().with_recovery(0, 2, 4))
+            .with_convergence(ConvergencePolicy::new(2).with_quiescence(10));
+        let mut reports = Vec::new();
+        for mode in [EngineMode::Dense, EngineMode::Sparse] {
+            let report = Simulator::new(&g, base.clone().with_engine_mode(mode))
+                .run(|_, _| DozingLimbo);
+            assert!(!report.completed, "{mode:?}");
+            assert!(report.watchdog_fired, "{mode:?}");
+            assert_eq!(report.converged_at, None, "{mode:?}");
+            assert_eq!(report.rounds, 15, "{mode:?}");
+            reports.push(report);
+        }
+        assert_eq!(reports[0], reports[1]);
+    }
+
+    #[test]
+    fn max_rounds_truncates_a_skip_in_both_modes() {
+        // A sleeper bound for round 10⁶ under `max_rounds = 50`: the jump
+        // clamps at the cap and reports an incomplete 50-round run with a
+        // single processed round on the metrics timeline.
+        let g = generators::empty(1);
+        for mode in [EngineMode::Dense, EngineMode::Sparse] {
+            let config = SimConfig::new(ChannelModel::Cd)
+                .with_max_rounds(50)
+                .with_engine_mode(mode)
+                .with_round_metrics();
+            let report = Simulator::new(&g, config).run(|_, _| Sleeper {
+                wake: 1_000_000,
+                done: false,
+            });
+            assert!(!report.completed, "{mode:?}");
+            assert_eq!(report.rounds, 50, "{mode:?}");
+            assert_eq!(report.meters[0].energy(), 0, "{mode:?}");
+            assert_eq!(report.metrics.unwrap().len(), 1, "{mode:?}");
+        }
     }
 }

@@ -18,7 +18,11 @@
 //! the [`Simulator`] drives them. Sleeping nodes cost the engine nothing —
 //! a node that sleeps until round `r` is simply not polled until `r`, so the
 //! simulator's work is proportional to total *awake* rounds plus deliveries,
-//! mirroring the energy measure itself.
+//! mirroring the energy measure itself. Two scheduling backends implement
+//! that contract: the default sparse wake queue and a dense O(n)-per-round
+//! reference scan ([`EngineMode`]), byte-equivalent by construction and
+//! differentially fuzzed against each other — see the [`engine`] module
+//! docs for the quiet-round contract.
 //!
 //! # Observability
 //!
@@ -107,7 +111,7 @@ pub mod runner;
 pub mod trace;
 
 pub use energy::EnergyMeter;
-pub use engine::{ConvergencePolicy, SimConfig, Simulator};
+pub use engine::{ConvergencePolicy, EngineMode, SimConfig, Simulator};
 pub use fault::{
     Churn, Crash, Dormancy, DownTime, FaultKind, FaultPlan, Join, RandomCrashes, RecoveryWindow,
     WakePlan,

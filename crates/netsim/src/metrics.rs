@@ -7,7 +7,13 @@
 //! engine aggregates cheaply inside its existing round loop; a run collects
 //! one record per *processed* round (rounds in which every node slept are
 //! skipped by the engine and therefore produce no record — exactly as they
-//! cost no energy).
+//! cost no energy). Consumers must index the timeline by each record's
+//! `round` field, never by position: a gap between consecutive records is
+//! a fast-forwarded quiet span, during which every column was frozen at
+//! the earlier record's value. Both engine scheduling backends
+//! ([`EngineMode`](crate::EngineMode)) emit identical timelines — the
+//! skip-gap structure is part of the equivalence contract checked by the
+//! `engine_differential` suite.
 //!
 //! Metrics flow through two channels, both opt-in and both zero-cost when
 //! unused:

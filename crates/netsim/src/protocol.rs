@@ -16,7 +16,12 @@ pub type NodeRng = rand::rngs::SmallRng;
 ///
 /// A node that returns [`Action::Sleep`] is not polled again until its
 /// `wake_at` round and receives no feedback for the skipped rounds (messages
-/// sent to a sleeping node are lost — §1 of the paper).
+/// sent to a sleeping node are lost — §1 of the paper). Do not rely on
+/// being observed *between* scheduled rounds in any way: when every node
+/// sleeps, the engine fast-forwards over the quiet span without processing
+/// the intervening rounds at all (whichever
+/// [`EngineMode`](crate::EngineMode) backend drives the run), so a
+/// protocol's only clock is the `round` argument it is handed.
 ///
 /// Protocols must be *oblivious to global state*: their only inputs are the
 /// construction parameters (n, Δ, …), the round number, their private RNG,

@@ -3,7 +3,10 @@
 //! Experiments repeat each configuration over many independently seeded
 //! trials. Trials are embarrassingly parallel; [`run_trials`] fans them out
 //! with rayon. Parallelism cannot affect results: trial `i` always uses
-//! master seed `split_seed(base_seed, i)`.
+//! master seed `split_seed(base_seed, i)`. Every other config field —
+//! including the [`EngineMode`](crate::EngineMode) scheduling backend —
+//! is inherited unchanged from the base config, and since the backends
+//! are byte-equivalent, a sweep's results never depend on the mode.
 //!
 //! # Hardening
 //!

@@ -31,6 +31,12 @@
 //!    other faults taking effect, then actions, then feedback, then status
 //!    changes and finishes; jammer [`TraceEvent::Fault`] events are emitted
 //!    up-front at run start with round 0).
+//!
+//! Quiet rounds — rounds in which no node is due — are never processed and
+//! emit no events at all, so consecutive events may jump many rounds; the
+//! stream is identical whichever [`EngineMode`](crate::EngineMode) drives
+//! the run (the `engine_differential` suite asserts the two backends'
+//! streams byte-for-byte).
 
 use crate::fault::FaultKind;
 use crate::metrics::RoundMetrics;

@@ -1,0 +1,106 @@
+//! Hot-path hygiene: the steady-state round loop must not allocate.
+//!
+//! The engine hoists all per-round scratch (`sleep_updates`, `listeners`,
+//! `transmitters`, the wake schedule itself) to per-run buffers, so once a
+//! run has warmed up, processing more rounds allocates nothing. This test
+//! pins that property with a counting global allocator: a run 64× longer
+//! than the baseline must perform (essentially) the same number of heap
+//! allocations. A per-round `Vec::new()`-and-push regression shows up here
+//! as thousands of extra counts.
+//!
+//! Kept to a single `#[test]` on purpose: the counter is process-global,
+//! and a second concurrently-running test would pollute the deltas.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use mis_graphs::generators;
+use radio_netsim::{
+    Action, ChannelModel, EngineMode, Feedback, NodeRng, NodeStatus, Protocol, SimConfig,
+    Simulator,
+};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Sleeps exactly one round at a time until `until`, then halts. The
+/// one-round naps defeat fast-forwarding, so the engine processes every
+/// single round — the worst case for per-round scratch churn — and each
+/// processed round pushes into `sleep_updates`, which is precisely the
+/// buffer that used to be reallocated per round.
+struct Metronome {
+    until: u64,
+    done: bool,
+}
+
+impl Protocol for Metronome {
+    fn act(&mut self, round: u64, _rng: &mut NodeRng) -> Action {
+        if round >= self.until {
+            self.done = true;
+            return Action::halt();
+        }
+        Action::Sleep {
+            wake_at: round + 1,
+        }
+    }
+    fn feedback(&mut self, _round: u64, _fb: Feedback, _rng: &mut NodeRng) {}
+    fn status(&self) -> NodeStatus {
+        NodeStatus::OutMis
+    }
+    fn finished(&self) -> bool {
+        self.done
+    }
+}
+
+fn allocs_for(mode: EngineMode, rounds: u64) -> usize {
+    let g = generators::path(8);
+    let config = SimConfig::new(ChannelModel::Cd)
+        .with_seed(7)
+        .with_engine_mode(mode);
+    let sim = Simulator::new(&g, config);
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let report = sim.run(|_, _| Metronome {
+        until: rounds,
+        done: false,
+    });
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(report.rounds, rounds + 1, "metronome must run all rounds");
+    after - before
+}
+
+#[test]
+fn steady_state_rounds_do_not_allocate() {
+    for mode in [EngineMode::Sparse, EngineMode::Dense] {
+        // Warm-up run so lazily-initialized runtime state (TLS, rng
+        // tables) doesn't charge the baseline.
+        let _ = allocs_for(mode, 16);
+        let short = allocs_for(mode, 64);
+        let long = allocs_for(mode, 4096);
+        // Setup/teardown allocations (report, meters, scratch capacity)
+        // are round-count independent; allow a tiny slack for buffer
+        // growth doublings. A per-round allocation would add ~4000 here.
+        assert!(
+            long <= short + 16,
+            "{mode:?}: round loop allocates per round ({short} allocs for 64 \
+             rounds vs {long} for 4096)"
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Facade-level differential equivalence: the sparse wake-queue engine vs
+//! the dense oracle, driven by the *real* paper protocols.
+//!
+//! The in-crate rig (`crates/netsim/tests/engine_differential.rs`) fuzzes
+//! the two [`EngineMode`] backends with a synthetic chaotic protocol; this
+//! suite closes the loop the way a library consumer would — `energy_mis::`
+//! re-exports only, actual MIS machines (`CdMis`, `NoCdMis`, and the
+//! self-healing `RepairingMis` under churn/recovery plans) — asserting
+//! identical [`RunReport`]s and byte-identical JSONL trace streams.
+
+use energy_mis::graphs::{generators, Graph};
+use energy_mis::mis::cd::CdMis;
+use energy_mis::mis::nocd::NoCdMis;
+use energy_mis::mis::params::{CdParams, NoCdParams};
+use energy_mis::mis::{RepairConfig, RepairingMis};
+use energy_mis::netsim::{
+    ChannelModel, ConvergencePolicy, DownTime, EngineMode, FaultPlan, JsonlTrace, NodeRng,
+    Protocol, RunReport, SimConfig, Simulator,
+};
+use proptest::prelude::*;
+
+fn corpus_graph(kind: u8, n: usize, seed: u64) -> Graph {
+    match kind {
+        0 => generators::path(n),
+        1 => generators::star(n),
+        2 => generators::cycle(n),
+        3 => generators::clique(n),
+        4 => generators::binary_tree(n),
+        _ => generators::random_tree(n, seed),
+    }
+}
+
+/// Runs the same (graph, config, protocol factory) under both engine
+/// backends and asserts report equality plus byte-identical trace streams.
+/// Returns the (shared) report for further assertions.
+fn assert_modes_agree<P, F>(g: &Graph, config: &SimConfig, factory: F) -> RunReport
+where
+    P: Protocol,
+    F: Fn(usize, &mut NodeRng) -> P + Copy,
+{
+    let run = |mode: EngineMode| {
+        let mut sink = JsonlTrace::new(Vec::<u8>::new());
+        let report = Simulator::new(g, config.clone().with_engine_mode(mode))
+            .run_traced(factory, &mut sink);
+        (report, sink.into_inner().expect("in-memory writer"))
+    };
+    let (dense, dense_jsonl) = run(EngineMode::Dense);
+    let (sparse, sparse_jsonl) = run(EngineMode::Sparse);
+    assert_eq!(dense, sparse, "reports diverged between engine modes");
+    assert_eq!(
+        dense_jsonl, sparse_jsonl,
+        "JSONL trace streams diverged between engine modes"
+    );
+    assert!(!sparse_jsonl.is_empty(), "empty trace: nothing was compared");
+    sparse
+}
+
+/// The exported default is the sparse backend, so existing consumers get
+/// the fast path without touching their configs.
+#[test]
+fn facade_default_mode_is_sparse() {
+    assert_eq!(SimConfig::new(ChannelModel::Cd).mode, EngineMode::Sparse);
+    assert_eq!(EngineMode::default(), EngineMode::Sparse);
+}
+
+/// The self-healing wrapper under explicit recovery windows, churn, and a
+/// join — the heaviest fault machinery the engine has — is byte-identical
+/// across backends, and the run still re-converges.
+#[test]
+fn repairing_mis_under_churn_is_mode_independent() {
+    let g = generators::path(12);
+    let params = CdParams::for_n(32);
+    let rc = RepairConfig::for_cd(params.total_rounds());
+    let e = rc.epoch_len();
+    let plan = FaultPlan::none()
+        .with_recovery(2, e + 1, e + 2)
+        .with_churn(0.02, 3 * e, DownTime::Fixed(4))
+        .with_join(11, 3);
+    let config = SimConfig::new(ChannelModel::Cd)
+        .with_seed(9)
+        .with_faults(plan)
+        .with_convergence(ConvergencePolicy::new(3 * e).with_quiescence(40 * e))
+        .with_max_rounds(600 * e)
+        .with_round_metrics();
+    let report = assert_modes_agree(&g, &config, |_, _| {
+        RepairingMis::new(rc, move |_rng: &mut NodeRng| CdMis::new(params))
+    });
+    assert!(report.completed, "policy never stopped the run");
+    assert!(report.is_correct_mis(&g), "{:?}", report.verify_mis(&g));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// `CdMis` — whose sleep schedule is exactly the sparse-awake workload
+    /// the wake queue exists for — produces byte-identical runs in both
+    /// modes on every corpus topology.
+    #[test]
+    fn cd_mis_is_mode_independent(
+        n in 4usize..24,
+        kind in 0u8..6,
+        seed in any::<u64>(),
+    ) {
+        let g = corpus_graph(kind, n, seed);
+        let params = CdParams::for_n(64);
+        let config = SimConfig::new(ChannelModel::Cd)
+            .with_seed(seed)
+            .with_round_metrics();
+        let report = assert_modes_agree(&g, &config, |_, _| CdMis::new(params));
+        prop_assert!(report.is_correct_mis(&g), "{:?}", report.verify_mis(&g));
+    }
+
+    /// Same for the no-CD machine on the lossy channel: loss resolution
+    /// draws from the channel RNG stream, which must advance identically
+    /// whichever backend drives the run.
+    #[test]
+    fn nocd_mis_under_loss_is_mode_independent(
+        n in 4usize..16,
+        kind in 0u8..6,
+        seed in any::<u64>(),
+    ) {
+        let g = corpus_graph(kind, n, seed);
+        let params = NoCdParams::for_n(256, g.max_degree().max(2));
+        let config = SimConfig::new(ChannelModel::NoCd)
+            .with_seed(seed)
+            .with_faults(FaultPlan::none().with_loss(0.1));
+        let report = assert_modes_agree(&g, &config, |_, _| NoCdMis::new(params));
+        prop_assert!(report.is_correct_mis(&g), "{:?}", report.verify_mis(&g));
+    }
+}
