@@ -12,6 +12,7 @@
 //! Both must show failure ≈ 1 for b ≪ ½·log₂ n and ≈ 0 once b = Θ(log n).
 
 use crate::harness::{pct, ExpConfig, ExperimentOutput, Section};
+use crate::orchestrator::{Orchestrator, UnitKey};
 use mis_graphs::generators;
 use mis_stats::{table::fmt_num, LineChart, Table};
 use radio_mis::cd::CdMis;
@@ -21,9 +22,17 @@ use radio_mis::lower_bound::{
 use radio_mis::params::CdParams;
 use radio_netsim::{split_seed, ChannelModel, SimConfig, Simulator};
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Cached value of one budget cell: failure count plus simulated cost.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BudgetCell {
+    failures: usize,
+    cost: u64,
+}
 
 /// Runs E1.
-pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
+pub fn run(cfg: &ExpConfig, orch: &Orchestrator) -> ExperimentOutput {
     let n = if cfg.quick { 256 } else { 4096 };
     let trials = cfg.trials(60);
     let g = generators::lower_bound_family(n);
@@ -36,15 +45,34 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
     let mut strategy_threshold: Option<u64> = None;
     let mut strategy_curve = Vec::new();
     for &b in &budgets {
-        let failures: usize = (0..trials)
-            .into_par_iter()
-            .filter(|&t| {
-                let seed = split_seed(cfg.seed, (b << 20) ^ t as u64);
-                let report = Simulator::new(&g, SimConfig::new(ChannelModel::Cd).with_seed(seed))
-                    .run(|_, _| RandomStrategy::new(b, 0.5));
-                some_pair_both_joined(&report.statuses, pairs)
-            })
-            .count();
+        let key = UnitKey::new("e1", format!("strategy/b={b}"))
+            .with("graph", format!("lower-bound/n={n}"))
+            .with("model", "RandomStrategy(0.5)")
+            .with("channel", "Cd")
+            .with("seed", cfg.seed)
+            .with("trials", trials);
+        let cell = orch.unit_with_cost(
+            &key,
+            || {
+                let per_trial: Vec<(bool, u64)> = (0..trials)
+                    .into_par_iter()
+                    .map(|t| {
+                        let seed = split_seed(cfg.seed, (b << 20) ^ t as u64);
+                        let report =
+                            Simulator::new(&g, SimConfig::new(ChannelModel::Cd).with_seed(seed))
+                                .run(|_, _| RandomStrategy::new(b, 0.5));
+                        let cost: u64 = report.meters.iter().map(|m| m.energy()).sum();
+                        (some_pair_both_joined(&report.statuses, pairs), cost)
+                    })
+                    .collect();
+                BudgetCell {
+                    failures: per_trial.iter().filter(|r| r.0).count(),
+                    cost: per_trial.iter().map(|r| r.1).sum(),
+                }
+            },
+            |c| c.cost,
+        );
+        let failures = cell.failures;
         let rate = failures as f64 / trials as f64;
         strategy_curve.push((b as f64, rate));
         if rate < 0.5 && strategy_threshold.is_none() {
@@ -63,15 +91,35 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
     let mut capped_threshold: Option<u64> = None;
     let mut capped_curve = Vec::new();
     for &b in &budgets {
-        let failures: usize = (0..trials)
-            .into_par_iter()
-            .filter(|&t| {
-                let seed = split_seed(cfg.seed ^ 0xA5, (b << 20) ^ t as u64);
-                let report = Simulator::new(&g, SimConfig::new(ChannelModel::Cd).with_seed(seed))
-                    .run(|_, _| EnergyCapped::new(CdMis::new(params), b));
-                !report.is_correct_mis(&g)
-            })
-            .count();
+        let key = UnitKey::new("e1", format!("capped/b={b}"))
+            .with("graph", format!("lower-bound/n={n}"))
+            .with("model", "EnergyCapped(CdMis)")
+            .with("params", format!("{params:?}"))
+            .with("channel", "Cd")
+            .with("seed", cfg.seed ^ 0xA5)
+            .with("trials", trials);
+        let cell = orch.unit_with_cost(
+            &key,
+            || {
+                let per_trial: Vec<(bool, u64)> = (0..trials)
+                    .into_par_iter()
+                    .map(|t| {
+                        let seed = split_seed(cfg.seed ^ 0xA5, (b << 20) ^ t as u64);
+                        let report =
+                            Simulator::new(&g, SimConfig::new(ChannelModel::Cd).with_seed(seed))
+                                .run(|_, _| EnergyCapped::new(CdMis::new(params), b));
+                        let cost: u64 = report.meters.iter().map(|m| m.energy()).sum();
+                        (!report.is_correct_mis(&g), cost)
+                    })
+                    .collect();
+                BudgetCell {
+                    failures: per_trial.iter().filter(|r| r.0).count(),
+                    cost: per_trial.iter().map(|r| r.1).sum(),
+                }
+            },
+            |c| c.cost,
+        );
+        let failures = cell.failures;
         let rate = failures as f64 / trials as f64;
         capped_curve.push((b as f64, rate));
         if rate < 0.5 && capped_threshold.is_none() {
@@ -144,7 +192,7 @@ mod tests {
 
     #[test]
     fn quick_run_shows_threshold() {
-        let out = run(&ExpConfig::quick(3));
+        let out = run(&ExpConfig::quick(3), &Orchestrator::ephemeral());
         assert_eq!(out.id, "e1");
         assert_eq!(out.sections.len(), 2);
         assert!(!out.sections[0].table.is_empty());

@@ -6,6 +6,7 @@
 //! table fixes n and varies the topology family.
 
 use crate::harness::{pct, ExpConfig, ExperimentOutput, Section};
+use crate::orchestrator::{Orchestrator, UnitKey};
 use mis_graphs::generators::Family;
 use mis_stats::fit::{best_fit, fit_model, GrowthModel};
 use mis_stats::table::fmt_num;
@@ -13,10 +14,21 @@ use mis_stats::timeline::exp_decay_fit;
 use mis_stats::{LineChart, Summary, Table};
 use radio_mis::cd::CdMis;
 use radio_mis::params::CdParams;
-use radio_netsim::{run_trials, ChannelModel, SimConfig, Simulator};
+use radio_netsim::{ChannelModel, SimConfig, Simulator};
+use serde::{Deserialize, Serialize};
+
+/// Cached value of the undecided-decay cell: table rows at Luby-phase
+/// boundaries plus the (round, undecided) series the decay fit consumes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct DecaySample {
+    /// (phase, round, undecided, awake, cumulative energy) per boundary.
+    rows: Vec<(u64, u64, u32, u32, u64)>,
+    series: Vec<(f64, f64)>,
+    cost: u64,
+}
 
 /// Runs E2.
-pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
+pub fn run(cfg: &ExpConfig, orch: &Orchestrator) -> ExperimentOutput {
     // The sparse wake-queue engine makes the top sizes affordable: CdMis
     // spends almost all rounds asleep, so full mode now sweeps to 2^17
     // (131k nodes, 16x the old 2^13 ceiling).
@@ -35,20 +47,31 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
     for &n in &ns {
         let g = Family::GnpAvgDegree(8).generate(n, cfg.seed ^ n as u64);
         let params = CdParams::for_n(n);
-        let set = run_trials(
+        let stats = orch.trials(
+            UnitKey::new("e2", format!("scale/n={n}"))
+                .with(
+                    "graph",
+                    format!(
+                        "{}/seed={:#x}",
+                        Family::GnpAvgDegree(8).label(),
+                        cfg.seed ^ n as u64
+                    ),
+                )
+                .with("alg", "CdMis")
+                .with("params", format!("{params:?}")),
             &g,
             SimConfig::new(ChannelModel::Cd).with_seed(cfg.seed ^ (n as u64) << 8),
             trials,
             |_, _| CdMis::new(params),
         );
-        let es = Summary::of(&set.energies());
-        let rs = Summary::of(&set.rounds());
+        let es = Summary::of(&stats.energies);
+        let rs = Summary::of(&stats.rounds);
         scale_table.push_row([
             n.to_string(),
             format!("{} ± {}", fmt_num(es.mean), fmt_num(es.ci95)),
             fmt_num(es.max),
             fmt_num(rs.mean),
-            pct(set.outcomes.iter().filter(|o| o.correct).count(), set.len()),
+            pct(stats.correct, stats.successes()),
         ]);
         energy_means.push(es.mean);
         round_means.push(rs.mean);
@@ -105,7 +128,14 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
         };
         let g = fam.generate(n, cfg.seed ^ 0xFA);
         let params = CdParams::for_n(n);
-        let set = run_trials(
+        let stats = orch.trials(
+            UnitKey::new("e2", format!("families/{}", fam.label()))
+                .with(
+                    "graph",
+                    format!("{}/seed={:#x}", fam.label(), cfg.seed ^ 0xFA),
+                )
+                .with("alg", "CdMis")
+                .with("params", format!("{params:?}")),
             &g,
             SimConfig::new(ChannelModel::Cd).with_seed(cfg.seed ^ 0xFB),
             fam_trials,
@@ -114,9 +144,9 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
         fam_table.push_row([
             fam.label(),
             g.max_degree().to_string(),
-            fmt_num(Summary::of(&set.energies()).mean),
-            fmt_num(Summary::of(&set.rounds()).mean),
-            pct(set.outcomes.iter().filter(|o| o.correct).count(), set.len()),
+            fmt_num(Summary::of(&stats.energies).mean),
+            fmt_num(Summary::of(&stats.rounds).mean),
+            pct(stats.correct, stats.successes()),
         ]);
     }
 
@@ -124,35 +154,62 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
     // per-round metrics (Lemma 4's constant per-phase survival probability
     // predicts geometric decay of the undecided count).
     let n_big = *ns.last().expect("sweep is non-empty");
-    let g_big = Family::GnpAvgDegree(8).generate(n_big, cfg.seed ^ n_big as u64);
     let big_params = CdParams::for_n(n_big);
-    let decay_report = Simulator::new(
-        &g_big,
-        SimConfig::new(ChannelModel::Cd)
-            .with_seed(cfg.seed ^ 0xDECA)
-            .with_round_metrics(),
-    )
-    .run(|_, _| CdMis::new(big_params));
-    let timeline = decay_report.metrics_timeline();
+    let decay_config = SimConfig::new(ChannelModel::Cd)
+        .with_seed(cfg.seed ^ 0xDECA)
+        .with_round_metrics();
+    let decay = orch.unit_with_cost(
+        &UnitKey::new("e2", format!("decay/n={n_big}"))
+            .with(
+                "graph",
+                format!(
+                    "{}/seed={:#x}",
+                    Family::GnpAvgDegree(8).label(),
+                    cfg.seed ^ n_big as u64
+                ),
+            )
+            .with("alg", "CdMis")
+            .with("params", format!("{big_params:?}"))
+            .with("sim", decay_config.fingerprint()),
+        || {
+            let g_big = Family::GnpAvgDegree(8).generate(n_big, cfg.seed ^ n_big as u64);
+            let report =
+                Simulator::new(&g_big, decay_config.clone()).run(|_, _| CdMis::new(big_params));
+            let timeline = report.metrics_timeline();
+            let mut rows = Vec::new();
+            for i in 0..=u64::from(big_params.phases()) {
+                let boundary = i * big_params.phase_len();
+                let Some(m) = timeline.iter().take_while(|m| m.round < boundary).last() else {
+                    continue;
+                };
+                rows.push((i, m.round, m.undecided(), m.awake(), m.cumulative_energy));
+                if m.undecided() == 0 {
+                    break;
+                }
+            }
+            DecaySample {
+                rows,
+                series: timeline
+                    .iter()
+                    .map(|m| (m.round as f64, f64::from(m.undecided())))
+                    .collect(),
+                cost: report.meters.iter().map(|m| m.energy()).sum(),
+            }
+        },
+        |d| d.cost,
+    );
     let mut decay_table = Table::new(["phase", "round", "undecided", "awake", "cum. energy"]);
-    for i in 0..=u64::from(big_params.phases()) {
-        let boundary = i * big_params.phase_len();
-        let Some(m) = timeline.iter().take_while(|m| m.round < boundary).last() else {
-            continue;
-        };
+    for &(i, round, undecided, awake, cum) in &decay.rows {
         decay_table.push_row([
             i.to_string(),
-            m.round.to_string(),
-            m.undecided().to_string(),
-            m.awake().to_string(),
-            m.cumulative_energy.to_string(),
+            round.to_string(),
+            undecided.to_string(),
+            awake.to_string(),
+            cum.to_string(),
         ]);
-        if m.undecided() == 0 {
-            break;
-        }
     }
-    let rounds_f: Vec<f64> = timeline.iter().map(|m| m.round as f64).collect();
-    let undecided_f: Vec<f64> = timeline.iter().map(|m| f64::from(m.undecided())).collect();
+    let rounds_f: Vec<f64> = decay.series.iter().map(|&(r, _)| r).collect();
+    let undecided_f: Vec<f64> = decay.series.iter().map(|&(_, u)| u).collect();
     let decay_finding = match exp_decay_fit(&rounds_f, &undecided_f) {
         Some(fit) => format!(
             "undecided population decays geometrically (rate {:.4}/round, half-life \
@@ -214,7 +271,7 @@ mod tests {
 
     #[test]
     fn quick_run_has_log_energy() {
-        let out = run(&ExpConfig::quick(5));
+        let out = run(&ExpConfig::quick(5), &Orchestrator::ephemeral());
         assert_eq!(out.sections.len(), 3);
         assert!(out.findings.iter().any(|f| f.contains("log")));
         // The metrics-derived decay section has at least the phase-0 row.

@@ -6,16 +6,31 @@
 //! O(log³n·log Δ) schedule), and success rate.
 
 use crate::harness::{pct, ExpConfig, ExperimentOutput, Section};
+use crate::orchestrator::{Orchestrator, UnitKey};
 use mis_graphs::generators::Family;
 use mis_stats::fit::{best_fit, fit_model, GrowthModel};
 use mis_stats::table::fmt_num;
 use mis_stats::{LineChart, Summary, Table};
 use radio_mis::nocd::NoCdMis;
 use radio_mis::params::NoCdParams;
-use radio_netsim::{run_trials, ChannelModel, SimConfig, Simulator};
+use radio_netsim::{ChannelModel, SimConfig, Simulator};
+use serde::{Deserialize, Serialize};
+
+/// Cached value of the energy-checkpoint cell: quarter-point rows plus the
+/// totals the halfway finding is written from.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CheckpointSample {
+    /// (run fraction, round, undecided, awake, cumulative energy).
+    rows: Vec<(f64, u64, u32, u32, u64)>,
+    /// Final (round, cumulative energy), `None` for an empty timeline.
+    last: Option<(u64, u64)>,
+    /// First round by which half the total awake budget was spent.
+    halfway: u64,
+    cost: u64,
+}
 
 /// Runs E3.
-pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
+pub fn run(cfg: &ExpConfig, orch: &Orchestrator) -> ExperimentOutput {
     // The sparse wake-queue engine lifts the full-mode ceiling from 2^11
     // to 2^15 (33k nodes, 16x): the no-CD machine's long sleep phases are
     // exactly the quiet spans the engine now jumps over.
@@ -36,14 +51,25 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
     for &n in &ns {
         let g = Family::GnpAvgDegree(8).generate(n, cfg.seed ^ n as u64);
         let params = NoCdParams::for_n(n, g.max_degree().max(2));
-        let set = run_trials(
+        let stats = orch.trials(
+            UnitKey::new("e3", format!("scale/n={n}"))
+                .with(
+                    "graph",
+                    format!(
+                        "{}/seed={:#x}",
+                        Family::GnpAvgDegree(8).label(),
+                        cfg.seed ^ n as u64
+                    ),
+                )
+                .with("alg", "NoCdMis")
+                .with("params", format!("{params:?}")),
             &g,
             SimConfig::new(ChannelModel::NoCd).with_seed(cfg.seed ^ (n as u64) << 9),
             trials,
             |_, _| NoCdMis::new(params),
         );
-        let es = Summary::of(&set.energies());
-        let rs = Summary::of(&set.rounds());
+        let es = Summary::of(&stats.energies);
+        let rs = Summary::of(&stats.rounds);
         table.push_row([
             n.to_string(),
             g.max_degree().to_string(),
@@ -51,7 +77,7 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
             fmt_num(es.max),
             fmt_num(rs.mean),
             params.total_rounds().to_string(),
-            pct(set.outcomes.iter().filter(|o| o.correct).count(), set.len()),
+            pct(stats.correct, stats.successes()),
         ]);
         nsf.push(n as f64);
         energy_means.push(es.mean);
@@ -91,16 +117,58 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
     // per-round metrics: Theorem 10's budget is about *total* awake rounds,
     // so the interesting shape is how early the spending happens.
     let n_big = *ns.last().expect("sweep is non-empty");
-    let g_big = Family::GnpAvgDegree(8).generate(n_big, cfg.seed ^ n_big as u64);
-    let big_params = NoCdParams::for_n(n_big, g_big.max_degree().max(2));
-    let energy_report = Simulator::new(
-        &g_big,
-        SimConfig::new(ChannelModel::NoCd)
-            .with_seed(cfg.seed ^ 0xE3E3)
-            .with_round_metrics(),
-    )
-    .run(|_, _| NoCdMis::new(big_params));
-    let timeline = energy_report.metrics_timeline();
+    let checkpoint_config = SimConfig::new(ChannelModel::NoCd)
+        .with_seed(cfg.seed ^ 0xE3E3)
+        .with_round_metrics();
+    let sample = orch.unit_with_cost(
+        &UnitKey::new("e3", format!("checkpoints/n={n_big}"))
+            .with(
+                "graph",
+                format!(
+                    "{}/seed={:#x}",
+                    Family::GnpAvgDegree(8).label(),
+                    cfg.seed ^ n_big as u64
+                ),
+            )
+            .with("alg", "NoCdMis")
+            .with("sim", checkpoint_config.fingerprint()),
+        || {
+            let g_big = Family::GnpAvgDegree(8).generate(n_big, cfg.seed ^ n_big as u64);
+            let big_params = NoCdParams::for_n(n_big, g_big.max_degree().max(2));
+            let report = Simulator::new(&g_big, checkpoint_config.clone())
+                .run(|_, _| NoCdMis::new(big_params));
+            let timeline = report.metrics_timeline();
+            let mut rows = Vec::new();
+            for quarter in [0.25, 0.5, 0.75, 1.0] {
+                let idx = ((timeline.len() as f64 * quarter) as usize)
+                    .min(timeline.len().saturating_sub(1));
+                let Some(m) = timeline.get(idx) else { continue };
+                rows.push((
+                    quarter,
+                    m.round,
+                    m.undecided(),
+                    m.awake(),
+                    m.cumulative_energy,
+                ));
+            }
+            let last = timeline.last().map(|m| (m.round, m.cumulative_energy));
+            let halfway = match last {
+                Some((round, cum)) => timeline
+                    .iter()
+                    .find(|m| m.cumulative_energy * 2 >= cum)
+                    .map(|m| m.round)
+                    .unwrap_or(round),
+                None => 0,
+            };
+            CheckpointSample {
+                rows,
+                last,
+                halfway,
+                cost: report.meters.iter().map(|m| m.energy()).sum(),
+            }
+        },
+        |s| s.cost,
+    );
     let mut energy_table = Table::new([
         "run fraction",
         "round",
@@ -109,36 +177,27 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
         "cum. energy",
         "cum. energy / n",
     ]);
-    for quarter in [0.25, 0.5, 0.75, 1.0] {
-        let idx =
-            ((timeline.len() as f64 * quarter) as usize).min(timeline.len().saturating_sub(1));
-        let Some(m) = timeline.get(idx) else { continue };
+    for &(quarter, round, undecided, awake, cum) in &sample.rows {
         energy_table.push_row([
             format!("{quarter:.2}"),
-            m.round.to_string(),
-            m.undecided().to_string(),
-            m.awake().to_string(),
-            m.cumulative_energy.to_string(),
-            fmt_num(m.cumulative_energy as f64 / n_big as f64),
+            round.to_string(),
+            undecided.to_string(),
+            awake.to_string(),
+            cum.to_string(),
+            fmt_num(cum as f64 / n_big as f64),
         ]);
     }
-    let energy_finding = match (timeline.first(), timeline.last()) {
-        (Some(_), Some(last)) => {
-            let halfway = timeline
-                .iter()
-                .find(|m| m.cumulative_energy * 2 >= last.cumulative_energy)
-                .map(|m| m.round)
-                .unwrap_or(last.round);
+    let energy_finding = match sample.last {
+        Some((last_round, total)) => {
+            let halfway = sample.halfway;
             format!(
-                "at n = {n_big} half of the total awake budget ({} node-rounds, \
-                 {:.1}/node) is spent by round {halfway} of {} — energy spending is \
+                "at n = {n_big} half of the total awake budget ({total} node-rounds, \
+                 {:.1}/node) is spent by round {halfway} of {last_round} — energy spending is \
                  front-loaded into the early, crowded Luby phases",
-                last.cumulative_energy,
-                last.cumulative_energy as f64 / n_big as f64,
-                last.round,
+                total as f64 / n_big as f64,
             )
         }
-        _ => "energy-checkpoint timeline empty (degenerate run)".to_string(),
+        None => "energy-checkpoint timeline empty (degenerate run)".to_string(),
     };
 
     ExperimentOutput {
@@ -183,7 +242,7 @@ mod tests {
 
     #[test]
     fn quick_run_completes() {
-        let out = run(&ExpConfig::quick(7));
+        let out = run(&ExpConfig::quick(7), &Orchestrator::ephemeral());
         assert_eq!(out.id, "e3");
         assert_eq!(out.sections.len(), 2);
         assert!(!out.sections[0].table.is_empty());

@@ -5,6 +5,7 @@
 //! Θ(log²n) (energy ≈ rounds); the beeping variant must match Algorithm 1.
 
 use crate::harness::{pct, ExpConfig, ExperimentOutput, Section};
+use crate::orchestrator::{Orchestrator, TrialStats, UnitKey};
 use mis_graphs::generators::Family;
 use mis_stats::table::fmt_num;
 use mis_stats::{Summary, Table};
@@ -12,19 +13,19 @@ use radio_mis::baselines::naive_luby_cd;
 use radio_mis::beeping_native::{BeepingParams, NativeBeepingMis};
 use radio_mis::cd::CdMis;
 use radio_mis::params::CdParams;
-use radio_netsim::{run_trials, ChannelModel, SimConfig, TrialSet};
+use radio_netsim::{ChannelModel, SimConfig};
 
-fn row_stats(set: &TrialSet) -> (String, String, String, String) {
+fn row_stats(stats: &TrialStats) -> (String, String, String, String) {
     (
-        fmt_num(Summary::of(&set.energies()).mean),
-        fmt_num(Summary::of(&set.avg_energies()).mean),
-        fmt_num(Summary::of(&set.rounds()).mean),
-        pct(set.outcomes.iter().filter(|o| o.correct).count(), set.len()),
+        fmt_num(Summary::of(&stats.energies).mean),
+        fmt_num(Summary::of(&stats.avg_energies).mean),
+        fmt_num(Summary::of(&stats.rounds).mean),
+        pct(stats.correct, stats.successes()),
     )
 }
 
 /// Runs E4.
-pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
+pub fn run(cfg: &ExpConfig, orch: &Orchestrator) -> ExperimentOutput {
     let n = if cfg.quick { 256 } else { 2048 };
     let trials = cfg.trials(15);
     let mut table = Table::new([
@@ -43,27 +44,44 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
         Family::Star,
     ] {
         let g = fam.generate(n, cfg.seed ^ 0xE4);
+        let graph_recipe = format!("{}/seed={:#x}", fam.label(), cfg.seed ^ 0xE4);
         let params = CdParams::for_n(n);
-        let cd = run_trials(
+        let cd = orch.trials(
+            UnitKey::new("e4", format!("{}/cd", fam.label()))
+                .with("graph", &graph_recipe)
+                .with("alg", "CdMis")
+                .with("params", format!("{params:?}")),
             &g,
             SimConfig::new(ChannelModel::Cd).with_seed(cfg.seed ^ 1),
             trials,
             |_, _| CdMis::new(params),
         );
-        let naive = run_trials(
+        let naive = orch.trials(
+            UnitKey::new("e4", format!("{}/naive-luby", fam.label()))
+                .with("graph", &graph_recipe)
+                .with("alg", "naive_luby_cd")
+                .with("params", format!("{params:?}")),
             &g,
             SimConfig::new(ChannelModel::Cd).with_seed(cfg.seed ^ 2),
             trials,
             |_, _| naive_luby_cd(params),
         );
-        let beep = run_trials(
+        let beep = orch.trials(
+            UnitKey::new("e4", format!("{}/beeping", fam.label()))
+                .with("graph", &graph_recipe)
+                .with("alg", "CdMis")
+                .with("params", format!("{params:?}")),
             &g,
             SimConfig::new(ChannelModel::Beeping).with_seed(cfg.seed ^ 3),
             trials,
             |_, _| CdMis::new(params),
         );
         let native_params = BeepingParams::for_n(n);
-        let native = run_trials(
+        let native = orch.trials(
+            UnitKey::new("e4", format!("{}/native-beeping", fam.label()))
+                .with("graph", &graph_recipe)
+                .with("alg", "NativeBeepingMis")
+                .with("params", format!("{native_params:?}")),
             &g,
             SimConfig::new(ChannelModel::BeepingSenderCd).with_seed(cfg.seed ^ 4),
             trials,
@@ -78,8 +96,8 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
             let (emax, eavg, rounds, succ) = row_stats(set);
             table.push_row([fam.label(), name.to_string(), emax, eavg, rounds, succ]);
         }
-        let cd_avg = Summary::of(&cd.avg_energies()).mean;
-        let naive_avg = Summary::of(&naive.avg_energies()).mean;
+        let cd_avg = Summary::of(&cd.avg_energies).mean;
+        let naive_avg = Summary::of(&naive.avg_energies).mean;
         if cd_avg > 0.0 {
             ratios.push(naive_avg / cd_avg);
         }
@@ -121,7 +139,7 @@ mod tests {
 
     #[test]
     fn quick_run_shows_separation() {
-        let out = run(&ExpConfig::quick(9));
+        let out = run(&ExpConfig::quick(9), &Orchestrator::ephemeral());
         assert!(out.findings[0].contains('×'));
         // 4 families × 4 algorithms.
         assert_eq!(out.sections[0].table.len(), 16);

@@ -8,6 +8,7 @@
 //! LowDegreeMIS is the round-efficient one (§4.2).
 
 use crate::harness::{pct, ExpConfig, ExperimentOutput, Section};
+use crate::orchestrator::{Orchestrator, TrialStats, UnitKey};
 use mis_graphs::generators::Family;
 use mis_stats::table::fmt_num;
 use mis_stats::{LineChart, Summary, Table};
@@ -15,19 +16,19 @@ use radio_mis::baselines::nocd_naive::{NaiveSimParams, NoCdNaive};
 use radio_mis::low_degree::LowDegreeMis;
 use radio_mis::nocd::NoCdMis;
 use radio_mis::params::{CdParams, LowDegreeParams, NoCdParams};
-use radio_netsim::{run_trials, ChannelModel, SimConfig, TrialSet};
+use radio_netsim::{ChannelModel, SimConfig};
 
-fn stats(set: &TrialSet) -> (String, String, String, String) {
+fn stats(stats: &TrialStats) -> (String, String, String, String) {
     (
-        fmt_num(Summary::of(&set.energies()).mean),
-        fmt_num(Summary::of(&set.avg_energies()).mean),
-        fmt_num(Summary::of(&set.rounds()).mean),
-        pct(set.outcomes.iter().filter(|o| o.correct).count(), set.len()),
+        fmt_num(Summary::of(&stats.energies).mean),
+        fmt_num(Summary::of(&stats.avg_energies).mean),
+        fmt_num(Summary::of(&stats.rounds).mean),
+        pct(stats.correct, stats.successes()),
     )
 }
 
 /// Runs E5.
-pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
+pub fn run(cfg: &ExpConfig, orch: &Orchestrator) -> ExperimentOutput {
     let n = if cfg.quick { 128 } else { 1024 };
     let trials = cfg.trials(9);
     let mut table = Table::new([
@@ -47,19 +48,32 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
         let naive_cd = CdParams::for_n(n);
         let naive_sim = NaiveSimParams::for_n(n, delta);
 
-        let alg2 = run_trials(
+        let graph_recipe = format!("{}/seed={:#x}", fam.label(), cfg.seed ^ 0xE5);
+        let alg2 = orch.trials(
+            UnitKey::new("e5", format!("{}/alg2", fam.label()))
+                .with("graph", &graph_recipe)
+                .with("alg", "NoCdMis")
+                .with("params", format!("{nocd_params:?}")),
             &g,
             SimConfig::new(ChannelModel::NoCd).with_seed(cfg.seed ^ 11),
             trials,
             |_, _| NoCdMis::new(nocd_params),
         );
-        let davies = run_trials(
+        let davies = orch.trials(
+            UnitKey::new("e5", format!("{}/davies", fam.label()))
+                .with("graph", &graph_recipe)
+                .with("alg", "LowDegreeMis")
+                .with("params", format!("{ld_params:?}")),
             &g,
             SimConfig::new(ChannelModel::NoCd).with_seed(cfg.seed ^ 12),
             trials,
             |_, _| LowDegreeMis::new(ld_params),
         );
-        let naive = run_trials(
+        let naive = orch.trials(
+            UnitKey::new("e5", format!("{}/naive", fam.label()))
+                .with("graph", &graph_recipe)
+                .with("alg", "NoCdNaive")
+                .with("params", format!("{naive_cd:?}/{naive_sim:?}")),
             &g,
             SimConfig::new(ChannelModel::NoCd).with_seed(cfg.seed ^ 13),
             trials,
@@ -73,8 +87,8 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
             let (emax, eavg, rounds, succ) = stats(set);
             table.push_row([fam.label(), name.to_string(), emax, eavg, rounds, succ]);
         }
-        let a = Summary::of(&alg2.energies()).mean;
-        let d = Summary::of(&davies.energies()).mean;
+        let a = Summary::of(&alg2.energies).mean;
+        let d = Summary::of(&davies.energies).mean;
         if a > 0.0 {
             energy_ratios.push(d / a);
         }
@@ -103,20 +117,33 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
     for &d in &sweep_degrees {
         let g = Family::GnpAvgDegree(d).generate(n, cfg.seed ^ (d as u64) << 3);
         let delta = g.max_degree().max(2);
-        let alg2 = run_trials(
+        let graph_recipe = format!(
+            "{}/seed={:#x}",
+            Family::GnpAvgDegree(d).label(),
+            cfg.seed ^ (d as u64) << 3
+        );
+        let alg2 = orch.trials(
+            UnitKey::new("e5", format!("dsweep/d={d}/alg2"))
+                .with("graph", &graph_recipe)
+                .with("alg", "NoCdMis")
+                .with("params", format!("{:?}", NoCdParams::for_n(n, delta))),
             &g,
             SimConfig::new(ChannelModel::NoCd).with_seed(cfg.seed ^ 41),
             sweep_trials,
             |_, _| NoCdMis::new(NoCdParams::for_n(n, delta)),
         );
-        let davies = run_trials(
+        let davies = orch.trials(
+            UnitKey::new("e5", format!("dsweep/d={d}/davies"))
+                .with("graph", &graph_recipe)
+                .with("alg", "LowDegreeMis")
+                .with("params", format!("{:?}", LowDegreeParams::for_n(n, delta))),
             &g,
             SimConfig::new(ChannelModel::NoCd).with_seed(cfg.seed ^ 42),
             sweep_trials,
             |_, _| LowDegreeMis::new(LowDegreeParams::for_n(n, delta)),
         );
-        let a = Summary::of(&alg2.energies()).mean;
-        let dv = Summary::of(&davies.energies()).mean;
+        let a = Summary::of(&alg2.energies).mean;
+        let dv = Summary::of(&davies.energies).mean;
         let ratio = dv / a.max(1e-9);
         if first_ratio.is_none() {
             first_ratio = Some(ratio);
@@ -187,7 +214,7 @@ mod tests {
 
     #[test]
     fn quick_run_orders_algorithms() {
-        let out = run(&ExpConfig::quick(4));
+        let out = run(&ExpConfig::quick(4), &Orchestrator::ephemeral());
         assert_eq!(out.sections.len(), 2);
         assert_eq!(out.sections[0].table.len(), 6);
         assert!(out.findings[0].contains('×'));

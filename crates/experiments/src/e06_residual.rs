@@ -8,6 +8,7 @@
 //! phase schedule.
 
 use crate::harness::{ExpConfig, ExperimentOutput, Section};
+use crate::orchestrator::{Orchestrator, UnitKey};
 use mis_graphs::generators::Family;
 use mis_graphs::Graph;
 use mis_stats::table::fmt_num;
@@ -16,6 +17,23 @@ use radio_mis::cd::CdMis;
 use radio_mis::nocd::NoCdMis;
 use radio_mis::params::{CdParams, NoCdParams};
 use radio_netsim::{split_seed, ChannelModel, NodeStatus, RunReport, SimConfig, Simulator};
+use serde::{Deserialize, Serialize};
+
+/// Cached value of one residual-decay cell: per-trial phase-boundary edge
+/// counts of the residual graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ResidualCounts {
+    counts: Vec<Vec<usize>>,
+    cost: u64,
+}
+
+/// Cached value of the metrics-vs-reconstruction cross-check cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CrossCheck {
+    boundaries: u32,
+    mismatches: u32,
+    cost: u64,
+}
 
 /// Edge counts of the residual graphs at each phase boundary, from a run
 /// report. `keep(v, boundary_round)` decides residual membership.
@@ -89,86 +107,137 @@ fn decay_table(all_counts: &[Vec<usize>], bound: f64) -> (Table, f64) {
 }
 
 /// Runs E6.
-pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
+pub fn run(cfg: &ExpConfig, orch: &Orchestrator) -> ExperimentOutput {
     let n = if cfg.quick { 256 } else { 1024 };
     let trials = cfg.trials(20);
     let g = Family::GnpAvgDegree(16).generate(n, cfg.seed ^ 0xE6);
+    let graph_recipe = format!(
+        "{}/seed={:#x}",
+        Family::GnpAvgDegree(16).label(),
+        cfg.seed ^ 0xE6
+    );
 
     // CD model.
     let cd_params = CdParams::for_n(n);
-    let cd_counts: Vec<Vec<usize>> = (0..trials)
-        .map(|t| {
-            let seed = split_seed(cfg.seed, t as u64);
-            let report = Simulator::new(&g, SimConfig::new(ChannelModel::Cd).with_seed(seed))
-                .run(|_, _| CdMis::new(cd_params));
-            residual_edges(
-                &g,
-                &report,
-                cd_params.phase_len(),
-                cd_params.phases(),
-                cd_keep,
-            )
-        })
-        .collect();
-    let (cd_table, cd_worst) = decay_table(&cd_counts, 0.5);
+    let cd_cell = orch.unit_with_cost(
+        &UnitKey::new("e6", "residual/cd")
+            .with("graph", &graph_recipe)
+            .with("n", n)
+            .with("alg", "CdMis")
+            .with("params", format!("{cd_params:?}"))
+            .with("seed", cfg.seed)
+            .with("trials", trials),
+        || {
+            let mut cost = 0u64;
+            let counts = (0..trials)
+                .map(|t| {
+                    let seed = split_seed(cfg.seed, t as u64);
+                    let report =
+                        Simulator::new(&g, SimConfig::new(ChannelModel::Cd).with_seed(seed))
+                            .run(|_, _| CdMis::new(cd_params));
+                    cost += report.meters.iter().map(|m| m.energy()).sum::<u64>();
+                    residual_edges(
+                        &g,
+                        &report,
+                        cd_params.phase_len(),
+                        cd_params.phases(),
+                        cd_keep,
+                    )
+                })
+                .collect();
+            ResidualCounts { counts, cost }
+        },
+        |c| c.cost,
+    );
+    let (cd_table, cd_worst) = decay_table(&cd_cell.counts, 0.5);
 
     // no-CD model.
     let nocd_params = NoCdParams::for_n(n, g.max_degree().max(2));
     let nocd_trials = cfg.trials(8);
-    let nocd_counts: Vec<Vec<usize>> = (0..nocd_trials)
-        .map(|t| {
-            let seed = split_seed(cfg.seed ^ 0x66, t as u64);
-            let report = Simulator::new(&g, SimConfig::new(ChannelModel::NoCd).with_seed(seed))
-                .run(|_, _| NoCdMis::new(nocd_params));
-            residual_edges(
-                &g,
-                &report,
-                nocd_params.t_luby(),
-                nocd_params.phases(),
-                nocd_keep,
-            )
-        })
-        .collect();
-    let (nocd_table, nocd_worst) = decay_table(&nocd_counts, 63.0 / 64.0);
+    let nocd_cell = orch.unit_with_cost(
+        &UnitKey::new("e6", "residual/nocd")
+            .with("graph", &graph_recipe)
+            .with("n", n)
+            .with("alg", "NoCdMis")
+            .with("params", format!("{nocd_params:?}"))
+            .with("seed", cfg.seed ^ 0x66)
+            .with("trials", nocd_trials),
+        || {
+            let mut cost = 0u64;
+            let counts = (0..nocd_trials)
+                .map(|t| {
+                    let seed = split_seed(cfg.seed ^ 0x66, t as u64);
+                    let report =
+                        Simulator::new(&g, SimConfig::new(ChannelModel::NoCd).with_seed(seed))
+                            .run(|_, _| NoCdMis::new(nocd_params));
+                    cost += report.meters.iter().map(|m| m.energy()).sum::<u64>();
+                    residual_edges(
+                        &g,
+                        &report,
+                        nocd_params.t_luby(),
+                        nocd_params.phases(),
+                        nocd_keep,
+                    )
+                })
+                .collect();
+            ResidualCounts { counts, cost }
+        },
+        |c| c.cost,
+    );
+    let (nocd_table, nocd_worst) = decay_table(&nocd_cell.counts, 63.0 / 64.0);
 
     // Cross-check: the engine's round-metrics timeline and the decision-round
     // reconstruction above are two independent views of the same run, and must
     // agree on the undecided population at every phase boundary (decisions only
     // happen on processed rounds, so the last record before a boundary is
     // authoritative).
-    let check_report = Simulator::new(
-        &g,
-        SimConfig::new(ChannelModel::Cd)
-            .with_seed(split_seed(cfg.seed, 0))
-            .with_round_metrics(),
-    )
-    .run(|_, _| CdMis::new(cd_params));
-    let timeline = check_report.metrics_timeline();
-    let mut boundaries_checked = 0u32;
-    let mut mismatches = 0u32;
-    for i in 1..=u64::from(cd_params.phases()) {
-        let boundary = i * cd_params.phase_len();
-        let from_metrics = timeline
-            .iter()
-            .take_while(|m| m.round < boundary)
-            .last()
-            .map(|m| m.undecided() as usize)
-            .unwrap_or(g.len());
-        let reconstructed = (0..g.len())
-            .filter(|&v| cd_keep(&check_report, v, boundary))
-            .count();
-        boundaries_checked += 1;
-        if from_metrics != reconstructed {
-            mismatches += 1;
-        }
-        if reconstructed == 0 {
-            break;
-        }
-    }
+    let check_config = SimConfig::new(ChannelModel::Cd)
+        .with_seed(split_seed(cfg.seed, 0))
+        .with_round_metrics();
+    let check = orch.unit_with_cost(
+        &UnitKey::new("e6", "crosscheck/cd")
+            .with("graph", &graph_recipe)
+            .with("n", n)
+            .with("alg", "CdMis")
+            .with("params", format!("{cd_params:?}"))
+            .with("sim", check_config.fingerprint()),
+        || {
+            let report = Simulator::new(&g, check_config.clone()).run(|_, _| CdMis::new(cd_params));
+            let timeline = report.metrics_timeline();
+            let mut boundaries = 0u32;
+            let mut mismatches = 0u32;
+            for i in 1..=u64::from(cd_params.phases()) {
+                let boundary = i * cd_params.phase_len();
+                let from_metrics = timeline
+                    .iter()
+                    .take_while(|m| m.round < boundary)
+                    .last()
+                    .map(|m| m.undecided() as usize)
+                    .unwrap_or(g.len());
+                let reconstructed = (0..g.len())
+                    .filter(|&v| cd_keep(&report, v, boundary))
+                    .count();
+                boundaries += 1;
+                if from_metrics != reconstructed {
+                    mismatches += 1;
+                }
+                if reconstructed == 0 {
+                    break;
+                }
+            }
+            CrossCheck {
+                boundaries,
+                mismatches,
+                cost: report.meters.iter().map(|m| m.energy()).sum(),
+            }
+        },
+        |c| c.cost,
+    );
     let crosscheck_finding = format!(
-        "cross-check: {mismatches} mismatches across {boundaries_checked} CD phase \
+        "cross-check: {} mismatches across {} CD phase \
          boundaries between the engine's round-metrics `undecided()` and the \
-         decision-round reconstruction used for the residual tables"
+         decision-round reconstruction used for the residual tables",
+        check.mismatches, check.boundaries
     );
 
     ExperimentOutput {
@@ -211,7 +280,7 @@ mod tests {
 
     #[test]
     fn quick_run_decays() {
-        let out = run(&ExpConfig::quick(2));
+        let out = run(&ExpConfig::quick(2), &Orchestrator::ephemeral());
         assert_eq!(out.sections.len(), 2);
         assert!(!out.sections[0].table.is_empty());
         assert!(out.findings[0].contains("Lemma 5"));
@@ -219,7 +288,7 @@ mod tests {
 
     #[test]
     fn metrics_agree_with_reconstruction() {
-        let out = run(&ExpConfig::quick(9));
+        let out = run(&ExpConfig::quick(9), &Orchestrator::ephemeral());
         let check = out
             .findings
             .iter()

@@ -7,8 +7,25 @@
 //! - sender awake rounds (Lemma 8: exactly k) and receiver awake rounds
 //!   (Lemma 8: ≤ k·⌈log Δ_est⌉, much less in expectation when senders
 //!   exist).
+//!
+//! Like every experiment module, `run` resolves its simulation work
+//! through an [`Orchestrator`] job unit per `(d, k)` cell, so reruns with
+//! a warm cache skip the simulator entirely:
+//!
+//! ```
+//! use mis_experiments::e07_backoff;
+//! use mis_experiments::{ExpConfig, Orchestrator};
+//!
+//! let orch = Orchestrator::ephemeral();
+//! let out = e07_backoff::run(&ExpConfig::quick(11), &orch);
+//! assert_eq!(out.id, "e7");
+//! // quick mode: 2 sender counts × 3 repetition counts = 6 job units.
+//! assert_eq!(orch.units_done(), 6);
+//! assert_eq!(orch.hits(), 0); // ephemeral orchestrators never cache
+//! ```
 
 use crate::harness::{pct, ExpConfig, ExperimentOutput, Section};
+use crate::orchestrator::{Orchestrator, UnitKey};
 use mis_graphs::generators;
 use mis_stats::table::fmt_num;
 use mis_stats::{Summary, Table};
@@ -17,6 +34,14 @@ use radio_netsim::{
     split_seed, Action, ChannelModel, Feedback, NodeRng, NodeStatus, Protocol, SimConfig, Simulator,
 };
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Cached value of one `(d, k)` cell: per-trial `(heard, receiver awake,
+/// sender awake)` outcomes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BackoffCell {
+    outcomes: Vec<(bool, u64, u64)>,
+}
 
 /// A node that runs exactly one backoff machine and retires.
 enum BackoffNode {
@@ -65,7 +90,7 @@ impl Protocol for BackoffNode {
 }
 
 /// Runs E7.
-pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
+pub fn run(cfg: &ExpConfig, orch: &Orchestrator) -> ExperimentOutput {
     let delta = 1usize << 10;
     let trials = cfg.trials(200);
     let ks: &[u32] = if cfg.quick {
@@ -91,26 +116,44 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
     for &d in ds {
         let g = generators::star(d + 1);
         for &k in ks {
-            let outcomes: Vec<(bool, u64, u64)> = (0..trials)
-                .into_par_iter()
-                .map(|t| {
-                    let seed =
-                        split_seed(cfg.seed, ((d as u64) << 40) ^ ((k as u64) << 20) ^ t as u64);
-                    let report =
-                        Simulator::new(&g, SimConfig::new(ChannelModel::NoCd).with_seed(seed)).run(
-                            |v, rng| {
+            let cell = orch.unit_with_cost(
+                &UnitKey::new("e7", format!("d={d}/k={k}"))
+                    .with("graph", format!("star/{}", d + 1))
+                    .with("alg", "Snd+RecEBackoff")
+                    .with("delta", delta)
+                    .with("k", k)
+                    .with("channel", "NoCd")
+                    .with("seed", cfg.seed)
+                    .with("trials", trials),
+                || {
+                    let outcomes = (0..trials)
+                        .into_par_iter()
+                        .map(|t| {
+                            let seed = split_seed(
+                                cfg.seed,
+                                ((d as u64) << 40) ^ ((k as u64) << 20) ^ t as u64,
+                            );
+                            let report = Simulator::new(
+                                &g,
+                                SimConfig::new(ChannelModel::NoCd).with_seed(seed),
+                            )
+                            .run(|v, rng| {
                                 if v == 0 {
                                     BackoffNode::Rec(RecEBackoff::new(0, k, delta, delta), false)
                                 } else {
                                     BackoffNode::Snd(SndEBackoff::new(0, k, delta, rng), false)
                                 }
-                            },
-                        );
-                    let heard = report.statuses[0] == NodeStatus::InMis;
-                    let sender_awake = if d > 0 { report.meters[1].energy() } else { 0 };
-                    (heard, report.meters[0].energy(), sender_awake)
-                })
-                .collect();
+                            });
+                            let heard = report.statuses[0] == NodeStatus::InMis;
+                            let sender_awake = if d > 0 { report.meters[1].energy() } else { 0 };
+                            (heard, report.meters[0].energy(), sender_awake)
+                        })
+                        .collect();
+                    BackoffCell { outcomes }
+                },
+                |c| c.outcomes.iter().map(|o| o.1 + o.2).sum(),
+            );
+            let outcomes = &cell.outcomes;
             let heard_count = outcomes.iter().filter(|o| o.0).count();
             let bound = 1.0 - (7f64 / 8.0).powi(k as i32);
             if (heard_count as f64 / trials as f64) < bound - 0.1 {
@@ -176,7 +219,7 @@ mod tests {
 
     #[test]
     fn quick_run_meets_bound() {
-        let out = run(&ExpConfig::quick(11));
+        let out = run(&ExpConfig::quick(11), &Orchestrator::ephemeral());
         assert!(out.findings[0].contains("bound"));
         assert!(!out.findings[0].contains("WARNING"), "{}", out.findings[0]);
     }

@@ -10,20 +10,37 @@
 //!   (Lemma 11).
 
 use crate::harness::{run_nocd_instrumented, ExpConfig, ExperimentOutput, Section};
+use crate::orchestrator::{Orchestrator, UnitKey};
 use mis_graphs::generators::Family;
 use mis_stats::table::fmt_num;
 use mis_stats::Table;
 use radio_mis::params::NoCdParams;
 use radio_netsim::split_seed;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
+/// Cached value of one instrumented trial: per-phase
+/// `(phase, |C_i|, max deg in C_i, same-bit pairs, adjacent pairs)` rows
+/// plus the run's correctness flag.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CommitTrial {
+    rows: Vec<(u32, usize, usize, usize, usize)>,
+    success: bool,
+    cost: u64,
+}
+
 /// Runs E8.
-pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
+pub fn run(cfg: &ExpConfig, orch: &Orchestrator) -> ExperimentOutput {
     let n = if cfg.quick { 256 } else { 1024 };
     let trials = cfg.trials(6);
     let g = Family::GnpAvgDegree(32).generate(n, cfg.seed ^ 0xE8);
     let params = NoCdParams::for_n(n, g.max_degree().max(2));
     let bound = (params.kappa * (n as f64).log2()).ceil();
+    let graph_recipe = format!(
+        "{}/seed={:#x}",
+        Family::GnpAvgDegree(32).label(),
+        cfg.seed ^ 0xE8
+    );
 
     // (phase -> (committed nodes with their bit)) aggregated per trial.
     let mut table = Table::new([
@@ -39,45 +56,66 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
     let mut total_pairs = 0usize;
     let mut success = true;
     for t in 0..trials {
-        let seed = split_seed(cfg.seed, t as u64);
-        let (report, inst) = run_nocd_instrumented(&g, params, seed);
-        success &= report.is_correct_mis(&g);
-        let mut per_phase: HashMap<u32, Vec<(usize, u32)>> = HashMap::new();
-        for (v, h) in inst.histories.iter().enumerate() {
-            for rec in h {
-                if let Some(bit) = rec.committed_at_bit {
-                    per_phase.entry(rec.phase).or_default().push((v, bit));
-                }
-            }
-        }
-        let mut phases: Vec<u32> = per_phase.keys().copied().collect();
-        phases.sort_unstable();
-        for phase in phases.iter().take(4) {
-            let committed = &per_phase[phase];
-            let mut mask = vec![false; g.len()];
-            let mut bit_of = vec![u32::MAX; g.len()];
-            for &(v, bit) in committed {
-                mask[v] = true;
-                bit_of[v] = bit;
-            }
-            let max_deg = g.max_degree_within(&mask);
-            max_deg_overall = max_deg_overall.max(max_deg);
-            let mut same = 0usize;
-            let mut pairs = 0usize;
-            for (u, v) in g.edges() {
-                if mask[u] && mask[v] {
-                    pairs += 1;
-                    if bit_of[u] == bit_of[v] {
-                        same += 1;
+        let cell = orch.unit_with_cost(
+            &UnitKey::new("e8", format!("trial={t}"))
+                .with("graph", &graph_recipe)
+                .with("n", n)
+                .with("alg", "NoCdMis/instrumented")
+                .with("params", format!("{params:?}"))
+                .with("seed", cfg.seed)
+                .with("trial", t),
+            || {
+                let seed = split_seed(cfg.seed, t as u64);
+                let (report, inst) = run_nocd_instrumented(&g, params, seed);
+                let mut per_phase: HashMap<u32, Vec<(usize, u32)>> = HashMap::new();
+                for (v, h) in inst.histories.iter().enumerate() {
+                    for rec in h {
+                        if let Some(bit) = rec.committed_at_bit {
+                            per_phase.entry(rec.phase).or_default().push((v, bit));
+                        }
                     }
                 }
-            }
+                let mut phases: Vec<u32> = per_phase.keys().copied().collect();
+                phases.sort_unstable();
+                let mut rows = Vec::new();
+                for phase in phases.iter().take(4) {
+                    let committed = &per_phase[phase];
+                    let mut mask = vec![false; g.len()];
+                    let mut bit_of = vec![u32::MAX; g.len()];
+                    for &(v, bit) in committed {
+                        mask[v] = true;
+                        bit_of[v] = bit;
+                    }
+                    let max_deg = g.max_degree_within(&mask);
+                    let mut same = 0usize;
+                    let mut pairs = 0usize;
+                    for (u, v) in g.edges() {
+                        if mask[u] && mask[v] {
+                            pairs += 1;
+                            if bit_of[u] == bit_of[v] {
+                                same += 1;
+                            }
+                        }
+                    }
+                    rows.push((*phase, committed.len(), max_deg, same, pairs));
+                }
+                CommitTrial {
+                    rows,
+                    success: report.is_correct_mis(&g),
+                    cost: report.meters.iter().map(|m| m.energy()).sum(),
+                }
+            },
+            |c| c.cost,
+        );
+        success &= cell.success;
+        for &(phase, committed, max_deg, same, pairs) in &cell.rows {
+            max_deg_overall = max_deg_overall.max(max_deg);
             same_bit_pairs += same;
             total_pairs += pairs;
             table.push_row([
                 t.to_string(),
                 phase.to_string(),
-                committed.len().to_string(),
+                committed.to_string(),
                 max_deg.to_string(),
                 fmt_num(bound),
                 if pairs == 0 {
@@ -135,7 +173,7 @@ mod tests {
 
     #[test]
     fn quick_run_respects_bound() {
-        let out = run(&ExpConfig::quick(13));
+        let out = run(&ExpConfig::quick(13), &Orchestrator::ephemeral());
         assert!(!out.findings[0].contains("VIOLATED"), "{}", out.findings[0]);
     }
 }

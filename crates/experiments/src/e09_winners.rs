@@ -6,19 +6,36 @@
 //! maxima win w.h.p., so W_i ≠ ∅ while undecided nodes remain).
 
 use crate::harness::{pct, run_nocd_instrumented, ExpConfig, ExperimentOutput, Section};
+use crate::orchestrator::{Orchestrator, UnitKey};
 use mis_graphs::generators::Family;
 use mis_stats::Table;
 use radio_mis::nocd::PhaseOutcome;
 use radio_mis::params::NoCdParams;
 use radio_netsim::split_seed;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
+/// Cached value of one instrumented trial: the winner-set audit counts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct WinnerTrial {
+    phases: usize,
+    with_winner: usize,
+    adjacent_pairs: usize,
+    correct: bool,
+    cost: u64,
+}
+
 /// Runs E9.
-pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
+pub fn run(cfg: &ExpConfig, orch: &Orchestrator) -> ExperimentOutput {
     let n = if cfg.quick { 256 } else { 1024 };
     let trials = cfg.trials(6);
     let g = Family::GnpAvgDegree(8).generate(n, cfg.seed ^ 0xE9);
     let params = NoCdParams::for_n(n, g.max_degree().max(2));
+    let graph_recipe = format!(
+        "{}/seed={:#x}",
+        Family::GnpAvgDegree(8).label(),
+        cfg.seed ^ 0xE9
+    );
 
     let mut table = Table::new([
         "trial",
@@ -31,43 +48,62 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
     let mut total_phases = 0usize;
     let mut total_with_winner = 0usize;
     for t in 0..trials {
-        let seed = split_seed(cfg.seed, t as u64);
-        let (report, inst) = run_nocd_instrumented(&g, params, seed);
-        // phase -> winner set.
-        let mut winners: HashMap<u32, Vec<usize>> = HashMap::new();
-        let mut competitors: HashMap<u32, usize> = HashMap::new();
-        for (v, h) in inst.histories.iter().enumerate() {
-            for rec in h {
-                *competitors.entry(rec.phase).or_default() += 1;
-                if rec.outcome == PhaseOutcome::Win {
-                    winners.entry(rec.phase).or_default().push(v);
-                }
-            }
-        }
-        let phases = competitors.len();
-        let with_winner = competitors
-            .keys()
-            .filter(|p| winners.get(p).map(|w| !w.is_empty()).unwrap_or(false))
-            .count();
-        let mut adjacent_pairs = 0usize;
-        for ws in winners.values() {
-            for (i, &u) in ws.iter().enumerate() {
-                for &v in &ws[i + 1..] {
-                    if g.has_edge(u, v) {
-                        adjacent_pairs += 1;
+        let cell = orch.unit_with_cost(
+            &UnitKey::new("e9", format!("trial={t}"))
+                .with("graph", &graph_recipe)
+                .with("n", n)
+                .with("alg", "NoCdMis/instrumented")
+                .with("params", format!("{params:?}"))
+                .with("seed", cfg.seed)
+                .with("trial", t),
+            || {
+                let seed = split_seed(cfg.seed, t as u64);
+                let (report, inst) = run_nocd_instrumented(&g, params, seed);
+                // phase -> winner set.
+                let mut winners: HashMap<u32, Vec<usize>> = HashMap::new();
+                let mut competitors: HashMap<u32, usize> = HashMap::new();
+                for (v, h) in inst.histories.iter().enumerate() {
+                    for rec in h {
+                        *competitors.entry(rec.phase).or_default() += 1;
+                        if rec.outcome == PhaseOutcome::Win {
+                            winners.entry(rec.phase).or_default().push(v);
+                        }
                     }
                 }
-            }
-        }
-        total_adjacent_winner_pairs += adjacent_pairs;
-        total_phases += phases;
-        total_with_winner += with_winner;
+                let phases = competitors.len();
+                let with_winner = competitors
+                    .keys()
+                    .filter(|p| winners.get(p).map(|w| !w.is_empty()).unwrap_or(false))
+                    .count();
+                let mut adjacent_pairs = 0usize;
+                for ws in winners.values() {
+                    for (i, &u) in ws.iter().enumerate() {
+                        for &v in &ws[i + 1..] {
+                            if g.has_edge(u, v) {
+                                adjacent_pairs += 1;
+                            }
+                        }
+                    }
+                }
+                WinnerTrial {
+                    phases,
+                    with_winner,
+                    adjacent_pairs,
+                    correct: report.is_correct_mis(&g),
+                    cost: report.meters.iter().map(|m| m.energy()).sum(),
+                }
+            },
+            |c| c.cost,
+        );
+        total_adjacent_winner_pairs += cell.adjacent_pairs;
+        total_phases += cell.phases;
+        total_with_winner += cell.with_winner;
         table.push_row([
             t.to_string(),
-            phases.to_string(),
-            with_winner.to_string(),
-            adjacent_pairs.to_string(),
-            report.is_correct_mis(&g).to_string(),
+            cell.phases.to_string(),
+            cell.with_winner.to_string(),
+            cell.adjacent_pairs.to_string(),
+            cell.correct.to_string(),
         ]);
     }
 
@@ -103,7 +139,7 @@ mod tests {
 
     #[test]
     fn quick_run_no_adjacent_winners() {
-        let out = run(&ExpConfig::quick(17));
+        let out = run(&ExpConfig::quick(17), &Orchestrator::ephemeral());
         assert!(
             out.findings[0].contains("pairs observed: 0"),
             "{}",

@@ -6,6 +6,7 @@
 //! pre-commit full-Δ listens and the Δ-dependent sender schedules feel Δ).
 
 use crate::harness::{pct, ExpConfig, ExperimentOutput, Section};
+use crate::orchestrator::{Orchestrator, UnitKey};
 use mis_graphs::generators;
 use mis_stats::fit::linear_fit;
 use mis_stats::table::fmt_num;
@@ -13,10 +14,10 @@ use mis_stats::{LineChart, Summary, Table};
 use radio_mis::backoff::backoff_window;
 use radio_mis::nocd::NoCdMis;
 use radio_mis::params::NoCdParams;
-use radio_netsim::{run_trials, ChannelModel, SimConfig};
+use radio_netsim::{ChannelModel, SimConfig};
 
 /// Runs E10.
-pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
+pub fn run(cfg: &ExpConfig, orch: &Orchestrator) -> ExperimentOutput {
     let n = if cfg.quick { 128 } else { 512 };
     let trials = cfg.trials(9);
     let deltas: Vec<usize> = if cfg.quick {
@@ -38,21 +39,28 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
     for &d in &deltas {
         let g = generators::bounded_degree(n, d, cfg.seed ^ d as u64);
         let params = NoCdParams::for_n(n, d);
-        let set = run_trials(
+        let stats = orch.trials(
+            UnitKey::new("e10", format!("delta={d}"))
+                .with(
+                    "graph",
+                    format!("bounded-degree/{d}/seed={:#x}", cfg.seed ^ d as u64),
+                )
+                .with("alg", "NoCdMis")
+                .with("params", format!("{params:?}")),
             &g,
             SimConfig::new(ChannelModel::NoCd).with_seed(cfg.seed ^ (d as u64) << 16),
             trials,
             |_, _| NoCdMis::new(params),
         );
-        let rs = Summary::of(&set.rounds());
-        let es = Summary::of(&set.energies());
+        let rs = Summary::of(&stats.rounds);
+        let es = Summary::of(&stats.energies);
         table.push_row([
             d.to_string(),
             backoff_window(d).to_string(),
             fmt_num(rs.mean),
             params.total_rounds().to_string(),
             fmt_num(es.mean),
-            pct(set.outcomes.iter().filter(|o| o.correct).count(), set.len()),
+            pct(stats.correct, stats.successes()),
         ]);
         ws.push(backoff_window(d) as f64);
         rounds_means.push(rs.mean);
@@ -107,7 +115,7 @@ mod tests {
 
     #[test]
     fn quick_run_shows_delta_factor() {
-        let out = run(&ExpConfig::quick(19));
+        let out = run(&ExpConfig::quick(19), &Orchestrator::ephemeral());
         assert!(!out.sections[0].table.is_empty());
     }
 }

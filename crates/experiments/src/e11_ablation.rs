@@ -12,6 +12,7 @@
 //!    between Algorithm 2 and the naive baseline.
 
 use crate::harness::{pct, ExpConfig, ExperimentOutput, Section};
+use crate::orchestrator::{Orchestrator, TrialStats, UnitKey};
 use mis_graphs::generators::Family;
 use mis_stats::table::fmt_num;
 use mis_stats::{Summary, Table};
@@ -19,18 +20,27 @@ use radio_mis::baselines::nocd_naive::{NaiveSimParams, NoCdNaive};
 use radio_mis::cd::EnergyMode;
 use radio_mis::nocd::NoCdMis;
 use radio_mis::params::{CdParams, NoCdParams};
-use radio_netsim::{run_trials, ChannelModel, SimConfig, TrialSet};
+use radio_netsim::{ChannelModel, SimConfig};
 
 /// Runs E11.
-pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
+pub fn run(cfg: &ExpConfig, orch: &Orchestrator) -> ExperimentOutput {
     let n = if cfg.quick { 128 } else { 512 };
     let trials = cfg.trials(9);
     let g = Family::GnpAvgDegree(64).generate(n, cfg.seed ^ 0xE11);
     let delta = g.max_degree().max(2);
     let base = NoCdParams::for_n(n, delta);
+    let graph_recipe = format!(
+        "{}/seed={:#x}",
+        Family::GnpAvgDegree(64).label(),
+        cfg.seed ^ 0xE11
+    );
 
-    let run_variant = |params: NoCdParams, salt: u64| -> TrialSet {
-        run_trials(
+    let run_variant = |cell: &str, params: NoCdParams, salt: u64| -> TrialStats {
+        orch.trials(
+            UnitKey::new("e11", cell)
+                .with("graph", &graph_recipe)
+                .with("alg", "NoCdMis")
+                .with("params", format!("{params:?}")),
             &g,
             SimConfig::new(ChannelModel::NoCd).with_seed(cfg.seed ^ salt),
             trials,
@@ -38,8 +48,9 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
         )
     };
 
-    let full = run_variant(base, 21);
+    let full = run_variant("full", base, 21);
     let deep_shallow = run_variant(
+        "deep-shallow",
         NoCdParams {
             ablate_deep_shallow: true,
             ..base
@@ -47,23 +58,24 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
         22,
     );
     let no_reduction = run_variant(
+        "no-commit-reduction",
         NoCdParams {
             ablate_no_commit_reduction: true,
             ..base
         },
         23,
     );
-    let halfway = run_trials(
+    let halfway_cd = CdParams::for_n(n);
+    let halfway_sim = NaiveSimParams::for_n(n, delta);
+    let halfway = orch.trials(
+        UnitKey::new("e11", "naive-early-sleep")
+            .with("graph", &graph_recipe)
+            .with("alg", "NoCdNaive/EarlySleep")
+            .with("params", format!("{halfway_cd:?}/{halfway_sim:?}")),
         &g,
         SimConfig::new(ChannelModel::NoCd).with_seed(cfg.seed ^ 24),
         trials,
-        |_, _| {
-            NoCdNaive::with_inner_mode(
-                CdParams::for_n(n),
-                NaiveSimParams::for_n(n, delta),
-                EnergyMode::EarlySleep,
-            )
-        },
+        |_, _| NoCdNaive::with_inner_mode(halfway_cd, halfway_sim, EnergyMode::EarlySleep),
     );
 
     let mut table = Table::new(["variant", "energy(max)", "energy(avg)", "rounds", "success"]);
@@ -74,14 +86,14 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
         ("ablation: no Δ_est reduction", &no_reduction),
         ("Alg. 1 early-sleep over naive backoff", &halfway),
     ] {
-        let e = Summary::of(&set.energies()).mean;
+        let e = Summary::of(&set.energies).mean;
         energies.push((name, e));
         table.push_row([
             name.to_string(),
             fmt_num(e),
-            fmt_num(Summary::of(&set.avg_energies()).mean),
-            fmt_num(Summary::of(&set.rounds()).mean),
-            pct(set.outcomes.iter().filter(|o| o.correct).count(), set.len()),
+            fmt_num(Summary::of(&set.avg_energies).mean),
+            fmt_num(Summary::of(&set.rounds).mean),
+            pct(set.correct, set.successes()),
         ]);
     }
     let full_e = energies[0].1;
@@ -116,7 +128,7 @@ mod tests {
 
     #[test]
     fn quick_run_has_four_variants() {
-        let out = run(&ExpConfig::quick(23));
+        let out = run(&ExpConfig::quick(23), &Orchestrator::ephemeral());
         assert_eq!(out.sections[0].table.len(), 4);
     }
 }

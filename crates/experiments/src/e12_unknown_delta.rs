@@ -6,16 +6,17 @@
 //! claimed O(loglog n)× energy and O(1)× rounds.
 
 use crate::harness::{pct, ExpConfig, ExperimentOutput, Section};
+use crate::orchestrator::{Orchestrator, UnitKey};
 use mis_graphs::generators::{self, Family};
 use mis_stats::table::fmt_num;
 use mis_stats::{Summary, Table};
 use radio_mis::nocd::NoCdMis;
 use radio_mis::params::NoCdParams;
 use radio_mis::unknown_delta::{delta_guesses, UnknownDeltaMis};
-use radio_netsim::{run_trials, ChannelModel, SimConfig};
+use radio_netsim::{ChannelModel, SimConfig};
 
 /// Runs E12.
-pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
+pub fn run(cfg: &ExpConfig, orch: &Orchestrator) -> ExperimentOutput {
     let n = if cfg.quick { 128 } else { 512 };
     let trials = cfg.trials(9);
     let mut table = Table::new(["graph", "Δ", "variant", "energy(max)", "rounds", "success"]);
@@ -24,22 +25,35 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
     let graphs = vec![
         (
             "gnp-d8".to_string(),
+            format!(
+                "{}/seed={:#x}",
+                Family::GnpAvgDegree(8).label(),
+                cfg.seed ^ 0x12
+            ),
             Family::GnpAvgDegree(8).generate(n, cfg.seed ^ 0x12),
         ),
-        ("star".to_string(), generators::star(n)),
+        ("star".to_string(), format!("star/{n}"), generators::star(n)),
     ];
-    for (label, g) in &graphs {
+    for (label, recipe, g) in &graphs {
         let delta = g.max_degree().max(2);
         let known_params = NoCdParams::for_n(n, delta);
         let template = NoCdParams::for_n(n, 2);
-        let known = run_trials(
-            &g.clone(),
+        let known = orch.trials(
+            UnitKey::new("e12", format!("{label}/known-delta"))
+                .with("graph", recipe)
+                .with("alg", "NoCdMis")
+                .with("params", format!("{known_params:?}")),
+            g,
             SimConfig::new(ChannelModel::NoCd).with_seed(cfg.seed ^ 31),
             trials,
             |_, _| NoCdMis::new(known_params),
         );
-        let unknown = run_trials(
-            &g.clone(),
+        let unknown = orch.trials(
+            UnitKey::new("e12", format!("{label}/unknown-delta"))
+                .with("graph", recipe)
+                .with("alg", "UnknownDeltaMis")
+                .with("params", format!("{template:?}")),
+            g,
             SimConfig::new(ChannelModel::NoCd).with_seed(cfg.seed ^ 32),
             trials,
             |_, _| UnknownDeltaMis::new(n, template),
@@ -49,15 +63,15 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
                 label.clone(),
                 delta.to_string(),
                 name.to_string(),
-                fmt_num(Summary::of(&set.energies()).mean),
-                fmt_num(Summary::of(&set.rounds()).mean),
-                pct(set.outcomes.iter().filter(|o| o.correct).count(), set.len()),
+                fmt_num(Summary::of(&set.energies).mean),
+                fmt_num(Summary::of(&set.rounds).mean),
+                pct(set.correct, set.successes()),
             ]);
         }
-        let ke = Summary::of(&known.energies()).mean.max(1e-9);
-        let ue = Summary::of(&unknown.energies()).mean;
-        let kr = Summary::of(&known.rounds()).mean.max(1e-9);
-        let ur = Summary::of(&unknown.rounds()).mean;
+        let ke = Summary::of(&known.energies).mean.max(1e-9);
+        let ue = Summary::of(&unknown.energies).mean;
+        let kr = Summary::of(&known.rounds).mean.max(1e-9);
+        let ur = Summary::of(&unknown.rounds).mean;
         energy_ratios.push(ue / ke);
         round_ratios.push(ur / kr);
     }
@@ -98,7 +112,7 @@ mod tests {
 
     #[test]
     fn quick_run_reports_overheads() {
-        let out = run(&ExpConfig::quick(29));
+        let out = run(&ExpConfig::quick(29), &Orchestrator::ephemeral());
         assert_eq!(out.sections[0].table.len(), 4);
         assert!(out.findings[0].contains("overhead"));
     }

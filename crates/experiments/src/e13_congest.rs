@@ -7,14 +7,27 @@
 //! EXPERIMENTS.md can show the radio-vs-wired gap concretely.
 
 use crate::harness::{ExpConfig, ExperimentOutput, Section};
+use crate::orchestrator::{Orchestrator, UnitKey};
 use congest_sim::{CongestSim, GhaffariCongest, LubyCongest};
 use mis_graphs::generators::Family;
 use mis_stats::table::fmt_num;
 use mis_stats::{LineChart, Summary, Table};
 use radio_netsim::split_seed;
+use serde::{Deserialize, Serialize};
+
+/// Cached value of one `(n, algorithm)` cell: per-trial awake/round
+/// measurements from the wired CONGEST simulator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CongestCell {
+    maxes: Vec<f64>,
+    avgs: Vec<f64>,
+    rounds: Vec<f64>,
+    ok: bool,
+    cost: u64,
+}
 
 /// Runs E13.
-pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
+pub fn run(cfg: &ExpConfig, orch: &Orchestrator) -> ExperimentOutput {
     let ns = cfg.ns(8, if cfg.quick { 10 } else { 12 });
     let trials = cfg.trials(10);
     let mut table = Table::new([
@@ -30,34 +43,61 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
     for &n in &ns {
         let g = Family::GnpAvgDegree(8).generate(n, cfg.seed ^ n as u64);
         for alg in ["Luby", "Ghaffari"] {
-            let mut maxes = Vec::new();
-            let mut avgs = Vec::new();
-            let mut rounds = Vec::new();
-            let mut ok = true;
-            for t in 0..trials {
-                let seed = split_seed(cfg.seed, ((n as u64) << 8) ^ t as u64);
-                let report = if alg == "Luby" {
-                    CongestSim::new(&g, seed).run(|_, _| LubyCongest::new(n))
-                } else {
-                    CongestSim::new(&g, seed)
-                        .run(|_, _| GhaffariCongest::new(n, g.max_degree().max(1)))
-                };
-                ok &= report.is_correct_mis(&g);
-                maxes.push(report.max_awake() as f64);
-                avgs.push(report.avg_awake());
-                rounds.push(report.rounds as f64);
-            }
+            let cell = orch.unit_with_cost(
+                &UnitKey::new("e13", format!("n={n}/{alg}"))
+                    .with(
+                        "graph",
+                        format!(
+                            "{}/seed={:#x}",
+                            Family::GnpAvgDegree(8).label(),
+                            cfg.seed ^ n as u64
+                        ),
+                    )
+                    .with("n", n)
+                    .with("alg", format!("{alg}Congest"))
+                    .with("seed", cfg.seed)
+                    .with("trials", trials),
+                || {
+                    let mut maxes = Vec::new();
+                    let mut avgs = Vec::new();
+                    let mut rounds = Vec::new();
+                    let mut ok = true;
+                    let mut cost = 0u64;
+                    for t in 0..trials {
+                        let seed = split_seed(cfg.seed, ((n as u64) << 8) ^ t as u64);
+                        let report = if alg == "Luby" {
+                            CongestSim::new(&g, seed).run(|_, _| LubyCongest::new(n))
+                        } else {
+                            CongestSim::new(&g, seed)
+                                .run(|_, _| GhaffariCongest::new(n, g.max_degree().max(1)))
+                        };
+                        ok &= report.is_correct_mis(&g);
+                        cost += report.awake.iter().sum::<u64>();
+                        maxes.push(report.max_awake() as f64);
+                        avgs.push(report.avg_awake());
+                        rounds.push(report.rounds as f64);
+                    }
+                    CongestCell {
+                        maxes,
+                        avgs,
+                        rounds,
+                        ok,
+                        cost,
+                    }
+                },
+                |c| c.cost,
+            );
             curves
                 .entry(alg)
                 .or_default()
-                .push((n as f64, Summary::of(&maxes).mean));
+                .push((n as f64, Summary::of(&cell.maxes).mean));
             table.push_row([
                 n.to_string(),
                 alg.to_string(),
-                fmt_num(Summary::of(&maxes).mean),
-                fmt_num(Summary::of(&avgs).mean),
-                fmt_num(Summary::of(&rounds).mean),
-                ok.to_string(),
+                fmt_num(Summary::of(&cell.maxes).mean),
+                fmt_num(Summary::of(&cell.avgs).mean),
+                fmt_num(Summary::of(&cell.rounds).mean),
+                cell.ok.to_string(),
             ]);
         }
     }
@@ -103,7 +143,7 @@ mod tests {
 
     #[test]
     fn quick_run_all_correct() {
-        let out = run(&ExpConfig::quick(31));
+        let out = run(&ExpConfig::quick(31), &Orchestrator::ephemeral());
         assert!(!out.sections[0].table.is_empty());
         assert!(out.sections[0].table.to_markdown().contains("true"));
         assert!(!out.sections[0].table.to_markdown().contains("false"));

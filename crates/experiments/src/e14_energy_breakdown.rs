@@ -8,12 +8,23 @@
 //! the shallow checks must be marginal.
 
 use crate::harness::{run_nocd_instrumented, ExpConfig, ExperimentOutput, Section};
+use crate::orchestrator::{Orchestrator, UnitKey};
 use mis_graphs::generators::Family;
 use mis_stats::table::fmt_num;
 use mis_stats::{LineChart, Summary, Table};
 use radio_mis::nocd::EnergyBreakdown;
 use radio_mis::params::NoCdParams;
 use radio_netsim::split_seed;
+use serde::{Deserialize, Serialize};
+
+/// Cached value of one size cell: trial-averaged per-component energy of
+/// the max-energy node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BreakdownCell {
+    agg: [f64; 5],
+    total_max: f64,
+    cost: u64,
+}
 
 /// Mean of one component across nodes (max-energy nodes dominate the
 /// claim, so we track both mean and the breakdown of the argmax node).
@@ -32,7 +43,7 @@ fn component_stats(
 }
 
 /// Runs E14.
-pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
+pub fn run(cfg: &ExpConfig, orch: &Orchestrator) -> ExperimentOutput {
     let ns = cfg.ns(6, if cfg.quick { 8 } else { 11 });
     let trials = cfg.trials(6);
     let mut table = Table::new([
@@ -59,26 +70,55 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
     for &n in &ns {
         let g = Family::GnpAvgDegree(8).generate(n, cfg.seed ^ n as u64);
         let params = NoCdParams::for_n(n, g.max_degree().max(2));
-        // Aggregate the max-energy node's breakdown across trials.
-        let mut agg = [0f64; 5];
-        let mut total_max = 0f64;
-        for t in 0..trials {
-            let seed = split_seed(cfg.seed ^ 0x14, ((n as u64) << 8) ^ t as u64);
-            let (_, inst) = run_nocd_instrumented(&g, params, seed);
-            let picks: [fn(&EnergyBreakdown) -> u64; 5] = [
-                |b| b.competition,
-                |b| b.deep_checks,
-                |b| b.low_degree,
-                |b| b.shallow_checks,
-                |b| b.announcements,
-            ];
-            for (i, pick) in picks.iter().enumerate() {
-                let (_, at_max) = component_stats(&inst.breakdowns, pick);
-                agg[i] += at_max as f64 / trials as f64;
-            }
-            total_max +=
-                inst.breakdowns.iter().map(|b| b.total()).max().unwrap_or(0) as f64 / trials as f64;
-        }
+        let cell = orch.unit_with_cost(
+            &UnitKey::new("e14", format!("n={n}"))
+                .with(
+                    "graph",
+                    format!(
+                        "{}/seed={:#x}",
+                        Family::GnpAvgDegree(8).label(),
+                        cfg.seed ^ n as u64
+                    ),
+                )
+                .with("n", n)
+                .with("alg", "NoCdMis/instrumented")
+                .with("params", format!("{params:?}"))
+                .with("seed", cfg.seed ^ 0x14)
+                .with("trials", trials),
+            || {
+                // Aggregate the max-energy node's breakdown across trials.
+                let mut agg = [0f64; 5];
+                let mut total_max = 0f64;
+                let mut cost = 0u64;
+                for t in 0..trials {
+                    let seed = split_seed(cfg.seed ^ 0x14, ((n as u64) << 8) ^ t as u64);
+                    let (report, inst) = run_nocd_instrumented(&g, params, seed);
+                    cost += report.meters.iter().map(|m| m.energy()).sum::<u64>();
+                    let picks: [fn(&EnergyBreakdown) -> u64; 5] = [
+                        |b| b.competition,
+                        |b| b.deep_checks,
+                        |b| b.low_degree,
+                        |b| b.shallow_checks,
+                        |b| b.announcements,
+                    ];
+                    for (i, pick) in picks.iter().enumerate() {
+                        let (_, at_max) = component_stats(&inst.breakdowns, pick);
+                        agg[i] += at_max as f64 / trials as f64;
+                    }
+                    total_max += inst.breakdowns.iter().map(|b| b.total()).max().unwrap_or(0)
+                        as f64
+                        / trials as f64;
+                }
+                BreakdownCell {
+                    agg,
+                    total_max,
+                    cost,
+                }
+            },
+            |c| c.cost,
+        );
+        let agg = cell.agg;
+        let total_max = cell.total_max;
         table.push_row([
             n.to_string(),
             fmt_num(agg[0]),
@@ -152,7 +192,7 @@ mod tests {
 
     #[test]
     fn quick_run_matches_figure2_ordering() {
-        let out = run(&ExpConfig::quick(37));
+        let out = run(&ExpConfig::quick(37), &Orchestrator::ephemeral());
         assert!(!out.findings[0].contains("WARNING"), "{}", out.findings[0]);
         assert_eq!(out.charts.len(), 1);
     }

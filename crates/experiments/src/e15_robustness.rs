@@ -20,6 +20,7 @@
 //! round count — hitting the cap is itself the measured degradation.
 
 use crate::harness::{pct, ExpConfig, ExperimentOutput, Section};
+use crate::orchestrator::{Orchestrator, UnitKey};
 use mis_graphs::generators::Family;
 use mis_graphs::Graph;
 use mis_stats::{LineChart, Table};
@@ -28,6 +29,7 @@ use radio_mis::nocd::NoCdMis;
 use radio_mis::params::{CdParams, NoCdParams};
 use radio_netsim::{split_seed, ChannelModel, FaultPlan, SimConfig, Simulator};
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 
 #[derive(Clone, Copy)]
 enum Alg {
@@ -35,16 +37,33 @@ enum Alg {
     NoCd,
 }
 
-/// Aggregates of one (algorithm, fault plan) grid cell.
+/// Aggregates of one (algorithm, fault plan) grid cell — the cached unit
+/// value of the fault grid.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct Cell {
     success: f64,
     undecided: f64,
     mean_energy: f64,
     mean_rounds: f64,
+    cost: u64,
+}
+
+/// Cached value of one fault-counter validation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CounterRow {
+    faded: u64,
+    lost: u64,
+    crashed: u32,
+    jamming: u32,
+    jammed: u64,
+    cost: u64,
 }
 
 #[allow(clippy::too_many_arguments)]
 fn run_cell(
+    orch: &Orchestrator,
+    cell_id: &str,
+    graph_recipe: &str,
     g: &Graph,
     alg: Alg,
     cd: CdParams,
@@ -54,45 +73,68 @@ fn run_cell(
     seed_base: u64,
     trials: usize,
 ) -> Cell {
-    let outcomes: Vec<(bool, f64, u64, u64)> = (0..trials)
-        .into_par_iter()
-        .map(|t| {
-            let seed = split_seed(seed_base, t as u64);
-            let channel = match alg {
-                Alg::Cd => ChannelModel::Cd,
-                Alg::NoCd => ChannelModel::NoCd,
-            };
-            let config = SimConfig::new(channel)
-                .with_seed(seed)
-                .with_faults(plan.clone())
-                .with_max_rounds(cap);
-            let sim = Simulator::new(g, config);
-            let report = match alg {
-                Alg::Cd => sim.run(|_, _| CdMis::new(cd)),
-                Alg::NoCd => sim.run(|_, _| NoCdMis::new(nocd)),
-            };
-            let faulty = report.faulty.iter().filter(|&&f| f).count();
-            let non_faulty = (report.len() - faulty).max(1);
-            (
-                report.is_correct_mis(g),
-                report.undecided_count() as f64 / non_faulty as f64,
-                report.max_energy(),
-                report.rounds,
-            )
-        })
-        .collect();
-    let t = outcomes.len().max(1) as f64;
-    Cell {
-        success: outcomes.iter().filter(|o| o.0).count() as f64 / t,
-        undecided: outcomes.iter().map(|o| o.1).sum::<f64>() / t,
-        mean_energy: outcomes.iter().map(|o| o.2 as f64).sum::<f64>() / t,
-        mean_rounds: outcomes.iter().map(|o| o.3 as f64).sum::<f64>() / t,
-    }
+    let (alg_label, params_fp) = match alg {
+        Alg::Cd => ("CdMis", format!("{cd:?}")),
+        Alg::NoCd => ("NoCdMis", format!("{nocd:?}")),
+    };
+    orch.unit_with_cost(
+        &UnitKey::new("e15", cell_id)
+            .with("graph", graph_recipe)
+            .with("n", g.len())
+            .with("alg", alg_label)
+            .with("params", params_fp)
+            .with("faults", format!("{plan:?}"))
+            .with("cap", cap)
+            .with("seed", seed_base)
+            .with("trials", trials),
+        || {
+            let outcomes: Vec<(bool, f64, u64, u64, u64)> = (0..trials)
+                .into_par_iter()
+                .map(|t| {
+                    let seed = split_seed(seed_base, t as u64);
+                    let channel = match alg {
+                        Alg::Cd => ChannelModel::Cd,
+                        Alg::NoCd => ChannelModel::NoCd,
+                    };
+                    let config = SimConfig::new(channel)
+                        .with_seed(seed)
+                        .with_faults(plan.clone())
+                        .with_max_rounds(cap);
+                    let sim = Simulator::new(g, config);
+                    let report = match alg {
+                        Alg::Cd => sim.run(|_, _| CdMis::new(cd)),
+                        Alg::NoCd => sim.run(|_, _| NoCdMis::new(nocd)),
+                    };
+                    let faulty = report.faulty.iter().filter(|&&f| f).count();
+                    let non_faulty = (report.len() - faulty).max(1);
+                    (
+                        report.is_correct_mis(g),
+                        report.undecided_count() as f64 / non_faulty as f64,
+                        report.max_energy(),
+                        report.rounds,
+                        report.meters.iter().map(|m| m.energy()).sum(),
+                    )
+                })
+                .collect();
+            let t = outcomes.len().max(1) as f64;
+            Cell {
+                success: outcomes.iter().filter(|o| o.0).count() as f64 / t,
+                undecided: outcomes.iter().map(|o| o.1).sum::<f64>() / t,
+                mean_energy: outcomes.iter().map(|o| o.2 as f64).sum::<f64>() / t,
+                mean_rounds: outcomes.iter().map(|o| o.3 as f64).sum::<f64>() / t,
+                cost: outcomes.iter().map(|o| o.4).sum(),
+            }
+        },
+        |c| c.cost,
+    )
 }
 
 /// One grid sweep: per intensity, both algorithms, three metrics each.
 #[allow(clippy::too_many_arguments)]
 fn sweep(
+    orch: &Orchestrator,
+    kind: &str,
+    graph_recipe: &str,
     g: &Graph,
     cd: CdParams,
     nocd: NoCdParams,
@@ -116,6 +158,9 @@ fn sweep(
     let mut cells = Vec::new();
     for (i, (label, x, plan)) in intensities.iter().enumerate() {
         let a1 = run_cell(
+            orch,
+            &format!("{kind}/{label}/A1"),
+            graph_recipe,
             g,
             Alg::Cd,
             cd,
@@ -126,6 +171,9 @@ fn sweep(
             trials,
         );
         let a2 = run_cell(
+            orch,
+            &format!("{kind}/{label}/A2"),
+            graph_recipe,
             g,
             Alg::NoCd,
             cd,
@@ -156,16 +204,24 @@ fn sweep(
 }
 
 /// Runs E15.
-pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
+pub fn run(cfg: &ExpConfig, orch: &Orchestrator) -> ExperimentOutput {
     let n = if cfg.quick { 64 } else { 256 };
     let trials = cfg.trials(12);
     let g = Family::GnpAvgDegree(8).generate(n, cfg.seed ^ 0x15);
     let cd_params = CdParams::for_n(4 * n);
     let nocd_params = NoCdParams::for_n(4 * n, g.max_degree().max(2));
+    let graph_recipe = format!(
+        "{}/seed={:#x}",
+        Family::GnpAvgDegree(8).label(),
+        cfg.seed ^ 0x15
+    );
 
     // Fault-free baselines (also the 0-intensity cell of every sweep) and
     // the shared round cap: 20× the slower baseline's mean rounds.
     let base_cd = run_cell(
+        orch,
+        "baseline/A1",
+        &graph_recipe,
         &g,
         Alg::Cd,
         cd_params,
@@ -176,6 +232,9 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
         trials,
     );
     let base_nocd = run_cell(
+        orch,
+        "baseline/A2",
+        &graph_recipe,
         &g,
         Alg::NoCd,
         cd_params,
@@ -254,6 +313,9 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
         .collect();
 
     let (loss_table, loss_chart, loss_cells) = sweep(
+        orch,
+        "loss",
+        &graph_recipe,
         &g,
         cd_params,
         nocd_params,
@@ -264,6 +326,9 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
         &baselines,
     );
     let (crash_table, crash_chart, crash_cells) = sweep(
+        orch,
+        "crash",
+        &graph_recipe,
         &g,
         cd_params,
         nocd_params,
@@ -274,6 +339,9 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
         &baselines,
     );
     let (jam_table, jam_chart, jam_cells) = sweep(
+        orch,
+        "jam",
+        &graph_recipe,
         &g,
         cd_params,
         nocd_params,
@@ -284,6 +352,9 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
         &baselines,
     );
     let (wake_table, wake_chart, _) = sweep(
+        orch,
+        "wake",
+        &graph_recipe,
         &g,
         cd_params,
         nocd_params,
@@ -320,25 +391,40 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
             .with_faults(plan.clone())
             .with_max_rounds(cap)
             .with_round_metrics();
-        let report = Simulator::new(&g, config).run(|_, _| NoCdMis::new(nocd_params));
-        let tl = report.metrics_timeline();
-        let faded: u64 = tl.iter().map(|m| u64::from(m.faded_edges)).sum();
-        let lost: u64 = tl.iter().map(|m| u64::from(m.lost_receptions)).sum();
-        let crashed: u32 = tl.iter().map(|m| m.crashed).max().unwrap_or(0);
-        let jamming: u32 = tl.iter().map(|m| m.jamming).max().unwrap_or(0);
-        let jammed: u64 = tl.iter().map(|m| u64::from(m.jammed_receptions)).sum();
+        let row = orch.unit_with_cost(
+            &UnitKey::new("e15", format!("counters/{label}"))
+                .with("graph", &graph_recipe)
+                .with("n", n)
+                .with("alg", "NoCdMis")
+                .with("params", format!("{nocd_params:?}"))
+                .with("sim", config.fingerprint()),
+            || {
+                let report =
+                    Simulator::new(&g, config.clone()).run(|_, _| NoCdMis::new(nocd_params));
+                let tl = report.metrics_timeline();
+                CounterRow {
+                    faded: tl.iter().map(|m| u64::from(m.faded_edges)).sum(),
+                    lost: tl.iter().map(|m| u64::from(m.lost_receptions)).sum(),
+                    crashed: tl.iter().map(|m| m.crashed).max().unwrap_or(0),
+                    jamming: tl.iter().map(|m| m.jamming).max().unwrap_or(0),
+                    jammed: tl.iter().map(|m| u64::from(m.jammed_receptions)).sum(),
+                    cost: report.meters.iter().map(|m| m.energy()).sum(),
+                }
+            },
+            |r| r.cost,
+        );
         counters_seen &= match *label {
-            "loss 0.3" => faded > 0 && lost > 0,
-            "10% crash" => crashed > 0,
-            _ => jamming > 0,
+            "loss 0.3" => row.faded > 0 && row.lost > 0,
+            "10% crash" => row.crashed > 0,
+            _ => row.jamming > 0,
         };
         counter_table.push_row([
             (*label).to_string(),
-            faded.to_string(),
-            lost.to_string(),
-            crashed.to_string(),
-            jamming.to_string(),
-            jammed.to_string(),
+            row.faded.to_string(),
+            row.lost.to_string(),
+            row.crashed.to_string(),
+            row.jamming.to_string(),
+            row.jammed.to_string(),
         ]);
     }
 
@@ -453,7 +539,7 @@ mod tests {
 
     #[test]
     fn quick_run_covers_the_full_fault_grid() {
-        let out = run(&ExpConfig::quick(41));
+        let out = run(&ExpConfig::quick(41), &Orchestrator::ephemeral());
         assert_eq!(out.sections.len(), 5);
         assert_eq!(out.charts.len(), 4);
         // Every sweep's fault-free cell must succeed outright.

@@ -26,6 +26,7 @@
 //! once, plus a constant number of cover checks).
 
 use crate::harness::{pct, ExpConfig, ExperimentOutput, Section};
+use crate::orchestrator::{Orchestrator, UnitKey};
 use mis_graphs::generators::Family;
 use mis_graphs::Graph;
 use mis_stats::{LineChart, Summary, Table};
@@ -37,20 +38,46 @@ use radio_netsim::{
     NodeStatus, Protocol, SimConfig, Simulator,
 };
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 use std::sync::Mutex;
 
-/// Aggregates of one fault-plan grid cell.
+/// Aggregates of one fault-plan grid cell — the cached unit value.
+///
+/// Convergence rounds are stored as the *finite* subset (`conv` is
+/// recomputed at render time) because `serde_json` cannot round-trip the
+/// NaN that marks a non-reconverged trial.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct Cell {
     converged: usize,
     aborted: usize,
     trials: usize,
-    conv: Summary,
+    finite_convs: Vec<f64>,
     mean_energy: f64,
     mean_events: f64,
+    cost: u64,
+}
+
+impl Cell {
+    fn conv(&self) -> Summary {
+        Summary::of_finite(&self.finite_convs)
+    }
+}
+
+/// Cached value of the instrumented repair-ledger audit run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct AuditSample {
+    repairs: u64,
+    repair_rounds: u64,
+    monitor_rounds: u64,
+    rounds: u64,
+    cost: u64,
 }
 
 #[allow(clippy::too_many_arguments)]
 fn run_cell(
+    orch: &Orchestrator,
+    cell_id: &str,
+    graph_recipe: &str,
     g: &Graph,
     params: CdParams,
     rc: RepairConfig,
@@ -60,42 +87,66 @@ fn run_cell(
     seed_base: u64,
     trials: usize,
 ) -> Cell {
-    let outcomes: Vec<(f64, bool, u64, u64)> = (0..trials)
-        .into_par_iter()
-        .map(|t| {
-            let config = SimConfig::new(ChannelModel::Cd)
-                .with_seed(split_seed(seed_base, t as u64))
-                .with_faults(plan.clone())
-                .with_convergence(policy)
-                .with_max_rounds(cap)
-                .with_round_metrics();
-            let report = Simulator::new(g, config)
-                .run(|_, _| RepairingMis::new(rc, move |_rng: &mut NodeRng| CdMis::new(params)));
-            let conv = report.converged_at.map_or(f64::NAN, |c| c as f64);
-            let events = report
-                .metrics_timeline()
-                .last()
-                .map_or(0, |m| u64::from(m.recovered) + u64::from(m.joined));
-            (conv, report.watchdog_fired, report.max_energy(), events)
-        })
-        .collect();
-    let t = outcomes.len().max(1) as f64;
-    let convs: Vec<f64> = outcomes.iter().map(|o| o.0).collect();
-    Cell {
-        converged: convs.iter().filter(|c| c.is_finite()).count(),
-        aborted: outcomes.iter().filter(|o| o.1).count(),
-        trials: outcomes.len(),
-        conv: Summary::of_finite(&convs),
-        mean_energy: outcomes.iter().map(|o| o.2 as f64).sum::<f64>() / t,
-        mean_events: outcomes.iter().map(|o| o.3 as f64).sum::<f64>() / t,
-    }
+    orch.unit_with_cost(
+        &UnitKey::new("e16", cell_id)
+            .with("graph", graph_recipe)
+            .with("n", g.len())
+            .with("alg", "RepairingMis/CdMis")
+            .with("params", format!("{params:?}/{rc:?}"))
+            .with("faults", format!("{plan:?}"))
+            .with("policy", format!("{policy:?}"))
+            .with("cap", cap)
+            .with("seed", seed_base)
+            .with("trials", trials),
+        || {
+            let outcomes: Vec<(f64, bool, u64, u64, u64)> = (0..trials)
+                .into_par_iter()
+                .map(|t| {
+                    let config = SimConfig::new(ChannelModel::Cd)
+                        .with_seed(split_seed(seed_base, t as u64))
+                        .with_faults(plan.clone())
+                        .with_convergence(policy)
+                        .with_max_rounds(cap)
+                        .with_round_metrics();
+                    let report = Simulator::new(g, config).run(|_, _| {
+                        RepairingMis::new(rc, move |_rng: &mut NodeRng| CdMis::new(params))
+                    });
+                    let conv = report.converged_at.map_or(f64::NAN, |c| c as f64);
+                    let events = report
+                        .metrics_timeline()
+                        .last()
+                        .map_or(0, |m| u64::from(m.recovered) + u64::from(m.joined));
+                    (
+                        conv,
+                        report.watchdog_fired,
+                        report.max_energy(),
+                        events,
+                        report.meters.iter().map(|m| m.energy()).sum(),
+                    )
+                })
+                .collect();
+            let t = outcomes.len().max(1) as f64;
+            let convs: Vec<f64> = outcomes.iter().map(|o| o.0).collect();
+            Cell {
+                converged: convs.iter().filter(|c| c.is_finite()).count(),
+                aborted: outcomes.iter().filter(|o| o.1).count(),
+                trials: outcomes.len(),
+                finite_convs: convs.into_iter().filter(|c| c.is_finite()).collect(),
+                mean_energy: outcomes.iter().map(|o| o.2 as f64).sum::<f64>() / t,
+                mean_events: outcomes.iter().map(|o| o.3 as f64).sum::<f64>() / t,
+                cost: outcomes.iter().map(|o| o.4).sum(),
+            }
+        },
+        |c| c.cost,
+    )
 }
 
 fn push_cell_row(table: &mut Table, label: &str, cell: &Cell, base_energy: f64) {
-    let conv_col = if cell.conv.count == 0 {
+    let conv = cell.conv();
+    let conv_col = if conv.count == 0 {
         "n/a".to_string()
     } else {
-        format!("{:.0}", cell.conv.mean)
+        format!("{:.0}", conv.mean)
     };
     table.push_row([
         label.to_string(),
@@ -152,10 +203,15 @@ impl Protocol for Audit<'_> {
 }
 
 /// Runs E16.
-pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
+pub fn run(cfg: &ExpConfig, orch: &Orchestrator) -> ExperimentOutput {
     let n = if cfg.quick { 24 } else { 64 };
     let trials = cfg.trials(9);
     let g = Family::GnpAvgDegree(6).generate(n, cfg.seed ^ 0x16);
+    let graph_recipe = format!(
+        "{}/seed={:#x}",
+        Family::GnpAvgDegree(6).label(),
+        cfg.seed ^ 0x16
+    );
     let params = CdParams::for_n(4 * n);
     let rc = RepairConfig::for_cd(params.total_rounds());
     let e = rc.epoch_len();
@@ -171,6 +227,9 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
     // after the stability window, and the energy is the inner schedule plus
     // a few epochs of monitoring.
     let base = run_cell(
+        orch,
+        "baseline",
+        &graph_recipe,
         &g,
         params,
         rc,
@@ -200,6 +259,9 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
             FaultPlan::none().with_churn(load / churn_until as f64, churn_until, downtime)
         };
         let cell = run_cell(
+            orch,
+            &format!("churn/load={load:.1}"),
+            &graph_recipe,
             &g,
             params,
             rc,
@@ -266,6 +328,9 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
     let mut kind_cells = Vec::new();
     for (i, (label, plan)) in kinds.iter().enumerate() {
         let cell = run_cell(
+            orch,
+            &format!("kind/{label}"),
+            &graph_recipe,
             &g,
             params,
             rc,
@@ -281,26 +346,54 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
 
     // Repair energy audit: one instrumented churn run, banking every
     // instance's ledger (including pre-revival instances) on drop.
-    let totals = Mutex::new((0u64, 0u64, 0u64));
     let audit_plan = FaultPlan::none().with_churn(2.0 / churn_until as f64, churn_until, downtime);
     let audit_config = SimConfig::new(ChannelModel::Cd)
         .with_seed(cfg.seed ^ 0x63)
         .with_faults(audit_plan)
         .with_convergence(policy)
         .with_max_rounds(cap);
-    let audit_report = Simulator::new(&g, audit_config).run(|_, _| Audit {
-        inner: RepairingMis::new(rc, Box::new(move |_rng: &mut NodeRng| CdMis::new(params))),
-        totals: &totals,
-    });
-    let (repairs, repair_rounds, monitor_rounds) = *totals.lock().expect("no poisoning");
+    let audit = orch.unit_with_cost(
+        &UnitKey::new("e16", "audit/churn")
+            .with("graph", &graph_recipe)
+            .with("n", n)
+            .with("alg", "RepairingMis/CdMis/audit")
+            .with("params", format!("{params:?}/{rc:?}"))
+            .with("sim", audit_config.fingerprint()),
+        || {
+            let totals = Mutex::new((0u64, 0u64, 0u64));
+            let report = Simulator::new(&g, audit_config.clone()).run(|_, _| Audit {
+                inner: RepairingMis::new(
+                    rc,
+                    Box::new(move |_rng: &mut NodeRng| CdMis::new(params)),
+                ),
+                totals: &totals,
+            });
+            let (repairs, repair_rounds, monitor_rounds) = *totals.lock().expect("no poisoning");
+            AuditSample {
+                repairs,
+                repair_rounds,
+                monitor_rounds,
+                rounds: report.rounds,
+                cost: report.meters.iter().map(|m| m.energy()).sum(),
+            }
+        },
+        |a| a.cost,
+    );
+    let (repairs, repair_rounds, monitor_rounds) =
+        (audit.repairs, audit.repair_rounds, audit.monitor_rounds);
     // Claimed bound per repair: one inner-schedule re-run (O(log n) awake
     // rounds — measured as the fault-free mean energy of plain CdMis) plus
     // miss_threshold + 1 cover checks.
-    let plain = Simulator::new(
-        &g,
-        SimConfig::new(ChannelModel::Cd).with_seed(cfg.seed ^ 0x64),
-    )
-    .run(|_, _| CdMis::new(params));
+    let plain_config = SimConfig::new(ChannelModel::Cd).with_seed(cfg.seed ^ 0x64);
+    let plain = orch.report(
+        &UnitKey::new("e16", "audit/plain-cd")
+            .with("graph", &graph_recipe)
+            .with("n", n)
+            .with("alg", "CdMis")
+            .with("params", format!("{params:?}"))
+            .with("sim", plain_config.fingerprint()),
+        || Simulator::new(&g, plain_config.clone()).run(|_, _| CdMis::new(params)),
+    );
     let claimed_per_repair = plain.meters.iter().map(|m| m.energy() as f64).sum::<f64>()
         / plain.len().max(1) as f64
         + f64::from(rc.miss_threshold + 1);
@@ -309,7 +402,7 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
     } else {
         repair_rounds as f64 / repairs as f64
     };
-    let epochs_elapsed = (audit_report.rounds / e).max(1);
+    let epochs_elapsed = (audit.rounds / e).max(1);
     let mut audit_table = Table::new(["quantity", "value"]);
     audit_table.push_row(["revoked decisions (repairs)".into(), repairs.to_string()]);
     audit_table.push_row([
@@ -373,16 +466,17 @@ pub fn run(cfg: &ExpConfig) -> ExperimentOutput {
             .into(),
     ];
     if let Some((load, cell)) = worst_churn {
+        let conv = cell.conv();
         findings.push(format!(
             "at churn ×{load:.1} ({:.1} revivals+joins per trial) the run still \
              reconverges in {}/{} trials, converging on average at round {}",
             cell.mean_events,
             cell.converged,
             cell.trials,
-            if cell.conv.count == 0 {
+            if conv.count == 0 {
                 "n/a".to_string()
             } else {
-                format!("{:.0}", cell.conv.mean)
+                format!("{:.0}", conv.mean)
             }
         ));
     }
@@ -428,7 +522,7 @@ mod tests {
 
     #[test]
     fn quick_run_reconverges_every_cell() {
-        let out = run(&ExpConfig::quick(16));
+        let out = run(&ExpConfig::quick(16), &Orchestrator::ephemeral());
         assert_eq!(out.id, "e16");
         assert_eq!(out.sections.len(), 3);
         assert_eq!(out.charts.len(), 1);

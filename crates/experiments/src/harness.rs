@@ -29,6 +29,20 @@ impl Default for ExpConfig {
 
 impl ExpConfig {
     /// A quick-mode config (used by the test suite).
+    ///
+    /// ```
+    /// use mis_experiments::ExpConfig;
+    ///
+    /// let quick = ExpConfig::quick(7);
+    /// assert!(quick.quick);
+    /// // Sweeps truncate to three sizes and trial counts shrink to a third.
+    /// assert_eq!(quick.ns(6, 12), vec![64, 128, 256]);
+    /// assert_eq!(quick.trials(30), 10);
+    ///
+    /// let full = ExpConfig::default();
+    /// assert_eq!(full.ns(6, 8), vec![64, 128, 256]);
+    /// assert_eq!(full.trials(30), 30);
+    /// ```
     pub fn quick(seed: u64) -> ExpConfig {
         ExpConfig { quick: true, seed }
     }
@@ -197,6 +211,60 @@ pub fn run_nocd_instrumented(
     (report, cell.into_inner().expect("no poisoning"))
 }
 
+/// An order-preserving collection sink for results produced on the shared
+/// scheduler.
+///
+/// Under the orchestrator, experiments (and sweep cells within one
+/// experiment) complete in work-stealing order, which varies run to run.
+/// Anything that assembles user-visible output from parallel work must
+/// therefore collect through this sink — results are pushed under a lock
+/// tagged with their unit index and read back *sorted by index*, never by
+/// completion time — or `experiment_results.md` would not be reproducible,
+/// let alone byte-identical between cold and warm cache runs.
+pub struct OrderedSink<T> {
+    slots: Mutex<Vec<(usize, T)>>,
+}
+
+impl<T> OrderedSink<T> {
+    /// An empty sink.
+    pub fn new() -> OrderedSink<T> {
+        OrderedSink {
+            slots: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Records the result of unit `index`. Callable from any thread.
+    pub fn push(&self, index: usize, value: T) {
+        self.slots
+            .lock()
+            .expect("no poisoning")
+            .push((index, value));
+    }
+
+    /// Results collected so far.
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("no poisoning").len()
+    }
+
+    /// Whether nothing has been collected yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Consumes the sink, returning the values sorted by unit index.
+    pub fn into_ordered(self) -> Vec<T> {
+        let mut slots = self.slots.into_inner().expect("no poisoning");
+        slots.sort_by_key(|&(i, _)| i);
+        slots.into_iter().map(|(_, v)| v).collect()
+    }
+}
+
+impl<T> Default for OrderedSink<T> {
+    fn default() -> OrderedSink<T> {
+        OrderedSink::new()
+    }
+}
+
 /// Formats a success-rate as `"97% (29/30)"`.
 pub fn pct(successes: usize, total: usize) -> String {
     if total == 0 {
@@ -261,5 +329,21 @@ mod tests {
     fn pct_formatting() {
         assert_eq!(pct(29, 30), "97% (29/30)");
         assert_eq!(pct(0, 0), "n/a");
+    }
+
+    #[test]
+    fn ordered_sink_orders_by_unit_index_not_completion_time() {
+        // Push in reverse "completion" order from parallel workers; the
+        // sink must still read back in unit order.
+        use rayon::prelude::*;
+        let sink = OrderedSink::new();
+        assert!(sink.is_empty());
+        (0..16usize).into_par_iter().rev().for_each(|i| {
+            sink.push(i, format!("unit-{i}"));
+        });
+        assert_eq!(sink.len(), 16);
+        let ordered = sink.into_ordered();
+        let expect: Vec<String> = (0..16).map(|i| format!("unit-{i}")).collect();
+        assert_eq!(ordered, expect);
     }
 }

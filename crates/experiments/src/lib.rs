@@ -25,9 +25,13 @@
 //!
 //! Run everything with `cargo run --release -p mis-experiments --bin
 //! experiments -- all`; each experiment is deterministic given `--seed`.
+//! Every experiment resolves its simulation work through the
+//! [`orchestrator`]: with `--cache-dir`, results are content-addressed and
+//! reruns recompute only invalidated cells (see
+//! `docs/EXPERIMENT_PIPELINE.md`).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod e01_lower_bound;
 pub mod e02_cd_scaling;
@@ -46,8 +50,10 @@ pub mod e14_energy_breakdown;
 pub mod e15_robustness;
 pub mod e16_churn_recovery;
 pub mod harness;
+pub mod orchestrator;
 
-pub use harness::{ExpConfig, ExperimentOutput, Section};
+pub use harness::{ExpConfig, ExperimentOutput, OrderedSink, Section};
+pub use orchestrator::{Orchestrator, RunManifest, TrialStats, UnitKey, UnitRecord};
 
 /// All experiment ids, in order.
 pub const ALL_IDS: [&str; 16] = [
@@ -55,29 +61,58 @@ pub const ALL_IDS: [&str; 16] = [
     "e16",
 ];
 
-/// Runs one experiment by id.
+/// Runs one experiment by id with a throwaway (uncached) orchestrator.
 ///
 /// # Panics
 ///
 /// Panics on an unknown id (the binary validates first).
 pub fn run_experiment(id: &str, cfg: &ExpConfig) -> ExperimentOutput {
+    run_experiment_in(id, cfg, &Orchestrator::ephemeral())
+}
+
+/// Runs one experiment by id, resolving its job units through `orch` —
+/// the cache-aware entry point behind [`run_experiment`] and [`run_all`].
+///
+/// # Panics
+///
+/// Panics on an unknown id (the binary validates first).
+pub fn run_experiment_in(id: &str, cfg: &ExpConfig, orch: &Orchestrator) -> ExperimentOutput {
     match id {
-        "e1" => e01_lower_bound::run(cfg),
-        "e2" => e02_cd_scaling::run(cfg),
-        "e3" => e03_nocd_scaling::run(cfg),
-        "e4" => e04_cd_comparison::run(cfg),
-        "e5" => e05_nocd_comparison::run(cfg),
-        "e6" => e06_residual::run(cfg),
-        "e7" => e07_backoff::run(cfg),
-        "e8" => e08_committed::run(cfg),
-        "e9" => e09_winners::run(cfg),
-        "e10" => e10_delta_sweep::run(cfg),
-        "e11" => e11_ablation::run(cfg),
-        "e12" => e12_unknown_delta::run(cfg),
-        "e13" => e13_congest::run(cfg),
-        "e14" => e14_energy_breakdown::run(cfg),
-        "e15" => e15_robustness::run(cfg),
-        "e16" => e16_churn_recovery::run(cfg),
+        "e1" => e01_lower_bound::run(cfg, orch),
+        "e2" => e02_cd_scaling::run(cfg, orch),
+        "e3" => e03_nocd_scaling::run(cfg, orch),
+        "e4" => e04_cd_comparison::run(cfg, orch),
+        "e5" => e05_nocd_comparison::run(cfg, orch),
+        "e6" => e06_residual::run(cfg, orch),
+        "e7" => e07_backoff::run(cfg, orch),
+        "e8" => e08_committed::run(cfg, orch),
+        "e9" => e09_winners::run(cfg, orch),
+        "e10" => e10_delta_sweep::run(cfg, orch),
+        "e11" => e11_ablation::run(cfg, orch),
+        "e12" => e12_unknown_delta::run(cfg, orch),
+        "e13" => e13_congest::run(cfg, orch),
+        "e14" => e14_energy_breakdown::run(cfg, orch),
+        "e15" => e15_robustness::run(cfg, orch),
+        "e16" => e16_churn_recovery::run(cfg, orch),
         other => panic!("unknown experiment id {other:?}"),
     }
+}
+
+/// Runs a batch of experiments on the shared rayon pool, collecting their
+/// outputs in *input order* (an [`OrderedSink`] keyed by position — never
+/// completion order, which work stealing makes nondeterministic). One pool
+/// drains the whole job graph: experiments fan out here and their trial
+/// blocks fan out beneath, so wide sweeps steal idle workers from cheap
+/// experiments that finished early.
+///
+/// # Panics
+///
+/// Panics on an unknown id (the binary validates first).
+pub fn run_all(ids: &[&str], cfg: &ExpConfig, orch: &Orchestrator) -> Vec<ExperimentOutput> {
+    use rayon::prelude::*;
+    let sink = OrderedSink::new();
+    ids.par_iter().enumerate().for_each(|(i, id)| {
+        sink.push(i, run_experiment_in(id, cfg, orch));
+    });
+    sink.into_ordered()
 }

@@ -1,0 +1,1008 @@
+//! The experiment orchestrator: content-addressed result caching, a shared
+//! cross-experiment scheduler, run manifests, and progress reporting.
+//!
+//! Every experiment decomposes its work into *job units* — one
+//! `(experiment, cell, trial-block)` worth of simulation, identified by a
+//! [`UnitKey`]. A key carries the unit's full configuration (graph family,
+//! `n`, params preset, seed, fault plan, engine mode, …) plus a crate
+//! version salt, and hashes to a stable content address. When the
+//! orchestrator has a `--cache-dir`, each unit is looked up there before it
+//! is run; hits deserialize the stored value, misses run the closure and
+//! persist the result. Because experiments render their tables *from unit
+//! values* in both cases, a warm rerun is byte-identical to a cold one (see
+//! `docs/EXPERIMENT_PIPELINE.md` for the full determinism contract).
+//!
+//! Scheduling is shared: the binary fans all experiments out on the global
+//! rayon pool ([`crate::run_all`]) and units fan their trial blocks out
+//! beneath that, so one work-stealing pool drains the whole job graph
+//! instead of 16 experiments each saturating it in sequence.
+//!
+//! ```
+//! use mis_experiments::{Orchestrator, UnitKey};
+//!
+//! let dir = std::env::temp_dir().join(format!("orch-doc-{}", std::process::id()));
+//! let _ = std::fs::remove_dir_all(&dir);
+//! let orch = Orchestrator::with_cache_dir(&dir);
+//! let key = UnitKey::new("e0", "demo").with("n", 8).with("seed", 42);
+//!
+//! // Cold: the closure runs and the value is persisted.
+//! let v: u64 = orch.unit(&key, || 6 * 7);
+//! assert_eq!(v, 42);
+//! // Warm: resolved from the cache; the closure must not run.
+//! let v: u64 = orch.unit(&key, || unreachable!());
+//! assert_eq!(v, 42);
+//! assert_eq!((orch.hits(), orch.misses()), (1, 1));
+//! let _ = std::fs::remove_dir_all(&dir);
+//! ```
+
+use mis_graphs::{Graph, NodeId};
+use mis_stats::{fmt_duration_ms, Table};
+use radio_netsim::{run_trials, NodeRng, Protocol, RunReport, SimConfig, TrialSet};
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::fmt::Display;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Version of the on-disk cache layout. Bumping it orphans every existing
+/// entry (they stop matching and are recomputed in place).
+pub const CACHE_SCHEMA: u32 = 1;
+
+/// Content address of one job unit: experiment id, human-readable cell
+/// label, and the named ingredients that fully determine the unit's result.
+///
+/// The canonical form (and therefore the hash) covers the cache schema and
+/// the crate version in addition to the ingredients, so a release that
+/// could change simulation behaviour or serialization formatting never
+/// reuses stale entries. Two keys collide only if their canonical strings
+/// are equal — the cache stores the canonical string alongside the value
+/// and treats a hash match with a different canonical string as a miss.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitKey {
+    experiment: String,
+    cell: String,
+    parts: Vec<(String, String)>,
+}
+
+impl UnitKey {
+    /// A key for the given experiment id (`"e2"`) and cell label
+    /// (`"scale/n=1024"`). Add ingredients with [`UnitKey::with`].
+    pub fn new(experiment: impl Into<String>, cell: impl Into<String>) -> UnitKey {
+        UnitKey {
+            experiment: experiment.into(),
+            cell: cell.into(),
+            parts: Vec::new(),
+        }
+    }
+
+    /// Appends a named ingredient (seed, params preset, graph recipe, …).
+    /// Order is significant: the canonical form lists ingredients in
+    /// insertion order.
+    pub fn with(mut self, name: &str, value: impl Display) -> UnitKey {
+        self.parts.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// The experiment id this unit belongs to.
+    pub fn experiment(&self) -> &str {
+        &self.experiment
+    }
+
+    /// The cell label within the experiment.
+    pub fn cell(&self) -> &str {
+        &self.cell
+    }
+
+    /// The canonical key string: one `name=value` line per ingredient,
+    /// prefixed by schema, crate version, experiment, and cell.
+    pub fn canonical(&self) -> String {
+        let mut s = format!(
+            "schema={}\ncrate={}\nexperiment={}\ncell={}\n",
+            CACHE_SCHEMA,
+            env!("CARGO_PKG_VERSION"),
+            self.experiment,
+            self.cell
+        );
+        for (name, value) in &self.parts {
+            let _ = writeln!(s, "{name}={value}");
+        }
+        s
+    }
+
+    /// The unit's content address: FNV-1a (64-bit) of the canonical string,
+    /// as 16 lowercase hex digits.
+    pub fn hash_hex(&self) -> String {
+        format!("{:016x}", fnv1a64(self.canonical().as_bytes()))
+    }
+}
+
+/// FNV-1a, 64-bit. Dependency-free and stable across platforms/releases —
+/// exactly what a content address needs (collision *detection* is handled
+/// by storing the canonical key next to the value).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// On-disk cache entry (write side). The canonical key is stored verbatim
+/// so hash collisions and schema drift read as misses, never as wrong data.
+#[derive(Serialize)]
+struct CacheEntryOut<'a, T> {
+    schema: u32,
+    key: &'a str,
+    value: &'a T,
+}
+
+/// On-disk cache entry (read side).
+#[derive(Deserialize)]
+struct CacheEntryIn<T> {
+    schema: u32,
+    key: String,
+    value: T,
+}
+
+/// Derived statistics of one trial block — the compact, serializable form
+/// of a [`TrialSet`] that units cache instead of full per-trial reports
+/// (a full `TrialSet` at the top sweep sizes is hundreds of megabytes of
+/// JSON; this is a few kilobytes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialStats {
+    /// Node count of the graph the trials ran on.
+    pub n: usize,
+    /// Trials attempted (including panicked ones).
+    pub attempted: usize,
+    /// Trials whose output verified as a correct MIS.
+    pub correct: usize,
+    /// Trials that panicked (isolated by the runner).
+    pub failed: usize,
+    /// Per-trial max energy (awake rounds of the worst node), one entry
+    /// per non-panicked trial.
+    pub energies: Vec<f64>,
+    /// Per-trial node-averaged energy.
+    pub avg_energies: Vec<f64>,
+    /// Per-trial round counts.
+    pub rounds: Vec<f64>,
+    /// Worst per-node energy over every trial.
+    pub worst_energy: u64,
+    /// Total simulated cost of the block, in awake node-rounds summed over
+    /// all nodes of all trials — the unit of the manifest's cost column.
+    pub cost: u64,
+}
+
+impl TrialStats {
+    /// Summarizes a freshly simulated [`TrialSet`].
+    pub fn of(set: &TrialSet) -> TrialStats {
+        let cost = set
+            .outcomes
+            .iter()
+            .map(|o| o.report.meters.iter().map(|m| m.energy()).sum::<u64>())
+            .sum();
+        TrialStats {
+            n: set.outcomes.first().map_or(0, |o| o.report.len()),
+            attempted: set.attempted(),
+            correct: set.outcomes.iter().filter(|o| o.correct).count(),
+            failed: set.failed(),
+            energies: set.energies(),
+            avg_energies: set.avg_energies(),
+            rounds: set.rounds(),
+            worst_energy: set.worst_energy(),
+            cost,
+        }
+    }
+
+    /// Trials that ran to completion (denominator for success rates).
+    pub fn successes(&self) -> usize {
+        self.energies.len()
+    }
+}
+
+/// One unit's row in the [`RunManifest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnitRecord {
+    /// Experiment id.
+    pub experiment: String,
+    /// Cell label.
+    pub cell: String,
+    /// Content address ([`UnitKey::hash_hex`]).
+    pub hash: String,
+    /// Whether the unit was resolved from the cache.
+    pub hit: bool,
+    /// Wall-clock time spent resolving the unit, in milliseconds.
+    pub wall_ms: f64,
+    /// Simulated cost in awake node-rounds (0 when resolved from cache —
+    /// the manifest's cost column counts *fresh* simulation work).
+    pub cost: u64,
+}
+
+/// The manifest of one orchestrated run: every unit resolved, with hit
+/// flags, wall time, and simulated cost. Written to
+/// `<cache-dir>/manifest.json`; the next run uses it for progress totals
+/// and ETA estimates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Cache schema the run used.
+    pub schema: u32,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Whether the run was in quick mode.
+    pub quick: bool,
+    /// Per-unit records, sorted by (experiment, cell) for determinism.
+    pub units: Vec<UnitRecord>,
+}
+
+impl RunManifest {
+    /// Units resolved from the cache.
+    pub fn hits(&self) -> usize {
+        self.units.iter().filter(|u| u.hit).count()
+    }
+
+    /// Units that ran fresh simulation.
+    pub fn misses(&self) -> usize {
+        self.units.len() - self.hits()
+    }
+
+    /// Total wall-clock milliseconds across all units.
+    pub fn total_wall_ms(&self) -> f64 {
+        self.units.iter().map(|u| u.wall_ms).sum()
+    }
+
+    /// Total simulated cost in awake node-rounds (fresh work only).
+    pub fn total_cost(&self) -> u64 {
+        self.units.iter().map(|u| u.cost).sum()
+    }
+
+    /// Per-experiment summary (units, hits, wall time, simulated cost)
+    /// with a trailing total row — the table behind `EXPERIMENTS.md`'s
+    /// "cost of a full run" section.
+    pub fn summary_table(&self) -> Table {
+        let mut table = Table::new([
+            "experiment",
+            "units",
+            "cache hits",
+            "wall",
+            "sim cost (awake node-rounds)",
+        ]);
+        let mut order: Vec<String> = Vec::new();
+        let mut groups: HashMap<String, (usize, usize, f64, u64)> = HashMap::new();
+        for u in &self.units {
+            let entry = groups.entry(u.experiment.clone()).or_insert_with(|| {
+                order.push(u.experiment.clone());
+                (0, 0, 0.0, 0)
+            });
+            entry.0 += 1;
+            entry.1 += usize::from(u.hit);
+            entry.2 += u.wall_ms;
+            entry.3 += u.cost;
+        }
+        for id in &order {
+            let (units, hits, wall, cost) = groups[id];
+            table.push_row([
+                id.clone(),
+                units.to_string(),
+                hits.to_string(),
+                fmt_duration_ms(wall),
+                cost.to_string(),
+            ]);
+        }
+        table.push_row([
+            "total".to_string(),
+            self.units.len().to_string(),
+            self.hits().to_string(),
+            fmt_duration_ms(self.total_wall_ms()),
+            self.total_cost().to_string(),
+        ]);
+        table
+    }
+}
+
+/// A `--force` / `--only` selector: a whole experiment (`e15`) or a
+/// cell-prefix within one (`e15:loss`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Selector {
+    experiment: String,
+    cell_prefix: Option<String>,
+}
+
+impl Selector {
+    fn parse(s: &str) -> Selector {
+        match s.split_once(':') {
+            Some((exp, prefix)) => Selector {
+                experiment: canonical_experiment_id(exp).unwrap_or_else(|| exp.to_string()),
+                cell_prefix: Some(prefix.to_string()),
+            },
+            None => Selector {
+                experiment: canonical_experiment_id(s).unwrap_or_else(|| s.to_string()),
+                cell_prefix: None,
+            },
+        }
+    }
+
+    fn matches(&self, key: &UnitKey) -> bool {
+        if self.experiment != key.experiment {
+            return false;
+        }
+        match &self.cell_prefix {
+            None => true,
+            Some(prefix) => key.cell.starts_with(prefix.as_str()),
+        }
+    }
+}
+
+/// Normalizes a user-typed experiment id: `"e02"`, `"E2"`, and `"2"` all
+/// mean `"e2"`. Returns `None` for strings with no experiment number.
+pub fn canonical_experiment_id(s: &str) -> Option<String> {
+    let t = s.trim().trim_start_matches(['e', 'E']);
+    t.parse::<usize>().ok().map(|num| format!("e{num}"))
+}
+
+/// Sort rank of an experiment id: numeric for `eN`, last otherwise.
+fn exp_rank(id: &str) -> usize {
+    id.strip_prefix('e')
+        .and_then(|r| r.parse::<usize>().ok())
+        .unwrap_or(usize::MAX)
+}
+
+/// The shared execution context every experiment resolves its job units
+/// through: cache lookup/persist, force selectors, run counters, manifest
+/// recording, and progress lines (module docs for the full picture).
+pub struct Orchestrator {
+    cache_dir: Option<PathBuf>,
+    /// `None`: never force. `Some([])`: force everything. Otherwise force
+    /// units matching any selector.
+    force: Option<Vec<Selector>>,
+    progress: bool,
+    seed: u64,
+    quick: bool,
+    records: Mutex<Vec<UnitRecord>>,
+    done: Mutex<HashSet<String>>,
+    hit_count: AtomicUsize,
+    miss_count: AtomicUsize,
+    cost_total: AtomicU64,
+    /// Previous run's units by hash, for totals/ETA/slowest-pending.
+    prev: HashMap<String, UnitRecord>,
+    tmp_seq: AtomicUsize,
+    started: Instant,
+}
+
+impl Orchestrator {
+    /// An orchestrator with no cache directory: every unit runs fresh and
+    /// nothing is persisted. Used by tests and by [`crate::run_experiment`]
+    /// for one-shot library calls.
+    pub fn ephemeral() -> Orchestrator {
+        Orchestrator {
+            cache_dir: None,
+            force: None,
+            progress: false,
+            seed: 0,
+            quick: false,
+            records: Mutex::new(Vec::new()),
+            done: Mutex::new(HashSet::new()),
+            hit_count: AtomicUsize::new(0),
+            miss_count: AtomicUsize::new(0),
+            cost_total: AtomicU64::new(0),
+            prev: HashMap::new(),
+            tmp_seq: AtomicUsize::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// An orchestrator backed by the given cache directory (created on
+    /// first write). Loads the previous run's manifest, if any, for
+    /// progress totals and ETA estimates.
+    pub fn with_cache_dir(dir: impl AsRef<Path>) -> Orchestrator {
+        let dir = dir.as_ref().to_path_buf();
+        let prev = load_manifest(&dir)
+            .map(|m| m.units.into_iter().map(|u| (u.hash.clone(), u)).collect())
+            .unwrap_or_default();
+        Orchestrator {
+            cache_dir: Some(dir),
+            prev,
+            ..Orchestrator::ephemeral()
+        }
+    }
+
+    /// Enables per-unit progress lines on stderr.
+    pub fn with_progress(mut self) -> Orchestrator {
+        self.progress = true;
+        self
+    }
+
+    /// Installs force selectors: matching units bypass the cache *read*
+    /// (they still write their fresh result back). An empty slice forces
+    /// every unit. Selector syntax: `e15` (whole experiment) or
+    /// `e15:loss` (cells with that prefix); ids are normalized, so
+    /// `e02` and `e2` are the same experiment.
+    pub fn with_force(mut self, selectors: &[String]) -> Orchestrator {
+        self.force = Some(selectors.iter().map(|s| Selector::parse(s)).collect());
+        self
+    }
+
+    /// Records the run context (master seed, quick mode) stamped into the
+    /// manifest.
+    pub fn with_run_context(mut self, seed: u64, quick: bool) -> Orchestrator {
+        self.seed = seed;
+        self.quick = quick;
+        self
+    }
+
+    /// Whether a cache directory is configured.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache_dir.is_some()
+    }
+
+    /// Units resolved from the cache so far.
+    pub fn hits(&self) -> usize {
+        self.hit_count.load(Ordering::Relaxed)
+    }
+
+    /// Units that ran fresh simulation so far.
+    pub fn misses(&self) -> usize {
+        self.miss_count.load(Ordering::Relaxed)
+    }
+
+    /// Units resolved so far (hits + misses).
+    pub fn units_done(&self) -> usize {
+        self.hits() + self.misses()
+    }
+
+    /// Total simulated cost so far, in awake node-rounds (fresh work only).
+    pub fn total_cost(&self) -> u64 {
+        self.cost_total.load(Ordering::Relaxed)
+    }
+
+    /// Resolves one job unit: cache hit or fresh run of `run`.
+    ///
+    /// The value type must serialize losslessly through JSON (finite
+    /// floats only — `serde_json` cannot round-trip NaN/∞) so that a
+    /// cached value renders byte-identically to a fresh one.
+    pub fn unit<T, F>(&self, key: &UnitKey, run: F) -> T
+    where
+        T: Serialize + DeserializeOwned,
+        F: FnOnce() -> T,
+    {
+        self.unit_with_cost(key, run, |_| 0)
+    }
+
+    /// [`Orchestrator::unit`] with a cost extractor: `cost_of` reports the
+    /// unit's simulated cost in awake node-rounds, charged to the manifest
+    /// only when the unit ran fresh.
+    pub fn unit_with_cost<T, F, C>(&self, key: &UnitKey, run: F, cost_of: C) -> T
+    where
+        T: Serialize + DeserializeOwned,
+        F: FnOnce() -> T,
+        C: Fn(&T) -> u64,
+    {
+        let canonical = key.canonical();
+        let hash = key.hash_hex();
+        let path = self.entry_path(key, &hash);
+        let unit_started = Instant::now();
+        if !self.forced(key) {
+            if let Some(value) = path.as_deref().and_then(|p| load_entry::<T>(p, &canonical)) {
+                let wall = unit_started.elapsed().as_secs_f64() * 1e3;
+                self.record(key, hash, true, wall, 0);
+                return value;
+            }
+        }
+        let value = run();
+        let cost = cost_of(&value);
+        if let Some(p) = &path {
+            self.store_entry(p, &canonical, &value);
+        }
+        let wall = unit_started.elapsed().as_secs_f64() * 1e3;
+        self.record(key, hash, false, wall, cost);
+        value
+    }
+
+    /// Trial-block sugar: runs [`run_trials`] as a cached unit, returning
+    /// the compact [`TrialStats`]. The graph size, the full
+    /// [`SimConfig::fingerprint`] (seed, channel, fault plan, engine mode,
+    /// …), and the trial count are appended to `key` as ingredients, so
+    /// flipping any of them invalidates the unit.
+    pub fn trials<P, F>(
+        &self,
+        key: UnitKey,
+        graph: &Graph,
+        base: SimConfig,
+        trials: usize,
+        factory: F,
+    ) -> TrialStats
+    where
+        P: Protocol,
+        F: Fn(NodeId, &mut NodeRng) -> P + Sync,
+    {
+        let key = key
+            .with("n", graph.len())
+            .with("sim", base.fingerprint())
+            .with("trials", trials);
+        self.unit_with_cost(
+            &key,
+            || TrialStats::of(&run_trials(graph, base, trials, factory)),
+            |stats| stats.cost,
+        )
+    }
+
+    /// Caches a whole [`RunReport`] as a unit value. Sound because the
+    /// report's [`RunReport::to_stable_json`] contract guarantees a
+    /// byte-stable round trip within one crate version (and the key's
+    /// version salt covers releases). Reserve this for small-`n` runs —
+    /// reports carry per-node state.
+    pub fn report<F>(&self, key: &UnitKey, run: F) -> RunReport
+    where
+        F: FnOnce() -> RunReport,
+    {
+        self.unit_with_cost(key, run, |r| {
+            r.meters.iter().map(|m| m.energy()).sum::<u64>()
+        })
+    }
+
+    /// The manifest of everything resolved so far, sorted by
+    /// (experiment, cell, hash) so equal runs produce equal manifests
+    /// regardless of scheduling order.
+    pub fn manifest(&self) -> RunManifest {
+        let mut units = self.records.lock().expect("no poisoning").clone();
+        units.sort_by(|a, b| {
+            (exp_rank(&a.experiment), &a.experiment, &a.cell, &a.hash).cmp(&(
+                exp_rank(&b.experiment),
+                &b.experiment,
+                &b.cell,
+                &b.hash,
+            ))
+        });
+        RunManifest {
+            schema: CACHE_SCHEMA,
+            seed: self.seed,
+            quick: self.quick,
+            units,
+        }
+    }
+
+    /// Writes the manifest to `<cache-dir>/manifest.json`. Returns the
+    /// path, or `None` when no cache directory is configured or the write
+    /// failed (caching is best-effort by design).
+    pub fn write_manifest(&self) -> Option<PathBuf> {
+        let dir = self.cache_dir.as_ref()?;
+        let path = dir.join("manifest.json");
+        let json = serde_json::to_string_pretty(&self.manifest()).ok()?;
+        fs::create_dir_all(dir).ok()?;
+        fs::write(&path, json).ok()?;
+        Some(path)
+    }
+
+    /// Announces the plan on stderr (unit total and slowest unit of the
+    /// previous run) when progress is enabled.
+    pub fn announce_plan(&self) {
+        if !self.progress {
+            return;
+        }
+        if self.prev.is_empty() {
+            eprintln!("orchestrator: cold cache — this run records the first manifest");
+        } else if let Some((label, wall)) = self.slowest_pending() {
+            eprintln!(
+                "orchestrator: previous run resolved {} units in {}; slowest: {} ({})",
+                self.prev.len(),
+                fmt_duration_ms(self.prev.values().map(|u| u.wall_ms).sum()),
+                label,
+                fmt_duration_ms(wall),
+            );
+        }
+    }
+
+    /// One-line run summary (hit rate, fresh wall time, simulated cost).
+    /// The binary prints this after rendering; CI greps the hit rate.
+    pub fn summary_line(&self) -> String {
+        let done = self.units_done();
+        let pct = if done == 0 {
+            100.0
+        } else {
+            100.0 * self.hits() as f64 / done as f64
+        };
+        format!(
+            "cache hits: {}/{} ({:.0}%) · wall {} · simulated cost {} awake node-rounds",
+            self.hits(),
+            done,
+            pct,
+            fmt_duration_ms(self.started.elapsed().as_secs_f64() * 1e3),
+            self.total_cost(),
+        )
+    }
+
+    fn forced(&self, key: &UnitKey) -> bool {
+        match &self.force {
+            None => false,
+            Some(sels) if sels.is_empty() => true,
+            Some(sels) => sels.iter().any(|s| s.matches(key)),
+        }
+    }
+
+    fn entry_path(&self, key: &UnitKey, hash: &str) -> Option<PathBuf> {
+        let dir = self.cache_dir.as_ref()?;
+        let mut slug: String = key
+            .cell
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '-'
+                }
+            })
+            .collect();
+        slug.truncate(48);
+        let slug = slug.trim_matches('-');
+        let file = if slug.is_empty() {
+            format!("{hash}.json")
+        } else {
+            format!("{slug}-{hash}.json")
+        };
+        Some(dir.join(&key.experiment).join(file))
+    }
+
+    /// Atomic-rename write; failures are swallowed (a broken cache write
+    /// must never fail the run — the unit simply reruns next time).
+    fn store_entry<T: Serialize>(&self, path: &Path, canonical: &str, value: &T) {
+        let Some(parent) = path.parent() else { return };
+        if fs::create_dir_all(parent).is_err() {
+            return;
+        }
+        let entry = CacheEntryOut {
+            schema: CACHE_SCHEMA,
+            key: canonical,
+            value,
+        };
+        let Ok(json) = serde_json::to_string(&entry) else {
+            return;
+        };
+        let tmp = path.with_extension(format!(
+            "tmp.{}.{}",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        if fs::write(&tmp, json).is_ok() && fs::rename(&tmp, path).is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+    }
+
+    fn record(&self, key: &UnitKey, hash: String, hit: bool, wall_ms: f64, cost: u64) {
+        if hit {
+            self.hit_count.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.miss_count.fetch_add(1, Ordering::Relaxed);
+        }
+        self.cost_total.fetch_add(cost, Ordering::Relaxed);
+        let done = {
+            let mut done = self.done.lock().expect("no poisoning");
+            done.insert(hash.clone());
+            done.len()
+        };
+        self.records.lock().expect("no poisoning").push(UnitRecord {
+            experiment: key.experiment.clone(),
+            cell: key.cell.clone(),
+            hash,
+            hit,
+            wall_ms,
+            cost,
+        });
+        if self.progress {
+            self.emit_progress(key, hit, wall_ms, done);
+        }
+    }
+
+    fn slowest_pending(&self) -> Option<(String, f64)> {
+        let done = self.done.lock().expect("no poisoning");
+        self.prev
+            .values()
+            .filter(|u| !done.contains(&u.hash))
+            .max_by(|a, b| a.wall_ms.total_cmp(&b.wall_ms))
+            .map(|u| (format!("{} · {}", u.experiment, u.cell), u.wall_ms))
+    }
+
+    fn emit_progress(&self, key: &UnitKey, hit: bool, wall_ms: f64, done: usize) {
+        let mut line = if self.prev.is_empty() {
+            format!("[{done}/?]")
+        } else {
+            format!("[{done}/≈{}]", self.prev.len())
+        };
+        let _ = write!(
+            line,
+            " {} · {} — {}",
+            key.experiment,
+            key.cell,
+            if hit {
+                "hit".to_string()
+            } else {
+                format!("ran {}", fmt_duration_ms(wall_ms))
+            }
+        );
+        let _ = write!(line, " · hits {}/{}", self.hits(), self.units_done());
+        if let Some((label, wall)) = self.slowest_pending() {
+            let _ = write!(
+                line,
+                " · slowest pending: {label} (~{})",
+                fmt_duration_ms(wall)
+            );
+        }
+        eprintln!("{line}");
+    }
+}
+
+fn load_manifest(dir: &Path) -> Option<RunManifest> {
+    let text = fs::read_to_string(dir.join("manifest.json")).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+fn load_entry<T: DeserializeOwned>(path: &Path, canonical: &str) -> Option<T> {
+    let text = fs::read_to_string(path).ok()?;
+    let entry: CacheEntryIn<T> = serde_json::from_str(&text).ok()?;
+    if entry.schema == CACHE_SCHEMA && entry.key == canonical {
+        Some(entry.value)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_netsim::ChannelModel;
+    use std::sync::atomic::AtomicUsize;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mis-exp-orch-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn hashes_are_stable_and_ingredient_sensitive() {
+        let key = |seed: u64, n: usize, preset: &str, mode: &str| {
+            UnitKey::new("e2", "scale")
+                .with("seed", seed)
+                .with("n", n)
+                .with("preset", preset)
+                .with("engine", mode)
+        };
+        let base = key(1, 128, "CdParams{p:0.5}", "Sparse");
+        assert_eq!(
+            base.hash_hex(),
+            key(1, 128, "CdParams{p:0.5}", "Sparse").hash_hex()
+        );
+        // Flipping any single ingredient invalidates the unit.
+        for other in [
+            key(2, 128, "CdParams{p:0.5}", "Sparse"),
+            key(1, 256, "CdParams{p:0.5}", "Sparse"),
+            key(1, 128, "CdParams{p:0.6}", "Sparse"),
+            key(1, 128, "CdParams{p:0.5}", "Dense"),
+        ] {
+            assert_ne!(base.hash_hex(), other.hash_hex(), "{}", other.canonical());
+        }
+        // So does the cell, and so does renaming an ingredient.
+        assert_ne!(
+            base.hash_hex(),
+            UnitKey::new("e2", "families").with("seed", 1u64).hash_hex()
+        );
+        assert_ne!(
+            UnitKey::new("e1", "c").with("a", 1).hash_hex(),
+            UnitKey::new("e1", "c").with("b", 1).hash_hex()
+        );
+    }
+
+    #[test]
+    fn sim_fingerprint_flip_invalidates_trial_units() {
+        let a = UnitKey::new("e2", "scale").with(
+            "sim",
+            SimConfig::new(ChannelModel::Cd).with_seed(1).fingerprint(),
+        );
+        let b = UnitKey::new("e2", "scale").with(
+            "sim",
+            SimConfig::new(ChannelModel::Cd).with_seed(2).fingerprint(),
+        );
+        assert_ne!(a.hash_hex(), b.hash_hex());
+    }
+
+    #[test]
+    fn ephemeral_units_always_run() {
+        let orch = Orchestrator::ephemeral();
+        let key = UnitKey::new("e0", "x").with("seed", 1u64);
+        let calls = AtomicUsize::new(0);
+        for _ in 0..2 {
+            let v: u32 = orch.unit(&key, || {
+                calls.fetch_add(1, Ordering::Relaxed);
+                9
+            });
+            assert_eq!(v, 9);
+        }
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+        assert_eq!(orch.misses(), 2);
+        assert_eq!(orch.hits(), 0);
+    }
+
+    #[test]
+    fn cache_roundtrip_hits_without_running() {
+        let dir = tmp_dir("roundtrip");
+        let key = UnitKey::new("e0", "cell/a=1").with("seed", 3u64);
+        let cold = Orchestrator::with_cache_dir(&dir);
+        let v: Vec<f64> = cold.unit(&key, || vec![1.5, 2.25]);
+        assert_eq!(v, vec![1.5, 2.25]);
+        assert_eq!((cold.hits(), cold.misses()), (0, 1));
+
+        let warm = Orchestrator::with_cache_dir(&dir);
+        let v: Vec<f64> = warm.unit(&key, || panic!("must not run"));
+        assert_eq!(v, vec![1.5, 2.25]);
+        assert_eq!((warm.hits(), warm.misses()), (1, 0));
+
+        // A different key ingredient misses even with the same cell label.
+        let other = UnitKey::new("e0", "cell/a=1").with("seed", 4u64);
+        let v: Vec<f64> = warm.unit(&other, || vec![9.0]);
+        assert_eq!(v, vec![9.0]);
+        assert_eq!(warm.misses(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_and_mismatched_entries_read_as_misses() {
+        let dir = tmp_dir("corrupt");
+        let key = UnitKey::new("e0", "c").with("seed", 1u64);
+        let orch = Orchestrator::with_cache_dir(&dir);
+        let _: u32 = orch.unit(&key, || 5);
+        let path = orch.entry_path(&key, &key.hash_hex()).unwrap();
+        assert!(path.exists());
+
+        // Corrupt the file: next resolution reruns and repairs it.
+        fs::write(&path, "{not json").unwrap();
+        let warm = Orchestrator::with_cache_dir(&dir);
+        let v: u32 = warm.unit(&key, || 6);
+        assert_eq!(v, 6);
+        assert_eq!(warm.misses(), 1);
+
+        // A canonical-key mismatch under the same path is also a miss.
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, text.replace("seed=1", "seed=9")).unwrap();
+        let warm = Orchestrator::with_cache_dir(&dir);
+        let v: u32 = warm.unit(&key, || 7);
+        assert_eq!(v, 7);
+        assert_eq!(warm.misses(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn force_selectors_scope_recomputation() {
+        let dir = tmp_dir("force");
+        let keys = [
+            UnitKey::new("e2", "scale/n=64"),
+            UnitKey::new("e2", "families/grid"),
+            UnitKey::new("e15", "loss/0.5"),
+        ];
+        let cold = Orchestrator::with_cache_dir(&dir);
+        for k in &keys {
+            let _: u32 = cold.unit(k, || 1);
+        }
+        // `e2:scale` forces exactly the matching cell.
+        let orch = Orchestrator::with_cache_dir(&dir).with_force(&["e2:scale".to_string()]);
+        for k in &keys {
+            let _: u32 = orch.unit(k, || 2);
+        }
+        assert_eq!((orch.hits(), orch.misses()), (2, 1));
+        // A forced unit still writes its result back.
+        let warm = Orchestrator::with_cache_dir(&dir);
+        let v: u32 = warm.unit(&keys[0], || panic!("must hit"));
+        assert_eq!(v, 2);
+        // `--force` with no selectors forces everything; `e02` == `e2`.
+        let all = Orchestrator::with_cache_dir(&dir).with_force(&[]);
+        let _: u32 = all.unit(&keys[0], || 3);
+        assert_eq!(all.misses(), 1);
+        let e02 = Orchestrator::with_cache_dir(&dir).with_force(&["e02".to_string()]);
+        for k in &keys {
+            let _: u32 = e02.unit(k, || 4);
+        }
+        assert_eq!((e02.hits(), e02.misses()), (1, 2));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cached_reports_roundtrip_byte_identically() {
+        use radio_netsim::{SimConfig, Simulator};
+        let dir = tmp_dir("report");
+        let g = mis_graphs::generators::clique(6);
+        let run = || {
+            Simulator::new(&g, SimConfig::new(ChannelModel::Cd).with_seed(11))
+                .run(|_, _| radio_mis::cd::CdMis::new(radio_mis::params::CdParams::for_n(6)))
+        };
+        let key = UnitKey::new("e0", "report").with("seed", 11u64);
+        let cold = Orchestrator::with_cache_dir(&dir);
+        let fresh = cold.report(&key, run);
+        let warm = Orchestrator::with_cache_dir(&dir);
+        let cached = warm.report(&key, || panic!("must hit"));
+        assert_eq!(cached, fresh);
+        // The stable-serialization contract that makes this sound.
+        assert_eq!(
+            cached.to_stable_json().unwrap(),
+            fresh.to_stable_json().unwrap()
+        );
+        assert_eq!(warm.hits(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_is_sorted_and_summarized() {
+        let orch = Orchestrator::ephemeral().with_run_context(7, true);
+        let _: u32 = orch.unit(&UnitKey::new("e10", "z"), || 1);
+        let _: u32 = orch.unit(&UnitKey::new("e2", "b"), || 1);
+        let _: u32 = orch.unit(&UnitKey::new("e2", "a"), || 1);
+        let m = orch.manifest();
+        assert_eq!(m.seed, 7);
+        assert!(m.quick);
+        let labels: Vec<(String, String)> = m
+            .units
+            .iter()
+            .map(|u| (u.experiment.clone(), u.cell.clone()))
+            .collect();
+        assert_eq!(
+            labels,
+            vec![
+                ("e2".to_string(), "a".to_string()),
+                ("e2".to_string(), "b".to_string()),
+                ("e10".to_string(), "z".to_string()),
+            ]
+        );
+        assert_eq!(m.hits(), 0);
+        assert_eq!(m.misses(), 3);
+        let table = m.summary_table().to_markdown();
+        assert!(table.contains("e2"), "{table}");
+        assert!(table.contains("total"), "{table}");
+    }
+
+    #[test]
+    fn manifest_roundtrips_and_feeds_progress_totals() {
+        let dir = tmp_dir("manifest");
+        let orch = Orchestrator::with_cache_dir(&dir).with_run_context(1, false);
+        let _: u32 = orch.unit(&UnitKey::new("e1", "a"), || 1);
+        let path = orch.write_manifest().expect("cache dir configured");
+        assert!(path.ends_with("manifest.json"));
+        let next = Orchestrator::with_cache_dir(&dir);
+        assert_eq!(next.prev.len(), 1);
+        assert!(next.slowest_pending().is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn id_normalization() {
+        assert_eq!(canonical_experiment_id("e02").as_deref(), Some("e2"));
+        assert_eq!(canonical_experiment_id("E15").as_deref(), Some("e15"));
+        assert_eq!(canonical_experiment_id("7").as_deref(), Some("e7"));
+        assert_eq!(canonical_experiment_id("all"), None);
+    }
+
+    #[test]
+    fn summary_line_reports_hit_rate() {
+        let orch = Orchestrator::ephemeral();
+        let _: u32 = orch.unit(&UnitKey::new("e1", "a"), || 1);
+        let line = orch.summary_line();
+        assert!(line.contains("cache hits: 0/1 (0%)"), "{line}");
+    }
+
+    #[test]
+    fn trial_stats_summarize_a_set() {
+        let g = mis_graphs::generators::path(4);
+        let set = run_trials(
+            &g,
+            SimConfig::new(ChannelModel::Cd).with_seed(5),
+            3,
+            |_, _| radio_mis::cd::CdMis::new(radio_mis::params::CdParams::for_n(4)),
+        );
+        let stats = TrialStats::of(&set);
+        assert_eq!(stats.n, 4);
+        assert_eq!(stats.attempted, 3);
+        assert_eq!(stats.successes(), stats.energies.len());
+        assert!(stats.cost > 0);
+        assert_eq!(stats.correct, 3);
+    }
+}

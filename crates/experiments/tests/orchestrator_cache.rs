@@ -1,0 +1,86 @@
+//! End-to-end contract tests for the experiment orchestrator: a warm
+//! cache must replay a run byte-for-byte without touching the simulator,
+//! and `--force` selectors must recompute exactly the named cells.
+//!
+//! E7 is the probe experiment throughout — it is the cheapest module with
+//! a non-trivial unit structure (2 sender counts × 3 repetition counts =
+//! 6 job units in quick mode).
+
+use mis_experiments::{run_all, run_experiment_in, ExpConfig, Orchestrator};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+/// A fresh per-test cache directory under the system temp dir.
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mis-exp-cache-it-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The determinism contract, end to end: for any master seed, a warm
+    /// rerun renders byte-identical markdown from cache alone — zero
+    /// simulator runs, every unit a hit.
+    #[test]
+    fn warm_cache_rerun_is_byte_identical_to_cold(seed in 0u64..1_000) {
+        let dir = tmp_dir(&format!("prop-{seed}"));
+        let cfg = ExpConfig::quick(seed);
+
+        let cold_orch = Orchestrator::with_cache_dir(&dir);
+        let cold = run_experiment_in("e7", &cfg, &cold_orch).to_markdown();
+        prop_assert_eq!(cold_orch.hits(), 0, "cold run must not hit");
+        let cold_misses = cold_orch.misses();
+        prop_assert!(cold_misses > 0);
+
+        let warm_orch = Orchestrator::with_cache_dir(&dir);
+        let warm = run_experiment_in("e7", &cfg, &warm_orch).to_markdown();
+        prop_assert_eq!(warm_orch.misses(), 0, "warm run performed simulator work");
+        prop_assert_eq!(warm_orch.hits(), cold_misses);
+        prop_assert_eq!(warm, cold);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// `--force e7:d=1` must recompute exactly the three `d=1` cells and
+/// serve the other three from cache — and still render identical bytes.
+#[test]
+fn force_recomputes_exactly_the_named_cells() {
+    let dir = tmp_dir("force");
+    let cfg = ExpConfig::quick(77);
+
+    let cold_orch = Orchestrator::with_cache_dir(&dir);
+    let cold = run_experiment_in("e7", &cfg, &cold_orch).to_markdown();
+    assert_eq!(cold_orch.misses(), 6, "e7 quick mode should have 6 units");
+
+    let forced_orch = Orchestrator::with_cache_dir(&dir).with_force(&["e7:d=1".to_string()]);
+    let forced = run_experiment_in("e7", &cfg, &forced_orch).to_markdown();
+    assert_eq!(forced_orch.misses(), 3, "exactly the d=1 cells recompute");
+    assert_eq!(forced_orch.hits(), 3, "the d=8 cells stay cached");
+    assert_eq!(forced, cold);
+
+    // A selector for a different experiment forces nothing here.
+    let other_orch = Orchestrator::with_cache_dir(&dir).with_force(&["e2".to_string()]);
+    run_experiment_in("e7", &cfg, &other_orch);
+    assert_eq!(other_orch.misses(), 0);
+
+    // An empty selector list means "force everything".
+    let all_orch = Orchestrator::with_cache_dir(&dir).with_force(&[]);
+    run_experiment_in("e7", &cfg, &all_orch);
+    assert_eq!(all_orch.misses(), 6);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `run_all` returns outputs in input order regardless of which
+/// experiment finishes first on the work-stealing pool.
+#[test]
+fn run_all_preserves_input_order() {
+    let cfg = ExpConfig::quick(5);
+    let orch = Orchestrator::ephemeral();
+    let outputs = run_all(&["e7", "e1"], &cfg, &orch);
+    let ids: Vec<&str> = outputs.iter().map(|o| o.id).collect();
+    assert_eq!(ids, vec!["e7", "e1"]);
+}

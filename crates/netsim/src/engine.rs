@@ -266,6 +266,19 @@ impl SimConfig {
         self
     }
 
+    /// A stable one-line fingerprint of the full configuration, for use as
+    /// a cache-key ingredient by result caches (see
+    /// `mis-experiments::orchestrator`). Covers every field of the config —
+    /// channel, round cap, message budget, seed, fault plan, metrics flag,
+    /// convergence policy, and engine mode (mode equivalence is a tested
+    /// property of the engine, not an assumption a cache should bake in).
+    /// Stable within one crate version; cache layers must additionally salt
+    /// keys with the crate version to cover formatting drift across
+    /// releases.
+    pub fn fingerprint(&self) -> String {
+        format!("{self:?}")
+    }
+
     fn resolved_message_bits(&self, n: usize) -> u32 {
         self.message_bits
             .unwrap_or_else(|| 4 * ((n + 2) as f64).log2().ceil() as u32 + 8)
@@ -1402,6 +1415,24 @@ mod tests {
     use super::*;
     use crate::model::Message;
     use mis_graphs::generators;
+
+    #[test]
+    fn fingerprint_covers_every_config_ingredient() {
+        let base = SimConfig::new(ChannelModel::Cd);
+        let variants = [
+            base.clone().with_seed(7),
+            base.clone().with_max_rounds(10),
+            base.clone().with_message_bits(32),
+            base.clone().with_round_metrics(),
+            base.clone().with_engine_mode(EngineMode::Dense),
+            base.clone().with_loss_probability(0.5),
+            SimConfig::new(ChannelModel::NoCd),
+        ];
+        for v in &variants {
+            assert_ne!(v.fingerprint(), base.fingerprint(), "{v:?}");
+        }
+        assert_eq!(base.fingerprint(), base.clone().fingerprint());
+    }
 
     /// Transmits in round 0 iff `id` is even, listens otherwise; records
     /// what it saw; finishes after one round.

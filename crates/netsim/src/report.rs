@@ -198,6 +198,37 @@ impl RunReport {
         }
         Ok(())
     }
+
+    /// Serializes the report to its *stable* JSON form — the canonical byte
+    /// representation used by the experiment result cache.
+    ///
+    /// Stability contract: within one crate version, serializing equal
+    /// reports always yields identical bytes (single-line JSON, fields in
+    /// declaration order, default-valued optional fields omitted, floats in
+    /// shortest round-trip form), and
+    /// [`from_stable_json`](RunReport::from_stable_json) restores a report
+    /// that compares equal — so a cached report re-serializes to the exact
+    /// bytes that were stored. Cross-version stability is *not* promised;
+    /// cache layers must salt their keys with the crate version instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying serializer error (not expected in practice —
+    /// the type contains no non-serializable values).
+    pub fn to_stable_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Parses a report from its [stable JSON](RunReport::to_stable_json)
+    /// form.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse error for malformed or incompatible
+    /// input.
+    pub fn from_stable_json(s: &str) -> Result<RunReport, serde_json::Error> {
+        serde_json::from_str(s)
+    }
 }
 
 #[cfg(test)]
@@ -316,6 +347,17 @@ mod tests {
         let json = serde_json::to_string(&r).unwrap();
         let back: RunReport = serde_json::from_str(&json).unwrap();
         assert_eq!(r, back);
+    }
+
+    #[test]
+    fn stable_json_roundtrip_is_byte_identical() {
+        use NodeStatus::*;
+        let mut r = report(vec![InMis, OutMis], vec![2, 3]);
+        r.converged_at = Some(6);
+        let bytes = r.to_stable_json().unwrap();
+        let back = RunReport::from_stable_json(&bytes).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.to_stable_json().unwrap(), bytes);
     }
 
     #[test]

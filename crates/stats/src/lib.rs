@@ -36,5 +36,5 @@ pub mod timeline;
 pub use fit::{best_fit, Fit, GrowthModel};
 pub use plot::LineChart;
 pub use summary::Summary;
-pub use table::Table;
+pub use table::{fmt_duration_ms, Table};
 pub use timeline::{exp_decay_fit, DecayFit, TimelineSummary};

@@ -113,6 +113,22 @@ pub fn fmt_num(x: f64) -> String {
     }
 }
 
+/// Formats a wall-clock duration given in milliseconds for tables and
+/// progress lines: sub-second durations in ms, sub-minute in seconds,
+/// longer ones as `MmSSs`. Non-finite or negative inputs render as `n/a`.
+pub fn fmt_duration_ms(ms: f64) -> String {
+    if !ms.is_finite() || ms < 0.0 {
+        "n/a".to_string()
+    } else if ms < 1000.0 {
+        format!("{ms:.0}ms")
+    } else if ms < 60_000.0 {
+        format!("{:.1}s", ms / 1000.0)
+    } else {
+        let total_secs = (ms / 1000.0).round() as u64;
+        format!("{}m{:02}s", total_secs / 60, total_secs % 60)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,6 +167,18 @@ mod tests {
         assert_eq!(fmt_num(3.14159), "3.14");
         assert_eq!(fmt_num(123.456), "123.5");
         assert_eq!(fmt_num(0.01234), "0.0123");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration_ms(0.4), "0ms");
+        assert_eq!(fmt_duration_ms(75.0), "75ms");
+        assert_eq!(fmt_duration_ms(1499.0), "1.5s");
+        assert_eq!(fmt_duration_ms(59_940.0), "59.9s");
+        assert_eq!(fmt_duration_ms(61_000.0), "1m01s");
+        assert_eq!(fmt_duration_ms(3_601_000.0), "60m01s");
+        assert_eq!(fmt_duration_ms(f64::NAN), "n/a");
+        assert_eq!(fmt_duration_ms(-5.0), "n/a");
     }
 
     #[test]

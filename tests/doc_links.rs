@@ -15,6 +15,7 @@ const DOC_FILES: &[&str] = &[
     "EXPERIMENTS.md",
     "CHANGELOG.md",
     "docs/ARCHITECTURE.md",
+    "docs/EXPERIMENT_PIPELINE.md",
 ];
 
 /// Extracts inline-link targets from markdown source.
