@@ -1,0 +1,201 @@
+//! Serial vs parallel round engine on an act-dominated workload.
+//!
+//! Every node is awake every round and burns real CPU inside
+//! `Protocol::act` (a tight RNG-mixing loop), so the sharded act and
+//! delivery stages — not the serial merge — dominate wall-clock time.
+//! This is the workload `SimConfig::with_threads` exists for; the
+//! determinism contract (`docs/PARALLEL_ENGINE.md`) guarantees the
+//! parallel runs produce byte-identical output, so the only question
+//! left is the speedup, and `BENCH_engine.json` pins its floors.
+//!
+//! Entry points:
+//! - `cargo bench --bench bench_engine_parallel` — criterion run at
+//!   n = 10⁵ over thread counts {1, 2, max};
+//! - `ENGINE_BENCH_SMOKE=1 cargo bench --bench bench_engine_parallel` —
+//!   wall-clock serial/parallel ratios at n ∈ {10⁵, 10⁶}, enforced
+//!   against the committed `parallel_speedup` baselines only on hosts
+//!   with ≥ 4 cores (ratios are printed but not gated on smaller
+//!   machines, where the floor is unreachable by construction);
+//! - `ENGINE_BENCH_FULL=1` additionally measures the n = 10⁷ row — the
+//!   scaling-story headline number — which needs several GiB of RAM and
+//!   is kept out of the default smoke run.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use mis_graphs::{generators, Graph};
+use radio_netsim::{
+    Action, ChannelModel, Feedback, Message, NodeRng, NodeStatus, Protocol, SimConfig, Simulator,
+};
+use rand::Rng;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// RNG draws per `act` call: enough per-node work that phase sharding
+/// pays for its merge, mirroring a real protocol's per-round sampling.
+const DRAWS: u32 = 64;
+
+/// Awake every round, mixing [`DRAWS`] RNG draws into an accumulator and
+/// occasionally transmitting (so the delivery stages see traffic too);
+/// halts after a fixed number of rounds.
+struct CpuBound {
+    rounds_left: u64,
+    acc: u64,
+    done: bool,
+}
+
+impl Protocol for CpuBound {
+    fn act(&mut self, _round: u64, rng: &mut NodeRng) -> Action {
+        if self.rounds_left == 0 {
+            self.done = true;
+            return Action::halt();
+        }
+        self.rounds_left -= 1;
+        for _ in 0..DRAWS {
+            self.acc = self.acc.wrapping_add(rng.gen::<u64>()).rotate_left(7);
+        }
+        if self.acc & 7 == 0 {
+            Action::Transmit(Message::unary())
+        } else {
+            Action::Listen
+        }
+    }
+    fn feedback(&mut self, _round: u64, _fb: Feedback, _rng: &mut NodeRng) {}
+    fn status(&self) -> NodeStatus {
+        NodeStatus::OutMis
+    }
+    fn finished(&self) -> bool {
+        self.done
+    }
+}
+
+/// Rounds per run, scaled down with n so every size costs roughly the
+/// same total CPU.
+fn rounds_for(n: usize) -> u64 {
+    match n {
+        0..=100_000 => 16,
+        100_001..=1_000_000 => 4,
+        _ => 2,
+    }
+}
+
+fn run(g: &Graph, threads: usize) -> u64 {
+    let rounds = rounds_for(g.len());
+    let config = SimConfig::new(ChannelModel::Cd)
+        .with_seed(1)
+        .with_threads(threads);
+    let report = Simulator::new(g, config).run(|_, _| CpuBound {
+        rounds_left: rounds,
+        acc: 0,
+        done: false,
+    });
+    assert!(report.completed, "cpu-bound workload must finish");
+    report.rounds
+}
+
+fn bench(c: &mut Criterion) {
+    let max_threads = available_cores().min(8);
+    let g = generators::path(100_000);
+    let mut group = c.benchmark_group("engine_parallel/n=100000");
+    group.sample_size(10);
+    for threads in [1usize, 2, max_threads] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| b.iter(|| run(&g, threads)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn available_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |c| c.get())
+}
+
+/// Best-of-`reps` wall-clock time for one run.
+fn measure(g: &Graph, threads: usize, reps: u32) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        run(g, threads);
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+/// Loads the committed parallel-speedup baselines
+/// (`{"parallel_speedup": {"1e6": …}}`).
+fn load_baseline() -> HashMap<String, f64> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let v: serde_json::Value = serde_json::from_str(&text).expect("baseline must parse");
+    v["parallel_speedup"]
+        .as_object()
+        .expect("baseline needs a \"parallel_speedup\" table")
+        .iter()
+        .map(|(k, val)| (k.clone(), val.as_f64().expect("speedup must be numeric")))
+        .collect()
+}
+
+/// Hard acceptance floors per size, independent of the committed
+/// baseline: 10⁶ nodes must clear 2× (the PR's acceptance criterion);
+/// 10⁵ tolerates more merge overhead relative to useful work.
+fn absolute_floor(key: &str) -> f64 {
+    if key == "1e5" {
+        1.3
+    } else {
+        2.0
+    }
+}
+
+/// The CI regression gate: serial/parallel wall ratios, enforced against
+/// `max(absolute, 0.8 × baseline)` — but only on hosts with ≥ 4 cores.
+fn smoke() {
+    let cores = available_cores();
+    let threads = cores.min(8);
+    let enforce = cores >= 4;
+    let baseline = load_baseline();
+    let mut sizes = vec![(100_000usize, "1e5"), (1_000_000, "1e6")];
+    if std::env::var_os("ENGINE_BENCH_FULL").is_some() {
+        sizes.push((10_000_000, "1e7"));
+    }
+    let mut failed = false;
+    for (n, key) in sizes {
+        let g = generators::path(n);
+        let reps = if n >= 10_000_000 { 1 } else { 3 };
+        let serial = measure(&g, 1, reps);
+        let parallel = measure(&g, threads, reps);
+        let ratio = serial.as_secs_f64() / parallel.as_secs_f64().max(1e-9);
+        let floor = baseline.get(key).map_or_else(
+            || absolute_floor(key),
+            |&b| (0.8 * b).max(absolute_floor(key)),
+        );
+        println!(
+            "{key}: serial {serial:?} / {threads}-thread {parallel:?} = {ratio:.2}x \
+             (floor {floor:.2}x, {})",
+            if enforce {
+                "enforced"
+            } else {
+                "print-only: < 4 cores"
+            }
+        );
+        if enforce && ratio < floor {
+            eprintln!("REGRESSION: {key} speedup {ratio:.2}x below floor {floor:.2}x");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("engine parallel smoke: done");
+}
+
+fn main() {
+    if std::env::var_os("ENGINE_BENCH_SMOKE").is_some() {
+        smoke();
+        return;
+    }
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -110,6 +110,9 @@ pub struct RunOpts {
     /// Round-loop backend (`--engine dense|sparse`). Both are
     /// byte-equivalent; `dense` is the slow reference oracle.
     pub engine: EngineMode,
+    /// Worker threads for the intra-round engine stages (`--threads`).
+    /// Every count produces byte-identical results; 1 stays serial.
+    pub threads: usize,
 }
 
 impl Default for RunOpts {
@@ -128,6 +131,7 @@ impl Default for RunOpts {
             json: false,
             metrics: None,
             engine: EngineMode::default(),
+            threads: 1,
         }
     }
 }
@@ -167,6 +171,9 @@ pub struct TraceOpts {
     /// Round-loop backend (`--engine dense|sparse`). Both are
     /// byte-equivalent, so the traced stream never depends on this.
     pub engine: EngineMode,
+    /// Worker threads for the intra-round engine stages (`--threads`).
+    /// Every count streams byte-identical traces; 1 stays serial.
+    pub threads: usize,
 }
 
 impl Default for TraceOpts {
@@ -186,6 +193,7 @@ impl Default for TraceOpts {
             to: None,
             out: None,
             engine: EngineMode::default(),
+            threads: 1,
         }
     }
 }
@@ -242,12 +250,12 @@ USAGE:
   mis-sim run    --algorithm <ALG> (--family <FAM> --n <N> | --graph <FILE>)
                  [--trials <T>] [--seed <S>] [--max-rounds <R>] [FAULTS]
                  [--paper-constants] [--json] [--metrics <FILE>]
-                 [--resume <FILE>] [--engine dense|sparse]
+                 [--resume <FILE>] [--engine dense|sparse] [--threads <T>]
   mis-sim trace  --algorithm <ALG> (--family <FAM> --n <N> | --graph <FILE>)
                  [--seed <S>] [--max-rounds <R>] [FAULTS] [--paper-constants]
                  [--events <K,K,..>] [--nodes <V,V,..>]
                  [--from <ROUND>] [--to <ROUND>] [--out <FILE>]
-                 [--engine dense|sparse]
+                 [--engine dense|sparse] [--threads <T>]
   mis-sim graph  --family <FAM> --n <N> [--seed <S>] [--out <FILE>]
   mis-sim verify --graph <FILE> --set <FILE>
   mis-sim list
@@ -279,7 +287,10 @@ as JSON Lines; event kinds are acted, fed, status, finished, fault, metrics.
 `--engine` picks the round-loop backend: the default `sparse` wake queue,
 or the `dense` per-node-scan reference oracle. Both are byte-equivalent —
 same reports, same metrics, same trace stream — so the flag only changes
-speed, never results.
+speed, never results. `--threads` shards each round's act and delivery
+phases across that many workers (default 1 = serial); like `--engine`,
+every thread count produces byte-identical results, so the flag only
+changes speed (see docs/PARALLEL_ENGINE.md for the determinism contract).
 
 Run `mis-sim list` for the available algorithms and families.";
 
@@ -507,6 +518,7 @@ fn parse_run(args: &[&str]) -> Result<RunOpts, String> {
             "metrics",
             "resume",
             "engine",
+            "threads",
         ]
         .contains(&key.as_str())
             && !FAULT_KEYS.contains(&key.as_str())
@@ -539,6 +551,12 @@ fn parse_run(args: &[&str]) -> Result<RunOpts, String> {
     run.resume = opts.get("resume").and_then(|v| v.map(str::to_string));
     if let Some(Some(v)) = opts.get("engine") {
         run.engine = parse_engine(v)?;
+    }
+    if let Some(Some(v)) = opts.get("threads") {
+        run.threads = parse_num(v, "threads")?;
+        if run.threads == 0 {
+            return Err("--threads must be ≥ 1".into());
+        }
     }
     if run.trials == 0 {
         return Err("--trials must be ≥ 1".into());
@@ -577,6 +595,7 @@ fn parse_trace(args: &[&str]) -> Result<TraceOpts, String> {
             "to",
             "out",
             "engine",
+            "threads",
         ]
         .contains(&key.as_str())
             && !FAULT_KEYS.contains(&key.as_str())
@@ -621,6 +640,12 @@ fn parse_trace(args: &[&str]) -> Result<TraceOpts, String> {
     trace.out = opts.get("out").and_then(|v| v.map(str::to_string));
     if let Some(Some(v)) = opts.get("engine") {
         trace.engine = parse_engine(v)?;
+    }
+    if let Some(Some(v)) = opts.get("threads") {
+        trace.threads = parse_num(v, "threads")?;
+        if trace.threads == 0 {
+            return Err("--threads must be ≥ 1".into());
+        }
     }
     Ok(trace)
 }
@@ -821,6 +846,32 @@ mod tests {
             Command::Trace(t) => assert_eq!(t.engine, EngineMode::Sparse),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_threads_flag_and_defaults_to_serial() {
+        let cli = parse_ok("run --algorithm cd --family star --n 16 --threads 4");
+        match cli.command {
+            Command::Run(r) => assert_eq!(r.threads, 4),
+            other => panic!("{other:?}"),
+        }
+        let cli = parse_ok("run --algorithm cd --family star --n 16");
+        match cli.command {
+            Command::Run(r) => assert_eq!(r.threads, 1),
+            other => panic!("{other:?}"),
+        }
+        let cli = parse_ok("trace --algorithm cd --family star --n 16 --threads 8");
+        match cli.command {
+            Command::Trace(t) => assert_eq!(t.threads, 8),
+            other => panic!("{other:?}"),
+        }
+        let check = |line: &str| {
+            let args: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+            let err = parse(&args).unwrap_err();
+            assert!(err.contains("--threads must be ≥ 1"), "{err:?}");
+        };
+        check("run --algorithm cd --family star --n 16 --threads 0");
+        check("trace --algorithm cd --family star --n 16 --threads 0");
     }
 
     #[test]

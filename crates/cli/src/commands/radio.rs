@@ -43,7 +43,7 @@ pub fn radio_channel(alg: Algorithm) -> Option<ChannelModel> {
 ///
 /// Returns a message for the wired CONGEST algorithms, which have no radio
 /// simulation (and no trace/metrics support).
-pub fn run_radio_traced<T: TraceSink>(
+pub fn run_radio_traced<T: TraceSink + Send>(
     g: &Graph,
     alg: Algorithm,
     config: SimConfig,

@@ -74,12 +74,14 @@ fn radio_trial(
     paper: bool,
     collect_metrics: bool,
     engine: EngineMode,
+    threads: usize,
 ) -> ((bool, usize, u64, f64, u64), Vec<RoundMetrics>) {
     let channel = radio_channel(alg).expect("congest algorithms handled by caller");
     let mut config = SimConfig::new(channel)
         .with_seed(seed)
         .with_faults(faults.clone())
-        .with_engine_mode(engine);
+        .with_engine_mode(engine)
+        .with_threads(threads);
     if let Some(cap) = max_rounds {
         config = config.with_max_rounds(cap);
     }
@@ -187,7 +189,8 @@ pub fn execute(opts: &RunOpts) -> Result<String, String> {
         let mut config = SimConfig::new(channel)
             .with_seed(opts.seed)
             .with_faults(opts.faults.clone())
-            .with_engine_mode(opts.engine);
+            .with_engine_mode(opts.engine)
+            .with_threads(opts.threads);
         if let Some(cap) = opts.max_rounds {
             config = config.with_max_rounds(cap);
         }
@@ -242,6 +245,7 @@ pub fn execute(opts: &RunOpts) -> Result<String, String> {
                         opts.paper_constants,
                         opts.metrics.is_some(),
                         opts.engine,
+                        opts.threads,
                     );
                     if opts.metrics.is_some() {
                         timelines.push((t, timeline));
@@ -394,6 +398,21 @@ mod tests {
         })
         .unwrap();
         assert_eq!(sparse, dense, "--engine must never change results");
+    }
+
+    #[test]
+    fn threaded_run_reproduces_the_serial_json_report() {
+        let base = RunOpts {
+            n: 96,
+            trials: 2,
+            json: true,
+            faults: FaultPlan::none().with_random_crashes(2, 16).with_loss(0.1),
+            max_rounds: Some(100_000),
+            ..RunOpts::default()
+        };
+        let serial = execute(&base).unwrap();
+        let threaded = execute(&RunOpts { threads: 4, ..base }).unwrap();
+        assert_eq!(serial, threaded, "--threads must never change results");
     }
 
     #[test]

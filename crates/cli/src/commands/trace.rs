@@ -30,7 +30,8 @@ pub fn execute(opts: &TraceOpts) -> Result<String, String> {
     let mut config = SimConfig::new(channel)
         .with_seed(opts.seed)
         .with_faults(opts.faults.clone())
-        .with_engine_mode(opts.engine);
+        .with_engine_mode(opts.engine)
+        .with_threads(opts.threads);
     if let Some(cap) = opts.max_rounds {
         config = config.with_max_rounds(cap);
     }
@@ -59,7 +60,7 @@ pub fn execute(opts: &TraceOpts) -> Result<String, String> {
 
 /// Runs the traced simulation, streaming filtered events into `writer`.
 /// Returns the run report, the number of events written, and the writer.
-fn trace_to<W: Write>(
+fn trace_to<W: Write + Send>(
     graph: &Graph,
     opts: &TraceOpts,
     config: SimConfig,
@@ -166,6 +167,17 @@ mod tests {
         opts.engine = EngineMode::Dense;
         let dense = execute(&opts).unwrap();
         assert_eq!(sparse, dense, "--engine must never change the stream");
+    }
+
+    #[test]
+    fn threaded_run_streams_an_identical_trace() {
+        let mut opts = small(Algorithm::Cd);
+        opts.n = 96;
+        opts.faults = radio_netsim::FaultPlan::none().with_wake_window(16);
+        let serial = execute(&opts).unwrap();
+        opts.threads = 4;
+        let threaded = execute(&opts).unwrap();
+        assert_eq!(serial, threaded, "--threads must never change the stream");
     }
 
     #[test]

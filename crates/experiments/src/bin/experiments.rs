@@ -1,8 +1,8 @@
 //! Experiment runner binary.
 //!
 //! ```text
-//! experiments <id>|all [--quick] [--seed N] [--out FILE] [--svg-dir DIR]
-//!             [--cache-dir DIR] [--only LIST] [--force]
+//! experiments <id>|all [--quick] [--seed N] [--threads N] [--out FILE]
+//!             [--svg-dir DIR] [--cache-dir DIR] [--only LIST] [--force]
 //! ```
 //!
 //! `--out` writes the rendered markdown (the results section of
@@ -16,9 +16,15 @@
 //! `e15:loss`); `--force` bypasses cache *reads* for the selected units
 //! (all units without `--only`) while still writing fresh results back.
 //!
+//! `--threads N` shards each simulation's intra-round phases across N
+//! workers. Thread count never changes results (the engine's determinism
+//! contract, `docs/PARALLEL_ENGINE.md`), so like the cache flags it is
+//! absent from the generated header and from every cache key: a sweep
+//! cached serially replays warm under any `--threads`.
+//!
 //! The generated header records only the inputs that determine the output
-//! bytes (target, `--quick`, `--seed`) — never the cache flags, so cached
-//! and fresh renders are byte-identical.
+//! bytes (target, `--quick`, `--seed`) — never the cache flags or the
+//! thread count, so cached and fresh renders are byte-identical.
 
 use mis_experiments::orchestrator::canonical_experiment_id;
 use mis_experiments::{run_all, ExpConfig, Orchestrator, ALL_IDS};
@@ -27,8 +33,8 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <{}|all> [--quick] [--seed N] [--out FILE] [--svg-dir DIR] \
-         [--cache-dir DIR] [--only LIST] [--force]",
+        "usage: experiments <{}|all> [--quick] [--seed N] [--threads N] [--out FILE] \
+         [--svg-dir DIR] [--cache-dir DIR] [--only LIST] [--force]",
         ALL_IDS.join("|")
     );
     std::process::exit(2);
@@ -50,6 +56,14 @@ fn main() {
             "--seed" => {
                 let v = it.next().unwrap_or_else(|| usage());
                 cfg.seed = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--threads" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                cfg.threads = v.parse().unwrap_or_else(|_| usage());
+                if cfg.threads == 0 {
+                    eprintln!("--threads must be ≥ 1");
+                    usage();
+                }
             }
             "--out" => out_path = Some(it.next().unwrap_or_else(|| usage())),
             "--svg-dir" => svg_dir = Some(it.next().unwrap_or_else(|| usage())),

@@ -60,7 +60,9 @@ pub fn run(cfg: &ExpConfig, orch: &Orchestrator) -> ExperimentOutput {
                 .with("alg", "CdMis")
                 .with("params", format!("{params:?}")),
             &g,
-            SimConfig::new(ChannelModel::Cd).with_seed(cfg.seed ^ (n as u64) << 8),
+            SimConfig::new(ChannelModel::Cd)
+                .with_seed(cfg.seed ^ (n as u64) << 8)
+                .with_threads(cfg.threads),
             trials,
             |_, _| CdMis::new(params),
         );
@@ -137,7 +139,9 @@ pub fn run(cfg: &ExpConfig, orch: &Orchestrator) -> ExperimentOutput {
                 .with("alg", "CdMis")
                 .with("params", format!("{params:?}")),
             &g,
-            SimConfig::new(ChannelModel::Cd).with_seed(cfg.seed ^ 0xFB),
+            SimConfig::new(ChannelModel::Cd)
+                .with_seed(cfg.seed ^ 0xFB)
+                .with_threads(cfg.threads),
             fam_trials,
             |_, _| CdMis::new(params),
         );
@@ -155,9 +159,12 @@ pub fn run(cfg: &ExpConfig, orch: &Orchestrator) -> ExperimentOutput {
     // predicts geometric decay of the undecided count).
     let n_big = *ns.last().expect("sweep is non-empty");
     let big_params = CdParams::for_n(n_big);
+    // `threads` is absent from `fingerprint()` (thread-count invariance),
+    // so the `sim` cache ingredient below stays stable across --threads.
     let decay_config = SimConfig::new(ChannelModel::Cd)
         .with_seed(cfg.seed ^ 0xDECA)
-        .with_round_metrics();
+        .with_round_metrics()
+        .with_threads(cfg.threads);
     let decay = orch.unit_with_cost(
         &UnitKey::new("e2", format!("decay/n={n_big}"))
             .with(

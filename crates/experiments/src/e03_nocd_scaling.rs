@@ -64,7 +64,9 @@ pub fn run(cfg: &ExpConfig, orch: &Orchestrator) -> ExperimentOutput {
                 .with("alg", "NoCdMis")
                 .with("params", format!("{params:?}")),
             &g,
-            SimConfig::new(ChannelModel::NoCd).with_seed(cfg.seed ^ (n as u64) << 9),
+            SimConfig::new(ChannelModel::NoCd)
+                .with_seed(cfg.seed ^ (n as u64) << 9)
+                .with_threads(cfg.threads),
             trials,
             |_, _| NoCdMis::new(params),
         );
@@ -117,9 +119,12 @@ pub fn run(cfg: &ExpConfig, orch: &Orchestrator) -> ExperimentOutput {
     // per-round metrics: Theorem 10's budget is about *total* awake rounds,
     // so the interesting shape is how early the spending happens.
     let n_big = *ns.last().expect("sweep is non-empty");
+    // `threads` is absent from `fingerprint()` (thread-count invariance),
+    // so the `sim` cache ingredient below stays stable across --threads.
     let checkpoint_config = SimConfig::new(ChannelModel::NoCd)
         .with_seed(cfg.seed ^ 0xE3E3)
-        .with_round_metrics();
+        .with_round_metrics()
+        .with_threads(cfg.threads);
     let sample = orch.unit_with_cost(
         &UnitKey::new("e3", format!("checkpoints/n={n_big}"))
             .with(

@@ -171,7 +171,7 @@ const CELL_COLUMNS: [&str; 6] = [
 /// — including instances replaced by an engine rebuild — when it is
 /// dropped.
 struct Audit<'a> {
-    inner: RepairingMis<CdMis, Box<dyn FnMut(&mut NodeRng) -> CdMis>>,
+    inner: RepairingMis<CdMis, Box<dyn FnMut(&mut NodeRng) -> CdMis + Send>>,
     totals: &'a Mutex<(u64, u64, u64)>,
 }
 

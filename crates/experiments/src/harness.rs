@@ -16,6 +16,12 @@ pub struct ExpConfig {
     pub quick: bool,
     /// Master seed; every experiment derives all randomness from it.
     pub seed: u64,
+    /// Worker threads for the intra-round engine stages of each
+    /// simulation (`--threads`). Every count produces byte-identical
+    /// results, so this is *not* a cache ingredient: warm cache entries
+    /// stay valid across thread counts (`SimConfig::fingerprint` is
+    /// thread-invariant by the same contract).
+    pub threads: usize,
 }
 
 impl Default for ExpConfig {
@@ -23,6 +29,7 @@ impl Default for ExpConfig {
         ExpConfig {
             quick: false,
             seed: 0x00E1_7E55,
+            threads: 1,
         }
     }
 }
@@ -44,7 +51,11 @@ impl ExpConfig {
     /// assert_eq!(full.trials(30), 30);
     /// ```
     pub fn quick(seed: u64) -> ExpConfig {
-        ExpConfig { quick: true, seed }
+        ExpConfig {
+            quick: true,
+            seed,
+            threads: 1,
+        }
     }
 
     /// Powers of two `2^min ..= 2^max`, truncated in quick mode.

@@ -516,7 +516,7 @@ impl Orchestrator {
         factory: F,
     ) -> TrialStats
     where
-        P: Protocol,
+        P: Protocol + Send,
         F: Fn(NodeId, &mut NodeRng) -> P + Sync,
     {
         let key = key

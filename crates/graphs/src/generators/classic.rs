@@ -9,6 +9,13 @@ pub fn empty(n: usize) -> Graph {
 }
 
 /// The path P_n: `0 - 1 - … - (n-1)`.
+///
+/// ```
+/// let g = mis_graphs::generators::path(5);
+/// assert_eq!(g.len(), 5);
+/// assert_eq!(g.edge_count(), 4);
+/// assert_eq!(g.neighbors(2), &[1, 3]);
+/// ```
 pub fn path(n: usize) -> Graph {
     let mut b = GraphBuilder::new(n);
     for v in 1..n {
@@ -65,6 +72,14 @@ pub fn complete_bipartite(a: usize, b: usize) -> Graph {
 
 /// The `rows × cols` 2D grid graph with 4-neighborhoods. Node `(r, c)` has
 /// id `r * cols + c`.
+///
+/// ```
+/// let g = mis_graphs::generators::grid2d(3, 4);
+/// assert_eq!(g.len(), 12);
+/// // Interior nodes have all four neighbors; corners have two.
+/// assert_eq!(g.degree(1 * 4 + 1), 4);
+/// assert_eq!(g.degree(0), 2);
+/// ```
 pub fn grid2d(rows: usize, cols: usize) -> Graph {
     let mut b = GraphBuilder::new(rows * cols);
     for r in 0..rows {

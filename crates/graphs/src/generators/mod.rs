@@ -15,9 +15,13 @@
 //! Every randomized generator takes an explicit `seed` and is deterministic
 //! given it.
 
+/// Deterministic families: paths, cycles, stars, cliques, grids, trees.
 pub mod classic;
+/// Random geometric (unit-disk) graphs, plane and torus variants.
 pub mod geometric;
+/// The adversarial Theorem-1 lower-bound family.
 pub mod lower_bound;
+/// Random families: G(n,p), G(n,m), bounded-degree, random trees.
 pub mod random;
 
 pub use classic::{binary_tree, clique, complete_bipartite, cycle, empty, grid2d, path, star};
@@ -63,7 +67,20 @@ pub enum Family {
 }
 
 impl Family {
-    /// Instantiates this family at size `n` using `seed`.
+    /// Instantiates this family at size `n` using `seed` (deterministic
+    /// given the pair, like every generator in this crate).
+    ///
+    /// ```
+    /// use mis_graphs::generators::Family;
+    ///
+    /// let g = Family::Star.generate(16, 0);
+    /// assert_eq!(g.len(), 16);
+    /// assert_eq!(g.max_degree(), 15); // the hub
+    ///
+    /// let a = Family::GnpAvgDegree(8).generate(256, 42);
+    /// let b = Family::GnpAvgDegree(8).generate(256, 42);
+    /// assert!(a.edges().eq(b.edges()));
+    /// ```
     pub fn generate(self, n: usize, seed: u64) -> Graph {
         match self {
             Family::GnpAvgDegree(d) => {

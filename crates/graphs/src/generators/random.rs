@@ -12,6 +12,19 @@ use rand::Rng;
 /// Uses geometric skipping, so the cost is O(n + m) rather than O(n²) for
 /// sparse graphs.
 ///
+/// Deterministic given `seed`:
+///
+/// ```
+/// use mis_graphs::generators::gnp;
+///
+/// let a = gnp(200, 0.05, 7);
+/// let b = gnp(200, 0.05, 7);
+/// assert_eq!(a.edge_count(), b.edge_count());
+/// assert!(a.edges().eq(b.edges()));
+/// assert_eq!(gnp(10, 0.0, 7).edge_count(), 0);
+/// assert_eq!(gnp(10, 1.0, 7).edge_count(), 45);
+/// ```
+///
 /// # Panics
 ///
 /// Panics if `p` is not within `[0, 1]` or is NaN.

@@ -22,13 +22,19 @@
 //! experiment harness reproducible end to end.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+/// Structural graph analysis: degree histograms, component counts.
 pub mod analysis;
+/// Error types for graph construction, validation, and parsing.
 pub mod error;
+/// Deterministic generators for every evaluated graph family.
 pub mod generators;
+/// The immutable compressed-sparse-row graph type and its builder.
 pub mod graph;
+/// Plain-text edge-list serialization.
 pub mod io;
+/// Maximal-independent-set verification utilities.
 pub mod mis;
 
 pub use error::GraphError;

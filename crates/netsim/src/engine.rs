@@ -71,9 +71,11 @@ use crate::energy::EnergyMeter;
 use crate::fault::{FaultKind, FaultPlan};
 use crate::metrics::{MetricsAccumulator, RoundCounters, RoundMetrics};
 use crate::model::{Action, ChannelModel, Feedback, Message, NodeStatus};
+use crate::par::{engine_pool, shard_slices};
 use crate::protocol::{NodeRng, Protocol};
 use crate::report::RunReport;
 use crate::rng::split_seed;
+use crate::state::BitSet;
 use crate::trace::{EventKind, EventMask, NullTrace, TraceEvent, TraceSink};
 use mis_graphs::{Graph, NodeId};
 use rand::SeedableRng;
@@ -191,6 +193,12 @@ pub struct SimConfig {
     /// default; the dense oracle exists for differential testing and
     /// benchmarking, never for accuracy — the two are byte-equivalent.
     pub mode: EngineMode,
+    /// Worker threads for the intra-round shard phases. `1` (the
+    /// default) runs fully serial; any value is byte-equivalent to any
+    /// other — thread count is an execution strategy, not an input, and
+    /// is deliberately excluded from [`SimConfig::fingerprint`]. See
+    /// `docs/PARALLEL_ENGINE.md`.
+    pub threads: usize,
 }
 
 impl SimConfig {
@@ -206,6 +214,7 @@ impl SimConfig {
             collect_metrics: false,
             convergence: None,
             mode: EngineMode::default(),
+            threads: 1,
         }
     }
 
@@ -254,6 +263,20 @@ impl SimConfig {
         self
     }
 
+    /// Sets the worker-thread count for the intra-round shard phases.
+    /// Results are byte-identical for every thread count (a tested
+    /// property, see `engine_differential`); only wall-clock cost
+    /// differs, so [`SimConfig::fingerprint`] ignores this field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_threads(mut self, threads: usize) -> SimConfig {
+        assert!(threads >= 1, "thread count must be at least 1");
+        self.threads = threads;
+        self
+    }
+
     /// Reception-loss sugar: sets the fault plan's per-edge fade
     /// probability, leaving its other clauses untouched. Equivalent to
     /// `config.faults.loss = p` via [`FaultPlan::with_loss`].
@@ -268,15 +291,44 @@ impl SimConfig {
 
     /// A stable one-line fingerprint of the full configuration, for use as
     /// a cache-key ingredient by result caches (see
-    /// `mis-experiments::orchestrator`). Covers every field of the config —
-    /// channel, round cap, message budget, seed, fault plan, metrics flag,
-    /// convergence policy, and engine mode (mode equivalence is a tested
-    /// property of the engine, not an assumption a cache should bake in).
-    /// Stable within one crate version; cache layers must additionally salt
-    /// keys with the crate version to cover formatting drift across
-    /// releases.
+    /// `mis-experiments::orchestrator`). Covers every output-determining
+    /// field of the config — channel, round cap, message budget, seed,
+    /// fault plan, metrics flag, convergence policy, and engine mode (mode
+    /// equivalence is a tested property of the engine, not an assumption a
+    /// cache should bake in). [`SimConfig::threads`] is deliberately
+    /// **excluded**: thread count is an execution strategy with
+    /// byte-identical results, so a warm cache must keep hitting when a
+    /// rerun adds `--threads`. Stable within one crate version; cache
+    /// layers must additionally salt keys with the crate version to cover
+    /// formatting drift across releases.
     pub fn fingerprint(&self) -> String {
-        format!("{self:?}")
+        // A thread-free shadow of the config, named and ordered exactly
+        // like the pre-parallelism struct so the derived `Debug` output —
+        // and with it every existing cache key — is byte-identical to
+        // what `format!("{self:?}")` produced before `threads` existed.
+        #[derive(Debug)]
+        #[allow(dead_code)] // fields are read by the derived Debug only
+        struct SimConfig<'a> {
+            channel: &'a ChannelModel,
+            max_rounds: &'a u64,
+            message_bits: &'a Option<u32>,
+            seed: &'a u64,
+            faults: &'a FaultPlan,
+            collect_metrics: &'a bool,
+            convergence: &'a Option<ConvergencePolicy>,
+            mode: &'a EngineMode,
+        }
+        let shadow = SimConfig {
+            channel: &self.channel,
+            max_rounds: &self.max_rounds,
+            message_bits: &self.message_bits,
+            seed: &self.seed,
+            faults: &self.faults,
+            collect_metrics: &self.collect_metrics,
+            convergence: &self.convergence,
+            mode: &self.mode,
+        };
+        format!("{shadow:?}")
     }
 
     fn resolved_message_bits(&self, n: usize) -> u32 {
@@ -298,11 +350,12 @@ impl SimConfig {
 enum WakeSchedule {
     /// Min-heap of `(wake round, node)`.
     Sparse(BinaryHeap<Reverse<(u64, NodeId)>>),
-    /// Per-node wake table: `next_wake[v]` is meaningful iff `queued[v]`.
-    /// `cursor` is the dense drain position within the current round.
+    /// Per-node wake table: `next_wake[v]` is meaningful iff bit `v` of
+    /// `queued` is set. `cursor` is the dense drain position within the
+    /// current round.
     Dense {
         next_wake: Vec<u64>,
-        queued: Vec<bool>,
+        queued: BitSet,
         cursor: usize,
     },
 }
@@ -313,7 +366,7 @@ impl WakeSchedule {
             EngineMode::Sparse => WakeSchedule::Sparse(BinaryHeap::with_capacity(n)),
             EngineMode::Dense => WakeSchedule::Dense {
                 next_wake: vec![0; n],
-                queued: vec![false; n],
+                queued: BitSet::with_len(n),
                 cursor: 0,
             },
         }
@@ -327,9 +380,9 @@ impl WakeSchedule {
             WakeSchedule::Dense {
                 next_wake, queued, ..
             } => {
-                debug_assert!(!queued[v], "node {v} scheduled twice");
+                debug_assert!(!queued.get(v), "node {v} scheduled twice");
                 next_wake[v] = round;
-                queued[v] = true;
+                queued.set(v);
             }
         }
     }
@@ -345,11 +398,14 @@ impl WakeSchedule {
                 cursor,
             } => {
                 *cursor = 0;
-                queued
-                    .iter()
-                    .zip(next_wake.iter())
-                    .filter_map(|(&q, &r)| q.then_some(r))
-                    .min()
+                let mut best: Option<u64> = None;
+                let mut probe = queued.next_set_from(0);
+                while let Some(v) = probe {
+                    let r = next_wake[v];
+                    best = Some(best.map_or(r, |b: u64| b.min(r)));
+                    probe = queued.next_set_from(v + 1);
+                }
+                best
             }
         }
     }
@@ -373,11 +429,10 @@ impl WakeSchedule {
                 queued,
                 cursor,
             } => {
-                while *cursor < queued.len() {
-                    let v = *cursor;
-                    *cursor += 1;
-                    if queued[v] && next_wake[v] == round {
-                        queued[v] = false;
+                while let Some(v) = queued.next_set_from(*cursor) {
+                    *cursor = v + 1;
+                    if next_wake[v] == round {
+                        queued.clear(v);
                         return Some(v);
                     }
                 }
@@ -385,6 +440,43 @@ impl WakeSchedule {
             }
         }
     }
+}
+
+/// Per-node result of the sharded delivery phase: the feedback delivered
+/// plus the node's contribution to the round's channel counters. The
+/// serial merge folds the counters into the round totals in ascending
+/// node order — a commutative integer sum, so the totals are independent
+/// of shard boundaries by construction.
+#[derive(Clone, Copy)]
+struct Delivery {
+    feedback: Feedback,
+    collisions: u32,
+    receptions: u32,
+    lost: u32,
+    faded: u32,
+    jammed: u32,
+}
+
+impl Default for Delivery {
+    fn default() -> Delivery {
+        Delivery {
+            feedback: Feedback::Sent,
+            collisions: 0,
+            receptions: 0,
+            lost: 0,
+            faded: 0,
+            jammed: 0,
+        }
+    }
+}
+
+/// The fade stream for listener-or-transmitter `v` in `round`: a short
+/// per-(round, node) RNG derived from the reserved channel stream, so
+/// per-edge fading draws are independent of the order nodes are resolved
+/// in — the property the sharded delivery phase rests on (and a
+/// quiet-round no-op: skipped rounds derive no streams).
+fn fade_stream(fade_seed: u64, round: u64, v: NodeId) -> NodeRng {
+    NodeRng::seed_from_u64(split_seed(split_seed(fade_seed, round), v as u64))
 }
 
 /// Drives a protocol over a graph under a [`SimConfig`].
@@ -443,22 +535,46 @@ impl<'g> Simulator<'g> {
     /// node's private stream (usable for e.g. random ID generation).
     pub fn run<P, F>(&self, factory: F) -> RunReport
     where
-        P: Protocol,
-        F: FnMut(NodeId, &mut NodeRng) -> P,
+        P: Protocol + Send,
+        F: FnMut(NodeId, &mut NodeRng) -> P + Send,
     {
         self.run_traced(factory, &mut NullTrace)
     }
 
     /// Like [`Simulator::run`], recording events into `trace`.
     ///
+    /// With [`SimConfig::threads`] above one, the round loop's shard
+    /// phases run on a dedicated engine pool; results are byte-identical
+    /// to the serial run for every thread count (see
+    /// `docs/PARALLEL_ENGINE.md`), which is why `P`, `F`, and `T` need
+    /// only `Send`, never `Sync` — each is still driven from one thread
+    /// at a time.
+    ///
     /// # Panics
     ///
     /// Panics if a protocol violates the engine contract: sleeping to a
     /// round not in the future, or transmitting a message over the
     /// RADIO-CONGEST budget. These are protocol bugs, not run failures.
-    pub fn run_traced<P, F, T>(&self, mut factory: F, trace: &mut T) -> RunReport
+    pub fn run_traced<P, F, T>(&self, factory: F, trace: &mut T) -> RunReport
     where
-        P: Protocol,
+        P: Protocol + Send,
+        F: FnMut(NodeId, &mut NodeRng) -> P + Send,
+        T: TraceSink + Send,
+    {
+        if self.config.threads > 1 {
+            engine_pool(self.config.threads).install(|| self.run_loop(factory, trace))
+        } else {
+            self.run_loop(factory, trace)
+        }
+    }
+
+    /// The round loop proper. Runs on the caller's thread; when the
+    /// config asks for parallelism, [`Simulator::run_traced`] has already
+    /// installed the engine pool so the shard phases' `rayon::join` lands
+    /// on its workers.
+    fn run_loop<P, F, T>(&self, mut factory: F, trace: &mut T) -> RunReport
+    where
+        P: Protocol + Send,
         F: FnMut(NodeId, &mut NodeRng) -> P,
         T: TraceSink,
     {
@@ -467,10 +583,14 @@ impl<'g> Simulator<'g> {
         let mut rngs: Vec<NodeRng> = (0..n)
             .map(|v| NodeRng::seed_from_u64(split_seed(self.config.seed, v as u64)))
             .collect();
-        // Dedicated stream for channel-level fading, so enabling loss never
-        // perturbs any node's private randomness (fault *resolution* draws
-        // from yet another stream; see `FaultPlan::resolve`).
-        let mut channel_rng = NodeRng::seed_from_u64(split_seed(self.config.seed, u64::MAX - 1));
+        // Dedicated stream *family* for channel-level fading, so enabling
+        // loss never perturbs any node's private randomness (fault
+        // *resolution* draws from yet another stream; see
+        // `FaultPlan::resolve`). Each listener-or-transmitter derives its
+        // own per-round stream via `fade_stream`, which is what lets the
+        // delivery phase shard without an order-dependent shared RNG.
+        let fade_seed = split_seed(self.config.seed, u64::MAX - 1);
+        let par = self.config.threads > 1;
         let resolved = self.config.faults.resolve(n, self.config.seed);
         let loss = self.config.faults.loss;
         let lossy = loss > 0.0;
@@ -483,10 +603,10 @@ impl<'g> Simulator<'g> {
         // scan per listener; without them the fast path early-exits at the
         // second arrival.
         let listener_slow = lossy || has_jammers;
-        let mut faulty: Vec<bool> = if has_jammers || has_crashes || has_recovery {
-            vec![false; n]
+        let mut faulty = if has_jammers || has_crashes || has_recovery {
+            BitSet::with_len(n)
         } else {
-            Vec::new()
+            BitSet::new()
         };
         // Crash-recovery state: `win_cursor[v]` indexes v's next (or
         // current) down window, `down_now[v]` marks a node inside one, and
@@ -494,20 +614,26 @@ impl<'g> Simulator<'g> {
         // window scheduled — it stays queued (at its next down round)
         // instead of retiring, because the window will wipe it back to life.
         let mut win_cursor: Vec<usize> = if has_recovery { vec![0; n] } else { Vec::new() };
-        let mut down_now: Vec<bool> = if has_recovery {
-            vec![false; n]
+        let mut down_now = if has_recovery {
+            BitSet::with_len(n)
         } else {
-            Vec::new()
+            BitSet::new()
         };
-        let mut parked: Vec<bool> = if has_recovery {
-            vec![false; n]
+        let mut parked = if has_recovery {
+            BitSet::with_len(n)
         } else {
-            Vec::new()
+            BitSet::new()
         };
-        let mut join_pending: Vec<bool> = if has_joins {
-            (0..n).map(|v| resolved.join_of(v) > 0).collect()
+        let mut join_pending = if has_joins {
+            let mut pending = BitSet::with_len(n);
+            for v in 0..n {
+                if resolved.join_of(v) > 0 {
+                    pending.set(v);
+                }
+            }
+            pending
         } else {
-            Vec::new()
+            BitSet::new()
         };
         let mut recovered_cum: u32 = 0;
         let mut joined_cum: u32 = 0;
@@ -550,10 +676,10 @@ impl<'g> Simulator<'g> {
         let want_metrics = self.config.collect_metrics || mask.contains(EventKind::RoundMetrics);
         // Tracks nodes whose decision was revoked and not re-made, for the
         // `repairing` metrics column. Only maintained when metrics are on.
-        let mut reopened: Vec<bool> = if want_metrics {
-            vec![false; n]
+        let mut reopened = if want_metrics {
+            BitSet::with_len(n)
         } else {
-            Vec::new()
+            BitSet::new()
         };
         let mut acc = MetricsAccumulator::default();
         if want_metrics {
@@ -561,10 +687,10 @@ impl<'g> Simulator<'g> {
             acc.decided = statuses.iter().filter(|s| s.is_decided()).count() as u32;
         }
         let mut timeline: Vec<RoundMetrics> = Vec::new();
-        let mut dormancy_noted: Vec<bool> = if has_dormancy && record_fault {
-            vec![false; n]
+        let mut dormancy_noted = if has_dormancy && record_fault {
+            BitSet::with_len(n)
         } else {
-            Vec::new()
+            BitSet::new()
         };
 
         // Wake schedule (backend per `config.mode`): nodes absent from it
@@ -576,7 +702,7 @@ impl<'g> Simulator<'g> {
         let mut crashed_cum: u32 = 0;
         for v in 0..n {
             if has_jammers && resolved.jammer[v] {
-                faulty[v] = true;
+                faulty.set(v);
                 if record_fault {
                     trace.record(TraceEvent::Fault {
                         round: 0,
@@ -596,7 +722,7 @@ impl<'g> Simulator<'g> {
                 // retire for good: park it at the window instead.
                 if has_recovery {
                     if let Some(&(down, _)) = resolved.windows_of(v).first() {
-                        parked[v] = true;
+                        parked.set(v);
                         queue.push(down, v);
                         live += 1;
                     }
@@ -620,12 +746,19 @@ impl<'g> Simulator<'g> {
         }
 
         // Scratch: which nodes transmit this round (epoch-stamped), plus
-        // the per-round work lists — hoisted once for the whole run so the
-        // steady-state loop is allocation-free (see `engine_alloc`).
+        // the per-round work lists and shard buffers — hoisted once for
+        // the whole run so the steady-state loop is allocation-free (see
+        // `engine_alloc`), serial and parallel alike: the shard phases
+        // write into pre-sized slices of these vectors.
         let mut tx_stamp: Vec<u64> = vec![u64::MAX; n];
         let mut tx_msg: Vec<Message> = vec![Message::unary(); n];
+        let mut due: Vec<NodeId> = Vec::new();
+        let mut actors: Vec<NodeId> = Vec::new();
+        let mut actions: Vec<Action> = Vec::new();
         let mut listeners: Vec<NodeId> = Vec::new();
         let mut transmitters: Vec<NodeId> = Vec::new();
+        let mut tx_out: Vec<Delivery> = Vec::new();
+        let mut rx_out: Vec<Delivery> = Vec::new();
         let mut sleep_updates: Vec<(NodeId, u64)> = Vec::new();
         let mut last_round_processed: u64 = 0;
         let record_actions = mask.contains(EventKind::Acted);
@@ -723,10 +856,25 @@ impl<'g> Simulator<'g> {
             transmitters.clear();
             sleep_updates.clear();
 
-            // Phase 1: collect actions from every node due this round.
-            // Both backends yield nodes in ascending id order within a
-            // round, so node order is deterministic and mode-independent.
+            // Phase 1a: drain this round's due set up front. Both
+            // backends yield nodes in ascending id order within a round,
+            // so the worklist is deterministic and mode-independent, and
+            // every requeue made below targets a strictly later round, so
+            // draining first is equivalent to popping lazily.
+            due.clear();
             while let Some(v) = queue.pop_due(round) {
+                due.push(v);
+            }
+
+            // Phase 1b: lifecycle faults — crash-stop, recovery windows,
+            // parking, joins. Serial: this mutates shared engine state
+            // (the wake schedule, the population counters) and may call
+            // the factory; running it first also keeps every fault trace
+            // event ahead of the round's action events, as the trace
+            // contract specifies. Survivors land in `actors`, still in
+            // ascending id order.
+            actors.clear();
+            for &v in &due {
                 // Crash-stop faults take effect when the node would next
                 // act (observably identical for a node that slept through
                 // its crash round — a sleeping node does nothing anyway).
@@ -736,14 +884,14 @@ impl<'g> Simulator<'g> {
                     // the crashed population when it went down; a parked
                     // (finished, awaiting a window) node moves from the
                     // finished column to the crashed one.
-                    if !(has_recovery && down_now[v]) {
+                    if !(has_recovery && down_now.get(v)) {
                         crashed_cum += 1;
                     }
-                    if has_recovery && parked[v] {
-                        parked[v] = false;
+                    if has_recovery && parked.get(v) {
+                        parked.clear(v);
                         finished_cum -= 1;
                     }
-                    faulty[v] = true;
+                    faulty.set(v);
                     conv_dirty |= want_conv;
                     if record_fault {
                         trace.record(TraceEvent::Fault {
@@ -756,7 +904,7 @@ impl<'g> Simulator<'g> {
                 }
                 if has_recovery {
                     let wins = resolved.windows_of(v);
-                    if down_now[v] {
+                    if down_now.get(v) {
                         // The node was pushed at its window's `up` round:
                         // rebuild it, tell it it is a revival, and re-admit
                         // it. It acts again from `round + 1` (this round it
@@ -766,9 +914,9 @@ impl<'g> Simulator<'g> {
                             queue.push(up, v);
                             continue;
                         }
-                        down_now[v] = false;
+                        down_now.clear(v);
                         win_cursor[v] += 1;
-                        faulty[v] = false;
+                        faulty.clear(v);
                         crashed_cum -= 1;
                         recovered_cum += 1;
                         nodes[v] = factory(v, &mut rngs[v]);
@@ -806,11 +954,11 @@ impl<'g> Simulator<'g> {
                         // Down it goes: wipe its status and lifecycle
                         // stamps, count it crashed, and schedule the
                         // restart at the window's `up` round.
-                        down_now[v] = true;
-                        faulty[v] = true;
+                        down_now.set(v);
+                        faulty.set(v);
                         crashed_cum += 1;
-                        if parked[v] {
-                            parked[v] = false;
+                        if parked.get(v) {
+                            parked.clear(v);
                             finished_cum -= 1;
                         }
                         let was = statuses[v];
@@ -821,8 +969,8 @@ impl<'g> Simulator<'g> {
                                     acc.joined_mis -= 1;
                                 }
                                 acc.decided -= 1;
-                                if !reopened[v] {
-                                    reopened[v] = true;
+                                if !reopened.get(v) {
+                                    reopened.set(v);
                                     acc.repairing += 1;
                                 }
                             }
@@ -846,16 +994,16 @@ impl<'g> Simulator<'g> {
                         queue.push(wins[win_cursor[v]].1, v);
                         continue;
                     }
-                    if parked[v] {
+                    if parked.get(v) {
                         // Defensive: the parked node's window went stale
                         // before it was reached — retire it for good.
-                        parked[v] = false;
+                        parked.clear(v);
                         live -= 1;
                         continue;
                     }
                 }
-                if has_joins && join_pending[v] {
-                    join_pending[v] = false;
+                if has_joins && join_pending.get(v) {
+                    join_pending.clear(v);
                     joined_cum += 1;
                     conv_dirty = true;
                     if record_fault {
@@ -866,7 +1014,34 @@ impl<'g> Simulator<'g> {
                         });
                     }
                 }
-                let action = nodes[v].act(round, &mut rngs[v]);
+                actors.push(v);
+            }
+
+            // Phase 1c: collect actions. `act` sees only the node's own
+            // state and private RNG stream, so the worklist shards freely
+            // across the engine pool; each result lands in the pre-sized
+            // slot matching the node's worklist position. With one thread
+            // the identical loop runs inline — one code path, so
+            // byte-equivalence across thread counts holds by construction.
+            actions.resize_with(actors.len(), || Action::Listen);
+            shard_slices(
+                &actors,
+                0,
+                &mut nodes,
+                &mut rngs,
+                &mut actions,
+                par,
+                &|_v: NodeId, node: &mut P, rng: &mut NodeRng, out: &mut Action| {
+                    *out = node.act(round, rng);
+                },
+            );
+
+            // Phase 1d: apply the collected actions in ascending id
+            // order. Trace, energy accounting, transmit staging, and
+            // scheduling all happen here, serially — identical to a
+            // node-at-a-time execution.
+            for (i, &v) in actors.iter().enumerate() {
+                let action = actions[i];
                 if record_actions {
                     trace.record(TraceEvent::Acted {
                         round,
@@ -902,7 +1077,7 @@ impl<'g> Simulator<'g> {
                                 // A future down window will wipe this node
                                 // back to life: park it at the window
                                 // instead of retiring it.
-                                parked[v] = true;
+                                parked.set(v);
                                 queue.push(resolved.windows_of(v)[win_cursor[v]].0, v);
                             } else {
                                 live -= 1;
@@ -921,8 +1096,8 @@ impl<'g> Simulator<'g> {
                         if has_dormancy && resolved.is_dormant(v, round) {
                             // Radio dead: the node pays the energy and
                             // believes it sent, but nothing goes on air.
-                            if record_fault && !dormancy_noted[v] {
-                                dormancy_noted[v] = true;
+                            if record_fault && !dormancy_noted.get(v) {
+                                dormancy_noted.set(v);
                                 trace.record(TraceEvent::Fault {
                                     round,
                                     node: v,
@@ -940,9 +1115,9 @@ impl<'g> Simulator<'g> {
                         if has_dormancy
                             && record_fault
                             && resolved.is_dormant(v, round)
-                            && !dormancy_noted[v]
+                            && !dormancy_noted.get(v)
                         {
-                            dormancy_noted[v] = true;
+                            dormancy_noted.set(v);
                             trace.record(TraceEvent::Fault {
                                 round,
                                 node: v,
@@ -970,151 +1145,217 @@ impl<'g> Simulator<'g> {
                 }
             }
 
-            // Phase 2: resolve the channel and deliver feedback.
+            // Phase 2: resolve the channel and deliver feedback. The
+            // transmit staging (`tx_stamp`/`tx_msg`) is frozen for the
+            // whole phase, so each node's feedback is a pure function of
+            // shared read-only state plus its own (round, node)-keyed
+            // fade stream — shardable, with the per-node counter
+            // contributions folded commutatively in the serial merge.
+            let sender_cd = self.config.channel == ChannelModel::BeepingSenderCd;
+            tx_out.resize_with(transmitters.len(), Delivery::default);
+            {
+                let tx_stamp = &tx_stamp;
+                let jam_from = &jam_from;
+                let jam_until = &jam_until;
+                let resolved = &resolved;
+                shard_slices(
+                    &transmitters,
+                    0,
+                    &mut nodes,
+                    &mut rngs,
+                    &mut tx_out,
+                    par,
+                    &|v: NodeId, node: &mut P, rng: &mut NodeRng, out: &mut Delivery| {
+                        let mut d = Delivery::default();
+                        // Sender-side collision detection (BeepingSenderCd
+                        // only): a beeping node hears a beep iff some
+                        // neighbor's signal — real beep or jammer noise —
+                        // survives fading.
+                        d.feedback = if !sender_cd {
+                            Feedback::Sent
+                        } else if has_dormancy && resolved.is_dormant(v, round) {
+                            Feedback::Sent // dead radio: can't hear either
+                        } else if listener_slow {
+                            let mut fade_rng = lossy.then(|| fade_stream(fade_seed, round, v));
+                            let mut beep = false;
+                            for &u in self.graph.neighbors(v) {
+                                let real = tx_stamp[u] == round;
+                                let jam =
+                                    has_jammers && jam_from[u] <= round && round < jam_until[u];
+                                if !(real || jam) {
+                                    continue;
+                                }
+                                if let Some(fr) = fade_rng.as_mut() {
+                                    if rand::Rng::gen_bool(fr, loss) {
+                                        d.faded += 1;
+                                        continue;
+                                    }
+                                }
+                                beep = true;
+                                break;
+                            }
+                            if beep {
+                                Feedback::Beep
+                            } else {
+                                Feedback::Sent
+                            }
+                        } else if self
+                            .graph
+                            .neighbors(v)
+                            .iter()
+                            .any(|&u| tx_stamp[u] == round)
+                        {
+                            Feedback::Beep
+                        } else {
+                            Feedback::Sent
+                        };
+                        node.feedback(round, d.feedback, rng);
+                        *out = d;
+                    },
+                );
+            }
+            rx_out.resize_with(listeners.len(), Delivery::default);
+            {
+                let tx_stamp = &tx_stamp;
+                let tx_msg = &tx_msg;
+                let jam_from = &jam_from;
+                let jam_until = &jam_until;
+                let resolved = &resolved;
+                let channel = self.config.channel;
+                shard_slices(
+                    &listeners,
+                    0,
+                    &mut nodes,
+                    &mut rngs,
+                    &mut rx_out,
+                    par,
+                    &|v: NodeId, node: &mut P, rng: &mut NodeRng, out: &mut Delivery| {
+                        let mut d = Delivery::default();
+                        d.feedback = if has_dormancy && resolved.is_dormant(v, round) {
+                            // Dead radio: arrivals are not even scanned.
+                            Feedback::Silence
+                        } else if listener_slow {
+                            // Slow path: full neighborhood scan with
+                            // per-edge fading and jammer noise; feedback
+                            // is derived from the *surviving* arrivals.
+                            let mut fade_rng = lossy.then(|| fade_stream(fade_seed, round, v));
+                            let mut pre = 0u32;
+                            let mut surviving = 0u32;
+                            let mut noise = false;
+                            let mut heard = Message::unary();
+                            for &u in self.graph.neighbors(v) {
+                                let real = tx_stamp[u] == round;
+                                let jam =
+                                    has_jammers && jam_from[u] <= round && round < jam_until[u];
+                                if !(real || jam) {
+                                    continue;
+                                }
+                                pre += 1;
+                                if let Some(fr) = fade_rng.as_mut() {
+                                    if rand::Rng::gen_bool(fr, loss) {
+                                        d.faded += 1;
+                                        continue;
+                                    }
+                                }
+                                surviving += 1;
+                                if jam {
+                                    noise = true;
+                                } else if surviving == 1 {
+                                    heard = tx_msg[u];
+                                }
+                            }
+                            if want_metrics {
+                                if surviving >= 2 || noise {
+                                    d.collisions = 1;
+                                } else if surviving == 1 {
+                                    d.receptions = 1;
+                                }
+                                if noise {
+                                    d.jammed = 1;
+                                }
+                                if pre > 0 && surviving == 0 {
+                                    d.lost = 1;
+                                }
+                            }
+                            match (channel, surviving) {
+                                (_, 0) => Feedback::Silence,
+                                (ChannelModel::Beeping | ChannelModel::BeepingSenderCd, _) => {
+                                    Feedback::Beep
+                                }
+                                (_, 1) if !noise => Feedback::Heard(heard),
+                                (ChannelModel::Cd, _) => Feedback::Collision,
+                                (ChannelModel::NoCd, _) => Feedback::Silence,
+                            }
+                        } else {
+                            // Fast path (no loss, no jammers): early-exit
+                            // at the second arrival.
+                            let mut count = 0u32;
+                            let mut heard = Message::unary();
+                            for &u in self.graph.neighbors(v) {
+                                if tx_stamp[u] == round {
+                                    count += 1;
+                                    if count == 1 {
+                                        heard = tx_msg[u];
+                                    } else {
+                                        break;
+                                    }
+                                }
+                            }
+                            if want_metrics {
+                                match count {
+                                    0 => {}
+                                    1 => d.receptions = 1,
+                                    _ => d.collisions = 1,
+                                }
+                            }
+                            match (channel, count) {
+                                (_, 0) => Feedback::Silence,
+                                (ChannelModel::Beeping | ChannelModel::BeepingSenderCd, _) => {
+                                    Feedback::Beep
+                                }
+                                (_, 1) => Feedback::Heard(heard),
+                                (ChannelModel::Cd, _) => Feedback::Collision,
+                                (ChannelModel::NoCd, _) => Feedback::Silence,
+                            }
+                        };
+                        node.feedback(round, d.feedback, rng);
+                        *out = d;
+                    },
+                );
+            }
+
+            // Serial merge: fold the per-node contributions into the
+            // round counters and emit feedback trace events, both in
+            // ascending node order — exact integer sums, so the totals
+            // (and the trace stream) are shard-independent.
             let mut collisions = 0u32;
             let mut receptions = 0u32;
             let mut lost_receptions = 0u32;
             let mut faded_edges = 0u32;
             let mut jammed_receptions = 0u32;
-            for &v in &transmitters {
-                // Sender-side collision detection (BeepingSenderCd only): a
-                // beeping node hears a beep iff some neighbor's signal —
-                // real beep or jammer noise — survives fading.
-                let fb = if self.config.channel == ChannelModel::BeepingSenderCd {
-                    if has_dormancy && resolved.is_dormant(v, round) {
-                        Feedback::Sent // dead radio: can't hear either
-                    } else if listener_slow {
-                        let mut beep = false;
-                        for &u in self.graph.neighbors(v) {
-                            let real = tx_stamp[u] == round;
-                            let jam = has_jammers && jam_from[u] <= round && round < jam_until[u];
-                            if !(real || jam) {
-                                continue;
-                            }
-                            if lossy && rand::Rng::gen_bool(&mut channel_rng, loss) {
-                                faded_edges += 1;
-                                continue;
-                            }
-                            beep = true;
-                            break;
-                        }
-                        if beep {
-                            Feedback::Beep
-                        } else {
-                            Feedback::Sent
-                        }
-                    } else if self
-                        .graph
-                        .neighbors(v)
-                        .iter()
-                        .any(|&u| tx_stamp[u] == round)
-                    {
-                        Feedback::Beep
-                    } else {
-                        Feedback::Sent
-                    }
-                } else {
-                    Feedback::Sent
-                };
-                nodes[v].feedback(round, fb, &mut rngs[v]);
+            for (i, &v) in transmitters.iter().enumerate() {
+                let d = tx_out[i];
+                faded_edges += d.faded;
                 if record_feedback {
                     trace.record(TraceEvent::Fed {
                         round,
                         node: v,
-                        feedback: fb,
+                        feedback: d.feedback,
                     });
                 }
             }
-            for &v in &listeners {
-                let fb = if has_dormancy && resolved.is_dormant(v, round) {
-                    // Dead radio: arrivals are not even scanned.
-                    Feedback::Silence
-                } else if listener_slow {
-                    // Slow path: full neighborhood scan with per-edge
-                    // fading and jammer noise; feedback is derived from
-                    // the *surviving* arrivals.
-                    let mut pre = 0u32;
-                    let mut surviving = 0u32;
-                    let mut noise = false;
-                    let mut heard = Message::unary();
-                    for &u in self.graph.neighbors(v) {
-                        let real = tx_stamp[u] == round;
-                        let jam = has_jammers && jam_from[u] <= round && round < jam_until[u];
-                        if !(real || jam) {
-                            continue;
-                        }
-                        pre += 1;
-                        if lossy && rand::Rng::gen_bool(&mut channel_rng, loss) {
-                            faded_edges += 1;
-                            continue;
-                        }
-                        surviving += 1;
-                        if jam {
-                            noise = true;
-                        } else if surviving == 1 {
-                            heard = tx_msg[u];
-                        }
-                    }
-                    if want_metrics {
-                        if surviving >= 2 || noise {
-                            collisions += 1;
-                        } else if surviving == 1 {
-                            receptions += 1;
-                        }
-                        if noise {
-                            jammed_receptions += 1;
-                        }
-                        if pre > 0 && surviving == 0 {
-                            lost_receptions += 1;
-                        }
-                    }
-                    match (self.config.channel, surviving) {
-                        (_, 0) => Feedback::Silence,
-                        (ChannelModel::Beeping | ChannelModel::BeepingSenderCd, _) => {
-                            Feedback::Beep
-                        }
-                        (_, 1) if !noise => Feedback::Heard(heard),
-                        (ChannelModel::Cd, _) => Feedback::Collision,
-                        (ChannelModel::NoCd, _) => Feedback::Silence,
-                    }
-                } else {
-                    // Fast path (no loss, no jammers): early-exit at the
-                    // second arrival.
-                    let mut count = 0u32;
-                    let mut heard = Message::unary();
-                    for &u in self.graph.neighbors(v) {
-                        if tx_stamp[u] == round {
-                            count += 1;
-                            if count == 1 {
-                                heard = tx_msg[u];
-                            } else {
-                                break;
-                            }
-                        }
-                    }
-                    if want_metrics {
-                        match count {
-                            0 => {}
-                            1 => receptions += 1,
-                            _ => collisions += 1,
-                        }
-                    }
-                    match (self.config.channel, count) {
-                        (_, 0) => Feedback::Silence,
-                        (ChannelModel::Beeping | ChannelModel::BeepingSenderCd, _) => {
-                            Feedback::Beep
-                        }
-                        (_, 1) => Feedback::Heard(heard),
-                        (ChannelModel::Cd, _) => Feedback::Collision,
-                        (ChannelModel::NoCd, _) => Feedback::Silence,
-                    }
-                };
-                nodes[v].feedback(round, fb, &mut rngs[v]);
+            for (i, &v) in listeners.iter().enumerate() {
+                let d = rx_out[i];
+                collisions += d.collisions;
+                receptions += d.receptions;
+                lost_receptions += d.lost;
+                faded_edges += d.faded;
+                jammed_receptions += d.jammed;
                 if record_feedback {
                     trace.record(TraceEvent::Fed {
                         round,
                         node: v,
-                        feedback: fb,
+                        feedback: d.feedback,
                     });
                 }
             }
@@ -1142,7 +1383,7 @@ impl<'g> Simulator<'g> {
                     if has_recovery && win_cursor[v] < resolved.windows_of(v).len() {
                         // Park instead of retiring: a future down window
                         // will wipe this node back to life.
-                        parked[v] = true;
+                        parked.set(v);
                         queue.push(resolved.windows_of(v)[win_cursor[v]].0, v);
                     } else {
                         live -= 1;
@@ -1277,7 +1518,7 @@ impl<'g> Simulator<'g> {
         trace: &mut T,
         mask: EventMask,
         acc: &mut MetricsAccumulator,
-        reopened: &mut [bool],
+        reopened: &mut BitSet,
     ) -> bool {
         let s = nodes[v].status();
         if s == statuses[v] {
@@ -1309,14 +1550,14 @@ impl<'g> Simulator<'g> {
             }
             if s.is_decided() && !was.is_decided() {
                 acc.decided += 1;
-                if reopened[v] {
-                    reopened[v] = false;
+                if reopened.get(v) {
+                    reopened.clear(v);
                     acc.repairing -= 1;
                 }
             } else if !s.is_decided() && was.is_decided() {
                 acc.decided -= 1;
-                if !reopened[v] {
-                    reopened[v] = true;
+                if !reopened.get(v) {
+                    reopened.set(v);
                     acc.repairing += 1;
                 }
             }
@@ -1336,7 +1577,7 @@ impl<'g> Simulator<'g> {
         &self,
         nodes: Vec<P>,
         meters: Vec<EnergyMeter>,
-        faulty: Vec<bool>,
+        faulty: BitSet,
         rounds: u64,
         completed: bool,
         message_bits: u32,
@@ -1344,10 +1585,11 @@ impl<'g> Simulator<'g> {
         converged_at: Option<u64>,
         watchdog_fired: bool,
     ) -> RunReport {
+        let n = nodes.len();
         RunReport {
             statuses: nodes.iter().map(|p| p.status()).collect(),
             meters,
-            faulty,
+            faulty: faulty.to_vec_bools(n),
             rounds,
             completed,
             converged_at,
@@ -1367,8 +1609,8 @@ impl<'g> Simulator<'g> {
 /// [`RunReport::verify_mis`](crate::RunReport::verify_mis), kept
 /// allocation-free because convergence tracking runs it on every dirty
 /// round.
-fn live_mis_ok(graph: &Graph, statuses: &[NodeStatus], faulty: &[bool]) -> bool {
-    let is_faulty = |v: usize| faulty.get(v).copied().unwrap_or(false);
+fn live_mis_ok(graph: &Graph, statuses: &[NodeStatus], faulty: &BitSet) -> bool {
+    let is_faulty = |v: usize| faulty.get(v);
     for v in 0..graph.len() {
         if is_faulty(v) {
             continue;
@@ -1434,6 +1676,24 @@ mod tests {
         assert_eq!(base.fingerprint(), base.clone().fingerprint());
     }
 
+    #[test]
+    fn fingerprint_is_thread_count_invariant() {
+        // Thread count is an execution strategy with byte-identical
+        // results, not an input: a warm experiment cache must keep
+        // hitting when a rerun adds `--threads` (see EXPERIMENTS.md).
+        let base = SimConfig::new(ChannelModel::Cd).with_seed(9);
+        assert_eq!(
+            base.fingerprint(),
+            base.clone().with_threads(8).fingerprint()
+        );
+        // And the rendered form matches the pre-parallelism layout: no
+        // `threads` field leaks into existing cache keys.
+        assert!(!base.fingerprint().contains("threads"));
+        assert!(base
+            .fingerprint()
+            .starts_with("SimConfig { channel: Cd, max_rounds:"));
+    }
+
     /// Transmits in round 0 iff `id` is even, listens otherwise; records
     /// what it saw; finishes after one round.
     struct Probe {
@@ -1463,7 +1723,7 @@ mod tests {
     fn probe_run(
         g: &Graph,
         channel: ChannelModel,
-        transmit: impl Fn(NodeId) -> bool,
+        transmit: impl Fn(NodeId) -> bool + Sync,
     ) -> Vec<Option<Feedback>> {
         probe_run_config(g, SimConfig::new(channel), transmit)
     }
@@ -1471,7 +1731,7 @@ mod tests {
     fn probe_run_config(
         g: &Graph,
         config: SimConfig,
-        transmit: impl Fn(NodeId) -> bool,
+        transmit: impl Fn(NodeId) -> bool + Sync,
     ) -> Vec<Option<Feedback>> {
         let mut observed: Vec<Option<Feedback>> = vec![None; g.len()];
         let mut trace = crate::trace::VecTrace::new();
@@ -1774,7 +2034,7 @@ mod tests {
             .with_seed(9);
         let mut trace = crate::trace::VecTrace::new();
         let _ = Simulator::new(&g, config).run_traced(
-            |v, _| -> Box<dyn Protocol> {
+            |v, _| -> Box<dyn Protocol + Send> {
                 if v == 0 {
                     Box::new(Tx(0))
                 } else {
@@ -1895,7 +2155,7 @@ mod tests {
         let config = SimConfig::new(ChannelModel::Cd).with_faults(FaultPlan::none().with_jammer(1));
         let mut trace = crate::trace::VecTrace::new();
         let report = Simulator::new(&g, config).run_traced(
-            |v, _| -> Box<dyn Protocol> {
+            |v, _| -> Box<dyn Protocol + Send> {
                 if v == 0 {
                     Box::new(Rx4::default())
                 } else {
@@ -1964,7 +2224,7 @@ mod tests {
             .with_faults(FaultPlan::none().with_dormancy(1.0, 0, 2));
         let mut trace = crate::trace::VecTrace::new();
         let report = Simulator::new(&g, config).run_traced(
-            |v, _| -> Box<dyn Protocol> {
+            |v, _| -> Box<dyn Protocol + Send> {
                 if v == 0 {
                     Box::new(Chatter { budget: 5, seen: 0 })
                 } else {
@@ -2351,7 +2611,7 @@ mod tests {
         let config = SimConfig::new(ChannelModel::Cd)
             .with_faults(plan)
             .with_round_metrics();
-        let report = Simulator::new(&g, config).run(|v, _| -> Box<dyn Protocol> {
+        let report = Simulator::new(&g, config).run(|v, _| -> Box<dyn Protocol + Send> {
             match v {
                 0 => Box::new(Rx4::default()),
                 _ => Box::new(Chatter { budget: 4, seen: 0 }),
@@ -2544,7 +2804,7 @@ mod tests {
             .with_round_metrics();
         let mut trace = crate::trace::VecTrace::new();
         let report = Simulator::new(&g, config).run_traced(
-            |v, _| -> Box<dyn Protocol> {
+            |v, _| -> Box<dyn Protocol + Send> {
                 if v == 0 {
                     Box::new(Rx4::default())
                 } else {
@@ -2724,10 +2984,10 @@ mod tests {
 
     /// Runs `config` under both backends and asserts byte-identical
     /// reports before handing them back.
-    fn run_both_modes<P: Protocol>(
+    fn run_both_modes<P: Protocol + Send>(
         g: &Graph,
         config: &SimConfig,
-        factory: impl Fn(NodeId, &mut NodeRng) -> P + Copy,
+        factory: impl Fn(NodeId, &mut NodeRng) -> P + Copy + Send,
     ) -> RunReport {
         let dense = Simulator::new(g, config.clone().with_engine_mode(EngineMode::Dense))
             .run(|v, rng| factory(v, rng));
@@ -2769,7 +3029,7 @@ mod tests {
         for mode in [EngineMode::Dense, EngineMode::Sparse] {
             let report = Simulator::new(&g, base.clone().with_engine_mode(mode))
                 .with_wake_offsets(vec![0, 30])
-                .run(|v, _| -> Box<dyn Protocol> {
+                .run(|v, _| -> Box<dyn Protocol + Send> {
                     if v == 0 {
                         Box::new(Sleeper {
                             wake: 100,
@@ -2834,8 +3094,7 @@ mod tests {
         let mut reports = Vec::new();
         for mode in [EngineMode::Dense, EngineMode::Sparse] {
             let config = base.clone().with_engine_mode(mode);
-            let report =
-                Simulator::new(&g, config).run(|_, _| Napper { heard_jam: false });
+            let report = Simulator::new(&g, config).run(|_, _| Napper { heard_jam: false });
             assert!(report.completed, "{mode:?}");
             assert_eq!(report.rounds, 21, "{mode:?}");
             let timeline = report.metrics.as_deref().unwrap();
@@ -2882,8 +3141,8 @@ mod tests {
             .with_convergence(ConvergencePolicy::new(5));
         let mut reports = Vec::new();
         for mode in [EngineMode::Dense, EngineMode::Sparse] {
-            let report = Simulator::new(&g, base.clone().with_engine_mode(mode))
-                .run(|_, _| DozingBeacon);
+            let report =
+                Simulator::new(&g, base.clone().with_engine_mode(mode)).run(|_, _| DozingBeacon);
             assert!(report.completed, "{mode:?}");
             assert!(!report.watchdog_fired, "{mode:?}");
             assert_eq!(report.converged_at, Some(4), "{mode:?}");
@@ -2922,8 +3181,8 @@ mod tests {
             .with_convergence(ConvergencePolicy::new(2).with_quiescence(10));
         let mut reports = Vec::new();
         for mode in [EngineMode::Dense, EngineMode::Sparse] {
-            let report = Simulator::new(&g, base.clone().with_engine_mode(mode))
-                .run(|_, _| DozingLimbo);
+            let report =
+                Simulator::new(&g, base.clone().with_engine_mode(mode)).run(|_, _| DozingLimbo);
             assert!(!report.completed, "{mode:?}");
             assert!(report.watchdog_fired, "{mode:?}");
             assert_eq!(report.converged_at, None, "{mode:?}");

@@ -44,6 +44,14 @@
 //! itself. New clauses draw strictly *after* the pre-existing ones, so a
 //! plan without recovery resolves exactly as it did before recovery
 //! support existed. Same seed + same plan ⇒ bit-identical run.
+//!
+//! The reserved stream indices (`u64::MAX - 2` here, `u64::MAX - 1` for
+//! the per-(node, round) channel-fade family, `0..n` for protocol
+//! streams) and the older-clauses-draw-first order are part of the
+//! engine's determinism contract: plan resolution happens once, at run
+//! start, *before* any intra-round parallelism, so fault draws are
+//! identical at every [`SimConfig::with_threads`](crate::SimConfig::with_threads)
+//! count (see `docs/PARALLEL_ENGINE.md` §4).
 
 use crate::protocol::NodeRng;
 use crate::rng::split_seed;

@@ -104,10 +104,12 @@ pub mod engine;
 pub mod fault;
 pub mod metrics;
 pub mod model;
+mod par;
 pub mod protocol;
 pub mod report;
 pub mod rng;
 pub mod runner;
+mod state;
 pub mod trace;
 
 pub use energy::EnergyMeter;

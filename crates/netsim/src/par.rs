@@ -1,0 +1,167 @@
+//! Deterministic intra-round parallelism: the engine's worker pools and
+//! the id-range shard splitter.
+//!
+//! The engine never makes scheduling-dependent decisions in parallel
+//! code. Both round phases that shard — action collection and feedback
+//! delivery — write into pre-sized output slots indexed by the node's
+//! position in the (ascending) worklist, and every node draws only from
+//! its own pre-split RNG stream. The serial merge that follows reads
+//! those slots back in ascending id order, so thread count and work
+//! stealing cannot change a single output byte. The argument is spelled
+//! out in `docs/PARALLEL_ENGINE.md`.
+
+use crate::protocol::NodeRng;
+use mis_graphs::NodeId;
+use std::sync::{Mutex, OnceLock};
+
+/// At or below this many worklist entries a stage runs inline: sharding
+/// overhead would dominate, and the differential suites deliberately
+/// straddle the threshold so both the inline and the split paths are
+/// exercised.
+pub(crate) const MIN_PAR_GRAIN: usize = 64;
+
+/// Engine pools built so far, keyed by worker count. Pools are leaked
+/// (see [`engine_pool`]) so the entries are `'static`.
+static POOLS: OnceLock<Mutex<Vec<(usize, &'static rayon::ThreadPool)>>> = OnceLock::new();
+
+/// The process-wide engine pool with `threads` workers.
+///
+/// Pools are built lazily, once per distinct thread count, and
+/// deliberately leaked: the steady-state round loop must stay
+/// allocation-free (see the `engine_alloc` test), and a run's single
+/// `install` onto a long-lived pool keeps every `rayon::join` on
+/// pre-existing worker stacks. The pool size is pinned explicitly, so
+/// `RAYON_NUM_THREADS` governs only rayon's global pool (the
+/// experiments harness), never an engine run's `--threads`.
+pub(crate) fn engine_pool(threads: usize) -> &'static rayon::ThreadPool {
+    let registry = POOLS.get_or_init(|| Mutex::new(Vec::new()));
+    let mut pools = registry.lock().expect("engine pool registry poisoned");
+    if let Some(&(_, pool)) = pools.iter().find(|&&(t, _)| t == threads) {
+        return pool;
+    }
+    let pool = Box::leak(Box::new(
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .thread_name(|i| format!("netsim-engine-{i}"))
+            .build()
+            .expect("failed to build the engine thread pool"),
+    ));
+    pools.push((threads, pool));
+    pool
+}
+
+/// Applies `f` to every id in `ids`, handing it disjoint `&mut` access
+/// to the node's slab entry and RNG plus the positionally-matching
+/// output slot.
+///
+/// `ids` must be strictly ascending with every id in
+/// `base..base + nodes.len()`, and `out.len() == ids.len()`. With `par`
+/// false — or at or below [`MIN_PAR_GRAIN`] ids — this is a plain
+/// ascending loop. With `par` true it halves the worklist, divides the
+/// slabs at the split id with `split_at_mut`, and recurses under
+/// `rayon::join`: every node is processed exactly once with the same
+/// per-node inputs as the serial walk, which is why thread count cannot
+/// change any output byte. `f` must touch nothing but its arguments and
+/// shared read-only captures.
+pub(crate) fn shard_slices<P, O, F>(
+    ids: &[NodeId],
+    base: usize,
+    nodes: &mut [P],
+    rngs: &mut [NodeRng],
+    out: &mut [O],
+    par: bool,
+    f: &F,
+) where
+    P: Send,
+    O: Send,
+    F: Fn(NodeId, &mut P, &mut NodeRng, &mut O) + Sync,
+{
+    debug_assert_eq!(ids.len(), out.len());
+    if !par || ids.len() <= MIN_PAR_GRAIN {
+        for (slot, &v) in out.iter_mut().zip(ids) {
+            f(v, &mut nodes[v - base], &mut rngs[v - base], slot);
+        }
+        return;
+    }
+    let mid = ids.len() / 2;
+    let (left_ids, right_ids) = ids.split_at(mid);
+    // Ids are strictly ascending, so every left id indexes below the
+    // first right id and the slab split below is exact.
+    let cut = right_ids[0] - base;
+    let (left_nodes, right_nodes) = nodes.split_at_mut(cut);
+    let (left_rngs, right_rngs) = rngs.split_at_mut(cut);
+    let (left_out, right_out) = out.split_at_mut(mid);
+    rayon::join(
+        || shard_slices(left_ids, base, left_nodes, left_rngs, left_out, true, f),
+        || {
+            shard_slices(
+                right_ids,
+                base + cut,
+                right_nodes,
+                right_rngs,
+                right_out,
+                true,
+                f,
+            )
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn run_shard(ids: &[NodeId], n: usize, par: bool) -> (Vec<u32>, Vec<u64>) {
+        let mut nodes: Vec<u32> = vec![0; n];
+        let mut rngs: Vec<NodeRng> = (0..n)
+            .map(|v| NodeRng::seed_from_u64(crate::rng::split_seed(7, v as u64)))
+            .collect();
+        let mut out: Vec<u64> = vec![0; ids.len()];
+        shard_slices(
+            ids,
+            0,
+            &mut nodes,
+            &mut rngs,
+            &mut out,
+            par,
+            &|v: NodeId, node: &mut u32, rng: &mut NodeRng, slot: &mut u64| {
+                *node += 1;
+                *slot = v as u64 ^ rng.gen::<u64>();
+            },
+        );
+        (nodes, out)
+    }
+
+    #[test]
+    fn parallel_split_matches_serial_walk_exactly() {
+        // Enough ids to split several times, with gaps so base arithmetic
+        // is exercised.
+        let ids: Vec<NodeId> = (0..500).filter(|v| v % 3 != 1).collect();
+        let (serial_nodes, serial_out) = run_shard(&ids, 500, false);
+        let (par_nodes, par_out) = engine_pool(3).install(|| run_shard(&ids, 500, true));
+        assert_eq!(serial_nodes, par_nodes);
+        assert_eq!(serial_out, par_out);
+        // Every listed node was visited exactly once, unlisted never.
+        for v in 0..500 {
+            assert_eq!(serial_nodes[v], u32::from(ids.contains(&v)));
+        }
+    }
+
+    #[test]
+    fn small_worklists_run_inline_even_when_parallel() {
+        let ids: Vec<NodeId> = (10..30).collect();
+        let (a, ao) = run_shard(&ids, 40, false);
+        let (b, bo) = run_shard(&ids, 40, true);
+        assert_eq!(a, b);
+        assert_eq!(ao, bo);
+    }
+
+    #[test]
+    fn engine_pool_is_cached_per_thread_count() {
+        let p2a = engine_pool(2) as *const rayon::ThreadPool;
+        let p2b = engine_pool(2) as *const rayon::ThreadPool;
+        assert!(std::ptr::eq(p2a, p2b));
+        assert_eq!(engine_pool(2).current_num_threads(), 2);
+    }
+}

@@ -195,7 +195,7 @@ fn run_one<P, F>(
     factory: &F,
 ) -> Result<TrialOutcome, TrialFailure>
 where
-    P: Protocol,
+    P: Protocol + Send,
     F: Fn(NodeId, &mut NodeRng) -> P + Sync,
 {
     let seed = split_seed(base.seed, t as u64);
@@ -254,7 +254,7 @@ fn collect_set(results: Vec<Result<TrialOutcome, TrialFailure>>) -> TrialSet {
 /// (trial, node).
 pub fn run_trials<P, F>(graph: &Graph, base: SimConfig, trials: usize, factory: F) -> TrialSet
 where
-    P: Protocol,
+    P: Protocol + Send,
     F: Fn(NodeId, &mut NodeRng) -> P + Sync,
 {
     let results: Vec<_> = (0..trials)
@@ -276,7 +276,7 @@ pub fn run_trials_budgeted<P, F>(
     factory: F,
 ) -> TrialSet
 where
-    P: Protocol,
+    P: Protocol + Send,
     F: Fn(NodeId, &mut NodeRng) -> P + Sync,
 {
     let results: Vec<_> = (0..trials)
@@ -361,7 +361,7 @@ pub fn run_trials_resumable<P, F>(
     factory: F,
 ) -> io::Result<TrialSet>
 where
-    P: Protocol,
+    P: Protocol + Send,
     F: Fn(NodeId, &mut NodeRng) -> P + Sync,
 {
     let mut done = read_checkpoint(checkpoint)?;

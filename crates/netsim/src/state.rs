@@ -1,0 +1,154 @@
+//! Flat bitset storage for the engine's struct-of-arrays state.
+//!
+//! The round loop keeps every per-node boolean — faulty, down, parked,
+//! join-pending, dormancy-noted, reopened, queued — in one of these
+//! word-packed bitsets instead of a `Vec<bool>`: an 8× densification
+//! that keeps the hot membership tests of a 10^7-node sweep inside a
+//! few cache lines per shard. See `docs/PARALLEL_ENGINE.md` for the
+//! full layout.
+
+/// A fixed-capacity bitset over node ids, packed 64 per word.
+///
+/// The empty value ([`BitSet::new`], zero words) doubles as an "absent"
+/// sentinel, mirroring the empty-`Vec<bool>` idiom it replaced: state
+/// that is only materialised when its fault class is active stays a
+/// zero-allocation empty bitset otherwise, and [`BitSet::get`] reads
+/// `false` for any index outside the allocated words.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// The empty (sentinel) bitset: no words, every `get` false.
+    pub(crate) fn new() -> BitSet {
+        BitSet { words: Vec::new() }
+    }
+
+    /// An all-false bitset with capacity for ids `0..n`.
+    pub(crate) fn with_len(n: usize) -> BitSet {
+        BitSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Whether no words are allocated — the sentinel state, **not**
+    /// "all bits zero". Matches `Vec::is_empty` on the `Vec<bool>` this
+    /// type replaced: `with_len(n)` for `n > 0` is non-empty even when
+    /// every bit is clear.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The bit at `i`; `false` beyond the allocated words.
+    pub(crate) fn get(&self, i: usize) -> bool {
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| (w >> (i % 64)) & 1 == 1)
+    }
+
+    /// Sets the bit at `i`. Panics beyond the allocated capacity.
+    pub(crate) fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Clears the bit at `i`. Panics beyond the allocated capacity.
+    pub(crate) fn clear(&mut self, i: usize) {
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// The first set bit at or after `from`, scanning whole words.
+    pub(crate) fn next_set_from(&self, from: usize) -> Option<usize> {
+        let mut w = from / 64;
+        if w >= self.words.len() {
+            return None;
+        }
+        let mut word = self.words[w] & (u64::MAX << (from % 64));
+        loop {
+            if word != 0 {
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+            w += 1;
+            if w >= self.words.len() {
+                return None;
+            }
+            word = self.words[w];
+        }
+    }
+
+    /// Expands to the `Vec<bool>` report form over ids `0..n`,
+    /// preserving the sentinel: an empty bitset stays an empty vec.
+    pub(crate) fn to_vec_bools(&self, n: usize) -> Vec<bool> {
+        if self.words.is_empty() {
+            Vec::new()
+        } else {
+            (0..n).map(|i| self.get(i)).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentinel_reads_false_everywhere_and_stays_empty() {
+        let b = BitSet::new();
+        assert!(b.is_empty());
+        assert!(!b.get(0));
+        assert!(!b.get(1_000_000));
+        assert_eq!(b.next_set_from(0), None);
+        assert_eq!(b.to_vec_bools(5), Vec::<bool>::new());
+    }
+
+    #[test]
+    fn with_len_is_allocated_even_when_all_clear() {
+        let b = BitSet::with_len(3);
+        assert!(!b.is_empty());
+        assert_eq!(b.to_vec_bools(3), vec![false; 3]);
+        assert!(BitSet::with_len(0).is_empty());
+    }
+
+    #[test]
+    fn set_clear_get_roundtrip_across_word_boundaries() {
+        let mut b = BitSet::with_len(200);
+        for i in [0, 1, 63, 64, 65, 127, 128, 199] {
+            assert!(!b.get(i));
+            b.set(i);
+            assert!(b.get(i));
+        }
+        b.clear(64);
+        assert!(!b.get(64));
+        assert!(b.get(63) && b.get(65));
+        // Out-of-capacity reads are false, not a panic.
+        assert!(!b.get(1 << 20));
+    }
+
+    #[test]
+    fn next_set_from_walks_sparse_bits_in_order() {
+        let mut b = BitSet::with_len(300);
+        for i in [5, 64, 191, 256] {
+            b.set(i);
+        }
+        let mut seen = Vec::new();
+        let mut from = 0;
+        while let Some(i) = b.next_set_from(from) {
+            seen.push(i);
+            from = i + 1;
+        }
+        assert_eq!(seen, vec![5, 64, 191, 256]);
+        assert_eq!(b.next_set_from(257), None);
+        assert_eq!(b.next_set_from(100_000), None);
+    }
+
+    #[test]
+    fn to_vec_bools_matches_gets() {
+        let mut b = BitSet::with_len(70);
+        b.set(0);
+        b.set(69);
+        let v = b.to_vec_bools(70);
+        assert_eq!(v.len(), 70);
+        assert!(v[0] && v[69]);
+        assert_eq!(v.iter().filter(|&&x| x).count(), 2);
+    }
+}

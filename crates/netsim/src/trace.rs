@@ -36,7 +36,12 @@
 //! emit no events at all, so consecutive events may jump many rounds; the
 //! stream is identical whichever [`EngineMode`](crate::EngineMode) drives
 //! the run (the `engine_differential` suite asserts the two backends'
-//! streams byte-for-byte).
+//! streams byte-for-byte). The same holds across thread counts: the
+//! parallel engine ([`SimConfig::with_threads`](crate::SimConfig::with_threads))
+//! emits events only from its serial merge stages, in ascending node
+//! order within each stage, so the stream a sink sees is byte-identical
+//! at every thread count — sinks need no synchronization and are called
+//! from exactly one thread (see `docs/PARALLEL_ENGINE.md` §3).
 
 use crate::fault::FaultKind;
 use crate::metrics::RoundMetrics;

@@ -16,8 +16,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use mis_graphs::generators;
 use radio_netsim::{
-    Action, ChannelModel, EngineMode, Feedback, NodeRng, NodeStatus, Protocol, SimConfig,
-    Simulator,
+    Action, ChannelModel, EngineMode, Feedback, NodeRng, NodeStatus, Protocol, SimConfig, Simulator,
 };
 
 struct CountingAlloc;
@@ -57,9 +56,7 @@ impl Protocol for Metronome {
             self.done = true;
             return Action::halt();
         }
-        Action::Sleep {
-            wake_at: round + 1,
-        }
+        Action::Sleep { wake_at: round + 1 }
     }
     fn feedback(&mut self, _round: u64, _fb: Feedback, _rng: &mut NodeRng) {}
     fn status(&self) -> NodeStatus {
@@ -70,11 +67,16 @@ impl Protocol for Metronome {
     }
 }
 
-fn allocs_for(mode: EngineMode, rounds: u64) -> usize {
-    let g = generators::path(8);
+fn allocs_for(mode: EngineMode, rounds: u64, threads: usize) -> usize {
+    // 200 nodes: wide enough that the parallel engine's 64-node sharding
+    // grain actually splits the per-round worklists across workers, so
+    // the threaded leg exercises real `rayon::join` traffic rather than
+    // the inline fallback loop.
+    let g = generators::path(200);
     let config = SimConfig::new(ChannelModel::Cd)
         .with_seed(7)
-        .with_engine_mode(mode);
+        .with_engine_mode(mode)
+        .with_threads(threads);
     let sim = Simulator::new(&g, config);
     let before = ALLOCS.load(Ordering::Relaxed);
     let report = sim.run(|_, _| Metronome {
@@ -88,19 +90,26 @@ fn allocs_for(mode: EngineMode, rounds: u64) -> usize {
 
 #[test]
 fn steady_state_rounds_do_not_allocate() {
-    for mode in [EngineMode::Sparse, EngineMode::Dense] {
+    for (mode, threads) in [
+        (EngineMode::Sparse, 1),
+        (EngineMode::Dense, 1),
+        (EngineMode::Sparse, 2),
+    ] {
         // Warm-up run so lazily-initialized runtime state (TLS, rng
-        // tables) doesn't charge the baseline.
-        let _ = allocs_for(mode, 16);
-        let short = allocs_for(mode, 64);
-        let long = allocs_for(mode, 4096);
+        // tables, the leaked engine thread pool) doesn't charge the
+        // baseline.
+        let _ = allocs_for(mode, 16, threads);
+        let short = allocs_for(mode, 64, threads);
+        let long = allocs_for(mode, 4096, threads);
         // Setup/teardown allocations (report, meters, scratch capacity)
         // are round-count independent; allow a tiny slack for buffer
-        // growth doublings. A per-round allocation would add ~4000 here.
+        // growth doublings and, on the threaded leg, work-stealing deque
+        // jitter. A per-round allocation would add ~4000 here.
+        let slack = if threads > 1 { 64 } else { 16 };
         assert!(
-            long <= short + 16,
-            "{mode:?}: round loop allocates per round ({short} allocs for 64 \
-             rounds vs {long} for 4096)"
+            long <= short + slack,
+            "{mode:?} @ {threads} threads: round loop allocates per round \
+             ({short} allocs for 64 rounds vs {long} for 4096)"
         );
     }
 }

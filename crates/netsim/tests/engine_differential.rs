@@ -1,9 +1,12 @@
-//! Differential equivalence rig: sparse wake-queue backend vs dense oracle.
+//! Differential equivalence rig: sparse wake-queue backend vs dense
+//! oracle, and serial vs parallel execution.
 //!
 //! [`EngineMode::Dense`] and [`EngineMode::Sparse`] promise *byte-identical*
-//! outputs for any (graph, config, protocol) triple. This suite fuzzes that
-//! promise over a corpus of (graph × channel model × fault plan × seed ×
-//! sleep-span) combinations, asserting three layers of equality per case:
+//! outputs for any (graph, config, protocol) triple, and so does every
+//! [`SimConfig::with_threads`] worker count (the determinism contract of
+//! `docs/PARALLEL_ENGINE.md`). This suite fuzzes both promises over a
+//! corpus of (graph × channel model × fault plan × seed × sleep-span)
+//! combinations, asserting three layers of equality per case:
 //!
 //! 1. the [`RunReport`]s compare equal (`PartialEq`);
 //! 2. their serialized JSON is identical byte-for-byte;
@@ -18,8 +21,8 @@ use mis_graphs::{Graph, GraphBuilder};
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
 use radio_netsim::{
-    Action, ChannelModel, ConvergencePolicy, DownTime, EngineMode, FaultPlan, Feedback,
-    JsonlTrace, Message, NodeRng, NodeStatus, Protocol, RunReport, SimConfig, Simulator,
+    Action, ChannelModel, ConvergencePolicy, DownTime, EngineMode, FaultPlan, Feedback, JsonlTrace,
+    Message, NodeRng, NodeStatus, Protocol, RunReport, SimConfig, Simulator,
 };
 use rand::Rng;
 
@@ -116,8 +119,12 @@ fn run_mode(
     budget: u32,
     max_nap: u64,
 ) -> (RunReport, Vec<u8>) {
+    run_config(g, &config.clone().with_engine_mode(mode), budget, max_nap)
+}
+
+fn run_config(g: &Graph, config: &SimConfig, budget: u32, max_nap: u64) -> (RunReport, Vec<u8>) {
     let mut sink = JsonlTrace::new(Vec::<u8>::new());
-    let report = Simulator::new(g, config.clone().with_engine_mode(mode)).run_traced(
+    let report = Simulator::new(g, config.clone()).run_traced(
         |_, _| Chaotic {
             awake_left: budget,
             max_nap,
@@ -125,7 +132,63 @@ fn run_mode(
         },
         &mut sink,
     );
-    (report, sink.into_inner().expect("in-memory writer cannot fail"))
+    (
+        report,
+        sink.into_inner().expect("in-memory writer cannot fail"),
+    )
+}
+
+/// Graphs wide enough that the parallel engine's sharding grain (64
+/// nodes per leaf slice) actually splits worklists across workers —
+/// below that threshold the parallel path degenerates to the inline
+/// loop and the thread axis would be untested.
+fn arb_wide_graph() -> impl Strategy<Value = Graph> {
+    (65usize..200).prop_flat_map(|n| {
+        let edge = (0..n, 0..n).prop_filter("no loops", |(u, v)| u != v);
+        proptest::collection::vec(edge, 0..(3 * n)).prop_map(move |edges| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in edges {
+                b.add_edge(u, v).unwrap();
+            }
+            b.build()
+        })
+    })
+}
+
+/// Runs the same config at thread counts {1, 2, 8} and asserts all three
+/// layers of equality between the serial run and each parallel run.
+fn assert_threads_equivalent(
+    g: &Graph,
+    config: &SimConfig,
+    budget: u32,
+    max_nap: u64,
+) -> Result<RunReport, TestCaseError> {
+    let (serial_report, serial_trace) =
+        run_config(g, &config.clone().with_threads(1), budget, max_nap);
+    prop_assert!(
+        !serial_trace.is_empty(),
+        "trace stream empty: nothing was compared"
+    );
+    for threads in [2usize, 8] {
+        let (report, trace) = run_config(g, &config.clone().with_threads(threads), budget, max_nap);
+        prop_assert_eq!(
+            &serial_report,
+            &report,
+            "reports diverged at {} threads",
+            threads
+        );
+        prop_assert_eq!(
+            serde_json::to_string(&serial_report).expect("reports serialize"),
+            serde_json::to_string(&report).expect("reports serialize")
+        );
+        prop_assert_eq!(
+            &serial_trace,
+            &trace,
+            "trace streams diverged at {} threads",
+            threads
+        );
+    }
+    Ok(serial_report)
 }
 
 /// Runs both backends and asserts all three layers of equality.
@@ -206,5 +269,65 @@ proptest! {
         // An effectively unbounded awake budget: the cap does the stopping.
         let report = assert_equivalent(&g, &config, u32::MAX, 100)?;
         prop_assert!(report.rounds <= cap);
+    }
+
+    /// The parallel determinism contract: on graphs wide enough to engage
+    /// the sharded act/delivery stages, thread counts {1, 2, 8} produce
+    /// byte-identical reports and trace streams across every channel
+    /// model and every fault plan in the corpus.
+    #[test]
+    fn parallel_equals_serial_across_the_corpus(
+        g in arb_wide_graph(),
+        seed in any::<u64>(),
+        channel_pick in 0usize..4,
+        plan_pick in 0u8..5,
+        max_nap in 2u64..40,
+    ) {
+        let config = SimConfig::new(ALL_CHANNELS[channel_pick])
+            .with_seed(seed)
+            .with_faults(fault_corpus(plan_pick))
+            .with_round_metrics();
+        assert_threads_equivalent(&g, &config, 8, max_nap)?;
+    }
+
+    /// Convergence policies — stability stops, quiescence watchdogs —
+    /// fire on the same round regardless of the worker count.
+    #[test]
+    fn parallel_equals_serial_under_convergence_policies(
+        g in arb_wide_graph(),
+        seed in any::<u64>(),
+        stability in 1u64..20,
+        max_nap in 16u64..200,
+    ) {
+        let config = SimConfig::new(ChannelModel::Cd)
+            .with_seed(seed)
+            .with_faults(fault_corpus(2))
+            .with_convergence(
+                ConvergencePolicy::new(stability).with_quiescence(stability + 60),
+            )
+            .with_max_rounds(500)
+            .with_round_metrics();
+        assert_threads_equivalent(&g, &config, 6, max_nap)?;
+    }
+
+    /// Thread-count invariance holds in both engine modes: the sparse
+    /// wake-queue backend parallelizes to the same bytes as the dense one.
+    #[test]
+    fn parallel_equals_serial_in_both_engine_modes(
+        g in arb_wide_graph(),
+        seed in any::<u64>(),
+        plan_pick in 0u8..5,
+    ) {
+        let base = SimConfig::new(ChannelModel::NoCd)
+            .with_seed(seed)
+            .with_faults(fault_corpus(plan_pick))
+            .with_round_metrics();
+        let dense = assert_threads_equivalent(
+            &g, &base.clone().with_engine_mode(EngineMode::Dense), 8, 20,
+        )?;
+        let sparse = assert_threads_equivalent(
+            &g, &base.with_engine_mode(EngineMode::Sparse), 8, 20,
+        )?;
+        prop_assert_eq!(&dense, &sparse, "backends diverged");
     }
 }

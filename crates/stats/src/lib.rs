@@ -25,12 +25,17 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+/// Least-squares growth-law fitting with R² model selection.
 pub mod fit;
+/// Dependency-free SVG line charts.
 pub mod plot;
+/// Descriptive statistics over trial measurements.
 pub mod summary;
+/// Markdown/CSV table rendering.
 pub mod table;
+/// Time-series analysis of per-round metrics records.
 pub mod timeline;
 
 pub use fit::{best_fit, Fit, GrowthModel};

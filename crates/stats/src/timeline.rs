@@ -26,6 +26,17 @@ use crate::summary::Summary;
 use serde::{Deserialize, Serialize};
 
 /// A fitted geometric decay `y(r) ≈ initial · exp(−rate · r)`.
+///
+/// ```
+/// use mis_stats::timeline::exp_decay_fit;
+///
+/// let rounds: Vec<f64> = (0..30).map(|r| r as f64).collect();
+/// let ys: Vec<f64> = rounds.iter().map(|r| 500.0 * (-0.2 * r).exp()).collect();
+/// let fit = exp_decay_fit(&rounds, &ys).unwrap();
+/// assert!((fit.rate - 0.2).abs() < 1e-9);
+/// assert!((fit.eval(5.0) - 500.0 * (-1.0f64).exp()).abs() < 1e-6);
+/// assert!(fit.half_life() < 4.0);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DecayFit {
     /// Decay rate per round (positive for a shrinking series).
@@ -105,6 +116,18 @@ pub struct TimelineSummary {
 impl TimelineSummary {
     /// Summarizes a series given as parallel `(rounds, values)` slices.
     /// Returns `None` for an empty series.
+    ///
+    /// ```
+    /// use mis_stats::TimelineSummary;
+    ///
+    /// // An awake-count series over (possibly non-contiguous) rounds.
+    /// let s = TimelineSummary::of(&[0.0, 1.0, 4.0], &[2.0, 6.0, 2.0]).unwrap();
+    /// assert_eq!(s.peak_round, 1.0);
+    /// assert_eq!(s.first, 2.0);
+    /// assert_eq!(s.last, 2.0);
+    /// assert!((s.auc - 16.0).abs() < 1e-12); // trapezoid over the round gaps
+    /// assert!(TimelineSummary::of(&[], &[]).is_none());
+    /// ```
     ///
     /// # Panics
     ///

@@ -16,6 +16,7 @@ const DOC_FILES: &[&str] = &[
     "CHANGELOG.md",
     "docs/ARCHITECTURE.md",
     "docs/EXPERIMENT_PIPELINE.md",
+    "docs/PARALLEL_ENGINE.md",
 ];
 
 /// Extracts inline-link targets from markdown source.
