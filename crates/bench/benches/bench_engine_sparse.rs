@@ -20,8 +20,7 @@ use mis_bench::workload;
 use mis_graphs::generators::{self, Family};
 use mis_graphs::Graph;
 use radio_netsim::{
-    Action, ChannelModel, EngineMode, Feedback, NodeRng, NodeStatus, Protocol, SimConfig,
-    Simulator,
+    Action, ChannelModel, EngineMode, Feedback, NodeRng, NodeStatus, Protocol, SimConfig, Simulator,
 };
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -92,11 +91,9 @@ fn bench(c: &mut Criterion) {
         group.sample_size(10);
         for (label, g) in topologies(n) {
             for mode in [EngineMode::Dense, EngineMode::Sparse] {
-                group.bench_with_input(
-                    BenchmarkId::new(format!("{mode:?}"), label),
-                    &g,
-                    |b, g| b.iter(|| run(g, mode)),
-                );
+                group.bench_with_input(BenchmarkId::new(format!("{mode:?}"), label), &g, |b, g| {
+                    b.iter(|| run(g, mode))
+                });
             }
         }
         group.finish();
@@ -142,12 +139,8 @@ fn smoke() {
         let sparse = measure(&g, EngineMode::Sparse);
         let speedup = dense.as_secs_f64() / sparse.as_secs_f64().max(1e-9);
         let key = format!("{label}/{n}");
-        let floor = baseline
-            .get(&key)
-            .map_or(5.0, |&b| (0.8 * b).max(5.0));
-        println!(
-            "{key}: dense {dense:?} / sparse {sparse:?} = {speedup:.1}x (floor {floor:.1}x)"
-        );
+        let floor = baseline.get(&key).map_or(5.0, |&b| (0.8 * b).max(5.0));
+        println!("{key}: dense {dense:?} / sparse {sparse:?} = {speedup:.1}x (floor {floor:.1}x)");
         if speedup < floor {
             eprintln!("REGRESSION: {key} speedup {speedup:.1}x below floor {floor:.1}x");
             failed = true;

@@ -51,7 +51,12 @@ use std::time::Instant;
 
 /// Version of the on-disk cache layout. Bumping it orphans every existing
 /// entry (they stop matching and are recomputed in place).
-pub const CACHE_SCHEMA: u32 = 1;
+///
+/// History: 2 — per-(node, round) fade re-keying changed lossy-run
+/// results without changing `SimConfig::fingerprint()` (thread-count
+/// invariance pins the fingerprint byte layout), so caches warmed under
+/// schema 1 must not replay for `loss > 0` cells.
+pub const CACHE_SCHEMA: u32 = 2;
 
 /// Content address of one job unit: experiment id, human-readable cell
 /// label, and the named ingredients that fully determine the unit's result.

@@ -77,6 +77,12 @@ pub(crate) fn shard_slices<P, O, F>(
     F: Fn(NodeId, &mut P, &mut NodeRng, &mut O) + Sync,
 {
     debug_assert_eq!(ids.len(), out.len());
+    debug_assert_eq!(nodes.len(), rngs.len());
+    // The disjointness of the split_at_mut sharding below rests on ids
+    // being strictly ascending and inside the slab range.
+    debug_assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    debug_assert!(ids.first().is_none_or(|&v| v >= base));
+    debug_assert!(ids.last().is_none_or(|&v| v - base < nodes.len()));
     if !par || ids.len() <= MIN_PAR_GRAIN {
         for (slot, &v) in out.iter_mut().zip(ids) {
             f(v, &mut nodes[v - base], &mut rngs[v - base], slot);

@@ -40,8 +40,8 @@ where
 {
     let run = |mode: EngineMode| {
         let mut sink = JsonlTrace::new(Vec::<u8>::new());
-        let report = Simulator::new(g, config.clone().with_engine_mode(mode))
-            .run_traced(factory, &mut sink);
+        let report =
+            Simulator::new(g, config.clone().with_engine_mode(mode)).run_traced(factory, &mut sink);
         (report, sink.into_inner().expect("in-memory writer"))
     };
     let (dense, dense_jsonl) = run(EngineMode::Dense);
@@ -51,7 +51,10 @@ where
         dense_jsonl, sparse_jsonl,
         "JSONL trace streams diverged between engine modes"
     );
-    assert!(!sparse_jsonl.is_empty(), "empty trace: nothing was compared");
+    assert!(
+        !sparse_jsonl.is_empty(),
+        "empty trace: nothing was compared"
+    );
     sparse
 }
 
