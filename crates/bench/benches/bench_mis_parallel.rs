@@ -1,0 +1,187 @@
+//! Parallel MIS solving and verification: push vs pull, serial vs sharded.
+//!
+//! Two questions, both about `mis_graphs::parallel`:
+//!
+//! 1. **Solve** — how do the push and pull elimination sides of
+//!    `prio_mis_with` compare across topologies? The selection rule
+//!    (`choose_elimination`) claims pull only pays on hub-dominated
+//!    graphs; the criterion group measures both sides on a path, a
+//!    unit-disk graph, G(n,p), and a power-law graph so the claim is a
+//!    number, not an assertion.
+//! 2. **Verify** — how much does `verify_mis_par` buy over the serial
+//!    `mis::verify_mis` scan? `BENCH_verify.json` pins the speedup
+//!    floor the CI smoke gate enforces.
+//!
+//! Entry points:
+//! - `cargo bench --bench bench_mis_parallel` — criterion run: push/pull
+//!   solves at n = 10⁵ per family, verify at thread counts {1, 2, max};
+//! - `MIS_BENCH_SMOKE=1 cargo bench --bench bench_mis_parallel` —
+//!   wall-clock serial/parallel verify ratios at n ∈ {10⁵, 10⁶} on
+//!   G(n, p) with average degree 8, enforced against the committed
+//!   `verify_speedup` baselines only on hosts with ≥ 4 cores (printed
+//!   but not gated on smaller machines, where the floor is unreachable
+//!   by construction);
+//! - `MIS_BENCH_FULL=1` additionally runs the 10⁸-edge row — G(n, p)
+//!   at n = 10⁷ with average degree 20 — the "verify a 10⁸-edge graph
+//!   in seconds" headline, kept out of the default smoke run because
+//!   building the graph alone needs several GiB of RAM.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use mis_graphs::generators::Family;
+use mis_graphs::parallel::{self, Elimination};
+use mis_graphs::{mis, Graph};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// The topology panel for the solve group: the selection rule's claimed
+/// "pull wins" case (power-law) plus three "push wins" shapes.
+fn solve_families() -> [Family; 4] {
+    [
+        Family::Path,
+        Family::GeometricAvgDegree(8),
+        Family::GnpAvgDegree(8),
+        Family::PowerLaw(3),
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    let n = 100_000;
+    let threads = available_cores().min(8);
+    for fam in solve_families() {
+        let g = fam.generate(n, 7);
+        let mut group = c.benchmark_group(format!("mis_parallel/solve/{}", fam.label()));
+        group.sample_size(10);
+        for elim in [Elimination::Push, Elimination::Pull] {
+            group.bench_with_input(
+                BenchmarkId::new(elim.label(), threads),
+                &elim,
+                |b, &elim| b.iter(|| parallel::prio_mis_with(&g, 7, threads, elim).rounds),
+            );
+        }
+        group.finish();
+    }
+
+    let g = Family::GnpAvgDegree(8).generate(n, 7);
+    let mask = parallel::prio_mis(&g, 7, threads);
+    let mut group = c.benchmark_group("mis_parallel/verify/gnp8-1e5");
+    group.sample_size(10);
+    group.bench_function("serial", |b| b.iter(|| mis::verify_mis(&g, &mask).is_ok()));
+    for t in [1usize, 2, threads] {
+        group.bench_with_input(BenchmarkId::new("threads", t), &t, |b, &t| {
+            b.iter(|| parallel::verify_mis_par(&g, &mask, t).is_ok())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn available_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |c| c.get())
+}
+
+/// Best-of-`reps` wall-clock time for one verification pass.
+fn measure(reps: u32, mut pass: impl FnMut() -> bool) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        assert!(pass(), "benchmark mask must verify");
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+/// Loads the committed verify-speedup baselines
+/// (`{"verify_speedup": {"1e6": …}}`).
+fn load_baseline() -> HashMap<String, f64> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_verify.json");
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let v: serde_json::Value = serde_json::from_str(&text).expect("baseline must parse");
+    v["verify_speedup"]
+        .as_object()
+        .expect("baseline needs a \"verify_speedup\" table")
+        .iter()
+        .map(|(k, val)| (k.clone(), val.as_f64().expect("speedup must be numeric")))
+        .collect()
+}
+
+/// Hard acceptance floors per size, independent of the committed
+/// baseline: the 10⁶-node row must clear 2× (the PR's acceptance
+/// criterion); 10⁵ tolerates more per-range overhead relative to work.
+fn absolute_floor(key: &str) -> f64 {
+    if key == "1e5" {
+        1.3
+    } else {
+        2.0
+    }
+}
+
+/// One smoke row: build the graph and a valid MIS, race the serial and
+/// sharded verifiers, return the wall ratio.
+fn smoke_row(n: usize, avg_degree: usize, threads: usize, reps: u32) -> (Graph, f64, Duration) {
+    let g = Family::GnpAvgDegree(avg_degree as u32).generate(n, 7);
+    let mask = parallel::prio_mis(&g, 7, threads);
+    let serial = measure(reps, || mis::verify_mis(&g, &mask).is_ok());
+    let par = measure(reps, || {
+        parallel::verify_mis_par(&g, &mask, threads).is_ok()
+    });
+    let ratio = serial.as_secs_f64() / par.as_secs_f64().max(1e-9);
+    (g, ratio, par)
+}
+
+/// The CI regression gate: serial/parallel verify wall ratios, enforced
+/// against `max(absolute, 0.8 × baseline)` — but only on hosts with
+/// ≥ 4 cores.
+fn smoke() {
+    let cores = available_cores();
+    let threads = cores.min(8);
+    let enforce = cores >= 4;
+    let baseline = load_baseline();
+    let mut failed = false;
+    for (n, key, reps) in [(100_000usize, "1e5", 3u32), (1_000_000, "1e6", 3)] {
+        let (g, ratio, par) = smoke_row(n, 8, threads, reps);
+        let floor = baseline.get(key).map_or_else(
+            || absolute_floor(key),
+            |&b| (0.8 * b).max(absolute_floor(key)),
+        );
+        println!(
+            "{key}: {} edges, {threads}-thread verify {par:?}, serial/parallel = \
+             {ratio:.2}x (floor {floor:.2}x, {})",
+            g.edge_count(),
+            if enforce {
+                "enforced"
+            } else {
+                "print-only: < 4 cores"
+            }
+        );
+        if enforce && ratio < floor {
+            eprintln!("REGRESSION: {key} verify speedup {ratio:.2}x below floor {floor:.2}x");
+            failed = true;
+        }
+    }
+    if std::env::var_os("MIS_BENCH_FULL").is_some() {
+        // The headline row: ~10⁸ edges (n = 10⁷, average degree 20).
+        // Completion within the run — not a speedup floor — is the
+        // acceptance criterion; the ratio is printed for the record.
+        let (g, ratio, par) = smoke_row(10_000_000, 20, threads, 1);
+        println!(
+            "1e8-edges: {} edges, {threads}-thread verify {par:?}, \
+             serial/parallel = {ratio:.2}x (print-only)",
+            g.edge_count()
+        );
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("mis parallel smoke: done");
+}
+
+fn main() {
+    if std::env::var_os("MIS_BENCH_SMOKE").is_some() {
+        smoke();
+        return;
+    }
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

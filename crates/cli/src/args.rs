@@ -220,6 +220,99 @@ pub struct VerifyOpts {
     pub set: String,
 }
 
+/// Which centralized solver `mis-sim solve` runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveMode {
+    /// Priority solver, push elimination (winners mark neighbors OUT).
+    Push,
+    /// Priority solver, pull elimination (nodes retire on an IN neighbor).
+    Pull,
+    /// Priority solver with topology-driven push/pull selection.
+    Auto,
+    /// Sequential greedy in id order.
+    Greedy,
+    /// Sequential greedy in a portable-RNG random order.
+    RandomGreedy,
+}
+
+impl SolveMode {
+    /// All mode labels, in the order `--mode` documents them.
+    pub fn all() -> [(&'static str, SolveMode); 5] {
+        [
+            ("push", SolveMode::Push),
+            ("pull", SolveMode::Pull),
+            ("auto", SolveMode::Auto),
+            ("greedy", SolveMode::Greedy),
+            ("random-greedy", SolveMode::RandomGreedy),
+        ]
+    }
+
+    /// Parses a mode label.
+    ///
+    /// # Errors
+    ///
+    /// Lists the accepted labels on failure.
+    pub fn parse(label: &str) -> Result<SolveMode, String> {
+        SolveMode::all()
+            .into_iter()
+            .find(|(l, _)| *l == label)
+            .map(|(_, m)| m)
+            .ok_or_else(|| {
+                format!(
+                    "unknown mode {label:?}; expected one of: {}",
+                    SolveMode::all().map(|(l, _)| l).join(", ")
+                )
+            })
+    }
+
+    /// The stable label.
+    pub fn label(self) -> &'static str {
+        SolveMode::all()
+            .into_iter()
+            .find(|(_, m)| *m == self)
+            .map(|(l, _)| l)
+            .expect("all variants labelled")
+    }
+}
+
+/// Options for `mis-sim solve` — the centralized (global-knowledge) MIS
+/// solvers, as opposed to the simulated distributed algorithms of `run`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveOpts {
+    /// Topology family (ignored when `graph_path` is set).
+    pub family: Family,
+    /// Network size (ignored when `graph_path` is set).
+    pub n: usize,
+    /// Load the topology from an edge-list file instead of generating.
+    pub graph_path: Option<String>,
+    /// Seed for the graph generator and the solver's priorities/shuffle.
+    pub seed: u64,
+    /// Worker threads for the parallel solver and verifier. Every count
+    /// produces byte-identical results; 1 stays serial.
+    pub threads: usize,
+    /// Which solver to run.
+    pub mode: SolveMode,
+    /// Write the set here as one node id per line (`verify`-compatible).
+    pub out: Option<String>,
+    /// Re-check the output with the parallel verifier before reporting.
+    pub verify: bool,
+}
+
+impl Default for SolveOpts {
+    fn default() -> SolveOpts {
+        SolveOpts {
+            family: Family::GnpAvgDegree(8),
+            n: 256,
+            graph_path: None,
+            seed: 0,
+            threads: 1,
+            mode: SolveMode::Auto,
+            out: None,
+            verify: false,
+        }
+    }
+}
+
 /// A parsed invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -231,6 +324,8 @@ pub enum Command {
     Graph(GraphOpts),
     /// `mis-sim verify`.
     Verify(VerifyOpts),
+    /// `mis-sim solve`.
+    Solve(SolveOpts),
     /// `mis-sim list`.
     List,
 }
@@ -258,6 +353,9 @@ USAGE:
                  [--engine dense|sparse] [--threads <T>]
   mis-sim graph  --family <FAM> --n <N> [--seed <S>] [--out <FILE>]
   mis-sim verify --graph <FILE> --set <FILE>
+  mis-sim solve  (--family <FAM> --n <N> | --graph <FILE>) [--seed <S>]
+                 [--mode push|pull|auto|greedy|random-greedy]
+                 [--threads <T>] [--out <FILE>] [--verify]
   mis-sim list
 
 FAULTS (radio algorithms only; resolved deterministically from --seed):
@@ -292,6 +390,13 @@ phases across that many workers (default 1 = serial); like `--engine`,
 every thread count produces byte-identical results, so the flag only
 changes speed (see docs/PARALLEL_ENGINE.md for the determinism contract).
 
+`solve` runs the *centralized* (global-knowledge) solvers — the priority
+MIS solver with push/pull/auto neighbor elimination, or the sequential
+greedy baselines — as the cost-of-distributedness yardstick. Output is
+deterministic in (graph, --seed) at every --threads count; `--out` writes
+a `verify`-compatible set file and `--verify` re-checks the result with
+the parallel verifier before reporting.
+
 Run `mis-sim list` for the available algorithms and families.";
 
 /// Parses a full argument vector (without the program name).
@@ -308,6 +413,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
         "trace" => Command::Trace(parse_trace(&rest)?),
         "graph" => Command::Graph(parse_graph(&rest)?),
         "verify" => Command::Verify(parse_verify(&rest)?),
+        "solve" => Command::Solve(parse_solve(&rest)?),
         "list" => {
             if !rest.is_empty() {
                 return Err("`list` takes no options".into());
@@ -676,6 +782,42 @@ fn parse_verify(args: &[&str]) -> Result<VerifyOpts, String> {
     })
 }
 
+fn parse_solve(args: &[&str]) -> Result<SolveOpts, String> {
+    let opts = take_options(args, &["verify"])?;
+    for key in opts.keys() {
+        if ![
+            "family", "n", "graph", "seed", "threads", "mode", "out", "verify",
+        ]
+        .contains(&key.as_str())
+        {
+            return Err(format!("unknown option --{key} for `solve`"));
+        }
+    }
+    let mut solve = SolveOpts {
+        graph_path: opts.get("graph").and_then(|v| v.map(str::to_string)),
+        ..SolveOpts::default()
+    };
+    if solve.graph_path.is_none() {
+        solve.family = Family::parse(req(&opts, "family")?)?;
+        solve.n = parse_num(req(&opts, "n")?, "n")?;
+    }
+    if let Some(Some(v)) = opts.get("seed") {
+        solve.seed = parse_num(v, "seed")?;
+    }
+    if let Some(Some(v)) = opts.get("threads") {
+        solve.threads = parse_num(v, "threads")?;
+        if solve.threads == 0 {
+            return Err("--threads must be ≥ 1".into());
+        }
+    }
+    if let Some(Some(v)) = opts.get("mode") {
+        solve.mode = SolveMode::parse(v)?;
+    }
+    solve.out = opts.get("out").and_then(|v| v.map(str::to_string));
+    solve.verify = opts.contains_key("verify");
+    Ok(solve)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1023,6 +1165,75 @@ mod tests {
         for (label, alg) in Algorithm::all() {
             assert_eq!(Algorithm::parse(label), Ok(alg));
             assert_eq!(alg.label(), label);
+        }
+    }
+
+    #[test]
+    fn parses_solve() {
+        let cli = parse_ok(
+            "solve --family plaw-3 --n 512 --seed 7 --mode pull --threads 4 \
+             --out s.txt --verify",
+        );
+        match cli.command {
+            Command::Solve(s) => {
+                assert_eq!(s.family, Family::PowerLaw(3));
+                assert_eq!(s.n, 512);
+                assert_eq!(s.graph_path, None);
+                assert_eq!(s.seed, 7);
+                assert_eq!(s.mode, SolveMode::Pull);
+                assert_eq!(s.threads, 4);
+                assert_eq!(s.out.as_deref(), Some("s.txt"));
+                assert!(s.verify);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn solve_defaults_to_auto_serial() {
+        let cli = parse_ok("solve --family star --n 32");
+        match cli.command {
+            Command::Solve(s) => {
+                assert_eq!(s.mode, SolveMode::Auto);
+                assert_eq!(s.threads, 1);
+                assert_eq!(s.seed, 0);
+                assert_eq!(s.out, None);
+                assert!(!s.verify);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cli = parse_ok("solve --graph topo.txt --mode greedy");
+        match cli.command {
+            Command::Solve(s) => {
+                assert_eq!(s.graph_path.as_deref(), Some("topo.txt"));
+                assert_eq!(s.mode, SolveMode::Greedy);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_solve_inputs() {
+        let check = |line: &str, needle: &str| {
+            let args: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+            let err = parse(&args).unwrap_err();
+            assert!(err.contains(needle), "{err:?} missing {needle:?}");
+        };
+        check("solve --family star --n 4 --mode warp", "unknown mode");
+        check(
+            "solve --family star --n 4 --threads 0",
+            "--threads must be ≥ 1",
+        );
+        check("solve --family star --n 4 --bogus 1", "unknown option");
+        check("solve --n 4", "missing required option --family");
+        check("solve --family star", "missing required option --n");
+    }
+
+    #[test]
+    fn solve_mode_labels_roundtrip() {
+        for (label, mode) in SolveMode::all() {
+            assert_eq!(SolveMode::parse(label), Ok(mode));
+            assert_eq!(mode.label(), label);
         }
     }
 }

@@ -3,6 +3,7 @@
 pub mod graph;
 pub mod radio;
 pub mod run;
+pub mod solve;
 pub mod trace;
 pub mod verify;
 
@@ -42,6 +43,7 @@ pub fn list_text() -> String {
         Family::RandomTree,
         Family::BoundedDegree(4),
         Family::LowerBound,
+        Family::PowerLaw(3),
     ] {
         let desc = match fam {
             Family::GnpAvgDegree(_) => "Erdős–Rényi G(n,p), parameter = average degree",
@@ -55,6 +57,7 @@ pub fn list_text() -> String {
             Family::RandomTree => "uniform random tree",
             Family::BoundedDegree(_) => "random graph with hard Δ cap, parameter = Δ",
             Family::LowerBound => "Theorem 1 hard instance (n/4 edges + n/2 isolated)",
+            Family::PowerLaw(_) => "power-law (Barabási–Albert), parameter = edges per node",
         };
         out.push_str(&format!("  {:<17} {desc}\n", fam.label()));
     }
@@ -73,6 +76,7 @@ mod tests {
             "gnp-d8",
             "lowerbound",
             "congest-ghaffari",
+            "plaw-3",
         ] {
             assert!(text.contains(needle), "missing {needle}");
         }

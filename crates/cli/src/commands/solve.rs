@@ -1,0 +1,202 @@
+//! `mis-sim solve`: run a centralized (global-knowledge) MIS solver.
+//!
+//! Unlike `run`, nothing is simulated here — the solver sees the whole
+//! topology. This is the "cost of distributedness" yardstick: set sizes
+//! and bulk-synchronous round counts with zero radio constraints. Output
+//! is deterministic in `(graph, --seed)` at every `--threads` count.
+
+use crate::args::{SolveMode, SolveOpts};
+use mis_graphs::{io, mis, parallel, Graph};
+
+/// Executes `mis-sim solve`.
+///
+/// # Errors
+///
+/// Returns a message on IO/parse failures, and on a `--verify` failure
+/// (a solver emitting an invalid set is a bug, not a result).
+pub fn execute(opts: &SolveOpts) -> Result<String, String> {
+    let g = load_graph(opts)?;
+    let (mask, rounds, elim) = match opts.mode {
+        SolveMode::Greedy => (mis::greedy_mis(&g), None, None),
+        SolveMode::RandomGreedy => (mis::random_greedy_mis(&g, opts.seed), None, None),
+        SolveMode::Push | SolveMode::Pull | SolveMode::Auto => {
+            let elim = match opts.mode {
+                SolveMode::Push => parallel::Elimination::Push,
+                SolveMode::Pull => parallel::Elimination::Pull,
+                _ => parallel::choose_elimination(&g),
+            };
+            let run = parallel::prio_mis_with(&g, opts.seed, opts.threads, elim);
+            (run.mask, Some(run.rounds), Some(elim))
+        }
+    };
+    let mut out = format!(
+        "n = {} · m = {} · mode {}{} · |MIS| = {}",
+        g.len(),
+        g.edge_count(),
+        opts.mode.label(),
+        match elim {
+            Some(e) if opts.mode == SolveMode::Auto => format!(" ({})", e.label()),
+            _ => String::new(),
+        },
+        mis::set_size(&mask),
+    );
+    if let Some(r) = rounds {
+        out.push_str(&format!(" · {r} rounds"));
+    }
+    out.push('\n');
+    if opts.verify {
+        parallel::verify_mis_par(&g, &mask, opts.threads)
+            .map_err(|e| format!("solver output failed verification: {e}"))?;
+        out.push_str("verified: maximal independent set\n");
+    }
+    if let Some(path) = &opts.out {
+        let mut text = String::new();
+        for (v, &inside) in mask.iter().enumerate() {
+            if inside {
+                text.push_str(&format!("{v}\n"));
+            }
+        }
+        std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        out.push_str(&format!("wrote set to {path}\n"));
+    }
+    Ok(out)
+}
+
+fn load_graph(opts: &SolveOpts) -> Result<Graph, String> {
+    match &opts.graph_path {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            io::from_text(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+        }
+        None => Ok(opts.family.generate(opts.n, opts.seed)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::VerifyOpts;
+    use mis_graphs::generators::Family;
+
+    fn base() -> SolveOpts {
+        SolveOpts {
+            family: Family::Star,
+            n: 9,
+            ..SolveOpts::default()
+        }
+    }
+
+    #[test]
+    fn solves_and_reports_rounds() {
+        let opts = SolveOpts {
+            verify: true,
+            ..base()
+        };
+        let out = execute(&opts).unwrap();
+        // A star's MIS is either the hub alone or all the leaves.
+        assert!(out.contains("n = 9"), "{out}");
+        assert!(out.contains("rounds"), "{out}");
+        assert!(out.contains("mode auto ("), "{out}");
+        assert!(out.contains("verified"), "{out}");
+    }
+
+    #[test]
+    fn greedy_modes_skip_rounds() {
+        for mode in [SolveMode::Greedy, SolveMode::RandomGreedy] {
+            let out = execute(&SolveOpts { mode, ..base() }).unwrap();
+            assert!(!out.contains("rounds"), "{out}");
+            assert!(out.contains("|MIS| ="), "{out}");
+        }
+    }
+
+    #[test]
+    fn explicit_modes_match_each_other() {
+        // Push and pull reach the same set; the report shows no "(elim)"
+        // suffix because the side was requested, not chosen.
+        let push = execute(&SolveOpts {
+            mode: SolveMode::Push,
+            family: Family::GnpAvgDegree(8),
+            n: 128,
+            ..base()
+        })
+        .unwrap();
+        let pull = execute(&SolveOpts {
+            mode: SolveMode::Pull,
+            family: Family::GnpAvgDegree(8),
+            n: 128,
+            ..base()
+        })
+        .unwrap();
+        assert!(push.contains("mode push ·"), "{push}");
+        assert!(pull.contains("mode pull ·"), "{pull}");
+        let size = |s: &str| {
+            s.split("|MIS| = ")
+                .nth(1)
+                .unwrap()
+                .split_whitespace()
+                .next()
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(size(&push), size(&pull));
+    }
+
+    #[test]
+    fn out_file_roundtrips_through_verify() {
+        let dir = std::env::temp_dir().join("mis_cli_test_solve");
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("g.txt");
+        let set_path = dir.join("s.txt");
+        let g = Family::GnpAvgDegree(8).generate(64, 3);
+        std::fs::write(&graph_path, io::to_text(&g)).unwrap();
+        let opts = SolveOpts {
+            graph_path: Some(graph_path.to_string_lossy().into_owned()),
+            seed: 3,
+            threads: 2,
+            out: Some(set_path.to_string_lossy().into_owned()),
+            ..SolveOpts::default()
+        };
+        let out = execute(&opts).unwrap();
+        assert!(out.contains("wrote set to"), "{out}");
+        let verdict = crate::commands::verify::execute(&VerifyOpts {
+            graph: graph_path.to_string_lossy().into_owned(),
+            set: set_path.to_string_lossy().into_owned(),
+        })
+        .unwrap();
+        assert!(verdict.starts_with("OK"), "{verdict}");
+    }
+
+    #[test]
+    fn thread_counts_agree_byte_for_byte() {
+        for mode in [SolveMode::Push, SolveMode::Pull, SolveMode::Auto] {
+            let at = |threads: usize| {
+                execute(&SolveOpts {
+                    mode,
+                    threads,
+                    family: Family::GnpAvgDegree(8),
+                    n: 200,
+                    seed: 11,
+                    ..SolveOpts::default()
+                })
+                .unwrap()
+            };
+            assert_eq!(at(1), at(2));
+            assert_eq!(at(1), at(8));
+        }
+    }
+
+    #[test]
+    fn bad_paths_error() {
+        let opts = SolveOpts {
+            graph_path: Some("/no/such/topo.txt".into()),
+            ..SolveOpts::default()
+        };
+        assert!(execute(&opts).unwrap_err().contains("cannot read"));
+        let opts = SolveOpts {
+            out: Some("/no/such/dir/s.txt".into()),
+            ..base()
+        };
+        assert!(execute(&opts).unwrap_err().contains("cannot write"));
+    }
+}

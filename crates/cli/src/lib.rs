@@ -9,6 +9,8 @@
 //!               [--out FILE]
 //! mis-sim graph --family udg-d10 --n 500 [--seed S] [--out FILE]
 //! mis-sim verify --graph FILE --set FILE
+//! mis-sim solve --family plaw-3 --n 100000 [--seed S] [--mode auto]
+//!               [--threads T] [--out FILE] [--verify]
 //! mis-sim list
 //! ```
 //!
@@ -34,6 +36,7 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
         Command::Trace(opts) => commands::trace::execute(opts),
         Command::Graph(opts) => commands::graph::execute(opts),
         Command::Verify(opts) => commands::verify::execute(opts),
+        Command::Solve(opts) => commands::solve::execute(opts),
         Command::List => Ok(commands::list_text()),
     }
 }

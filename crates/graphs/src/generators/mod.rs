@@ -21,13 +21,13 @@ pub mod classic;
 pub mod geometric;
 /// The adversarial Theorem-1 lower-bound family.
 pub mod lower_bound;
-/// Random families: G(n,p), G(n,m), bounded-degree, random trees.
+/// Random families: G(n,p), G(n,m), bounded-degree, random trees, power-law.
 pub mod random;
 
 pub use classic::{binary_tree, clique, complete_bipartite, cycle, empty, grid2d, path, star};
 pub use geometric::{random_geometric, random_geometric_torus};
 pub use lower_bound::{lower_bound_family, matching_plus_isolated};
-pub use random::{bounded_degree, gnm, gnp, random_tree};
+pub use random::{bounded_degree, gnm, gnp, power_law, random_tree};
 
 use crate::Graph;
 use rand::rngs::SmallRng;
@@ -64,6 +64,9 @@ pub enum Family {
     BoundedDegree(u32),
     /// Theorem 1 lower-bound family: n/4 disjoint edges + n/2 isolated nodes.
     LowerBound,
+    /// Power-law (Barabási–Albert) graph attaching the parameter's worth of
+    /// edges per arriving node.
+    PowerLaw(u32),
 }
 
 impl Family {
@@ -112,6 +115,7 @@ impl Family {
             Family::RandomTree => random_tree(n, seed),
             Family::BoundedDegree(d) => bounded_degree(n, d as usize, seed),
             Family::LowerBound => lower_bound_family(n),
+            Family::PowerLaw(m) => power_law(n, m as usize, seed),
         }
     }
 
@@ -129,6 +133,7 @@ impl Family {
             Family::RandomTree => "tree".into(),
             Family::BoundedDegree(d) => format!("bdeg-{d}"),
             Family::LowerBound => "lowerbound".into(),
+            Family::PowerLaw(m) => format!("plaw-{m}"),
         }
     }
 }
@@ -156,6 +161,9 @@ impl Family {
         if let Some(d) = parse_param("bdeg-") {
             return d.map(Family::BoundedDegree);
         }
+        if let Some(m) = parse_param("plaw-") {
+            return m.map(Family::PowerLaw);
+        }
         match label {
             "grid" => Ok(Family::Grid),
             "star" => Ok(Family::Star),
@@ -166,7 +174,7 @@ impl Family {
             "tree" => Ok(Family::RandomTree),
             "lowerbound" => Ok(Family::LowerBound),
             other => Err(format!(
-                "unknown family {other:?}; expected one of gnp-d<K>, udg-d<K>, bdeg-<K>,                  grid, star, clique, path, cycle, empty, tree, lowerbound"
+                "unknown family {other:?}; expected one of gnp-d<K>, udg-d<K>, bdeg-<K>, plaw-<K>,                  grid, star, clique, path, cycle, empty, tree, lowerbound"
             )),
         }
     }
@@ -203,6 +211,7 @@ mod tests {
             Family::RandomTree,
             Family::BoundedDegree(5),
             Family::LowerBound,
+            Family::PowerLaw(3),
         ] {
             let a = fam.generate(64, 7);
             let b = fam.generate(64, 7);
@@ -225,6 +234,7 @@ mod tests {
             Family::RandomTree,
             Family::BoundedDegree(5),
             Family::LowerBound,
+            Family::PowerLaw(3),
         ];
         let labels: std::collections::HashSet<_> = fams.iter().map(|f| f.label()).collect();
         assert_eq!(labels.len(), fams.len());
@@ -244,6 +254,7 @@ mod tests {
             Family::RandomTree,
             Family::BoundedDegree(5),
             Family::LowerBound,
+            Family::PowerLaw(3),
         ] {
             assert_eq!(Family::parse(&fam.label()), Ok(fam), "{fam}");
         }

@@ -1,4 +1,5 @@
-//! Randomized graph families: G(n,p), G(n,m), bounded-degree, random trees.
+//! Randomized graph families: G(n,p), G(n,m), bounded-degree, random trees,
+//! and power-law (preferential-attachment) graphs.
 
 use super::rng;
 use crate::graph::{Graph, GraphBuilder, NodeId};
@@ -166,6 +167,62 @@ pub fn random_tree(n: usize, seed: u64) -> Graph {
     b.build()
 }
 
+/// A power-law (heavy-tailed) random graph via Barabási–Albert preferential
+/// attachment: nodes arrive one at a time and wire `m` edges to distinct
+/// existing nodes chosen proportionally to current degree.
+///
+/// The seed core is a star on the first `m + 1` nodes; every later node
+/// attaches `m` edges, so the graph has exactly `m · (n − m)` edges, average
+/// degree ≈ `2m`, and a degree tail decaying like `deg⁻³` with hubs of order
+/// `m·√n` — the heavy-tailed regime where the parallel MIS solver's *pull*
+/// elimination pays off (see `parallel::choose_elimination`). `m` is capped
+/// at `n − 1`; `m == 0` or `n < 2` yields an empty edge set.
+///
+/// Deterministic given `seed`:
+///
+/// ```
+/// use mis_graphs::generators::power_law;
+///
+/// let a = power_law(500, 3, 7);
+/// assert!(a.edges().eq(power_law(500, 3, 7).edges()));
+/// assert_eq!(a.edge_count(), 3 * (500 - 3));
+/// ```
+pub fn power_law(n: usize, m: usize, seed: u64) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    let m = m.min(n.saturating_sub(1));
+    if n < 2 || m == 0 {
+        return b.build();
+    }
+    let mut r = rng(seed);
+    // One entry per edge endpoint: sampling uniformly from this list is
+    // sampling nodes proportionally to degree.
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * m * n.saturating_sub(m));
+    for v in 0..m {
+        b.add_edge(v, m).expect("ids valid");
+        endpoints.push(v);
+        endpoints.push(m);
+    }
+    let mut targets: Vec<NodeId> = Vec::with_capacity(m);
+    for v in (m + 1)..n {
+        // The core has m + 1 distinct nodes, so m distinct targets always
+        // exist and the rejection loop terminates.
+        targets.clear();
+        while targets.len() < m {
+            let t = endpoints[r.gen_range(0..endpoints.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        // Register v's endpoints only after sampling, so v never self-loops.
+        for &t in &targets {
+            b.add_edge(t, v).expect("ids valid");
+            endpoints.push(t);
+            endpoints.push(v);
+        }
+    }
+    b.build()
+}
+
 /// A uniformly random permutation of `0..n`, useful for randomized node
 /// orders in baselines.
 pub fn random_permutation(n: usize, seed: u64) -> Vec<NodeId> {
@@ -249,6 +306,40 @@ mod tests {
         }
         assert_eq!(random_tree(0, 1).len(), 0);
         assert_eq!(random_tree(1, 1).edge_count(), 0);
+    }
+
+    #[test]
+    fn power_law_edge_count_and_validity() {
+        for (n, m) in [(2usize, 1usize), (50, 1), (200, 3), (500, 5)] {
+            let g = power_law(n, m, 17);
+            assert_eq!(g.edge_count(), m * (n - m), "n={n} m={m}");
+            g.validate().unwrap();
+            assert_eq!(crate::analysis::connected_components(&g), 1, "n={n} m={m}");
+        }
+        assert_eq!(power_law(10, 0, 1).edge_count(), 0);
+        assert_eq!(power_law(1, 3, 1).edge_count(), 0);
+        assert_eq!(power_law(0, 3, 1).len(), 0);
+        // m capped at n - 1: a 4-node graph with "m = 100" is just the core star.
+        assert_eq!(power_law(4, 100, 1).edge_count(), 3);
+    }
+
+    #[test]
+    fn power_law_deterministic_by_seed() {
+        assert_eq!(power_law(300, 2, 5), power_law(300, 2, 5));
+        assert_ne!(power_law(300, 2, 5), power_law(300, 2, 6));
+    }
+
+    #[test]
+    fn power_law_has_heavy_tail() {
+        // Preferential attachment concentrates degree: the hub should sit
+        // far above the ~2m average (order m·√n ≈ 89 at n = 2000, m = 2).
+        let g = power_law(2000, 2, 9);
+        assert!(
+            g.max_degree() as f64 > 4.0 * g.avg_degree(),
+            "Δ = {} vs avg {}",
+            g.max_degree(),
+            g.avg_degree()
+        );
     }
 
     #[test]

@@ -36,7 +36,13 @@ pub mod graph;
 pub mod io;
 /// Maximal-independent-set verification utilities.
 pub mod mis;
+/// Deterministic parallel MIS solving and verification.
+pub mod parallel;
+/// Pinned portable randomness (seed derivation and a frozen-stream RNG).
+pub mod rng;
 
 pub use error::GraphError;
 pub use graph::{Graph, GraphBuilder, NodeId};
 pub use mis::{is_independent, is_maximal, is_mis, MisViolation};
+pub use parallel::{prio_mis, verify_mis_par, Elimination};
+pub use rng::{split_seed, PortableRng};

@@ -5,8 +5,7 @@
 //! represented as `&[bool]` membership masks indexed by node id.
 
 use crate::graph::{Graph, NodeId};
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use crate::rng::PortableRng;
 
 /// The first structural violation found when checking a claimed MIS.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,33 +51,31 @@ impl std::error::Error for MisViolation {}
 
 /// Checks independence: no edge has both endpoints in `set`.
 ///
-/// # Panics
-///
-/// Panics if `set.len() != g.len()`.
+/// A mask of the wrong length is `false`, matching the
+/// [`MisViolation::WrongLength`] classification of [`verify_mis`] — all
+/// checkers in this module treat a malformed mask as a failed check, never
+/// a panic.
 pub fn is_independent(g: &Graph, set: &[bool]) -> bool {
-    assert_eq!(set.len(), g.len(), "mask length mismatch");
-    g.edges().all(|(u, v)| !(set[u] && set[v]))
+    set.len() == g.len() && g.edges().all(|(u, v)| !(set[u] && set[v]))
 }
 
 /// Checks maximality (domination): every node is in `set` or has a neighbor
 /// in `set`.
 ///
-/// # Panics
-///
-/// Panics if `set.len() != g.len()`.
+/// A mask of the wrong length is `false`, matching the
+/// [`MisViolation::WrongLength`] classification of [`verify_mis`].
 pub fn is_maximal(g: &Graph, set: &[bool]) -> bool {
-    assert_eq!(set.len(), g.len(), "mask length mismatch");
-    g.nodes()
-        .all(|v| set[v] || g.neighbors(v).iter().any(|&u| set[u]))
+    set.len() == g.len()
+        && g.nodes()
+            .all(|v| set[v] || g.neighbors(v).iter().any(|&u| set[u]))
 }
 
-/// Checks both MIS conditions.
-///
-/// # Panics
-///
-/// Panics if `set.len() != g.len()`.
+/// Checks both MIS conditions. Equivalent to `verify_mis(g, set).is_ok()`
+/// (and implemented as exactly that), so the boolean and diagnostic
+/// checkers can never disagree — including on wrong-length masks, which
+/// are `false` here and [`MisViolation::WrongLength`] there.
 pub fn is_mis(g: &Graph, set: &[bool]) -> bool {
-    is_independent(g, set) && is_maximal(g, set)
+    verify_mis(g, set).is_ok()
 }
 
 /// Full check returning the first violation, for diagnostic output.
@@ -107,6 +104,57 @@ pub fn verify_mis(g: &Graph, set: &[bool]) -> Result<(), MisViolation> {
     Ok(())
 }
 
+/// Fault-aware variant of [`verify_mis`]: checks that `set` is an MIS of
+/// the subgraph induced by the `healthy` nodes.
+///
+/// A non-healthy node's membership claim is ignored (it neither blocks
+/// neighbors nor counts as coverage), and non-healthy nodes are not
+/// required to be dominated. With `healthy` all-`true` this is exactly
+/// [`verify_mis`]. The parallel counterpart
+/// [`crate::parallel::verify_mis_induced_par`] returns byte-identical
+/// results.
+///
+/// # Errors
+///
+/// Returns the first [`MisViolation`] in canonical scan order: length,
+/// then independence over induced edges in ascending `(u, v)` order, then
+/// domination over healthy nodes in ascending order.
+///
+/// # Panics
+///
+/// Panics if `healthy.len() != g.len()` — a malformed healthy mask is a
+/// caller bug, unlike a claimed MIS mask of the wrong length, which is a
+/// *finding* reported as [`MisViolation::WrongLength`].
+pub fn verify_mis_induced(g: &Graph, set: &[bool], healthy: &[bool]) -> Result<(), MisViolation> {
+    if set.len() != g.len() {
+        return Err(MisViolation::WrongLength {
+            got: set.len(),
+            expected: g.len(),
+        });
+    }
+    assert_eq!(healthy.len(), g.len(), "healthy mask length mismatch");
+    let in_set = |v: NodeId| set[v] && healthy[v];
+    for v in g.nodes() {
+        if !in_set(v) {
+            continue;
+        }
+        for &u in g.neighbors(v) {
+            if u > v && in_set(u) {
+                return Err(MisViolation::NotIndependent { u: v, v: u });
+            }
+        }
+    }
+    for v in g.nodes() {
+        if !healthy[v] || in_set(v) {
+            continue;
+        }
+        if !g.neighbors(v).iter().any(|&u| in_set(u)) {
+            return Err(MisViolation::NotDominated { v });
+        }
+    }
+    Ok(())
+}
+
 /// Sequential greedy MIS scanning nodes in id order. Deterministic; used as
 /// the ground-truth baseline in tests.
 pub fn greedy_mis(g: &Graph) -> Vec<bool> {
@@ -114,16 +162,32 @@ pub fn greedy_mis(g: &Graph) -> Vec<bool> {
 }
 
 /// Sequential greedy MIS scanning nodes in a uniformly random order.
+///
+/// The shuffle is driven by [`PortableRng`], so for a fixed `(graph, seed)`
+/// the output mask is byte-identical on every platform and under every
+/// toolchain — it is safe to pin in committed tables and regression tests.
+/// (Earlier revisions used `rand`'s `SmallRng`, whose stream is explicitly
+/// unstable across `rand` versions and platforms; a pinned regression test
+/// now freezes the portable stream.)
 pub fn random_greedy_mis(g: &Graph, seed: u64) -> Vec<bool> {
     let mut order: Vec<NodeId> = g.nodes().collect();
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
-    order.shuffle(&mut rng);
+    PortableRng::new(seed).shuffle(&mut order);
     greedy_mis_in_order(g, order)
 }
 
 /// Sequential greedy MIS scanning nodes in the order produced by `order`.
-/// Nodes missing from `order` are never considered, so passing a partial
-/// order yields an independent set that is maximal only w.r.t. visited nodes.
+///
+/// `order` need not be a permutation:
+///
+/// - **Duplicates** are no-ops — a node already in the set (or blocked by
+///   one) is skipped, so repeating an id never changes the result.
+/// - **Partial orders** are allowed — nodes missing from `order` are never
+///   considered, so the result is an independent set that is maximal only
+///   w.r.t. the visited nodes.
+///
+/// # Panics
+///
+/// Panics if `order` yields an id `>= g.len()`.
 pub fn greedy_mis_in_order(g: &Graph, order: impl IntoIterator<Item = NodeId>) -> Vec<bool> {
     let mut in_set = vec![false; g.len()];
     let mut blocked = vec![false; g.len()];
@@ -228,6 +292,120 @@ mod tests {
                 expected: 3
             })
         );
+    }
+
+    #[test]
+    fn boolean_checkers_agree_with_verify_on_wrong_length() {
+        // One contract across the module: a malformed mask fails the
+        // boolean checks exactly where verify_mis reports WrongLength.
+        let g = generators::path(3);
+        for bad in [&[][..], &[true][..], &[true; 4][..]] {
+            assert!(!is_independent(&g, bad));
+            assert!(!is_maximal(&g, bad));
+            assert!(!is_mis(&g, bad));
+            assert!(matches!(
+                verify_mis(&g, bad),
+                Err(MisViolation::WrongLength { .. })
+            ));
+        }
+        // And is_mis is literally verify_mis's verdict on well-formed input.
+        let good = greedy_mis(&g);
+        assert_eq!(is_mis(&g, &good), verify_mis(&g, &good).is_ok());
+    }
+
+    #[test]
+    fn random_greedy_pinned_output() {
+        // Freezes the PortableRng-driven shuffle: this mask must survive
+        // platform, rustc, and `rand` upgrades unchanged.
+        let g = generators::path(8);
+        let set = random_greedy_mis(&g, 42);
+        assert_eq!(
+            set,
+            vec![false, true, false, true, false, true, false, true]
+        );
+        assert!(is_mis(&g, &set));
+    }
+
+    #[test]
+    fn greedy_in_order_ignores_duplicates() {
+        let g = generators::path(5);
+        let once = greedy_mis_in_order(&g, [4usize, 2, 0]);
+        let dup = greedy_mis_in_order(&g, [4usize, 4, 2, 4, 2, 0, 2, 0]);
+        assert_eq!(once, dup);
+        assert_eq!(once, vec![true, false, true, false, true]);
+        // A duplicate of a node adjacent to a set member is also a no-op.
+        let adjacent_dup = greedy_mis_in_order(&g, [0usize, 1, 1, 2]);
+        assert_eq!(adjacent_dup, vec![true, false, true, false, false]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn greedy_in_order_rejects_out_of_range_ids() {
+        let g = generators::path(3);
+        let _ = greedy_mis_in_order(&g, [0usize, 5]);
+    }
+
+    #[test]
+    fn induced_verify_matches_plain_when_all_healthy() {
+        for g in [
+            generators::path(7),
+            generators::gnp(60, 0.1, 2),
+            generators::star(9),
+        ] {
+            let healthy = vec![true; g.len()];
+            let good = greedy_mis(&g);
+            assert_eq!(verify_mis_induced(&g, &good, &healthy), Ok(()));
+            let all = vec![true; g.len()];
+            assert_eq!(verify_mis_induced(&g, &all, &healthy), verify_mis(&g, &all));
+            let none = vec![false; g.len()];
+            assert_eq!(
+                verify_mis_induced(&g, &none, &healthy),
+                verify_mis(&g, &none)
+            );
+        }
+    }
+
+    #[test]
+    fn induced_verify_ignores_faulty_nodes() {
+        // Path 0-1-2-3 with node 2 down: {0, 3} is an MIS of the induced
+        // subgraph, node 2's claims are ignored, and node 2 itself needs
+        // no coverage.
+        let g = generators::path(4);
+        let healthy = vec![true, true, false, true];
+        assert_eq!(
+            verify_mis_induced(&g, &[true, false, false, true], &healthy),
+            Ok(())
+        );
+        // A faulty node in the claimed set neither violates independence...
+        assert_eq!(
+            verify_mis_induced(&g, &[true, false, true, true], &healthy),
+            Ok(())
+        );
+        // ...nor counts as coverage for a healthy neighbor.
+        assert_eq!(
+            verify_mis_induced(&g, &[true, false, true, false], &healthy),
+            Err(MisViolation::NotDominated { v: 3 })
+        );
+        // Two healthy adjacent members still violate independence.
+        assert_eq!(
+            verify_mis_induced(&g, &[true, true, false, true], &healthy),
+            Err(MisViolation::NotIndependent { u: 0, v: 1 })
+        );
+        // Wrong-length set is a finding, not a panic.
+        assert_eq!(
+            verify_mis_induced(&g, &[true], &healthy),
+            Err(MisViolation::WrongLength {
+                got: 1,
+                expected: 4
+            })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "healthy mask length mismatch")]
+    fn induced_verify_rejects_bad_healthy_len() {
+        let g = generators::path(3);
+        let _ = verify_mis_induced(&g, &[false; 3], &[true; 2]);
     }
 
     #[test]

@@ -1,0 +1,745 @@
+//! Deterministic shared-memory parallelism: the priority-based MIS solver,
+//! the sharded MIS verifiers, and the worker-pool / slab-splitting
+//! machinery the simulation engine shares.
+//!
+//! Everything in this module obeys one contract: **thread count never
+//! changes an output byte**. Three constructions make that hold:
+//!
+//! - [`shard_slices`] hands each worker disjoint `&mut` slab windows keyed
+//!   by strictly ascending id worklists, with positionally-indexed output
+//!   slots read back in order by a serial merge — the engine's round
+//!   pipeline (see `docs/PARALLEL_ENGINE.md`).
+//! - [`prio_mis`] runs bulk-synchronous rounds in which every decision is
+//!   a pure function of the previous round's frozen status snapshot, so
+//!   scheduling cannot perturb any round's outcome, and the fixpoint
+//!   equals the sequential greedy MIS over the priority order (see
+//!   [`prio_mis_with`] for the argument).
+//! - [`verify_mis_par`] scans disjoint ascending node ranges and reduces
+//!   with rayon's `find_map_first`, which returns the *sequentially
+//!   leftmost* hit regardless of which worker found what first — so the
+//!   reported violation is byte-identical to the sequential scan's.
+
+use crate::graph::{Graph, NodeId};
+use crate::mis::MisViolation;
+use crate::rng::split_seed;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// At or below this many worklist entries a sharded stage runs inline:
+/// splitting overhead would dominate, and the differential suites
+/// deliberately straddle the threshold so both the inline and the split
+/// paths are exercised.
+pub const MIN_PAR_GRAIN: usize = 64;
+
+/// Worker pools built so far, keyed by worker count. Pools are leaked
+/// (see [`pool`]) so the entries are `'static`.
+static POOLS: OnceLock<Mutex<Vec<(usize, &'static rayon::ThreadPool)>>> = OnceLock::new();
+
+/// The process-wide worker pool with `threads` workers.
+///
+/// Pools are built lazily, once per distinct thread count, and
+/// deliberately leaked: the engine's steady-state round loop must stay
+/// allocation-free (see the netsim `engine_alloc` test), and a run's
+/// single `install` onto a long-lived pool keeps every `rayon::join` on
+/// pre-existing worker stacks. The pool size is pinned explicitly, so
+/// `RAYON_NUM_THREADS` governs only rayon's global pool (the experiments
+/// harness), never an explicit `threads` argument.
+pub fn pool(threads: usize) -> &'static rayon::ThreadPool {
+    let registry = POOLS.get_or_init(|| Mutex::new(Vec::new()));
+    let mut pools = registry.lock().expect("worker pool registry poisoned");
+    if let Some(&(_, pool)) = pools.iter().find(|&&(t, _)| t == threads) {
+        return pool;
+    }
+    let pool = Box::leak(Box::new(
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .thread_name(|i| format!("mis-par-{i}"))
+            .build()
+            .expect("failed to build a worker thread pool"),
+    ));
+    pools.push((threads, pool));
+    pool
+}
+
+/// Applies `f` to every id in `ids`, handing it disjoint `&mut` access
+/// to the node's slab entry and per-node state plus the
+/// positionally-matching output slot.
+///
+/// `ids` must be strictly ascending with every id in
+/// `base..base + nodes.len()`, and `out.len() == ids.len()`. With `par`
+/// false — or at or below [`MIN_PAR_GRAIN`] ids — this is a plain
+/// ascending loop. With `par` true it halves the worklist, divides the
+/// slabs at the split id with `split_at_mut`, and recurses under
+/// `rayon::join`: every node is processed exactly once with the same
+/// per-node inputs as the serial walk, which is why thread count cannot
+/// change any output byte. `f` must touch nothing but its arguments and
+/// shared read-only captures.
+pub fn shard_slices<P, R, O, F>(
+    ids: &[NodeId],
+    base: usize,
+    nodes: &mut [P],
+    rngs: &mut [R],
+    out: &mut [O],
+    par: bool,
+    f: &F,
+) where
+    P: Send,
+    R: Send,
+    O: Send,
+    F: Fn(NodeId, &mut P, &mut R, &mut O) + Sync,
+{
+    debug_assert_eq!(ids.len(), out.len());
+    debug_assert_eq!(nodes.len(), rngs.len());
+    // The disjointness of the split_at_mut sharding below rests on ids
+    // being strictly ascending and inside the slab range.
+    debug_assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    debug_assert!(ids.first().is_none_or(|&v| v >= base));
+    debug_assert!(ids.last().is_none_or(|&v| v - base < nodes.len()));
+    if !par || ids.len() <= MIN_PAR_GRAIN {
+        for (slot, &v) in out.iter_mut().zip(ids) {
+            f(v, &mut nodes[v - base], &mut rngs[v - base], slot);
+        }
+        return;
+    }
+    let mid = ids.len() / 2;
+    let (left_ids, right_ids) = ids.split_at(mid);
+    // Ids are strictly ascending, so every left id indexes below the
+    // first right id and the slab split below is exact.
+    let cut = right_ids[0] - base;
+    let (left_nodes, right_nodes) = nodes.split_at_mut(cut);
+    let (left_rngs, right_rngs) = rngs.split_at_mut(cut);
+    let (left_out, right_out) = out.split_at_mut(mid);
+    rayon::join(
+        || shard_slices(left_ids, base, left_nodes, left_rngs, left_out, true, f),
+        || {
+            shard_slices(
+                right_ids,
+                base + cut,
+                right_nodes,
+                right_rngs,
+                right_out,
+                true,
+                f,
+            )
+        },
+    );
+}
+
+/// Splits `0..g.len()` into at most `chunks + 1` contiguous ranges of
+/// roughly equal CSR weight (one cell per node plus one per adjacency
+/// entry), so a hub-heavy graph doesn't starve all but one worker.
+///
+/// Deterministic in `(g, chunks)`; the concatenation of the ranges is
+/// always exactly `0..g.len()` in order, which is what lets callers
+/// reduce per-range results with `find_map_first` or ordered concat
+/// without any cross-range bookkeeping.
+pub fn edge_balanced_ranges(g: &Graph, chunks: usize) -> Vec<(NodeId, NodeId)> {
+    let n = g.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunks = chunks.max(1);
+    let total = n + 2 * g.edge_count();
+    let target = total.div_ceil(chunks).max(1);
+    let mut ranges = Vec::with_capacity(chunks + 1);
+    let mut start = 0;
+    let mut weight = 0usize;
+    for v in 0..n {
+        weight += 1 + g.degree(v);
+        if weight >= target {
+            ranges.push((start, v + 1));
+            start = v + 1;
+            weight = 0;
+        }
+    }
+    if start < n {
+        ranges.push((start, n));
+    }
+    ranges
+}
+
+/// How [`prio_mis_with`] eliminates the neighbors of a round's winners
+/// (the Galois ECL-MIS push/pull distinction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Elimination {
+    /// Winners mark their neighbors `OUT` in the same round. One status
+    /// write per adjacency of a winner; best when degrees are modest and
+    /// even (paths, grids, unit-disk, G(n,p)).
+    Push,
+    /// Every undecided node checks its own neighborhood for an `IN` node
+    /// in the next round and retires itself. Writes stay per-node (no
+    /// write contention on hub neighborhoods); best on heavy-tailed
+    /// (power-law) degree distributions.
+    Pull,
+}
+
+impl Elimination {
+    /// Stable lowercase label, for tables and CLI surfaces.
+    pub fn label(self) -> &'static str {
+        match self {
+            Elimination::Push => "push",
+            Elimination::Pull => "pull",
+        }
+    }
+}
+
+/// Picks the elimination side from the topology, per the Galois ECL-MIS
+/// guidance: pull on heavy-tailed (power-law-like) degree distributions,
+/// push otherwise.
+///
+/// The proxy for "heavy-tailed" is a hub test: a maximum degree that is
+/// both large in absolute terms and far above the average degree. Stars,
+/// power-law graphs, and lopsided trees select [`Elimination::Pull`];
+/// paths, cycles, grids, unit-disk and G(n,p) graphs select
+/// [`Elimination::Push`].
+pub fn choose_elimination(g: &Graph) -> Elimination {
+    let hub = g.max_degree() as f64;
+    if hub >= 32.0 && hub > 8.0 * g.avg_degree().max(1.0) {
+        Elimination::Pull
+    } else {
+        Elimination::Push
+    }
+}
+
+/// Result of one [`prio_mis_with`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrioRun {
+    /// MIS membership mask, indexed by node id.
+    pub mask: Vec<bool>,
+    /// Bulk-synchronous rounds until every node was decided. Deterministic
+    /// in `(graph, seed, elimination)` — but *not* in the elimination
+    /// side, which trades rounds for write locality.
+    pub rounds: u32,
+}
+
+/// Node states in the solver's status array.
+const UNDECIDED: u8 = 0;
+const IN: u8 = 1;
+const OUT: u8 = 2;
+
+/// Priority-based parallel MIS (the Galois ECL-MIS `prio` scheme) with
+/// topology-driven push/pull selection via [`choose_elimination`].
+///
+/// Every node draws the pinned priority `split_seed(seed, v)`; a node
+/// joins the set when it beats every undecided neighbor, where `v` beats
+/// `u` iff `(priority[v], v) > (priority[u], u)` — the id tie-break makes
+/// the order total, so the result is the unique greedy MIS over nodes
+/// sorted by descending `(priority, id)`. Deterministic in `(g, seed)`:
+/// thread count and elimination side never change the mask.
+///
+/// ```
+/// use mis_graphs::{generators, mis, parallel};
+///
+/// let g = generators::gnp(300, 0.03, 7);
+/// let set = parallel::prio_mis(&g, 42, 2);
+/// assert!(mis::verify_mis(&g, &set).is_ok());
+/// assert_eq!(set, parallel::prio_mis(&g, 42, 1));
+/// ```
+pub fn prio_mis(g: &Graph, seed: u64, threads: usize) -> Vec<bool> {
+    prio_mis_with(g, seed, threads, choose_elimination(g)).mask
+}
+
+/// [`prio_mis`] with an explicit elimination side, also reporting the
+/// round count.
+///
+/// # Determinism argument
+///
+/// Rounds are bulk-synchronous: phase A computes every undecided node's
+/// decision from the status snapshot frozen at the start of the round
+/// (no status cell is written while phase A runs); phase B applies the
+/// decisions (push: winners store `IN` on themselves and `OUT` on their
+/// neighbors — two winners are never adjacent, so the only concurrent
+/// writes are same-value `OUT` stores; pull: every node writes only its
+/// own cell); phase C rebuilds the worklist by filtering ascending chunks
+/// and concatenating them in chunk order, which preserves ascending order
+/// exactly. Every phase's output is therefore a pure function of the
+/// previous snapshot, independent of scheduling — thread count cannot
+/// change the mask *or* the round count.
+///
+/// The fixpoint is the greedy MIS over descending `(priority, id)` order:
+/// by induction over that order, a node enters the set iff none of its
+/// higher-priority neighbors did — exactly the greedy rule — and both
+/// elimination sides enforce the same membership condition, differing
+/// only in *when* a loser learns it lost (push: the round its neighbor
+/// won; pull: the round after). Each round the undecided node with the
+/// globally highest priority wins, so the loop terminates.
+pub fn prio_mis_with(g: &Graph, seed: u64, threads: usize, elim: Elimination) -> PrioRun {
+    let n = g.len();
+    let threads = threads.max(1);
+    let prio: Vec<u64> = (0..n).map(|v| split_seed(seed, v as u64)).collect();
+    let status: Vec<AtomicU8> = (0..n).map(|_| AtomicU8::new(UNDECIDED)).collect();
+    let mut worklist: Vec<NodeId> = (0..n).collect();
+    let mut rounds = 0u32;
+    pool(threads).install(|| {
+        while !worklist.is_empty() {
+            rounds += 1;
+            let chunk = chunk_len(worklist.len(), threads);
+            let mut decisions = vec![UNDECIDED; worklist.len()];
+            // Phase A: decide from the frozen snapshot. Only `decisions`
+            // is written, so the snapshot stays frozen throughout.
+            worklist
+                .par_chunks(chunk)
+                .zip(decisions.par_chunks_mut(chunk))
+                .for_each(|(ids, dec)| {
+                    for (&v, d) in ids.iter().zip(dec.iter_mut()) {
+                        *d = decide(g, &prio, &status, v, elim);
+                    }
+                });
+            // Phase B: apply the decisions.
+            worklist
+                .par_chunks(chunk)
+                .zip(decisions.par_chunks(chunk))
+                .for_each(|(ids, dec)| {
+                    for (&v, &d) in ids.iter().zip(dec.iter()) {
+                        match (elim, d) {
+                            (Elimination::Push, IN) => {
+                                status[v].store(IN, Ordering::Relaxed);
+                                // Neighbors of a winner are UNDECIDED or
+                                // OUT (an IN neighbor would have marked v
+                                // OUT when it won), so concurrent stores
+                                // here always write the same value.
+                                for &u in g.neighbors(v) {
+                                    status[u].store(OUT, Ordering::Relaxed);
+                                }
+                            }
+                            (Elimination::Pull, IN) | (Elimination::Pull, OUT) => {
+                                status[v].store(d, Ordering::Relaxed);
+                            }
+                            _ => {}
+                        }
+                    }
+                });
+            // Phase C: keep the still-undecided ids. Filtering ascending
+            // chunks and concatenating in chunk order keeps the worklist
+            // ascending regardless of chunk boundaries.
+            let kept: Vec<Vec<NodeId>> = worklist
+                .par_chunks(chunk)
+                .map(|ids| {
+                    ids.iter()
+                        .copied()
+                        .filter(|&v| status[v].load(Ordering::Relaxed) == UNDECIDED)
+                        .collect()
+                })
+                .collect();
+            worklist = kept.concat();
+        }
+    });
+    let mask = status
+        .iter()
+        .map(|s| s.load(Ordering::Relaxed) == IN)
+        .collect();
+    PrioRun { mask, rounds }
+}
+
+/// Worklist chunk length: about four chunks per worker for stealing slack,
+/// never below [`MIN_PAR_GRAIN`].
+fn chunk_len(len: usize, threads: usize) -> usize {
+    len.div_ceil(threads.max(1) * 4).max(MIN_PAR_GRAIN)
+}
+
+/// One node's phase-A decision against the frozen snapshot.
+fn decide(g: &Graph, prio: &[u64], status: &[AtomicU8], v: NodeId, elim: Elimination) -> u8 {
+    let beats = |u: NodeId, w: NodeId| -> bool { (prio[u], u) > (prio[w], w) };
+    let mut blocked = false;
+    for &u in g.neighbors(v) {
+        match status[u].load(Ordering::Relaxed) {
+            // Pull mode discovers IN neighbors one round late; push mode
+            // never sees one (the winner already marked v OUT).
+            IN => return OUT,
+            UNDECIDED if beats(u, v) => blocked = true,
+            _ => {}
+        }
+    }
+    if blocked {
+        UNDECIDED
+    } else {
+        IN
+    }
+}
+
+/// Sharded parallel MIS verification, byte-identical to
+/// [`crate::mis::verify_mis`]: same `Ok`/`Err` outcome *and* the same
+/// first violation in canonical scan order, at every thread count.
+///
+/// Node ranges are split by [`edge_balanced_ranges`] and scanned
+/// concurrently; rayon's `find_map_first` returns the sequentially
+/// leftmost hit, so work-stealing cannot surface a later violation.
+///
+/// ```
+/// use mis_graphs::{generators, mis, parallel};
+///
+/// let g = generators::path(5);
+/// let set = mis::greedy_mis(&g);
+/// assert!(parallel::verify_mis_par(&g, &set, 4).is_ok());
+/// assert_eq!(
+///     parallel::verify_mis_par(&g, &[true; 5], 4),
+///     mis::verify_mis(&g, &[true; 5]),
+/// );
+/// ```
+///
+/// # Errors
+///
+/// Returns the first [`MisViolation`] in the same (length, then
+/// independence, then domination; each in ascending scan order) priority
+/// as the sequential verifier.
+pub fn verify_mis_par(g: &Graph, set: &[bool], threads: usize) -> Result<(), MisViolation> {
+    if set.len() != g.len() {
+        return Err(MisViolation::WrongLength {
+            got: set.len(),
+            expected: g.len(),
+        });
+    }
+    verify_par_inner(g, set, None, threads)
+}
+
+/// Fault-aware variant of [`verify_mis_par`]: checks MIS-ness of `set` on
+/// the subgraph induced by `healthy` nodes, byte-identical to
+/// [`crate::mis::verify_mis_induced`] at every thread count.
+///
+/// # Errors
+///
+/// Returns the first [`MisViolation`] in the sequential induced scan
+/// order (independence, then domination; non-healthy nodes are neither
+/// counted in the set nor required to be dominated).
+///
+/// # Panics
+///
+/// Panics if `healthy.len() != g.len()` (a caller bug, unlike a claimed
+/// mask of the wrong length, which is reported as
+/// [`MisViolation::WrongLength`]).
+pub fn verify_mis_induced_par(
+    g: &Graph,
+    set: &[bool],
+    healthy: &[bool],
+    threads: usize,
+) -> Result<(), MisViolation> {
+    if set.len() != g.len() {
+        return Err(MisViolation::WrongLength {
+            got: set.len(),
+            expected: g.len(),
+        });
+    }
+    assert_eq!(healthy.len(), g.len(), "healthy mask length mismatch");
+    verify_par_inner(g, set, Some(healthy), threads)
+}
+
+/// Shared two-pass scan behind both parallel verifiers. `healthy` of
+/// `None` means every node is healthy (the plain-MIS case).
+fn verify_par_inner(
+    g: &Graph,
+    set: &[bool],
+    healthy: Option<&[bool]>,
+    threads: usize,
+) -> Result<(), MisViolation> {
+    let threads = threads.max(1);
+    let ranges = edge_balanced_ranges(g, threads * 8);
+    let in_set = |v: NodeId| set[v] && healthy.is_none_or(|h| h[v]);
+    pool(threads).install(|| {
+        let independence = ranges.par_iter().find_map_first(|&(lo, hi)| {
+            for v in lo..hi {
+                if !in_set(v) {
+                    continue;
+                }
+                for &u in g.neighbors(v) {
+                    if u > v && in_set(u) {
+                        return Some(MisViolation::NotIndependent { u: v, v: u });
+                    }
+                }
+            }
+            None
+        });
+        if let Some(violation) = independence {
+            return Err(violation);
+        }
+        let domination = ranges.par_iter().find_map_first(|&(lo, hi)| {
+            for v in lo..hi {
+                if healthy.is_some_and(|h| !h[v]) || in_set(v) {
+                    continue;
+                }
+                if !g.neighbors(v).iter().any(|&u| in_set(u)) {
+                    return Some(MisViolation::NotDominated { v });
+                }
+            }
+            None
+        });
+        match domination {
+            Some(violation) => Err(violation),
+            None => Ok(()),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::mis;
+
+    #[test]
+    fn prio_pinned_masks() {
+        // Reference outputs computed independently from the frozen
+        // split_seed priorities; they pin the (priority, id) comparator
+        // and the greedy fixpoint in one go.
+        let cases: [(Graph, u64, &[bool]); 4] = [
+            (
+                generators::path(6),
+                1,
+                &[true, false, true, false, false, true],
+            ),
+            (
+                generators::cycle(9),
+                2,
+                &[false, true, false, true, false, true, false, true, false],
+            ),
+            (
+                generators::star(7),
+                3,
+                &[false, true, true, true, true, true, true],
+            ),
+            (
+                generators::grid2d(3, 4),
+                5,
+                &[
+                    false, true, false, true, true, false, true, false, false, true, false, true,
+                ],
+            ),
+        ];
+        for (g, seed, expected) in &cases {
+            for elim in [Elimination::Push, Elimination::Pull] {
+                let run = prio_mis_with(g, *seed, 1, elim);
+                assert_eq!(&run.mask, expected, "seed {seed} {elim:?}");
+            }
+            assert_eq!(&prio_mis(g, *seed, 2), expected, "seed {seed} auto");
+        }
+    }
+
+    #[test]
+    fn prio_equals_priority_order_greedy() {
+        for (i, g) in [
+            generators::gnp(150, 0.05, 3),
+            generators::star(40),
+            generators::grid2d(7, 9),
+            generators::random_tree(90, 4),
+            generators::clique(12),
+            generators::empty(10),
+        ]
+        .iter()
+        .enumerate()
+        {
+            for seed in 0..4u64 {
+                let mut order: Vec<NodeId> = g.nodes().collect();
+                order.sort_by_key(|&v| std::cmp::Reverse((split_seed(seed, v as u64), v)));
+                let sequential = mis::greedy_mis_in_order(g, order);
+                for elim in [Elimination::Push, Elimination::Pull] {
+                    let run = prio_mis_with(g, seed, 2, elim);
+                    assert_eq!(run.mask, sequential, "graph #{i} seed {seed} {elim:?}");
+                    assert!(run.rounds as usize <= g.len().max(1));
+                }
+                assert!(mis::verify_mis(g, &sequential).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn prio_thread_counts_agree() {
+        let g = generators::gnp(400, 0.02, 11);
+        for elim in [Elimination::Push, Elimination::Pull] {
+            let one = prio_mis_with(&g, 9, 1, elim);
+            for threads in [2usize, 4, 8] {
+                assert_eq!(
+                    prio_mis_with(&g, 9, threads, elim),
+                    one,
+                    "{elim:?} t={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prio_on_degenerate_graphs() {
+        assert_eq!(prio_mis(&Graph::empty(0), 1, 4), Vec::<bool>::new());
+        assert_eq!(prio_mis(&Graph::empty(3), 1, 4), vec![true; 3]);
+        let run = prio_mis_with(&Graph::empty(0), 1, 1, Elimination::Push);
+        assert_eq!(run.rounds, 0);
+    }
+
+    #[test]
+    fn elimination_choice_follows_topology() {
+        assert_eq!(
+            choose_elimination(&generators::path(500)),
+            Elimination::Push
+        );
+        assert_eq!(
+            choose_elimination(&generators::grid2d(20, 25)),
+            Elimination::Push
+        );
+        assert_eq!(
+            choose_elimination(&generators::star(500)),
+            Elimination::Pull
+        );
+        // Small graphs never qualify as heavy-tailed (hub < 32).
+        assert_eq!(choose_elimination(&generators::star(8)), Elimination::Push);
+        assert_eq!(choose_elimination(&Graph::empty(10)), Elimination::Push);
+    }
+
+    #[test]
+    fn elimination_labels() {
+        assert_eq!(Elimination::Push.label(), "push");
+        assert_eq!(Elimination::Pull.label(), "pull");
+    }
+
+    #[test]
+    fn ranges_partition_the_node_span() {
+        for (g, chunks) in [
+            (generators::gnp(200, 0.05, 1), 7),
+            (generators::star(100), 4),
+            (generators::path(10), 100),
+            (Graph::empty(5), 3),
+        ] {
+            let ranges = edge_balanced_ranges(&g, chunks);
+            assert!(ranges.len() <= chunks + 1);
+            let mut expected_start = 0;
+            for &(lo, hi) in &ranges {
+                assert_eq!(lo, expected_start);
+                assert!(lo < hi);
+                expected_start = hi;
+            }
+            assert_eq!(expected_start, g.len());
+        }
+        assert!(edge_balanced_ranges(&Graph::empty(0), 4).is_empty());
+    }
+
+    #[test]
+    fn ranges_balance_hub_weight() {
+        // On a star, the hub's weight must not drag every node into one
+        // range: the hub's own range ends immediately after it.
+        let g = generators::star(1000);
+        let ranges = edge_balanced_ranges(&g, 8);
+        assert!(ranges.len() > 1, "{ranges:?}");
+        assert_eq!(ranges[0], (0, 1), "{ranges:?}");
+    }
+
+    #[test]
+    fn parallel_verifier_matches_sequential_verdicts() {
+        let g = generators::gnp(120, 0.06, 5);
+        let good = mis::greedy_mis(&g);
+        for threads in [1usize, 2, 8] {
+            assert_eq!(verify_mis_par(&g, &good, threads), Ok(()));
+            // Corrupt independence: add a neighbor of an in-set node.
+            let mut both_ends = good.clone();
+            let (u, v) = g.edges().next().expect("gnp(120, .06) has edges");
+            both_ends[u] = true;
+            both_ends[v] = true;
+            assert_eq!(
+                verify_mis_par(&g, &both_ends, threads),
+                mis::verify_mis(&g, &both_ends)
+            );
+            // Corrupt domination: empty set on a non-empty graph.
+            let nobody = vec![false; g.len()];
+            assert_eq!(
+                verify_mis_par(&g, &nobody, threads),
+                mis::verify_mis(&g, &nobody)
+            );
+            assert_eq!(
+                verify_mis_par(&g, &nobody, threads),
+                Err(MisViolation::NotDominated { v: 0 })
+            );
+            // Wrong length reports like the sequential verifier.
+            assert_eq!(
+                verify_mis_par(&g, &[], threads),
+                Err(MisViolation::WrongLength {
+                    got: 0,
+                    expected: g.len()
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_verifier_reports_leftmost_violation() {
+        // Two independence violations; the canonical scan must always
+        // report the (1, 2) pair, never (7, 8), at any thread count.
+        let g = generators::path(10);
+        let mut set = vec![false; 10];
+        for v in [1, 2, 5, 7, 8] {
+            set[v] = true;
+        }
+        let expected = mis::verify_mis(&g, &set);
+        assert_eq!(expected, Err(MisViolation::NotIndependent { u: 1, v: 2 }));
+        for threads in [1usize, 2, 8] {
+            assert_eq!(verify_mis_par(&g, &set, threads), expected);
+        }
+    }
+
+    #[test]
+    fn induced_parallel_verifier_matches_sequential() {
+        // Path 0-1-2-3: node 2 unhealthy; {0, 3} is an MIS of the induced
+        // subgraph on {0, 1, 3}.
+        let g = generators::path(4);
+        let healthy = vec![true, true, false, true];
+        let set = vec![true, false, false, true];
+        for threads in [1usize, 2, 8] {
+            assert_eq!(verify_mis_induced_par(&g, &set, &healthy, threads), Ok(()));
+            // An unhealthy node's membership claim is ignored...
+            let claims = vec![true, true, false, true];
+            let seq = mis::verify_mis_induced(&g, &claims, &healthy);
+            assert_eq!(verify_mis_induced_par(&g, &claims, &healthy, threads), seq);
+            // ...and coverage must come from a healthy neighbor.
+            let uncovered = vec![true, false, false, false];
+            let seq = mis::verify_mis_induced(&g, &uncovered, &healthy);
+            assert_eq!(seq, Err(MisViolation::NotDominated { v: 3 }));
+            assert_eq!(
+                verify_mis_induced_par(&g, &uncovered, &healthy, threads),
+                seq
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "healthy mask length mismatch")]
+    fn induced_parallel_verifier_rejects_bad_healthy_len() {
+        let g = generators::path(3);
+        let _ = verify_mis_induced_par(&g, &[false; 3], &[true; 2], 1);
+    }
+
+    #[test]
+    fn pool_is_cached_per_thread_count() {
+        let p2a = pool(2) as *const rayon::ThreadPool;
+        let p2b = pool(2) as *const rayon::ThreadPool;
+        assert!(std::ptr::eq(p2a, p2b));
+        assert_eq!(pool(2).current_num_threads(), 2);
+    }
+
+    #[test]
+    fn shard_slices_parallel_matches_serial() {
+        // Mirror of the netsim-level test, against the generic signature:
+        // per-node u64 "rng" state instead of a NodeRng.
+        fn run(ids: &[NodeId], n: usize, par: bool) -> (Vec<u32>, Vec<u64>) {
+            let mut nodes: Vec<u32> = vec![0; n];
+            let mut states: Vec<u64> = (0..n as u64).map(|v| split_seed(3, v)).collect();
+            let mut out: Vec<u64> = vec![0; ids.len()];
+            shard_slices(
+                ids,
+                0,
+                &mut nodes,
+                &mut states,
+                &mut out,
+                par,
+                &|v: NodeId, node: &mut u32, state: &mut u64, slot: &mut u64| {
+                    *node += 1;
+                    *state = split_seed(*state, 1);
+                    *slot = v as u64 ^ *state;
+                },
+            );
+            (nodes, out)
+        }
+        let ids: Vec<NodeId> = (0..500).filter(|v| v % 3 != 1).collect();
+        let serial = run(&ids, 500, false);
+        let parallel = pool(3).install(|| run(&ids, 500, true));
+        assert_eq!(serial, parallel);
+        for v in 0..500 {
+            assert_eq!(serial.0[v], u32::from(ids.contains(&v)));
+        }
+    }
+}

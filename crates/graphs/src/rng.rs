@@ -1,0 +1,251 @@
+//! Pinned, portable randomness for everything whose output is part of the
+//! repo's byte-determinism contract.
+//!
+//! Two primitives live here:
+//!
+//! - [`split_seed`] — one keyed step of SplitMix64, the repo-wide seed
+//!   deriver. Every simulation run takes a single 64-bit master seed;
+//!   per-node and per-subsystem streams are derived with it so that (a)
+//!   runs are exactly reproducible, (b) derived streams are statistically
+//!   independent, and (c) processing order cannot influence any stream.
+//! - [`PortableRng`] — a self-contained xoshiro256** generator seeded via
+//!   SplitMix64, used wherever a random *stream* (not just one value)
+//!   feeds a committed output: baseline node orders, solver priorities,
+//!   generator families that promise cross-platform stability.
+//!
+//! Why not `SmallRng`? `rand`'s `SmallRng` is explicitly documented as
+//! unstable: its algorithm may change between `rand` releases and differs
+//! across platforms. That is fine for the simulator's internal node
+//! streams (pinned by `Cargo.lock` and x86-64 CI), but a committed
+//! experiment table or a pinned regression mask must not silently change
+//! when the toolchain does. Both algorithms below are frozen by this
+//! module's test vectors: any behavioural drift fails the build.
+
+/// One step of the SplitMix64 generator: mixes `master + (index+1)·GOLDEN`
+/// into a well-distributed 64-bit value.
+///
+/// Equivalent to the `index+1`-th output of a standard SplitMix64 sequence
+/// started at `master`, which is why it doubles as the seeding function of
+/// [`PortableRng`].
+///
+/// # Examples
+///
+/// ```
+/// use mis_graphs::rng::split_seed;
+///
+/// let a = split_seed(42, 0);
+/// let b = split_seed(42, 1);
+/// assert_ne!(a, b);
+/// assert_eq!(a, split_seed(42, 0));
+/// ```
+pub fn split_seed(master: u64, index: u64) -> u64 {
+    let mut z = master.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A portable xoshiro256** generator with a frozen output stream.
+///
+/// The state is seeded with four [`split_seed`] steps (the SplitMix64
+/// seeding the xoshiro authors recommend), so the full stream is a pure
+/// function of the 64-bit seed — on every platform, under every rustc and
+/// `rand` version. The test suite pins reference outputs, including the
+/// published xoshiro256** vector for the all-SplitMix64-from-zero state.
+///
+/// # Examples
+///
+/// ```
+/// use mis_graphs::rng::PortableRng;
+///
+/// let mut a = PortableRng::new(7);
+/// let mut b = PortableRng::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+///
+/// let mut order: Vec<usize> = (0..10).collect();
+/// PortableRng::new(7).shuffle(&mut order);
+/// let mut again: Vec<usize> = (0..10).collect();
+/// PortableRng::new(7).shuffle(&mut again);
+/// assert_eq!(order, again);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PortableRng {
+    s: [u64; 4],
+}
+
+impl PortableRng {
+    /// Seeds the generator from a 64-bit seed via four SplitMix64 steps.
+    pub fn new(seed: u64) -> PortableRng {
+        let mut s = [
+            split_seed(seed, 0),
+            split_seed(seed, 1),
+            split_seed(seed, 2),
+            split_seed(seed, 3),
+        ];
+        // xoshiro's one forbidden state. Unreachable from SplitMix64
+        // seeding in any practical sense, but the guard keeps the type's
+        // contract unconditional.
+        if s == [0; 4] {
+            s[0] = 1;
+        }
+        PortableRng { s }
+    }
+
+    /// The next 64-bit output of the xoshiro256** stream.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A near-uniform index in `0..bound` via Lemire's widening-multiply
+    /// reduction: `(next_u64() · bound) >> 64`.
+    ///
+    /// The reduction is rejection-free, so it consumes exactly one draw per
+    /// call (stream position is predictable) at the cost of a bias of at
+    /// most `bound / 2⁶⁴` per index — irrelevant for the shuffles and
+    /// samples this crate needs, and dwarfed by their sampling noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn gen_index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "gen_index bound must be positive");
+        ((u128::from(self.next_u64()) * bound as u128) >> 64) as usize
+    }
+
+    /// Fisher–Yates shuffle driven by [`PortableRng::gen_index`], consuming
+    /// exactly `xs.len().saturating_sub(1)` draws.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_index(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn split_seed_deterministic() {
+        assert_eq!(split_seed(1, 2), split_seed(1, 2));
+    }
+
+    #[test]
+    fn split_seed_pinned_outputs() {
+        // Frozen reference values: these must never change, or every
+        // derived stream in the repo silently shifts.
+        assert_eq!(split_seed(42, 0), 0xbdd7_3226_2feb_6e95);
+        assert_eq!(split_seed(42, 1), 0x28ef_e333_b266_f103);
+    }
+
+    #[test]
+    fn split_seed_distinct_across_indices() {
+        let seeds: HashSet<u64> = (0..10_000).map(|i| split_seed(7, i)).collect();
+        assert_eq!(seeds.len(), 10_000);
+    }
+
+    #[test]
+    fn split_seed_distinct_across_masters() {
+        assert_ne!(split_seed(1, 0), split_seed(2, 0));
+        // Adjacent masters should still decorrelate.
+        let a: Vec<u64> = (0..8).map(|i| split_seed(100, i)).collect();
+        let b: Vec<u64> = (0..8).map(|i| split_seed(101, i)).collect();
+        assert!(a.iter().zip(&b).all(|(x, y)| x != y));
+    }
+
+    #[test]
+    fn split_seed_bits_look_balanced() {
+        // Crude sanity check: across many outputs, each bit position should
+        // be set roughly half the time.
+        let n = 4096u64;
+        for bit in [0u32, 13, 31, 47, 63] {
+            let ones = (0..n)
+                .filter(|&i| split_seed(99, i) >> bit & 1 == 1)
+                .count() as f64;
+            let frac = ones / n as f64;
+            assert!((0.4..0.6).contains(&frac), "bit {bit} frac {frac}");
+        }
+    }
+
+    #[test]
+    fn xoshiro_pinned_reference_stream() {
+        // Seed 0: SplitMix64 seeding from state 0, i.e. the canonical
+        // xoshiro256** reference configuration. First output is the
+        // published vector 0x99EC5F36CB75F2B4.
+        let mut r = PortableRng::new(0);
+        assert_eq!(r.next_u64(), 0x99ec_5f36_cb75_f2b4);
+        assert_eq!(r.next_u64(), 0xbf6e_1f78_4956_452a);
+        assert_eq!(r.next_u64(), 0x1a5f_849d_4933_e6e0);
+        assert_eq!(r.next_u64(), 0x6aa5_94f1_262d_2d2c);
+        // A non-trivial seed, same contract.
+        let mut r = PortableRng::new(42);
+        assert_eq!(r.next_u64(), 0x1578_0b2e_0c2e_c716);
+        assert_eq!(r.next_u64(), 0x6104_d986_6d11_3a7e);
+        assert_eq!(r.next_u64(), 0xae17_5332_39e4_99a1);
+        assert_eq!(r.next_u64(), 0xecb8_ad47_03b3_60a1);
+    }
+
+    #[test]
+    fn gen_index_pinned_and_in_range() {
+        let mut r = PortableRng::new(42);
+        let draws: Vec<usize> = (0..8).map(|_| r.gen_index(10)).collect();
+        assert_eq!(draws, vec![0, 3, 6, 9, 9, 7, 7, 8]);
+        let mut r = PortableRng::new(5);
+        for bound in [1usize, 2, 3, 17, 1 << 40] {
+            for _ in 0..50 {
+                assert!(r.gen_index(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn gen_index_rejects_zero_bound() {
+        PortableRng::new(0).gen_index(0);
+    }
+
+    #[test]
+    fn shuffle_pinned_and_is_permutation() {
+        let mut xs: Vec<usize> = (0..8).collect();
+        PortableRng::new(42).shuffle(&mut xs);
+        assert_eq!(xs, vec![7, 1, 6, 3, 5, 4, 2, 0]);
+        let mut big: Vec<usize> = (0..300).collect();
+        PortableRng::new(9).shuffle(&mut big);
+        let mut sorted = big.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..300).collect::<Vec<_>>());
+        assert_ne!(big, (0..300).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_handles_degenerate_lengths() {
+        let mut empty: [usize; 0] = [];
+        PortableRng::new(1).shuffle(&mut empty);
+        let mut one = [7usize];
+        PortableRng::new(1).shuffle(&mut one);
+        assert_eq!(one, [7]);
+    }
+
+    #[test]
+    fn streams_differ_across_seeds() {
+        let a: Vec<u64> = {
+            let mut r = PortableRng::new(1);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = PortableRng::new(2);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,131 @@
+//! Differential property tests for the parallel MIS solver and verifier.
+//!
+//! Three contracts, each checked against the sequential code as oracle:
+//!
+//! - `prio_mis` always emits a valid MIS, and both elimination sides
+//!   agree with each other and with greedy over the descending
+//!   `(priority, id)` order — the determinism theorem, executed;
+//! - every thread count produces byte-identical masks and round counts;
+//! - `verify_mis_par` returns *exactly* `mis::verify_mis`'s verdict —
+//!   same `Ok`, same first violation — on valid and corrupted masks,
+//!   and the induced (fault-aware) variants agree the same way.
+
+use mis_graphs::{mis, parallel, rng, Graph, GraphBuilder};
+use proptest::prelude::*;
+
+/// Strategy producing an arbitrary small simple graph (the same corpus
+/// shape as `tests/proptests.rs`).
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..40).prop_flat_map(|n| {
+        let edge = (0..n, 0..n).prop_filter("no self-loops", |(u, v)| u != v);
+        proptest::collection::vec(edge, 0..(n * 3)).prop_map(move |edges| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in edges {
+                b.add_edge(u, v).unwrap();
+            }
+            b.build()
+        })
+    })
+}
+
+/// A membership mask of the right length, mostly garbage — exactly what
+/// the verifier differential needs (valid masks are a measure-zero
+/// slice of this space, so corrupted inputs dominate).
+fn arb_mask(n: usize) -> impl Strategy<Value = Vec<bool>> {
+    proptest::collection::vec(any::<bool>(), n)
+}
+
+proptest! {
+    #[test]
+    fn prio_mis_is_mis(g in arb_graph(), seed in any::<u64>()) {
+        let mask = parallel::prio_mis(&g, seed, 2);
+        prop_assert!(mis::verify_mis(&g, &mask).is_ok());
+    }
+
+    #[test]
+    fn prio_mis_matches_priority_greedy(g in arb_graph(), seed in any::<u64>()) {
+        // The oracle: sequential greedy over nodes sorted by descending
+        // (priority, id). Push, pull, and every thread count must land
+        // on this exact set.
+        let mut order: Vec<usize> = (0..g.len()).collect();
+        order.sort_by_key(|&v| std::cmp::Reverse((rng::split_seed(seed, v as u64), v)));
+        let oracle = mis::greedy_mis_in_order(&g, order.iter().copied());
+        for elim in [parallel::Elimination::Push, parallel::Elimination::Pull] {
+            for threads in [1usize, 2, 8] {
+                let run = parallel::prio_mis_with(&g, seed, threads, elim);
+                prop_assert_eq!(
+                    &run.mask, &oracle,
+                    "{:?} at {} threads diverged", elim, threads
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prio_mis_rounds_are_thread_invariant(g in arb_graph(), seed in any::<u64>()) {
+        for elim in [parallel::Elimination::Push, parallel::Elimination::Pull] {
+            let base = parallel::prio_mis_with(&g, seed, 1, elim);
+            for threads in [2usize, 8] {
+                let run = parallel::prio_mis_with(&g, seed, threads, elim);
+                prop_assert_eq!(run.mask, base.mask.clone());
+                prop_assert_eq!(run.rounds, base.rounds);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_verifier_is_a_drop_in(
+        (g, mask) in arb_graph().prop_flat_map(|g| {
+            let n = g.len();
+            (Just(g), arb_mask(n))
+        })
+    ) {
+        // Exact verdict equality — including which violation is
+        // reported first — on arbitrary (mostly invalid) masks.
+        let oracle = mis::verify_mis(&g, &mask);
+        for threads in [1usize, 2, 8] {
+            prop_assert_eq!(parallel::verify_mis_par(&g, &mask, threads), oracle);
+        }
+    }
+
+    #[test]
+    fn parallel_verifier_accepts_what_it_should(g in arb_graph(), seed in any::<u64>()) {
+        // On a known-valid mask the verdict is Ok; corrupt one cell and
+        // the two verifiers must still agree exactly.
+        let mut mask = parallel::prio_mis(&g, seed, 2);
+        prop_assert_eq!(parallel::verify_mis_par(&g, &mask, 8), Ok(()));
+        let flip = (seed as usize) % mask.len();
+        mask[flip] = !mask[flip];
+        let oracle = mis::verify_mis(&g, &mask);
+        for threads in [1usize, 2, 8] {
+            prop_assert_eq!(parallel::verify_mis_par(&g, &mask, threads), oracle);
+        }
+    }
+
+    #[test]
+    fn induced_parallel_verifier_is_a_drop_in(
+        (g, mask, healthy) in arb_graph().prop_flat_map(|g| {
+            let n = g.len();
+            (Just(g), arb_mask(n), arb_mask(n))
+        })
+    ) {
+        let oracle = mis::verify_mis_induced(&g, &mask, &healthy);
+        for threads in [1usize, 2, 8] {
+            prop_assert_eq!(
+                parallel::verify_mis_induced_par(&g, &mask, &healthy, threads),
+                oracle
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_length_is_wrong_length(g in arb_graph(), extra in 1usize..4) {
+        let short = vec![true; g.len() - 1];
+        let long = vec![false; g.len() + extra];
+        for bad in [&short, &long] {
+            let oracle = mis::verify_mis(&g, bad);
+            prop_assert!(matches!(oracle, Err(mis_graphs::MisViolation::WrongLength { .. })));
+            prop_assert_eq!(parallel::verify_mis_par(&g, bad, 4), oracle);
+        }
+    }
+}

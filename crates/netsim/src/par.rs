@@ -9,114 +9,25 @@
 //! those slots back in ascending id order, so thread count and work
 //! stealing cannot change a single output byte. The argument is spelled
 //! out in `docs/PARALLEL_ENGINE.md`.
+//!
+//! The machinery itself — the leaked per-thread-count pools and the
+//! recursive `split_at_mut` sharder, now generic over the per-node RNG
+//! slab — lives in `mis_graphs::parallel`, where the parallel MIS solver
+//! and verifier share it; this module pins the engine-facing aliases so
+//! engine code keeps reading as before.
 
-use crate::protocol::NodeRng;
-use mis_graphs::NodeId;
-use std::sync::{Mutex, OnceLock};
-
-/// At or below this many worklist entries a stage runs inline: sharding
-/// overhead would dominate, and the differential suites deliberately
-/// straddle the threshold so both the inline and the split paths are
-/// exercised.
-pub(crate) const MIN_PAR_GRAIN: usize = 64;
-
-/// Engine pools built so far, keyed by worker count. Pools are leaked
-/// (see [`engine_pool`]) so the entries are `'static`.
-static POOLS: OnceLock<Mutex<Vec<(usize, &'static rayon::ThreadPool)>>> = OnceLock::new();
-
-/// The process-wide engine pool with `threads` workers.
-///
-/// Pools are built lazily, once per distinct thread count, and
-/// deliberately leaked: the steady-state round loop must stay
-/// allocation-free (see the `engine_alloc` test), and a run's single
-/// `install` onto a long-lived pool keeps every `rayon::join` on
-/// pre-existing worker stacks. The pool size is pinned explicitly, so
-/// `RAYON_NUM_THREADS` governs only rayon's global pool (the
-/// experiments harness), never an engine run's `--threads`.
-pub(crate) fn engine_pool(threads: usize) -> &'static rayon::ThreadPool {
-    let registry = POOLS.get_or_init(|| Mutex::new(Vec::new()));
-    let mut pools = registry.lock().expect("engine pool registry poisoned");
-    if let Some(&(_, pool)) = pools.iter().find(|&&(t, _)| t == threads) {
-        return pool;
-    }
-    let pool = Box::leak(Box::new(
-        rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .thread_name(|i| format!("netsim-engine-{i}"))
-            .build()
-            .expect("failed to build the engine thread pool"),
-    ));
-    pools.push((threads, pool));
-    pool
-}
-
-/// Applies `f` to every id in `ids`, handing it disjoint `&mut` access
-/// to the node's slab entry and RNG plus the positionally-matching
-/// output slot.
-///
-/// `ids` must be strictly ascending with every id in
-/// `base..base + nodes.len()`, and `out.len() == ids.len()`. With `par`
-/// false — or at or below [`MIN_PAR_GRAIN`] ids — this is a plain
-/// ascending loop. With `par` true it halves the worklist, divides the
-/// slabs at the split id with `split_at_mut`, and recurses under
-/// `rayon::join`: every node is processed exactly once with the same
-/// per-node inputs as the serial walk, which is why thread count cannot
-/// change any output byte. `f` must touch nothing but its arguments and
-/// shared read-only captures.
-pub(crate) fn shard_slices<P, O, F>(
-    ids: &[NodeId],
-    base: usize,
-    nodes: &mut [P],
-    rngs: &mut [NodeRng],
-    out: &mut [O],
-    par: bool,
-    f: &F,
-) where
-    P: Send,
-    O: Send,
-    F: Fn(NodeId, &mut P, &mut NodeRng, &mut O) + Sync,
-{
-    debug_assert_eq!(ids.len(), out.len());
-    debug_assert_eq!(nodes.len(), rngs.len());
-    // The disjointness of the split_at_mut sharding below rests on ids
-    // being strictly ascending and inside the slab range.
-    debug_assert!(ids.windows(2).all(|w| w[0] < w[1]));
-    debug_assert!(ids.first().is_none_or(|&v| v >= base));
-    debug_assert!(ids.last().is_none_or(|&v| v - base < nodes.len()));
-    if !par || ids.len() <= MIN_PAR_GRAIN {
-        for (slot, &v) in out.iter_mut().zip(ids) {
-            f(v, &mut nodes[v - base], &mut rngs[v - base], slot);
-        }
-        return;
-    }
-    let mid = ids.len() / 2;
-    let (left_ids, right_ids) = ids.split_at(mid);
-    // Ids are strictly ascending, so every left id indexes below the
-    // first right id and the slab split below is exact.
-    let cut = right_ids[0] - base;
-    let (left_nodes, right_nodes) = nodes.split_at_mut(cut);
-    let (left_rngs, right_rngs) = rngs.split_at_mut(cut);
-    let (left_out, right_out) = out.split_at_mut(mid);
-    rayon::join(
-        || shard_slices(left_ids, base, left_nodes, left_rngs, left_out, true, f),
-        || {
-            shard_slices(
-                right_ids,
-                base + cut,
-                right_nodes,
-                right_rngs,
-                right_out,
-                true,
-                f,
-            )
-        },
-    );
-}
+pub(crate) use mis_graphs::parallel::{pool as engine_pool, shard_slices, MIN_PAR_GRAIN};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::NodeRng;
+    use mis_graphs::NodeId;
     use rand::{Rng, SeedableRng};
+
+    // These tests exercise the shared sharder through the engine-facing
+    // types (a concrete NodeRng slab), complementing the generic-slab
+    // tests in mis_graphs::parallel.
 
     fn run_shard(ids: &[NodeId], n: usize, par: bool) -> (Vec<u32>, Vec<u64>) {
         let mut nodes: Vec<u32> = vec![0; n];
@@ -161,6 +72,7 @@ mod tests {
         let (b, bo) = run_shard(&ids, 40, true);
         assert_eq!(a, b);
         assert_eq!(ao, bo);
+        assert!(ids.len() <= MIN_PAR_GRAIN);
     }
 
     #[test]

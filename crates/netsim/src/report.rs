@@ -3,8 +3,25 @@
 use crate::energy::EnergyMeter;
 use crate::metrics::RoundMetrics;
 use crate::model::{ChannelModel, NodeStatus};
-use mis_graphs::{mis, Graph};
+use mis_graphs::{mis, parallel, Graph, MisViolation};
 use serde::{Deserialize, Serialize};
+
+/// CSR weight (`n + 2m`) at which [`RunReport::verify_mis`] switches from
+/// the sequential scan to the sharded parallel verifier. Below this the
+/// scan finishes in well under a millisecond and pool dispatch would only
+/// add noise; above it the parallel backend's speedup pays for itself
+/// (the `bench_mis_parallel` floors are measured far above this point).
+const VERIFY_PAR_THRESHOLD: usize = 1 << 20;
+
+/// Worker count for threshold-triggered parallel verification: the host's
+/// available parallelism, capped so verification never oversubscribes a
+/// trial harness that is already running trials on most cores.
+fn verify_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
 
 /// The result of one simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -158,6 +175,25 @@ impl RunReport {
     /// Returns a human-readable description of the first failure: an
     /// incomplete run, an undecided node, or an MIS violation.
     pub fn verify_mis(&self, graph: &Graph) -> Result<(), String> {
+        // Large runs (10^6+ CSR cells) get the sharded parallel verifier;
+        // it reports byte-identical results, so the switch is invisible
+        // beyond wall-clock.
+        let big = graph.len() + 2 * graph.edge_count() >= VERIFY_PAR_THRESHOLD;
+        self.verify_mis_with(graph, big)
+    }
+
+    /// [`RunReport::verify_mis`] with the backend pinned: `false` forces
+    /// the sequential scan, `true` the sharded parallel verifier
+    /// ([`mis_graphs::parallel::verify_mis_par`] /
+    /// [`verify_mis_induced_par`](mis_graphs::parallel::verify_mis_induced_par)).
+    /// Both backends return identical results — [`RunReport::verify_mis`]
+    /// picks by graph size purely for wall-clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first failure: an
+    /// incomplete run, an undecided node, or an MIS violation.
+    pub fn verify_mis_with(&self, graph: &Graph, parallel_backend: bool) -> Result<(), String> {
         if !self.completed {
             return Err(format!("run hit the round cap at {} rounds", self.rounds));
         }
@@ -170,33 +206,37 @@ impl RunReport {
             return Err(format!("node {v} finished undecided"));
         }
         if !self.has_faulty() {
-            return mis::verify_mis(graph, &self.mis_mask()).map_err(|e| e.to_string());
+            let mask = self.mis_mask();
+            let result = if parallel_backend {
+                parallel::verify_mis_par(graph, &mask, verify_threads())
+            } else {
+                mis::verify_mis(graph, &mask)
+            };
+            return result.map_err(|e| e.to_string());
         }
         // Fault-aware check: MIS-ness on the induced non-faulty subgraph.
-        let in_set = |v: usize| self.statuses[v] == NodeStatus::InMis && !self.is_faulty(v);
-        for v in 0..graph.len() {
-            if !in_set(v) {
-                continue;
+        // Faulty nodes' InMis claims are passed through as-is — the
+        // induced verifiers ignore a non-healthy node's membership.
+        let claims: Vec<bool> = self
+            .statuses
+            .iter()
+            .map(|&s| s == NodeStatus::InMis)
+            .collect();
+        let healthy: Vec<bool> = (0..graph.len()).map(|v| !self.is_faulty(v)).collect();
+        let result = if parallel_backend {
+            parallel::verify_mis_induced_par(graph, &claims, &healthy, verify_threads())
+        } else {
+            mis::verify_mis_induced(graph, &claims, &healthy)
+        };
+        result.map_err(|e| match e {
+            MisViolation::NotIndependent { u, v } => {
+                format!("independence violated: adjacent nodes {u} and {v} are both in the set")
             }
-            for &u in graph.neighbors(v) {
-                if u > v && in_set(u) {
-                    return Err(format!(
-                        "independence violated: adjacent nodes {v} and {u} are both in the set"
-                    ));
-                }
+            MisViolation::NotDominated { v } => {
+                format!("maximality violated: node {v} has no non-faulty neighbor in the set")
             }
-        }
-        for v in 0..graph.len() {
-            if self.is_faulty(v) || in_set(v) {
-                continue;
-            }
-            if !graph.neighbors(v).iter().any(|&u| in_set(u)) {
-                return Err(format!(
-                    "maximality violated: node {v} has no non-faulty neighbor in the set"
-                ));
-            }
-        }
-        Ok(())
+            other => other.to_string(),
+        })
     }
 
     /// Serializes the report to its *stable* JSON form — the canonical byte
@@ -328,6 +368,27 @@ mod tests {
         r.faulty = vec![false, true, false, false];
         let err = r.verify_mis(&g).unwrap_err();
         assert!(err.contains("independence"), "{err}");
+    }
+
+    #[test]
+    fn verifier_backends_agree() {
+        use NodeStatus::*;
+        let g = mis_graphs::generators::path(4);
+        let mut cases = vec![
+            report(vec![InMis, OutMis, InMis, OutMis], vec![1; 4]), // valid
+            report(vec![InMis, InMis, OutMis, OutMis], vec![1; 4]), // not independent
+            report(vec![InMis, OutMis, OutMis, OutMis], vec![1; 4]), // not dominated
+        ];
+        let mut faulty = report(vec![InMis, InMis, OutMis, OutMis], vec![1; 4]);
+        faulty.faulty = vec![false, true, false, false];
+        cases.push(faulty); // induced check, maximality fails at node 2
+        for r in &cases {
+            let seq = r.verify_mis_with(&g, false);
+            let par = r.verify_mis_with(&g, true);
+            assert_eq!(seq, par);
+            // The size-based default resolves to one of the two.
+            assert_eq!(r.verify_mis(&g), seq);
+        }
     }
 
     #[test]
