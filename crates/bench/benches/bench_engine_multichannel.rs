@@ -1,0 +1,244 @@
+//! The multichannel tax: per-channel collision resolution vs the
+//! single-channel fast path.
+//!
+//! Two workloads probe the two promises of the multichannel engine
+//! (docs/MULTICHANNEL.md):
+//!
+//! - **F = 1 stays free** — the staggered sparse workload of
+//!   `bench_engine_sparse` run with an explicit `with_channels(1)` config
+//!   must cost the same as the default config: the engine gates every
+//!   multichannel branch on cached booleans and allocates no per-channel
+//!   state at F = 1;
+//! - **F > 1 scales gently** — a channel-hopping workload (every node
+//!   awake every round, alternating transmit/listen on a uniformly random
+//!   channel) pays per-channel resolution and the reserved per-(channel,
+//!   round, node) fade stream; the tax relative to F = 1 is pinned by the
+//!   `multichannel_tax` ceilings in `BENCH_engine.json`.
+//!
+//! Two entry points:
+//! - `cargo bench --bench bench_engine_multichannel` — full criterion run
+//!   over n ∈ {10⁴, 10⁵} × F ∈ {1, 2, 4, 8}, plus an adaptive-jammer leg;
+//! - `ENGINE_BENCH_SMOKE=1 cargo bench --bench bench_engine_multichannel`
+//!   — a quick wall-clock check at n = 10⁵ that fails (exit 1) if the
+//!   F = 1 ratio or any F-scaling tax exceeds 1.25 × its committed
+//!   baseline ceiling: the CI regression gate.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use mis_bench::workload;
+use mis_graphs::Graph;
+use radio_netsim::{
+    Action, ChannelModel, FaultPlan, Feedback, Message, NodeRng, NodeStatus, Protocol, SimConfig,
+    Simulator,
+};
+use rand::Rng;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Rounds the hopper workload keeps every node awake.
+const HOP_ROUNDS: u64 = 64;
+
+/// Alternates transmit/listen on a random channel for [`HOP_ROUNDS`]
+/// rounds. The channel draw happens only when `channels > 1`, so the
+/// F = 1 leg replays the exact single-channel draw sequence.
+struct Hopper {
+    rounds_left: u64,
+    channels: u16,
+    done: bool,
+}
+
+impl Protocol for Hopper {
+    fn act(&mut self, round: u64, rng: &mut NodeRng) -> Action {
+        if self.rounds_left == 0 {
+            self.done = true;
+            return Action::halt();
+        }
+        self.rounds_left -= 1;
+        let action = if round % 2 == 0 {
+            Action::Transmit(Message::unary())
+        } else {
+            Action::Listen
+        };
+        if self.channels > 1 {
+            action.on_channel(rng.gen_range(0..self.channels))
+        } else {
+            action
+        }
+    }
+    fn feedback(&mut self, _round: u64, _fb: Feedback, _rng: &mut NodeRng) {}
+    fn status(&self) -> NodeStatus {
+        NodeStatus::OutMis
+    }
+    fn finished(&self) -> bool {
+        self.done
+    }
+}
+
+/// The staggered sparse workload of `bench_engine_sparse`, reused for the
+/// F = 1 noise gate.
+struct Staggered {
+    slot: u64,
+    work_left: u64,
+    done: bool,
+}
+
+impl Protocol for Staggered {
+    fn act(&mut self, round: u64, _rng: &mut NodeRng) -> Action {
+        if round < self.slot {
+            return Action::Sleep { wake_at: self.slot };
+        }
+        if self.work_left == 0 {
+            self.done = true;
+            return Action::halt();
+        }
+        self.work_left -= 1;
+        Action::Listen
+    }
+    fn feedback(&mut self, _round: u64, _fb: Feedback, _rng: &mut NodeRng) {}
+    fn status(&self) -> NodeStatus {
+        NodeStatus::OutMis
+    }
+    fn finished(&self) -> bool {
+        self.done
+    }
+}
+
+fn staggered(v: usize) -> Staggered {
+    Staggered {
+        slot: (v / 100) as u64 * 8,
+        work_left: 2,
+        done: false,
+    }
+}
+
+fn run_hop(g: &Graph, channels: u16, faults: FaultPlan) -> u64 {
+    let config = SimConfig::new(ChannelModel::Cd)
+        .with_seed(1)
+        .with_channels(channels)
+        .with_faults(faults);
+    let report = Simulator::new(g, config).run(|_, _| Hopper {
+        rounds_left: HOP_ROUNDS,
+        channels,
+        done: false,
+    });
+    assert!(report.completed, "hopper workload must finish");
+    report.rounds
+}
+
+fn run_staggered(g: &Graph, explicit_channels: bool) -> u64 {
+    let mut config = SimConfig::new(ChannelModel::Cd).with_seed(1);
+    if explicit_channels {
+        config = config.with_channels(1);
+    }
+    let report = Simulator::new(g, config).run(|v, _| staggered(v));
+    assert!(report.completed, "staggered workload must finish");
+    report.rounds
+}
+
+fn bench(c: &mut Criterion) {
+    for &n in &[10_000usize, 100_000] {
+        let g = workload(n, 42);
+        let mut group = c.benchmark_group(format!("engine_multichannel/n={n}"));
+        group.sample_size(10);
+        for channels in [1u16, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new("hop", format!("F={channels}")),
+                &g,
+                |b, g| b.iter(|| run_hop(g, channels, FaultPlan::none())),
+            );
+        }
+        // The adversary leg: adaptive jamming adds the per-round busiest-
+        // channel scan on top of per-channel resolution.
+        group.bench_with_input(BenchmarkId::new("hop", "F=4/jam=1"), &g, |b, g| {
+            b.iter(|| run_hop(g, 4, FaultPlan::none().with_adaptive_channel_jam(1)))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+
+/// Best-of-3 wall-clock time for one closure.
+fn measure<F: FnMut()>(mut f: F) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..3 {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+/// Loads the committed tax ceilings
+/// (`{"multichannel_tax": {"f1_noise/100000": …}}`).
+fn load_baseline() -> HashMap<String, f64> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let v: serde_json::Value = serde_json::from_str(&text).expect("baseline must parse");
+    v["multichannel_tax"]
+        .as_object()
+        .expect("baseline needs a \"multichannel_tax\" table")
+        .iter()
+        .map(|(k, val)| (k.clone(), val.as_f64().expect("tax must be numeric")))
+        .collect()
+}
+
+/// The CI regression gate: measured ratios must stay below 1.25 × their
+/// committed ceilings (ratios cancel host clock speed, so the gate is
+/// machine-portable). Unlike the speedup gates this one bounds from
+/// *above*: the tax rows are conservative ceilings, not observed values.
+fn smoke() {
+    let baseline = load_baseline();
+    let n = 100_000;
+    let g = workload(n, 42);
+    let mut failed = false;
+    let mut gate = |key: String, ratio: f64| {
+        let ceiling = baseline.get(&key).map_or(2.0, |&b| 1.25 * b);
+        println!("{key}: ratio {ratio:.2}x (ceiling {ceiling:.2}x)");
+        if ratio > ceiling {
+            eprintln!("REGRESSION: {key} ratio {ratio:.2}x above ceiling {ceiling:.2}x");
+            failed = true;
+        }
+    };
+
+    // F = 1 noise gate: explicit channels=1 vs the default config on the
+    // sparse staggered workload.
+    let base = measure(|| {
+        run_staggered(&g, false);
+    });
+    let f1 = measure(|| {
+        run_staggered(&g, true);
+    });
+    gate(
+        format!("f1_noise/{n}"),
+        f1.as_secs_f64() / base.as_secs_f64().max(1e-9),
+    );
+
+    // F-scaling gates: hopper tax relative to the F = 1 hopper.
+    let hop1 = measure(|| {
+        run_hop(&g, 1, FaultPlan::none());
+    });
+    for channels in [2u16, 4] {
+        let hop = measure(|| {
+            run_hop(&g, channels, FaultPlan::none());
+        });
+        gate(
+            format!("hop/{n}/F={channels}"),
+            hop.as_secs_f64() / hop1.as_secs_f64().max(1e-9),
+        );
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!("multichannel smoke: all ratios below their ceilings");
+}
+
+fn main() {
+    if std::env::var_os("ENGINE_BENCH_SMOKE").is_some() {
+        smoke();
+        return;
+    }
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -23,6 +23,9 @@ pub enum Algorithm {
     NoCdNaive,
     /// Algorithm 2 with unknown Δ (doubly-exponential guessing).
     UnknownDelta,
+    /// t-resilient multichannel MIS (Daum–Kuhn jamming model); pairs with
+    /// `--channels`/`--jam-channels`.
+    Multichannel,
     /// Luby in the wired SLEEPING-CONGEST model.
     CongestLuby,
     /// Ghaffari in the wired SLEEPING-CONGEST model.
@@ -31,7 +34,7 @@ pub enum Algorithm {
 
 impl Algorithm {
     /// All algorithm labels, for `mis-sim list`.
-    pub fn all() -> [(&'static str, Algorithm); 10] {
+    pub fn all() -> [(&'static str, Algorithm); 11] {
         [
             ("cd", Algorithm::Cd),
             ("beeping", Algorithm::Beeping),
@@ -41,6 +44,7 @@ impl Algorithm {
             ("low-degree", Algorithm::LowDegree),
             ("nocd-naive", Algorithm::NoCdNaive),
             ("unknown-delta", Algorithm::UnknownDelta),
+            ("multichannel", Algorithm::Multichannel),
             ("congest-luby", Algorithm::CongestLuby),
             ("congest-ghaffari", Algorithm::CongestGhaffari),
         ]
@@ -91,8 +95,10 @@ pub struct RunOpts {
     pub seed: u64,
     /// Fault plan assembled from `--loss`, `--crashes`/`--crash-by`,
     /// `--recover-by`, `--jammers`, `--wake-window`, the `--dormancy*`
-    /// flags, and the `--churn*` flags.
+    /// flags, the `--churn*` flags, and `--jam-channels`.
     pub faults: FaultPlan,
+    /// Number of parallel radio channels F (`--channels`, default 1).
+    pub channels: u16,
     /// Round cap (`None` = the engine default). Essential under heavy
     /// faults: a jammed node may never decide, and an uncapped run would
     /// spin to the default 10⁹-round horizon.
@@ -125,6 +131,7 @@ impl Default for RunOpts {
             trials: 5,
             seed: 0,
             faults: FaultPlan::none(),
+            channels: 1,
             max_rounds: None,
             resume: None,
             paper_constants: false,
@@ -151,8 +158,10 @@ pub struct TraceOpts {
     pub seed: u64,
     /// Fault plan assembled from `--loss`, `--crashes`/`--crash-by`,
     /// `--recover-by`, `--jammers`, `--wake-window`, the `--dormancy*`
-    /// flags, and the `--churn*` flags.
+    /// flags, the `--churn*` flags, and `--jam-channels`.
     pub faults: FaultPlan,
+    /// Number of parallel radio channels F (`--channels`, default 1).
+    pub channels: u16,
     /// Round cap (`None` = the engine default).
     pub max_rounds: Option<u64>,
     /// Use the paper's asymptotic constants instead of the calibrated
@@ -185,6 +194,7 @@ impl Default for TraceOpts {
             graph_path: None,
             seed: 0,
             faults: FaultPlan::none(),
+            channels: 1,
             max_rounds: None,
             paper_constants: false,
             events: None,
@@ -344,11 +354,12 @@ mis-sim — energy-efficient radio MIS simulator
 USAGE:
   mis-sim run    --algorithm <ALG> (--family <FAM> --n <N> | --graph <FILE>)
                  [--trials <T>] [--seed <S>] [--max-rounds <R>] [FAULTS]
-                 [--paper-constants] [--json] [--metrics <FILE>]
-                 [--resume <FILE>] [--engine dense|sparse] [--threads <T>]
+                 [--channels <F>] [--paper-constants] [--json]
+                 [--metrics <FILE>] [--resume <FILE>]
+                 [--engine dense|sparse] [--threads <T>]
   mis-sim trace  --algorithm <ALG> (--family <FAM> --n <N> | --graph <FILE>)
-                 [--seed <S>] [--max-rounds <R>] [FAULTS] [--paper-constants]
-                 [--events <K,K,..>] [--nodes <V,V,..>]
+                 [--seed <S>] [--max-rounds <R>] [FAULTS] [--channels <F>]
+                 [--paper-constants] [--events <K,K,..>] [--nodes <V,V,..>]
                  [--from <ROUND>] [--to <ROUND>] [--out <FILE>]
                  [--engine dense|sparse] [--threads <T>]
   mis-sim graph  --family <FAM> --n <N> [--seed <S>] [--out <FILE>]
@@ -375,6 +386,14 @@ FAULTS (radio algorithms only; resolved deterministically from --seed):
                         (default 1000) ...
   --churn-downtime <D>  ... staying down D rounds, or LO:HI for a uniform
                         draw from [LO, HI] (default 8)
+  --jam-channels <T>    a global adaptive adversary jams the T busiest of
+                        the --channels F channels every round (needs T < F)
+
+`--channels F` gives the radios F parallel channels (default 1); protocols
+pick one per round with Action::on_channel. The `multichannel` algorithm is
+built for this model and tolerates any `--jam-channels T` with T < F; the
+single-channel algorithms keep all traffic on channel 0, which an adaptive
+jammer shuts down outright (experiment E17 measures the contrast).
 
 `run --metrics` appends one JSON line per (trial, processed round) with the
 channel metrics of that round. `run --resume FILE` checkpoints each finished
@@ -608,6 +627,34 @@ fn parse_faults(
     Ok(plan)
 }
 
+/// Parses `--channels`/`--jam-channels` into the channel count F and, when
+/// a jamming budget t is given, an adaptive channel adversary on the plan.
+fn parse_channels(
+    opts: &std::collections::HashMap<String, Option<&str>>,
+    mut plan: FaultPlan,
+) -> Result<(u16, FaultPlan), String> {
+    let channels: u16 = match opts.get("channels") {
+        Some(Some(v)) => parse_num(v, "channels")?,
+        _ => 1,
+    };
+    if channels == 0 {
+        return Err("--channels must be ≥ 1".into());
+    }
+    if let Some(Some(v)) = opts.get("jam-channels") {
+        let t: u16 = parse_num(v, "jam-channels")?;
+        if t >= channels {
+            return Err(format!(
+                "--jam-channels {t} must be below --channels {channels} (the \
+                 adversary needs t < F)"
+            ));
+        }
+        if t > 0 {
+            plan = plan.with_adaptive_channel_jam(t);
+        }
+    }
+    Ok((channels, plan))
+}
+
 fn parse_run(args: &[&str]) -> Result<RunOpts, String> {
     let opts = take_options(args, &["paper-constants", "json"])?;
     for key in opts.keys() {
@@ -625,6 +672,8 @@ fn parse_run(args: &[&str]) -> Result<RunOpts, String> {
             "resume",
             "engine",
             "threads",
+            "channels",
+            "jam-channels",
         ]
         .contains(&key.as_str())
             && !FAULT_KEYS.contains(&key.as_str())
@@ -650,7 +699,9 @@ fn parse_run(args: &[&str]) -> Result<RunOpts, String> {
     if let Some(Some(v)) = opts.get("max-rounds") {
         run.max_rounds = Some(parse_num(v, "max-rounds")?);
     }
-    run.faults = parse_faults(&opts)?;
+    let (channels, faults) = parse_channels(&opts, parse_faults(&opts)?)?;
+    run.channels = channels;
+    run.faults = faults;
     run.paper_constants = opts.contains_key("paper-constants");
     run.json = opts.contains_key("json");
     run.metrics = opts.get("metrics").and_then(|v| v.map(str::to_string));
@@ -702,6 +753,8 @@ fn parse_trace(args: &[&str]) -> Result<TraceOpts, String> {
             "out",
             "engine",
             "threads",
+            "channels",
+            "jam-channels",
         ]
         .contains(&key.as_str())
             && !FAULT_KEYS.contains(&key.as_str())
@@ -724,7 +777,9 @@ fn parse_trace(args: &[&str]) -> Result<TraceOpts, String> {
     if let Some(Some(v)) = opts.get("max-rounds") {
         trace.max_rounds = Some(parse_num(v, "max-rounds")?);
     }
-    trace.faults = parse_faults(&opts)?;
+    let (channels, faults) = parse_channels(&opts, parse_faults(&opts)?)?;
+    trace.channels = channels;
+    trace.faults = faults;
     trace.paper_constants = opts.contains_key("paper-constants");
     if let Some(Some(v)) = opts.get("events") {
         trace.events = Some(parse_list(v, "events", EventKind::parse)?);
@@ -918,6 +973,68 @@ mod tests {
             Command::Trace(t) => assert!(t.faults.churn.is_some()),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_channel_flags() {
+        let cli = parse_ok(
+            "run --algorithm multichannel --family star --n 16 --channels 4 --jam-channels 2",
+        );
+        match cli.command {
+            Command::Run(r) => {
+                assert_eq!(r.algorithm, Algorithm::Multichannel);
+                assert_eq!(r.channels, 4);
+                assert_eq!(r.faults.max_jammed_channels(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Defaults: single channel, no channel adversary.
+        let cli = parse_ok("run --algorithm cd --family star --n 16");
+        match cli.command {
+            Command::Run(r) => {
+                assert_eq!(r.channels, 1);
+                assert_eq!(r.faults.max_jammed_channels(), 0);
+            }
+            other => panic!("{other:?}"),
+        }
+        // A zero budget parses as "no adversary".
+        let cli = parse_ok("run --algorithm cd --family star --n 16 --channels 2 --jam-channels 0");
+        match cli.command {
+            Command::Run(r) => assert_eq!(r.faults.max_jammed_channels(), 0),
+            other => panic!("{other:?}"),
+        }
+        // The flags parse identically on `trace`.
+        let cli = parse_ok(
+            "trace --algorithm multichannel --family star --n 16 --channels 2 --jam-channels 1",
+        );
+        match cli.command {
+            Command::Trace(t) => {
+                assert_eq!(t.channels, 2);
+                assert_eq!(t.faults.max_jammed_channels(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_channel_flags() {
+        let check = |line: &str, needle: &str| {
+            let args: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+            let err = parse(&args).unwrap_err();
+            assert!(err.contains(needle), "{err:?} missing {needle:?}");
+        };
+        check(
+            "run --algorithm cd --family star --n 4 --channels 0",
+            "--channels must be ≥ 1",
+        );
+        check(
+            "run --algorithm multichannel --family star --n 4 --channels 2 --jam-channels 2",
+            "must be below --channels",
+        );
+        check(
+            "run --algorithm multichannel --family star --n 4 --jam-channels 1",
+            "must be below --channels",
+        );
     }
 
     #[test]

@@ -11,8 +11,9 @@ use radio_mis::baselines::nocd_naive::{NaiveSimParams, NoCdNaive};
 use radio_mis::beeping_native::{BeepingParams, NativeBeepingMis};
 use radio_mis::cd::CdMis;
 use radio_mis::low_degree::LowDegreeMis;
+use radio_mis::multichannel::MultichannelMis;
 use radio_mis::nocd::NoCdMis;
-use radio_mis::params::{CdParams, LowDegreeParams, NoCdParams};
+use radio_mis::params::{CdParams, LowDegreeParams, MultichannelParams, NoCdParams};
 use radio_mis::unknown_delta::UnknownDeltaMis;
 use radio_netsim::{
     run_trials_resumable, ChannelModel, RunReport, SimConfig, Simulator, TraceSink, TrialSet,
@@ -23,7 +24,7 @@ use std::path::Path;
 /// CONGEST reference algorithms.
 pub fn radio_channel(alg: Algorithm) -> Option<ChannelModel> {
     match alg {
-        Algorithm::Cd | Algorithm::NaiveLuby => Some(ChannelModel::Cd),
+        Algorithm::Cd | Algorithm::NaiveLuby | Algorithm::Multichannel => Some(ChannelModel::Cd),
         Algorithm::Beeping => Some(ChannelModel::Beeping),
         Algorithm::BeepingNative => Some(ChannelModel::BeepingSenderCd),
         Algorithm::NoCd | Algorithm::LowDegree | Algorithm::NoCdNaive | Algorithm::UnknownDelta => {
@@ -52,6 +53,11 @@ pub fn run_radio_traced<T: TraceSink + Send>(
 ) -> Result<RunReport, String> {
     let n_bound = g.len().max(2);
     let delta = g.max_degree().max(2);
+    // The multichannel algorithm sizes its resilience t from the config it
+    // actually runs under: the largest channel-jamming budget in the fault
+    // plan, clamped below the channel count (the engine enforces t < F).
+    let channels = config.channels.max(1);
+    let resilience = config.faults.max_jammed_channels().min(channels - 1);
     let sim = Simulator::new(g, config);
     let report = match alg {
         Algorithm::Cd | Algorithm::Beeping => {
@@ -109,6 +115,14 @@ pub fn run_radio_traced<T: TraceSink + Send>(
             };
             sim.run_traced(|_, _| UnknownDeltaMis::new(n_bound, template), trace)
         }
+        Algorithm::Multichannel => {
+            let p = if paper {
+                MultichannelParams::paper(n_bound, channels, resilience)
+            } else {
+                MultichannelParams::for_n(n_bound, channels, resilience)
+            };
+            sim.run_traced(move |v, _| MultichannelMis::with_id(p, v), trace)
+        }
         Algorithm::CongestLuby | Algorithm::CongestGhaffari => {
             return Err(format!(
                 "{} is a wired CONGEST algorithm; tracing and metrics apply to radio algorithms only",
@@ -143,6 +157,8 @@ pub fn run_radio_resumable(
 ) -> Result<TrialSet, String> {
     let n_bound = g.len().max(2);
     let delta = g.max_degree().max(2);
+    let channels = config.channels.max(1);
+    let resilience = config.faults.max_jammed_channels().min(channels - 1);
     let set = match alg {
         Algorithm::Cd | Algorithm::Beeping => {
             let p = if paper {
@@ -202,6 +218,16 @@ pub fn run_radio_resumable(
             };
             run_trials_resumable(g, config, trials, None, checkpoint, |_, _| {
                 UnknownDeltaMis::new(n_bound, template)
+            })
+        }
+        Algorithm::Multichannel => {
+            let p = if paper {
+                MultichannelParams::paper(n_bound, channels, resilience)
+            } else {
+                MultichannelParams::for_n(n_bound, channels, resilience)
+            };
+            run_trials_resumable(g, config, trials, None, checkpoint, move |v, _| {
+                MultichannelMis::with_id(p, v)
             })
         }
         Algorithm::CongestLuby | Algorithm::CongestGhaffari => {

@@ -54,6 +54,7 @@ struct RunSummary {
 fn channel_of(alg: Algorithm) -> &'static str {
     match alg {
         Algorithm::Cd | Algorithm::NaiveLuby => "CD",
+        Algorithm::Multichannel => "multichannel CD",
         Algorithm::Beeping => "beeping",
         Algorithm::BeepingNative => "beeping+senderCD",
         Algorithm::NoCd | Algorithm::LowDegree | Algorithm::NoCdNaive | Algorithm::UnknownDelta => {
@@ -65,11 +66,13 @@ fn channel_of(alg: Algorithm) -> &'static str {
 
 /// Runs one radio trial, returning (correct, mis_size, e_max, e_avg,
 /// rounds) plus the round-metrics timeline when `collect_metrics` is set.
+#[allow(clippy::too_many_arguments)]
 fn radio_trial(
     g: &Graph,
     alg: Algorithm,
     seed: u64,
     faults: &FaultPlan,
+    channels: u16,
     max_rounds: Option<u64>,
     paper: bool,
     collect_metrics: bool,
@@ -80,6 +83,7 @@ fn radio_trial(
     let mut config = SimConfig::new(channel)
         .with_seed(seed)
         .with_faults(faults.clone())
+        .with_channels(channels)
         .with_engine_mode(engine)
         .with_threads(threads);
     if let Some(cap) = max_rounds {
@@ -174,6 +178,9 @@ pub fn execute(opts: &RunOpts) -> Result<String, String> {
     if is_congest && opts.metrics.is_some() {
         return Err("--metrics applies only to radio algorithms".into());
     }
+    if is_congest && opts.channels != 1 {
+        return Err("--channels applies only to radio algorithms".into());
+    }
     if is_congest && opts.resume.is_some() {
         return Err("--resume checkpointing applies only to radio algorithms".into());
     }
@@ -189,6 +196,7 @@ pub fn execute(opts: &RunOpts) -> Result<String, String> {
         let mut config = SimConfig::new(channel)
             .with_seed(opts.seed)
             .with_faults(opts.faults.clone())
+            .with_channels(opts.channels)
             .with_engine_mode(opts.engine)
             .with_threads(opts.threads);
         if let Some(cap) = opts.max_rounds {
@@ -241,6 +249,7 @@ pub fn execute(opts: &RunOpts) -> Result<String, String> {
                         alg,
                         seed,
                         &opts.faults,
+                        opts.channels,
                         opts.max_rounds,
                         opts.paper_constants,
                         opts.metrics.is_some(),
@@ -413,6 +422,31 @@ mod tests {
         let serial = execute(&base).unwrap();
         let threaded = execute(&RunOpts { threads: 4, ..base }).unwrap();
         assert_eq!(serial, threaded, "--threads must never change results");
+    }
+
+    #[test]
+    fn runs_multichannel_under_jamming() {
+        let opts = RunOpts {
+            algorithm: Algorithm::Multichannel,
+            n: 48,
+            trials: 1,
+            channels: 2,
+            faults: FaultPlan::none().with_adaptive_channel_jam(1),
+            ..RunOpts::default()
+        };
+        let out = execute(&opts).unwrap();
+        assert!(out.contains("multichannel CD model"), "{out}");
+        assert!(out.contains("success 100%"), "{out}");
+    }
+
+    #[test]
+    fn rejects_channels_on_congest() {
+        let opts = RunOpts {
+            algorithm: Algorithm::CongestLuby,
+            channels: 2,
+            ..RunOpts::default()
+        };
+        assert!(execute(&opts).unwrap_err().contains("radio"));
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub fn execute(opts: &TraceOpts) -> Result<String, String> {
     })?;
     let mut config = SimConfig::new(channel)
         .with_seed(opts.seed)
+        .with_channels(opts.channels)
         .with_faults(opts.faults.clone())
         .with_engine_mode(opts.engine)
         .with_threads(opts.threads);
@@ -178,6 +179,21 @@ mod tests {
         opts.threads = 4;
         let threaded = execute(&opts).unwrap();
         assert_eq!(serial, threaded, "--threads must never change the stream");
+    }
+
+    #[test]
+    fn traces_multichannel_runs_under_jamming() {
+        let mut opts = small(Algorithm::Multichannel);
+        opts.n = 16;
+        opts.channels = 2;
+        opts.faults = radio_netsim::FaultPlan::none().with_adaptive_channel_jam(1);
+        opts.events = Some(vec![EventKind::RoundMetrics]);
+        let out = execute(&opts).unwrap();
+        assert!(!out.trim().is_empty());
+        for line in out.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert_eq!(v["event"], "RoundEnd", "{line}");
+        }
     }
 
     #[test]

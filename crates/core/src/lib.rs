@@ -23,6 +23,11 @@
 //! - **Applications** ([`applications`]): maximal matching (via the line
 //!   graph) and (Δ+1)-coloring (via iterated MIS) — the backbone-building
 //!   uses the paper's introduction motivates;
+//! - **Multichannel MIS** ([`multichannel::MultichannelMis`]): the
+//!   t-resilient MIS for the Daum–Kuhn multichannel model — Luby phases
+//!   lifted onto F channels with channel-hopping Decay blocks, tolerating
+//!   an adversary that jams up to t < F channels per round
+//!   ([`radio_netsim::ChannelAdversary`], docs/MULTICHANNEL.md);
 //! - **Self-healing MIS** ([`repair::RepairingMis`]): a maintenance wrapper
 //!   that detects post-fault MIS violations locally (uncovered nodes,
 //!   adjacent in-MIS pairs) and re-runs any of the above schedules on the
@@ -49,7 +54,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod applications;
 pub mod backoff;
@@ -60,11 +65,13 @@ pub mod cd;
 pub mod competition;
 pub mod low_degree;
 pub mod lower_bound;
+pub mod multichannel;
 pub mod nocd;
 pub mod params;
 pub mod repair;
 pub mod unknown_delta;
 
 pub use cd::CdMis;
+pub use multichannel::MultichannelMis;
 pub use nocd::NoCdMis;
 pub use repair::{RepairConfig, RepairingMis};

@@ -1,0 +1,415 @@
+//! t-resilient MIS for multichannel radio networks under adversarial
+//! jamming (the Daum–Kuhn model; see docs/MULTICHANNEL.md).
+//!
+//! The network has `F = channels` parallel channels and an adversary that
+//! disrupts up to `t = resilience < F` of them per round (fixed, roaming,
+//! or adaptive — [`radio_netsim::ChannelAdversary`]). In the CD model a
+//! jammed channel reads as a collision, so jamming can *forge* activity but
+//! never *suppress* it. [`MultichannelMis`] exploits that asymmetry: it is
+//! Algorithm 1's Luby-phase structure with every single-channel round
+//! lifted to a *block* of channel-hopping Decay slots, and with all
+//! decisions driven by **cleanly heard messages only** — collisions (real
+//! or jammed) are ignored, so the adversary cannot fake a competitor or a
+//! winner.
+//!
+//! A phase is `rank_bits` competition blocks plus one check block:
+//!
+//! - **Competition block for bit b**: a node whose fresh rank bit is 1 is a
+//!   *caller* — each slot it hops to a uniformly random channel and
+//!   transmits its announce with the Decay probability 2^−(slot mod W),
+//!   sleeping otherwise; a 0-bit node *listens* on a uniformly random
+//!   channel each slot and **loses** the phase the first time it cleanly
+//!   hears any announce (some co-surviving competitor has a 1 where it has
+//!   a 0). Losers sleep until the check block.
+//! - **Check block**: a node that survived every bit **wins** — it sets
+//!   in-MIS and Decay-beacons on hopping channels; losers listen on hopping
+//!   channels and set out-MIS on cleanly hearing any beacon (beacons are
+//!   only ever sent by genuine just-joined neighbors, so out-MIS coverage
+//!   is exact, never forged by jamming).
+//!
+//! Blocks hold `⌈γ·F²/(F−t)·log₂ n⌉` Decay windows: a listener meets a
+//! given caller on an unjammed channel with probability ≥ (F−t)/F² per
+//! slot, and the Decay sweep defeats unknown contention, so a block misses
+//! a live caller with probability ≤ exp(−γ·log₂n/e) = 1/poly(n). The
+//! highest-ranked active node in a component never cleanly hears a beater,
+//! so every phase produces a winner deterministically — jamming only slows
+//! detection by the F²/(F−t) block stretch, the Daum–Kuhn overhead. As
+//! with [`crate::cd::CdMis`], identical-rank ties are the residual failure
+//! mode (probability 2^−rank_bits per adjacent pair per phase).
+//!
+//! Energy: a listener is awake for whole blocks, so per-node energy is
+//! Θ(F²/(F−t)·log³n) — the resilience premium over Algorithm 1's O(log n).
+//! Experiment E17 measures both sides of that trade.
+//!
+//! # Example
+//!
+//! ```
+//! use mis_graphs::generators;
+//! use radio_mis::multichannel::MultichannelMis;
+//! use radio_mis::params::MultichannelParams;
+//! use radio_netsim::{ChannelModel, FaultPlan, SimConfig, Simulator};
+//!
+//! // Two channels, one of which an adaptive adversary jams every round.
+//! // The n-bound only needs to be an upper bound on the network size;
+//! // a generous one widens the ranks and so suppresses tie failures.
+//! let g = generators::gnp(16, 0.2, 1);
+//! let params = MultichannelParams::for_n(64, 2, 1);
+//! let config = SimConfig::new(ChannelModel::Cd)
+//!     .with_channels(2)
+//!     .with_seed(9)
+//!     .with_faults(FaultPlan::none().with_adaptive_channel_jam(1));
+//! let report = Simulator::new(&g, config).run(|_, _| MultichannelMis::new(params));
+//! assert!(report.is_correct_mis(&g));
+//! ```
+
+use crate::params::MultichannelParams;
+use radio_netsim::{Action, Feedback, Message, NodeRng, NodeStatus, Protocol};
+use rand::Rng;
+
+/// Encodes a competition announce: even payload, nonzero for any id.
+pub fn announce(id: usize) -> Message {
+    Message::with_payload((id as u64 + 1) * 2)
+}
+
+/// Encodes a winner beacon: odd payload, nonzero for any id.
+pub fn beacon(id: usize) -> Message {
+    Message::with_payload((id as u64 + 1) * 2 + 1)
+}
+
+/// Decodes a payload into `(id, is_beacon)`; `None` for foreign payloads.
+pub fn decode(payload: u64) -> Option<(usize, bool)> {
+    if payload < 2 {
+        return None;
+    }
+    Some(((payload / 2 - 1) as usize, payload % 2 == 1))
+}
+
+/// Per-node state machine for the t-resilient multichannel MIS.
+#[derive(Debug, Clone)]
+pub struct MultichannelMis {
+    params: MultichannelParams,
+    status: NodeStatus,
+    finished: bool,
+    /// Phase whose per-phase state (`lost`, `winning`) is current.
+    phase_of_state: u64,
+    lost: bool,
+    /// Whether the node survived every competition bit of the current
+    /// phase and is beaconing through the check block.
+    winning: bool,
+    /// This block's lazily sampled rank bit, keyed by global block index.
+    bit: bool,
+    bit_block: u64,
+    /// Node id, used only to label announces/beacons for traces.
+    id: usize,
+}
+
+impl MultichannelMis {
+    /// Creates a node running the multichannel MIS with the given
+    /// parameters. The run's [`radio_netsim::SimConfig`] must be configured
+    /// with at least [`MultichannelParams::channels`] channels.
+    pub fn new(params: MultichannelParams) -> MultichannelMis {
+        MultichannelMis::with_id(params, 0)
+    }
+
+    /// Creates a node with an explicit id to stamp into its messages; the
+    /// id carries no protocol meaning beyond trace readability.
+    pub fn with_id(params: MultichannelParams, id: usize) -> MultichannelMis {
+        MultichannelMis {
+            params,
+            status: NodeStatus::Undecided,
+            finished: false,
+            phase_of_state: 0,
+            lost: false,
+            winning: false,
+            bit: false,
+            bit_block: u64::MAX,
+            id,
+        }
+    }
+
+    /// The parameters this node runs with.
+    pub fn params(&self) -> &MultichannelParams {
+        &self.params
+    }
+
+    /// The Luby phase a slot belongs to.
+    fn phase_of(&self, round: u64) -> u64 {
+        round / self.params.phase_len()
+    }
+
+    /// Block index within the phase (0..rank_bits are competition, the
+    /// last is the check block).
+    fn block_of(&self, round: u64) -> u64 {
+        (round % self.params.phase_len()) / self.params.block_len()
+    }
+
+    /// Decay transmit probability for this slot: 2^−(slot mod W).
+    fn decay_p(&self, round: u64) -> f64 {
+        let wpos = (round % self.params.block_len()) % self.params.decay_window() as u64;
+        0.5f64.powi(wpos as i32)
+    }
+
+    fn enter_phase(&mut self, phase: u64) {
+        if phase != self.phase_of_state {
+            self.phase_of_state = phase;
+            self.lost = false;
+            self.winning = false;
+        }
+    }
+
+    /// Hop: a fresh uniformly random channel for this slot.
+    fn hop(&self, rng: &mut NodeRng) -> u16 {
+        rng.gen_range(0..self.params.channels)
+    }
+
+    /// A Decay transmission slot: transmit `msg` on a random channel with
+    /// probability `p`, otherwise sleep through the slot (senders spend no
+    /// energy between their transmissions).
+    fn decay_slot(&self, round: u64, msg: Message, rng: &mut NodeRng) -> Action {
+        if rng.gen_bool(self.decay_p(round)) {
+            Action::Transmit(msg).on_channel(self.hop(rng))
+        } else {
+            Action::Sleep { wake_at: round + 1 }
+        }
+    }
+}
+
+impl Protocol for MultichannelMis {
+    fn act(&mut self, round: u64, rng: &mut NodeRng) -> Action {
+        let phase = self.phase_of(round);
+        // A winner retires once its check block is over (next phase or end
+        // of schedule); it already holds in-MIS status.
+        if self.winning && (round >= self.params.total_rounds() || phase != self.phase_of_state) {
+            self.finished = true;
+            return Action::halt();
+        }
+        if round >= self.params.total_rounds() {
+            // Schedule exhausted while undecided: retire as a run failure.
+            self.finished = true;
+            return Action::halt();
+        }
+        self.enter_phase(phase);
+        let block = self.block_of(round);
+        if block < self.params.rank_bits() as u64 {
+            if self.lost {
+                // Sleep out the rest of the competition; wake for the check
+                // block to learn whether a neighbor won.
+                return Action::Sleep {
+                    wake_at: phase * self.params.phase_len()
+                        + self.params.rank_bits() as u64 * self.params.block_len(),
+                };
+            }
+            // Sample this block's rank bit lazily on first entry; the bits
+            // are i.i.d. uniform so this matches drawing the rank up front.
+            let global_block = round / self.params.block_len();
+            if self.bit_block != global_block {
+                self.bit_block = global_block;
+                self.bit = rng.gen_bool(0.5);
+            }
+            if self.bit {
+                self.decay_slot(round, announce(self.id), rng)
+            } else {
+                Action::Listen.on_channel(self.hop(rng))
+            }
+        } else if self.lost {
+            // Check block, loser: hop-listen for a winner's beacon.
+            Action::Listen.on_channel(self.hop(rng))
+        } else {
+            // Survived every bit: the node joins the MIS and beacons so its
+            // losers can leave.
+            if !self.winning {
+                self.winning = true;
+                self.status = NodeStatus::InMis;
+            }
+            self.decay_slot(round, beacon(self.id), rng)
+        }
+    }
+
+    fn feedback(&mut self, round: u64, fb: Feedback, _rng: &mut NodeRng) {
+        // Only cleanly heard messages carry information: a collision may be
+        // adversarial jam noise and silence may just be a missed channel
+        // meeting, so everything but Heard is ignored.
+        let Feedback::Heard(msg) = fb else {
+            return;
+        };
+        let Some((_, is_beacon)) = decode(msg.payload()) else {
+            return;
+        };
+        let in_competition = self.block_of(round) < self.params.rank_bits() as u64;
+        if in_competition {
+            // Listening on a 0-bit and cleanly heard a competitor's
+            // announce: some co-survivor has a 1 here, defer to it.
+            if !self.lost && !is_beacon {
+                self.lost = true;
+            }
+        } else if self.lost && is_beacon {
+            // A neighbor just joined the MIS; beacons are never forged, so
+            // this coverage is exact.
+            self.status = NodeStatus::OutMis;
+            self.finished = true;
+        }
+    }
+
+    fn status(&self) -> NodeStatus {
+        self.status
+    }
+
+    fn finished(&self) -> bool {
+        self.finished
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cd::CdMis;
+    use crate::params::CdParams;
+    use mis_graphs::generators;
+    use radio_netsim::{ChannelModel, FaultPlan, SimConfig, Simulator};
+
+    fn run_mc(
+        g: &mis_graphs::Graph,
+        params: MultichannelParams,
+        seed: u64,
+        faults: FaultPlan,
+    ) -> radio_netsim::RunReport {
+        let config = SimConfig::new(ChannelModel::Cd)
+            .with_channels(params.channels)
+            .with_seed(seed)
+            .with_faults(faults);
+        Simulator::new(g, config).run(move |v, _| MultichannelMis::with_id(params, v))
+    }
+
+    #[test]
+    fn payload_codec_roundtrip() {
+        for id in [0usize, 1, 7, 500] {
+            assert_eq!(decode(announce(id).payload()), Some((id, false)));
+            assert_eq!(decode(beacon(id).payload()), Some((id, true)));
+        }
+        assert_eq!(decode(0), None);
+        assert_eq!(decode(1), None);
+    }
+
+    #[test]
+    fn solves_small_graphs_across_channel_counts() {
+        for channels in [1u16, 2, 4] {
+            for g in [
+                generators::path(20),
+                generators::star(20),
+                generators::clique(12),
+                generators::gnp(40, 0.1, 5),
+                generators::empty(10),
+            ] {
+                // n-bound 64 > every corpus graph: wide ranks make
+                // identical-rank ties negligible (same idiom as cd.rs).
+                let params = MultichannelParams::for_n(64, channels, 0);
+                let report = run_mc(&g, params, 11, FaultPlan::none());
+                assert!(
+                    report.is_correct_mis(&g),
+                    "failed on {g:?} at F={channels}: {:?}",
+                    report.verify_mis(&g)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn survives_adaptive_jamming() {
+        let g = generators::gnp(30, 0.1, 3);
+        let params = MultichannelParams::for_n(64, 2, 1);
+        let report = run_mc(
+            &g,
+            params,
+            7,
+            FaultPlan::none().with_adaptive_channel_jam(1),
+        );
+        assert!(
+            report.is_correct_mis(&g),
+            "adaptive jam broke the MIS: {:?}",
+            report.verify_mis(&g)
+        );
+    }
+
+    #[test]
+    fn survives_fixed_and_roaming_jamming() {
+        let g = generators::path(16);
+        let params = MultichannelParams::for_n(64, 4, 2);
+        for faults in [
+            FaultPlan::none().with_fixed_channel_jam(vec![0, 2]),
+            FaultPlan::none().with_roaming_channel_jam(2),
+        ] {
+            let report = run_mc(&g, params, 13, faults);
+            assert!(
+                report.is_correct_mis(&g),
+                "jam plan broke the MIS: {:?}",
+                report.verify_mis(&g)
+            );
+        }
+    }
+
+    #[test]
+    fn single_channel_luby_fails_where_multichannel_survives() {
+        // E17's headline in miniature: CdMis keeps all its traffic on
+        // channel 0, so an adaptive jammer with budget 1 forges collisions
+        // every round — every competitor "loses" immediately and every
+        // loser mistakes check-round jam noise for a winner, leaving
+        // out-MIS nodes with no in-MIS neighbor.
+        let g = generators::gnp(30, 0.1, 3);
+        let jam = FaultPlan::none().with_adaptive_channel_jam(1);
+
+        let cd_config = SimConfig::new(ChannelModel::Cd)
+            .with_channels(2)
+            .with_seed(5)
+            .with_faults(jam.clone());
+        let cd_params = CdParams::for_n(30);
+        let cd_report = Simulator::new(&g, cd_config).run(|_, _| CdMis::new(cd_params));
+        assert!(
+            !cd_report.is_correct_mis(&g),
+            "single-channel CdMis should be broken by an adaptive jammer"
+        );
+
+        let params = MultichannelParams::for_n(64, 2, 1);
+        let report = run_mc(&g, params, 5, jam);
+        assert!(
+            report.is_correct_mis(&g),
+            "multichannel MIS should tolerate t=1 < F=2: {:?}",
+            report.verify_mis(&g)
+        );
+    }
+
+    #[test]
+    fn isolated_node_wins_first_phase() {
+        let g = generators::empty(1);
+        let params = MultichannelParams::for_n(16, 2, 1);
+        let report = run_mc(&g, params, 3, FaultPlan::none());
+        assert!(report.is_correct_mis(&g));
+        assert!(report.meters[0].decided_at.unwrap() < params.phase_len());
+        // Decay sleeping keeps even the winner's energy below a full
+        // always-awake phase.
+        assert!(report.max_energy() < params.phase_len());
+    }
+
+    #[test]
+    fn rounds_within_schedule() {
+        let g = generators::gnp(40, 0.1, 5);
+        let params = MultichannelParams::for_n(64, 2, 1);
+        let report = run_mc(
+            &g,
+            params,
+            17,
+            FaultPlan::none().with_adaptive_channel_jam(1),
+        );
+        assert!(report.is_correct_mis(&g));
+        assert!(report.rounds <= params.total_rounds());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = generators::gnp(24, 0.15, 6);
+        let params = MultichannelParams::for_n(24, 2, 1);
+        let faults = FaultPlan::none().with_adaptive_channel_jam(1);
+        let a = run_mc(&g, params, 5, faults.clone());
+        let b = run_mc(&g, params, 5, faults);
+        assert_eq!(a, b);
+    }
+}

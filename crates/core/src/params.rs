@@ -77,6 +77,127 @@ impl CdParams {
     }
 }
 
+/// Parameters for the t-resilient multichannel MIS (Daum–Kuhn model).
+///
+/// The protocol lifts Algorithm 1's Luby phases onto `channels` parallel
+/// channels of which an adversary may jam up to `resilience` per round.
+/// Every single-channel competition/check *round* becomes a *block* of
+/// channel-hopping Decay slots sized so that a clean (singleton, unjammed)
+/// reception happens inside the block with probability ≥ 1 − 1/poly(n):
+/// blocks are `windows_per_block · decay_window` slots, where
+/// `windows_per_block = ⌈γ·F²/(F−t)·log₂ n⌉` carries the Daum–Kuhn
+/// F²/(F−t) jamming overhead and `decay_window` sweeps transmit
+/// probabilities 1, ½, …, 1/2n to defeat unknown contention.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultichannelParams {
+    /// Shared upper bound on the network size (§1.1).
+    pub n: usize,
+    /// F: number of parallel channels the radios can tune to (F ≥ 1).
+    pub channels: u16,
+    /// t: jamming budget the schedule must tolerate — the adversary may
+    /// disrupt up to t < F channels per round.
+    pub resilience: u16,
+    /// β: rank length multiplier — ranks are ⌈β·log₂ n⌉ bits.
+    pub beta: f64,
+    /// C: Luby-phase multiplier — the algorithm runs ⌈C·log₂ n⌉ phases.
+    pub c: f64,
+    /// γ: Decay-window multiplier per block — blocks hold
+    /// ⌈γ·F²/(F−t)·log₂ n⌉ windows.
+    pub gamma: f64,
+}
+
+impl MultichannelParams {
+    /// The asymptotic-regime constants (β = 4, C = 4, γ = 12).
+    ///
+    /// Panics if `resilience >= channels` or `channels == 0`: with every
+    /// channel jammed no protocol can communicate (Daum–Kuhn assume t < F).
+    pub fn paper(n: usize, channels: u16, resilience: u16) -> MultichannelParams {
+        MultichannelParams::preset(n, channels, resilience, 4.0, 4.0, 12.0)
+    }
+
+    /// Calibrated experiment preset (β = 2, C = 4, γ = 6): per-block clean
+    /// reception failure is ≤ exp(−γ·log₂n/e) ≈ n^−3.2, small enough that
+    /// rank ties (the same failure mode as [`CdParams`]) dominate at
+    /// experiment scales.
+    pub fn for_n(n: usize, channels: u16, resilience: u16) -> MultichannelParams {
+        MultichannelParams::preset(n, channels, resilience, 2.0, 4.0, 6.0)
+    }
+
+    fn preset(
+        n: usize,
+        channels: u16,
+        resilience: u16,
+        beta: f64,
+        c: f64,
+        gamma: f64,
+    ) -> MultichannelParams {
+        assert!(channels >= 1, "multichannel MIS needs at least one channel");
+        assert!(
+            resilience < channels,
+            "resilience t = {resilience} must be < channels F = {channels}"
+        );
+        MultichannelParams {
+            n,
+            channels,
+            resilience,
+            beta,
+            c,
+            gamma,
+        }
+    }
+
+    /// Number of rank bits per Luby phase: ⌈β·log₂ n⌉.
+    pub fn rank_bits(&self) -> u32 {
+        (self.beta * log2f(self.n)).ceil().max(1.0) as u32
+    }
+
+    /// Number of Luby phases: ⌈C·log₂ n⌉.
+    pub fn phases(&self) -> u32 {
+        (self.c * log2f(self.n)).ceil().max(1.0) as u32
+    }
+
+    /// Decay-window width W = ⌈log₂(2n)⌉: sweeping transmit probability
+    /// 2⁻ʲ for j = 0..W covers any caller count up to n.
+    pub fn decay_window(&self) -> u32 {
+        log2_ceil(2 * self.n.max(1))
+    }
+
+    /// Windows per block: ⌈γ·F²/(F−t)·log₂ n⌉ — the Daum–Kuhn jamming
+    /// overhead. A random (listener, caller) channel meeting lands on an
+    /// unjammed channel with probability ≥ (F−t)/F², so this many windows
+    /// drive the per-block miss probability below 1/poly(n).
+    pub fn windows_per_block(&self) -> u32 {
+        let f = self.channels as f64;
+        let t = self.resilience as f64;
+        (self.gamma * f * f / (f - t) * log2f(self.n))
+            .ceil()
+            .max(1.0) as u32
+    }
+
+    /// Slots in one block (one lifted competition/check round):
+    /// `windows_per_block · decay_window`.
+    pub fn block_len(&self) -> u64 {
+        self.windows_per_block() as u64 * self.decay_window() as u64
+    }
+
+    /// Blocks in one Luby phase: `rank_bits` competition blocks + 1 check
+    /// block.
+    pub fn blocks_per_phase(&self) -> u64 {
+        self.rank_bits() as u64 + 1
+    }
+
+    /// Slots in one Luby phase.
+    pub fn phase_len(&self) -> u64 {
+        self.blocks_per_phase() * self.block_len()
+    }
+
+    /// Total schedule length: O(F²/(F−t) · log⁴n) slots (phases ×
+    /// blocks-per-phase × block length).
+    pub fn total_rounds(&self) -> u64 {
+        self.phases() as u64 * self.phase_len()
+    }
+}
+
 /// Parameters for LowDegreeMIS (§4.2): the Davies-style radio simulation of
 /// Ghaffari's MIS algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -479,6 +600,48 @@ mod tests {
         let p = NoCdParams::for_n(100, 10);
         let json = serde_json::to_string(&p).unwrap();
         let back: NoCdParams = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn multichannel_params_scaling() {
+        let p = MultichannelParams::for_n(64, 4, 0);
+        assert_eq!(p.rank_bits(), 12); // 2·log2(64)
+        assert_eq!(p.decay_window(), 7); // ⌈log2(128)⌉
+                                         // γ·F²/(F−t)·log₂n = 6·4·6 with t = 0.
+        assert_eq!(p.windows_per_block(), 144);
+        assert_eq!(p.block_len(), 144 * 7);
+        assert_eq!(p.phase_len(), 13 * p.block_len());
+        assert_eq!(p.total_rounds(), p.phases() as u64 * p.phase_len());
+
+        // The jamming overhead doubles each time t halves the clean
+        // channels: F²/(F−t) is 4, 8, 16 for t = 0, 2, 3 at F = 4.
+        let t2 = MultichannelParams::for_n(64, 4, 2);
+        let t3 = MultichannelParams::for_n(64, 4, 3);
+        assert_eq!(t2.windows_per_block(), 2 * p.windows_per_block());
+        assert_eq!(t3.windows_per_block(), 4 * p.windows_per_block());
+
+        // Single channel, no jamming: the F²/(F−t) factor degenerates to 1.
+        let single = MultichannelParams::for_n(64, 1, 0);
+        assert_eq!(single.windows_per_block(), 36); // 6·log2(64)
+
+        // Paper preset is at least as conservative.
+        let paper = MultichannelParams::paper(64, 4, 2);
+        assert!(paper.rank_bits() >= t2.rank_bits());
+        assert!(paper.windows_per_block() >= t2.windows_per_block());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be < channels")]
+    fn multichannel_params_reject_full_jamming() {
+        MultichannelParams::for_n(64, 2, 2);
+    }
+
+    #[test]
+    fn multichannel_serde_roundtrip() {
+        let p = MultichannelParams::for_n(128, 4, 1);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: MultichannelParams = serde_json::from_str(&json).unwrap();
         assert_eq!(p, back);
     }
 }

@@ -15,7 +15,7 @@
 //! Scheduling is shared: the binary fans all experiments out on the global
 //! rayon pool ([`crate::run_all`]) and units fan their trial blocks out
 //! beneath that, so one work-stealing pool drains the whole job graph
-//! instead of 16 experiments each saturating it in sequence.
+//! instead of 17 experiments each saturating it in sequence.
 //!
 //! ```
 //! use mis_experiments::{Orchestrator, UnitKey};
@@ -56,7 +56,12 @@ use std::time::Instant;
 /// results without changing `SimConfig::fingerprint()` (thread-count
 /// invariance pins the fingerprint byte layout), so caches warmed under
 /// schema 1 must not replay for `loss > 0` cells.
-pub const CACHE_SCHEMA: u32 = 2;
+/// 3 — the multichannel engine rework moved fade draws onto a dedicated
+/// per-channel stream and rebuilt collision resolution per channel, which
+/// perturbs every lossy or jammed run; single-channel fault-free cells are
+/// unchanged but the schema cannot distinguish them, so everything is
+/// orphaned.
+pub const CACHE_SCHEMA: u32 = 3;
 
 /// Content address of one job unit: experiment id, human-readable cell
 /// label, and the named ingredients that fully determine the unit's result.

@@ -41,6 +41,21 @@
 //! therefore experiences the same physical fade: at `loss = 1.0` every
 //! listener hears silence, whether its neighborhood had one beeper or ten.
 //!
+//! # Multichannel rounds
+//!
+//! [`SimConfig::with_channels`] gives the network `F` orthogonal channels
+//! (Daum–Kuhn model): each awake node tunes to one channel per round via
+//! [`Action::on_channel`], collision resolution runs independently per
+//! channel, and *global channel adversaries*
+//! ([`crate::fault::ChannelAdversary`]) may render up to `t < F` channels
+//! undecodable per round — the engine caps the jam set at `F - 1`. The
+//! default `F = 1` replays the single-channel semantics byte-for-byte:
+//! channel 0 keeps the legacy fade stream, per-channel state is never
+//! allocated, and every multichannel branch is gated on cached booleans.
+//! Channels `>= 1` fade from a reserved stream keyed by
+//! `(channel, round, listener)` so adding channels never perturbs
+//! channel-0 draws. See docs/MULTICHANNEL.md for the full contract.
+//!
 //! # Crash recovery, churn, and convergence
 //!
 //! Plans with crash-*recovery* clauses ([`FaultPlan::with_recovery`],
@@ -68,8 +83,8 @@
 //! policy skips every recovery branch.
 
 use crate::energy::EnergyMeter;
-use crate::fault::{FaultKind, FaultPlan};
-use crate::metrics::{MetricsAccumulator, RoundCounters, RoundMetrics};
+use crate::fault::{ChannelAdversary, FaultKind, FaultPlan};
+use crate::metrics::{ChannelRoundMetrics, MetricsAccumulator, RoundCounters, RoundMetrics};
 use crate::model::{Action, ChannelModel, Feedback, Message, NodeStatus};
 use crate::par::{engine_pool, shard_slices};
 use crate::protocol::{NodeRng, Protocol};
@@ -169,6 +184,13 @@ pub enum EngineMode {
 pub struct SimConfig {
     /// Collision-resolution model.
     pub channel: ChannelModel,
+    /// Number of independent channels `F` (Daum–Kuhn multichannel model,
+    /// docs/MULTICHANNEL.md). Defaults to 1 — the paper's single-channel
+    /// setting, where every legacy protocol behaves byte-identically to
+    /// pre-multichannel builds. With `F > 1` each awake node picks a
+    /// channel per round ([`Action::on_channel`]) and collision resolution
+    /// runs independently per channel under the same [`ChannelModel`].
+    pub channels: u16,
     /// Hard cap on simulated rounds; a run that hits it is reported as
     /// incomplete rather than looping forever.
     pub max_rounds: u64,
@@ -207,6 +229,7 @@ impl SimConfig {
     pub fn new(channel: ChannelModel) -> SimConfig {
         SimConfig {
             channel,
+            channels: 1,
             max_rounds: 1_000_000_000,
             message_bits: None,
             seed: 0,
@@ -221,6 +244,18 @@ impl SimConfig {
     /// Sets the master seed.
     pub fn with_seed(mut self, seed: u64) -> SimConfig {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the channel count `F` (see [`SimConfig::channels`]). `F = 1`
+    /// replays the single-channel semantics exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero.
+    pub fn with_channels(mut self, channels: u16) -> SimConfig {
+        assert!(channels >= 1, "channel count must be at least 1");
+        self.channels = channels;
         self
     }
 
@@ -292,24 +327,27 @@ impl SimConfig {
     /// A stable one-line fingerprint of the full configuration, for use as
     /// a cache-key ingredient by result caches (see
     /// `mis-experiments::orchestrator`). Covers every output-determining
-    /// field of the config — channel, round cap, message budget, seed,
-    /// fault plan, metrics flag, convergence policy, and engine mode (mode
-    /// equivalence is a tested property of the engine, not an assumption a
-    /// cache should bake in). [`SimConfig::threads`] is deliberately
-    /// **excluded**: thread count is an execution strategy with
-    /// byte-identical results, so a warm cache must keep hitting when a
-    /// rerun adds `--threads`. Stable within one crate version; cache
+    /// field of the config — channel model, channel count, round cap,
+    /// message budget, seed, fault plan (including channel-jam clauses,
+    /// via the plan's `Debug`), metrics flag, convergence policy, and
+    /// engine mode (mode equivalence is a tested property of the engine,
+    /// not an assumption a cache should bake in). [`SimConfig::threads`]
+    /// is deliberately **excluded**: thread count is an execution strategy
+    /// with byte-identical results, so a warm cache must keep hitting when
+    /// a rerun adds `--threads`. Stable within one crate version; cache
     /// layers must additionally salt keys with the crate version to cover
     /// formatting drift across releases.
     pub fn fingerprint(&self) -> String {
-        // A thread-free shadow of the config, named and ordered exactly
-        // like the pre-parallelism struct so the derived `Debug` output —
-        // and with it every existing cache key — is byte-identical to
-        // what `format!("{self:?}")` produced before `threads` existed.
+        // A thread-free shadow of the config: `threads` is the one field
+        // deliberately left out. `channels` joining the shadow changed
+        // every fingerprint relative to pre-multichannel builds — which is
+        // why `CACHE_SCHEMA` was bumped alongside it (a multichannel
+        // config must never replay a cached single-channel result).
         #[derive(Debug)]
         #[allow(dead_code)] // fields are read by the derived Debug only
         struct SimConfig<'a> {
             channel: &'a ChannelModel,
+            channels: &'a u16,
             max_rounds: &'a u64,
             message_bits: &'a Option<u32>,
             seed: &'a u64,
@@ -320,6 +358,7 @@ impl SimConfig {
         }
         let shadow = SimConfig {
             channel: &self.channel,
+            channels: &self.channels,
             max_rounds: &self.max_rounds,
             message_bits: &self.message_bits,
             seed: &self.seed,
@@ -479,6 +518,19 @@ fn fade_stream(fade_seed: u64, round: u64, v: NodeId) -> NodeRng {
     NodeRng::seed_from_u64(split_seed(split_seed(fade_seed, round), v as u64))
 }
 
+/// The fade stream for a node tuned to channel `c >= 1` of a multichannel
+/// run: keyed per (channel, round, node) off the reserved
+/// `u64::MAX - 3` stream family. Channel 0 keeps the legacy
+/// [`fade_stream`] keying, so an `F = 1` run — and channel-0 listeners of
+/// an `F > 1` run — draw exactly the single-channel fade sequence
+/// (docs/MULTICHANNEL.md §RNG streams).
+fn mc_fade_stream(mc_fade_seed: u64, channel: u16, round: u64, v: NodeId) -> NodeRng {
+    NodeRng::seed_from_u64(split_seed(
+        split_seed(split_seed(mc_fade_seed, channel as u64), round),
+        v as u64,
+    ))
+}
+
 /// Drives a protocol over a graph under a [`SimConfig`].
 #[derive(Debug, Clone)]
 pub struct Simulator<'g> {
@@ -595,6 +647,40 @@ impl<'g> Simulator<'g> {
         let loss = self.config.faults.loss;
         let lossy = loss > 0.0;
         let has_jammers = !resolved.jammer_list.is_empty();
+        // Multichannel state (docs/MULTICHANNEL.md). `F = 1` keeps every
+        // flag false and every scratch vector empty: the single-channel
+        // round loop below is byte- and cost-identical to pre-multichannel
+        // builds. Channels >= 1 fade from the reserved `u64::MAX - 3`
+        // stream family; the roaming channel adversary draws from
+        // `u64::MAX - 4`, keyed per (clause, round), so a plan gaining a
+        // channel-jam clause perturbs no other stream.
+        let channels = self.config.channels;
+        let multi = channels > 1;
+        let mc_fade_seed = split_seed(self.config.seed, u64::MAX - 3);
+        let roam_seed = split_seed(self.config.seed, u64::MAX - 4);
+        let has_channel_jams = multi && resolved.has_channel_jams();
+        if has_channel_jams {
+            for clause in &resolved.channel_jams {
+                if let ChannelAdversary::Fixed(chs) = &clause.adversary {
+                    for &c in chs {
+                        assert!(
+                            c < channels,
+                            "channel-jam clause names channel {c}; config has {channels}"
+                        );
+                    }
+                }
+            }
+        }
+        let has_adaptive = has_channel_jams
+            && resolved
+                .channel_jams
+                .iter()
+                .any(|c| matches!(c.adversary, ChannelAdversary::Adaptive(_)));
+        let want_chan_metrics = multi && self.config.collect_metrics;
+        // On-air transmissions per channel, maintained for the adaptive
+        // adversary (which reacts to the previous processed round's
+        // counts) and for the per-channel metrics rows.
+        let track_chan_tx = has_adaptive || want_chan_metrics;
         let has_crashes = resolved.has_crashes();
         let has_dormancy = resolved.has_dormancy();
         let has_recovery = resolved.has_recovery();
@@ -752,6 +838,23 @@ impl<'g> Simulator<'g> {
         // write into pre-sized slices of these vectors.
         let mut tx_stamp: Vec<u64> = vec![u64::MAX; n];
         let mut tx_msg: Vec<Message> = vec![Message::unary(); n];
+        // Multichannel scratch, empty (and untouched) at F = 1: the
+        // channel each awake node tuned to this round (valid where
+        // `tx_stamp` stamps a transmitter or the node is in `listeners`),
+        // the jammed-channel mask, and the per-channel counters.
+        let mut act_chan: Vec<u16> = vec![0; if multi { n } else { 0 }];
+        let fc = channels as usize;
+        let mut jam_mask: Vec<bool> = vec![false; if has_channel_jams { fc } else { 0 }];
+        let mut chan_tx: Vec<u32> = vec![0; if track_chan_tx { fc } else { 0 }];
+        let mut chan_listen: Vec<u32> = vec![0; if want_chan_metrics { fc } else { 0 }];
+        let mut chan_coll: Vec<u32> = vec![0; if want_chan_metrics { fc } else { 0 }];
+        let mut chan_rx: Vec<u32> = vec![0; if want_chan_metrics { fc } else { 0 }];
+        let mut adaptive_order: Vec<u16> = if has_adaptive {
+            (0..channels).collect()
+        } else {
+            Vec::new()
+        };
+        let mut channel_timeline: Vec<ChannelRoundMetrics> = Vec::new();
         let mut due: Vec<NodeId> = Vec::new();
         let mut actors: Vec<NodeId> = Vec::new();
         let mut actions: Vec<Action> = Vec::new();
@@ -797,6 +900,8 @@ impl<'g> Simulator<'g> {
                                 .config
                                 .collect_metrics
                                 .then(|| std::mem::take(&mut timeline));
+                            let channel_metrics =
+                                want_chan_metrics.then(|| std::mem::take(&mut channel_timeline));
                             return self.finish_report(
                                 nodes,
                                 meters,
@@ -805,6 +910,7 @@ impl<'g> Simulator<'g> {
                                 true,
                                 message_bits,
                                 metrics,
+                                channel_metrics,
                                 Some(eff),
                                 false,
                             );
@@ -815,6 +921,8 @@ impl<'g> Simulator<'g> {
                             .config
                             .collect_metrics
                             .then(|| std::mem::take(&mut timeline));
+                        let channel_metrics =
+                            want_chan_metrics.then(|| std::mem::take(&mut channel_timeline));
                         return self.finish_report(
                             nodes,
                             meters,
@@ -823,6 +931,7 @@ impl<'g> Simulator<'g> {
                             false,
                             message_bits,
                             metrics,
+                            channel_metrics,
                             None,
                             true,
                         );
@@ -837,6 +946,8 @@ impl<'g> Simulator<'g> {
                     .then(|| std::mem::take(&mut timeline));
                 let converged_at =
                     anchored_convergence(conv_candidate, last_fault, self.config.max_rounds);
+                let channel_metrics =
+                    want_chan_metrics.then(|| std::mem::take(&mut channel_timeline));
                 return self.finish_report(
                     nodes,
                     meters,
@@ -845,6 +956,7 @@ impl<'g> Simulator<'g> {
                     false,
                     message_bits,
                     metrics,
+                    channel_metrics,
                     converged_at,
                     false,
                 );
@@ -855,6 +967,76 @@ impl<'g> Simulator<'g> {
             listeners.clear();
             transmitters.clear();
             sleep_updates.clear();
+
+            // Multichannel: resolve this round's jammed-channel set before
+            // any action is collected. The adaptive adversary reads
+            // `chan_tx`, which at this point still holds the *previous
+            // processed* round's on-air counts (reset just below); the
+            // roaming adversary draws from its per-(clause, round) stream,
+            // so skipped quiet rounds consume nothing. The total jam set
+            // is capped at F - 1 channels — the Daum–Kuhn solvability
+            // condition t < F — with clauses served in declaration order.
+            let mut jammed_now: u32 = 0;
+            if has_channel_jams {
+                for b in jam_mask.iter_mut() {
+                    *b = false;
+                }
+                let cap = u32::from(channels) - 1;
+                for (ci, clause) in resolved.channel_jams.iter().enumerate() {
+                    if !(clause.from <= round && round < clause.until) {
+                        continue;
+                    }
+                    match &clause.adversary {
+                        ChannelAdversary::Fixed(chs) => {
+                            for &c in chs {
+                                if jammed_now >= cap {
+                                    break;
+                                }
+                                if !jam_mask[c as usize] {
+                                    jam_mask[c as usize] = true;
+                                    jammed_now += 1;
+                                }
+                            }
+                        }
+                        ChannelAdversary::Roaming(t) => {
+                            let mut rng = NodeRng::seed_from_u64(split_seed(
+                                split_seed(roam_seed, ci as u64),
+                                round,
+                            ));
+                            let budget = u32::from(*t).min(cap);
+                            let mut picked = 0u32;
+                            while picked < budget && jammed_now < cap {
+                                let c = rand::Rng::gen_range(&mut rng, 0..channels) as usize;
+                                if !jam_mask[c] {
+                                    jam_mask[c] = true;
+                                    jammed_now += 1;
+                                    picked += 1;
+                                }
+                            }
+                        }
+                        ChannelAdversary::Adaptive(t) => {
+                            // Busiest channels of the previous processed
+                            // round; ties (and the first round, when every
+                            // count is zero) fall to lower channel ids.
+                            adaptive_order.sort_by_key(|&c| (Reverse(chan_tx[c as usize]), c));
+                            for &c in adaptive_order.iter().take(*t as usize) {
+                                if jammed_now >= cap {
+                                    break;
+                                }
+                                if !jam_mask[c as usize] {
+                                    jam_mask[c as usize] = true;
+                                    jammed_now += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if track_chan_tx {
+                for c in chan_tx.iter_mut() {
+                    *c = 0;
+                }
+            }
 
             // Phase 1a: drain this round's due set up front. Both
             // backends yield nodes in ascending id order within a round,
@@ -1086,7 +1268,12 @@ impl<'g> Simulator<'g> {
                             sleep_updates.push((v, wake_at));
                         }
                     }
-                    Action::Transmit(msg) => {
+                    Action::Transmit(msg) | Action::TransmitOn(msg, _) => {
+                        let chan = action.channel();
+                        assert!(
+                            chan < channels,
+                            "protocol bug: node {v} transmitted on channel {chan}; config has {channels} channel(s)"
+                        );
                         assert!(
                             msg.bit_len() <= message_bits,
                             "protocol bug: node {v} sent a {}-bit message; RADIO-CONGEST budget is {message_bits} bits",
@@ -1107,11 +1294,25 @@ impl<'g> Simulator<'g> {
                         } else {
                             tx_stamp[v] = round;
                             tx_msg[v] = msg;
+                            if multi {
+                                act_chan[v] = chan;
+                            }
+                            if track_chan_tx {
+                                chan_tx[chan as usize] += 1;
+                            }
                         }
                         transmitters.push(v);
                     }
-                    Action::Listen => {
+                    Action::Listen | Action::ListenOn(_) => {
+                        let chan = action.channel();
+                        assert!(
+                            chan < channels,
+                            "protocol bug: node {v} listened on channel {chan}; config has {channels} channel(s)"
+                        );
                         meters[v].record_listen();
+                        if multi {
+                            act_chan[v] = chan;
+                        }
                         if has_dormancy
                             && record_fault
                             && resolved.is_dormant(v, round)
@@ -1158,6 +1359,8 @@ impl<'g> Simulator<'g> {
                 let jam_from = &jam_from;
                 let jam_until = &jam_until;
                 let resolved = &resolved;
+                let act_chan = &act_chan;
+                let jam_mask = &jam_mask;
                 shard_slices(
                     &transmitters,
                     0,
@@ -1167,48 +1370,57 @@ impl<'g> Simulator<'g> {
                     par,
                     &|v: NodeId, node: &mut P, rng: &mut NodeRng, out: &mut Delivery| {
                         let mut d = Delivery::default();
+                        let my_chan = if multi { act_chan[v] } else { 0 };
                         // Sender-side collision detection (BeepingSenderCd
                         // only): a beeping node hears a beep iff some
-                        // neighbor's signal — real beep or jammer noise —
-                        // survives fading.
-                        d.feedback = if !sender_cd {
-                            Feedback::Sent
-                        } else if has_dormancy && resolved.is_dormant(v, round) {
-                            Feedback::Sent // dead radio: can't hear either
-                        } else if listener_slow {
-                            let mut fade_rng = lossy.then(|| fade_stream(fade_seed, round, v));
-                            let mut beep = false;
-                            for &u in self.graph.neighbors(v) {
-                                let real = tx_stamp[u] == round;
-                                let jam =
-                                    has_jammers && jam_from[u] <= round && round < jam_until[u];
-                                if !(real || jam) {
-                                    continue;
-                                }
-                                if let Some(fr) = fade_rng.as_mut() {
-                                    if rand::Rng::gen_bool(fr, loss) {
-                                        d.faded += 1;
+                        // neighbor's signal — real beep on its channel,
+                        // wideband jammer noise, or a globally jammed
+                        // channel — survives fading.
+                        d.feedback =
+                            if !sender_cd {
+                                Feedback::Sent
+                            } else if has_dormancy && resolved.is_dormant(v, round) {
+                                Feedback::Sent // dead radio: can't hear either
+                            } else if has_channel_jams && jam_mask[my_chan as usize] {
+                                Feedback::Beep // the adversary floods the channel
+                            } else if listener_slow {
+                                let mut fade_rng = lossy.then(|| {
+                                    if multi && my_chan != 0 {
+                                        mc_fade_stream(mc_fade_seed, my_chan, round, v)
+                                    } else {
+                                        fade_stream(fade_seed, round, v)
+                                    }
+                                });
+                                let mut beep = false;
+                                for &u in self.graph.neighbors(v) {
+                                    let real =
+                                        tx_stamp[u] == round && (!multi || act_chan[u] == my_chan);
+                                    let jam =
+                                        has_jammers && jam_from[u] <= round && round < jam_until[u];
+                                    if !(real || jam) {
                                         continue;
                                     }
+                                    if let Some(fr) = fade_rng.as_mut() {
+                                        if rand::Rng::gen_bool(fr, loss) {
+                                            d.faded += 1;
+                                            continue;
+                                        }
+                                    }
+                                    beep = true;
+                                    break;
                                 }
-                                beep = true;
-                                break;
-                            }
-                            if beep {
+                                if beep {
+                                    Feedback::Beep
+                                } else {
+                                    Feedback::Sent
+                                }
+                            } else if self.graph.neighbors(v).iter().any(|&u| {
+                                tx_stamp[u] == round && (!multi || act_chan[u] == my_chan)
+                            }) {
                                 Feedback::Beep
                             } else {
                                 Feedback::Sent
-                            }
-                        } else if self
-                            .graph
-                            .neighbors(v)
-                            .iter()
-                            .any(|&u| tx_stamp[u] == round)
-                        {
-                            Feedback::Beep
-                        } else {
-                            Feedback::Sent
-                        };
+                            };
                         node.feedback(round, d.feedback, rng);
                         *out = d;
                     },
@@ -1221,6 +1433,8 @@ impl<'g> Simulator<'g> {
                 let jam_from = &jam_from;
                 let jam_until = &jam_until;
                 let resolved = &resolved;
+                let act_chan = &act_chan;
+                let jam_mask = &jam_mask;
                 let channel = self.config.channel;
                 shard_slices(
                     &listeners,
@@ -1231,20 +1445,45 @@ impl<'g> Simulator<'g> {
                     par,
                     &|v: NodeId, node: &mut P, rng: &mut NodeRng, out: &mut Delivery| {
                         let mut d = Delivery::default();
+                        let my_chan = if multi { act_chan[v] } else { 0 };
                         d.feedback = if has_dormancy && resolved.is_dormant(v, round) {
                             // Dead radio: arrivals are not even scanned.
                             Feedback::Silence
+                        } else if has_channel_jams && jam_mask[my_chan as usize] {
+                            // Globally jammed channel: undecodable noise
+                            // for every listener tuned to it, before any
+                            // neighborhood physics (no fade draws are
+                            // consumed — the noise floor drowns the
+                            // channel regardless of what arrives).
+                            if want_metrics {
+                                d.collisions = 1;
+                                d.jammed = 1;
+                            }
+                            match channel {
+                                ChannelModel::Cd => Feedback::Collision,
+                                ChannelModel::NoCd => Feedback::Silence,
+                                ChannelModel::Beeping | ChannelModel::BeepingSenderCd => {
+                                    Feedback::Beep
+                                }
+                            }
                         } else if listener_slow {
                             // Slow path: full neighborhood scan with
                             // per-edge fading and jammer noise; feedback
                             // is derived from the *surviving* arrivals.
-                            let mut fade_rng = lossy.then(|| fade_stream(fade_seed, round, v));
+                            let mut fade_rng = lossy.then(|| {
+                                if multi && my_chan != 0 {
+                                    mc_fade_stream(mc_fade_seed, my_chan, round, v)
+                                } else {
+                                    fade_stream(fade_seed, round, v)
+                                }
+                            });
                             let mut pre = 0u32;
                             let mut surviving = 0u32;
                             let mut noise = false;
                             let mut heard = Message::unary();
                             for &u in self.graph.neighbors(v) {
-                                let real = tx_stamp[u] == round;
+                                let real =
+                                    tx_stamp[u] == round && (!multi || act_chan[u] == my_chan);
                                 let jam =
                                     has_jammers && jam_from[u] <= round && round < jam_until[u];
                                 if !(real || jam) {
@@ -1292,7 +1531,7 @@ impl<'g> Simulator<'g> {
                             let mut count = 0u32;
                             let mut heard = Message::unary();
                             for &u in self.graph.neighbors(v) {
-                                if tx_stamp[u] == round {
+                                if tx_stamp[u] == round && (!multi || act_chan[u] == my_chan) {
                                     count += 1;
                                     if count == 1 {
                                         heard = tx_msg[u];
@@ -1333,6 +1572,11 @@ impl<'g> Simulator<'g> {
             let mut lost_receptions = 0u32;
             let mut faded_edges = 0u32;
             let mut jammed_receptions = 0u32;
+            if want_chan_metrics {
+                chan_listen.iter_mut().for_each(|c| *c = 0);
+                chan_coll.iter_mut().for_each(|c| *c = 0);
+                chan_rx.iter_mut().for_each(|c| *c = 0);
+            }
             for (i, &v) in transmitters.iter().enumerate() {
                 let d = tx_out[i];
                 faded_edges += d.faded;
@@ -1351,11 +1595,30 @@ impl<'g> Simulator<'g> {
                 lost_receptions += d.lost;
                 faded_edges += d.faded;
                 jammed_receptions += d.jammed;
+                if want_chan_metrics {
+                    let c = act_chan[v] as usize;
+                    chan_listen[c] += 1;
+                    chan_coll[c] += d.collisions;
+                    chan_rx[c] += d.receptions;
+                }
                 if record_feedback {
                     trace.record(TraceEvent::Fed {
                         round,
                         node: v,
                         feedback: d.feedback,
+                    });
+                }
+            }
+            if want_chan_metrics {
+                for c in 0..fc {
+                    channel_timeline.push(ChannelRoundMetrics {
+                        round,
+                        channel: c as u16,
+                        jammed: has_channel_jams && jam_mask[c],
+                        transmitting: chan_tx[c],
+                        listening: chan_listen[c],
+                        collisions: chan_coll[c],
+                        receptions: chan_rx[c],
                     });
                 }
             }
@@ -1420,6 +1683,7 @@ impl<'g> Simulator<'g> {
                     jammed_receptions,
                     recovered: recovered_cum,
                     joined: joined_cum,
+                    jammed_channels: jammed_now,
                 });
                 if mask.contains(EventKind::RoundMetrics) {
                     trace.record(TraceEvent::RoundEnd { metrics: m });
@@ -1450,6 +1714,8 @@ impl<'g> Simulator<'g> {
                                     .config
                                     .collect_metrics
                                     .then(|| std::mem::take(&mut timeline));
+                                let channel_metrics = want_chan_metrics
+                                    .then(|| std::mem::take(&mut channel_timeline));
                                 return self.finish_report(
                                     nodes,
                                     meters,
@@ -1458,6 +1724,7 @@ impl<'g> Simulator<'g> {
                                     true,
                                     message_bits,
                                     metrics,
+                                    channel_metrics,
                                     Some(eff),
                                     false,
                                 );
@@ -1469,6 +1736,8 @@ impl<'g> Simulator<'g> {
                                     .config
                                     .collect_metrics
                                     .then(|| std::mem::take(&mut timeline));
+                                let channel_metrics = want_chan_metrics
+                                    .then(|| std::mem::take(&mut channel_timeline));
                                 return self.finish_report(
                                     nodes,
                                     meters,
@@ -1477,6 +1746,7 @@ impl<'g> Simulator<'g> {
                                     false,
                                     message_bits,
                                     metrics,
+                                    channel_metrics,
                                     None,
                                     true,
                                 );
@@ -1489,6 +1759,7 @@ impl<'g> Simulator<'g> {
 
         let rounds = if n == 0 { 0 } else { last_round_processed + 1 };
         let metrics = self.config.collect_metrics.then_some(timeline);
+        let channel_metrics = want_chan_metrics.then_some(channel_timeline);
         let converged_at = anchored_convergence(conv_candidate, last_fault, rounds);
         self.finish_report(
             nodes,
@@ -1498,6 +1769,7 @@ impl<'g> Simulator<'g> {
             true,
             message_bits,
             metrics,
+            channel_metrics,
             converged_at,
             false,
         )
@@ -1582,6 +1854,7 @@ impl<'g> Simulator<'g> {
         completed: bool,
         message_bits: u32,
         metrics: Option<Vec<RoundMetrics>>,
+        channel_metrics: Option<Vec<ChannelRoundMetrics>>,
         converged_at: Option<u64>,
         watchdog_fired: bool,
     ) -> RunReport {
@@ -1598,6 +1871,7 @@ impl<'g> Simulator<'g> {
             seed: self.config.seed,
             message_bits,
             metrics,
+            channel_metrics,
         }
     }
 }
@@ -1668,6 +1942,7 @@ mod tests {
             base.clone().with_round_metrics(),
             base.clone().with_engine_mode(EngineMode::Dense),
             base.clone().with_loss_probability(0.5),
+            base.clone().with_channels(4),
             SimConfig::new(ChannelModel::NoCd),
         ];
         for v in &variants {
@@ -1686,12 +1961,13 @@ mod tests {
             base.fingerprint(),
             base.clone().with_threads(8).fingerprint()
         );
-        // And the rendered form matches the pre-parallelism layout: no
-        // `threads` field leaks into existing cache keys.
+        // And the rendered form matches the CACHE_SCHEMA 3 layout: no
+        // `threads` field leaks into cache keys, while the channel count
+        // sits right after the channel model.
         assert!(!base.fingerprint().contains("threads"));
         assert!(base
             .fingerprint()
-            .starts_with("SimConfig { channel: Cd, max_rounds:"));
+            .starts_with("SimConfig { channel: Cd, channels: 1, max_rounds:"));
     }
 
     /// Transmits in round 0 iff `id` is even, listens otherwise; records
@@ -3212,5 +3488,290 @@ mod tests {
             assert_eq!(report.meters[0].energy(), 0, "{mode:?}");
             assert_eq!(report.metrics.unwrap().len(), 1, "{mode:?}");
         }
+    }
+
+    /// Plays a fixed per-round action script; finishes when it runs out.
+    struct Script {
+        plan: Vec<Action>,
+        fed: usize,
+    }
+
+    impl Protocol for Script {
+        fn act(&mut self, round: u64, _rng: &mut NodeRng) -> Action {
+            self.plan[round as usize]
+        }
+        fn feedback(&mut self, _round: u64, _fb: Feedback, _rng: &mut NodeRng) {
+            self.fed += 1;
+        }
+        fn status(&self) -> NodeStatus {
+            NodeStatus::OutMis
+        }
+        fn finished(&self) -> bool {
+            self.fed == self.plan.len()
+        }
+    }
+
+    /// Runs per-node scripts and returns each node's feedback, in round
+    /// order, harvested from the trace stream.
+    fn script_run(
+        g: &Graph,
+        config: SimConfig,
+        plan: impl Fn(NodeId) -> Vec<Action>,
+    ) -> (RunReport, Vec<Vec<Feedback>>) {
+        let mut trace = crate::trace::VecTrace::new();
+        let report = Simulator::new(g, config).run_traced(
+            |v, _| Script {
+                plan: plan(v),
+                fed: 0,
+            },
+            &mut trace,
+        );
+        let mut observed: Vec<Vec<Feedback>> = vec![Vec::new(); g.len()];
+        for e in &trace.events {
+            if let TraceEvent::Fed { node, feedback, .. } = e {
+                observed[*node].push(*feedback);
+            }
+        }
+        (report, observed)
+    }
+
+    #[test]
+    fn channels_partition_the_spectrum() {
+        // Star: both leaves transmit simultaneously, but on different
+        // channels — the hub hears whichever channel it tunes to, with no
+        // collision. The same scripts at F = 1 (every `on_channel` call
+        // collapsed to 0) collide as before.
+        let g = generators::star(3);
+        let plan = |v: NodeId| match v {
+            0 => vec![Action::Listen.on_channel(1)],
+            1 => vec![Action::Transmit(Message::unary()).on_channel(1)],
+            _ => vec![Action::Transmit(Message::unary())],
+        };
+        let config = SimConfig::new(ChannelModel::Cd).with_channels(2);
+        let (report, obs) = script_run(&g, config, plan);
+        assert!(report.completed);
+        assert_eq!(obs[0], vec![Feedback::Heard(Message::unary())]);
+        assert_eq!(obs[1], vec![Feedback::Sent]);
+
+        let flat = |v: NodeId| match v {
+            0 => vec![Action::Listen],
+            _ => vec![Action::Transmit(Message::unary())],
+        };
+        let (_, obs) = script_run(&g, SimConfig::new(ChannelModel::Cd), flat);
+        assert_eq!(obs[0], vec![Feedback::Collision]);
+    }
+
+    #[test]
+    fn channel_zero_scripts_match_single_channel_runs_exactly() {
+        // A lossy run whose nodes never leave channel 0 must be
+        // byte-identical at F = 2 and F = 1: channel 0 keeps the legacy
+        // fade stream, and no multichannel branch may perturb anything.
+        let g = generators::clique(5);
+        let base = SimConfig::new(ChannelModel::NoCd)
+            .with_seed(11)
+            .with_loss_probability(0.4)
+            .with_round_metrics();
+        let plan = |v: NodeId| {
+            if v % 2 == 0 {
+                vec![Action::Transmit(Message::unary()).on_channel(0); 3]
+            } else {
+                vec![Action::Listen.on_channel(0); 3]
+            }
+        };
+        let (single, obs_single) = script_run(&g, base.clone(), plan);
+        let (dual, obs_dual) = script_run(&g, base.with_channels(2), plan);
+        assert_eq!(obs_single, obs_dual);
+        assert_eq!(single.meters, dual.meters);
+        assert_eq!(single.metrics, dual.metrics);
+        // The only allowed difference: F > 1 with metrics grows the
+        // per-channel timeline (absent at F = 1 by the compat contract).
+        assert!(single.channel_metrics.is_none());
+        assert_eq!(dual.channel_metrics.as_ref().unwrap().len(), 3 * 2);
+    }
+
+    #[test]
+    fn fixed_channel_jam_feedback_matches_the_channel_model() {
+        // Channel 1 is flooded: a listener tuned to it hears the model's
+        // worst case (collision / silence / beep), while the hub's
+        // channel-0 broadcast reaches the leaf tuned to channel 0.
+        let g = generators::star(3);
+        let plan = |v: NodeId| match v {
+            0 => vec![Action::Transmit(Message::unary()).on_channel(0)],
+            1 => vec![Action::Listen.on_channel(1)],
+            _ => vec![Action::Listen.on_channel(0)],
+        };
+        for (model, expect) in [
+            (ChannelModel::Cd, Feedback::Collision),
+            (ChannelModel::NoCd, Feedback::Silence),
+            (ChannelModel::Beeping, Feedback::Beep),
+        ] {
+            let config = SimConfig::new(model)
+                .with_channels(2)
+                .with_faults(FaultPlan::none().with_fixed_channel_jam(vec![1]));
+            let (_, obs) = script_run(&g, config, plan);
+            assert_eq!(obs[1], vec![expect], "{model:?}");
+            let clear = match model {
+                ChannelModel::Cd | ChannelModel::NoCd => Feedback::Heard(Message::unary()),
+                _ => Feedback::Beep,
+            };
+            assert_eq!(obs[2], vec![clear], "{model:?}");
+        }
+    }
+
+    #[test]
+    fn sender_cd_hears_the_jammed_channel() {
+        // BeepingSenderCd: a lone beeper on a jammed channel hears the
+        // adversary's noise floor as a beep.
+        let g = generators::empty(1);
+        let config = SimConfig::new(ChannelModel::BeepingSenderCd)
+            .with_channels(2)
+            .with_faults(FaultPlan::none().with_fixed_channel_jam(vec![1]));
+        let (_, obs) = script_run(&g, config, |_| {
+            vec![Action::Transmit(Message::unary()).on_channel(1)]
+        });
+        assert_eq!(obs[0], vec![Feedback::Beep]);
+    }
+
+    #[test]
+    fn jam_set_is_capped_below_the_channel_count() {
+        // The adversary asks for both channels of an F = 2 config; the
+        // Daum–Kuhn cap (t < F) grants only the first, so channel 1 still
+        // delivers.
+        let g = generators::path(2);
+        let config = SimConfig::new(ChannelModel::Cd)
+            .with_channels(2)
+            .with_round_metrics()
+            .with_faults(FaultPlan::none().with_fixed_channel_jam(vec![0, 1]));
+        let plan = |v: NodeId| match v {
+            0 => vec![Action::Transmit(Message::unary()).on_channel(1)],
+            _ => vec![Action::Listen.on_channel(1)],
+        };
+        let (report, obs) = script_run(&g, config, plan);
+        assert_eq!(obs[1], vec![Feedback::Heard(Message::unary())]);
+        assert_eq!(report.metrics.unwrap()[0].jammed_channels, 1);
+    }
+
+    #[test]
+    fn adaptive_jammer_follows_the_busiest_channel() {
+        // Round 0: no history, ties fall to channel 0 — the channel-1
+        // transmission goes through. Round 1: channel 1 was the busiest,
+        // so the adversary moves there and the same transmission collides.
+        let g = generators::path(2);
+        let config = SimConfig::new(ChannelModel::Cd)
+            .with_channels(2)
+            .with_faults(FaultPlan::none().with_adaptive_channel_jam(1));
+        let plan = |v: NodeId| match v {
+            0 => vec![Action::Transmit(Message::unary()).on_channel(1); 2],
+            _ => vec![Action::Listen.on_channel(1); 2],
+        };
+        let (_, obs) = script_run(&g, config, plan);
+        assert_eq!(
+            obs[1],
+            vec![Feedback::Heard(Message::unary()), Feedback::Collision]
+        );
+    }
+
+    #[test]
+    fn roaming_jammer_is_seed_deterministic() {
+        let g = generators::clique(4);
+        let config = SimConfig::new(ChannelModel::NoCd)
+            .with_seed(23)
+            .with_channels(4)
+            .with_round_metrics()
+            .with_faults(FaultPlan::none().with_roaming_channel_jam(2));
+        let plan = |v: NodeId| {
+            let c = (v % 4) as u16;
+            vec![Action::Transmit(Message::unary()).on_channel(c); 4]
+        };
+        let (a, _) = script_run(&g, config.clone(), plan);
+        let (b, _) = script_run(&g, config, plan);
+        assert_eq!(a, b);
+        for m in a.metrics.unwrap() {
+            assert_eq!(m.jammed_channels, 2);
+        }
+    }
+
+    #[test]
+    fn channel_metrics_attribute_activity_per_channel() {
+        // One round on a star: both leaves collide on channel 0 while the
+        // jammed channel 1 sits empty.
+        let g = generators::star(3);
+        let config = SimConfig::new(ChannelModel::Cd)
+            .with_channels(2)
+            .with_round_metrics()
+            .with_faults(FaultPlan::none().with_fixed_channel_jam(vec![1]));
+        let plan = |v: NodeId| match v {
+            0 => vec![Action::Listen],
+            _ => vec![Action::Transmit(Message::unary())],
+        };
+        let (report, obs) = script_run(&g, config, plan);
+        assert_eq!(obs[0], vec![Feedback::Collision]);
+        let rows = report.channel_metrics.unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                ChannelRoundMetrics {
+                    round: 0,
+                    channel: 0,
+                    jammed: false,
+                    transmitting: 2,
+                    listening: 1,
+                    collisions: 1,
+                    receptions: 0,
+                },
+                ChannelRoundMetrics {
+                    round: 0,
+                    channel: 1,
+                    jammed: true,
+                    transmitting: 0,
+                    listening: 0,
+                    collisions: 0,
+                    receptions: 0,
+                },
+            ]
+        );
+        assert_eq!(report.metrics.unwrap()[0].jammed_channels, 1);
+    }
+
+    #[test]
+    fn multichannel_run_is_thread_count_invariant() {
+        let g = generators::clique(6);
+        let base = SimConfig::new(ChannelModel::Cd)
+            .with_seed(5)
+            .with_channels(3)
+            .with_loss_probability(0.3)
+            .with_round_metrics()
+            .with_faults(FaultPlan::none().with_roaming_channel_jam(1));
+        let plan = |v: NodeId| {
+            let c = (v % 3) as u16;
+            if v % 2 == 0 {
+                vec![Action::Transmit(Message::unary()).on_channel(c); 3]
+            } else {
+                vec![Action::Listen.on_channel(c); 3]
+            }
+        };
+        let (serial, obs_serial) = script_run(&g, base.clone().with_threads(1), plan);
+        let (par, obs_par) = script_run(&g, base.with_threads(4), plan);
+        assert_eq!(serial, par);
+        assert_eq!(obs_serial, obs_par);
+    }
+
+    #[test]
+    #[should_panic(expected = "transmitted on channel")]
+    fn out_of_range_channel_panics() {
+        let g = generators::empty(1);
+        let config = SimConfig::new(ChannelModel::Cd).with_channels(2);
+        script_run(&g, config, |_| {
+            vec![Action::Transmit(Message::unary()).on_channel(2)]
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "transmitted on channel")]
+    fn single_channel_config_rejects_channel_selection() {
+        let g = generators::empty(1);
+        script_run(&g, SimConfig::new(ChannelModel::Cd), |_| {
+            vec![Action::Transmit(Message::unary()).on_channel(1)]
+        });
     }
 }

@@ -34,7 +34,14 @@
 //! - **mid-run joins** ([`FaultPlan::with_join`]): a node that does not
 //!   exist until round `r` — it is first polled at `r` and surfaces a
 //!   [`FaultKind::Join`] event, and convergence reporting counts the join
-//!   as a fault to recover from.
+//!   as a fault to recover from;
+//! - **channel jamming** ([`FaultPlan::with_channel_jam`] and the
+//!   [`ChannelAdversary`] sugar): the Daum–Kuhn multichannel adversary —
+//!   a *global* adversary that disrupts up to `t` of the
+//!   [`SimConfig::channels`](crate::SimConfig::channels) `F` channels per
+//!   round (docs/MULTICHANNEL.md). Unlike node jammers (which are wideband
+//!   and local to a neighborhood), a jammed channel is dead everywhere:
+//!   every listener on it hears noise, whatever its neighborhood does.
 //!
 //! All randomness (random crash picks, jammer picks, wake windows, dormancy
 //! windows, recovery rounds, churn processes) is drawn from a dedicated
@@ -46,8 +53,10 @@
 //! support existed. Same seed + same plan ⇒ bit-identical run.
 //!
 //! The reserved stream indices (`u64::MAX - 2` here, `u64::MAX - 1` for
-//! the per-(node, round) channel-fade family, `0..n` for protocol
-//! streams) and the older-clauses-draw-first order are part of the
+//! the per-(node, round) channel-fade family, `u64::MAX - 3` for the
+//! per-(channel, node, round) fades of multichannel runs, `u64::MAX - 4`
+//! for the roaming channel adversary's per-round picks, `0..n` for
+//! protocol streams) and the older-clauses-draw-first order are part of the
 //! engine's determinism contract: plan resolution happens once, at run
 //! start, *before* any intra-round parallelism, so fault draws are
 //! identical at every [`SimConfig::with_threads`](crate::SimConfig::with_threads)
@@ -166,6 +175,49 @@ pub struct Join {
     pub round: u64,
 }
 
+/// How a global channel adversary picks the channels it disrupts each
+/// round (docs/MULTICHANNEL.md). All variants respect a per-round budget
+/// `t`; solvability requires `t <` the configured channel count `F`, which
+/// the engine enforces by capping the jam set at `F - 1` channels.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChannelAdversary {
+    /// Jams the same channels every round of the clause's window.
+    Fixed(Vec<u16>),
+    /// Jams `t` distinct channels redrawn every round from the dedicated
+    /// roaming stream `split_seed(seed, u64::MAX - 4)`, sub-keyed per
+    /// (clause index, round) — an *oblivious* adversary.
+    Roaming(u16),
+    /// Jams the `t` channels that carried the most transmissions in the
+    /// previous processed round (ties broken toward lower channel ids;
+    /// round 0 jams the lowest ids) — the strongest adversary the
+    /// Daum–Kuhn model allows short of full adaptivity, since it reacts
+    /// to observable traffic with one round of lag.
+    Adaptive(u16),
+}
+
+impl ChannelAdversary {
+    /// The per-round jamming budget: how many channels this adversary can
+    /// disrupt at once.
+    pub fn budget(&self) -> u16 {
+        match self {
+            ChannelAdversary::Fixed(chs) => chs.len().min(u16::MAX as usize) as u16,
+            ChannelAdversary::Roaming(t) | ChannelAdversary::Adaptive(t) => *t,
+        }
+    }
+}
+
+/// A global channel-jamming clause: `adversary` disrupts channels on every
+/// round in `[from, until)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelJam {
+    /// Which channels get jammed each round.
+    pub adversary: ChannelAdversary,
+    /// First jammed round.
+    pub from: u64,
+    /// Exclusive end of the window (`u64::MAX` = jams forever).
+    pub until: u64,
+}
+
 /// When nodes first wake up. Generalizes
 /// [`Simulator::with_wake_offsets`](crate::Simulator::with_wake_offsets)
 /// (which, when set, takes precedence over the plan's `WakePlan`).
@@ -238,6 +290,11 @@ pub struct FaultPlan {
     /// Mid-run joins.
     #[serde(default)]
     pub joins: Vec<Join>,
+    /// Global channel-jamming clauses. The engine caps the per-round jam
+    /// set at `F - 1` channels (the Daum–Kuhn solvability condition
+    /// `t < F`), which makes these clauses inert at `F = 1`.
+    #[serde(default)]
+    pub channel_jams: Vec<ChannelJam>,
 }
 
 impl Default for FaultPlan {
@@ -261,6 +318,7 @@ impl FaultPlan {
             recover_by: None,
             churn: None,
             joins: Vec::new(),
+            channel_jams: Vec::new(),
         }
     }
 
@@ -277,6 +335,7 @@ impl FaultPlan {
             && self.recoveries.is_empty()
             && self.churn.is_none()
             && self.joins.is_empty()
+            && self.channel_jams.is_empty()
         // `recover_by` alone modifies crash clauses; with none configured it
         // injects nothing and keeps the plan inert.
     }
@@ -409,6 +468,59 @@ impl FaultPlan {
         assert!(round > 0, "a join at round 0 is not a join");
         self.joins.push(Join { node, round });
         self
+    }
+
+    /// Adds a global channel-jamming clause: `adversary` disrupts channels
+    /// on every round in `[from, until)` (see [`ChannelAdversary`] for the
+    /// selection rules and docs/MULTICHANNEL.md for the model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty or the adversary's budget is 0.
+    pub fn with_channel_jam(
+        mut self,
+        adversary: ChannelAdversary,
+        from: u64,
+        until: u64,
+    ) -> FaultPlan {
+        assert!(
+            from < until,
+            "channel-jam window [{from}, {until}) is empty"
+        );
+        assert!(adversary.budget() > 0, "channel adversary with budget 0");
+        self.channel_jams.push(ChannelJam {
+            adversary,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Jams the given channels on every round of the run.
+    pub fn with_fixed_channel_jam(self, channels: Vec<u16>) -> FaultPlan {
+        self.with_channel_jam(ChannelAdversary::Fixed(channels), 0, u64::MAX)
+    }
+
+    /// Jams `t` seeded-random channels, redrawn every round of the run.
+    pub fn with_roaming_channel_jam(self, t: u16) -> FaultPlan {
+        self.with_channel_jam(ChannelAdversary::Roaming(t), 0, u64::MAX)
+    }
+
+    /// Jams the `t` busiest channels of the previous round, every round of
+    /// the run.
+    pub fn with_adaptive_channel_jam(self, t: u16) -> FaultPlan {
+        self.with_channel_jam(ChannelAdversary::Adaptive(t), 0, u64::MAX)
+    }
+
+    /// The largest per-round channel-jamming budget across all clauses
+    /// (0 when the plan has none). Protocols use this to size their
+    /// resilience parameter `t`.
+    pub fn max_jammed_channels(&self) -> u16 {
+        self.channel_jams
+            .iter()
+            .map(|c| c.adversary.budget())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Resolves the plan against a concrete node count and master seed:
@@ -622,9 +734,13 @@ impl FaultPlan {
         };
 
         // Last fault round: the latest round at which any injected fault
-        // can still perturb the run. Continuous clauses (loss, jammers)
-        // never end.
-        let last_fault_round = if self.loss > 0.0 || !jammer_list.is_empty() {
+        // can still perturb the run. Continuous clauses (loss, jammers,
+        // unbounded channel jams) never end. Channel-jam clauses draw
+        // NOTHING here: their per-round picks come from dedicated streams
+        // at simulation time, so adding one never perturbs the draws above.
+        let endless_channel_jam = self.channel_jams.iter().any(|c| c.until == u64::MAX);
+        let last_fault_round = if self.loss > 0.0 || !jammer_list.is_empty() || endless_channel_jam
+        {
             u64::MAX
         } else {
             let mut last = 0u64;
@@ -651,6 +767,9 @@ impl FaultPlan {
                     last = last.max(o);
                 }
             }
+            for c in &self.channel_jams {
+                last = last.max(c.until.saturating_sub(1));
+            }
             last
         };
 
@@ -663,6 +782,7 @@ impl FaultPlan {
             dormant_len,
             down_windows,
             join_round,
+            channel_jams: self.channel_jams.clone(),
             last_fault_round,
         }
     }
@@ -696,6 +816,9 @@ pub(crate) struct ResolvedFaults {
     /// Per-node join round (0 = present from the start). Empty when the
     /// plan has no joins.
     pub join_round: Vec<u64>,
+    /// The plan's channel-jamming clauses, verbatim (their per-round picks
+    /// are resolved at simulation time, not here). Empty when absent.
+    pub channel_jams: Vec<ChannelJam>,
     /// Latest round at which any injected fault can still perturb the run
     /// (`u64::MAX` for never-ending clauses: loss, jammers). Convergence
     /// reporting only trusts correctness observed *after* this round.
@@ -714,8 +837,14 @@ impl ResolvedFaults {
             dormant_len: 0,
             down_windows: Vec::new(),
             join_round: Vec::new(),
+            channel_jams: Vec::new(),
             last_fault_round: 0,
         }
+    }
+
+    /// Whether any channel-jamming clause exists.
+    pub fn has_channel_jams(&self) -> bool {
+        !self.channel_jams.is_empty()
     }
 
     /// Whether any node ever crashes (permanently).
@@ -1114,5 +1243,82 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn recovery_node_validated() {
         let _ = FaultPlan::none().with_recovery(9, 0, 4).resolve(4, 0);
+    }
+
+    #[test]
+    fn channel_jams_deactivate_inertness_and_report_budget() {
+        let plan = FaultPlan::none().with_fixed_channel_jam(vec![0, 2]);
+        assert!(!plan.is_inert());
+        assert_eq!(plan.max_jammed_channels(), 2);
+        assert_eq!(FaultPlan::none().max_jammed_channels(), 0);
+        assert_eq!(
+            FaultPlan::none()
+                .with_roaming_channel_jam(1)
+                .with_adaptive_channel_jam(3)
+                .max_jammed_channels(),
+            3
+        );
+    }
+
+    #[test]
+    fn channel_jams_serde_roundtrip_and_pre_pr8_compat() {
+        let plan = FaultPlan::none()
+            .with_channel_jam(ChannelAdversary::Roaming(2), 5, 50)
+            .with_adaptive_channel_jam(1);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+        // Plans serialized before multichannel support lack the field.
+        let json = r#"{"loss":0.5,"crashes":[],"random_crashes":null,
+            "jammers":[],"random_jammers":0,"wake":"Synchronous",
+            "dormancy":null}"#;
+        let plan: FaultPlan = serde_json::from_str(json).unwrap();
+        assert!(plan.channel_jams.is_empty());
+    }
+
+    #[test]
+    fn channel_jams_draw_nothing_at_resolve() {
+        // Channel-jam picks come from dedicated per-round streams at
+        // simulation time; adding a clause must be a zero-perturbation
+        // change to every draw the fault stream makes at resolve time.
+        let base = FaultPlan::none()
+            .with_random_crashes(3, 20)
+            .with_random_jammers(2)
+            .with_wake_window(16)
+            .with_dormancy(0.5, 30, 5)
+            .with_churn(0.05, 40, DownTime::Fixed(3));
+        let with = base.clone().with_roaming_channel_jam(2).resolve(32, 42);
+        let without = base.resolve(32, 42);
+        assert_eq!(with.wake_offsets, without.wake_offsets);
+        assert_eq!(with.jammer_list, without.jammer_list);
+        assert_eq!(with.crash_round, without.crash_round);
+        assert_eq!(with.dormant_from, without.dormant_from);
+        assert_eq!(with.down_windows, without.down_windows);
+        assert!(with.has_channel_jams());
+        assert!(!without.has_channel_jams());
+    }
+
+    #[test]
+    fn channel_jam_windows_feed_last_fault_round() {
+        // Unbounded clause: continuous.
+        let r = FaultPlan::none().with_adaptive_channel_jam(1).resolve(4, 0);
+        assert_eq!(r.last_fault_round, u64::MAX);
+        // Bounded clause: ends at `until - 1`.
+        let r = FaultPlan::none()
+            .with_channel_jam(ChannelAdversary::Fixed(vec![1]), 3, 20)
+            .resolve(4, 0);
+        assert_eq!(r.last_fault_round, 19);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget 0")]
+    fn channel_jam_budget_validated() {
+        let _ = FaultPlan::none().with_roaming_channel_jam(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "is empty")]
+    fn channel_jam_window_validated() {
+        let _ = FaultPlan::none().with_channel_jam(ChannelAdversary::Roaming(1), 5, 5);
     }
 }

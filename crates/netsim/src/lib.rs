@@ -47,7 +47,10 @@
 //! (applied *before* channel resolution, so every channel model fades the
 //! same way), crash-stop faults, adversarial jammers, staggered wake-up
 //! windows, and radio-dormancy windows — all resolved deterministically
-//! from the run's master seed. Faulty nodes are reported in
+//! from the run's master seed. Multichannel runs
+//! ([`SimConfig::with_channels`]) add *global channel adversaries*
+//! ([`ChannelAdversary`]) that jam up to `t < F` of the `F` channels per
+//! round (docs/MULTICHANNEL.md). Faulty nodes are reported in
 //! [`RunReport::faulty`] and exempted from MIS verification; fault activity
 //! is observable per round via the [`RoundMetrics`] fault counters and the
 //! [`EventKind::Fault`] trace event. An inert plan (the default) costs the
@@ -115,10 +118,10 @@ pub mod trace;
 pub use energy::EnergyMeter;
 pub use engine::{ConvergencePolicy, EngineMode, SimConfig, Simulator};
 pub use fault::{
-    Churn, Crash, Dormancy, DownTime, FaultKind, FaultPlan, Join, RandomCrashes, RecoveryWindow,
-    WakePlan,
+    ChannelAdversary, ChannelJam, Churn, Crash, Dormancy, DownTime, FaultKind, FaultPlan, Join,
+    RandomCrashes, RecoveryWindow, WakePlan,
 };
-pub use metrics::RoundMetrics;
+pub use metrics::{ChannelRoundMetrics, RoundMetrics};
 pub use model::{Action, ChannelModel, Feedback, Message, NodeStatus};
 pub use protocol::{NodeRng, Protocol};
 pub use report::RunReport;

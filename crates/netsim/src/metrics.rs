@@ -120,6 +120,11 @@ pub struct RoundMetrics {
     /// (cumulative).
     #[serde(default)]
     pub joined: u32,
+    /// Channels disrupted by a global channel adversary this round
+    /// ([`FaultPlan::with_channel_jam`](crate::FaultPlan::with_channel_jam);
+    /// docs/MULTICHANNEL.md). Always zero on single-channel runs.
+    #[serde(default)]
+    pub jammed_channels: u32,
     /// Nodes whose earlier decision has been revoked (by a self-healing
     /// wrapper or a down window) and who have not re-decided yet — the
     /// population currently under repair. Not cumulative.
@@ -159,6 +164,35 @@ impl RoundMetrics {
     }
 }
 
+/// Per-channel counters for one processed round of a multichannel run
+/// (docs/MULTICHANNEL.md). Collected into
+/// [`RunReport::channel_metrics`](crate::RunReport::channel_metrics) only
+/// when [`SimConfig::with_round_metrics`](crate::SimConfig::with_round_metrics)
+/// is on **and** [`SimConfig::channels`](crate::SimConfig::channels) `> 1`:
+/// single-channel reports never carry the field, keeping their JSON
+/// byte-identical to pre-multichannel output. One record per (processed
+/// round, channel) pair, channels ascending within a round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelRoundMetrics {
+    /// The round this record describes.
+    pub round: u64,
+    /// The channel this record describes (`0..F`).
+    pub channel: u16,
+    /// Whether a global channel adversary disrupted this channel this
+    /// round.
+    pub jammed: bool,
+    /// On-air transmissions on this channel (dormant radios excluded).
+    pub transmitting: u32,
+    /// Listeners tuned to this channel.
+    pub listening: u32,
+    /// Listeners on this channel whose post-fade reception was undecodable
+    /// (≥ 2 surviving arrivals, surviving wideband jammer noise, or the
+    /// channel itself jammed).
+    pub collisions: u32,
+    /// Listeners on this channel that successfully decoded a message.
+    pub receptions: u32,
+}
+
 /// One round's raw counters, handed to the accumulator when the round
 /// closes. Groups what used to be a long positional argument list.
 #[derive(Debug, Clone, Copy, Default)]
@@ -191,6 +225,8 @@ pub(crate) struct RoundCounters {
     pub recovered: u32,
     /// Mid-run joins through the end of the round (cumulative).
     pub joined: u32,
+    /// Channels disrupted by a global channel adversary this round.
+    pub jammed_channels: u32,
 }
 
 /// Running cumulative state the engine threads across rounds while
@@ -233,6 +269,7 @@ impl MetricsAccumulator {
             jammed_receptions: c.jammed_receptions,
             recovered: c.recovered,
             joined: c.joined,
+            jammed_channels: c.jammed_channels,
             repairing: self.repairing,
             joined_mis: self.joined_mis,
             decided: self.decided,
@@ -336,6 +373,7 @@ mod tests {
             jammed_receptions: 1,
             recovered: 2,
             joined: 1,
+            jammed_channels: 1,
             repairing: 1,
             joined_mis: 2,
             decided: 4,
@@ -360,6 +398,7 @@ mod tests {
         assert_eq!(m.recovered, 0);
         assert_eq!(m.joined, 0);
         assert_eq!(m.repairing, 0);
+        assert_eq!(m.jammed_channels, 0);
         assert_eq!(m.node_count(), 2);
     }
 

@@ -95,6 +95,15 @@ pub enum Action {
     Transmit(Message),
     /// Listen this round (awake; costs 1 energy).
     Listen,
+    /// Transmit a message on a specific channel (awake; costs 1 energy).
+    /// Channel indices are `0..F` where `F` is
+    /// [`crate::SimConfig::channels`]; selecting a channel `>= F` is a
+    /// protocol bug the engine panics on. `Transmit(m)` is equivalent to
+    /// `TransmitOn(m, 0)`.
+    TransmitOn(Message, u16),
+    /// Listen on a specific channel (awake; costs 1 energy). `Listen` is
+    /// equivalent to `ListenOn(0)`.
+    ListenOn(u16),
 }
 
 impl Action {
@@ -107,6 +116,29 @@ impl Action {
     /// Whether this action costs energy.
     pub fn is_awake(&self) -> bool {
         !matches!(self, Action::Sleep { .. })
+    }
+
+    /// Retargets an awake action onto channel `c` (sleeps pass through).
+    /// Channel 0 normalizes back to the legacy single-channel variants, so
+    /// `a.on_channel(0) == a` for canonical actions — single-channel
+    /// protocols and their traces are unaffected by the multichannel API.
+    pub fn on_channel(self, c: u16) -> Action {
+        match (self, c) {
+            (Action::Transmit(m) | Action::TransmitOn(m, _), 0) => Action::Transmit(m),
+            (Action::Transmit(m) | Action::TransmitOn(m, _), c) => Action::TransmitOn(m, c),
+            (Action::Listen | Action::ListenOn(_), 0) => Action::Listen,
+            (Action::Listen | Action::ListenOn(_), c) => Action::ListenOn(c),
+            (sleep, _) => sleep,
+        }
+    }
+
+    /// The channel an awake action uses (0 for the legacy variants and for
+    /// sleeps, which use no channel at all).
+    pub fn channel(&self) -> u16 {
+        match self {
+            Action::TransmitOn(_, c) | Action::ListenOn(c) => *c,
+            _ => 0,
+        }
     }
 }
 
@@ -184,6 +216,33 @@ mod tests {
         assert!(Action::Listen.is_awake());
         assert!(Action::Transmit(Message::unary()).is_awake());
         assert!(!Action::Sleep { wake_at: 5 }.is_awake());
+        assert!(Action::ListenOn(3).is_awake());
+        assert!(Action::TransmitOn(Message::unary(), 3).is_awake());
+    }
+
+    #[test]
+    fn action_channels() {
+        let m = Message::unary();
+        // Channel 0 normalizes to the legacy variants.
+        assert_eq!(Action::Transmit(m).on_channel(0), Action::Transmit(m));
+        assert_eq!(Action::TransmitOn(m, 2).on_channel(0), Action::Transmit(m));
+        assert_eq!(Action::Listen.on_channel(0), Action::Listen);
+        assert_eq!(Action::ListenOn(7).on_channel(0), Action::Listen);
+        // Nonzero channels use the *On variants.
+        assert_eq!(Action::Transmit(m).on_channel(2), Action::TransmitOn(m, 2));
+        assert_eq!(Action::Listen.on_channel(5), Action::ListenOn(5));
+        assert_eq!(Action::ListenOn(1).on_channel(5), Action::ListenOn(5));
+        // Sleeps pass through untouched.
+        assert_eq!(
+            Action::Sleep { wake_at: 9 }.on_channel(4),
+            Action::Sleep { wake_at: 9 }
+        );
+        // Channel accessor.
+        assert_eq!(Action::Listen.channel(), 0);
+        assert_eq!(Action::Transmit(m).channel(), 0);
+        assert_eq!(Action::ListenOn(3).channel(), 3);
+        assert_eq!(Action::TransmitOn(m, 6).channel(), 6);
+        assert_eq!(Action::Sleep { wake_at: 1 }.channel(), 0);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Run outcomes: statuses, energy ledgers, and verification helpers.
 
 use crate::energy::EnergyMeter;
-use crate::metrics::RoundMetrics;
+use crate::metrics::{ChannelRoundMetrics, RoundMetrics};
 use crate::model::{ChannelModel, NodeStatus};
 use mis_graphs::{mis, parallel, Graph, MisViolation};
 use serde::{Deserialize, Serialize};
@@ -72,6 +72,15 @@ pub struct RunReport {
     /// conventions.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub metrics: Option<Vec<RoundMetrics>>,
+    /// Per-(round, channel) metrics of a multichannel run, one record per
+    /// channel per processed round (channels ascending within a round).
+    ///
+    /// `None` unless the run collected round metrics **and** was configured
+    /// with [`SimConfig::channels`](crate::SimConfig::channels) `> 1` —
+    /// single-channel reports omit the field entirely, keeping their
+    /// stable-JSON bytes identical to pre-multichannel output.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub channel_metrics: Option<Vec<ChannelRoundMetrics>>,
 }
 
 impl RunReport {
@@ -296,6 +305,7 @@ mod tests {
             seed: 0,
             message_bits: 16,
             metrics: None,
+            channel_metrics: None,
         }
     }
 
@@ -433,5 +443,28 @@ mod tests {
         let out = serde_json::to_string(&r).unwrap();
         assert!(!out.contains("converged_at"), "{out}");
         assert!(!out.contains("watchdog_fired"), "{out}");
+        // Pre-multichannel reports likewise lack channel metrics; the
+        // field defaults to None and stays out of single-channel JSON.
+        assert_eq!(r.channel_metrics, None);
+        assert!(!out.contains("channel_metrics"), "{out}");
+    }
+
+    #[test]
+    fn channel_metrics_roundtrip_when_present() {
+        use NodeStatus::*;
+        let mut r = report(vec![InMis, OutMis], vec![2, 3]);
+        r.channel_metrics = Some(vec![ChannelRoundMetrics {
+            round: 1,
+            channel: 1,
+            jammed: true,
+            transmitting: 2,
+            listening: 1,
+            collisions: 1,
+            receptions: 0,
+        }]);
+        let json = r.to_stable_json().unwrap();
+        assert!(json.contains("channel_metrics"), "{json}");
+        let back = RunReport::from_stable_json(&json).unwrap();
+        assert_eq!(back, r);
     }
 }

@@ -6,7 +6,9 @@
 //! [`SimConfig::with_threads`] worker count (the determinism contract of
 //! `docs/PARALLEL_ENGINE.md`). This suite fuzzes both promises over a
 //! corpus of (graph × channel model × fault plan × seed × sleep-span)
-//! combinations, asserting three layers of equality per case:
+//! combinations — plus a multichannel axis (F ∈ {1, 2, 4} with
+//! channel-hopping protocols and the channel-jamming adversary corpus) —
+//! asserting three layers of equality per case:
 //!
 //! 1. the [`RunReport`]s compare equal (`PartialEq`);
 //! 2. their serialized JSON is identical byte-for-byte;
@@ -48,11 +50,24 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
 
 /// A protocol that acts randomly for a bounded number of awake rounds,
 /// napping up to `max_nap` rounds at a time — long naps are what open the
-/// quiet spans the sparse backend jumps over.
+/// quiet spans the sparse backend jumps over. On a multichannel config it
+/// also hops channels uniformly; the channel draw happens *only* when
+/// `channels > 1`, so the single-channel draw sequence is untouched.
 struct Chaotic {
     awake_left: u32,
     max_nap: u64,
+    channels: u16,
     done: bool,
+}
+
+impl Chaotic {
+    fn hop(&self, action: Action, rng: &mut NodeRng) -> Action {
+        if self.channels > 1 {
+            action.on_channel(rng.gen_range(0..self.channels))
+        } else {
+            action
+        }
+    }
 }
 
 impl Protocol for Chaotic {
@@ -67,11 +82,11 @@ impl Protocol for Chaotic {
             },
             1 => {
                 self.awake_left -= 1;
-                Action::Transmit(Message::unary())
+                self.hop(Action::Transmit(Message::unary()), rng)
             }
             _ => {
                 self.awake_left -= 1;
-                Action::Listen
+                self.hop(Action::Listen, rng)
             }
         }
     }
@@ -112,6 +127,27 @@ fn fault_corpus(pick: u8) -> FaultPlan {
     }
 }
 
+/// The channel-jamming corpus for the multichannel axis: every
+/// [`radio_netsim::ChannelAdversary`] class, alone and mixed with
+/// node-level faults. Budgets may meet or exceed `F - 1`; the engine
+/// clamps the jam set below the channel count, so the same plans are
+/// valid at every `F` (at `F = 1` they jam nothing).
+fn jam_corpus(pick: u8) -> FaultPlan {
+    match pick {
+        0 => FaultPlan::none(),
+        1 => FaultPlan::none().with_fixed_channel_jam(vec![0]),
+        2 => FaultPlan::none().with_roaming_channel_jam(1),
+        3 => FaultPlan::none().with_adaptive_channel_jam(2),
+        _ => FaultPlan::none()
+            .with_adaptive_channel_jam(1)
+            .with_loss(0.3)
+            .with_wake_window(6),
+    }
+}
+
+/// Channel counts exercised by the multichannel differential cases.
+const CHANNEL_COUNTS: [u16; 3] = [1, 2, 4];
+
 fn run_mode(
     g: &Graph,
     config: &SimConfig,
@@ -124,10 +160,12 @@ fn run_mode(
 
 fn run_config(g: &Graph, config: &SimConfig, budget: u32, max_nap: u64) -> (RunReport, Vec<u8>) {
     let mut sink = JsonlTrace::new(Vec::<u8>::new());
+    let channels = config.channels;
     let report = Simulator::new(g, config.clone()).run_traced(
         |_, _| Chaotic {
             awake_left: budget,
             max_nap,
+            channels,
             done: false,
         },
         &mut sink,
@@ -308,6 +346,46 @@ proptest! {
             .with_max_rounds(500)
             .with_round_metrics();
         assert_threads_equivalent(&g, &config, 6, max_nap)?;
+    }
+
+    /// The multichannel axis of the backend contract: for F ∈ {1, 2, 4},
+    /// with channel-hopping protocols and every channel-adversary class
+    /// (fixed, roaming, adaptive — alone and mixed with loss/stagger),
+    /// sparse and dense produce byte-identical reports and trace streams.
+    #[test]
+    fn sparse_equals_dense_across_channel_counts(
+        g in arb_graph(),
+        seed in any::<u64>(),
+        channel_pick in 0usize..4,
+        channels_pick in 0usize..3,
+        jam_pick in 0u8..5,
+        max_nap in 2u64..40,
+    ) {
+        let config = SimConfig::new(ALL_CHANNELS[channel_pick])
+            .with_seed(seed)
+            .with_channels(CHANNEL_COUNTS[channels_pick])
+            .with_faults(jam_corpus(jam_pick))
+            .with_round_metrics();
+        assert_equivalent(&g, &config, 8, max_nap)?;
+    }
+
+    /// The multichannel axis of the parallel determinism contract: thread
+    /// counts {1, 2, 8} produce byte-identical output at every channel
+    /// count and under every channel-adversary class.
+    #[test]
+    fn parallel_equals_serial_across_channel_counts(
+        g in arb_wide_graph(),
+        seed in any::<u64>(),
+        channels_pick in 0usize..3,
+        jam_pick in 0u8..5,
+        max_nap in 2u64..40,
+    ) {
+        let config = SimConfig::new(ChannelModel::Cd)
+            .with_seed(seed)
+            .with_channels(CHANNEL_COUNTS[channels_pick])
+            .with_faults(jam_corpus(jam_pick))
+            .with_round_metrics();
+        assert_threads_equivalent(&g, &config, 8, max_nap)?;
     }
 
     /// Thread-count invariance holds in both engine modes: the sparse

@@ -10,8 +10,9 @@
 
 use energy_mis::graphs::{generators, Graph};
 use energy_mis::mis::cd::CdMis;
+use energy_mis::mis::multichannel::MultichannelMis;
 use energy_mis::mis::nocd::NoCdMis;
-use energy_mis::mis::params::{CdParams, NoCdParams};
+use energy_mis::mis::params::{CdParams, MultichannelParams, NoCdParams};
 use energy_mis::mis::{RepairConfig, RepairingMis};
 use energy_mis::netsim::{
     ChannelModel, ConvergencePolicy, DownTime, EngineMode, FaultPlan, JsonlTrace, NodeRng,
@@ -110,6 +111,30 @@ proptest! {
             .with_seed(seed)
             .with_round_metrics();
         let report = assert_modes_agree(&g, &config, |_, _| CdMis::new(params));
+        prop_assert!(report.is_correct_mis(&g), "{:?}", report.verify_mis(&g));
+    }
+
+    /// The multichannel machine under the adaptive channel jammer: channel
+    /// selection, per-channel collision resolution, and the adversary's
+    /// jam-set draws must all be backend-independent — and the MIS must
+    /// still come out correct despite the jamming.
+    #[test]
+    fn multichannel_mis_under_jamming_is_mode_independent(
+        n in 4usize..16,
+        kind in 0u8..6,
+        seed in any::<u64>(),
+    ) {
+        let g = corpus_graph(kind, n, seed);
+        // Sized like the CdMis case above: an n-bound of 64 keeps the
+        // rank wide enough that identical-rank ties are negligible under
+        // random seeds.
+        let params = MultichannelParams::for_n(64, 2, 1);
+        let config = SimConfig::new(ChannelModel::Cd)
+            .with_seed(seed)
+            .with_channels(2)
+            .with_faults(FaultPlan::none().with_adaptive_channel_jam(1))
+            .with_round_metrics();
+        let report = assert_modes_agree(&g, &config, move |v, _| MultichannelMis::with_id(params, v));
         prop_assert!(report.is_correct_mis(&g), "{:?}", report.verify_mis(&g));
     }
 

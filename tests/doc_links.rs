@@ -17,6 +17,7 @@ const DOC_FILES: &[&str] = &[
     "docs/ARCHITECTURE.md",
     "docs/EXPERIMENT_PIPELINE.md",
     "docs/PARALLEL_ENGINE.md",
+    "docs/MULTICHANNEL.md",
 ];
 
 /// Extracts inline-link targets from markdown source.
