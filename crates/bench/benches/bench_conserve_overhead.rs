@@ -1,0 +1,135 @@
+//! The conservation tax: `Conserve<CdMis>` vs the native machine.
+//!
+//! The combinator promises cheap energy savings (docs/CONSERVE.md): the
+//! wrapped run stretches real time by ≈ 1 + A/W and adds one advertise
+//! slot of wrapper work per attended epoch, while the engine's sparse
+//! wake queue skips the slept-through remainder. This bench pins that
+//! story in wall-clock terms — the wrapped run must stay within a small
+//! constant factor of the native run, because almost all of the extra
+//! rounds are slept rounds the engine never materializes.
+//!
+//! Two entry points:
+//! - `cargo bench --bench bench_conserve_overhead` — full criterion run
+//!   over n ∈ {10⁴, 10⁵} × W ∈ {4, 16, 64} plus the native leg;
+//! - `ENGINE_BENCH_SMOKE=1 cargo bench --bench bench_conserve_overhead`
+//!   — a quick wrapped/native wall-clock ratio check at n = 10⁴ that
+//!   fails (exit 1) if any ratio exceeds 1.25 × its committed
+//!   `conserve_overhead` ceiling in `BENCH_engine.json`: the CI gate.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use mis_bench::workload;
+use mis_graphs::Graph;
+use radio_mis::cd::CdMis;
+use radio_mis::conserve::{Conserve, ConserveConfig};
+use radio_mis::params::CdParams;
+use radio_netsim::{ChannelModel, SimConfig, Simulator};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+fn run_native(g: &Graph) -> u64 {
+    let params = CdParams::for_n(g.len().max(2));
+    let config = SimConfig::new(ChannelModel::Cd).with_seed(1);
+    let report = Simulator::new(g, config).run(|_, _| CdMis::new(params));
+    assert!(report.completed, "native CdMis must finish");
+    report.rounds
+}
+
+fn run_conserved(g: &Graph, slice: u64) -> u64 {
+    let params = CdParams::for_n(g.len().max(2));
+    let cfg = ConserveConfig::for_cd(slice);
+    let config = SimConfig::new(ChannelModel::Cd).with_seed(1);
+    let report = Simulator::new(g, config).run(move |_, _| Conserve::new(CdMis::new(params), cfg));
+    assert!(report.completed, "conserved CdMis must finish");
+    report.rounds
+}
+
+fn bench(c: &mut Criterion) {
+    for &n in &[10_000usize, 100_000] {
+        let g = workload(n, 42);
+        let mut group = c.benchmark_group(format!("conserve_overhead/n={n}"));
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("cd", "native"), &g, |b, g| {
+            b.iter(|| run_native(g))
+        });
+        for slice in [4u64, 16, 64] {
+            group.bench_with_input(BenchmarkId::new("cd", format!("W={slice}")), &g, |b, g| {
+                b.iter(|| run_conserved(g, slice))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+
+/// Best-of-3 wall-clock time for one closure.
+fn measure<F: FnMut()>(mut f: F) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..3 {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+/// Loads the committed overhead ceilings
+/// (`{"conserve_overhead": {"wrap/10000/W=4": …}}`).
+fn load_baseline() -> HashMap<String, f64> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let v: serde_json::Value = serde_json::from_str(&text).expect("baseline must parse");
+    v["conserve_overhead"]
+        .as_object()
+        .expect("baseline needs a \"conserve_overhead\" table")
+        .iter()
+        .map(|(k, val)| (k.clone(), val.as_f64().expect("ceiling must be numeric")))
+        .collect()
+}
+
+/// The CI regression gate: measured wrapped/native wall ratios must stay
+/// below 1.25 × their committed ceilings (both legs run on the same host,
+/// so the quotient cancels clock speed). Like `multichannel_tax`, the rows
+/// are conservative ceilings bounding from above, not observed values.
+fn smoke() {
+    let baseline = load_baseline();
+    let n = 10_000;
+    let g = workload(n, 42);
+    let mut failed = false;
+    let mut gate = |key: String, ratio: f64| {
+        let ceiling = baseline.get(&key).map_or(8.0, |&b| 1.25 * b);
+        println!("{key}: ratio {ratio:.2}x (ceiling {ceiling:.2}x)");
+        if ratio > ceiling {
+            eprintln!("REGRESSION: {key} ratio {ratio:.2}x above ceiling {ceiling:.2}x");
+            failed = true;
+        }
+    };
+
+    let native = measure(|| {
+        run_native(&g);
+    });
+    for slice in [4u64, 16] {
+        let wrapped = measure(|| {
+            run_conserved(&g, slice);
+        });
+        gate(
+            format!("wrap/{n}/W={slice}"),
+            wrapped.as_secs_f64() / native.as_secs_f64().max(1e-9),
+        );
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!("conserve smoke: all ratios below their ceilings");
+}
+
+fn main() {
+    if std::env::var_os("ENGINE_BENCH_SMOKE").is_some() {
+        smoke();
+        return;
+    }
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

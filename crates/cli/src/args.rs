@@ -109,6 +109,10 @@ pub struct RunOpts {
     /// Use the paper's asymptotic constants instead of the calibrated
     /// presets.
     pub paper_constants: bool,
+    /// Wrap the protocol in the generic energy-conservation combinator
+    /// (`Conserve`, docs/CONSERVE.md): the CD-class lossless preset for
+    /// CD/beeping channels, the whp advertise preset for no-CD.
+    pub conserve: bool,
     /// Emit JSON instead of a table.
     pub json: bool,
     /// Write each trial's per-round metrics as JSON Lines to this path.
@@ -135,6 +139,7 @@ impl Default for RunOpts {
             max_rounds: None,
             resume: None,
             paper_constants: false,
+            conserve: false,
             json: false,
             metrics: None,
             engine: EngineMode::default(),
@@ -167,6 +172,9 @@ pub struct TraceOpts {
     /// Use the paper's asymptotic constants instead of the calibrated
     /// presets.
     pub paper_constants: bool,
+    /// Wrap the protocol in the generic energy-conservation combinator
+    /// (`Conserve`, docs/CONSERVE.md), same preset selection as `run`.
+    pub conserve: bool,
     /// Event kinds to record (`None` = every kind).
     pub events: Option<Vec<EventKind>>,
     /// Restrict per-node events to these nodes (`None` = all nodes).
@@ -197,6 +205,7 @@ impl Default for TraceOpts {
             channels: 1,
             max_rounds: None,
             paper_constants: false,
+            conserve: false,
             events: None,
             nodes: None,
             from: None,
@@ -354,14 +363,14 @@ mis-sim — energy-efficient radio MIS simulator
 USAGE:
   mis-sim run    --algorithm <ALG> (--family <FAM> --n <N> | --graph <FILE>)
                  [--trials <T>] [--seed <S>] [--max-rounds <R>] [FAULTS]
-                 [--channels <F>] [--paper-constants] [--json]
+                 [--channels <F>] [--paper-constants] [--conserve] [--json]
                  [--metrics <FILE>] [--resume <FILE>]
                  [--engine dense|sparse] [--threads <T>]
   mis-sim trace  --algorithm <ALG> (--family <FAM> --n <N> | --graph <FILE>)
                  [--seed <S>] [--max-rounds <R>] [FAULTS] [--channels <F>]
-                 [--paper-constants] [--events <K,K,..>] [--nodes <V,V,..>]
-                 [--from <ROUND>] [--to <ROUND>] [--out <FILE>]
-                 [--engine dense|sparse] [--threads <T>]
+                 [--paper-constants] [--conserve] [--events <K,K,..>]
+                 [--nodes <V,V,..>] [--from <ROUND>] [--to <ROUND>]
+                 [--out <FILE>] [--engine dense|sparse] [--threads <T>]
   mis-sim graph  --family <FAM> --n <N> [--seed <S>] [--out <FILE>]
   mis-sim verify --graph <FILE> --set <FILE>
   mis-sim solve  (--family <FAM> --n <N> | --graph <FILE>) [--seed <S>]
@@ -408,6 +417,14 @@ speed, never results. `--threads` shards each round's act and delivery
 phases across that many workers (default 1 = serial); like `--engine`,
 every thread count produces byte-identical results, so the flag only
 changes speed (see docs/PARALLEL_ENGINE.md for the determinism contract).
+
+`--conserve` wraps the chosen single-channel radio algorithm in the generic
+energy-conservation combinator (docs/CONSERVE.md): nodes sleep through most
+of each epoch and a short advertise window wakes a neighborhood only when
+someone has something to send; missed quiet rounds are replayed from the
+buffer. On CD/beeping channels the lossless preset preserves the native
+decisions exactly; on no-CD channels the whp preset is used. Not available
+for the multichannel or wired CONGEST algorithms.
 
 `solve` runs the *centralized* (global-knowledge) solvers — the priority
 MIS solver with push/pull/auto neighbor elimination, or the sequential
@@ -656,7 +673,7 @@ fn parse_channels(
 }
 
 fn parse_run(args: &[&str]) -> Result<RunOpts, String> {
-    let opts = take_options(args, &["paper-constants", "json"])?;
+    let opts = take_options(args, &["paper-constants", "json", "conserve"])?;
     for key in opts.keys() {
         if ![
             "algorithm",
@@ -667,6 +684,7 @@ fn parse_run(args: &[&str]) -> Result<RunOpts, String> {
             "seed",
             "max-rounds",
             "paper-constants",
+            "conserve",
             "json",
             "metrics",
             "resume",
@@ -703,6 +721,7 @@ fn parse_run(args: &[&str]) -> Result<RunOpts, String> {
     run.channels = channels;
     run.faults = faults;
     run.paper_constants = opts.contains_key("paper-constants");
+    run.conserve = opts.contains_key("conserve");
     run.json = opts.contains_key("json");
     run.metrics = opts.get("metrics").and_then(|v| v.map(str::to_string));
     run.resume = opts.get("resume").and_then(|v| v.map(str::to_string));
@@ -736,7 +755,7 @@ fn parse_list<T>(
 }
 
 fn parse_trace(args: &[&str]) -> Result<TraceOpts, String> {
-    let opts = take_options(args, &["paper-constants"])?;
+    let opts = take_options(args, &["paper-constants", "conserve"])?;
     for key in opts.keys() {
         if ![
             "algorithm",
@@ -746,6 +765,7 @@ fn parse_trace(args: &[&str]) -> Result<TraceOpts, String> {
             "seed",
             "max-rounds",
             "paper-constants",
+            "conserve",
             "events",
             "nodes",
             "from",
@@ -781,6 +801,7 @@ fn parse_trace(args: &[&str]) -> Result<TraceOpts, String> {
     trace.channels = channels;
     trace.faults = faults;
     trace.paper_constants = opts.contains_key("paper-constants");
+    trace.conserve = opts.contains_key("conserve");
     if let Some(Some(v)) = opts.get("events") {
         trace.events = Some(parse_list(v, "events", EventKind::parse)?);
     }
@@ -1141,6 +1162,30 @@ mod tests {
             .collect();
         let err = parse(&args).unwrap_err();
         assert!(err.contains("unknown engine"), "{err:?}");
+    }
+
+    #[test]
+    fn parses_conserve_flag_and_defaults_off() {
+        let cli = parse_ok("run --algorithm cd --family star --n 16 --conserve");
+        match cli.command {
+            Command::Run(r) => assert!(r.conserve),
+            other => panic!("{other:?}"),
+        }
+        let cli = parse_ok("run --algorithm cd --family star --n 16");
+        match cli.command {
+            Command::Run(r) => assert!(!r.conserve),
+            other => panic!("{other:?}"),
+        }
+        let cli = parse_ok("trace --algorithm nocd --family star --n 16 --conserve");
+        match cli.command {
+            Command::Trace(t) => assert!(t.conserve),
+            other => panic!("{other:?}"),
+        }
+        let cli = parse_ok("trace --algorithm nocd --family star --n 16");
+        match cli.command {
+            Command::Trace(t) => assert!(!t.conserve),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -10,13 +10,15 @@ use radio_mis::baselines::naive_luby_cd;
 use radio_mis::baselines::nocd_naive::{NaiveSimParams, NoCdNaive};
 use radio_mis::beeping_native::{BeepingParams, NativeBeepingMis};
 use radio_mis::cd::CdMis;
+use radio_mis::conserve::{Conserve, ConserveConfig};
 use radio_mis::low_degree::LowDegreeMis;
 use radio_mis::multichannel::MultichannelMis;
 use radio_mis::nocd::NoCdMis;
 use radio_mis::params::{CdParams, LowDegreeParams, MultichannelParams, NoCdParams};
 use radio_mis::unknown_delta::UnknownDeltaMis;
 use radio_netsim::{
-    run_trials_resumable, ChannelModel, RunReport, SimConfig, Simulator, TraceSink, TrialSet,
+    run_trials_resumable, ChannelModel, NodeRng, Protocol, RunReport, SimConfig, Simulator,
+    TraceSink, TrialSet,
 };
 use std::path::Path;
 
@@ -34,21 +36,83 @@ pub fn radio_channel(alg: Algorithm) -> Option<ChannelModel> {
     }
 }
 
+/// The `--conserve` preset for `alg`: the lossless CD-class preset on
+/// collision-detecting/beeping channels, the whp advertise preset on no-CD.
+///
+/// # Errors
+///
+/// Rejects the multichannel algorithm (the combinator's single advertise
+/// window cannot watch traffic spread over F channels) and the wired
+/// CONGEST algorithms (not a radio model).
+fn conserve_preset(alg: Algorithm) -> Result<ConserveConfig, String> {
+    match radio_channel(alg) {
+        Some(ChannelModel::NoCd) => Ok(ConserveConfig::for_nocd(32)),
+        Some(_) if alg != Algorithm::Multichannel => Ok(ConserveConfig::for_cd(16)),
+        _ => Err(format!(
+            "--conserve applies to the single-channel radio algorithms only, not {}",
+            alg.label()
+        )),
+    }
+}
+
+/// Runs the simulation, wrapping each node's machine in [`Conserve`] when a
+/// preset is given — one generic seam instead of doubling every match arm.
+fn traced_maybe_conserved<P, F, T>(
+    sim: &Simulator<'_>,
+    ccfg: Option<ConserveConfig>,
+    mut factory: F,
+    trace: &mut T,
+) -> RunReport
+where
+    P: Protocol + Send,
+    F: FnMut(usize, &mut NodeRng) -> P + Send,
+    T: TraceSink + Send,
+{
+    match ccfg {
+        Some(c) => sim.run_traced(move |v, rng| Conserve::new(factory(v, rng), c), trace),
+        None => sim.run_traced(factory, trace),
+    }
+}
+
+/// The checkpointed counterpart of [`traced_maybe_conserved`].
+fn resumable_maybe_conserved<P, F>(
+    g: &Graph,
+    config: SimConfig,
+    trials: usize,
+    checkpoint: &Path,
+    ccfg: Option<ConserveConfig>,
+    factory: F,
+) -> std::io::Result<TrialSet>
+where
+    P: Protocol + Send,
+    F: Fn(usize, &mut NodeRng) -> P + Sync,
+{
+    match ccfg {
+        Some(c) => run_trials_resumable(g, config, trials, None, checkpoint, move |v, rng| {
+            Conserve::new(factory(v, rng), c)
+        }),
+        None => run_trials_resumable(g, config, trials, None, checkpoint, factory),
+    }
+}
+
 /// Runs one traced radio simulation of `alg` on `g` under `config`.
 ///
 /// `paper` selects the paper's asymptotic constants over the calibrated
-/// presets. The channel model in `config` should come from
-/// [`radio_channel`].
+/// presets; `conserve` wraps every node in the energy-conservation
+/// combinator (docs/CONSERVE.md). The channel model in `config` should come
+/// from [`radio_channel`].
 ///
 /// # Errors
 ///
 /// Returns a message for the wired CONGEST algorithms, which have no radio
-/// simulation (and no trace/metrics support).
+/// simulation (and no trace/metrics support), and for `conserve` on the
+/// multichannel algorithm.
 pub fn run_radio_traced<T: TraceSink + Send>(
     g: &Graph,
     alg: Algorithm,
     config: SimConfig,
     paper: bool,
+    conserve: bool,
     trace: &mut T,
 ) -> Result<RunReport, String> {
     let n_bound = g.len().max(2);
@@ -58,6 +122,11 @@ pub fn run_radio_traced<T: TraceSink + Send>(
     // plan, clamped below the channel count (the engine enforces t < F).
     let channels = config.channels.max(1);
     let resilience = config.faults.max_jammed_channels().min(channels - 1);
+    let ccfg = if conserve {
+        Some(conserve_preset(alg)?)
+    } else {
+        None
+    };
     let sim = Simulator::new(g, config);
     let report = match alg {
         Algorithm::Cd | Algorithm::Beeping => {
@@ -66,11 +135,11 @@ pub fn run_radio_traced<T: TraceSink + Send>(
             } else {
                 CdParams::for_n(n_bound)
             };
-            sim.run_traced(|_, _| CdMis::new(p), trace)
+            traced_maybe_conserved(&sim, ccfg, |_, _| CdMis::new(p), trace)
         }
         Algorithm::BeepingNative => {
             let p = BeepingParams::for_n(n_bound);
-            sim.run_traced(|_, _| NativeBeepingMis::new(p), trace)
+            traced_maybe_conserved(&sim, ccfg, |_, _| NativeBeepingMis::new(p), trace)
         }
         Algorithm::NaiveLuby => {
             let p = if paper {
@@ -78,7 +147,7 @@ pub fn run_radio_traced<T: TraceSink + Send>(
             } else {
                 CdParams::for_n(n_bound)
             };
-            sim.run_traced(|_, _| naive_luby_cd(p), trace)
+            traced_maybe_conserved(&sim, ccfg, |_, _| naive_luby_cd(p), trace)
         }
         Algorithm::NoCd => {
             let p = if paper {
@@ -86,7 +155,7 @@ pub fn run_radio_traced<T: TraceSink + Send>(
             } else {
                 NoCdParams::for_n(n_bound, delta)
             };
-            sim.run_traced(|_, _| NoCdMis::new(p), trace)
+            traced_maybe_conserved(&sim, ccfg, |_, _| NoCdMis::new(p), trace)
         }
         Algorithm::LowDegree => {
             let p = if paper {
@@ -94,7 +163,7 @@ pub fn run_radio_traced<T: TraceSink + Send>(
             } else {
                 LowDegreeParams::for_n(n_bound, delta)
             };
-            sim.run_traced(|_, _| LowDegreeMis::new(p), trace)
+            traced_maybe_conserved(&sim, ccfg, |_, _| LowDegreeMis::new(p), trace)
         }
         Algorithm::NoCdNaive => {
             let cd = if paper {
@@ -102,7 +171,9 @@ pub fn run_radio_traced<T: TraceSink + Send>(
             } else {
                 CdParams::for_n(n_bound)
             };
-            sim.run_traced(
+            traced_maybe_conserved(
+                &sim,
+                ccfg,
                 |_, _| NoCdNaive::new(cd, NaiveSimParams::for_n(n_bound, delta)),
                 trace,
             )
@@ -113,7 +184,12 @@ pub fn run_radio_traced<T: TraceSink + Send>(
             } else {
                 NoCdParams::for_n(n_bound, 2)
             };
-            sim.run_traced(|_, _| UnknownDeltaMis::new(n_bound, template), trace)
+            traced_maybe_conserved(
+                &sim,
+                ccfg,
+                |_, _| UnknownDeltaMis::new(n_bound, template),
+                trace,
+            )
         }
         Algorithm::Multichannel => {
             let p = if paper {
@@ -145,13 +221,14 @@ pub fn run_radio_traced<T: TraceSink + Send>(
 ///
 /// # Errors
 ///
-/// Returns a message for the wired CONGEST algorithms and for checkpoint
-/// I/O failures.
+/// Returns a message for the wired CONGEST algorithms, for `conserve` on
+/// the multichannel algorithm, and for checkpoint I/O failures.
 pub fn run_radio_resumable(
     g: &Graph,
     alg: Algorithm,
     config: SimConfig,
     paper: bool,
+    conserve: bool,
     trials: usize,
     checkpoint: &Path,
 ) -> Result<TrialSet, String> {
@@ -159,6 +236,11 @@ pub fn run_radio_resumable(
     let delta = g.max_degree().max(2);
     let channels = config.channels.max(1);
     let resilience = config.faults.max_jammed_channels().min(channels - 1);
+    let ccfg = if conserve {
+        Some(conserve_preset(alg)?)
+    } else {
+        None
+    };
     let set = match alg {
         Algorithm::Cd | Algorithm::Beeping => {
             let p = if paper {
@@ -166,11 +248,11 @@ pub fn run_radio_resumable(
             } else {
                 CdParams::for_n(n_bound)
             };
-            run_trials_resumable(g, config, trials, None, checkpoint, |_, _| CdMis::new(p))
+            resumable_maybe_conserved(g, config, trials, checkpoint, ccfg, |_, _| CdMis::new(p))
         }
         Algorithm::BeepingNative => {
             let p = BeepingParams::for_n(n_bound);
-            run_trials_resumable(g, config, trials, None, checkpoint, |_, _| {
+            resumable_maybe_conserved(g, config, trials, checkpoint, ccfg, |_, _| {
                 NativeBeepingMis::new(p)
             })
         }
@@ -180,7 +262,7 @@ pub fn run_radio_resumable(
             } else {
                 CdParams::for_n(n_bound)
             };
-            run_trials_resumable(g, config, trials, None, checkpoint, |_, _| naive_luby_cd(p))
+            resumable_maybe_conserved(g, config, trials, checkpoint, ccfg, |_, _| naive_luby_cd(p))
         }
         Algorithm::NoCd => {
             let p = if paper {
@@ -188,7 +270,7 @@ pub fn run_radio_resumable(
             } else {
                 NoCdParams::for_n(n_bound, delta)
             };
-            run_trials_resumable(g, config, trials, None, checkpoint, |_, _| NoCdMis::new(p))
+            resumable_maybe_conserved(g, config, trials, checkpoint, ccfg, |_, _| NoCdMis::new(p))
         }
         Algorithm::LowDegree => {
             let p = if paper {
@@ -196,7 +278,7 @@ pub fn run_radio_resumable(
             } else {
                 LowDegreeParams::for_n(n_bound, delta)
             };
-            run_trials_resumable(g, config, trials, None, checkpoint, |_, _| {
+            resumable_maybe_conserved(g, config, trials, checkpoint, ccfg, |_, _| {
                 LowDegreeMis::new(p)
             })
         }
@@ -206,7 +288,7 @@ pub fn run_radio_resumable(
             } else {
                 CdParams::for_n(n_bound)
             };
-            run_trials_resumable(g, config, trials, None, checkpoint, |_, _| {
+            resumable_maybe_conserved(g, config, trials, checkpoint, ccfg, |_, _| {
                 NoCdNaive::new(cd, NaiveSimParams::for_n(n_bound, delta))
             })
         }
@@ -216,7 +298,7 @@ pub fn run_radio_resumable(
             } else {
                 NoCdParams::for_n(n_bound, 2)
             };
-            run_trials_resumable(g, config, trials, None, checkpoint, |_, _| {
+            resumable_maybe_conserved(g, config, trials, checkpoint, ccfg, |_, _| {
                 UnknownDeltaMis::new(n_bound, template)
             })
         }
@@ -264,17 +346,71 @@ mod tests {
                 continue;
             };
             let config = SimConfig::new(channel).with_seed(7);
-            let report = run_radio_traced(&g, alg, config, false, &mut NullTrace).unwrap();
+            let report = run_radio_traced(&g, alg, config, false, false, &mut NullTrace).unwrap();
             assert!(report.is_correct_mis(&g), "{} failed", alg.label());
         }
+    }
+
+    #[test]
+    fn conserve_wraps_every_single_channel_algorithm() {
+        let g = mis_graphs::generators::gnp(48, 0.1, 1);
+        for (_, alg) in Algorithm::all() {
+            let Some(channel) = radio_channel(alg) else {
+                continue;
+            };
+            if alg == Algorithm::Multichannel {
+                continue;
+            }
+            let config = SimConfig::new(channel).with_seed(7);
+            let report = run_radio_traced(&g, alg, config, false, true, &mut NullTrace).unwrap();
+            assert!(
+                report.is_correct_mis(&g),
+                "{} failed under --conserve",
+                alg.label()
+            );
+        }
+    }
+
+    #[test]
+    fn conserve_rejects_multichannel_and_congest() {
+        let g = mis_graphs::generators::path(4);
+        let config = SimConfig::new(ChannelModel::Cd).with_channels(2);
+        let err = run_radio_traced(
+            &g,
+            Algorithm::Multichannel,
+            config,
+            false,
+            true,
+            &mut NullTrace,
+        )
+        .unwrap_err();
+        assert!(err.contains("--conserve"), "{err}");
+        let config = SimConfig::new(ChannelModel::Cd);
+        let err = run_radio_traced(
+            &g,
+            Algorithm::CongestLuby,
+            config,
+            false,
+            true,
+            &mut NullTrace,
+        )
+        .unwrap_err();
+        assert!(err.contains("--conserve"), "{err}");
     }
 
     #[test]
     fn congest_algorithms_are_rejected() {
         let g = mis_graphs::generators::path(4);
         let config = SimConfig::new(ChannelModel::Cd);
-        let err = run_radio_traced(&g, Algorithm::CongestLuby, config, false, &mut NullTrace)
-            .unwrap_err();
+        let err = run_radio_traced(
+            &g,
+            Algorithm::CongestLuby,
+            config,
+            false,
+            false,
+            &mut NullTrace,
+        )
+        .unwrap_err();
         assert!(err.contains("radio"), "{err}");
     }
 
@@ -288,12 +424,13 @@ mod tests {
         let g = mis_graphs::generators::gnp(32, 0.1, 1);
         let config = SimConfig::new(ChannelModel::Cd).with_seed(11);
         let first =
-            run_radio_resumable(&g, Algorithm::Cd, config.clone(), false, 2, &path).unwrap();
+            run_radio_resumable(&g, Algorithm::Cd, config.clone(), false, false, 2, &path).unwrap();
         assert_eq!(first.len(), 2);
         assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 2);
 
         // Asking for 4 trials appends only the 2 missing ones.
-        let second = run_radio_resumable(&g, Algorithm::Cd, config, false, 4, &path).unwrap();
+        let second =
+            run_radio_resumable(&g, Algorithm::Cd, config, false, false, 4, &path).unwrap();
         assert_eq!(second.len(), 4);
         assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 4);
         assert!(second.outcomes.iter().all(|o| o.correct));
@@ -310,6 +447,7 @@ mod tests {
             &g,
             Algorithm::CongestGhaffari,
             config,
+            false,
             false,
             1,
             Path::new("unused.jsonl"),

@@ -75,10 +75,11 @@ fn radio_trial(
     channels: u16,
     max_rounds: Option<u64>,
     paper: bool,
+    conserve: bool,
     collect_metrics: bool,
     engine: EngineMode,
     threads: usize,
-) -> ((bool, usize, u64, f64, u64), Vec<RoundMetrics>) {
+) -> Result<((bool, usize, u64, f64, u64), Vec<RoundMetrics>), String> {
     let channel = radio_channel(alg).expect("congest algorithms handled by caller");
     let mut config = SimConfig::new(channel)
         .with_seed(seed)
@@ -92,10 +93,9 @@ fn radio_trial(
     if collect_metrics {
         config = config.with_round_metrics();
     }
-    let mut report = run_radio_traced(g, alg, config, paper, &mut NullTrace)
-        .expect("congest algorithms handled by caller");
+    let mut report = run_radio_traced(g, alg, config, paper, conserve, &mut NullTrace)?;
     let timeline = report.metrics.take().unwrap_or_default();
-    (
+    Ok((
         (
             report.is_correct_mis(g),
             mis::set_size(&report.mis_mask()),
@@ -104,7 +104,7 @@ fn radio_trial(
             report.rounds,
         ),
         timeline,
-    )
+    ))
 }
 
 /// One `--metrics` JSONL line: a round-metrics record tagged with its trial.
@@ -184,6 +184,9 @@ pub fn execute(opts: &RunOpts) -> Result<String, String> {
     if is_congest && opts.resume.is_some() {
         return Err("--resume checkpointing applies only to radio algorithms".into());
     }
+    if is_congest && opts.conserve {
+        return Err("--conserve applies only to radio algorithms".into());
+    }
 
     let mut rows = Vec::with_capacity(opts.trials);
     let mut failures: Vec<FailureRow> = Vec::new();
@@ -210,6 +213,7 @@ pub fn execute(opts: &RunOpts) -> Result<String, String> {
             opts.algorithm,
             config,
             opts.paper_constants,
+            opts.conserve,
             opts.trials,
             Path::new(checkpoint),
         )?;
@@ -252,10 +256,11 @@ pub fn execute(opts: &RunOpts) -> Result<String, String> {
                         opts.channels,
                         opts.max_rounds,
                         opts.paper_constants,
+                        opts.conserve,
                         opts.metrics.is_some(),
                         opts.engine,
                         opts.threads,
-                    );
+                    )?;
                     if opts.metrics.is_some() {
                         timelines.push((t, timeline));
                     }
@@ -437,6 +442,37 @@ mod tests {
         let out = execute(&opts).unwrap();
         assert!(out.contains("multichannel CD model"), "{out}");
         assert!(out.contains("success 100%"), "{out}");
+    }
+
+    #[test]
+    fn conserved_run_decides_a_correct_mis() {
+        let opts = RunOpts {
+            n: 64,
+            trials: 2,
+            conserve: true,
+            ..RunOpts::default()
+        };
+        let out = execute(&opts).unwrap();
+        assert!(out.contains("success 100%"), "{out}");
+    }
+
+    #[test]
+    fn rejects_conserve_on_multichannel_and_congest() {
+        let opts = RunOpts {
+            algorithm: Algorithm::Multichannel,
+            n: 16,
+            trials: 1,
+            channels: 2,
+            conserve: true,
+            ..RunOpts::default()
+        };
+        assert!(execute(&opts).unwrap_err().contains("--conserve"));
+        let opts = RunOpts {
+            algorithm: Algorithm::CongestLuby,
+            conserve: true,
+            ..RunOpts::default()
+        };
+        assert!(execute(&opts).unwrap_err().contains("--conserve"));
     }
 
     #[test]

@@ -83,6 +83,7 @@ fn trace_to<W: Write + Send>(
         opts.algorithm,
         config,
         opts.paper_constants,
+        opts.conserve,
         &mut sink,
     )?;
     let jsonl = sink.into_inner();
@@ -194,6 +195,28 @@ mod tests {
             let v: serde_json::Value = serde_json::from_str(line).unwrap();
             assert_eq!(v["event"], "RoundEnd", "{line}");
         }
+    }
+
+    #[test]
+    fn conserved_trace_streams_and_decides_correctly() {
+        let dir = std::env::temp_dir().join("mis_cli_test_trace_conserve");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("c.jsonl");
+        let mut opts = small(Algorithm::Cd);
+        opts.conserve = true;
+        opts.out = Some(path.to_string_lossy().into_owned());
+        let summary = execute(&opts).unwrap();
+        assert!(summary.contains("MIS correct = true"), "{summary}");
+    }
+
+    #[test]
+    fn rejects_conserve_on_multichannel() {
+        let mut opts = small(Algorithm::Multichannel);
+        opts.n = 16;
+        opts.channels = 2;
+        opts.conserve = true;
+        let err = execute(&opts).unwrap_err();
+        assert!(err.contains("--conserve"), "{err}");
     }
 
     #[test]

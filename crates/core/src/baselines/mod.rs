@@ -11,4 +11,4 @@ pub mod luby_cd_naive;
 pub mod nocd_naive;
 
 pub use luby_cd_naive::naive_luby_cd;
-pub use nocd_naive::NoCdNaive;
+pub use nocd_naive::{NaiveSimParams, NoCdNaive};

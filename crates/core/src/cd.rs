@@ -165,6 +165,22 @@ impl Protocol for CdMis {
     fn finished(&self) -> bool {
         self.finished
     }
+
+    fn may_transmit_before(&self, horizon: u64) -> bool {
+        // A live competitor may transmit a rank bit at any time; a phase
+        // loser only listens until the check round, and its next possible
+        // transmission is the first rank bit of the *next* phase (one round
+        // after the check round it sleeps to). Sound because `lost` is
+        // current for `phase_of_state` and losing is absorbing within a
+        // phase — hearing nothing new cannot un-lose the node.
+        if self.finished {
+            return false;
+        }
+        if !self.lost {
+            return true;
+        }
+        check_round_of_phase(&self.params, self.phase_of_state) + 1 < horizon
+    }
 }
 
 /// How the next round of a [`CdMis`] node will be scheduled: used by the
@@ -292,6 +308,28 @@ mod tests {
             check_round_of_phase(&params, 2),
             2 * params.phase_len() + params.rank_bits() as u64
         );
+    }
+
+    #[test]
+    fn transmit_oracle_is_sound_for_losers() {
+        use rand::SeedableRng;
+        let params = CdParams::for_n(64);
+        let mut node = CdMis::new(params);
+        let mut rng = radio_netsim::NodeRng::seed_from_u64(2);
+        // A fresh competitor may always transmit.
+        assert!(node.may_transmit_before(1));
+        // Force a phase-0 loss: act at round 0, then hear activity.
+        let _ = node.act(0, &mut rng);
+        node.feedback(0, Feedback::Beep, &mut rng);
+        assert!(node.lost);
+        // A loser cannot transmit before the round after the check round...
+        let check = check_round_of_phase(&params, 0);
+        assert!(!node.may_transmit_before(check + 1));
+        // ...but might transmit from the next phase's first rank bit on.
+        assert!(node.may_transmit_before(check + 2));
+        // A finished node never transmits again.
+        node.finished = true;
+        assert!(!node.may_transmit_before(u64::MAX));
     }
 
     #[test]

@@ -28,6 +28,11 @@
 //!   lifted onto F channels with channel-hopping Decay blocks, tolerating
 //!   an adversary that jams up to t < F channels per round
 //!   ([`radio_netsim::ChannelAdversary`], docs/MULTICHANNEL.md);
+//! - **Energy conservation** ([`conserve::Conserve`]): the Dani–Hayes
+//!   generic energy-conservation combinator — wraps *any* of the above on
+//!   the [`radio_netsim::Layer`] contract, slicing time into
+//!   advertise/work epochs so that nodes sleep through slices their
+//!   neighborhoods provably leave silent (docs/CONSERVE.md);
 //! - **Self-healing MIS** ([`repair::RepairingMis`]): a maintenance wrapper
 //!   that detects post-fault MIS violations locally (uncovered nodes,
 //!   adjacent in-MIS pairs) and re-runs any of the above schedules on the
@@ -63,6 +68,7 @@ pub mod beeping;
 pub mod beeping_native;
 pub mod cd;
 pub mod competition;
+pub mod conserve;
 pub mod low_degree;
 pub mod lower_bound;
 pub mod multichannel;
@@ -72,6 +78,7 @@ pub mod repair;
 pub mod unknown_delta;
 
 pub use cd::CdMis;
+pub use conserve::{Conserve, ConserveConfig};
 pub use multichannel::MultichannelMis;
 pub use nocd::NoCdMis;
 pub use repair::{RepairConfig, RepairingMis};

@@ -7,7 +7,11 @@
 //! node comes back blank, and the set it rejoins may no longer be correct
 //! around it. [`RepairingMis`] wraps any MIS [`Protocol`] (the inner
 //! *schedule*, e.g. [`CdMis`](crate::cd::CdMis)) in a maintenance loop that
-//! keeps the MIS invariant locally checkable and locally repairable:
+//! keeps the MIS invariant locally checkable and locally repairable. It is
+//! a [`radio_netsim::Layer`]: each epoch's work rounds are handed to a
+//! fresh inner instance on a dense virtual clock `0..schedule_len`, with
+//! the delegation rules of that contract (status verbatim whenever an
+//! inner machine exists, timeline reset only when the machine is rebuilt):
 //!
 //! Time is divided into **epochs** of `schedule_len + 2` rounds:
 //!
@@ -67,7 +71,7 @@
 //! churn, joins), and composing it with continuous jammers trades repair
 //! latency for false coverage.
 
-use radio_netsim::{Action, Feedback, Message, NodeRng, NodeStatus, Protocol};
+use radio_netsim::{Action, Feedback, Layer, Message, NodeRng, NodeStatus, Protocol, VirtualClock};
 use rand::Rng;
 
 /// Tuning for the [`RepairingMis`] maintenance loop.
@@ -152,6 +156,11 @@ pub struct RepairingMis<P, F> {
     /// The inner machine currently being driven; `None` while monitoring
     /// or while waiting for the next cover before repairing.
     inner: Option<P>,
+    /// Virtual clock for the current inner instance: each epoch's work
+    /// rounds are presented to it as rounds `0..schedule_len`, and the
+    /// clock is reset whenever the instance is dropped — the [`Layer`]
+    /// contract's "fresh machine, fresh timeline" rule.
+    clock: VirtualClock,
     /// Decided status held while monitoring.
     status: NodeStatus,
     /// `true` once the inner schedule has decided and the node is in the
@@ -189,6 +198,7 @@ where
             config,
             make,
             inner: None,
+            clock: VirtualClock::new(),
             status: NodeStatus::Undecided,
             monitoring: false,
             work_from: 0,
@@ -214,6 +224,7 @@ where
         self.monitoring = false;
         self.status = NodeStatus::Undecided;
         self.inner = None;
+        self.clock.reset();
         self.misses = 0;
         self.quiet = 0;
         self.work_from = round - round % e + e;
@@ -226,6 +237,7 @@ where
         self.monitoring = true;
         self.status = status;
         self.inner = None;
+        self.clock.reset();
         self.misses = 0;
         self.quiet = 0;
     }
@@ -282,6 +294,7 @@ where
             // node adopt out-MIS without re-running the schedule. Any
             // half-run inner from a previous epoch is stale by now.
             self.inner = None;
+            self.clock.reset();
             self.repair_rounds += 1;
             return Action::Listen;
         }
@@ -301,9 +314,11 @@ where
                 // only start at a work-round 0; wait for the next epoch.
                 return Action::Sleep { wake_at: base + e };
             }
+            self.clock.reset();
             self.inner = Some((self.make)(rng));
         }
         let vround = offset - 2;
+        self.clock.observe(vround);
         let inner = self.inner.as_mut().expect("inner built above");
         match inner.act(vround, rng) {
             Action::Sleep { wake_at } => {
@@ -364,6 +379,9 @@ where
             return;
         }
         if offset >= 2 {
+            if self.inner.is_some() {
+                self.clock.observe(offset - 2);
+            }
             if let Some(inner) = self.inner.as_mut() {
                 inner.feedback(offset - 2, fb, rng);
                 if inner.finished() {
@@ -374,6 +392,7 @@ where
                         // Inner gave up undecided: retry with a fresh
                         // instance next epoch.
                         self.inner = None;
+                        self.clock.reset();
                     }
                 }
             }
@@ -396,9 +415,26 @@ where
 
     fn on_restart(&mut self, _round: u64, _rng: &mut NodeRng) {
         // The engine rebuilds the node via the factory before calling this,
-        // so state is already blank; the flag records the revival and the
-        // `work_from` machinery handles the mid-epoch arrival.
+        // so state (including the virtual clock) is already blank; the flag
+        // records the revival and the `work_from` machinery handles the
+        // mid-epoch arrival.
         self.restarted = true;
+    }
+}
+
+impl<P, F> Layer for RepairingMis<P, F>
+where
+    P: Protocol,
+    F: FnMut(&mut NodeRng) -> P,
+{
+    type Inner = P;
+
+    fn inner(&self) -> Option<&P> {
+        self.inner.as_ref()
+    }
+
+    fn virtual_now(&self) -> Option<u64> {
+        self.clock.now()
     }
 }
 
@@ -470,6 +506,37 @@ mod tests {
     #[should_panic(expected = "0 epochs")]
     fn zero_monitor_epochs_is_rejected() {
         let _ = RepairConfig::for_cd(1).with_monitor_epochs(0);
+    }
+
+    /// The wrapper honors the [`Layer`] delegation rules: no inner machine
+    /// (and no virtual time) outside work epochs, a dense virtual timeline
+    /// while one runs, and verbatim status delegation whenever it exists.
+    #[test]
+    fn layer_contract_tracks_the_inner_lifecycle() {
+        use rand::SeedableRng;
+        let mut node = RepairingMis::new(claim_config(), |_rng: &mut NodeRng| {
+            Claim::new(NodeStatus::InMis)
+        });
+        let mut rng = NodeRng::seed_from_u64(1);
+        // Repairing, cover round: no inner yet, no virtual time.
+        assert_eq!(node.act(0, &mut rng), Action::Listen);
+        assert!(node.inner().is_none());
+        assert_eq!(node.virtual_now(), None);
+        node.feedback(0, Feedback::Silence, &mut rng);
+        // Duel round is slept through; the work round builds the inner and
+        // drives it at virtual round 0.
+        assert_eq!(node.act(1, &mut rng), Action::Sleep { wake_at: 2 });
+        let a = node.act(2, &mut rng);
+        assert!(a.is_awake());
+        assert!(node.inner().is_some());
+        assert_eq!(node.virtual_now(), Some(0));
+        assert_eq!(node.status(), node.inner().unwrap().status());
+        // The inner decides on feedback: the wrapper starts monitoring,
+        // drops the machine, and resets the virtual timeline with it.
+        node.feedback(2, Feedback::Sent, &mut rng);
+        assert_eq!(node.status(), NodeStatus::InMis);
+        assert!(node.inner().is_none());
+        assert_eq!(node.virtual_now(), None);
     }
 
     /// Path 0-1 where node 0 claims in-MIS and node 1 claims out-MIS: a

@@ -23,6 +23,7 @@
 //! | E15 | beyond-model robustness: loss & async wake-up | [`e15_robustness`] |
 //! | E16 | churn & recovery: self-healing MIS maintenance | [`e16_churn_recovery`] |
 //! | E17 | multichannel jamming resilience (Daum–Kuhn) | [`e17_multichannel`] |
+//! | E18 | generic energy conservation (Dani–Hayes) | [`e18_conserve`] |
 //!
 //! Run everything with `cargo run --release -p mis-experiments --bin
 //! experiments -- all`; each experiment is deterministic given `--seed`.
@@ -51,6 +52,7 @@ pub mod e14_energy_breakdown;
 pub mod e15_robustness;
 pub mod e16_churn_recovery;
 pub mod e17_multichannel;
+pub mod e18_conserve;
 pub mod harness;
 pub mod orchestrator;
 
@@ -58,9 +60,9 @@ pub use harness::{ExpConfig, ExperimentOutput, OrderedSink, Section};
 pub use orchestrator::{Orchestrator, RunManifest, TrialStats, UnitKey, UnitRecord};
 
 /// All experiment ids, in order.
-pub const ALL_IDS: [&str; 17] = [
+pub const ALL_IDS: [&str; 18] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17",
+    "e16", "e17", "e18",
 ];
 
 /// Runs one experiment by id with a throwaway (uncached) orchestrator.
@@ -97,6 +99,7 @@ pub fn run_experiment_in(id: &str, cfg: &ExpConfig, orch: &Orchestrator) -> Expe
         "e15" => e15_robustness::run(cfg, orch),
         "e16" => e16_churn_recovery::run(cfg, orch),
         "e17" => e17_multichannel::run(cfg, orch),
+        "e18" => e18_conserve::run(cfg, orch),
         other => panic!("unknown experiment id {other:?}"),
     }
 }

@@ -61,7 +61,12 @@ use std::time::Instant;
 /// perturbs every lossy or jammed run; single-channel fault-free cells are
 /// unchanged but the schema cannot distinguish them, so everything is
 /// orphaned.
-pub const CACHE_SCHEMA: u32 = 3;
+/// 4 — the protocol-layering refactor (`Layer`, `VirtualClock`, the
+/// `may_transmit_before` oracle) and the new E18 `Conserve` cells landed
+/// together; native protocol runs are bit-identical, but the contract
+/// additions touch every machine's vtable and the conservative choice is
+/// to orphan and recompute rather than trust that nothing shifted.
+pub const CACHE_SCHEMA: u32 = 4;
 
 /// Content address of one job unit: experiment id, human-readable cell
 /// label, and the named ingredients that fully determine the unit's result.

@@ -123,7 +123,7 @@ pub use fault::{
 };
 pub use metrics::{ChannelRoundMetrics, RoundMetrics};
 pub use model::{Action, ChannelModel, Feedback, Message, NodeStatus};
-pub use protocol::{NodeRng, Protocol};
+pub use protocol::{Layer, NodeRng, Protocol, VirtualClock};
 pub use report::RunReport;
 pub use rng::split_seed;
 pub use runner::{

@@ -86,6 +86,15 @@ pub enum Action {
     /// Sleep through every round `< wake_at`; the engine will next poll the
     /// node at round `wake_at`. Must be strictly greater than the current
     /// round. Sleeping rounds cost no energy.
+    ///
+    /// Messages sent to a sleeping node are *lost* (§1 of the paper), and
+    /// the engine attributes the sleep to the node, not to any layer inside
+    /// it: when a wrapper protocol sleeps, its inner machine's traffic is
+    /// dropped with it. A wrapper must therefore either keep the radio on
+    /// whenever its inner machine would listen, or reconstruct the missed
+    /// feedback itself — `Conserve` does the latter via buffered replay
+    /// (`docs/CONSERVE.md`), which is only sound because its wake-up
+    /// advertisements prove the missed rounds were silent.
     Sleep {
         /// First round at which the node is polled again. Use `u64::MAX` to
         /// sleep forever (the node should then also report `finished()`).

@@ -1,4 +1,6 @@
-//! The node-protocol interface driven by the simulator.
+//! The node-protocol interface driven by the simulator, plus the layered
+//! wrapper contract ([`Layer`], [`VirtualClock`]) that lets one protocol
+//! run another on a virtualized round clock (see `docs/CONSERVE.md`).
 
 use crate::model::{Action, Feedback, NodeStatus};
 
@@ -59,6 +61,24 @@ pub trait Protocol {
     fn on_restart(&mut self, round: u64, rng: &mut NodeRng) {
         let _ = (round, rng);
     }
+
+    /// Whether the protocol *might* transmit at one of its scheduled rounds
+    /// strictly before `horizon`, assuming it hears nothing new in between.
+    ///
+    /// This is the scheduling oracle for energy-conserving wrappers: a
+    /// wrapper that knows its inner machine cannot transmit before `horizon`
+    /// may skip advertising its presence to the neighborhood for that span.
+    /// The answer must be a *sound over-approximation* — returning `true`
+    /// is always allowed (the default), returning `false` is a promise.
+    /// A wrapper is entitled to panic if a protocol transmits inside a span
+    /// it disclaimed.
+    ///
+    /// Must be side-effect free: implementations answer from current state
+    /// and must not draw RNG or mutate anything.
+    fn may_transmit_before(&self, horizon: u64) -> bool {
+        let _ = horizon;
+        true
+    }
 }
 
 /// Blanket impl so `Box<dyn Protocol>` works where a concrete type is
@@ -79,6 +99,88 @@ impl<P: Protocol + ?Sized> Protocol for Box<P> {
     fn on_restart(&mut self, round: u64, rng: &mut NodeRng) {
         (**self).on_restart(round, rng)
     }
+    fn may_transmit_before(&self, horizon: u64) -> bool {
+        (**self).may_transmit_before(horizon)
+    }
+}
+
+/// A strictly ordered virtual round counter for layered protocols.
+///
+/// A wrapper that virtualizes its inner machine's clock (hands it a dense
+/// round sequence decoupled from the engine's real rounds) threads every
+/// inner callback through one of these. The clock enforces the part of the
+/// wrapper contract the type system cannot: virtual time never runs
+/// backwards. `act` ticks must be strictly increasing; the `feedback` for
+/// an act reuses the same instant, so re-observing the current tick is
+/// allowed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VirtualClock {
+    now: Option<u64>,
+}
+
+impl VirtualClock {
+    /// A clock that has not ticked yet.
+    pub fn new() -> VirtualClock {
+        VirtualClock::default()
+    }
+
+    /// The most recent virtual round handed to the inner machine, if any.
+    pub fn now(&self) -> Option<u64> {
+        self.now
+    }
+
+    /// Records that the inner machine is being driven at virtual round `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is below the last observed round — a wrapper bug: the
+    /// inner machine would see time move backwards.
+    pub fn observe(&mut self, v: u64) {
+        if let Some(now) = self.now {
+            assert!(
+                v >= now,
+                "virtual clock moved backwards: {v} after {now} (wrapper bug)"
+            );
+        }
+        self.now = Some(v);
+    }
+
+    /// Forgets all history — for wrappers whose inner machine is rebuilt
+    /// (crash recovery, repair epochs), where the fresh instance legally
+    /// starts a fresh virtual timeline.
+    pub fn reset(&mut self) {
+        self.now = None;
+    }
+}
+
+/// The contract of a *layered* protocol: a wrapper that owns the engine's
+/// real rounds and drives an inner [`Protocol`] on a virtual clock.
+///
+/// Implementing this trait is a promise of the following delegation rules,
+/// which `tests/` enforce for every in-tree wrapper:
+///
+/// - **status** — `status()` reports the inner machine's MIS decision
+///   verbatim whenever an inner machine exists; the wrapper adds no
+///   decision state of its own.
+/// - **finished** — the wrapper only reports `finished()` once the inner
+///   machine is finished *and* the wrapper holds no undelivered inner
+///   action; a wrapper never outlives retirement with buffered work.
+/// - **on_restart** — a restart resets the wrapper's scheduling state (its
+///   [`VirtualClock`] may legally [`reset`](VirtualClock::reset)) and is
+///   forwarded so the fresh inner machine learns it is a revived node.
+/// - **virtual monotonicity** — between restarts, the virtual rounds
+///   handed to the inner machine are non-decreasing, with `act` ticks
+///   strictly increasing ([`VirtualClock::observe`] enforces this).
+pub trait Layer: Protocol {
+    /// The wrapped protocol type.
+    type Inner: Protocol;
+
+    /// The current inner machine, if one is live (wrappers that rebuild
+    /// their inner machine may transiently have none).
+    fn inner(&self) -> Option<&Self::Inner>;
+
+    /// The most recent virtual round handed to the inner machine, if any.
+    fn virtual_now(&self) -> Option<u64>;
 }
 
 /// Poll-style completion for composable sub-protocols (backoffs, competition
@@ -139,6 +241,60 @@ mod tests {
         // The default restart hook is a no-op and delegates through Box.
         p.on_restart(3, &mut rng);
         assert!(p.finished());
+        // The default transmit oracle is the sound over-approximation and
+        // delegates through Box too.
+        assert!(p.may_transmit_before(0));
+        assert!(p.may_transmit_before(u64::MAX));
+    }
+
+    struct Quiet;
+    impl Protocol for Quiet {
+        fn act(&mut self, round: u64, _rng: &mut NodeRng) -> Action {
+            Action::Sleep {
+                wake_at: round + 100,
+            }
+        }
+        fn feedback(&mut self, _round: u64, _fb: Feedback, _rng: &mut NodeRng) {}
+        fn status(&self) -> NodeStatus {
+            NodeStatus::Undecided
+        }
+        fn finished(&self) -> bool {
+            false
+        }
+        fn may_transmit_before(&self, horizon: u64) -> bool {
+            horizon > 100
+        }
+    }
+
+    #[test]
+    fn may_transmit_before_override_delegates_through_box() {
+        let p: Box<dyn Protocol> = Box::new(Quiet);
+        assert!(!p.may_transmit_before(100));
+        assert!(p.may_transmit_before(101));
+    }
+
+    #[test]
+    fn virtual_clock_accepts_monotone_ticks() {
+        let mut c = VirtualClock::new();
+        assert_eq!(c.now(), None);
+        c.observe(3);
+        // A feedback callback re-observes the act's instant.
+        c.observe(3);
+        c.observe(7);
+        assert_eq!(c.now(), Some(7));
+        // A rebuilt inner machine starts a fresh timeline.
+        c.reset();
+        assert_eq!(c.now(), None);
+        c.observe(0);
+        assert_eq!(c.now(), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual clock moved backwards")]
+    fn virtual_clock_rejects_backwards_ticks() {
+        let mut c = VirtualClock::new();
+        c.observe(5);
+        c.observe(4);
     }
 
     #[test]

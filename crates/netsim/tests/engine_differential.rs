@@ -24,7 +24,7 @@ use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
 use radio_netsim::{
     Action, ChannelModel, ConvergencePolicy, DownTime, EngineMode, FaultPlan, Feedback, JsonlTrace,
-    Message, NodeRng, NodeStatus, Protocol, RunReport, SimConfig, Simulator,
+    Layer, Message, NodeRng, NodeStatus, Protocol, RunReport, SimConfig, Simulator, VirtualClock,
 };
 use rand::Rng;
 
@@ -97,6 +97,93 @@ impl Protocol for Chaotic {
     fn finished(&self) -> bool {
         self.done
     }
+}
+
+/// A minimal layered wrapper on the [`Layer`] contract: it dilates its
+/// inner machine's clock by `stride`, simulating virtual round `v` at real
+/// round `v·stride` and sleeping through the gaps. Chaotic-under-Stretch
+/// exercises exactly the wrapper/engine interaction surface (virtualized
+/// sleeps crossing fast-forwarded quiet spans, feedback handed back on the
+/// virtual clock) that the real `Conserve` combinator relies on, without a
+/// dependency on the algorithms crate.
+struct Stretch<P> {
+    inner: P,
+    stride: u64,
+    clock: VirtualClock,
+}
+
+impl<P: Protocol> Protocol for Stretch<P> {
+    fn act(&mut self, round: u64, rng: &mut NodeRng) -> Action {
+        if round % self.stride != 0 {
+            // The round after an awake inner round: nothing is due until
+            // the next stride boundary.
+            return Action::Sleep {
+                wake_at: round + self.stride - round % self.stride,
+            };
+        }
+        let v = round / self.stride;
+        self.clock.observe(v);
+        match self.inner.act(v, rng) {
+            Action::Sleep { wake_at } => {
+                if wake_at == u64::MAX {
+                    Action::halt()
+                } else {
+                    Action::Sleep {
+                        wake_at: wake_at * self.stride,
+                    }
+                }
+            }
+            awake => awake,
+        }
+    }
+    fn feedback(&mut self, round: u64, fb: Feedback, rng: &mut NodeRng) {
+        let v = round / self.stride;
+        self.clock.observe(v);
+        self.inner.feedback(v, fb, rng);
+    }
+    fn status(&self) -> NodeStatus {
+        self.inner.status()
+    }
+    fn finished(&self) -> bool {
+        self.inner.finished()
+    }
+}
+
+impl<P: Protocol> Layer for Stretch<P> {
+    type Inner = P;
+    fn inner(&self) -> Option<&P> {
+        Some(&self.inner)
+    }
+    fn virtual_now(&self) -> Option<u64> {
+        self.clock.now()
+    }
+}
+
+fn run_layered(
+    g: &Graph,
+    config: &SimConfig,
+    budget: u32,
+    max_nap: u64,
+    stride: u64,
+) -> (RunReport, Vec<u8>) {
+    let mut sink = JsonlTrace::new(Vec::<u8>::new());
+    let report = Simulator::new(g, config.clone()).run_traced(
+        |_, _| Stretch {
+            inner: Chaotic {
+                awake_left: budget,
+                max_nap,
+                channels: 1,
+                done: false,
+            },
+            stride,
+            clock: VirtualClock::new(),
+        },
+        &mut sink,
+    );
+    (
+        report,
+        sink.into_inner().expect("in-memory writer cannot fail"),
+    )
 }
 
 const ALL_CHANNELS: [ChannelModel; 4] = [
@@ -407,5 +494,58 @@ proptest! {
             &g, &base.with_engine_mode(EngineMode::Sparse), 8, 20,
         )?;
         prop_assert_eq!(&dense, &sparse, "backends diverged");
+    }
+
+    /// The layered-protocol axis of the backend contract: a wrapper that
+    /// virtualizes its inner machine's clock (Chaotic under `Stretch`)
+    /// produces byte-identical reports and trace streams in both engine
+    /// modes, across channel models, fault plans, and clock dilations.
+    #[test]
+    fn layered_sparse_equals_dense_across_the_corpus(
+        g in arb_graph(),
+        seed in any::<u64>(),
+        channel_pick in 0usize..4,
+        plan_pick in 0u8..5,
+        stride in 1u64..9,
+        max_nap in 2u64..40,
+    ) {
+        let config = SimConfig::new(ALL_CHANNELS[channel_pick])
+            .with_seed(seed)
+            .with_faults(fault_corpus(plan_pick))
+            .with_round_metrics();
+        let (rd, td) = run_layered(
+            &g, &config.clone().with_engine_mode(EngineMode::Dense), 6, max_nap, stride,
+        );
+        let (rs, ts) = run_layered(
+            &g, &config.clone().with_engine_mode(EngineMode::Sparse), 6, max_nap, stride,
+        );
+        prop_assert_eq!(&rd, &rs, "layered reports diverged");
+        prop_assert_eq!(&td, &ts, "layered trace streams diverged");
+        prop_assert!(!ts.is_empty(), "trace stream empty: nothing was compared");
+    }
+
+    /// The layered-protocol axis of the parallel determinism contract:
+    /// thread counts {1, 2, 8} produce byte-identical output for the
+    /// virtual-clock wrapper on graphs wide enough to engage sharding.
+    #[test]
+    fn layered_parallel_equals_serial(
+        g in arb_wide_graph(),
+        seed in any::<u64>(),
+        plan_pick in 0u8..5,
+        stride in 1u64..9,
+    ) {
+        let config = SimConfig::new(ChannelModel::Cd)
+            .with_seed(seed)
+            .with_faults(fault_corpus(plan_pick))
+            .with_round_metrics();
+        let (serial_report, serial_trace) =
+            run_layered(&g, &config.clone().with_threads(1), 6, 20, stride);
+        prop_assert!(!serial_trace.is_empty());
+        for threads in [2usize, 8] {
+            let (report, trace) =
+                run_layered(&g, &config.clone().with_threads(threads), 6, 20, stride);
+            prop_assert_eq!(&serial_report, &report, "diverged at {} threads", threads);
+            prop_assert_eq!(&serial_trace, &trace, "traces diverged at {} threads", threads);
+        }
     }
 }

@@ -10,6 +10,7 @@
 
 use energy_mis::graphs::{generators, Graph};
 use energy_mis::mis::cd::CdMis;
+use energy_mis::mis::conserve::{Conserve, ConserveConfig};
 use energy_mis::mis::multichannel::MultichannelMis;
 use energy_mis::mis::nocd::NoCdMis;
 use energy_mis::mis::params::{CdParams, MultichannelParams, NoCdParams};
@@ -153,6 +154,58 @@ proptest! {
             .with_seed(seed)
             .with_faults(FaultPlan::none().with_loss(0.1));
         let report = assert_modes_agree(&g, &config, |_, _| NoCdMis::new(params));
+        prop_assert!(report.is_correct_mis(&g), "{:?}", report.verify_mis(&g));
+    }
+
+    /// The layered axis: `Conserve<CdMis>` under the CD preset is
+    /// byte-identical across engine backends AND across worker-thread
+    /// counts {1, 2, 8}, decides the exact native statuses (the preset's
+    /// losslessness theorem, docs/CONSERVE.md), and the decided mask is a
+    /// verifier-correct MIS.
+    #[test]
+    fn conserve_cd_is_mode_and_thread_independent(
+        n in 4usize..20,
+        kind in 0u8..6,
+        slice in 2u64..24,
+        seed in any::<u64>(),
+    ) {
+        let g = corpus_graph(kind, n, seed);
+        let params = CdParams::for_n(64);
+        let cfg = ConserveConfig::for_cd(slice);
+        let config = SimConfig::new(ChannelModel::Cd)
+            .with_seed(seed)
+            .with_round_metrics();
+        let factory = move |_: usize, _: &mut NodeRng| Conserve::new(CdMis::new(params), cfg);
+        let report = assert_modes_agree(&g, &config, factory);
+        for threads in [2usize, 8] {
+            let threaded = Simulator::new(&g, config.clone().with_threads(threads))
+                .run(factory);
+            prop_assert_eq!(
+                &threaded, &report,
+                "conserved run diverged at {} threads", threads
+            );
+        }
+        let native = Simulator::new(&g, config.clone()).run(|_, _| CdMis::new(params));
+        prop_assert_eq!(&native.statuses, &report.statuses, "CD preset must be lossless");
+        prop_assert!(report.is_correct_mis(&g), "{:?}", report.verify_mis(&g));
+    }
+
+    /// The no-CD preset cannot promise native equality (collided wake-up
+    /// advertisements read as silence), but its runs are still
+    /// backend-deterministic and must decide a verifier-correct MIS.
+    #[test]
+    fn conserve_nocd_is_mode_independent_and_correct(
+        n in 4usize..14,
+        kind in 0u8..6,
+        seed in any::<u64>(),
+    ) {
+        let g = corpus_graph(kind, n, seed);
+        let params = NoCdParams::for_n(256, g.max_degree().max(2));
+        let cfg = ConserveConfig::for_nocd(32);
+        let config = SimConfig::new(ChannelModel::NoCd).with_seed(seed);
+        let report = assert_modes_agree(&g, &config, move |_, _| {
+            Conserve::new(NoCdMis::new(params), cfg)
+        });
         prop_assert!(report.is_correct_mis(&g), "{:?}", report.verify_mis(&g));
     }
 }

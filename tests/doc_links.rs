@@ -18,6 +18,7 @@ const DOC_FILES: &[&str] = &[
     "docs/EXPERIMENT_PIPELINE.md",
     "docs/PARALLEL_ENGINE.md",
     "docs/MULTICHANNEL.md",
+    "docs/CONSERVE.md",
 ];
 
 /// Extracts inline-link targets from markdown source.

@@ -1,12 +1,133 @@
 //! Cross-crate integration: the paper's comparative energy claims, checked
 //! end to end on real runs.
+//!
+//! The [`budget`] module is a parameterized awake-slot-budget harness: it
+//! turns "this protocol is awake at most B rounds per epoch of length L"
+//! into a machine-checked claim, counted per node from the trace layer and
+//! cross-checked in aggregate against the engine's round-metrics energy
+//! counters. The native claims below reuse it for the per-phase ceilings
+//! the schedules imply, and the `conserve_*` tests apply it to
+//! [`Conserve`]-wrapped runs of the whole algorithm zoo (docs/CONSERVE.md).
 
 use energy_mis::graphs::generators;
-use energy_mis::mis::baselines::naive_luby_cd;
+use energy_mis::mis::baselines::{naive_luby_cd, NaiveSimParams, NoCdNaive};
 use energy_mis::mis::cd::CdMis;
+use energy_mis::mis::conserve::{Conserve, ConserveConfig};
+use energy_mis::mis::low_degree::LowDegreeMis;
 use energy_mis::mis::nocd::NoCdMis;
-use energy_mis::mis::params::{CdParams, NoCdParams};
+use energy_mis::mis::params::{CdParams, LowDegreeParams, NoCdParams};
 use energy_mis::netsim::{split_seed, ChannelModel, SimConfig, Simulator};
+
+mod budget {
+    //! The reusable awake-slot-budget harness.
+
+    use energy_mis::graphs::Graph;
+    use energy_mis::netsim::{RunReport, TraceEvent, VecTrace};
+
+    /// A per-node, per-epoch awake-slot budget, plus an optional per-node
+    /// multiplicative bound against a reference run.
+    pub struct AwakeBudget {
+        /// Epoch length in real rounds.
+        pub epoch_len: u64,
+        /// Hard ceiling on awake rounds per node per epoch.
+        pub per_epoch: u64,
+        /// If `Some((k, reference))`, each node's total awake rounds must
+        /// also stay within `k ×` its energy in the reference run (and be
+        /// zero where the reference is zero) — the transformer bound of an
+        /// energy-conserving wrapper.
+        pub vs_reference: Option<(u64, RunReport)>,
+    }
+
+    /// Asserts the budget against a traced run. `trace` must come from the
+    /// same run as `report` (the per-node counts and the aggregate energy
+    /// counters are required to agree — that identity is itself checked).
+    pub fn assert_awake_budget(g: &Graph, report: &RunReport, trace: &VecTrace, b: &AwakeBudget) {
+        assert!(b.epoch_len >= 1 && b.per_epoch >= 1, "degenerate budget");
+        let mut traced_total = 0u64;
+        for v in 0..g.len() {
+            // Per-node, per-epoch ceiling, counted from the trace layer.
+            let mut per_epoch = std::collections::HashMap::new();
+            for e in trace.for_node(v) {
+                if let TraceEvent::Acted { round, action, .. } = e {
+                    if action.is_awake() {
+                        *per_epoch.entry(round / b.epoch_len).or_insert(0u64) += 1;
+                    }
+                }
+            }
+            for (epoch, awake) in &per_epoch {
+                assert!(
+                    *awake <= b.per_epoch,
+                    "node {v} awake {awake} rounds in epoch {epoch}, budget {}",
+                    b.per_epoch
+                );
+            }
+            // The trace and the energy meters must tell the same story.
+            let traced = trace.awake_actions(v) as u64;
+            assert_eq!(
+                traced,
+                report.meters[v].energy(),
+                "node {v}: trace disagrees with the energy meter"
+            );
+            traced_total += traced;
+            if let Some((k, reference)) = &b.vs_reference {
+                let native = reference.meters[v].energy();
+                assert!(
+                    traced <= k * native,
+                    "node {v}: {traced} awake rounds above {k}x reference {native}"
+                );
+                if native == 0 {
+                    assert_eq!(traced, 0, "node {v} spent energy with no reference work");
+                }
+            }
+        }
+        // Aggregate cross-check against the engine's RoundMetrics energy
+        // counters: per-epoch awake populations sum to the same total, and
+        // no epoch exceeds n x the per-node ceiling.
+        let timeline = report.metrics_timeline();
+        if !timeline.is_empty() {
+            let mut agg = std::collections::HashMap::new();
+            for m in timeline {
+                *agg.entry(m.round / b.epoch_len).or_insert(0u64) += u64::from(m.awake());
+            }
+            for (epoch, awake) in &agg {
+                assert!(
+                    *awake <= g.len() as u64 * b.per_epoch,
+                    "epoch {epoch}: aggregate awake {awake} above n x budget"
+                );
+            }
+            assert_eq!(
+                agg.values().sum::<u64>(),
+                traced_total,
+                "round-metrics energy disagrees with the trace"
+            );
+            assert_eq!(timeline.last().unwrap().cumulative_energy, traced_total);
+        }
+    }
+}
+
+use budget::{assert_awake_budget, AwakeBudget};
+use energy_mis::netsim::VecTrace;
+
+/// Runs a factory traced, with round metrics on, so the harness can check
+/// both observability channels against each other.
+fn traced_run<P, F>(
+    g: &energy_mis::graphs::Graph,
+    model: ChannelModel,
+    seed: u64,
+    factory: F,
+) -> (energy_mis::netsim::RunReport, VecTrace)
+where
+    P: energy_mis::netsim::Protocol + Send,
+    F: FnMut(usize, &mut energy_mis::netsim::NodeRng) -> P + Send,
+{
+    let mut trace = VecTrace::new();
+    let report = Simulator::new(
+        g,
+        SimConfig::new(model).with_seed(seed).with_round_metrics(),
+    )
+    .run_traced(factory, &mut trace);
+    (report, trace)
+}
 
 /// §1.3: Algorithm 1's energy is strictly below naive Luby's once n is
 /// large enough for log n ≪ log²n to bite.
@@ -33,14 +154,15 @@ fn cd_energy_beats_naive_luby() {
 }
 
 /// Theorem 2's headline inequality: CD energy stays within a small multiple
-/// of log₂ n while the schedule is Θ(log²n).
+/// of log₂ n while the schedule is Θ(log²n) — and the native schedule obeys
+/// the per-phase budget the harness formalizes (a node is awake at most one
+/// full Luby phase per phase).
 #[test]
 fn cd_energy_is_logarithmic_at_scale() {
     let n = 8192;
     let g = generators::gnp(n, 8.0 / (n as f64 - 1.0), 4);
     let params = CdParams::for_n(n);
-    let report = Simulator::new(&g, SimConfig::new(ChannelModel::Cd).with_seed(17))
-        .run(|_, _| CdMis::new(params));
+    let (report, trace) = traced_run(&g, ChannelModel::Cd, 17, |_, _| CdMis::new(params));
     assert!(report.is_correct_mis(&g));
     let log_n = (n as f64).log2();
     assert!(
@@ -48,6 +170,16 @@ fn cd_energy_is_logarithmic_at_scale() {
         "energy {} vs 15·log n = {}",
         report.max_energy(),
         15.0 * log_n
+    );
+    assert_awake_budget(
+        &g,
+        &report,
+        &trace,
+        &AwakeBudget {
+            epoch_len: params.phase_len(),
+            per_epoch: params.phase_len(),
+            vs_reference: None,
+        },
     );
 }
 
@@ -103,4 +235,121 @@ fn energy_cap_bounds_worst_case() {
     // correct runs don't trigger it at all.
     assert!(report.max_energy() <= cap + 1);
     assert!(report.is_correct_mis(&g));
+}
+
+// ---------------------------------------------------------------------------
+// Conserve<P> over the algorithm zoo: the generic wrapper's awake-slot
+// budget, enforced by the same harness on every member (docs/CONSERVE.md).
+// ---------------------------------------------------------------------------
+
+/// The hard per-epoch ceiling every Conserve run obeys regardless of the
+/// inner protocol: at most the advertise window plus the work slice.
+fn conserve_budget(
+    cfg: ConserveConfig,
+    vs: Option<(u64, energy_mis::netsim::RunReport)>,
+) -> AwakeBudget {
+    AwakeBudget {
+        epoch_len: cfg.epoch_len(),
+        per_epoch: cfg.adv_slots + cfg.slice,
+        vs_reference: vs,
+    }
+}
+
+/// Conserve<CdMis> under the CD preset: decisions are *identical* to the
+/// native run, per-node energy stays within (1 + A)× native, and every
+/// epoch obeys the hard ceiling.
+#[test]
+fn conserve_cd_budget_and_native_equality() {
+    let n = 96;
+    let g = generators::gnp(n, 0.06, 41);
+    let params = CdParams::for_n(n);
+    let cfg = ConserveConfig::for_cd(16);
+    let native = Simulator::new(&g, SimConfig::new(ChannelModel::Cd).with_seed(8))
+        .run(|_, _| CdMis::new(params));
+    let (report, trace) = traced_run(&g, ChannelModel::Cd, 8, |_, _| {
+        Conserve::new(CdMis::new(params), cfg)
+    });
+    assert_eq!(
+        native.statuses, report.statuses,
+        "CD preset must be lossless"
+    );
+    assert!(report.is_correct_mis(&g), "{:?}", report.verify_mis(&g));
+    assert_awake_budget(
+        &g,
+        &report,
+        &trace,
+        &conserve_budget(cfg, Some((1 + cfg.adv_slots, native))),
+    );
+}
+
+/// Conserve<NoCdNaive> (the Decay-based no-CD stack) under the no-CD
+/// preset: wake-up detection is only whp there, so the claim is a correct
+/// MIS under the hard per-epoch ceiling — no native-equality clause.
+#[test]
+fn conserve_decay_stack_obeys_budget() {
+    let n = 48;
+    let g = generators::gnp(n, 0.10, 43);
+    let cd = CdParams::for_n(n);
+    let sim = NaiveSimParams::for_n(n, g.max_degree().max(2));
+    let cfg = ConserveConfig::for_nocd(32);
+    let (report, trace) = traced_run(&g, ChannelModel::NoCd, 9, move |_, _| {
+        Conserve::new(NoCdNaive::new(cd, sim), cfg)
+    });
+    assert!(report.is_correct_mis(&g), "{:?}", report.verify_mis(&g));
+    assert_awake_budget(&g, &report, &trace, &conserve_budget(cfg, None));
+}
+
+/// Conserve<LowDegreeMis> under the no-CD preset.
+#[test]
+fn conserve_low_degree_obeys_budget() {
+    let n = 40;
+    let g = generators::gnp(n, 0.08, 47);
+    let params = LowDegreeParams::for_n(n, g.max_degree().max(2));
+    let cfg = ConserveConfig::for_nocd(32);
+    let (report, trace) = traced_run(&g, ChannelModel::NoCd, 10, move |_, _| {
+        Conserve::new(LowDegreeMis::new(params), cfg)
+    });
+    assert!(report.is_correct_mis(&g), "{:?}", report.verify_mis(&g));
+    assert_awake_budget(&g, &report, &trace, &conserve_budget(cfg, None));
+}
+
+/// Conserve<NoCdMis> (Algorithms 2–3, the full no-CD stack) under the
+/// no-CD preset.
+#[test]
+fn conserve_nocd_stack_obeys_budget() {
+    let n = 40;
+    let g = generators::gnp(n, 0.08, 53);
+    let params = NoCdParams::for_n(n, g.max_degree().max(2));
+    let cfg = ConserveConfig::for_nocd(32);
+    let (report, trace) = traced_run(&g, ChannelModel::NoCd, 11, move |_, _| {
+        Conserve::new(NoCdMis::new(params), cfg)
+    });
+    assert!(report.is_correct_mis(&g), "{:?}", report.verify_mis(&g));
+    assert_awake_budget(&g, &report, &trace, &conserve_budget(cfg, None));
+}
+
+/// The hard ceiling survives faults: crash-stop nodes and a continuous
+/// jammer cannot push any survivor past its per-epoch budget (jammed
+/// advertise slots read as activity, so affected nodes fall back to
+/// attending their slices — spending energy, never exceeding the ceiling).
+#[test]
+fn conserve_budget_holds_under_crashes_and_jamming() {
+    use energy_mis::netsim::FaultPlan;
+    let n = 64;
+    let g = generators::gnp(n, 0.08, 59);
+    let params = CdParams::for_n(n);
+    let cfg = ConserveConfig::for_cd(16);
+    let mut trace = VecTrace::new();
+    let config = SimConfig::new(ChannelModel::Cd)
+        .with_seed(12)
+        .with_round_metrics()
+        .with_faults(
+            FaultPlan::none()
+                .with_crash(0, 3)
+                .with_crash(1, 20)
+                .with_jammer(2),
+        );
+    let report = Simulator::new(&g, config)
+        .run_traced(|_, _| Conserve::new(CdMis::new(params), cfg), &mut trace);
+    assert_awake_budget(&g, &report, &trace, &conserve_budget(cfg, None));
 }
