@@ -332,6 +332,49 @@ impl Default for SolveOpts {
     }
 }
 
+/// Options for `mis-sim bench-serve` — the load generator for the
+/// `mis-serve` daemon (docs/SERVE.md).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchServeOpts {
+    /// Address of a running daemon; `None` spins an in-process server
+    /// (its own worker pool, fresh or `--cache-dir` cache).
+    pub addr: Option<String>,
+    /// Concurrent clients, each with its own `X-Client` id.
+    pub clients: usize,
+    /// Jobs per client, each with a distinct seed.
+    pub jobs: usize,
+    /// Algorithm submitted in every job (serve-side algorithms only:
+    /// cd, beeping, nocd, low-degree, naive-luby).
+    pub algorithm: Algorithm,
+    /// Topology family submitted in every job.
+    pub family: Family,
+    /// Network size submitted in every job.
+    pub n: usize,
+    /// Base seed; job (c, j) uses `seed + c*jobs + j`.
+    pub seed: u64,
+    /// Trials per job.
+    pub trials: usize,
+    /// Cache directory for the in-process server (ignored with
+    /// `--addr`). Default: a fresh temp dir, so the cold pass is cold.
+    pub cache_dir: Option<String>,
+}
+
+impl Default for BenchServeOpts {
+    fn default() -> BenchServeOpts {
+        BenchServeOpts {
+            addr: None,
+            clients: 8,
+            jobs: 4,
+            algorithm: Algorithm::Cd,
+            family: Family::GnpAvgDegree(8),
+            n: 256,
+            seed: 0,
+            trials: 2,
+            cache_dir: None,
+        }
+    }
+}
+
 /// A parsed invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -345,6 +388,8 @@ pub enum Command {
     Verify(VerifyOpts),
     /// `mis-sim solve`.
     Solve(SolveOpts),
+    /// `mis-sim bench-serve`.
+    BenchServe(BenchServeOpts),
     /// `mis-sim list`.
     List,
 }
@@ -376,6 +421,9 @@ USAGE:
   mis-sim solve  (--family <FAM> --n <N> | --graph <FILE>) [--seed <S>]
                  [--mode push|pull|auto|greedy|random-greedy]
                  [--threads <T>] [--out <FILE>] [--verify]
+  mis-sim bench-serve [--addr <HOST:PORT>] [--clients <C>] [--jobs <J>]
+                 [--algorithm <ALG>] [--family <FAM>] [--n <N>] [--seed <S>]
+                 [--trials <T>] [--cache-dir <DIR>]
   mis-sim list
 
 FAULTS (radio algorithms only; resolved deterministically from --seed):
@@ -433,6 +481,14 @@ deterministic in (graph, --seed) at every --threads count; `--out` writes
 a `verify`-compatible set file and `--verify` re-checks the result with
 the parallel verifier before reporting.
 
+`bench-serve` is the load generator for the `mis-serve` job daemon
+(docs/SERVE.md): C concurrent clients each submit J distinct jobs, then the
+whole fleet re-submits the same jobs. The cold pass must miss the
+content-addressed cache and the warm pass must hit it, so the report shows
+the cold-vs-warm hit rates and latency quantiles side by side. Without
+`--addr` an in-process daemon is spun up on a fresh cache; point `--addr`
+at a running `mis-serve` to measure over the wire.
+
 Run `mis-sim list` for the available algorithms and families.";
 
 /// Parses a full argument vector (without the program name).
@@ -450,6 +506,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
         "graph" => Command::Graph(parse_graph(&rest)?),
         "verify" => Command::Verify(parse_verify(&rest)?),
         "solve" => Command::Solve(parse_solve(&rest)?),
+        "bench-serve" => Command::BenchServe(parse_bench_serve(&rest)?),
         "list" => {
             if !rest.is_empty() {
                 return Err("`list` takes no options".into());
@@ -892,6 +949,60 @@ fn parse_solve(args: &[&str]) -> Result<SolveOpts, String> {
     solve.out = opts.get("out").and_then(|v| v.map(str::to_string));
     solve.verify = opts.contains_key("verify");
     Ok(solve)
+}
+
+fn parse_bench_serve(args: &[&str]) -> Result<BenchServeOpts, String> {
+    let opts = take_options(args, &[])?;
+    for key in opts.keys() {
+        if ![
+            "addr",
+            "clients",
+            "jobs",
+            "algorithm",
+            "family",
+            "n",
+            "seed",
+            "trials",
+            "cache-dir",
+        ]
+        .contains(&key.as_str())
+        {
+            return Err(format!("unknown option --{key} for `bench-serve`"));
+        }
+    }
+    let mut bench = BenchServeOpts {
+        addr: opts.get("addr").and_then(|v| v.map(str::to_string)),
+        ..BenchServeOpts::default()
+    };
+    bench.cache_dir = opts.get("cache-dir").and_then(|v| v.map(str::to_string));
+    if let Some(Some(v)) = opts.get("clients") {
+        bench.clients = parse_num(v, "clients")?;
+    }
+    if let Some(Some(v)) = opts.get("jobs") {
+        bench.jobs = parse_num(v, "jobs")?;
+    }
+    if let Some(Some(v)) = opts.get("algorithm") {
+        bench.algorithm = Algorithm::parse(v)?;
+    }
+    if let Some(Some(v)) = opts.get("family") {
+        bench.family = Family::parse(v)?;
+    }
+    if let Some(Some(v)) = opts.get("n") {
+        bench.n = parse_num(v, "n")?;
+    }
+    if let Some(Some(v)) = opts.get("seed") {
+        bench.seed = parse_num(v, "seed")?;
+    }
+    if let Some(Some(v)) = opts.get("trials") {
+        bench.trials = parse_num(v, "trials")?;
+    }
+    if bench.clients == 0 || bench.jobs == 0 {
+        return Err("--clients and --jobs must be ≥ 1".into());
+    }
+    if bench.trials == 0 {
+        return Err("--trials must be ≥ 1".into());
+    }
+    Ok(bench)
 }
 
 #[cfg(test)]
@@ -1389,6 +1500,59 @@ mod tests {
         check("solve --family star --n 4 --bogus 1", "unknown option");
         check("solve --n 4", "missing required option --family");
         check("solve --family star", "missing required option --n");
+    }
+
+    #[test]
+    fn parses_bench_serve() {
+        let cli = parse_ok(
+            "bench-serve --clients 12 --jobs 3 --algorithm nocd --family path \
+             --n 64 --seed 5 --trials 1 --cache-dir /tmp/c",
+        );
+        match cli.command {
+            Command::BenchServe(b) => {
+                assert_eq!(b.clients, 12);
+                assert_eq!(b.jobs, 3);
+                assert_eq!(b.algorithm, Algorithm::NoCd);
+                assert_eq!(b.family, Family::Path);
+                assert_eq!(b.n, 64);
+                assert_eq!(b.seed, 5);
+                assert_eq!(b.trials, 1);
+                assert_eq!(b.cache_dir.as_deref(), Some("/tmp/c"));
+                assert_eq!(b.addr, None);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bench_serve_defaults_to_eight_concurrent_clients() {
+        let cli = parse_ok("bench-serve");
+        match cli.command {
+            Command::BenchServe(b) => {
+                assert_eq!(b, BenchServeOpts::default());
+                assert_eq!((b.clients, b.jobs), (8, 4));
+            }
+            other => panic!("{other:?}"),
+        }
+        let cli = parse_ok("bench-serve --addr 127.0.0.1:7700");
+        match cli.command {
+            Command::BenchServe(b) => assert_eq!(b.addr.as_deref(), Some("127.0.0.1:7700")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_bench_serve_inputs() {
+        let check = |line: &str, needle: &str| {
+            let args: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+            let err = parse(&args).unwrap_err();
+            assert!(err.contains(needle), "{err:?} missing {needle:?}");
+        };
+        check("bench-serve --clients 0", "must be ≥ 1");
+        check("bench-serve --jobs 0", "must be ≥ 1");
+        check("bench-serve --trials 0", "--trials must be ≥ 1");
+        check("bench-serve --algorithm warp", "unknown algorithm");
+        check("bench-serve --bogus 1", "unknown option");
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! `mis-sim bench-serve` — the load generator for the `mis-serve` job
+//! daemon (docs/SERVE.md).
+//!
+//! Two passes over the same job matrix: a **cold** pass where every
+//! (client, job) pair submits a distinct seed — so every submission must
+//! miss the content-addressed cache and run the simulator — and a
+//! **warm** pass that re-submits the identical requests, which must all
+//! hit. The report prints both hit rates and client-observed latency
+//! quantiles side by side; CI asserts the `0%`/`100%` lines verbatim.
+
+use crate::args::BenchServeOpts;
+use mis_serve::{JobRequest, ServeClient, ServeConfig, ServeHandle, Server};
+use std::time::{Duration, Instant};
+
+/// Per-submission observation from a client thread.
+struct Sample {
+    hit: bool,
+    latency_ms: f64,
+}
+
+/// An in-process daemon: its shutdown handle and the thread running it.
+type LocalServer = (
+    ServeHandle,
+    std::thread::JoinHandle<std::io::Result<mis_serve::ServeSummary>>,
+);
+
+/// Runs the benchmark and renders the report.
+///
+/// # Errors
+///
+/// Returns a message when the daemon cannot be reached, a submission is
+/// rejected, or a job fails.
+pub fn execute(opts: &BenchServeOpts) -> Result<String, String> {
+    // Resolve the target: an external daemon, or an in-process server on
+    // a fresh (or caller-chosen) cache directory.
+    let mut local: Option<LocalServer> = None;
+    let mut scratch: Option<std::path::PathBuf> = None;
+    let addr = match &opts.addr {
+        Some(addr) => addr.clone(),
+        None => {
+            let cache_dir = match &opts.cache_dir {
+                Some(dir) => std::path::PathBuf::from(dir),
+                None => {
+                    let dir = std::env::temp_dir()
+                        .join(format!("mis-serve-bench-{}", std::process::id()));
+                    let _ = std::fs::remove_dir_all(&dir);
+                    scratch = Some(dir.clone());
+                    dir
+                }
+            };
+            let cfg = ServeConfig {
+                addr: "127.0.0.1:0".to_string(),
+                cache_dir: Some(cache_dir),
+                workers: 4,
+                queue_capacity: (opts.clients * opts.jobs * 2).max(64),
+            };
+            let server = Server::bind(cfg).map_err(|e| format!("bench-serve: bind: {e}"))?;
+            let addr = server
+                .local_addr()
+                .map_err(|e| format!("bench-serve: local addr: {e}"))?
+                .to_string();
+            let handle = server.handle();
+            let daemon = std::thread::spawn(move || server.run());
+            local = Some((handle, daemon));
+            addr
+        }
+    };
+
+    let result = run_passes(opts, &addr);
+
+    if let Some((handle, daemon)) = local {
+        handle.shutdown();
+        daemon
+            .join()
+            .map_err(|_| "bench-serve: server thread panicked".to_string())?
+            .map_err(|e| format!("bench-serve: server error: {e}"))?;
+    }
+    if let Some(dir) = scratch {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    result
+}
+
+fn run_passes(opts: &BenchServeOpts, addr: &str) -> Result<String, String> {
+    let total = opts.clients * opts.jobs;
+    let cold = fan_out(opts, addr)?;
+    let warm = fan_out(opts, addr)?;
+
+    let mut out = format!(
+        "bench-serve: {} clients × {} jobs = {} submissions ({} on {}, n={}, trials={}) via {addr}\n",
+        opts.clients,
+        opts.jobs,
+        total,
+        opts.algorithm.label(),
+        opts.family.label(),
+        opts.n,
+        opts.trials,
+    );
+    out.push_str(&pass_line("cold pass", &cold));
+    out.push_str(&pass_line("warm pass", &warm));
+    let cold_p50 = percentile(&cold, 0.50);
+    let warm_p50 = percentile(&warm, 0.50);
+    if warm_p50 > 0.0 {
+        out.push_str(&format!(
+            "speedup: warm p50 is {:.1}× faster than cold p50\n",
+            cold_p50 / warm_p50
+        ));
+    }
+    Ok(out)
+}
+
+/// One pass: every client thread submits its whole job slice and waits
+/// each job to completion, all clients concurrently.
+fn fan_out(opts: &BenchServeOpts, addr: &str) -> Result<Vec<Sample>, String> {
+    let handles: Vec<_> = (0..opts.clients)
+        .map(|c| {
+            let opts = opts.clone();
+            let addr = addr.to_string();
+            std::thread::spawn(move || -> Result<Vec<Sample>, String> {
+                let client = ServeClient::new(addr).with_client_id(format!("bench-c{c}"));
+                let mut samples = Vec::with_capacity(opts.jobs);
+                for j in 0..opts.jobs {
+                    let request = JobRequest::Sim {
+                        algorithm: opts.algorithm.label().to_string(),
+                        family: opts.family.label().to_string(),
+                        n: opts.n,
+                        seed: opts.seed + (c * opts.jobs + j) as u64,
+                        trials: opts.trials,
+                        trace: false,
+                        threads: 1,
+                    };
+                    let started = Instant::now();
+                    let view = client.submit_and_wait(&request, Duration::from_secs(600))?;
+                    let latency_ms = started.elapsed().as_secs_f64() * 1e3;
+                    if let Some(error) = view.error {
+                        return Err(format!("job {} failed: {error}", view.id));
+                    }
+                    samples.push(Sample {
+                        hit: view.hit,
+                        latency_ms,
+                    });
+                }
+                Ok(samples)
+            })
+        })
+        .collect();
+
+    let mut samples = Vec::new();
+    for handle in handles {
+        let slice = handle
+            .join()
+            .map_err(|_| "bench-serve: client thread panicked".to_string())??;
+        samples.extend(slice);
+    }
+    Ok(samples)
+}
+
+fn pass_line(label: &str, samples: &[Sample]) -> String {
+    let hits = samples.iter().filter(|s| s.hit).count();
+    let total = samples.len().max(1);
+    let rate = hits * 100 / total;
+    format!(
+        "{label}: hit rate {rate}% ({hits}/{}) · p50 {:.1}ms · p90 {:.1}ms · max {:.1}ms\n",
+        samples.len(),
+        percentile(samples, 0.50),
+        percentile(samples, 0.90),
+        percentile(samples, 1.00),
+    )
+}
+
+/// Latency percentile over a sample set (nearest-rank; 1.0 = max).
+fn percentile(samples: &[Sample], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut latencies: Vec<f64> = samples.iter().map(|s| s.latency_ms).collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let rank = ((latencies.len() as f64 * q).ceil() as usize).clamp(1, latencies.len());
+    latencies[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::{Algorithm, BenchServeOpts};
+    use mis_graphs::generators::Family;
+
+    /// End-to-end over a real socket: the cold pass misses everything,
+    /// the warm pass hits everything — the exact lines CI greps for.
+    #[test]
+    fn cold_then_warm_hit_rates_are_0_then_100() {
+        let opts = BenchServeOpts {
+            addr: None,
+            clients: 3,
+            jobs: 2,
+            algorithm: Algorithm::Cd,
+            family: Family::Path,
+            n: 24,
+            seed: 400,
+            trials: 1,
+            cache_dir: None,
+        };
+        let report = execute(&opts).unwrap();
+        assert!(
+            report.contains("cold pass: hit rate 0% (0/6)"),
+            "report was:\n{report}"
+        );
+        assert!(
+            report.contains("warm pass: hit rate 100% (6/6)"),
+            "report was:\n{report}"
+        );
+        assert!(report.contains("speedup:"), "report was:\n{report}");
+    }
+}

@@ -1,5 +1,6 @@
 //! Command implementations.
 
+pub mod bench_serve;
 pub mod graph;
 pub mod radio;
 pub mod run;

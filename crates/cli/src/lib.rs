@@ -11,6 +11,8 @@
 //! mis-sim verify --graph FILE --set FILE
 //! mis-sim solve --family plaw-3 --n 100000 [--seed S] [--mode auto]
 //!               [--threads T] [--out FILE] [--verify]
+//! mis-sim bench-serve [--addr HOST:PORT] [--clients C] [--jobs J]
+//!               [--algorithm cd] [--family gnp-d8] [--n N] [--trials T]
 //! mis-sim list
 //! ```
 //!
@@ -37,6 +39,7 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
         Command::Graph(opts) => commands::graph::execute(opts),
         Command::Verify(opts) => commands::verify::execute(opts),
         Command::Solve(opts) => commands::solve::execute(opts),
+        Command::BenchServe(opts) => commands::bench_serve::execute(opts),
         Command::List => Ok(commands::list_text()),
     }
 }

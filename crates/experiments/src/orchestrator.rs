@@ -517,6 +517,42 @@ impl Orchestrator {
         value
     }
 
+    /// The read half of [`Orchestrator::unit`], split out for callers that
+    /// must answer "is this already computed?" without being prepared to
+    /// compute it — the `mis-serve` daemon answers warm `POST /jobs`
+    /// submissions instantly through this, never occupying a worker.
+    ///
+    /// Returns the cached value when the cache holds a current entry for
+    /// `key` (schema and canonical string both match), `None` otherwise;
+    /// ephemeral orchestrators always return `None`. A successful peek is
+    /// recorded as a cache hit in the counters and the manifest. Force
+    /// selectors do not apply: peek only reads, it never invalidates.
+    ///
+    /// ```
+    /// use mis_experiments::{Orchestrator, UnitKey};
+    ///
+    /// let dir = std::env::temp_dir().join(format!("orch-peek-doc-{}", std::process::id()));
+    /// let _ = std::fs::remove_dir_all(&dir);
+    /// let orch = Orchestrator::with_cache_dir(&dir);
+    /// let key = UnitKey::new("e0", "demo").with("seed", 5);
+    ///
+    /// assert_eq!(orch.peek::<u64>(&key), None); // cold: nothing stored yet
+    /// let _: u64 = orch.unit(&key, || 40 + 2);
+    /// assert_eq!(orch.peek::<u64>(&key), Some(42)); // warm: read without running
+    /// assert_eq!((orch.hits(), orch.misses()), (1, 1));
+    /// let _ = std::fs::remove_dir_all(&dir);
+    /// ```
+    pub fn peek<T: DeserializeOwned>(&self, key: &UnitKey) -> Option<T> {
+        let canonical = key.canonical();
+        let hash = key.hash_hex();
+        let path = self.entry_path(key, &hash)?;
+        let unit_started = Instant::now();
+        let value = load_entry::<T>(&path, &canonical)?;
+        let wall = unit_started.elapsed().as_secs_f64() * 1e3;
+        self.record(key, hash, true, wall, 0);
+        Some(value)
+    }
+
     /// Trial-block sugar: runs [`run_trials`] as a cached unit, returning
     /// the compact [`TrialStats`]. The graph size, the full
     /// [`SimConfig::fingerprint`] (seed, channel, fault plan, engine mode,
@@ -838,6 +874,50 @@ mod tests {
         assert_eq!(calls.load(Ordering::Relaxed), 2);
         assert_eq!(orch.misses(), 2);
         assert_eq!(orch.hits(), 0);
+    }
+
+    #[test]
+    fn peek_reads_without_running_and_counts_hits() {
+        let dir = tmp_dir("peek");
+        let key = UnitKey::new("e0", "peek/a=1").with("seed", 5u64);
+
+        // Ephemeral orchestrators have nothing to peek at.
+        assert_eq!(Orchestrator::ephemeral().peek::<u32>(&key), None);
+
+        let orch = Orchestrator::with_cache_dir(&dir);
+        assert_eq!(orch.peek::<u32>(&key), None); // cold
+        assert_eq!((orch.hits(), orch.misses()), (0, 0)); // a failed peek records nothing
+        let _: u32 = orch.unit(&key, || 7);
+        assert_eq!(orch.peek::<u32>(&key), Some(7));
+        assert_eq!((orch.hits(), orch.misses()), (1, 1));
+        // The hit lands in the manifest like any other resolved unit.
+        let manifest = orch.manifest();
+        assert_eq!(manifest.hits(), 1);
+        assert_eq!(manifest.units.len(), 2);
+
+        // A fresh orchestrator over the same dir peeks the persisted value.
+        let warm = Orchestrator::with_cache_dir(&dir);
+        assert_eq!(warm.peek::<u32>(&key), Some(7));
+        assert_eq!((warm.hits(), warm.misses()), (1, 0));
+
+        // A different ingredient, or the wrong type shape, reads as None —
+        // never as wrong data.
+        let other = UnitKey::new("e0", "peek/a=1").with("seed", 6u64);
+        assert_eq!(warm.peek::<u32>(&other), None);
+        assert_eq!(warm.peek::<Vec<String>>(&key), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn peek_ignores_force_selectors() {
+        let dir = tmp_dir("peek-force");
+        let key = UnitKey::new("e3", "cell").with("seed", 1u64);
+        let _: u32 = Orchestrator::with_cache_dir(&dir).unit(&key, || 9);
+        // Forcing e3 bypasses cache *reads* in unit(), but peek still
+        // answers from the store: it is a pure read, not a recompute path.
+        let forced = Orchestrator::with_cache_dir(&dir).with_force(&["e3".to_string()]);
+        assert_eq!(forced.peek::<u32>(&key), Some(9));
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -74,6 +74,39 @@ fn force_recomputes_exactly_the_named_cells() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The serve-layer contract behind warm `POST /jobs`: a whole-job value
+/// cached through `unit()` must be readable back through `peek()` by a
+/// *fresh* orchestrator over the same directory — identical value, no
+/// closure run, hit counted — and a peek with a never-computed key must
+/// stay `None` without perturbing the counters.
+#[test]
+fn peek_round_trips_whole_job_values() {
+    use mis_experiments::UnitKey;
+
+    let dir = tmp_dir("peek-job");
+    let cfg = ExpConfig::quick(12);
+    let key = UnitKey::new("serve", "experiment-e7")
+        .with("id", "e7")
+        .with("seed", cfg.seed)
+        .with("quick", cfg.quick);
+
+    let cold = Orchestrator::with_cache_dir(&dir);
+    assert_eq!(cold.peek::<String>(&key), None);
+    let rendered: String = cold.unit(&key, || run_experiment_in("e7", &cfg, &cold).to_markdown());
+    assert!(cold.misses() > 0);
+
+    let warm = Orchestrator::with_cache_dir(&dir);
+    let peeked = warm.peek::<String>(&key).expect("whole-job value cached");
+    assert_eq!(peeked, rendered);
+    assert_eq!(
+        (warm.hits(), warm.misses()),
+        (1, 0),
+        "peek is simulator-free"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// `run_all` returns outputs in input order regardless of which
 /// experiment finishes first on the work-stealing pool.
 #[test]

@@ -130,6 +130,6 @@ pub use runner::{
     run_trials, run_trials_budgeted, run_trials_resumable, TrialFailure, TrialOutcome, TrialSet,
 };
 pub use trace::{
-    EventKind, EventMask, FilteredTrace, JsonlTrace, NullTrace, RingTrace, TraceEvent, TraceSink,
-    VecTrace,
+    ChannelTrace, EventKind, EventMask, FilteredTrace, JsonlTrace, NullTrace, RingTrace,
+    TraceEvent, TraceSink, VecTrace,
 };

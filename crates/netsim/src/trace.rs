@@ -2,12 +2,17 @@
 //!
 //! The engine emits [`TraceEvent`]s to a [`TraceSink`]. Which kinds of
 //! events a sink wants is declared through its [`EventMask`]; the default
-//! [`NullTrace`] masks everything out and compiles to nothing. Four
+//! [`NullTrace`] masks everything out and compiles to nothing. Five
 //! recording sinks are provided:
 //!
 //! - [`VecTrace`] — stores every event in memory, for tests and small runs;
 //! - [`JsonlTrace`] — streams every event as one JSON line to any writer,
 //!   for offline analysis of long runs;
+//! - [`ChannelTrace`] — serializes every event to one JSONL frame and
+//!   sends it over an in-process `mpsc` channel, for live streaming to
+//!   another thread (frames concatenate to the exact bytes [`JsonlTrace`]
+//!   would have written — the `mis-serve` daemon streams these frames to
+//!   HTTP clients);
 //! - [`RingTrace`] — keeps only the last `capacity` events, for "what just
 //!   happened" debugging of runs too long to record fully;
 //! - [`FilteredTrace`] — wraps any other sink and filters by event kind,
@@ -409,6 +414,94 @@ impl<W: Write> TraceSink for JsonlTrace<W> {
     }
 }
 
+/// Streams every event as one serialized JSONL frame over an in-process
+/// [`mpsc`](std::sync::mpsc) channel.
+///
+/// Frame `k` carries exactly the bytes [`JsonlTrace`] would have written
+/// for the `k`-th recorded event — one compact JSON object plus a trailing
+/// newline — so a receiver that concatenates frames reconstructs the
+/// `JsonlTrace` byte stream of the same run verbatim
+/// (`crates/netsim/tests/trace_stream.rs` pins this equivalence). Unlike
+/// `JsonlTrace`, delivery is decoupled from the simulating thread: the
+/// channel is unbounded, so the engine never blocks on a slow consumer,
+/// and a vanished consumer (dropped [`Receiver`](std::sync::mpsc::Receiver))
+/// quietly ends the stream — further frames are counted in
+/// [`ChannelTrace::dropped`] instead of failing the run.
+///
+/// ```
+/// use radio_netsim::{ChannelTrace, TraceEvent, TraceSink};
+///
+/// let (mut sink, rx) = ChannelTrace::channel();
+/// sink.record(TraceEvent::Finished { round: 3, node: 0 });
+/// assert_eq!(sink.frames_sent(), 1);
+/// let frame = rx.recv().unwrap();
+/// assert_eq!(frame, b"{\"event\":\"Finished\",\"round\":3,\"node\":0}\n");
+/// ```
+#[derive(Debug)]
+pub struct ChannelTrace {
+    tx: std::sync::mpsc::Sender<Vec<u8>>,
+    mask: EventMask,
+    sent: u64,
+    dropped: u64,
+}
+
+impl ChannelTrace {
+    /// Creates a connected (sink, receiver) pair, subscribed to every
+    /// event kind — the trace analogue of [`std::sync::mpsc::channel`].
+    pub fn channel() -> (ChannelTrace, std::sync::mpsc::Receiver<Vec<u8>>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        (ChannelTrace::from_sender(tx), rx)
+    }
+
+    /// Wraps an existing sender, for fan-in or pre-wired channels.
+    pub fn from_sender(tx: std::sync::mpsc::Sender<Vec<u8>>) -> ChannelTrace {
+        ChannelTrace {
+            tx,
+            mask: EventMask::ALL,
+            sent: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Restricts the subscription to `mask`.
+    pub fn with_mask(mut self, mask: EventMask) -> ChannelTrace {
+        self.mask = mask;
+        self
+    }
+
+    /// Number of frames successfully handed to the channel so far.
+    pub fn frames_sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Frames dropped because the receiver was gone (or, in principle,
+    /// because an event failed to serialize).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl TraceSink for ChannelTrace {
+    fn record(&mut self, event: TraceEvent) {
+        if !self.mask.contains(event.kind()) {
+            return;
+        }
+        let Ok(mut frame) = serde_json::to_vec(&event) else {
+            self.dropped += 1;
+            return;
+        };
+        frame.push(b'\n');
+        match self.tx.send(frame) {
+            Ok(()) => self.sent += 1,
+            Err(_) => self.dropped += 1,
+        }
+    }
+
+    fn mask(&self) -> EventMask {
+        self.mask
+    }
+}
+
 /// Bounded sink that keeps only the most recent `capacity` events.
 ///
 /// Long runs produce unboundedly many events; `RingTrace` answers "what
@@ -719,6 +812,71 @@ mod tests {
         let text = String::from_utf8(sink.into_inner().unwrap()).unwrap();
         assert_eq!(text.lines().count(), 1);
         assert!(text.contains("Finished"));
+    }
+
+    #[test]
+    fn channel_frames_match_jsonl_bytes() {
+        let events = [
+            acted(0, 1),
+            TraceEvent::Fed {
+                round: 0,
+                node: 1,
+                feedback: Feedback::Collision,
+            },
+            TraceEvent::RoundEnd {
+                metrics: RoundMetrics {
+                    round: 0,
+                    transmitting: 1,
+                    ..RoundMetrics::default()
+                },
+            },
+            TraceEvent::Finished { round: 2, node: 1 },
+        ];
+        let mut jsonl = JsonlTrace::new(Vec::new());
+        let (mut chan, rx) = ChannelTrace::channel();
+        for e in &events {
+            jsonl.record(e.clone());
+            chan.record(e.clone());
+        }
+        assert_eq!(chan.frames_sent(), events.len() as u64);
+        assert_eq!(chan.dropped(), 0);
+        drop(chan); // close the channel so the drain below terminates
+        let frames: Vec<Vec<u8>> = rx.iter().collect();
+        assert_eq!(frames.len(), events.len());
+        // Every frame is one complete line…
+        for frame in &frames {
+            assert_eq!(frame.iter().filter(|&&b| b == b'\n').count(), 1);
+            assert_eq!(*frame.last().unwrap(), b'\n');
+        }
+        // …and the concatenation is the JsonlTrace byte stream verbatim.
+        assert_eq!(frames.concat(), jsonl.into_inner().unwrap());
+    }
+
+    #[test]
+    fn channel_trace_respects_mask() {
+        let (sink, rx) = ChannelTrace::channel();
+        let mut sink = sink.with_mask(EventMask::only([EventKind::Finished]));
+        sink.record(acted(0, 1));
+        sink.record(TraceEvent::Finished { round: 0, node: 1 });
+        assert_eq!(sink.frames_sent(), 1);
+        assert!(!sink.mask().contains(EventKind::Acted));
+        drop(sink);
+        let frames: Vec<Vec<u8>> = rx.iter().collect();
+        assert_eq!(frames.len(), 1);
+        assert!(String::from_utf8(frames.concat())
+            .unwrap()
+            .contains("Finished"));
+    }
+
+    #[test]
+    fn channel_trace_survives_dropped_receiver() {
+        let (mut sink, rx) = ChannelTrace::channel();
+        sink.record(acted(0, 1));
+        drop(rx);
+        sink.record(acted(1, 1));
+        sink.record(acted(2, 1));
+        assert_eq!(sink.frames_sent(), 1);
+        assert_eq!(sink.dropped(), 2);
     }
 
     #[test]

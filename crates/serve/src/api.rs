@@ -1,0 +1,280 @@
+//! Wire types for the `mis-serve` HTTP job API.
+//!
+//! Everything a client sends or receives is defined here as a plain serde
+//! struct/enum, so the JSON schema is documented by the Rust types
+//! themselves (and exercised by the runnable examples below). The
+//! endpoint-by-endpoint reference lives in `docs/SERVE.md`.
+
+use serde::{Deserialize, Serialize};
+
+/// A job submission — the body of `POST /jobs`.
+///
+/// The two variants mirror the two things the workspace can compute:
+/// whole experiment cells from `mis-experiments` and one-off simulator
+/// runs. Both are content-addressed: the server derives the job id from
+/// the request's canonical ingredients, so submitting the same request
+/// twice yields the same id and — once computed — an instant cache hit.
+///
+/// ```
+/// use mis_serve::JobRequest;
+///
+/// let req = JobRequest::Sim {
+///     algorithm: "cd".to_string(),
+///     family: "gnp-d8".to_string(),
+///     n: 256,
+///     seed: 42,
+///     trials: 4,
+///     trace: false,
+///     threads: 1,
+/// };
+/// let json = serde_json::to_string(&req).unwrap();
+/// assert!(json.contains("\"kind\":\"sim\""));
+/// let back: JobRequest = serde_json::from_str(&json).unwrap();
+/// assert_eq!(back, req);
+///
+/// // Optional fields default, so a minimal experiment submission is tiny.
+/// let exp: JobRequest = serde_json::from_str(r#"{"kind":"experiment","id":"e7"}"#).unwrap();
+/// assert_eq!(
+///     exp,
+///     JobRequest::Experiment { id: "e7".to_string(), seed: 0, quick: true }
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum JobRequest {
+    /// Run one experiment module (`e1`..`e18`) and cache its rendered
+    /// markdown report as the job payload.
+    Experiment {
+        /// Experiment id, e.g. `"e7"` (see `mis_experiments::ALL_IDS`).
+        id: String,
+        /// Master seed threaded into every cell of the experiment.
+        #[serde(default)]
+        seed: u64,
+        /// Quick mode (smaller n, fewer trials). Defaults to `true` so a
+        /// bare request stays cheap; pass `false` for paper-scale runs.
+        #[serde(default = "default_true")]
+        quick: bool,
+    },
+    /// Run an MIS algorithm on a generated graph family.
+    Sim {
+        /// Algorithm label: `cd`, `beeping`, `nocd`, `low-degree`, or
+        /// `naive-luby`.
+        algorithm: String,
+        /// Graph family label accepted by `mis_graphs::generators::Family`,
+        /// e.g. `"gnp-d8"`, `"path"`, `"star"`.
+        family: String,
+        /// Requested node count (the generator may round, e.g. grids).
+        n: usize,
+        /// Base seed for graph generation and the simulator schedule.
+        #[serde(default)]
+        seed: u64,
+        /// Number of independent trials to aggregate (ignored when
+        /// `trace` is set — traced jobs are single runs).
+        #[serde(default = "default_trials")]
+        trials: usize,
+        /// When `true`, run a single traced simulation whose JSONL
+        /// frames are streamed live at `GET /jobs/:id/stream`.
+        #[serde(default)]
+        trace: bool,
+        /// Worker threads for the simulator engine (1 = sequential).
+        #[serde(default = "default_threads")]
+        threads: usize,
+    },
+}
+
+fn default_true() -> bool {
+    true
+}
+
+fn default_trials() -> usize {
+    1
+}
+
+fn default_threads() -> usize {
+    1
+}
+
+/// Lifecycle state of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum JobStatus {
+    /// Accepted and waiting in the fair queue.
+    Queued,
+    /// A worker is executing the job right now.
+    Running,
+    /// Finished successfully; `payload` is populated.
+    Done,
+    /// The job panicked or failed; `error` is populated.
+    Failed,
+}
+
+/// The externally visible state of one job — returned by `POST /jobs`
+/// and `GET /jobs/:id`.
+///
+/// ```
+/// use mis_serve::{JobStatus, JobView};
+///
+/// let view = JobView {
+///     id: "8d2c9f41aa03be77".to_string(),
+///     status: JobStatus::Done,
+///     hit: true,
+///     wall_ms: 0.4,
+///     cost: 0,
+///     payload: Some(serde_json::json!({"rounds": 12})),
+///     error: None,
+/// };
+/// let json = serde_json::to_string(&view).unwrap();
+/// assert!(json.contains("\"status\":\"done\""));
+/// assert!(!json.contains("error"), "None fields are omitted on the wire");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobView {
+    /// Content-addressed job id: the 16-hex `UnitKey` hash of the
+    /// request's canonical ingredients.
+    pub id: String,
+    /// Current lifecycle state.
+    pub status: JobStatus,
+    /// `true` when the payload came from the cache without running the
+    /// simulator (either an instant hit at submission, or a re-submission
+    /// of a job this server already computed).
+    pub hit: bool,
+    /// Wall-clock milliseconds spent serving the job (cache read or
+    /// full computation).
+    pub wall_ms: f64,
+    /// Simulator cost units attributed to the job (`0` for hits).
+    pub cost: u64,
+    /// Result payload once `status == Done`: markdown text for
+    /// experiment jobs, aggregate statistics for sim jobs.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub payload: Option<serde_json::Value>,
+    /// Failure message once `status == Failed`.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub error: Option<String>,
+}
+
+/// Per-client accounting inside [`StatsView`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClientStats {
+    /// Client id as sent in the `X-Client` header (`"anon"` when absent).
+    pub client: String,
+    /// Jobs this client submitted (including rejected duplicates of its
+    /// own in-flight jobs).
+    pub submitted: u64,
+    /// How many of those were answered from the cache.
+    pub hits: u64,
+}
+
+/// Server-wide accounting — the body of `GET /stats`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsView {
+    /// Total job submissions accepted (hits + queued work).
+    pub submitted: u64,
+    /// Submissions answered instantly from the content-addressed cache.
+    pub hits: u64,
+    /// Submissions that required running the simulator.
+    pub misses: u64,
+    /// Jobs that ended in [`JobStatus::Failed`].
+    pub failed: u64,
+    /// Submissions rejected with `429` because the queue was full.
+    pub rejected: u64,
+    /// Jobs currently waiting in the queue.
+    pub queued: u64,
+    /// Jobs currently executing on workers.
+    pub running: u64,
+    /// Sum of simulator cost units over all completed misses (mirrors
+    /// the orchestrator's `manifest.json` accounting).
+    pub total_cost: u64,
+    /// Sum of wall-clock milliseconds over all completed jobs.
+    pub total_wall_ms: f64,
+    /// `true` once shutdown has been requested: new `POST /jobs` are
+    /// refused with `503` while in-flight jobs drain.
+    pub draining: bool,
+    /// Per-client breakdown, sorted by client id.
+    pub clients: Vec<ClientStats>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_request_round_trips_with_defaults() {
+        let json = r#"{"kind":"experiment","id":"e3","seed":9}"#;
+        let req: JobRequest = serde_json::from_str(json).unwrap();
+        assert_eq!(
+            req,
+            JobRequest::Experiment {
+                id: "e3".to_string(),
+                seed: 9,
+                quick: true,
+            }
+        );
+        let back: JobRequest = serde_json::from_str(&serde_json::to_string(&req).unwrap()).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn sim_request_defaults_are_single_trial_untraced() {
+        let json = r#"{"kind":"sim","algorithm":"beeping","family":"path","n":64}"#;
+        let req: JobRequest = serde_json::from_str(json).unwrap();
+        match req {
+            JobRequest::Sim {
+                seed,
+                trials,
+                trace,
+                threads,
+                ..
+            } => {
+                assert_eq!((seed, trials, trace, threads), (0, 1, false, 1));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        let err = serde_json::from_str::<JobRequest>(r#"{"kind":"bogus"}"#);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn job_view_omits_empty_optionals() {
+        let view = JobView {
+            id: "abc".to_string(),
+            status: JobStatus::Queued,
+            hit: false,
+            wall_ms: 0.0,
+            cost: 0,
+            payload: None,
+            error: None,
+        };
+        let json = serde_json::to_string(&view).unwrap();
+        assert!(!json.contains("payload"));
+        assert!(!json.contains("error"));
+        assert!(json.contains("\"status\":\"queued\""));
+    }
+
+    #[test]
+    fn stats_view_round_trips() {
+        let stats = StatsView {
+            submitted: 10,
+            hits: 6,
+            misses: 4,
+            failed: 0,
+            rejected: 1,
+            queued: 2,
+            running: 1,
+            total_cost: 12345,
+            total_wall_ms: 99.5,
+            draining: false,
+            clients: vec![ClientStats {
+                client: "bench-c0".to_string(),
+                submitted: 10,
+                hits: 6,
+            }],
+        };
+        let back: StatsView =
+            serde_json::from_str(&serde_json::to_string(&stats).unwrap()).unwrap();
+        assert_eq!(back, stats);
+    }
+}

@@ -1,0 +1,97 @@
+//! The `mis-serve` daemon binary.
+//!
+//! ```text
+//! mis-serve [--addr 127.0.0.1:7700] [--cache-dir DIR] [--workers N] [--queue-cap N]
+//! ```
+//!
+//! Serves the job API until SIGTERM/SIGINT, then drains gracefully:
+//! queued and running jobs finish, new submissions get `503`, and the
+//! process exits 0 after writing the aggregate `manifest.json`.
+
+use mis_serve::{signal, ServeConfig, Server};
+use std::path::PathBuf;
+use std::process::exit;
+use std::time::Duration;
+
+const USAGE: &str =
+    "usage: mis-serve [--addr HOST:PORT] [--cache-dir DIR] [--workers N] [--queue-cap N]
+
+Serve MIS simulations over HTTP (see docs/SERVE.md):
+  POST /jobs            submit an experiment or sim request (content-addressed)
+  GET  /jobs/:id        poll a job
+  GET  /jobs/:id/stream follow live JSONL trace frames (chunked)
+  GET  /stats           hit/miss/cost accounting
+
+defaults: --addr 127.0.0.1:7700, --cache-dir <tmp>/mis-serve-cache, --workers 2, --queue-cap 64";
+
+fn main() {
+    let mut cfg = ServeConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--addr" => cfg.addr = req(&mut args, "--addr"),
+            "--cache-dir" => cfg.cache_dir = Some(PathBuf::from(req(&mut args, "--cache-dir"))),
+            "--workers" => cfg.workers = parse_num(&req(&mut args, "--workers"), "--workers"),
+            "--queue-cap" => {
+                cfg.queue_capacity = parse_num(&req(&mut args, "--queue-cap"), "--queue-cap")
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => die(&format!("unknown option `{other}`")),
+        }
+    }
+
+    signal::install();
+    let server = match Server::bind(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mis-serve: bind failed: {e}");
+            exit(1);
+        }
+    };
+    let addr = server.local_addr().expect("bound listener has an address");
+    println!("mis-serve listening on http://{addr}");
+
+    // Relay OS signals into the server's drain flag. The accept loop also
+    // polls `signal::requested()` directly; this thread just makes the
+    // worker condvar wake promptly.
+    let handle = server.handle();
+    std::thread::spawn(move || loop {
+        if signal::requested() {
+            handle.shutdown();
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    });
+
+    match server.run() {
+        Ok(summary) => {
+            println!(
+                "mis-serve drained: {} jobs executed, {} hits, {} misses",
+                summary.jobs_done, summary.hits, summary.misses
+            );
+        }
+        Err(e) => {
+            eprintln!("mis-serve: server error: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn req(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    args.next()
+        .unwrap_or_else(|| die(&format!("{flag} requires a value")))
+}
+
+fn parse_num(value: &str, flag: &str) -> usize {
+    value
+        .parse()
+        .unwrap_or_else(|_| die(&format!("{flag} expects a number, got `{value}`")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("mis-serve: {msg}\n{USAGE}");
+    exit(2)
+}

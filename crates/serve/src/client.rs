@@ -1,0 +1,234 @@
+//! A small blocking client for the job API — used by the CLI's
+//! `bench-serve` load generator and by the integration tests, and handy
+//! as a library entry point for scripting the daemon from Rust.
+
+use crate::api::{JobRequest, JobStatus, JobView, StatsView};
+use crate::http::read_chunked;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// A blocking HTTP client for one `mis-serve` daemon.
+///
+/// ```
+/// use mis_serve::{JobRequest, ServeClient, ServeConfig, Server};
+/// use std::time::Duration;
+///
+/// let dir = std::env::temp_dir().join(format!("mis-serve-client-doc-{}", std::process::id()));
+/// let _ = std::fs::remove_dir_all(&dir);
+/// let mut cfg = ServeConfig::default();
+/// cfg.addr = "127.0.0.1:0".to_string();
+/// cfg.cache_dir = Some(dir.clone());
+/// let server = Server::bind(cfg).unwrap();
+/// let addr = server.local_addr().unwrap();
+/// let handle = server.handle();
+/// let daemon = std::thread::spawn(move || server.run());
+///
+/// let client = ServeClient::new(addr.to_string());
+/// let view = client
+///     .submit_and_wait(
+///         &JobRequest::Sim {
+///             algorithm: "cd".to_string(),
+///             family: "path".to_string(),
+///             n: 16,
+///             seed: 3,
+///             trials: 1,
+///             trace: false,
+///             threads: 1,
+///         },
+///         Duration::from_secs(120),
+///     )
+///     .unwrap();
+/// assert!(view.payload.is_some());
+/// assert_eq!(client.stats().unwrap().submitted, 1);
+///
+/// handle.shutdown();
+/// daemon.join().unwrap().unwrap();
+/// let _ = std::fs::remove_dir_all(&dir);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServeClient {
+    addr: String,
+    client_id: String,
+}
+
+impl ServeClient {
+    /// A client for the daemon at `addr` (host:port), identifying itself
+    /// as `"anon"` until [`ServeClient::with_client_id`].
+    pub fn new(addr: impl Into<String>) -> ServeClient {
+        ServeClient {
+            addr: addr.into(),
+            client_id: "anon".to_string(),
+        }
+    }
+
+    /// Set the `X-Client` id used for fair queueing and per-client stats.
+    pub fn with_client_id(mut self, id: impl Into<String>) -> ServeClient {
+        self.client_id = id.into();
+        self
+    }
+
+    /// `POST /jobs`: submit a request, returning the job's view — `Done`
+    /// with a payload on a cache hit, `Queued`/`Running` otherwise.
+    pub fn submit(&self, request: &JobRequest) -> Result<JobView, String> {
+        let body = serde_json::to_vec(request).map_err(|e| e.to_string())?;
+        let (status, bytes) = self.roundtrip("POST", "/jobs", Some(&body))?;
+        decode_or_error(status, &bytes)
+    }
+
+    /// `GET /jobs/:id`: poll one job.
+    pub fn job(&self, id: &str) -> Result<JobView, String> {
+        let (status, bytes) = self.roundtrip("GET", &format!("/jobs/{id}"), None)?;
+        decode_or_error(status, &bytes)
+    }
+
+    /// Poll until the job leaves `Queued`/`Running` or `timeout` elapses.
+    pub fn wait(&self, id: &str, timeout: Duration) -> Result<JobView, String> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let view = self.job(id)?;
+            match view.status {
+                JobStatus::Done | JobStatus::Failed => return Ok(view),
+                JobStatus::Queued | JobStatus::Running => {
+                    if Instant::now() >= deadline {
+                        return Err(format!("timed out waiting for job {id}"));
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
+    }
+
+    /// [`ServeClient::submit`] then [`ServeClient::wait`]. A cache hit
+    /// returns without any polling.
+    pub fn submit_and_wait(
+        &self,
+        request: &JobRequest,
+        timeout: Duration,
+    ) -> Result<JobView, String> {
+        let view = self.submit(request)?;
+        match view.status {
+            JobStatus::Done | JobStatus::Failed => Ok(view),
+            _ => self.wait(&view.id, timeout),
+        }
+    }
+
+    /// `GET /jobs/:id/stream`: block until the job's trace stream
+    /// completes and return the concatenated JSONL bytes (empty for
+    /// untraced jobs and cache hits).
+    pub fn stream(&self, id: &str) -> Result<Vec<u8>, String> {
+        let stream = self.connect("GET", &format!("/jobs/{id}/stream"), None)?;
+        let mut reader = BufReader::new(stream);
+        let (status, headers) = read_head(&mut reader)?;
+        if status != 200 {
+            let bytes = read_plain_body(&mut reader, &headers)?;
+            return Err(http_error(status, &bytes));
+        }
+        read_chunked(&mut reader).map_err(|e| e.to_string())
+    }
+
+    /// `GET /stats`: the server-wide accounting view.
+    pub fn stats(&self) -> Result<StatsView, String> {
+        let (status, bytes) = self.roundtrip("GET", "/stats", None)?;
+        decode_or_error(status, &bytes)
+    }
+
+    fn connect(&self, method: &str, path: &str, body: Option<&[u8]>) -> Result<TcpStream, String> {
+        let mut stream =
+            TcpStream::connect(&self.addr).map_err(|e| format!("connect {}: {e}", self.addr))?;
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nX-Client: {}\r\nConnection: close\r\n",
+            self.addr, self.client_id
+        );
+        if let Some(body) = body {
+            head.push_str(&format!(
+                "Content-Type: application/json\r\nContent-Length: {}\r\n",
+                body.len()
+            ));
+        }
+        head.push_str("\r\n");
+        stream
+            .write_all(head.as_bytes())
+            .map_err(|e| e.to_string())?;
+        if let Some(body) = body {
+            stream.write_all(body).map_err(|e| e.to_string())?;
+        }
+        stream.flush().map_err(|e| e.to_string())?;
+        Ok(stream)
+    }
+
+    /// One full request/response exchange with a plain (non-chunked) body.
+    fn roundtrip(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> Result<(u16, Vec<u8>), String> {
+        let stream = self.connect(method, path, body)?;
+        let mut reader = BufReader::new(stream);
+        let (status, headers) = read_head(&mut reader)?;
+        let bytes = read_plain_body(&mut reader, &headers)?;
+        Ok((status, bytes))
+    }
+}
+
+fn read_head<R: BufRead>(reader: &mut R) -> Result<(u16, Vec<(String, String)>), String> {
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .map_err(|e| e.to_string())?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line: {status_line:?}"))?;
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).map_err(|e| e.to_string())?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    Ok((status, headers))
+}
+
+fn read_plain_body<R: BufRead>(
+    reader: &mut R,
+    headers: &[(String, String)],
+) -> Result<Vec<u8>, String> {
+    let length: Option<usize> = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse().ok());
+    let mut bytes = Vec::new();
+    match length {
+        Some(len) => {
+            bytes.resize(len, 0);
+            reader.read_exact(&mut bytes).map_err(|e| e.to_string())?;
+        }
+        None => {
+            reader.read_to_end(&mut bytes).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(bytes)
+}
+
+fn http_error(status: u16, bytes: &[u8]) -> String {
+    let msg = serde_json::from_slice::<serde_json::Value>(bytes)
+        .ok()
+        .and_then(|v| v.get("error").and_then(|e| e.as_str()).map(String::from))
+        .unwrap_or_else(|| String::from_utf8_lossy(bytes).into_owned());
+    format!("HTTP {status}: {msg}")
+}
+
+fn decode_or_error<T: serde::de::DeserializeOwned>(status: u16, bytes: &[u8]) -> Result<T, String> {
+    if status >= 400 {
+        return Err(http_error(status, bytes));
+    }
+    serde_json::from_slice(bytes).map_err(|e| format!("malformed response body: {e}"))
+}

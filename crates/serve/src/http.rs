@@ -1,0 +1,249 @@
+//! A deliberately small HTTP/1.1 layer over `std::net` — just enough for
+//! the job API: request parsing with `Content-Length` bodies, JSON
+//! responses, and chunked transfer-encoding for live NDJSON streams.
+//!
+//! No async runtime, no external HTTP crate: the daemon serves a handful
+//! of cooperating clients on a thread-per-connection model, and blocking
+//! I/O keeps the whole stack inspectable.
+
+use std::io::{self, BufRead, Write};
+
+/// Maximum accepted request body, to bound memory per connection.
+const MAX_BODY: usize = 1 << 20;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), uppercase as received.
+    pub method: String,
+    /// Request path without query string, e.g. `/jobs/abc123/stream`.
+    pub path: String,
+    /// Headers as `(lowercased-name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Raw request body (`Content-Length` bytes; empty when absent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Read and parse one request from a buffered stream. Returns
+    /// `Ok(None)` on a clean EOF before any bytes (client closed idle
+    /// connection), `Err` on malformed input.
+    pub fn read_from<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(None);
+        }
+        let mut parts = line.split_whitespace();
+        let method = parts
+            .next()
+            .ok_or_else(|| bad("empty request line"))?
+            .to_string();
+        let target = parts.next().ok_or_else(|| bad("missing request target"))?;
+        let path = target.split('?').next().unwrap_or(target).to_string();
+
+        let mut headers = Vec::new();
+        loop {
+            let mut header = String::new();
+            if reader.read_line(&mut header)? == 0 {
+                return Err(bad("eof inside headers"));
+            }
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+            }
+        }
+
+        let length: usize = headers
+            .iter()
+            .find(|(name, _)| name == "content-length")
+            .and_then(|(_, value)| value.parse().ok())
+            .unwrap_or(0);
+        if length > MAX_BODY {
+            return Err(bad("request body too large"));
+        }
+        let mut body = vec![0u8; length];
+        if length > 0 {
+            io::Read::read_exact(reader, &mut body)?;
+        }
+        Ok(Some(Request {
+            method,
+            path,
+            headers,
+            body,
+        }))
+    }
+
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Standard reason phrase for the handful of statuses the daemon emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serialize `body` as JSON and write a complete `Connection: close`
+/// response.
+pub fn respond_json<W: Write, T: serde::Serialize>(
+    writer: &mut W,
+    status: u16,
+    body: &T,
+) -> io::Result<()> {
+    let json = serde_json::to_vec(body).map_err(io::Error::other)?;
+    write!(
+        writer,
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        json.len(),
+    )?;
+    writer.write_all(&json)?;
+    writer.flush()
+}
+
+/// Write a JSON error envelope `{"error": msg}`.
+pub fn respond_error<W: Write>(writer: &mut W, status: u16, msg: &str) -> io::Result<()> {
+    respond_json(writer, status, &serde_json::json!({ "error": msg }))
+}
+
+/// Start a chunked `application/x-ndjson` response; follow with
+/// [`write_chunk`] calls and a final [`finish_chunks`].
+pub fn start_chunked<W: Write>(writer: &mut W, status: u16) -> io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/x-ndjson\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+        reason(status),
+    )?;
+    writer.flush()
+}
+
+/// Write one chunk of a chunked response. Empty input is skipped (an
+/// empty chunk would terminate the stream).
+pub fn write_chunk<W: Write>(writer: &mut W, data: &[u8]) -> io::Result<()> {
+    if data.is_empty() {
+        return Ok(());
+    }
+    write!(writer, "{:x}\r\n", data.len())?;
+    writer.write_all(data)?;
+    writer.write_all(b"\r\n")?;
+    writer.flush()
+}
+
+/// Terminate a chunked response.
+pub fn finish_chunks<W: Write>(writer: &mut W) -> io::Result<()> {
+    writer.write_all(b"0\r\n\r\n")?;
+    writer.flush()
+}
+
+/// Decode a chunked transfer-encoded body from a buffered stream
+/// (client side of [`start_chunked`]).
+pub fn read_chunked<R: BufRead>(reader: &mut R) -> io::Result<Vec<u8>> {
+    let mut out = Vec::new();
+    loop {
+        let mut size_line = String::new();
+        if reader.read_line(&mut size_line)? == 0 {
+            return Err(bad("eof inside chunked body"));
+        }
+        let size =
+            usize::from_str_radix(size_line.trim(), 16).map_err(|_| bad("malformed chunk size"))?;
+        if size == 0 {
+            let mut trailer = String::new();
+            let _ = reader.read_line(&mut trailer);
+            return Ok(out);
+        }
+        let start = out.len();
+        out.resize(start + size, 0);
+        io::Read::read_exact(reader, &mut out[start..])?;
+        let mut crlf = [0u8; 2];
+        io::Read::read_exact(reader, &mut crlf)?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parses_post_with_body_and_headers() {
+        let raw =
+            b"POST /jobs HTTP/1.1\r\nHost: x\r\nX-Client: alice\r\nContent-Length: 4\r\n\r\nabcd";
+        let mut reader = BufReader::new(&raw[..]);
+        let req = Request::read_from(&mut reader).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.header("x-client"), Some("alice"));
+        assert_eq!(req.header("X-CLIENT"), Some("alice"));
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn strips_query_string_from_path() {
+        let raw = b"GET /stats?pretty=1 HTTP/1.1\r\n\r\n";
+        let mut reader = BufReader::new(&raw[..]);
+        let req = Request::read_from(&mut reader).unwrap().unwrap();
+        assert_eq!(req.path, "/stats");
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        let mut reader = BufReader::new(&b""[..]);
+        assert!(Request::read_from(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn chunked_round_trip() {
+        let mut wire = Vec::new();
+        start_chunked(&mut wire, 200).unwrap();
+        write_chunk(&mut wire, b"{\"a\":1}\n").unwrap();
+        write_chunk(&mut wire, b"").unwrap(); // skipped, not a terminator
+        write_chunk(&mut wire, b"{\"b\":2}\n").unwrap();
+        finish_chunks(&mut wire).unwrap();
+
+        let header_end = wire.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4;
+        let mut reader = BufReader::new(&wire[header_end..]);
+        let body = read_chunked(&mut reader).unwrap();
+        assert_eq!(body, b"{\"a\":1}\n{\"b\":2}\n");
+    }
+
+    #[test]
+    fn json_response_has_content_length() {
+        let mut wire = Vec::new();
+        respond_json(&mut wire, 200, &serde_json::json!({"ok": true})).unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn oversized_body_is_rejected() {
+        let raw = format!(
+            "POST /jobs HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        let mut reader = BufReader::new(raw.as_bytes());
+        assert!(Request::read_from(&mut reader).is_err());
+    }
+}

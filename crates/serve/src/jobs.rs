@@ -1,0 +1,406 @@
+//! Job planning and execution: from a [`JobRequest`] to a content
+//! address, and from a content address to a cached payload.
+//!
+//! Planning ([`plan`]) is cheap and synchronous — it validates the
+//! request and derives its [`UnitKey`], whose 16-hex hash *is* the job
+//! id. Execution ([`execute`]) runs on a worker thread through the
+//! orchestrator, so every payload lands in the same content-addressed
+//! cache the CLI uses; [`peek_outcome`] is the read-only half the server
+//! uses to answer warm submissions without occupying a worker.
+
+use crate::api::JobRequest;
+use mis_experiments::{run_experiment_in, ExpConfig, Orchestrator, TrialStats, UnitKey, ALL_IDS};
+use mis_graphs::generators::Family;
+use mis_graphs::{Graph, NodeId};
+use radio_mis::baselines::naive_luby_cd;
+use radio_mis::params::{CdParams, LowDegreeParams, NoCdParams};
+use radio_mis::{low_degree::LowDegreeMis, CdMis, NoCdMis};
+use radio_netsim::{
+    run_trials, ChannelModel, ChannelTrace, NodeRng, Protocol, RunReport, SimConfig, Simulator,
+};
+use std::sync::mpsc::Sender;
+
+/// Upper bound on `n` for sim jobs, so one request cannot wedge the
+/// worker pool on a graph generation the cache will never amortize.
+const MAX_N: usize = 1 << 20;
+
+/// A validated job: the original request plus its content address.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// The request as submitted (after serde defaults).
+    pub request: JobRequest,
+    /// Canonical cache key; [`UnitKey::hash_hex`] of this is the job id.
+    pub key: UnitKey,
+}
+
+impl JobSpec {
+    /// The content-addressed job id (16 hex chars).
+    pub fn id(&self) -> String {
+        self.key.hash_hex()
+    }
+}
+
+/// Map an algorithm label to the channel model it runs under, mirroring
+/// the CLI's dispatch. Unknown labels are a client error.
+pub fn channel_for(algorithm: &str) -> Result<ChannelModel, String> {
+    match algorithm {
+        "cd" | "naive-luby" => Ok(ChannelModel::Cd),
+        "beeping" => Ok(ChannelModel::Beeping),
+        "nocd" | "low-degree" => Ok(ChannelModel::NoCd),
+        other => Err(format!(
+            "unknown algorithm `{other}` (expected cd, beeping, nocd, low-degree, or naive-luby)"
+        )),
+    }
+}
+
+/// Validate a request and derive its content address.
+///
+/// The key folds in every ingredient that changes the result: experiment
+/// id/seed/quick for experiment jobs; algorithm, graph family, realized
+/// node count, the full [`SimConfig::fingerprint`] (seed, channel model,
+/// fault plan, engine mode), and the trial count for sim jobs. Worker
+/// thread counts are deliberately *not* ingredients — the engine's
+/// determinism contract makes results thread-invariant, so warm entries
+/// stay valid across `threads` settings.
+pub fn plan(request: &JobRequest) -> Result<JobSpec, String> {
+    match request {
+        JobRequest::Experiment { id, seed, quick } => {
+            if !ALL_IDS.contains(&id.as_str()) {
+                return Err(format!(
+                    "unknown experiment `{id}` (expected one of e1..e{})",
+                    ALL_IDS.len()
+                ));
+            }
+            let key = UnitKey::new("serve", format!("experiment-{id}"))
+                .with("id", id.as_str())
+                .with("seed", *seed)
+                .with("quick", *quick);
+            Ok(JobSpec {
+                request: request.clone(),
+                key,
+            })
+        }
+        JobRequest::Sim {
+            algorithm,
+            family,
+            n,
+            seed,
+            trials,
+            trace,
+            threads: _,
+        } => {
+            let channel = channel_for(algorithm)?;
+            let fam = Family::parse(family)?;
+            if *n == 0 || *n > MAX_N {
+                return Err(format!("n must be in 1..={MAX_N}, got {n}"));
+            }
+            if !*trace && *trials == 0 {
+                return Err("trials must be positive".to_string());
+            }
+            let graph = fam.generate(*n, *seed);
+            let config = SimConfig::new(channel).with_seed(*seed);
+            let prefix = if *trace { "trace" } else { "sim" };
+            let mut key = UnitKey::new("serve", format!("{prefix}-{algorithm}-{family}-n{n}"))
+                .with("alg", algorithm.as_str())
+                .with("family", family.as_str())
+                .with("n", graph.len())
+                .with("sim", config.fingerprint());
+            if !*trace {
+                key = key.with("trials", *trials);
+            }
+            Ok(JobSpec {
+                request: request.clone(),
+                key,
+            })
+        }
+    }
+}
+
+/// Cache-only lookup for a planned job: the payload if the content
+/// address already resolves, `None` otherwise. Records a hit on the
+/// orchestrator when it succeeds; never runs the simulator.
+pub fn peek_outcome(orch: &Orchestrator, spec: &JobSpec) -> Option<serde_json::Value> {
+    match &spec.request {
+        JobRequest::Experiment { .. } => orch
+            .peek::<String>(&spec.key)
+            .map(serde_json::Value::String),
+        JobRequest::Sim {
+            family,
+            n,
+            seed,
+            trace: true,
+            ..
+        } => {
+            let report = orch.peek::<RunReport>(&spec.key)?;
+            let graph = Family::parse(family).ok()?.generate(*n, *seed);
+            Some(trace_payload(&report, &graph))
+        }
+        JobRequest::Sim { .. } => {
+            let stats = orch.peek::<TrialStats>(&spec.key)?;
+            serde_json::to_value(stats).ok()
+        }
+    }
+}
+
+/// Execute a planned job through `orch`, returning its JSON payload.
+///
+/// For traced sim jobs, `frames` (when provided) receives the engine's
+/// live JSONL trace frames — byte-identical to what
+/// [`radio_netsim::JsonlTrace`] would write to a file. Cache hits skip
+/// the simulator entirely and therefore emit no frames.
+pub fn execute(
+    orch: &Orchestrator,
+    spec: &JobSpec,
+    frames: Option<Sender<Vec<u8>>>,
+) -> Result<serde_json::Value, String> {
+    match &spec.request {
+        JobRequest::Experiment { id, seed, quick } => {
+            let cfg = ExpConfig {
+                quick: *quick,
+                seed: *seed,
+                threads: 1,
+            };
+            let markdown: String = orch.unit(&spec.key, || {
+                run_experiment_in(id, &cfg, orch).to_markdown()
+            });
+            Ok(serde_json::Value::String(markdown))
+        }
+        JobRequest::Sim {
+            algorithm,
+            family,
+            n,
+            seed,
+            trials,
+            trace,
+            threads,
+        } => {
+            let channel = channel_for(algorithm)?;
+            let graph = Family::parse(family)?.generate(*n, *seed);
+            let config = SimConfig::new(channel)
+                .with_seed(*seed)
+                .with_threads((*threads).max(1));
+            let n_bound = graph.len().max(2);
+            let delta = graph.max_degree().max(2);
+            if *trace {
+                let report = run_traced(
+                    orch, &spec.key, &graph, config, algorithm, n_bound, delta, frames,
+                );
+                Ok(trace_payload(&report, &graph))
+            } else {
+                let stats = run_trial_block(
+                    orch, &spec.key, &graph, config, *trials, algorithm, n_bound, delta,
+                );
+                serde_json::to_value(stats).map_err(|e| e.to_string())
+            }
+        }
+    }
+}
+
+/// The compact payload derived from a traced run's full report.
+fn trace_payload(report: &RunReport, graph: &Graph) -> serde_json::Value {
+    serde_json::json!({
+        "n": graph.len(),
+        "rounds": report.rounds,
+        "completed": report.completed,
+        "max_energy": report.meters.iter().map(|m| m.energy()).max().unwrap_or(0),
+        "correct": report.is_correct_mis(graph),
+    })
+}
+
+/// Run (or replay from cache) an aggregated trial block.
+#[allow(clippy::too_many_arguments)]
+fn run_trial_block(
+    orch: &Orchestrator,
+    key: &UnitKey,
+    graph: &Graph,
+    config: SimConfig,
+    trials: usize,
+    algorithm: &str,
+    n_bound: usize,
+    delta: usize,
+) -> TrialStats {
+    match algorithm {
+        "cd" | "beeping" => {
+            let p = CdParams::for_n(n_bound);
+            trial_unit(orch, key, graph, config, trials, move |_, _| CdMis::new(p))
+        }
+        "naive-luby" => {
+            let p = CdParams::for_n(n_bound);
+            trial_unit(orch, key, graph, config, trials, move |_, _| {
+                naive_luby_cd(p)
+            })
+        }
+        "nocd" => {
+            let p = NoCdParams::for_n(n_bound, delta);
+            trial_unit(orch, key, graph, config, trials, move |_, _| {
+                NoCdMis::new(p)
+            })
+        }
+        "low-degree" => {
+            let p = LowDegreeParams::for_n(n_bound, delta);
+            trial_unit(orch, key, graph, config, trials, move |_, _| {
+                LowDegreeMis::new(p)
+            })
+        }
+        other => unreachable!("algorithm `{other}` was validated by plan()"),
+    }
+}
+
+fn trial_unit<P, F>(
+    orch: &Orchestrator,
+    key: &UnitKey,
+    graph: &Graph,
+    config: SimConfig,
+    trials: usize,
+    factory: F,
+) -> TrialStats
+where
+    P: Protocol + Send,
+    F: Fn(NodeId, &mut NodeRng) -> P + Sync,
+{
+    orch.unit_with_cost(
+        key,
+        || TrialStats::of(&run_trials(graph, config, trials, factory)),
+        |stats| stats.cost,
+    )
+}
+
+/// Run (or replay from cache) a single traced simulation, streaming
+/// frames to `frames` when the run is live.
+#[allow(clippy::too_many_arguments)]
+fn run_traced(
+    orch: &Orchestrator,
+    key: &UnitKey,
+    graph: &Graph,
+    config: SimConfig,
+    algorithm: &str,
+    n_bound: usize,
+    delta: usize,
+    frames: Option<Sender<Vec<u8>>>,
+) -> RunReport {
+    let mut sink = match frames {
+        Some(tx) => ChannelTrace::from_sender(tx),
+        // No subscriber: a pre-dropped receiver makes every send a
+        // counted no-op, keeping one code path.
+        None => ChannelTrace::channel().0,
+    };
+    let sim = Simulator::new(graph, config);
+    orch.report(key, || match algorithm {
+        "cd" | "beeping" => {
+            let p = CdParams::for_n(n_bound);
+            sim.run_traced(|_, _| CdMis::new(p), &mut sink)
+        }
+        "naive-luby" => {
+            let p = CdParams::for_n(n_bound);
+            sim.run_traced(|_, _| naive_luby_cd(p), &mut sink)
+        }
+        "nocd" => {
+            let p = NoCdParams::for_n(n_bound, delta);
+            sim.run_traced(|_, _| NoCdMis::new(p), &mut sink)
+        }
+        "low-degree" => {
+            let p = LowDegreeParams::for_n(n_bound, delta);
+            sim.run_traced(|_, _| LowDegreeMis::new(p), &mut sink)
+        }
+        other => unreachable!("algorithm `{other}` was validated by plan()"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim_request(seed: u64, trace: bool) -> JobRequest {
+        JobRequest::Sim {
+            algorithm: "cd".to_string(),
+            family: "path".to_string(),
+            n: 24,
+            seed,
+            trials: 2,
+            trace,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_seed_sensitive() {
+        let a = plan(&sim_request(1, false)).unwrap();
+        let b = plan(&sim_request(1, false)).unwrap();
+        let c = plan(&sim_request(2, false)).unwrap();
+        assert_eq!(a.id(), b.id());
+        assert_ne!(a.id(), c.id());
+        assert_eq!(a.id().len(), 16);
+    }
+
+    #[test]
+    fn traced_and_untraced_jobs_have_distinct_addresses() {
+        let plain = plan(&sim_request(1, false)).unwrap();
+        let traced = plan(&sim_request(1, true)).unwrap();
+        assert_ne!(plain.id(), traced.id());
+    }
+
+    #[test]
+    fn plan_rejects_bad_requests() {
+        let bad_alg = JobRequest::Sim {
+            algorithm: "quantum".to_string(),
+            family: "path".to_string(),
+            n: 8,
+            seed: 0,
+            trials: 1,
+            trace: false,
+            threads: 1,
+        };
+        assert!(plan(&bad_alg).is_err());
+
+        let bad_exp = JobRequest::Experiment {
+            id: "e99".to_string(),
+            seed: 0,
+            quick: true,
+        };
+        assert!(plan(&bad_exp).is_err());
+    }
+
+    #[test]
+    fn execute_then_peek_round_trips_through_the_cache() {
+        let dir = std::env::temp_dir().join(format!("mis-serve-jobs-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let spec = plan(&sim_request(7, false)).unwrap();
+        let cold = Orchestrator::with_cache_dir(&dir);
+        assert_eq!(peek_outcome(&cold, &spec), None);
+        let payload = execute(&cold, &spec, None).unwrap();
+        assert_eq!(cold.misses(), 1);
+
+        let warm = Orchestrator::with_cache_dir(&dir);
+        let peeked = peek_outcome(&warm, &spec).expect("cached after execute");
+        assert_eq!(peeked, payload);
+        assert_eq!((warm.hits(), warm.misses()), (1, 0));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn traced_execute_streams_frames_and_caches_the_report() {
+        let dir = std::env::temp_dir().join(format!("mis-serve-jobs-tr-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let spec = plan(&sim_request(3, true)).unwrap();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let cold = Orchestrator::with_cache_dir(&dir);
+        let payload = execute(&cold, &spec, Some(tx)).unwrap();
+        let frames: Vec<Vec<u8>> = rx.iter().collect();
+        assert!(!frames.is_empty(), "a live traced run must emit frames");
+        assert!(frames.iter().all(|f| f.ends_with(b"\n")));
+        assert_eq!(payload["correct"], serde_json::json!(true));
+
+        // Warm re-execution: identical payload, no frames (no simulator).
+        let (tx2, rx2) = std::sync::mpsc::channel();
+        let warm = Orchestrator::with_cache_dir(&dir);
+        let replay = execute(&warm, &spec, Some(tx2)).unwrap();
+        assert_eq!(replay, payload);
+        assert_eq!(warm.hits(), 1);
+        assert_eq!(rx2.iter().count(), 0, "cache hits emit no trace frames");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

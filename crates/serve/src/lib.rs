@@ -1,0 +1,79 @@
+//! `mis-serve`: simulation-as-a-service over the content-addressed
+//! experiment cache.
+//!
+//! The daemon exposes the [`mis_experiments::Orchestrator`] as a shared
+//! HTTP job API, turning the cache directory from a per-invocation
+//! artifact into a multi-client result store (full API reference:
+//! `docs/SERVE.md`):
+//!
+//! - `POST /jobs` — submit an experiment-cell or simulation request
+//!   ([`JobRequest`]). Jobs are content-addressed: the job id *is* the
+//!   [`UnitKey`](mis_experiments::UnitKey) hash of the request's canonical
+//!   ingredients (graph recipe,
+//!   [`SimConfig::fingerprint`](radio_netsim::SimConfig::fingerprint) —
+//!   seed, channel model, fault plan, engine mode —, trial count, …). A
+//!   warm submission
+//!   answers instantly from the cache with the identical payload and zero
+//!   simulator runs; a cold one enqueues onto a bounded worker pool with
+//!   fair per-client round-robin queueing.
+//! - `GET /jobs/:id` — poll a job's [`JobView`].
+//! - `GET /jobs/:id/stream` — follow a traced job's live JSONL engine
+//!   frames over a chunked response; frames are byte-identical to the
+//!   [`JsonlTrace`](radio_netsim::JsonlTrace) file output of the same run.
+//! - `GET /stats` — hit/miss/cost accounting ([`StatsView`]), aggregated
+//!   per client and persisted as the cache's `manifest.json`.
+//!
+//! The crate is std-only by design (threads, `std::net`, `std::sync::mpsc`
+//! — no async runtime), so the daemon adds no dependencies beyond the
+//! workspace's existing serde stack; simulation work itself still fans out
+//! on the rayon pools inside `radio-netsim`/`mis-experiments`.
+//!
+//! ```
+//! use mis_serve::{JobRequest, ServeClient, ServeConfig, Server};
+//! use std::time::Duration;
+//!
+//! let dir = std::env::temp_dir().join(format!("mis-serve-doc-{}", std::process::id()));
+//! let _ = std::fs::remove_dir_all(&dir);
+//! let mut cfg = ServeConfig::default();
+//! cfg.addr = "127.0.0.1:0".to_string(); // any free port
+//! cfg.cache_dir = Some(dir.clone());
+//! let server = Server::bind(cfg).unwrap();
+//! let addr = server.local_addr().unwrap();
+//! let handle = server.handle();
+//! let daemon = std::thread::spawn(move || server.run());
+//!
+//! let client = ServeClient::new(addr.to_string()).with_client_id("docs");
+//! let job = JobRequest::Sim {
+//!     algorithm: "cd".to_string(),
+//!     family: "path".to_string(),
+//!     n: 32,
+//!     seed: 7,
+//!     trials: 1,
+//!     trace: false,
+//!     threads: 1,
+//! };
+//! let cold = client.submit_and_wait(&job, Duration::from_secs(120)).unwrap();
+//! assert!(!cold.hit && cold.payload.is_some());
+//! let warm = client.submit_and_wait(&job, Duration::from_secs(120)).unwrap();
+//! assert!(warm.hit, "second submission must be a content-addressed hit");
+//! assert_eq!(warm.payload, cold.payload);
+//!
+//! handle.shutdown();
+//! daemon.join().unwrap().unwrap();
+//! let _ = std::fs::remove_dir_all(&dir);
+//! ```
+
+#![deny(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod api;
+pub mod client;
+pub mod http;
+pub mod jobs;
+pub mod queue;
+pub mod server;
+pub mod signal;
+
+pub use api::{ClientStats, JobRequest, JobStatus, JobView, StatsView};
+pub use client::ServeClient;
+pub use server::{ServeConfig, ServeHandle, ServeSummary, Server};

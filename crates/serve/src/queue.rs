@@ -1,0 +1,129 @@
+//! Bounded fair job queue.
+//!
+//! Jobs are dequeued round-robin across clients rather than strictly
+//! FIFO: a client that bulk-submits 100 jobs cannot starve a client that
+//! submits one. The queue is a plain data structure — the server wraps it
+//! in a `Mutex`/`Condvar` pair; no locking happens here.
+
+use std::collections::{HashMap, VecDeque};
+
+/// A bounded multi-client queue with round-robin dequeue order.
+#[derive(Debug)]
+pub struct FairQueue {
+    /// Clients in round-robin order; a client appears at most once and
+    /// only while it has pending jobs.
+    order: VecDeque<String>,
+    /// Pending job ids per client, FIFO within the client.
+    per_client: HashMap<String, VecDeque<String>>,
+    /// Total jobs currently queued across all clients.
+    len: usize,
+    /// Maximum total jobs before `push` rejects.
+    capacity: usize,
+}
+
+impl FairQueue {
+    /// Create a queue that holds at most `capacity` jobs in total.
+    pub fn new(capacity: usize) -> FairQueue {
+        FairQueue {
+            order: VecDeque::new(),
+            per_client: HashMap::new(),
+            len: 0,
+            capacity,
+        }
+    }
+
+    /// Number of jobs currently queued.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no jobs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Enqueue `job` for `client`. Returns `Err` (backpressure — the
+    /// server answers `429`) when the queue is at capacity.
+    pub fn push(&mut self, client: &str, job: String) -> Result<(), String> {
+        if self.len >= self.capacity {
+            return Err(format!("queue full ({} jobs)", self.capacity));
+        }
+        let slot = self.per_client.entry(client.to_string()).or_default();
+        if slot.is_empty() {
+            self.order.push_back(client.to_string());
+        }
+        slot.push_back(job);
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Dequeue the next job, rotating fairly across clients. Returns the
+    /// owning client alongside the job id.
+    pub fn pop(&mut self) -> Option<(String, String)> {
+        let client = self.order.pop_front()?;
+        let slot = self
+            .per_client
+            .get_mut(&client)
+            .expect("client in order must have a slot");
+        let job = slot.pop_front().expect("client in order has pending jobs");
+        self.len -= 1;
+        if slot.is_empty() {
+            self.per_client.remove(&client);
+        } else {
+            self.order.push_back(client.clone());
+        }
+        Some((client, job))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_interleaves_clients() {
+        let mut q = FairQueue::new(16);
+        // alice floods, bob submits one late.
+        for i in 0..4 {
+            q.push("alice", format!("a{i}")).unwrap();
+        }
+        q.push("bob", "b0".to_string()).unwrap();
+        assert_eq!(q.len(), 5);
+
+        let drained: Vec<(String, String)> = std::iter::from_fn(|| q.pop()).collect();
+        let jobs: Vec<&str> = drained.iter().map(|(_, j)| j.as_str()).collect();
+        // bob's single job is served second, not fifth.
+        assert_eq!(jobs, vec!["a0", "b0", "a1", "a2", "a3"]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn fifo_within_a_single_client() {
+        let mut q = FairQueue::new(8);
+        for i in 0..3 {
+            q.push("solo", format!("j{i}")).unwrap();
+        }
+        let jobs: Vec<String> = std::iter::from_fn(|| q.pop()).map(|(_, j)| j).collect();
+        assert_eq!(jobs, vec!["j0", "j1", "j2"]);
+    }
+
+    #[test]
+    fn capacity_rejects_and_recovers() {
+        let mut q = FairQueue::new(2);
+        q.push("a", "1".to_string()).unwrap();
+        q.push("b", "2".to_string()).unwrap();
+        assert!(q.push("c", "3".to_string()).is_err());
+        q.pop().unwrap();
+        q.push("c", "3".to_string()).unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn pop_on_empty_is_none() {
+        let mut q = FairQueue::new(1);
+        assert_eq!(q.pop(), None);
+        q.push("a", "x".to_string()).unwrap();
+        assert_eq!(q.pop(), Some(("a".to_string(), "x".to_string())));
+        assert_eq!(q.pop(), None);
+    }
+}

@@ -1,0 +1,637 @@
+//! The `mis-serve` daemon: a std-only HTTP job server over the
+//! content-addressed experiment cache.
+//!
+//! Architecture: one non-blocking accept loop, a thread per connection
+//! for request handling, and a bounded pool of worker threads that
+//! drain the [`FairQueue`]. Warm submissions are answered inline by the
+//! accept path (a cache `peek`, never a simulator run); only misses
+//! reach the workers. Shutdown (signal or [`ServeHandle::shutdown`])
+//! flips a drain flag: new submissions get `503`, in-flight and queued
+//! jobs complete, then the server writes the aggregate `manifest.json`
+//! and returns.
+
+use crate::api::{ClientStats, JobStatus, JobView, StatsView};
+use crate::http::{
+    finish_chunks, respond_error, respond_json, start_chunked, write_chunk, Request,
+};
+use crate::jobs::{execute, peek_outcome, plan, JobSpec};
+use crate::queue::FairQueue;
+use crate::signal;
+use mis_experiments::orchestrator::CACHE_SCHEMA;
+use mis_experiments::{Orchestrator, RunManifest, UnitRecord};
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How long the accept loop sleeps between polls when idle, and the
+/// worker/streaming condvar wait granularity.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Configuration for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `"127.0.0.1:7700"`; port `0` picks a free
+    /// port (read it back via [`Server::local_addr`]).
+    pub addr: String,
+    /// Cache directory shared with the CLI's `--cache-dir`. `None`
+    /// resolves to `mis-serve-cache` under the system temp dir.
+    pub cache_dir: Option<PathBuf>,
+    /// Worker threads executing cache misses.
+    pub workers: usize,
+    /// Maximum queued (not yet running) jobs before `429`.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:7700".to_string(),
+            cache_dir: None,
+            workers: 2,
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// What one run of the daemon accomplished — returned by [`Server::run`]
+/// after a graceful drain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Jobs executed by workers (cache misses and failures).
+    pub jobs_done: u64,
+    /// Submissions answered from the cache.
+    pub hits: u64,
+    /// Submissions that required simulator work.
+    pub misses: u64,
+}
+
+/// A clonable handle for requesting shutdown from another thread.
+#[derive(Debug, Clone)]
+pub struct ServeHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServeHandle {
+    /// Begin a graceful drain: refuse new submissions, finish queued and
+    /// running jobs, then let [`Server::run`] return.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+    }
+}
+
+/// The bound-but-not-yet-running daemon. [`Server::run`] consumes it and
+/// blocks until drained.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    workers: usize,
+}
+
+/// One tracked job.
+#[derive(Debug)]
+struct JobEntry {
+    view: JobView,
+    spec: JobSpec,
+    stream: Arc<StreamBuf>,
+}
+
+/// Replayable live-stream buffer: workers append frames, any number of
+/// `GET /jobs/:id/stream` readers follow from offset 0.
+#[derive(Debug, Default)]
+struct StreamBuf {
+    state: Mutex<StreamState>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct StreamState {
+    bytes: Vec<u8>,
+    done: bool,
+}
+
+impl StreamBuf {
+    fn append(&self, frame: &[u8]) {
+        let mut state = self.state.lock().expect("no poisoning");
+        state.bytes.extend_from_slice(frame);
+        self.cv.notify_all();
+    }
+
+    fn finish(&self) {
+        let mut state = self.state.lock().expect("no poisoning");
+        state.done = true;
+        self.cv.notify_all();
+    }
+
+    /// Bytes past `offset`, or `None` once the stream is done and fully
+    /// consumed. Blocks (with a poll granularity) until either appears.
+    fn next_after(&self, offset: usize) -> Option<Vec<u8>> {
+        let mut state = self.state.lock().expect("no poisoning");
+        loop {
+            if state.bytes.len() > offset {
+                return Some(state.bytes[offset..].to_vec());
+            }
+            if state.done {
+                return None;
+            }
+            let (next, _) = self.cv.wait_timeout(state, POLL).expect("no poisoning");
+            state = next;
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Stats {
+    submitted: u64,
+    hits: u64,
+    misses: u64,
+    failed: u64,
+    rejected: u64,
+    total_cost: u64,
+    total_wall_ms: f64,
+    /// client id -> (submitted, hits)
+    clients: HashMap<String, (u64, u64)>,
+    /// Per-unit records merged from every job's orchestrator, for the
+    /// aggregate `manifest.json`.
+    units: Vec<UnitRecord>,
+}
+
+#[derive(Debug)]
+struct Shared {
+    cache_dir: PathBuf,
+    jobs: Mutex<HashMap<String, JobEntry>>,
+    queue: Mutex<FairQueue>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    running: AtomicUsize,
+    jobs_done: AtomicU64,
+    stats: Mutex<Stats>,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || signal::requested()
+    }
+
+    fn orchestrator(&self) -> Orchestrator {
+        Orchestrator::with_cache_dir(&self.cache_dir)
+    }
+}
+
+impl Server {
+    /// Bind the listen socket and prepare shared state. No threads start
+    /// until [`Server::run`].
+    pub fn bind(cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let cache_dir = cfg
+            .cache_dir
+            .unwrap_or_else(|| std::env::temp_dir().join("mis-serve-cache"));
+        let shared = Arc::new(Shared {
+            cache_dir,
+            jobs: Mutex::new(HashMap::new()),
+            queue: Mutex::new(FairQueue::new(cfg.queue_capacity)),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            running: AtomicUsize::new(0),
+            jobs_done: AtomicU64::new(0),
+            stats: Mutex::new(Stats::default()),
+        });
+        Ok(Server {
+            listener,
+            shared,
+            workers: cfg.workers.max(1),
+        })
+    }
+
+    /// The bound address (useful with port `0`).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle for shutting the server down from another thread.
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Serve until drained: accept connections, execute jobs, and — once
+    /// shutdown is requested and the last job finishes — write the
+    /// aggregate `manifest.json` and return the run's [`ServeSummary`].
+    pub fn run(self) -> io::Result<ServeSummary> {
+        let workers: Vec<_> = (0..self.workers)
+            .map(|_| {
+                let shared = Arc::clone(&self.shared);
+                thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let shared = Arc::clone(&self.shared);
+                    thread::spawn(move || {
+                        let _ = handle_connection(stream, &shared);
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if self.shared.draining() {
+                        let queued = self.shared.queue.lock().expect("no poisoning").len();
+                        if queued == 0 && self.shared.running.load(Ordering::SeqCst) == 0 {
+                            break;
+                        }
+                    }
+                    thread::sleep(POLL);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Propagate the drain to workers (a signal-initiated drain never
+        // set the internal flag) and collect them.
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        // Brief linger so streaming readers of just-finished jobs can
+        // flush their final chunks before the process exits.
+        thread::sleep(Duration::from_millis(250));
+
+        let stats = self.shared.stats.lock().expect("no poisoning");
+        write_aggregate_manifest(&self.shared.cache_dir, &stats);
+        Ok(ServeSummary {
+            jobs_done: self.shared.jobs_done.load(Ordering::SeqCst),
+            hits: stats.hits,
+            misses: stats.misses,
+        })
+    }
+}
+
+/// Merge every job's unit records into one deterministic manifest at
+/// `<cache-dir>/manifest.json` — the same cost ledger format the CLI's
+/// orchestrator writes, summed across clients.
+fn write_aggregate_manifest(cache_dir: &std::path::Path, stats: &Stats) {
+    let mut units = stats.units.clone();
+    units.sort_by(|a, b| (&a.experiment, &a.cell, &a.hash).cmp(&(&b.experiment, &b.cell, &b.hash)));
+    let manifest = RunManifest {
+        schema: CACHE_SCHEMA,
+        seed: 0,
+        quick: false,
+        units,
+    };
+    if std::fs::create_dir_all(cache_dir).is_ok() {
+        if let Ok(json) = serde_json::to_vec_pretty(&manifest) {
+            let _ = std::fs::write(cache_dir.join("manifest.json"), json);
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let popped = {
+            let mut queue = shared.queue.lock().expect("no poisoning");
+            loop {
+                if let Some(next) = queue.pop() {
+                    // Visible as "running" before the queue lock drops, so
+                    // the drain check never sees an empty queue with this
+                    // job in limbo.
+                    shared.running.fetch_add(1, Ordering::SeqCst);
+                    break Some(next);
+                }
+                if shared.draining() {
+                    break None;
+                }
+                let (next, _) = shared
+                    .queue_cv
+                    .wait_timeout(queue, POLL)
+                    .expect("no poisoning");
+                queue = next;
+            }
+        };
+        let Some((_client, job_id)) = popped else {
+            return;
+        };
+        run_job(shared, &job_id);
+        shared.running.fetch_sub(1, Ordering::SeqCst);
+        shared.queue_cv.notify_all();
+    }
+}
+
+/// Execute one queued job and publish its result.
+fn run_job(shared: &Shared, job_id: &str) {
+    let (spec, stream) = {
+        let mut jobs = shared.jobs.lock().expect("no poisoning");
+        let Some(entry) = jobs.get_mut(job_id) else {
+            return;
+        };
+        entry.view.status = JobStatus::Running;
+        (entry.spec.clone(), Arc::clone(&entry.stream))
+    };
+
+    let traced = matches!(
+        spec.request,
+        crate::api::JobRequest::Sim { trace: true, .. }
+    );
+    let (frames, drainer) = if traced {
+        let (tx, rx) = std::sync::mpsc::channel::<Vec<u8>>();
+        let buf = Arc::clone(&stream);
+        let drainer = thread::spawn(move || {
+            for frame in rx {
+                buf.append(&frame);
+            }
+        });
+        (Some(tx), Some(drainer))
+    } else {
+        (None, None)
+    };
+
+    let orch = shared.orchestrator();
+    let started = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| execute(&orch, &spec, frames)));
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    if let Some(drainer) = drainer {
+        let _ = drainer.join();
+    }
+    stream.finish();
+
+    let outcome = match result {
+        Ok(Ok(payload)) => Ok(payload),
+        Ok(Err(msg)) => Err(msg),
+        Err(panic) => Err(panic_message(panic.as_ref())),
+    };
+    let hit = orch.misses() == 0 && orch.hits() > 0;
+    let cost = orch.total_cost();
+    let manifest_units = orch.manifest().units;
+
+    // Stats first, then the publicly visible status flip: a client that
+    // polls its job to `Done` and immediately reads `GET /stats` must see
+    // the job already accounted for.
+    {
+        let mut stats = shared.stats.lock().expect("no poisoning");
+        match &outcome {
+            Ok(_) if hit => stats.hits += 1,
+            Ok(_) => stats.misses += 1,
+            Err(_) => stats.failed += 1,
+        }
+        stats.total_cost += cost;
+        stats.total_wall_ms += wall_ms;
+        stats.units.extend(manifest_units);
+    }
+    shared.jobs_done.fetch_add(1, Ordering::SeqCst);
+    {
+        let mut jobs = shared.jobs.lock().expect("no poisoning");
+        if let Some(entry) = jobs.get_mut(job_id) {
+            entry.view.wall_ms = wall_ms;
+            entry.view.cost = cost;
+            entry.view.hit = hit;
+            match &outcome {
+                Ok(payload) => {
+                    entry.view.status = JobStatus::Done;
+                    entry.view.payload = Some(payload.clone());
+                }
+                Err(msg) => {
+                    entry.view.status = JobStatus::Failed;
+                    entry.view.error = Some(msg.clone());
+                }
+            }
+        }
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        format!("job panicked: {s}")
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        format!("job panicked: {s}")
+    } else {
+        "job panicked".to_string()
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let Some(request) = Request::read_from(&mut reader)? else {
+        return Ok(());
+    };
+    route(&request, &mut writer, shared)
+}
+
+fn route(request: &Request, writer: &mut BufWriter<TcpStream>, shared: &Shared) -> io::Result<()> {
+    let path = request.path.trim_end_matches('/');
+    match (request.method.as_str(), path) {
+        ("POST", "/jobs") => handle_submit(request, writer, shared),
+        ("GET", "/stats") => handle_stats(writer, shared),
+        ("GET", p) if p.starts_with("/jobs/") && p.ends_with("/stream") => {
+            let id = p
+                .trim_start_matches("/jobs/")
+                .trim_end_matches("/stream")
+                .trim_end_matches('/');
+            handle_stream(id, writer, shared)
+        }
+        ("GET", p) if p.starts_with("/jobs/") => {
+            let id = p.trim_start_matches("/jobs/");
+            handle_job(id, writer, shared)
+        }
+        _ => respond_error(writer, 404, "no such endpoint"),
+    }
+}
+
+fn handle_submit(
+    request: &Request,
+    writer: &mut BufWriter<TcpStream>,
+    shared: &Shared,
+) -> io::Result<()> {
+    if shared.draining() {
+        return respond_error(writer, 503, "server is draining; not accepting new jobs");
+    }
+    let parsed: Result<crate::api::JobRequest, _> = serde_json::from_slice(&request.body);
+    let job_request = match parsed {
+        Ok(r) => r,
+        Err(e) => return respond_error(writer, 400, &format!("malformed job request: {e}")),
+    };
+    let spec = match plan(&job_request) {
+        Ok(s) => s,
+        Err(msg) => return respond_error(writer, 400, &msg),
+    };
+    let id = spec.id();
+    let client = request.header("x-client").unwrap_or("anon").to_string();
+    {
+        let mut stats = shared.stats.lock().expect("no poisoning");
+        stats.submitted += 1;
+        stats.clients.entry(client.clone()).or_default().0 += 1;
+    }
+
+    // Re-submission of a job this server already tracks.
+    {
+        let mut jobs = shared.jobs.lock().expect("no poisoning");
+        if let Some(entry) = jobs.get(&id) {
+            match entry.view.status {
+                JobStatus::Done => {
+                    let mut view = entry.view.clone();
+                    view.hit = true; // answered without new simulator work
+                    drop(jobs);
+                    let mut stats = shared.stats.lock().expect("no poisoning");
+                    stats.hits += 1;
+                    stats.clients.entry(client).or_default().1 += 1;
+                    drop(stats);
+                    return respond_json(writer, 200, &view);
+                }
+                JobStatus::Queued | JobStatus::Running => {
+                    let view = entry.view.clone();
+                    drop(jobs);
+                    return respond_json(writer, 202, &view);
+                }
+                // A failed job may be retried: forget it and fall through.
+                JobStatus::Failed => {
+                    jobs.remove(&id);
+                }
+            }
+        }
+    }
+
+    // Content-addressed fast path: answer warm submissions inline.
+    let started = Instant::now();
+    let orch = shared.orchestrator();
+    if let Some(payload) = peek_outcome(&orch, &spec) {
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        let view = JobView {
+            id: id.clone(),
+            status: JobStatus::Done,
+            hit: true,
+            wall_ms,
+            cost: 0,
+            payload: Some(payload),
+            error: None,
+        };
+        let stream = Arc::new(StreamBuf::default());
+        stream.finish(); // hits have no live frames
+        let mut jobs = shared.jobs.lock().expect("no poisoning");
+        jobs.insert(
+            id,
+            JobEntry {
+                view: view.clone(),
+                spec,
+                stream,
+            },
+        );
+        drop(jobs);
+        let mut stats = shared.stats.lock().expect("no poisoning");
+        stats.hits += 1;
+        stats.total_wall_ms += wall_ms;
+        stats.units.extend(orch.manifest().units);
+        stats.clients.entry(client).or_default().1 += 1;
+        drop(stats);
+        return respond_json(writer, 200, &view);
+    }
+
+    // Cold: enqueue for the worker pool.
+    let view = JobView {
+        id: id.clone(),
+        status: JobStatus::Queued,
+        hit: false,
+        wall_ms: 0.0,
+        cost: 0,
+        payload: None,
+        error: None,
+    };
+    {
+        let mut jobs = shared.jobs.lock().expect("no poisoning");
+        jobs.insert(
+            id.clone(),
+            JobEntry {
+                view: view.clone(),
+                spec,
+                stream: Arc::new(StreamBuf::default()),
+            },
+        );
+    }
+    let enqueued = {
+        let mut queue = shared.queue.lock().expect("no poisoning");
+        queue.push(&client, id.clone())
+    };
+    match enqueued {
+        Ok(()) => {
+            shared.queue_cv.notify_all();
+            respond_json(writer, 202, &view)
+        }
+        Err(msg) => {
+            shared.jobs.lock().expect("no poisoning").remove(&id);
+            shared.stats.lock().expect("no poisoning").rejected += 1;
+            respond_error(writer, 429, &msg)
+        }
+    }
+}
+
+fn handle_job(id: &str, writer: &mut BufWriter<TcpStream>, shared: &Shared) -> io::Result<()> {
+    let view = {
+        let jobs = shared.jobs.lock().expect("no poisoning");
+        jobs.get(id).map(|entry| entry.view.clone())
+    };
+    match view {
+        Some(view) => respond_json(writer, 200, &view),
+        None => respond_error(writer, 404, "unknown job id"),
+    }
+}
+
+fn handle_stream(id: &str, writer: &mut BufWriter<TcpStream>, shared: &Shared) -> io::Result<()> {
+    let stream = {
+        let jobs = shared.jobs.lock().expect("no poisoning");
+        jobs.get(id).map(|entry| Arc::clone(&entry.stream))
+    };
+    let Some(stream) = stream else {
+        return respond_error(writer, 404, "unknown job id");
+    };
+    start_chunked(writer, 200)?;
+    let mut offset = 0usize;
+    while let Some(chunk) = stream.next_after(offset) {
+        offset += chunk.len();
+        write_chunk(writer, &chunk)?;
+    }
+    finish_chunks(writer)
+}
+
+fn handle_stats(writer: &mut BufWriter<TcpStream>, shared: &Shared) -> io::Result<()> {
+    let (queued, running, draining) = (
+        shared.queue.lock().expect("no poisoning").len() as u64,
+        shared.running.load(Ordering::SeqCst) as u64,
+        shared.draining(),
+    );
+    let stats = shared.stats.lock().expect("no poisoning");
+    let mut clients: Vec<ClientStats> = stats
+        .clients
+        .iter()
+        .map(|(client, (submitted, hits))| ClientStats {
+            client: client.clone(),
+            submitted: *submitted,
+            hits: *hits,
+        })
+        .collect();
+    clients.sort_by(|a, b| a.client.cmp(&b.client));
+    let view = StatsView {
+        submitted: stats.submitted,
+        hits: stats.hits,
+        misses: stats.misses,
+        failed: stats.failed,
+        rejected: stats.rejected,
+        queued,
+        running,
+        total_cost: stats.total_cost,
+        total_wall_ms: stats.total_wall_ms,
+        draining,
+        clients,
+    };
+    drop(stats);
+    respond_json(writer, 200, &view)
+}

@@ -1,0 +1,276 @@
+//! End-to-end contract tests for the `mis-serve` daemon, over real
+//! sockets: cold-then-warm submissions, live trace streaming against the
+//! `JsonlTrace` file-format oracle, queue backpressure, and graceful
+//! drain with cache persistence across restarts.
+
+use mis_graphs::generators::Family;
+use mis_serve::{JobRequest, JobStatus, ServeClient, ServeConfig, ServeHandle, Server};
+use radio_mis::cd::CdMis;
+use radio_mis::params::CdParams;
+use radio_netsim::{ChannelModel, JsonlTrace, SimConfig, Simulator};
+use std::path::{Path, PathBuf};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(120);
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mis-serve-it-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+struct TestServer {
+    addr: String,
+    handle: ServeHandle,
+    daemon: JoinHandle<std::io::Result<mis_serve::ServeSummary>>,
+}
+
+impl TestServer {
+    fn start(dir: &Path, workers: usize, queue_capacity: usize) -> TestServer {
+        let cfg = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            cache_dir: Some(dir.to_path_buf()),
+            workers,
+            queue_capacity,
+        };
+        let server = Server::bind(cfg).expect("bind on a free port");
+        let addr = server.local_addr().unwrap().to_string();
+        let handle = server.handle();
+        let daemon = std::thread::spawn(move || server.run());
+        TestServer {
+            addr,
+            handle,
+            daemon,
+        }
+    }
+
+    fn client(&self, id: &str) -> ServeClient {
+        ServeClient::new(self.addr.clone()).with_client_id(id)
+    }
+
+    fn stop(self) -> mis_serve::ServeSummary {
+        self.handle.shutdown();
+        self.daemon
+            .join()
+            .expect("daemon thread")
+            .expect("clean drain")
+    }
+}
+
+fn sim_request(seed: u64, trace: bool) -> JobRequest {
+    JobRequest::Sim {
+        algorithm: "cd".to_string(),
+        family: "path".to_string(),
+        n: 32,
+        seed,
+        trials: 2,
+        trace,
+        threads: 1,
+    }
+}
+
+/// The headline contract: a warm re-submission returns the identical
+/// payload with zero simulator runs, and the hit is visible in `/stats`.
+#[test]
+fn warm_resubmission_hits_with_identical_payload() {
+    let dir = tmp_dir("warm");
+    let server = TestServer::start(&dir, 2, 16);
+    let client = server.client("warm-test");
+
+    let cold = client
+        .submit_and_wait(&sim_request(5, false), WAIT)
+        .unwrap();
+    assert_eq!(cold.status, JobStatus::Done);
+    assert!(!cold.hit, "first submission must run the simulator");
+    assert!(cold.payload.is_some());
+    assert!(cold.cost > 0, "a fresh run has nonzero simulated cost");
+
+    let warm = client.submit(&sim_request(5, false)).unwrap();
+    assert_eq!(warm.status, JobStatus::Done, "warm answers need no polling");
+    assert!(warm.hit, "same content address must hit");
+    assert_eq!(warm.payload, cold.payload, "hit replays identical payload");
+    assert_eq!(warm.id, cold.id, "the content address is the job id");
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.submitted, 2);
+    assert_eq!((stats.hits, stats.misses, stats.failed), (1, 1, 0));
+    assert_eq!(stats.clients.len(), 1);
+    assert_eq!(stats.clients[0].client, "warm-test");
+    assert!(stats.total_cost > 0, "manifest cost feeds /stats");
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A different seed is a different content address: no false sharing.
+#[test]
+fn distinct_seeds_never_collide() {
+    let dir = tmp_dir("seeds");
+    let server = TestServer::start(&dir, 2, 16);
+    let client = server.client("seeds");
+
+    let a = client
+        .submit_and_wait(&sim_request(1, false), WAIT)
+        .unwrap();
+    let b = client
+        .submit_and_wait(&sim_request(2, false), WAIT)
+        .unwrap();
+    assert_ne!(a.id, b.id);
+    assert!(!a.hit && !b.hit);
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The streamed trace frames of a live job are byte-identical to what a
+/// local `JsonlTrace` run over the same config writes to a file.
+#[test]
+fn streamed_frames_match_jsonl_file_oracle() {
+    let dir = tmp_dir("stream");
+    let server = TestServer::start(&dir, 2, 16);
+    let client = server.client("streamer");
+
+    let request = sim_request(9, true);
+    let submitted = client.submit(&request).unwrap();
+    let streamed = client.stream(&submitted.id).unwrap();
+    let done = client.wait(&submitted.id, WAIT).unwrap();
+    assert_eq!(done.status, JobStatus::Done);
+    assert!(!streamed.is_empty(), "a live traced run must stream frames");
+
+    // Oracle: the same simulation, traced straight to a JSONL buffer.
+    let graph = Family::parse("path").unwrap().generate(32, 9);
+    let config = SimConfig::new(ChannelModel::Cd).with_seed(9);
+    let params = CdParams::for_n(graph.len().max(2));
+    let mut jsonl = JsonlTrace::new(Vec::new());
+    Simulator::new(&graph, config).run_traced(|_, _| CdMis::new(params), &mut jsonl);
+    let expected = jsonl.into_inner().unwrap();
+    assert_eq!(
+        streamed, expected,
+        "stream must be byte-identical to the file sink"
+    );
+
+    // A warm re-submission is a hit — and hits have no live frames.
+    let warm = client.submit(&request).unwrap();
+    assert!(warm.hit);
+    let replay = client.stream(&warm.id).unwrap();
+    assert!(
+        replay.is_empty(),
+        "cache hits skip the simulator: no frames"
+    );
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Backpressure: with zero queue slots every cold submission is refused
+/// with 429, and the rejection is accounted in `/stats`.
+#[test]
+fn full_queue_rejects_with_429() {
+    let dir = tmp_dir("reject");
+    let server = TestServer::start(&dir, 1, 0);
+    let client = server.client("rejected");
+
+    let err = client.submit(&sim_request(3, false)).unwrap_err();
+    assert!(err.starts_with("HTTP 429"), "got: {err}");
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.misses, 0);
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Malformed and invalid submissions are client errors, not failures.
+#[test]
+fn invalid_requests_are_400s() {
+    let dir = tmp_dir("bad");
+    let server = TestServer::start(&dir, 1, 4);
+    let client = server.client("bad");
+
+    let bad_alg = JobRequest::Sim {
+        algorithm: "quantum".to_string(),
+        family: "path".to_string(),
+        n: 8,
+        seed: 0,
+        trials: 1,
+        trace: false,
+        threads: 1,
+    };
+    let err = client.submit(&bad_alg).unwrap_err();
+    assert!(err.starts_with("HTTP 400"), "got: {err}");
+
+    let err = client.job("no-such-job").unwrap_err();
+    assert!(err.starts_with("HTTP 404"), "got: {err}");
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Graceful drain: shutdown with queued work finishes every accepted
+/// job, and a restarted server over the same cache directory answers all
+/// of them as hits.
+#[test]
+fn drain_finishes_queued_jobs_and_cache_survives_restart() {
+    let dir = tmp_dir("drain");
+    let seeds = [21u64, 22, 23];
+
+    let first = TestServer::start(&dir, 1, 16);
+    let client = first.client("drainer");
+    let mut ids = Vec::new();
+    for &seed in &seeds {
+        let view = client.submit(&sim_request(seed, false)).unwrap();
+        ids.push(view.id);
+    }
+    // Shutdown immediately: all three jobs are accepted but at most one
+    // has started. The drain must still finish every one of them.
+    let summary = first.stop();
+    assert_eq!(summary.jobs_done, seeds.len() as u64);
+    assert_eq!(summary.misses, seeds.len() as u64);
+
+    let second = TestServer::start(&dir, 1, 16);
+    let client = second.client("drainer");
+    for &seed in &seeds {
+        let view = client.submit(&sim_request(seed, false)).unwrap();
+        assert_eq!(view.status, JobStatus::Done);
+        assert!(view.hit, "drained results must persist across restarts");
+        assert!(view.payload.is_some());
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!((stats.hits, stats.misses), (3, 0));
+    let summary = second.stop();
+    assert_eq!(summary.jobs_done, 0, "warm restart never occupies a worker");
+
+    // The aggregate manifest survives on disk for cost accounting.
+    let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+    assert!(manifest.contains("\"units\""));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An experiment-cell job returns the module's markdown report and is
+/// content-addressed like any other job.
+#[test]
+fn experiment_jobs_serve_markdown_reports() {
+    let dir = tmp_dir("exp");
+    let server = TestServer::start(&dir, 2, 16);
+    let client = server.client("exp");
+
+    let request = JobRequest::Experiment {
+        id: "e7".to_string(),
+        seed: 11,
+        quick: true,
+    };
+    let cold = client.submit_and_wait(&request, WAIT).unwrap();
+    assert_eq!(cold.status, JobStatus::Done);
+    assert!(!cold.hit);
+    let markdown = cold.payload.as_ref().and_then(|p| p.as_str()).unwrap();
+    assert!(markdown.contains('#'), "payload is the rendered report");
+
+    let warm = client.submit(&request).unwrap();
+    assert!(warm.hit);
+    assert_eq!(warm.payload, cold.payload);
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}

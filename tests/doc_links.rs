@@ -19,6 +19,8 @@ const DOC_FILES: &[&str] = &[
     "docs/PARALLEL_ENGINE.md",
     "docs/MULTICHANNEL.md",
     "docs/CONSERVE.md",
+    "docs/SERVE.md",
+    "docs/INDEX.md",
 ];
 
 /// Extracts inline-link targets from markdown source.
